@@ -1,0 +1,534 @@
+//! `RavenSession`: the end-to-end system.
+
+use crate::store::ModelStore;
+use raven_data::{Catalog, Table};
+use raven_ir::Plan;
+use raven_opt::{OptimizationReport, Optimizer, OptimizerContext, OptimizerMode, RuleSet};
+use raven_pyanalysis::{analyze, PipelineSpec};
+use raven_relational::{ExecOptions, Executor};
+use raven_runtime::{codegen, RavenScorer, ScorerConfig};
+use raven_sql::{parse, Binder};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Session-level errors (unifies every subsystem's error type).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    Data(String),
+    Sql(String),
+    Python(String),
+    Optimizer(String),
+    Execution(String),
+    Store(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            SessionError::Data(m) => ("data", m),
+            SessionError::Sql(m) => ("sql", m),
+            SessionError::Python(m) => ("python", m),
+            SessionError::Optimizer(m) => ("optimizer", m),
+            SessionError::Execution(m) => ("execution", m),
+            SessionError::Store(m) => ("model store", m),
+        };
+        write!(f, "{kind} error: {msg}")
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Result alias for session operations.
+pub type Result<T> = std::result::Result<T, SessionError>;
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Cross-optimizer rule toggles.
+    pub rules: RuleSet,
+    /// Heuristic or cost-based driver.
+    pub optimizer_mode: OptimizerMode,
+    /// Device for NN-translated models.
+    pub device: raven_ir::Device,
+    /// Trees at most this large inline to CASE expressions.
+    pub inline_max_tree_nodes: usize,
+    /// Relational executor options (parallelism).
+    pub exec: ExecOptions,
+    /// Scorer costs (external runtime latencies, tensor batch size).
+    pub scorer: ScorerConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            rules: RuleSet::all(),
+            optimizer_mode: OptimizerMode::Heuristic,
+            device: raven_ir::Device::CpuParallel,
+            inline_max_tree_nodes: 512,
+            exec: ExecOptions::default(),
+            scorer: ScorerConfig::default(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Config suitable for unit tests: serial execution, zero-latency
+    /// externals.
+    pub fn for_tests() -> Self {
+        SessionConfig {
+            exec: ExecOptions::serial(),
+            scorer: ScorerConfig::instant(),
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of an inference query.
+#[derive(Debug)]
+pub struct QueryResult {
+    pub table: Table,
+    /// End-to-end wall time (parse + optimize + execute).
+    pub total_time: Duration,
+    /// Execution-only wall time.
+    pub exec_time: Duration,
+    /// What the cross optimizer did.
+    pub report: OptimizationReport,
+}
+
+/// EXPLAIN output: plans before/after, optimizer report, generated SQL.
+#[derive(Debug, Clone)]
+pub struct ExplainOutput {
+    pub logical_plan: String,
+    pub optimized_plan: String,
+    pub report_summary: String,
+    pub generated_sql: String,
+}
+
+impl fmt::Display for ExplainOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Logical plan (unified IR) ==")?;
+        writeln!(f, "{}", self.logical_plan)?;
+        writeln!(f, "== After cross optimization ==")?;
+        writeln!(f, "{}", self.optimized_plan)?;
+        writeln!(f, "== Optimizer report ==")?;
+        writeln!(f, "{}", self.report_summary)?;
+        writeln!(f, "== Generated SQL ==")?;
+        writeln!(f, "{}", self.generated_sql)
+    }
+}
+
+/// An in-process Raven instance: catalog + model store + optimizer +
+/// execution engines.
+pub struct RavenSession {
+    catalog: Catalog,
+    store: ModelStore,
+    scorer: RavenScorer,
+    config: SessionConfig,
+}
+
+impl Default for RavenSession {
+    fn default() -> Self {
+        RavenSession::new()
+    }
+}
+
+impl RavenSession {
+    /// New session with default configuration.
+    pub fn new() -> Self {
+        RavenSession::with_config(SessionConfig::default())
+    }
+
+    /// New session with explicit configuration.
+    pub fn with_config(config: SessionConfig) -> Self {
+        RavenSession {
+            catalog: Catalog::new(),
+            store: ModelStore::new(),
+            scorer: RavenScorer::new(config.scorer.clone()),
+            config,
+        }
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The model store.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Replace the rule set (for ablations).
+    pub fn set_rules(&mut self, rules: RuleSet) {
+        self.config.rules = rules;
+    }
+
+    /// Register a table.
+    pub fn register_table(&self, name: &str, table: Table) -> Result<()> {
+        self.catalog
+            .register(name, table)
+            .map_err(|e| SessionError::Data(e.to_string()))
+    }
+
+    /// Store a trained model pipeline; returns its version.
+    pub fn store_model(&self, name: &str, pipeline: raven_ml::Pipeline) -> Result<u32> {
+        let version = self.store.store(name, pipeline);
+        // A model update invalidates cached inference sessions —
+        // the transactional-update story of the paper's §2.
+        self.scorer.invalidate(name);
+        Ok(version)
+    }
+
+    /// Statically analyze a Python pipeline script (paper §3.2), train the
+    /// extracted spec on the script's own dataflow result, and store it.
+    ///
+    /// `label_column` supplies training targets; it must exist in the
+    /// script's data plan output (or be provided via `labels`).
+    pub fn store_model_from_script(
+        &self,
+        name: &str,
+        script: &str,
+        labels: &[f64],
+    ) -> Result<u32> {
+        let analysis =
+            analyze(script, &self.catalog).map_err(|e| SessionError::Python(e.to_string()))?;
+        let spec: &PipelineSpec = analysis
+            .pipeline
+            .as_ref()
+            .ok_or_else(|| SessionError::Python("script defines no pipeline".into()))?;
+        // Execute the data plan to get the training frame.
+        let data_plan = analysis
+            .data_plan
+            .clone()
+            .ok_or_else(|| SessionError::Python("script has no dataflow".into()))?;
+        let table = self.execute_plan_raw(&data_plan)?;
+        let features: Vec<String> = analysis.feature_columns.clone();
+        let pipeline = spec
+            .fit(table.batch(), &features, labels, 42)
+            .map_err(|e| SessionError::Python(e.to_string()))?;
+        self.store_model(name, pipeline)
+    }
+
+    /// Parse + bind a SQL query into the unified IR (no optimization).
+    pub fn plan(&self, sql_text: &str) -> Result<Plan> {
+        let query = parse(sql_text).map_err(|e| SessionError::Sql(e.to_string()))?;
+        let mut binder = Binder::new(&self.catalog, &self.store);
+        binder
+            .bind_query(&query)
+            .map_err(|e| SessionError::Sql(e.to_string()))
+    }
+
+    /// Run the cross optimizer on a plan.
+    pub fn optimize(&self, plan: Plan) -> Result<(Plan, OptimizationReport)> {
+        let ctx = OptimizerContext {
+            catalog: &self.catalog,
+            rules: self.config.rules,
+            inline_max_tree_nodes: self.config.inline_max_tree_nodes,
+            device: self.config.device,
+            assume_fk_joins: true,
+        };
+        let optimizer = match self.config.optimizer_mode {
+            OptimizerMode::Heuristic => Optimizer::heuristic(),
+            OptimizerMode::CostBased => Optimizer::cost_based(),
+        };
+        optimizer
+            .run(plan, &ctx)
+            .map_err(|e| SessionError::Optimizer(e.to_string()))
+    }
+
+    /// Execute a SQL inference query end to end.
+    pub fn query(&self, sql_text: &str) -> Result<QueryResult> {
+        let start = Instant::now();
+        let plan = self.plan(sql_text)?;
+        let (optimized, report) = self.optimize(plan)?;
+        let exec_start = Instant::now();
+        let table = self.execute_plan_raw(&optimized)?;
+        let exec_time = exec_start.elapsed();
+        Ok(QueryResult {
+            table,
+            total_time: start.elapsed(),
+            exec_time,
+            report,
+        })
+    }
+
+    /// Execute an already-optimized plan.
+    pub fn execute_plan(&self, plan: &Plan) -> Result<Table> {
+        self.execute_plan_raw(plan)
+    }
+
+    /// EXPLAIN: plans before and after optimization, the rule report, and
+    /// the regenerated SQL (the Runtime Code Generator's output).
+    pub fn explain(&self, sql_text: &str) -> Result<ExplainOutput> {
+        let plan = self.plan(sql_text)?;
+        let logical = plan.to_string();
+        let (optimized, report) = self.optimize(plan)?;
+        Ok(ExplainOutput {
+            logical_plan: logical,
+            optimized_plan: optimized.to_string(),
+            report_summary: report.summary(),
+            generated_sql: codegen::to_sql(&optimized),
+        })
+    }
+
+    /// Inference-session cache stats (hits, misses).
+    pub fn session_cache_stats(&self) -> (u64, u64) {
+        self.scorer.cache_stats()
+    }
+
+    fn execute_plan_raw(&self, plan: &Plan) -> Result<Table> {
+        Executor::new(&self.catalog, &self.scorer, self.config.exec)
+            .execute(plan)
+            .map_err(|e| SessionError::Execution(e.to_string()))
+    }
+}
+
+/// Make the session's model store usable where an `Arc`-based resolver is
+/// needed.
+impl raven_sql::ModelResolver for RavenSession {
+    fn resolve(&self, name: &str) -> Option<Arc<raven_ml::Pipeline>> {
+        self.store.get(name).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_datagen::{flights, hospital, train};
+
+    fn hospital_session() -> (RavenSession, raven_datagen::HospitalData) {
+        let session = RavenSession::with_config(SessionConfig::for_tests());
+        let data = hospital::generate(500, 42);
+        data.register(session.catalog()).unwrap();
+        let model = train::hospital_tree(&data, 6).unwrap();
+        session.store_model("duration_of_stay", model).unwrap();
+        (session, data)
+    }
+
+    const RUNNING_EXAMPLE_SQL: &str = "\
+        DECLARE @model varbinary(max) = (SELECT model FROM scoring_models \
+          WHERE model_name = 'duration_of_stay');\
+        WITH data AS (\
+          SELECT * FROM patient_info AS pi \
+          JOIN blood_tests AS bt ON pi.id = bt.id \
+          JOIN prenatal_tests AS pt ON bt.id = pt.id);\
+        SELECT d.id, p.length_of_stay \
+        FROM PREDICT(MODEL = @model, DATA = data AS d) \
+        WITH (length_of_stay FLOAT) AS p \
+        WHERE d.pregnant = 1 AND p.length_of_stay > 6;";
+
+    #[test]
+    fn running_example_executes() {
+        let (session, data) = hospital_session();
+        let result = session.query(RUNNING_EXAMPLE_SQL).unwrap();
+        assert_eq!(result.table.schema().names(), vec!["d.id", "p.length_of_stay"]);
+        // Every returned row is pregnant with a long predicted stay;
+        // cross-check against raw data.
+        let batch = data.joined_batch();
+        let pregnant = batch.column_by_name("pregnant").unwrap().i64_values().unwrap();
+        let ids = result.table.column_by_name("d.id").unwrap().i64_values().unwrap();
+        assert!(!ids.is_empty());
+        for &id in ids {
+            assert_eq!(pregnant[id as usize], 1);
+        }
+        let stays = result
+            .table
+            .column_by_name("p.length_of_stay")
+            .unwrap()
+            .f64_values()
+            .unwrap();
+        assert!(stays.iter().all(|&s| s > 6.0));
+    }
+
+    #[test]
+    fn optimization_preserves_results() {
+        let (mut session, _) = hospital_session();
+        let optimized = session.query(RUNNING_EXAMPLE_SQL).unwrap();
+        session.set_rules(RuleSet::none());
+        let unoptimized = session.query(RUNNING_EXAMPLE_SQL).unwrap();
+        assert_eq!(optimized.table.num_rows(), unoptimized.table.num_rows());
+        let sort = |t: &Table| -> Vec<i64> {
+            let mut v = t
+                .column_by_name("d.id")
+                .unwrap()
+                .i64_values()
+                .unwrap()
+                .to_vec();
+            v.sort();
+            v
+        };
+        assert_eq!(sort(&optimized.table), sort(&unoptimized.table));
+    }
+
+    #[test]
+    fn explain_shows_cross_optimizations() {
+        // Use the exact Fig.-1 tree so the optimization cascade is fully
+        // deterministic: pregnant=1 prunes the branch that used the
+        // prenatal feature → projection pushdown drops it → the
+        // prenatal_tests join is eliminated → the tiny tree inlines.
+        use raven_ml::featurize::Transform;
+        use raven_ml::tree::TreeNode;
+        use raven_ml::{DecisionTree, Estimator, FeatureStep, Pipeline};
+        let session = RavenSession::with_config(SessionConfig::for_tests());
+        let data = hospital::generate(300, 42);
+        data.register(session.catalog()).unwrap();
+        let tree = DecisionTree::from_nodes(
+            vec![
+                TreeNode::Split {
+                    feature: 0, // pregnant
+                    threshold: 0.5,
+                    left: 1,
+                    right: 4,
+                },
+                TreeNode::Split {
+                    feature: 2, // fetal_hr (prenatal feature)
+                    threshold: 50.0,
+                    left: 2,
+                    right: 3,
+                },
+                TreeNode::Leaf { value: 1.0 },
+                TreeNode::Leaf { value: 3.0 },
+                TreeNode::Split {
+                    feature: 1, // bp
+                    threshold: 140.0,
+                    left: 5,
+                    right: 6,
+                },
+                TreeNode::Leaf { value: 4.0 },
+                TreeNode::Leaf { value: 7.0 },
+            ],
+            3,
+        )
+        .unwrap();
+        let pipeline = Pipeline::new(
+            vec![
+                FeatureStep::new("pregnant", Transform::Identity),
+                FeatureStep::new("bp", Transform::Identity),
+                FeatureStep::new("fetal_hr", Transform::Identity),
+            ],
+            Estimator::Tree(tree),
+        )
+        .unwrap();
+        session.store_model("duration_of_stay", pipeline).unwrap();
+
+        let explain = session.explain(RUNNING_EXAMPLE_SQL).unwrap();
+        assert!(explain.logical_plan.contains("Predict"));
+        assert!(
+            explain.report_summary.contains("predicate_model_pruning"),
+            "{}",
+            explain.report_summary
+        );
+        assert!(
+            !explain.optimized_plan.contains("prenatal_tests"),
+            "join not eliminated:\n{}",
+            explain.optimized_plan
+        );
+        assert!(explain.generated_sql.contains("SELECT"));
+        let display = explain.to_string();
+        assert!(display.contains("== Generated SQL =="));
+    }
+
+    #[test]
+    fn flight_query_with_model() {
+        let session = RavenSession::with_config(SessionConfig::for_tests());
+        let data = flights::generate(1000, &flights::FlightParams::default());
+        data.register(session.catalog()).unwrap();
+        let model = train::flight_logistic(&data, 0.01, 60).unwrap();
+        session.store_model("delay", model).unwrap();
+        let dest = data.airports[0].clone();
+        let result = session
+            .query(&format!(
+                "SELECT f.id, p.prob FROM PREDICT(MODEL = 'delay', \
+                 DATA = flights AS f) WITH (prob FLOAT) AS p \
+                 WHERE f.dest = '{dest}'"
+            ))
+            .unwrap();
+        assert!(result.table.num_rows() > 0);
+        assert!(result
+            .report
+            .rule_applications
+            .iter()
+            .any(|(n, _)| n == "predicate_model_pruning"));
+    }
+
+    #[test]
+    fn model_update_invalidates_sessions() {
+        let (session, data) = hospital_session();
+        let _ = session.query(RUNNING_EXAMPLE_SQL).unwrap();
+        // Update the model; next query must rebuild sessions, not reuse.
+        let model2 = train::hospital_tree(&data, 3).unwrap();
+        session.store_model("duration_of_stay", model2).unwrap();
+        assert_eq!(session.store().latest_version("duration_of_stay"), 2);
+        let _ = session.query(RUNNING_EXAMPLE_SQL).unwrap();
+    }
+
+    #[test]
+    fn store_model_from_script_end_to_end() {
+        let session = RavenSession::with_config(SessionConfig::for_tests());
+        let data = hospital::generate(400, 7);
+        data.register(session.catalog()).unwrap();
+        let script = r#"
+import pandas as pd
+from sklearn.pipeline import Pipeline
+from sklearn.preprocessing import StandardScaler
+from sklearn.tree import DecisionTreeClassifier
+
+pi = pd.read_sql("patient_info")
+bt = pd.read_sql("blood_tests")
+joined = pi.merge(bt, on="id")
+features = joined[["age", "bp", "pregnant"]]
+model_pipeline = Pipeline([
+    ("scaler", StandardScaler()),
+    ("clf", DecisionTreeClassifier(max_depth=6)),
+])
+predictions = model_pipeline.predict(features)
+"#;
+        let labels: Vec<f64> = data
+            .length_of_stay
+            .iter()
+            .map(|&s| (s > 4.0) as i64 as f64)
+            .collect();
+        session
+            .store_model_from_script("from_script", script, &labels)
+            .unwrap();
+        let result = session
+            .query(
+                "SELECT p.prob FROM PREDICT(MODEL = 'from_script', \
+                 DATA = (SELECT * FROM patient_info AS pi JOIN blood_tests AS bt \
+                 ON pi.id = bt.id) AS d) WITH (prob FLOAT) AS p",
+            )
+            .unwrap();
+        assert_eq!(result.table.num_rows(), 400);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let session = RavenSession::with_config(SessionConfig::for_tests());
+        assert!(matches!(
+            session.query("SELECT * FROM nope"),
+            Err(SessionError::Sql(_))
+        ));
+        assert!(matches!(
+            session.query("THIS IS NOT SQL"),
+            Err(SessionError::Sql(_))
+        ));
+    }
+
+    #[test]
+    fn relational_only_queries_work() {
+        let (session, _) = hospital_session();
+        let result = session
+            .query(
+                "SELECT pregnant, COUNT(*) AS n, AVG(age) AS mean_age \
+                 FROM patient_info GROUP BY pregnant ORDER BY n DESC",
+            )
+            .unwrap();
+        assert_eq!(result.table.num_rows(), 2);
+    }
+}

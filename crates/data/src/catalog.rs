@@ -1,0 +1,164 @@
+//! The catalog: named tables plus their statistics.
+
+use crate::error::DataError;
+use crate::stats::TableStats;
+use crate::table::Table;
+use crate::Result;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A thread-safe registry of named tables.
+///
+/// Plays the role of the database catalog: the SQL binder resolves table
+/// names against it and the optimizer pulls [`TableStats`] from it. Stats
+/// are computed once on registration (tables are immutable).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    inner: RwLock<HashMap<String, CatalogEntry>>,
+}
+
+#[derive(Debug, Clone)]
+struct CatalogEntry {
+    table: Arc<Table>,
+    stats: Arc<TableStats>,
+}
+
+impl Catalog {
+    /// New empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table under `name`. Errors if the name is taken.
+    pub fn register(&self, name: &str, table: Table) -> Result<()> {
+        let mut map = self.inner.write();
+        if map.contains_key(name) {
+            return Err(DataError::TableExists(name.to_string()));
+        }
+        let stats = Arc::new(TableStats::compute(&table));
+        map.insert(
+            name.to_string(),
+            CatalogEntry {
+                table: Arc::new(table),
+                stats,
+            },
+        );
+        Ok(())
+    }
+
+    /// Replace (or insert) a table under `name`.
+    pub fn register_or_replace(&self, name: &str, table: Table) {
+        let stats = Arc::new(TableStats::compute(&table));
+        self.inner.write().insert(
+            name.to_string(),
+            CatalogEntry {
+                table: Arc::new(table),
+                stats,
+            },
+        );
+    }
+
+    /// Remove a table. Errors if absent.
+    pub fn deregister(&self, name: &str) -> Result<()> {
+        self.inner
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DataError::TableNotFound(name.to_string()))
+    }
+
+    /// Fetch a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.inner
+            .read()
+            .get(name)
+            .map(|e| e.table.clone())
+            .ok_or_else(|| DataError::TableNotFound(name.to_string()))
+    }
+
+    /// Fetch precomputed statistics for a table.
+    pub fn stats(&self, name: &str) -> Result<Arc<TableStats>> {
+        self.inner
+            .read()
+            .get(name)
+            .map(|e| e.stats.clone())
+            .ok_or_else(|| DataError::TableNotFound(name.to_string()))
+    }
+
+    /// True if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// All registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+
+    fn t() -> Table {
+        let schema = Schema::from_pairs(&[("x", DataType::Int64)]).into_shared();
+        Table::try_new(schema, vec![Column::from(vec![1i64, 2])]).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = Catalog::new();
+        cat.register("a", t()).unwrap();
+        assert!(cat.contains("a"));
+        assert_eq!(cat.table("a").unwrap().num_rows(), 2);
+        assert_eq!(cat.stats("a").unwrap().row_count, 2);
+        assert!(matches!(
+            cat.table("b"),
+            Err(DataError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let cat = Catalog::new();
+        cat.register("a", t()).unwrap();
+        assert!(matches!(
+            cat.register("a", t()),
+            Err(DataError::TableExists(_))
+        ));
+        // register_or_replace succeeds silently.
+        cat.register_or_replace("a", t());
+    }
+
+    #[test]
+    fn deregister() {
+        let cat = Catalog::new();
+        cat.register("a", t()).unwrap();
+        cat.deregister("a").unwrap();
+        assert!(!cat.contains("a"));
+        assert!(cat.deregister("a").is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let cat = Catalog::new();
+        cat.register("zeta", t()).unwrap();
+        cat.register("alpha", t()).unwrap();
+        assert_eq!(cat.table_names(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cat = Arc::new(Catalog::new());
+        cat.register("a", t()).unwrap();
+        let c2 = cat.clone();
+        let handle = std::thread::spawn(move || c2.table("a").unwrap().num_rows());
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+}

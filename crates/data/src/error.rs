@@ -1,0 +1,78 @@
+//! Error type for the data substrate.
+
+use std::fmt;
+
+/// Errors produced by the data layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A column/field name was not found in a schema.
+    FieldNotFound(String),
+    /// Two schemas or columns that must match did not.
+    SchemaMismatch(String),
+    /// A value had the wrong type for the requested operation.
+    TypeMismatch { expected: String, actual: String },
+    /// Column lengths within a batch/table disagree.
+    LengthMismatch { expected: usize, actual: usize },
+    /// A table name was not found in the catalog.
+    TableNotFound(String),
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// Index out of bounds.
+    OutOfBounds { index: usize, len: usize },
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::FieldNotFound(name) => write!(f, "field not found: {name}"),
+            DataError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            DataError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            DataError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            DataError::TableNotFound(name) => write!(f, "table not found: {name}"),
+            DataError::TableExists(name) => write!(f, "table already exists: {name}"),
+            DataError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            DataError::Internal(msg) => write!(f, "internal data error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            DataError::FieldNotFound("x".into()).to_string(),
+            "field not found: x"
+        );
+        assert_eq!(
+            DataError::TypeMismatch {
+                expected: "Float64".into(),
+                actual: "Utf8".into()
+            }
+            .to_string(),
+            "type mismatch: expected Float64, got Utf8"
+        );
+        assert_eq!(
+            DataError::OutOfBounds { index: 4, len: 2 }.to_string(),
+            "index 4 out of bounds for length 2"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(DataError::Internal("x".into()));
+    }
+}

@@ -1,0 +1,38 @@
+//! # raven-data
+//!
+//! Columnar in-memory data substrate for the raven-rs reproduction of
+//! *"Extending Relational Query Processing with ML Inference"* (CIDR 2020).
+//!
+//! This crate plays the role of SQL Server's storage layer in the paper: it
+//! provides the typed values, columns, record batches, tables, table
+//! statistics and the catalog that every other crate builds on.
+//!
+//! Design notes:
+//! * Columns are dense (no null bitmap). The paper's workloads — hospital
+//!   length-of-stay and flight delay — are fully materialized feature
+//!   tables, so nullability is out of scope; see `DESIGN.md`.
+//! * `Table` owns a single contiguous chunk per column. Execution splits
+//!   tables into [`RecordBatch`] morsels for parallel processing.
+//! * Statistics ([`stats`]) power the paper's "derived predicates from data
+//!   properties" optimization (§4.1 of the paper).
+
+pub mod batch;
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod types;
+
+pub use batch::RecordBatch;
+pub use catalog::Catalog;
+pub use column::Column;
+pub use error::DataError;
+pub use schema::{Field, Schema};
+pub use stats::{ColumnStats, TableStats};
+pub use table::Table;
+pub use types::{DataType, Value};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DataError>;

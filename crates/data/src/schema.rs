@@ -1,0 +1,218 @@
+//! Schemas: named, typed field lists.
+
+use crate::error::DataError;
+use crate::types::DataType;
+use crate::Result;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed field within a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.dtype)
+    }
+}
+
+/// An ordered list of fields describing a batch or table.
+///
+/// Schemas are cheap to share via `Arc<Schema>`; plan nodes hold shared
+/// schemas rather than cloning field lists.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            fields: pairs
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    /// Wrap in `Arc` for sharing.
+    pub fn into_shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+
+    /// Field list.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at `idx`.
+    pub fn field(&self, idx: usize) -> Result<&Field> {
+        self.fields.get(idx).ok_or(DataError::OutOfBounds {
+            index: idx,
+            len: self.fields.len(),
+        })
+    }
+
+    /// Position of the field named `name`.
+    ///
+    /// Lookup first tries an exact match, then an unqualified match: a
+    /// schema field `"pi.age"` matches a request for `"age"` when
+    /// unambiguous. This mirrors SQL name resolution over joined inputs.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        if let Some(pos) = self.fields.iter().position(|f| f.name == name) {
+            return Ok(pos);
+        }
+        let matches: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.name
+                    .rsplit_once('.')
+                    .map(|(_, suffix)| suffix == name)
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [one] => Ok(*one),
+            [] => Err(DataError::FieldNotFound(name.to_string())),
+            _ => Err(DataError::SchemaMismatch(format!(
+                "ambiguous column name: {name}"
+            ))),
+        }
+    }
+
+    /// True if a field with this (possibly unqualified) name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_ok()
+    }
+
+    /// Concatenate two schemas (used by joins).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Keep only the fields at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            fields.push(self.field(i)?.clone());
+        }
+        Ok(Schema { fields })
+    }
+
+    /// All field names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("age", DataType::Float64),
+            ("pregnant", DataType::Bool),
+        ])
+    }
+
+    #[test]
+    fn index_and_contains() {
+        let s = sample();
+        assert_eq!(s.index_of("age").unwrap(), 1);
+        assert!(s.contains("pregnant"));
+        assert!(!s.contains("missing"));
+        assert!(matches!(
+            s.index_of("missing"),
+            Err(DataError::FieldNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn qualified_name_resolution() {
+        let s = Schema::from_pairs(&[
+            ("pi.id", DataType::Int64),
+            ("bt.id", DataType::Int64),
+            ("pi.age", DataType::Float64),
+        ]);
+        // Unqualified unique suffix resolves.
+        assert_eq!(s.index_of("age").unwrap(), 2);
+        // Ambiguous suffix errors.
+        assert!(matches!(
+            s.index_of("id"),
+            Err(DataError::SchemaMismatch(_))
+        ));
+        // Exact qualified lookup always works.
+        assert_eq!(s.index_of("bt.id").unwrap(), 1);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = Schema::from_pairs(&[("x", DataType::Int64)]);
+        let b = Schema::from_pairs(&[("y", DataType::Utf8)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let s = sample();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.names(), vec!["pregnant", "id"]);
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::from_pairs(&[("a", DataType::Int64)]);
+        assert_eq!(s.to_string(), "[a: Int64]");
+    }
+}

@@ -1,0 +1,242 @@
+//! Table and column statistics.
+//!
+//! Statistics drive two things in the reproduction:
+//! * classical cost-based decisions (row counts, selectivity guesses);
+//! * the paper's §4.1 "derived predicates from data properties": if the
+//!   stats say `min(age) = 36`, the optimizer may derive `age > 35` and use
+//!   it for predicate-based model pruning even without an explicit filter.
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::types::Value;
+use std::collections::BTreeSet;
+
+/// Maximum number of distinct values tracked per column before the distinct
+/// set is dropped (treated as high-cardinality).
+pub const DISTINCT_TRACK_LIMIT: usize = 64;
+
+/// Statistics for a single column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name (matches the schema field name).
+    pub name: String,
+    /// Row count.
+    pub count: usize,
+    /// Minimum value (numeric columns only).
+    pub min: Option<f64>,
+    /// Maximum value (numeric columns only).
+    pub max: Option<f64>,
+    /// Exact distinct values, if the cardinality stayed under
+    /// [`DISTINCT_TRACK_LIMIT`]. Tracked for string and integer columns —
+    /// exactly the categorical features the paper's clustering/pruning
+    /// optimizations care about.
+    pub distinct: Option<Vec<Value>>,
+}
+
+impl ColumnStats {
+    /// Compute stats for one column.
+    pub fn compute(name: &str, col: &Column) -> ColumnStats {
+        let count = col.len();
+        let (mut min, mut max) = (None, None);
+        let mut distinct: Option<Vec<Value>> = None;
+
+        match col {
+            Column::Float64(v) => {
+                for &x in v {
+                    min = Some(min.map_or(x, |m: f64| m.min(x)));
+                    max = Some(max.map_or(x, |m: f64| m.max(x)));
+                }
+            }
+            Column::Int64(v) => {
+                let mut set = BTreeSet::new();
+                let mut overflow = false;
+                for &x in v {
+                    let xf = x as f64;
+                    min = Some(min.map_or(xf, |m: f64| m.min(xf)));
+                    max = Some(max.map_or(xf, |m: f64| m.max(xf)));
+                    if !overflow {
+                        set.insert(x);
+                        if set.len() > DISTINCT_TRACK_LIMIT {
+                            overflow = true;
+                        }
+                    }
+                }
+                if !overflow && count > 0 {
+                    distinct = Some(set.into_iter().map(Value::Int64).collect());
+                }
+            }
+            Column::Bool(v) => {
+                for &b in v {
+                    let xf = if b { 1.0 } else { 0.0 };
+                    min = Some(min.map_or(xf, |m: f64| m.min(xf)));
+                    max = Some(max.map_or(xf, |m: f64| m.max(xf)));
+                }
+                if count > 0 {
+                    let mut vals: Vec<Value> = Vec::new();
+                    if v.contains(&false) {
+                        vals.push(Value::Bool(false));
+                    }
+                    if v.contains(&true) {
+                        vals.push(Value::Bool(true));
+                    }
+                    distinct = Some(vals);
+                }
+            }
+            Column::Utf8(v) => {
+                let mut set = BTreeSet::new();
+                let mut overflow = false;
+                for s in v {
+                    if !overflow {
+                        set.insert(s.clone());
+                        if set.len() > DISTINCT_TRACK_LIMIT {
+                            overflow = true;
+                        }
+                    }
+                }
+                if !overflow && count > 0 {
+                    distinct = Some(set.into_iter().map(Value::Utf8).collect());
+                }
+            }
+        }
+
+        ColumnStats {
+            name: name.to_string(),
+            count,
+            min,
+            max,
+            distinct,
+        }
+    }
+
+    /// True if every row holds one single value (a constant column).
+    /// Constant columns are what predicate derivation exploits.
+    pub fn constant_value(&self) -> Option<Value> {
+        match &self.distinct {
+            Some(values) if values.len() == 1 => Some(values[0].clone()),
+            _ => match (self.min, self.max) {
+                (Some(lo), Some(hi)) if lo == hi && self.count > 0 => {
+                    Some(Value::Float64(lo))
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Number of distinct values if tracked.
+    pub fn n_distinct(&self) -> Option<usize> {
+        self.distinct.as_ref().map(Vec::len)
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    pub row_count: usize,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute stats for every column of `table`.
+    pub fn compute(table: &Table) -> TableStats {
+        let batch = table.batch();
+        let columns = batch
+            .schema()
+            .fields()
+            .iter()
+            .zip(batch.columns())
+            .map(|(f, c)| ColumnStats::compute(&f.name, c))
+            .collect();
+        TableStats {
+            row_count: table.num_rows(),
+            columns,
+        }
+    }
+
+    /// Stats for a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+    
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("age", DataType::Float64),
+            ("dest", DataType::Utf8),
+            ("pregnant", DataType::Bool),
+            ("code", DataType::Int64),
+        ])
+        .into_shared();
+        Table::try_new(
+            schema,
+            vec![
+                Column::from(vec![36.0, 41.0, 50.0]),
+                Column::from(vec!["JFK", "JFK", "JFK"]),
+                Column::from(vec![true, true, true]),
+                Column::from(vec![7i64, 7, 9]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn min_max_float() {
+        let stats = TableStats::compute(&table());
+        let age = stats.column("age").unwrap();
+        assert_eq!(age.min, Some(36.0));
+        assert_eq!(age.max, Some(50.0));
+        assert_eq!(age.count, 3);
+        assert!(age.distinct.is_none());
+    }
+
+    #[test]
+    fn constant_detection() {
+        let stats = TableStats::compute(&table());
+        assert_eq!(
+            stats.column("dest").unwrap().constant_value(),
+            Some(Value::from("JFK"))
+        );
+        assert_eq!(
+            stats.column("pregnant").unwrap().constant_value(),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(stats.column("age").unwrap().constant_value(), None);
+        assert_eq!(stats.column("code").unwrap().constant_value(), None);
+    }
+
+    #[test]
+    fn distinct_tracking_and_overflow() {
+        let many: Vec<i64> = (0..200).collect();
+        let stats = ColumnStats::compute("x", &Column::Int64(many));
+        assert!(stats.distinct.is_none());
+
+        let few = ColumnStats::compute("y", &Column::Int64(vec![2, 1, 2, 3]));
+        assert_eq!(
+            few.distinct,
+            Some(vec![Value::Int64(1), Value::Int64(2), Value::Int64(3)])
+        );
+        assert_eq!(few.n_distinct(), Some(3));
+    }
+
+    #[test]
+    fn empty_column_stats() {
+        let stats = ColumnStats::compute("e", &Column::Float64(vec![]));
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.min, None);
+        assert_eq!(stats.constant_value(), None);
+    }
+
+    #[test]
+    fn table_row_count() {
+        let stats = TableStats::compute(&table());
+        assert_eq!(stats.row_count, 3);
+        assert_eq!(stats.columns.len(), 4);
+        assert!(stats.column("nope").is_none());
+    }
+}

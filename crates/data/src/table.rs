@@ -1,0 +1,186 @@
+//! Tables: named, fully materialized relations.
+
+use crate::batch::RecordBatch;
+use crate::column::Column;
+use crate::error::DataError;
+use crate::schema::Schema;
+use crate::types::Value;
+use crate::Result;
+use std::sync::Arc;
+
+/// A fully materialized in-memory relation.
+///
+/// A `Table` is a single [`RecordBatch`]-shaped chunk plus helpers to split
+/// it into morsels for parallel execution. Registered tables live in the
+/// [`crate::Catalog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    batch: RecordBatch,
+}
+
+impl Table {
+    /// Create a table from a schema and columns.
+    pub fn try_new(schema: Arc<Schema>, columns: Vec<Column>) -> Result<Self> {
+        Ok(Table {
+            batch: RecordBatch::try_new(schema, columns)?,
+        })
+    }
+
+    /// Wrap an existing batch.
+    pub fn from_batch(batch: RecordBatch) -> Self {
+        Table { batch }
+    }
+
+    /// Build a table from rows of [`Value`]s (test/tooling convenience).
+    pub fn from_rows(schema: Arc<Schema>, rows: &[Vec<Value>]) -> Result<Self> {
+        let mut columns: Vec<Column> = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.dtype, rows.len()))
+            .collect();
+        for row in rows {
+            if row.len() != schema.len() {
+                return Err(DataError::LengthMismatch {
+                    expected: schema.len(),
+                    actual: row.len(),
+                });
+            }
+            for (col, value) in columns.iter_mut().zip(row.iter().cloned()) {
+                col.push(value)?;
+            }
+        }
+        Table::try_new(schema, columns)
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.batch.schema()
+    }
+
+    /// Row count.
+    pub fn num_rows(&self) -> usize {
+        self.batch.num_rows()
+    }
+
+    /// The whole table as one batch.
+    pub fn batch(&self) -> &RecordBatch {
+        &self.batch
+    }
+
+    /// Consume into the underlying batch.
+    pub fn into_batch(self) -> RecordBatch {
+        self.batch
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        self.batch.column_by_name(name)
+    }
+
+    /// Split into morsels of at most `batch_size` rows.
+    ///
+    /// The last morsel may be smaller. `batch_size == 0` errors.
+    pub fn morsels(&self, batch_size: usize) -> Result<Vec<RecordBatch>> {
+        if batch_size == 0 {
+            return Err(DataError::Internal("batch_size must be > 0".into()));
+        }
+        let n = self.num_rows();
+        if n == 0 {
+            return Ok(vec![self.batch.clone()]);
+        }
+        let mut out = Vec::with_capacity(n.div_ceil(batch_size));
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch_size).min(n);
+            out.push(self.batch.slice(start, end)?);
+            start = end;
+        }
+        Ok(out)
+    }
+
+    /// Row ranges `[start, end)` that partition the table into `parts`
+    /// near-equal pieces (for parallel workers). Never returns empty ranges.
+    pub fn partition_ranges(&self, parts: usize) -> Vec<(usize, usize)> {
+        let n = self.num_rows();
+        if n == 0 || parts == 0 {
+            return vec![];
+        }
+        let parts = parts.min(n);
+        let base = n / parts;
+        let extra = n % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0;
+        for i in 0..parts {
+            let len = base + usize::from(i < extra);
+            ranges.push((start, start + len));
+            start += len;
+        }
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn sample(n: usize) -> Table {
+        let schema = Schema::from_pairs(&[("id", DataType::Int64)]).into_shared();
+        let col = Column::Int64((0..n as i64).collect());
+        Table::try_new(schema, vec![col]).unwrap()
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let schema = Schema::from_pairs(&[
+            ("name", DataType::Utf8),
+            ("age", DataType::Int64),
+        ])
+        .into_shared();
+        let t = Table::from_rows(
+            schema,
+            &[
+                vec![Value::from("ann"), Value::Int64(34)],
+                vec![Value::from("bob"), Value::Int64(41)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.batch().row(1).unwrap()[0], Value::from("bob"));
+    }
+
+    #[test]
+    fn from_rows_validates_width() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int64)]).into_shared();
+        assert!(Table::from_rows(schema, &[vec![]]).is_err());
+    }
+
+    #[test]
+    fn morsels_cover_all_rows() {
+        let t = sample(10);
+        let m = t.morsels(4).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.iter().map(|b| b.num_rows()).sum::<usize>(), 10);
+        assert_eq!(m[2].num_rows(), 2);
+        assert!(t.morsels(0).is_err());
+    }
+
+    #[test]
+    fn morsels_of_empty_table() {
+        let t = sample(0);
+        let m = t.morsels(8).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].num_rows(), 0);
+    }
+
+    #[test]
+    fn partition_ranges_balance() {
+        let t = sample(10);
+        let r = t.partition_ranges(3);
+        assert_eq!(r, vec![(0, 4), (4, 7), (7, 10)]);
+        // More parts than rows clamps to one row per part.
+        let r = sample(2).partition_ranges(8);
+        assert_eq!(r, vec![(0, 1), (1, 2)]);
+        assert!(sample(0).partition_ranges(4).is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Scalar types and values.
+
+use crate::error::DataError;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The logical type of a column or scalar value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string (used for categorical features such as airport codes).
+    Utf8,
+}
+
+impl DataType {
+    /// True if the type is numeric (castable to `f64`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "Int64",
+            DataType::Float64 => "Float64",
+            DataType::Bool => "Bool",
+            DataType::Utf8 => "Utf8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value.
+///
+/// `Value` is the unit of exchange between the expression evaluator, the
+/// SQL literal parser, and statistics. Columnar execution never boxes rows
+/// into `Value`s on the hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int64(i64),
+    Float64(f64),
+    Bool(bool),
+    Utf8(String),
+}
+
+impl Value {
+    /// The [`DataType`] of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int64(_) => DataType::Int64,
+            Value::Float64(_) => DataType::Float64,
+            Value::Bool(_) => DataType::Bool,
+            Value::Utf8(_) => DataType::Utf8,
+        }
+    }
+
+    /// Cast to `f64` if numeric (booleans become 0.0/1.0).
+    pub fn as_f64(&self) -> Result<f64, DataError> {
+        match self {
+            Value::Int64(v) => Ok(*v as f64),
+            Value::Float64(v) => Ok(*v),
+            Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            Value::Utf8(_) => Err(DataError::TypeMismatch {
+                expected: "numeric".into(),
+                actual: "Utf8".into(),
+            }),
+        }
+    }
+
+    /// Cast to `i64` if integral.
+    pub fn as_i64(&self) -> Result<i64, DataError> {
+        match self {
+            Value::Int64(v) => Ok(*v),
+            Value::Float64(v) => Ok(*v as i64),
+            Value::Bool(b) => Ok(*b as i64),
+            Value::Utf8(_) => Err(DataError::TypeMismatch {
+                expected: "integer".into(),
+                actual: "Utf8".into(),
+            }),
+        }
+    }
+
+    /// Interpret as boolean.
+    pub fn as_bool(&self) -> Result<bool, DataError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Int64(v) => Ok(*v != 0),
+            other => Err(DataError::TypeMismatch {
+                expected: "Bool".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrow as `&str` if this is a string value.
+    pub fn as_str(&self) -> Result<&str, DataError> {
+        match self {
+            Value::Utf8(s) => Ok(s),
+            other => Err(DataError::TypeMismatch {
+                expected: "Utf8".into(),
+                actual: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Total order across values of the same type family.
+    ///
+    /// Numeric values compare numerically across `Int64`/`Float64`/`Bool`;
+    /// strings compare lexicographically; comparing a string with a number
+    /// returns `None`.
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Utf8(a), Value::Utf8(b)) => Some(a.cmp(b)),
+            (Value::Utf8(_), _) | (_, Value::Utf8(_)) => None,
+            (a, b) => {
+                let (a, b) = (a.as_f64().ok()?, b.as_f64().ok()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Utf8(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Utf8(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Utf8(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_of_values() {
+        assert_eq!(Value::Int64(1).data_type(), DataType::Int64);
+        assert_eq!(Value::Float64(1.5).data_type(), DataType::Float64);
+        assert_eq!(Value::Bool(true).data_type(), DataType::Bool);
+        assert_eq!(Value::from("x").data_type(), DataType::Utf8);
+    }
+
+    #[test]
+    fn numeric_casts() {
+        assert_eq!(Value::Int64(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::Bool(true).as_f64().unwrap(), 1.0);
+        assert_eq!(Value::Float64(2.9).as_i64().unwrap(), 2);
+        assert!(Value::from("a").as_f64().is_err());
+    }
+
+    #[test]
+    fn bool_casts() {
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert!(Value::Int64(7).as_bool().unwrap());
+        assert!(!Value::Int64(0).as_bool().unwrap());
+        assert!(Value::Float64(1.0).as_bool().is_err());
+    }
+
+    #[test]
+    fn cross_type_ordering() {
+        use std::cmp::Ordering::*;
+        assert_eq!(
+            Value::Int64(2).partial_cmp_value(&Value::Float64(2.5)),
+            Some(Less)
+        );
+        assert_eq!(
+            Value::from("a").partial_cmp_value(&Value::from("b")),
+            Some(Less)
+        );
+        assert_eq!(Value::from("a").partial_cmp_value(&Value::Int64(1)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int64(5).to_string(), "5");
+        assert_eq!(Value::from("jfk").to_string(), "'jfk'");
+        assert_eq!(DataType::Float64.to_string(), "Float64");
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+    }
+}

@@ -1,0 +1,226 @@
+//! The flight-delay workload (the paper's second dataset, standing in for
+//! the Kaggle `usdot/flight-delays` data).
+
+use raven_data::{Catalog, Column, DataType, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct FlightParams {
+    pub n_airports: usize,
+    pub n_carriers: usize,
+    pub seed: u64,
+}
+
+impl Default for FlightParams {
+    fn default() -> Self {
+        FlightParams {
+            n_airports: 30,
+            n_carriers: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// The flights table plus training labels.
+#[derive(Debug, Clone)]
+pub struct FlightData {
+    /// `flights(id, origin, dest, carrier, distance, dep_hour, day_of_week)`.
+    pub flights: Table,
+    /// Binary delay labels (training only).
+    pub delayed: Vec<f64>,
+    /// Airport code list (index = category id).
+    pub airports: Vec<String>,
+    /// Carrier code list.
+    pub carriers: Vec<String>,
+}
+
+/// Feature columns used by flight models, in canonical order.
+pub const FEATURES: [&str; 6] = [
+    "origin", "dest", "carrier", "distance", "dep_hour", "day_of_week",
+];
+
+/// Generate `n` flights.
+pub fn generate(n: usize, params: &FlightParams) -> FlightData {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let airports: Vec<String> = (0..params.n_airports)
+        .map(|i| {
+            format!(
+                "A{}{}{}",
+                (b'A' + (i / 26 / 26) as u8 % 26) as char,
+                (b'A' + (i / 26) as u8 % 26) as char,
+                (b'A' + (i % 26) as u8) as char
+            )
+        })
+        .collect();
+    let carriers: Vec<String> = (0..params.n_carriers)
+        .map(|i| format!("C{i}"))
+        .collect();
+    // Hidden per-airport / per-carrier delay propensities.
+    let airport_bias: Vec<f64> = (0..params.n_airports)
+        .map(|_| rng.gen_range(-1.0..1.0f64))
+        .collect();
+    let carrier_bias: Vec<f64> = (0..params.n_carriers)
+        .map(|_| rng.gen_range(-0.8..0.8f64))
+        .collect();
+
+    let mut origin = Vec::with_capacity(n);
+    let mut dest = Vec::with_capacity(n);
+    let mut carrier = Vec::with_capacity(n);
+    let mut distance = Vec::with_capacity(n);
+    let mut dep_hour = Vec::with_capacity(n);
+    let mut dow = Vec::with_capacity(n);
+    let mut delayed = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let o = rng.gen_range(0..params.n_airports);
+        let mut d = rng.gen_range(0..params.n_airports);
+        if d == o {
+            d = (d + 1) % params.n_airports;
+        }
+        let c = rng.gen_range(0..params.n_carriers);
+        let dist = rng.gen_range(100.0..4800.0f64);
+        let hour = rng.gen_range(5..23i64);
+        let day = rng.gen_range(1..=7i64);
+
+        let score = airport_bias[o] * 0.7
+            + airport_bias[d]
+            + carrier_bias[c]
+            + (hour as f64 - 12.0) * 0.08 // evenings cascade
+            + (dist / 4800.0) * 0.4
+            + if day == 5 || day == 7 { 0.3 } else { 0.0 }
+            + rng.gen_range(-0.6..0.6f64);
+        delayed.push((score > 0.35) as i64 as f64);
+
+        origin.push(airports[o].clone());
+        dest.push(airports[d].clone());
+        carrier.push(carriers[c].clone());
+        distance.push(dist);
+        dep_hour.push(hour);
+        dow.push(day);
+    }
+
+    let flights = Table::try_new(
+        Schema_flights(),
+        vec![
+            Column::Int64((0..n as i64).collect()),
+            Column::Utf8(origin),
+            Column::Utf8(dest),
+            Column::Utf8(carrier),
+            Column::Float64(distance),
+            Column::Int64(dep_hour),
+            Column::Int64(dow),
+        ],
+    )
+    .expect("flights construction");
+
+    FlightData {
+        flights,
+        delayed,
+        airports,
+        carriers,
+    }
+}
+
+#[allow(non_snake_case)]
+fn Schema_flights() -> std::sync::Arc<raven_data::Schema> {
+    raven_data::Schema::from_pairs(&[
+        ("id", DataType::Int64),
+        ("origin", DataType::Utf8),
+        ("dest", DataType::Utf8),
+        ("carrier", DataType::Utf8),
+        ("distance", DataType::Float64),
+        ("dep_hour", DataType::Int64),
+        ("day_of_week", DataType::Int64),
+    ])
+    .into_shared()
+}
+
+impl FlightData {
+    /// Register the table in a catalog.
+    pub fn register(&self, catalog: &Catalog) -> raven_data::Result<()> {
+        catalog.register("flights", self.flights.clone())
+    }
+
+    /// Number of flights.
+    pub fn len(&self) -> usize {
+        self.flights.num_rows()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = FlightParams::default();
+        let a = generate(200, &p);
+        let b = generate(200, &p);
+        assert_eq!(a.flights, b.flights);
+        assert_eq!(a.delayed, b.delayed);
+    }
+
+    #[test]
+    fn schema_and_cardinalities() {
+        let p = FlightParams {
+            n_airports: 12,
+            n_carriers: 3,
+            seed: 1,
+        };
+        let d = generate(500, &p);
+        assert_eq!(d.airports.len(), 12);
+        assert_eq!(d.carriers.len(), 3);
+        assert_eq!(
+            d.flights.schema().names(),
+            vec!["id", "origin", "dest", "carrier", "distance", "dep_hour", "day_of_week"]
+        );
+        // All values drawn from the code lists.
+        let dests = d.flights.column_by_name("dest").unwrap().utf8_values().unwrap();
+        assert!(dests.iter().all(|v| d.airports.contains(v)));
+        // Airport codes are unique.
+        let mut codes = d.airports.clone();
+        codes.dedup();
+        assert_eq!(codes.len(), 12);
+    }
+
+    #[test]
+    fn origin_differs_from_dest() {
+        let d = generate(300, &FlightParams::default());
+        let o = d.flights.column_by_name("origin").unwrap().utf8_values().unwrap();
+        let t = d.flights.column_by_name("dest").unwrap().utf8_values().unwrap();
+        assert!(o.iter().zip(t).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn label_balance_reasonable() {
+        let d = generate(5000, &FlightParams::default());
+        let rate = d.delayed.iter().sum::<f64>() / d.len() as f64;
+        assert!(rate > 0.1 && rate < 0.9, "delay rate {rate}");
+    }
+
+    #[test]
+    fn labels_correlate_with_airport() {
+        // Some airport should have a noticeably different delay rate than
+        // the average — that's the signal clustering exploits.
+        let d = generate(10_000, &FlightParams::default());
+        let dests = d.flights.column_by_name("dest").unwrap().utf8_values().unwrap();
+        let global = d.delayed.iter().sum::<f64>() / d.len() as f64;
+        let mut max_gap: f64 = 0.0;
+        for airport in &d.airports {
+            let rows: Vec<usize> = (0..d.len()).filter(|&i| &dests[i] == airport).collect();
+            if rows.len() < 50 {
+                continue;
+            }
+            let rate = rows.iter().map(|&i| d.delayed[i]).sum::<f64>() / rows.len() as f64;
+            max_gap = max_gap.max((rate - global).abs());
+        }
+        assert!(max_gap > 0.1, "max airport gap {max_gap}");
+    }
+}

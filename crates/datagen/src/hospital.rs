@@ -1,0 +1,276 @@
+//! The hospital length-of-stay workload (the paper's running example).
+
+use raven_data::{Catalog, Column, DataType, RecordBatch, Schema, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The three tables of the running example plus training labels.
+#[derive(Debug, Clone)]
+pub struct HospitalData {
+    /// `patient_info(id, age, gender, pregnant)`.
+    pub patient_info: Table,
+    /// `blood_tests(id, bp, glucose, wbc)`.
+    pub blood_tests: Table,
+    /// `prenatal_tests(id, fetal_hr, afp)`.
+    pub prenatal_tests: Table,
+    /// Length-of-stay labels aligned with patient ids (training only; an
+    /// analyst's inference query never sees them).
+    pub length_of_stay: Vec<f64>,
+}
+
+/// Feature columns used by hospital models, in canonical order.
+pub const FEATURES: [&str; 7] = [
+    "age", "gender", "pregnant", "bp", "glucose", "wbc", "fetal_hr",
+];
+
+/// Generate `n` patients with seeded randomness.
+pub fn generate(n: usize, seed: u64) -> HospitalData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut age = Vec::with_capacity(n);
+    let mut gender = Vec::with_capacity(n);
+    let mut pregnant = Vec::with_capacity(n);
+    let mut bp = Vec::with_capacity(n);
+    let mut glucose = Vec::with_capacity(n);
+    let mut wbc = Vec::with_capacity(n);
+    let mut fetal_hr = Vec::with_capacity(n);
+    let mut afp = Vec::with_capacity(n);
+    let mut stay = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let a = rng.gen_range(18.0..90.0f64);
+        let female = rng.gen_bool(0.5);
+        let p = female && a < 45.0 && rng.gen_bool(0.4);
+        let blood_pressure = rng.gen_range(90.0..190.0f64)
+            + if a > 60.0 { rng.gen_range(0.0..15.0) } else { 0.0 };
+        let g = rng.gen_range(70.0..200.0f64);
+        let w = rng.gen_range(3.5..12.0f64);
+        // 15% of pregnancies have no fetal-heart-rate reading yet, so the
+        // prenatal columns correlate with — but don't perfectly shadow —
+        // the pregnancy flag (otherwise trained trees split on fetal_hr
+        // instead of pregnant and the running example loses its shape).
+        let fhr = if p && rng.gen_bool(0.85) {
+            rng.gen_range(110.0..170.0f64)
+        } else {
+            0.0
+        };
+        let marker = if p { rng.gen_range(10.0..200.0f64) } else { 0.0 };
+
+        // The Fig.-1 label structure: pregnancy routes on blood pressure;
+        // everyone else routes on age — plus mild noise.
+        let base = if p {
+            if blood_pressure > 140.0 {
+                7.0
+            } else if blood_pressure > 120.0 {
+                4.0
+            } else {
+                2.0
+            }
+        } else if a > 65.0 {
+            5.0
+        } else if a > 35.0 {
+            3.0
+        } else {
+            1.0
+        };
+        let label = (base + rng.gen_range(-0.3..0.3f64)).max(0.5);
+
+        age.push(a);
+        gender.push(if female { "F".to_string() } else { "M".to_string() });
+        pregnant.push(p as i64);
+        bp.push(blood_pressure);
+        glucose.push(g);
+        wbc.push(w);
+        fetal_hr.push(fhr);
+        afp.push(marker);
+        stay.push(label);
+    }
+
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let patient_info = Table::try_new(
+        Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("age", DataType::Float64),
+            ("gender", DataType::Utf8),
+            ("pregnant", DataType::Int64),
+        ])
+        .into_shared(),
+        vec![
+            Column::Int64(ids.clone()),
+            Column::Float64(age),
+            Column::Utf8(gender),
+            Column::Int64(pregnant),
+        ],
+    )
+    .expect("patient_info construction");
+    let blood_tests = Table::try_new(
+        Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("bp", DataType::Float64),
+            ("glucose", DataType::Float64),
+            ("wbc", DataType::Float64),
+        ])
+        .into_shared(),
+        vec![
+            Column::Int64(ids.clone()),
+            Column::Float64(bp),
+            Column::Float64(glucose),
+            Column::Float64(wbc),
+        ],
+    )
+    .expect("blood_tests construction");
+    let prenatal_tests = Table::try_new(
+        Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("fetal_hr", DataType::Float64),
+            ("afp", DataType::Float64),
+        ])
+        .into_shared(),
+        vec![
+            Column::Int64(ids),
+            Column::Float64(fetal_hr),
+            Column::Float64(afp),
+        ],
+    )
+    .expect("prenatal_tests construction");
+
+    HospitalData {
+        patient_info,
+        blood_tests,
+        prenatal_tests,
+        length_of_stay: stay,
+    }
+}
+
+impl HospitalData {
+    /// Register the three tables in a catalog.
+    pub fn register(&self, catalog: &Catalog) -> raven_data::Result<()> {
+        catalog.register("patient_info", self.patient_info.clone())?;
+        catalog.register("blood_tests", self.blood_tests.clone())?;
+        catalog.register("prenatal_tests", self.prenatal_tests.clone())?;
+        Ok(())
+    }
+
+    /// The joined training batch (id-aligned single batch over all
+    /// feature columns; ids are aligned 1:1 by construction).
+    pub fn joined_batch(&self) -> RecordBatch {
+        let mut fields = Vec::new();
+        let mut columns = Vec::new();
+        for (table, skip_id) in [
+            (&self.patient_info, false),
+            (&self.blood_tests, true),
+            (&self.prenatal_tests, true),
+        ] {
+            for (f, c) in table
+                .schema()
+                .fields()
+                .iter()
+                .zip(table.batch().columns())
+            {
+                if skip_id && f.name == "id" {
+                    continue;
+                }
+                fields.push(f.clone());
+                columns.push(c.clone());
+            }
+        }
+        RecordBatch::try_new_shared(Arc::new(Schema::new(fields)), columns)
+            .expect("joined batch construction")
+    }
+
+    /// Number of patients.
+    pub fn len(&self) -> usize {
+        self.patient_info.num_rows()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(100, 7);
+        let b = generate(100, 7);
+        assert_eq!(a.patient_info, b.patient_info);
+        assert_eq!(a.length_of_stay, b.length_of_stay);
+        let c = generate(100, 8);
+        assert_ne!(a.length_of_stay, c.length_of_stay);
+    }
+
+    #[test]
+    fn schema_shape() {
+        let d = generate(10, 1);
+        assert_eq!(d.patient_info.num_rows(), 10);
+        assert_eq!(
+            d.patient_info.schema().names(),
+            vec!["id", "age", "gender", "pregnant"]
+        );
+        assert_eq!(d.blood_tests.schema().names(), vec!["id", "bp", "glucose", "wbc"]);
+        assert_eq!(
+            d.prenatal_tests.schema().names(),
+            vec!["id", "fetal_hr", "afp"]
+        );
+        assert_eq!(d.length_of_stay.len(), 10);
+    }
+
+    #[test]
+    fn labels_follow_rule_structure() {
+        let d = generate(2000, 42);
+        let batch = d.joined_batch();
+        let pregnant = batch.column_by_name("pregnant").unwrap().i64_values().unwrap();
+        let bp = batch.column_by_name("bp").unwrap().f64_values().unwrap();
+        for i in 0..d.len() {
+            if pregnant[i] == 1 && bp[i] > 140.0 {
+                assert!(d.length_of_stay[i] > 6.0, "row {i}");
+            }
+            if pregnant[i] == 0 {
+                assert!(d.length_of_stay[i] < 5.5, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pregnancy_consistency() {
+        let d = generate(500, 3);
+        let batch = d.joined_batch();
+        let pregnant = batch.column_by_name("pregnant").unwrap().i64_values().unwrap();
+        let gender = batch.column_by_name("gender").unwrap().utf8_values().unwrap();
+        let fhr = batch.column_by_name("fetal_hr").unwrap().f64_values().unwrap();
+        let mut measured = 0usize;
+        let mut pregnant_count = 0usize;
+        for i in 0..d.len() {
+            if pregnant[i] == 1 {
+                assert_eq!(gender[i], "F");
+                pregnant_count += 1;
+                if fhr[i] > 0.0 {
+                    measured += 1;
+                }
+            } else {
+                assert_eq!(fhr[i], 0.0);
+            }
+        }
+        // Most — but not all — pregnancies have a reading (see generator).
+        assert!(measured > pregnant_count / 2);
+        assert!(measured < pregnant_count);
+    }
+
+    #[test]
+    fn register_and_join_width() {
+        let d = generate(20, 5);
+        let cat = Catalog::new();
+        d.register(&cat).unwrap();
+        assert_eq!(cat.table_names().len(), 3);
+        let joined = d.joined_batch();
+        assert_eq!(joined.num_columns(), 4 + 3 + 2);
+        // All FEATURES resolvable.
+        for f in FEATURES {
+            assert!(joined.column_by_name(f).is_ok(), "{f}");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Trained pipelines over the synthetic workloads — the models every
+//! example and benchmark scores.
+
+use crate::flights::FlightData;
+use crate::hospital::HospitalData;
+use raven_data::{Column, RecordBatch};
+use raven_ml::featurize::{OneHotEncoder, StandardScaler, Transform};
+use raven_ml::forest::ForestParams;
+use raven_ml::linear::{LinearKind, LinearParams};
+use raven_ml::mlp::MlpParams;
+use raven_ml::tree::TreeParams;
+use raven_ml::{
+    DecisionTree, Estimator, FeatureStep, LinearModel, Mlp, Pipeline, RandomForest, Result,
+};
+
+/// How a raw column becomes features.
+enum StepKind {
+    Identity,
+    Scale,
+    OneHot,
+}
+
+/// Fit feature steps against the data in `batch`.
+fn fit_steps(batch: &RecordBatch, spec: &[(&str, StepKind)]) -> Result<Vec<FeatureStep>> {
+    let mut steps = Vec::with_capacity(spec.len());
+    for (name, kind) in spec {
+        let col = batch.column_by_name(name)?;
+        let transform = match kind {
+            StepKind::Identity => Transform::Identity,
+            StepKind::Scale => {
+                Transform::Scale(StandardScaler::fit(&col.to_f64_vec()?)?)
+            }
+            StepKind::OneHot => match col {
+                Column::Utf8(values) => Transform::OneHot(OneHotEncoder::fit(values)?),
+                other => {
+                    // Integer categorical: encode by string form.
+                    let strings: Vec<String> =
+                        (0..other.len()).map(|i| other.get(i).unwrap().to_string()).collect();
+                    Transform::OneHot(OneHotEncoder::fit(&strings)?)
+                }
+            },
+        };
+        steps.push(FeatureStep::new(*name, transform));
+    }
+    Ok(steps)
+}
+
+fn featurized(steps: &[FeatureStep], batch: &RecordBatch) -> Result<(Vec<f64>, usize)> {
+    // A probe pipeline just for featurization width/computation.
+    let width: usize = steps.iter().map(|s| s.transform.n_outputs()).sum();
+    let probe = Pipeline::new(
+        steps.to_vec(),
+        Estimator::Linear(LinearModel::new(
+            vec![0.0; width.max(1)],
+            0.0,
+            LinearKind::Regression,
+        )?),
+    )?;
+    Ok((probe.featurize(batch)?, width))
+}
+
+/// Hospital feature steps (paper Fig. 1: scaler + categorical encoding).
+pub fn hospital_steps(data: &HospitalData) -> Result<Vec<FeatureStep>> {
+    let batch = data.joined_batch();
+    fit_steps(
+        &batch,
+        &[
+            ("age", StepKind::Identity),
+            ("gender", StepKind::OneHot),
+            ("pregnant", StepKind::Identity),
+            ("bp", StepKind::Identity),
+            ("glucose", StepKind::Scale),
+            ("wbc", StepKind::Scale),
+            ("fetal_hr", StepKind::Identity),
+        ],
+    )
+}
+
+/// Decision-tree pipeline for hospital length-of-stay (regression).
+pub fn hospital_tree(data: &HospitalData, max_depth: usize) -> Result<Pipeline> {
+    let batch = data.joined_batch();
+    let steps = hospital_steps(data)?;
+    let (x, width) = featurized(&steps, &batch)?;
+    let tree = DecisionTree::fit(
+        &x,
+        width,
+        &data.length_of_stay,
+        &TreeParams {
+            max_depth,
+            ..Default::default()
+        },
+    )?;
+    Pipeline::new(steps, Estimator::Tree(tree))
+}
+
+/// Random-forest pipeline for hospital length-of-stay.
+pub fn hospital_forest(
+    data: &HospitalData,
+    n_trees: usize,
+    max_depth: usize,
+) -> Result<Pipeline> {
+    let batch = data.joined_batch();
+    let steps = hospital_steps(data)?;
+    let (x, width) = featurized(&steps, &batch)?;
+    let forest = RandomForest::fit(
+        &x,
+        width,
+        &data.length_of_stay,
+        &ForestParams {
+            n_trees,
+            tree: TreeParams {
+                max_depth,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )?;
+    Pipeline::new(steps, Estimator::Forest(forest))
+}
+
+/// MLP pipeline for hospital long-stay classification (stay > 4 days).
+pub fn hospital_mlp(data: &HospitalData, hidden: Vec<usize>, epochs: usize) -> Result<Pipeline> {
+    let batch = data.joined_batch();
+    let steps = hospital_steps(data)?;
+    let (x, width) = featurized(&steps, &batch)?;
+    let labels: Vec<f64> = data
+        .length_of_stay
+        .iter()
+        .map(|&s| (s > 4.0) as i64 as f64)
+        .collect();
+    let mlp = Mlp::fit(
+        &x,
+        width,
+        &labels,
+        &MlpParams {
+            hidden,
+            epochs,
+            ..Default::default()
+        },
+    )?;
+    Pipeline::new(steps, Estimator::Mlp(mlp))
+}
+
+/// Flight feature steps: one-hot airports/carrier + scaled numerics.
+pub fn flight_steps(data: &FlightData) -> Result<Vec<FeatureStep>> {
+    fit_steps(
+        data.flights.batch(),
+        &[
+            ("origin", StepKind::OneHot),
+            ("dest", StepKind::OneHot),
+            ("carrier", StepKind::OneHot),
+            ("distance", StepKind::Scale),
+            ("dep_hour", StepKind::Scale),
+            ("day_of_week", StepKind::Scale),
+        ],
+    )
+}
+
+/// L1-regularized logistic regression for flight delay — the Fig. 2(a)
+/// model family. Higher `l1` yields higher weight sparsity.
+pub fn flight_logistic(data: &FlightData, l1: f64, epochs: usize) -> Result<Pipeline> {
+    let steps = flight_steps(data)?;
+    let (x, width) = featurized(&steps, data.flights.batch())?;
+    let model = LinearModel::fit(
+        &x,
+        width,
+        &data.delayed,
+        &LinearParams {
+            kind: LinearKind::Logistic,
+            l1,
+            learning_rate: 0.2,
+            epochs,
+        },
+    )?;
+    Pipeline::new(steps, Estimator::Linear(model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flights::FlightParams;
+
+    #[test]
+    fn hospital_tree_learns_the_rule() {
+        let data = crate::hospital::generate(3000, 42);
+        let pipeline = hospital_tree(&data, 8).unwrap();
+        let batch = data.joined_batch();
+        let preds = pipeline.predict(&batch).unwrap();
+        // R²-style check: predictions track labels closely.
+        let mean = data.length_of_stay.iter().sum::<f64>() / data.len() as f64;
+        let ss_tot: f64 = data
+            .length_of_stay
+            .iter()
+            .map(|y| (y - mean) * (y - mean))
+            .sum();
+        let ss_res: f64 = preds
+            .iter()
+            .zip(&data.length_of_stay)
+            .map(|(p, y)| (p - y) * (p - y))
+            .sum();
+        let r2 = 1.0 - ss_res / ss_tot;
+        assert!(r2 > 0.9, "tree R² = {r2}");
+    }
+
+    #[test]
+    fn hospital_forest_and_mlp_fit() {
+        let data = crate::hospital::generate(800, 1);
+        let forest = hospital_forest(&data, 5, 6).unwrap();
+        let batch = data.joined_batch();
+        let preds = forest.predict(&batch).unwrap();
+        assert_eq!(preds.len(), 800);
+
+        let mlp = hospital_mlp(&data, vec![8], 15).unwrap();
+        let preds = mlp.predict(&batch).unwrap();
+        // Probabilities in [0,1].
+        assert!(preds.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn flight_logistic_sparsity_grows_with_l1() {
+        let data = crate::flights::generate(3000, &FlightParams::default());
+        let dense = flight_logistic(&data, 0.0005, 150).unwrap();
+        let sparse = flight_logistic(&data, 0.02, 150).unwrap();
+        let sp = |p: &Pipeline| match p.estimator() {
+            Estimator::Linear(m) => m.sparsity(),
+            _ => unreachable!(),
+        };
+        assert!(
+            sp(&sparse) > sp(&dense),
+            "sparsity {} !> {}",
+            sp(&sparse),
+            sp(&dense)
+        );
+        assert!(sp(&sparse) > 0.3, "sparse model sparsity {}", sp(&sparse));
+    }
+
+    #[test]
+    fn flight_model_beats_chance() {
+        let data = crate::flights::generate(4000, &FlightParams::default());
+        let model = flight_logistic(&data, 0.001, 200).unwrap();
+        let preds = model.predict(data.flights.batch()).unwrap();
+        let accuracy = preds
+            .iter()
+            .zip(&data.delayed)
+            .filter(|(p, y)| (**p > 0.5) == (**y > 0.5))
+            .count() as f64
+            / data.len() as f64;
+        assert!(accuracy > 0.6, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn feature_width_matches_cardinalities() {
+        let data = crate::flights::generate(500, &FlightParams {
+            n_airports: 10,
+            n_carriers: 4,
+            seed: 2,
+        });
+        let steps = flight_steps(&data).unwrap();
+        let width: usize = steps.iter().map(|s| s.transform.n_outputs()).sum();
+        // 10 origins + 10 dests + 4 carriers + 3 numerics.
+        assert_eq!(width, 27);
+    }
+}

@@ -1,0 +1,231 @@
+//! Predicate analysis: the bridge from relational predicates to model
+//! optimizations.
+//!
+//! The cross optimizer needs three things from a predicate:
+//! * its **conjuncts** (to push pieces independently);
+//! * per-column **intervals** (`pregnant = 1` → `[1,1]`; `age > 35` →
+//!   `(35, ∞)` approximated as `[35, ∞)`), which feed decision-tree
+//!   pruning;
+//! * per-column **constants** (point intervals and categorical
+//!   equalities), which feed constant folding inside translated models
+//!   and partial evaluation of linear models.
+
+use crate::expr::{BinOp, Expr};
+use raven_data::Value;
+use raven_ml::tree::Interval;
+use std::collections::HashMap;
+
+/// Split a predicate into top-level AND-ed conjuncts.
+pub fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn go<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                go(left, out);
+                go(right, out);
+            }
+            other => out.push(other),
+        }
+    }
+    go(expr, &mut out);
+    out
+}
+
+/// Rebuild a predicate from conjuncts (`true` for an empty list).
+pub fn conjoin(parts: Vec<Expr>) -> Expr {
+    parts
+        .into_iter()
+        .reduce(|a, b| a.and(b))
+        .unwrap_or_else(|| Expr::lit(true))
+}
+
+/// Constraints extracted from a predicate, per column.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnConstraints {
+    /// Numeric interval constraints: column → interval.
+    pub intervals: HashMap<String, Interval>,
+    /// Categorical equality constraints: column → string value.
+    pub equal_strings: HashMap<String, String>,
+}
+
+impl ColumnConstraints {
+    /// Numeric constants implied by the constraints (point intervals).
+    pub fn numeric_constants(&self) -> HashMap<String, f64> {
+        self.intervals
+            .iter()
+            .filter(|(_, iv)| iv.is_point())
+            .map(|(c, iv)| (c.clone(), iv.lo))
+            .collect()
+    }
+
+    /// Merge another set of constraints (intersection semantics).
+    pub fn merge(&mut self, other: &ColumnConstraints) {
+        for (col, iv) in &other.intervals {
+            let entry = self
+                .intervals
+                .entry(col.clone())
+                .or_insert_with(Interval::all);
+            *entry = entry.intersect(*iv);
+        }
+        for (col, v) in &other.equal_strings {
+            self.equal_strings.insert(col.clone(), v.clone());
+        }
+    }
+
+    /// True if nothing was extracted.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty() && self.equal_strings.is_empty()
+    }
+}
+
+/// Extract per-column constraints from a predicate.
+///
+/// Only constraints that hold for **every** surviving row are extracted,
+/// so OR-ed and NOT-ed subtrees are skipped (sound over-approximation:
+/// fewer constraints, never wrong ones). Strict inequalities are relaxed
+/// to their closed form, which is safe for pruning (a branch is only
+/// removed when provably unreachable under the *relaxed* bounds).
+pub fn extract_constraints(expr: &Expr) -> ColumnConstraints {
+    let mut out = ColumnConstraints::default();
+    for conjunct in conjuncts(expr) {
+        let Expr::Binary { op, left, right } = conjunct else {
+            continue;
+        };
+        // Normalize to (column ∘ literal).
+        let (col, op, value) = match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(c), Expr::Literal(v)) => (c, *op, v),
+            (Expr::Literal(v), Expr::Column(c)) => (c, flip(*op), v),
+            _ => continue,
+        };
+        match value {
+            Value::Utf8(s) => {
+                if op == BinOp::Eq {
+                    out.equal_strings.insert(col.clone(), s.clone());
+                }
+            }
+            numeric => {
+                let Ok(v) = numeric.as_f64() else { continue };
+                let interval = match op {
+                    BinOp::Eq => Interval::point(v),
+                    BinOp::Lt | BinOp::LtEq => Interval::at_most(v),
+                    BinOp::Gt | BinOp::GtEq => Interval::at_least(v),
+                    _ => continue,
+                };
+                let entry = out
+                    .intervals
+                    .entry(col.clone())
+                    .or_insert_with(Interval::all);
+                *entry = entry.intersect(interval);
+            }
+        }
+    }
+    out
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting() {
+        let e = Expr::col("a")
+            .gt(Expr::lit(1i64))
+            .and(Expr::col("b").eq(Expr::lit(2i64)))
+            .and(Expr::col("c").lt(Expr::lit(3i64)));
+        assert_eq!(conjuncts(&e).len(), 3);
+        // OR is a single conjunct.
+        let e = Expr::col("a").gt(Expr::lit(1i64)).or(Expr::col("b").eq(Expr::lit(2i64)));
+        assert_eq!(conjuncts(&e).len(), 1);
+    }
+
+    #[test]
+    fn conjoin_roundtrip() {
+        let parts = vec![
+            Expr::col("a").gt(Expr::lit(1i64)),
+            Expr::col("b").lt(Expr::lit(5i64)),
+        ];
+        let joined = conjoin(parts.clone());
+        let split: Vec<Expr> = conjuncts(&joined).into_iter().cloned().collect();
+        assert_eq!(split, parts);
+        assert_eq!(conjoin(vec![]), Expr::lit(true));
+    }
+
+    #[test]
+    fn equality_becomes_point_interval() {
+        let c = extract_constraints(&Expr::col("pregnant").eq(Expr::lit(1i64)));
+        assert_eq!(c.intervals["pregnant"], Interval::point(1.0));
+        assert_eq!(c.numeric_constants()["pregnant"], 1.0);
+    }
+
+    #[test]
+    fn range_predicates() {
+        let e = Expr::col("age")
+            .gt(Expr::lit(35i64))
+            .and(Expr::col("age").lt_eq(Expr::lit(60i64)));
+        let c = extract_constraints(&e);
+        assert_eq!(c.intervals["age"], Interval { lo: 35.0, hi: 60.0 });
+        assert!(c.numeric_constants().is_empty());
+    }
+
+    #[test]
+    fn flipped_literal_side() {
+        // 140 < bp  ≡  bp > 140.
+        let e = Expr::binary(BinOp::Lt, Expr::lit(140i64), Expr::col("bp"));
+        let c = extract_constraints(&e);
+        assert_eq!(c.intervals["bp"], Interval::at_least(140.0));
+    }
+
+    #[test]
+    fn string_equality_tracked_separately() {
+        let e = Expr::col("dest").eq(Expr::lit("JFK"));
+        let c = extract_constraints(&e);
+        assert_eq!(c.equal_strings["dest"], "JFK");
+        assert!(c.intervals.is_empty());
+    }
+
+    #[test]
+    fn or_and_not_are_skipped() {
+        let e = Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .or(Expr::col("a").eq(Expr::lit(2i64)));
+        assert!(extract_constraints(&e).is_empty());
+        let e = Expr::Not(Box::new(Expr::col("a").eq(Expr::lit(1i64))));
+        assert!(extract_constraints(&e).is_empty());
+    }
+
+    #[test]
+    fn contradictory_constraints_yield_empty_interval() {
+        let e = Expr::col("a")
+            .gt(Expr::lit(10i64))
+            .and(Expr::col("a").lt(Expr::lit(5i64)));
+        let c = extract_constraints(&e);
+        assert!(c.intervals["a"].is_empty());
+    }
+
+    #[test]
+    fn merge_intersects() {
+        let mut a = extract_constraints(&Expr::col("x").gt_eq(Expr::lit(0i64)));
+        let b = extract_constraints(
+            &Expr::col("x")
+                .lt_eq(Expr::lit(10i64))
+                .and(Expr::col("d").eq(Expr::lit("Y"))),
+        );
+        a.merge(&b);
+        assert_eq!(a.intervals["x"], Interval { lo: 0.0, hi: 10.0 });
+        assert_eq!(a.equal_strings["d"], "Y");
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the IR crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or analyzing IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// A column referenced by an expression is missing from the schema.
+    UnknownColumn(String),
+    /// Expression typing failed.
+    TypeError(String),
+    /// A plan is structurally invalid.
+    InvalidPlan(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            IrError::TypeError(msg) => write!(f, "type error: {msg}"),
+            IrError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            IrError::Internal(msg) => write!(f, "internal IR error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl From<raven_data::DataError> for IrError {
+    fn from(e: raven_data::DataError) -> Self {
+        match e {
+            raven_data::DataError::FieldNotFound(name) => IrError::UnknownColumn(name),
+            other => IrError::Internal(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            IrError::UnknownColumn("bp".into()).to_string(),
+            "unknown column: bp"
+        );
+    }
+
+    #[test]
+    fn from_data_error() {
+        let e: IrError = raven_data::DataError::FieldNotFound("x".into()).into();
+        assert_eq!(e, IrError::UnknownColumn("x".into()));
+        let e: IrError = raven_data::DataError::TableNotFound("t".into()).into();
+        assert!(matches!(e, IrError::Internal(_)));
+    }
+}

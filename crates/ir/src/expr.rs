@@ -1,0 +1,520 @@
+//! Scalar expressions: predicates, projections, and inlined models.
+
+use crate::error::IrError;
+use crate::Result;
+use raven_data::{DataType, Schema, Value};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Plus,
+    Minus,
+    Multiply,
+    Divide,
+}
+
+impl BinOp {
+    /// True for comparison operators producing booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// True for AND/OR.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Plus => "+",
+            BinOp::Minus => "-",
+            BinOp::Multiply => "*",
+            BinOp::Divide => "/",
+        }
+    }
+}
+
+/// Aggregate functions for `Aggregate` plan nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// A scalar expression over named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference (possibly qualified, e.g. `pi.age`).
+    Column(String),
+    /// Constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `CASE WHEN c1 THEN v1 [WHEN ...] ELSE e END` — also the encoding of
+    /// inlined decision trees (paper §4.2, model inlining).
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience: column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Convenience: literal.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// Convenience: binary node.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::binary(BinOp::And, self, other)
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::binary(BinOp::Or, self, other)
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, self, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::binary(BinOp::Gt, self, other)
+    }
+
+    /// `self >= other`.
+    pub fn gt_eq(self, other: Expr) -> Expr {
+        Expr::binary(BinOp::GtEq, self, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::binary(BinOp::Lt, self, other)
+    }
+
+    /// `self <= other`.
+    pub fn lt_eq(self, other: Expr) -> Expr {
+        Expr::binary(BinOp::LtEq, self, other)
+    }
+
+    /// Collect all referenced column names (in first-appearance order,
+    /// deduplicated).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Column(name) = e {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Pre-order visitor.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Not(inner) => inner.visit(f),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, v) in branches {
+                    c.visit(f);
+                    v.visit(f);
+                }
+                else_expr.visit(f);
+            }
+        }
+    }
+
+    /// Rewrite bottom-up: children first, then the node itself.
+    pub fn transform(self, f: &impl Fn(Expr) -> Expr) -> Expr {
+        let rebuilt = match self {
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(left.transform(f)),
+                right: Box::new(right.transform(f)),
+            },
+            Expr::Not(inner) => Expr::Not(Box::new(inner.transform(f))),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => Expr::Case {
+                branches: branches
+                    .into_iter()
+                    .map(|(c, v)| (c.transform(f), v.transform(f)))
+                    .collect(),
+                else_expr: Box::new(else_expr.transform(f)),
+            },
+            leaf => leaf,
+        };
+        f(rebuilt)
+    }
+
+    /// Infer the result type against a schema.
+    pub fn data_type(&self, schema: &Schema) -> Result<DataType> {
+        match self {
+            Expr::Column(name) => {
+                let idx = schema.index_of(name)?;
+                Ok(schema.field(idx)?.dtype)
+            }
+            Expr::Literal(v) => Ok(v.data_type()),
+            Expr::Binary { op, left, right } => {
+                let lt = left.data_type(schema)?;
+                let rt = right.data_type(schema)?;
+                if op.is_comparison() || op.is_logical() {
+                    Ok(DataType::Bool)
+                } else {
+                    // Arithmetic: Float64 unless both sides are Int64.
+                    match (lt, rt) {
+                        (DataType::Int64, DataType::Int64) => Ok(DataType::Int64),
+                        (a, b) if a.is_numeric() && b.is_numeric() => Ok(DataType::Float64),
+                        _ => Err(IrError::TypeError(format!(
+                            "arithmetic over {lt} and {rt}"
+                        ))),
+                    }
+                }
+            }
+            Expr::Not(inner) => {
+                let t = inner.data_type(schema)?;
+                if t == DataType::Bool {
+                    Ok(DataType::Bool)
+                } else {
+                    Err(IrError::TypeError(format!("NOT over {t}")))
+                }
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                let t = else_expr.data_type(schema)?;
+                for (cond, value) in branches {
+                    if cond.data_type(schema)? != DataType::Bool {
+                        return Err(IrError::TypeError("CASE condition must be Bool".into()));
+                    }
+                    let vt = value.data_type(schema)?;
+                    if vt != t && !(vt.is_numeric() && t.is_numeric()) {
+                        return Err(IrError::TypeError(format!(
+                            "CASE branches disagree: {vt} vs {t}"
+                        )));
+                    }
+                }
+                Ok(t)
+            }
+        }
+    }
+
+    /// Fold constant subexpressions (numeric arithmetic, comparisons on
+    /// literals, boolean simplification). Mirrors the paper's
+    /// "standard DB optimizations".
+    pub fn fold_constants(self) -> Expr {
+        self.transform(&|e| match e {
+            Expr::Binary { op, left, right } => {
+                match (op, left.as_ref(), right.as_ref()) {
+                    // Literal ∘ Literal.
+                    (_, Expr::Literal(a), Expr::Literal(b)) => {
+                        fold_literals(op, a, b).unwrap_or(Expr::Binary { op, left, right })
+                    }
+                    // Boolean identities.
+                    (BinOp::And, Expr::Literal(Value::Bool(true)), _) => *right,
+                    (BinOp::And, _, Expr::Literal(Value::Bool(true))) => *left,
+                    (BinOp::And, Expr::Literal(Value::Bool(false)), _)
+                    | (BinOp::And, _, Expr::Literal(Value::Bool(false))) => {
+                        Expr::lit(false)
+                    }
+                    (BinOp::Or, Expr::Literal(Value::Bool(false)), _) => *right,
+                    (BinOp::Or, _, Expr::Literal(Value::Bool(false))) => *left,
+                    (BinOp::Or, Expr::Literal(Value::Bool(true)), _)
+                    | (BinOp::Or, _, Expr::Literal(Value::Bool(true))) => Expr::lit(true),
+                    _ => Expr::Binary { op, left, right },
+                }
+            }
+            Expr::Not(inner) => match inner.as_ref() {
+                Expr::Literal(Value::Bool(b)) => Expr::lit(!*b),
+                _ => Expr::Not(inner),
+            },
+            other => other,
+        })
+    }
+}
+
+fn fold_literals(op: BinOp, a: &Value, b: &Value) -> Option<Expr> {
+    use std::cmp::Ordering;
+    if op.is_comparison() {
+        let ord = a.partial_cmp_value(b)?;
+        let result = match op {
+            BinOp::Eq => ord == Ordering::Equal,
+            BinOp::NotEq => ord != Ordering::Equal,
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::LtEq => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::GtEq => ord != Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Some(Expr::lit(result));
+    }
+    if op.is_logical() {
+        let (a, b) = (a.as_bool().ok()?, b.as_bool().ok()?);
+        return Some(Expr::lit(match op {
+            BinOp::And => a && b,
+            BinOp::Or => a || b,
+            _ => unreachable!(),
+        }));
+    }
+    // Arithmetic.
+    if let (Value::Int64(x), Value::Int64(y)) = (a, b) {
+        let v = match op {
+            BinOp::Plus => x.checked_add(*y)?,
+            BinOp::Minus => x.checked_sub(*y)?,
+            BinOp::Multiply => x.checked_mul(*y)?,
+            BinOp::Divide => {
+                if *y == 0 {
+                    return None;
+                }
+                x.checked_div(*y)?
+            }
+            _ => unreachable!(),
+        };
+        return Some(Expr::lit(v));
+    }
+    let (x, y) = (a.as_f64().ok()?, b.as_f64().ok()?);
+    let v = match op {
+        BinOp::Plus => x + y,
+        BinOp::Minus => x - y,
+        BinOp::Multiply => x * y,
+        BinOp::Divide => x / y,
+        _ => unreachable!(),
+    };
+    Some(Expr::lit(v))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(name) => f.write_str(name),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => {
+                let needs_parens = |e: &Expr| matches!(e, Expr::Binary { op: inner, .. } if inner.is_logical() && !op.is_logical());
+                let _ = needs_parens;
+                write!(f, "({left} {} {right})", op.sql())
+            }
+            Expr::Not(inner) => write!(f, "NOT ({inner})"),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                f.write_str("CASE")?;
+                for (c, v) in branches {
+                    write!(f, " WHEN {c} THEN {v}")?;
+                }
+                write!(f, " ELSE {else_expr} END")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let e = Expr::col("pregnant")
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("length_of_stay").gt(Expr::lit(7i64)));
+        assert_eq!(
+            e.to_string(),
+            "((pregnant = 1) AND (length_of_stay > 7))"
+        );
+    }
+
+    #[test]
+    fn referenced_columns_deduplicated() {
+        let e = Expr::col("a")
+            .gt(Expr::lit(1i64))
+            .and(Expr::col("b").eq(Expr::col("a")));
+        assert_eq!(e.referenced_columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn type_inference() {
+        let schema = Schema::from_pairs(&[
+            ("age", DataType::Float64),
+            ("id", DataType::Int64),
+            ("name", DataType::Utf8),
+            ("flag", DataType::Bool),
+        ]);
+        assert_eq!(
+            Expr::col("age").gt(Expr::lit(1i64)).data_type(&schema).unwrap(),
+            DataType::Bool
+        );
+        assert_eq!(
+            Expr::binary(BinOp::Plus, Expr::col("id"), Expr::lit(1i64))
+                .data_type(&schema)
+                .unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            Expr::binary(BinOp::Plus, Expr::col("age"), Expr::col("id"))
+                .data_type(&schema)
+                .unwrap(),
+            DataType::Float64
+        );
+        assert!(Expr::binary(BinOp::Plus, Expr::col("name"), Expr::lit(1i64))
+            .data_type(&schema)
+            .is_err());
+        assert!(Expr::Not(Box::new(Expr::col("age"))).data_type(&schema).is_err());
+        assert!(Expr::col("missing").data_type(&schema).is_err());
+    }
+
+    #[test]
+    fn case_typing() {
+        let schema = Schema::from_pairs(&[("flag", DataType::Bool)]);
+        let ok = Expr::Case {
+            branches: vec![(Expr::col("flag"), Expr::lit(1i64))],
+            else_expr: Box::new(Expr::lit(2.0f64)),
+        };
+        assert_eq!(ok.data_type(&schema).unwrap(), DataType::Float64);
+        let bad_cond = Expr::Case {
+            branches: vec![(Expr::lit(1i64), Expr::lit(1i64))],
+            else_expr: Box::new(Expr::lit(2i64)),
+        };
+        assert!(bad_cond.data_type(&schema).is_err());
+        let bad_branches = Expr::Case {
+            branches: vec![(Expr::col("flag"), Expr::lit("s"))],
+            else_expr: Box::new(Expr::lit(1i64)),
+        };
+        assert!(bad_branches.data_type(&schema).is_err());
+    }
+
+    #[test]
+    fn constant_folding_arithmetic() {
+        let e = Expr::binary(BinOp::Plus, Expr::lit(2i64), Expr::lit(3i64)).fold_constants();
+        assert_eq!(e, Expr::lit(5i64));
+        let e = Expr::binary(BinOp::Multiply, Expr::lit(2.0f64), Expr::lit(4i64))
+            .fold_constants();
+        assert_eq!(e, Expr::lit(8.0f64));
+        // Division by integer zero stays unfolded.
+        let e = Expr::binary(BinOp::Divide, Expr::lit(1i64), Expr::lit(0i64)).fold_constants();
+        assert!(matches!(e, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn constant_folding_boolean() {
+        let e = Expr::lit(true).and(Expr::col("x").gt(Expr::lit(1i64)));
+        assert_eq!(
+            e.fold_constants().to_string(),
+            "(x > 1)"
+        );
+        let e = Expr::lit(false).and(Expr::col("x").gt(Expr::lit(1i64)));
+        assert_eq!(e.fold_constants(), Expr::lit(false));
+        let e = Expr::col("x").gt(Expr::lit(1i64)).or(Expr::lit(true));
+        assert_eq!(e.fold_constants(), Expr::lit(true));
+        assert_eq!(
+            Expr::Not(Box::new(Expr::lit(false))).fold_constants(),
+            Expr::lit(true)
+        );
+    }
+
+    #[test]
+    fn constant_folding_comparisons() {
+        assert_eq!(
+            Expr::lit(3i64).gt(Expr::lit(2i64)).fold_constants(),
+            Expr::lit(true)
+        );
+        assert_eq!(
+            Expr::lit("a").eq(Expr::lit("b")).fold_constants(),
+            Expr::lit(false)
+        );
+        // Mixed string/number comparison cannot fold.
+        assert!(matches!(
+            Expr::lit("a").eq(Expr::lit(1i64)).fold_constants(),
+            Expr::Binary { .. }
+        ));
+    }
+
+    #[test]
+    fn transform_rewrites_leaves() {
+        let e = Expr::col("a").gt(Expr::lit(1i64));
+        let renamed = e.transform(&|x| match x {
+            Expr::Column(c) if c == "a" => Expr::col("b"),
+            other => other,
+        });
+        assert_eq!(renamed.referenced_columns(), vec!["b"]);
+    }
+
+    #[test]
+    fn case_display() {
+        let e = Expr::Case {
+            branches: vec![(Expr::col("bp").lt_eq(Expr::lit(140i64)), Expr::lit(4i64))],
+            else_expr: Box::new(Expr::lit(7i64)),
+        };
+        assert_eq!(e.to_string(), "CASE WHEN (bp <= 140) THEN 4 ELSE 7 END");
+    }
+}

@@ -1,0 +1,35 @@
+//! # raven-ir
+//!
+//! Raven's **unified intermediate representation**: one plan language that
+//! mixes relational-algebra operators, ML/featurizer operators, linear-
+//! algebra (tensor) operators and opaque UDFs — §3 of *"Extending
+//! Relational Query Processing with ML Inference"* (CIDR 2020).
+//!
+//! The point of unifying the IR (rather than treating the model as a black
+//! box called from SQL) is that the optimizer can pass information *across*
+//! the data/ML boundary: predicates flow into models (predicate-based
+//! model pruning), model structure flows into the data plan
+//! (model-projection pushdown), and operators can be *transformed* between
+//! categories (model inlining turns an ML operator into a relational
+//! expression; NN translation turns ML operators into tensor operators).
+//!
+//! Contents:
+//! * [`expr`] — scalar expression language (predicates, projections,
+//!   CASE expressions for inlined trees) with SQL rendering;
+//! * [`plan`] — the operator tree: `Scan`/`Filter`/`Project`/`Join`/
+//!   `Aggregate`/... (RA), `Predict` (MLD), `TensorPredict` (LA), `Udf`;
+//! * [`analyze`] — predicate analysis: conjunct splitting, per-column
+//!   interval extraction (the bridge into model pruning), implied
+//!   constants.
+
+pub mod analyze;
+pub mod error;
+pub mod expr;
+pub mod plan;
+
+pub use error::IrError;
+pub use expr::{AggFunc, BinOp, Expr};
+pub use plan::{Device, ExecutionMode, JoinKind, ModelRef, Plan};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, IrError>;

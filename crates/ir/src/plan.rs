@@ -1,0 +1,629 @@
+//! The unified plan: relational + ML + tensor + UDF operators.
+
+use crate::error::IrError;
+use crate::expr::{AggFunc, Expr};
+use crate::Result;
+use raven_data::{DataType, Field, Schema};
+use raven_ml::{KMeans, Pipeline};
+use raven_tensor::Graph;
+use std::fmt;
+use std::sync::Arc;
+
+/// Join kinds (the paper's workloads use inner equi-joins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+}
+
+/// Device placement for tensor execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// Single-threaded CPU (standalone-runtime configuration).
+    CpuSingle,
+    /// Multi-threaded CPU (the in-database auto-parallel configuration).
+    CpuParallel,
+    /// The simulated GPU.
+    Gpu,
+}
+
+/// How a `Predict` operator is executed (paper §5, in decreasing level of
+/// integration with the database engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// In-process: the ML runtime is linked into the engine (Raven).
+    InProcess,
+    /// Out-of-process external runtime (`sp_execute_external_script`;
+    /// Raven Ext): pays process startup + data transfer.
+    OutOfProcess,
+    /// Containerized REST endpoint: highest isolation, highest overhead.
+    Container,
+}
+
+/// A named reference to a stored model, resolved to a concrete pipeline.
+#[derive(Debug, Clone)]
+pub struct ModelRef {
+    pub name: String,
+    pub pipeline: Arc<Pipeline>,
+}
+
+impl PartialEq for ModelRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.pipeline == other.pipeline
+    }
+}
+
+/// A plan node in Raven's unified IR.
+///
+/// Operator categories (paper §3.1): `Scan`..`Limit` are relational
+/// algebra (RA); `Predict` and `ClusteredPredict` are classical-ML
+/// operators (MLD); `TensorPredict` is the linear-algebra category (LA) —
+/// a whole translated pipeline executed by the tensor runtime; `Udf`
+/// wraps non-analyzable code as a black box.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Base table scan.
+    Scan {
+        table: String,
+        schema: Arc<Schema>,
+    },
+    /// Row filter.
+    Filter {
+        input: Box<Plan>,
+        predicate: Expr,
+    },
+    /// Projection: `(expression, output name)` pairs.
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Inner equi-join on one key pair.
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        left_key: String,
+        right_key: String,
+        kind: JoinKind,
+    },
+    /// Group-by aggregation: `(func, input column, output name)`.
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<String>,
+        aggregates: Vec<(AggFunc, String, String)>,
+    },
+    /// Bag union of plans with identical schemas.
+    Union { inputs: Vec<Plan> },
+    /// Sort by one column.
+    Sort {
+        input: Box<Plan>,
+        column: String,
+        descending: bool,
+    },
+    /// Row-count limit.
+    Limit {
+        input: Box<Plan>,
+        fetch: usize,
+    },
+    /// Classical model-pipeline scoring (MLD). Appends `output` (Float64).
+    Predict {
+        input: Box<Plan>,
+        model: ModelRef,
+        output: String,
+        mode: ExecutionMode,
+    },
+    /// NN-translated scoring (LA): the pipeline compiled to a tensor graph
+    /// executed by the integrated tensor runtime. The pipeline is retained
+    /// for raw input encoding (categorical → index).
+    TensorPredict {
+        input: Box<Plan>,
+        model: ModelRef,
+        graph: Arc<Graph>,
+        output: String,
+        device: Device,
+    },
+    /// Model clustering (paper §4.1): route each row to a per-cluster
+    /// specialized model; rows with no precompiled model use the fallback.
+    ClusteredPredict {
+        input: Box<Plan>,
+        model: ModelRef,
+        kmeans: Arc<KMeans>,
+        /// Raw input columns the router clusters on (cheap, low-dimension).
+        route_columns: Vec<String>,
+        cluster_models: Vec<Arc<Pipeline>>,
+        output: String,
+    },
+    /// Opaque user code the static analyzer could not translate.
+    Udf {
+        input: Box<Plan>,
+        name: String,
+        /// Columns the UDF consumes (everything, conservatively, if empty).
+        inputs: Vec<String>,
+        output: String,
+    },
+}
+
+impl Plan {
+    /// Output schema of this operator.
+    pub fn schema(&self) -> Result<Arc<Schema>> {
+        match self {
+            Plan::Scan { schema, .. } => Ok(schema.clone()),
+            Plan::Filter { input, .. } | Plan::Sort { input, .. } | Plan::Limit { input, .. } => {
+                input.schema()
+            }
+            Plan::Project { input, exprs } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(exprs.len());
+                for (expr, name) in exprs {
+                    fields.push(Field::new(name.clone(), expr.data_type(&in_schema)?));
+                }
+                Ok(Arc::new(Schema::new(fields)))
+            }
+            Plan::Join { left, right, .. } => {
+                Ok(Arc::new(left.schema()?.join(right.schema()?.as_ref())))
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::new();
+                for g in group_by {
+                    let idx = in_schema.index_of(g)?;
+                    fields.push(in_schema.field(idx)?.clone());
+                }
+                for (func, col, out) in aggregates {
+                    let dtype = match func {
+                        AggFunc::Count => DataType::Int64,
+                        AggFunc::Avg => DataType::Float64,
+                        AggFunc::Sum => {
+                            let idx = in_schema.index_of(col)?;
+                            match in_schema.field(idx)?.dtype {
+                                DataType::Int64 => DataType::Int64,
+                                _ => DataType::Float64,
+                            }
+                        }
+                        AggFunc::Min | AggFunc::Max => {
+                            let idx = in_schema.index_of(col)?;
+                            in_schema.field(idx)?.dtype
+                        }
+                    };
+                    fields.push(Field::new(out.clone(), dtype));
+                }
+                Ok(Arc::new(Schema::new(fields)))
+            }
+            Plan::Union { inputs } => {
+                let first = inputs
+                    .first()
+                    .ok_or_else(|| IrError::InvalidPlan("empty union".into()))?;
+                let schema = first.schema()?;
+                for other in &inputs[1..] {
+                    let s = other.schema()?;
+                    if s.fields().len() != schema.fields().len() {
+                        return Err(IrError::InvalidPlan(
+                            "union inputs have different widths".into(),
+                        ));
+                    }
+                }
+                Ok(schema)
+            }
+            Plan::Predict { input, output, .. }
+            | Plan::TensorPredict { input, output, .. }
+            | Plan::ClusteredPredict { input, output, .. }
+            | Plan::Udf { input, output, .. } => {
+                let in_schema = input.schema()?;
+                let mut fields = in_schema.fields().to_vec();
+                fields.push(Field::new(output.clone(), DataType::Float64));
+                Ok(Arc::new(Schema::new(fields)))
+            }
+        }
+    }
+
+    /// Immediate children.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } => vec![],
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Predict { input, .. }
+            | Plan::TensorPredict { input, .. }
+            | Plan::ClusteredPredict { input, .. }
+            | Plan::Udf { input, .. }
+            | Plan::Aggregate { input, .. } => vec![input],
+            Plan::Join { left, right, .. } => vec![left, right],
+            Plan::Union { inputs } => inputs.iter().collect(),
+        }
+    }
+
+    /// Rewrite bottom-up: children are rebuilt first, then `f` is applied
+    /// to the node. This is the workhorse of every optimizer rule.
+    pub fn transform_up(self, f: &impl Fn(Plan) -> Plan) -> Plan {
+        let rebuilt = match self {
+            Plan::Filter { input, predicate } => Plan::Filter {
+                input: Box::new(input.transform_up(f)),
+                predicate,
+            },
+            Plan::Project { input, exprs } => Plan::Project {
+                input: Box::new(input.transform_up(f)),
+                exprs,
+            },
+            Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                kind,
+            } => Plan::Join {
+                left: Box::new(left.transform_up(f)),
+                right: Box::new(right.transform_up(f)),
+                left_key,
+                right_key,
+                kind,
+            },
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => Plan::Aggregate {
+                input: Box::new(input.transform_up(f)),
+                group_by,
+                aggregates,
+            },
+            Plan::Union { inputs } => Plan::Union {
+                inputs: inputs.into_iter().map(|p| p.transform_up(f)).collect(),
+            },
+            Plan::Sort {
+                input,
+                column,
+                descending,
+            } => Plan::Sort {
+                input: Box::new(input.transform_up(f)),
+                column,
+                descending,
+            },
+            Plan::Limit { input, fetch } => Plan::Limit {
+                input: Box::new(input.transform_up(f)),
+                fetch,
+            },
+            Plan::Predict {
+                input,
+                model,
+                output,
+                mode,
+            } => Plan::Predict {
+                input: Box::new(input.transform_up(f)),
+                model,
+                output,
+                mode,
+            },
+            Plan::TensorPredict {
+                input,
+                model,
+                graph,
+                output,
+                device,
+            } => Plan::TensorPredict {
+                input: Box::new(input.transform_up(f)),
+                model,
+                graph,
+                output,
+                device,
+            },
+            Plan::ClusteredPredict {
+                input,
+                model,
+                kmeans,
+                route_columns,
+                cluster_models,
+                output,
+            } => Plan::ClusteredPredict {
+                input: Box::new(input.transform_up(f)),
+                model,
+                kmeans,
+                route_columns,
+                cluster_models,
+                output,
+            },
+            Plan::Udf {
+                input,
+                name,
+                inputs,
+                output,
+            } => Plan::Udf {
+                input: Box::new(input.transform_up(f)),
+                name,
+                inputs,
+                output,
+            },
+            leaf @ Plan::Scan { .. } => leaf,
+        };
+        f(rebuilt)
+    }
+
+    /// Pre-order visit.
+    pub fn visit(&self, f: &mut impl FnMut(&Plan)) {
+        f(self);
+        for child in self.children() {
+            child.visit(f);
+        }
+    }
+
+    /// Count nodes.
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Short operator label (for EXPLAIN and metrics).
+    pub fn label(&self) -> String {
+        match self {
+            Plan::Scan { table, .. } => format!("Scan({table})"),
+            Plan::Filter { predicate, .. } => format!("Filter({predicate})"),
+            Plan::Project { exprs, .. } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .map(|(e, n)| {
+                        if matches!(e, Expr::Column(c) if c == n) {
+                            n.clone()
+                        } else {
+                            format!("{e} AS {n}")
+                        }
+                    })
+                    .collect();
+                format!("Project({})", cols.join(", "))
+            }
+            Plan::Join {
+                left_key,
+                right_key,
+                ..
+            } => format!("Join({left_key} = {right_key})"),
+            Plan::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                let aggs: Vec<String> = aggregates
+                    .iter()
+                    .map(|(f, c, o)| format!("{}({c}) AS {o}", f.sql()))
+                    .collect();
+                format!("Aggregate(by=[{}], {})", group_by.join(", "), aggs.join(", "))
+            }
+            Plan::Union { inputs } => format!("Union({} inputs)", inputs.len()),
+            Plan::Sort {
+                column, descending, ..
+            } => format!(
+                "Sort({column} {})",
+                if *descending { "DESC" } else { "ASC" }
+            ),
+            Plan::Limit { fetch, .. } => format!("Limit({fetch})"),
+            Plan::Predict { model, mode, output, .. } => format!(
+                "Predict(model={}, mode={mode:?}, out={output}) [{}]",
+                model.name,
+                model.pipeline.estimator().describe()
+            ),
+            Plan::TensorPredict {
+                model,
+                graph,
+                device,
+                output,
+                ..
+            } => format!(
+                "TensorPredict(model={}, device={device:?}, nodes={}, out={output})",
+                model.name,
+                graph.nodes.len()
+            ),
+            Plan::ClusteredPredict {
+                model,
+                cluster_models,
+                output,
+                ..
+            } => format!(
+                "ClusteredPredict(model={}, clusters={}, out={output})",
+                model.name,
+                cluster_models.len()
+            ),
+            Plan::Udf { name, output, .. } => format!("Udf({name}, out={output})"),
+        }
+    }
+
+    /// All tables scanned by the plan.
+    pub fn scanned_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let Plan::Scan { table, .. } = p {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+        });
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(plan: &Plan, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            writeln!(f, "{}{}", "  ".repeat(depth), plan.label())?;
+            for child in plan.children() {
+                go(child, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        go(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Transform};
+
+    fn scan(table: &str, fields: &[(&str, DataType)]) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            schema: Schema::from_pairs(fields).into_shared(),
+        }
+    }
+
+    fn model_ref() -> ModelRef {
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("age", Transform::Identity)],
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap()),
+        )
+        .unwrap();
+        ModelRef {
+            name: "m".into(),
+            pipeline: Arc::new(pipeline),
+        }
+    }
+
+    #[test]
+    fn schema_propagation() {
+        let plan = Plan::Filter {
+            input: Box::new(scan(
+                "t",
+                &[("id", DataType::Int64), ("age", DataType::Float64)],
+            )),
+            predicate: Expr::col("age").gt(Expr::lit(35i64)),
+        };
+        assert_eq!(plan.schema().unwrap().names(), vec!["id", "age"]);
+    }
+
+    #[test]
+    fn project_schema_types() {
+        let plan = Plan::Project {
+            input: Box::new(scan("t", &[("age", DataType::Int64)])),
+            exprs: vec![
+                (Expr::col("age"), "age".into()),
+                (
+                    Expr::binary(BinOp::Multiply, Expr::col("age"), Expr::lit(2.0f64)),
+                    "age2".into(),
+                ),
+            ],
+        };
+        let s = plan.schema().unwrap();
+        assert_eq!(s.field(0).unwrap().dtype, DataType::Int64);
+        assert_eq!(s.field(1).unwrap().dtype, DataType::Float64);
+    }
+
+    #[test]
+    fn join_schema_concat() {
+        let plan = Plan::Join {
+            left: Box::new(scan("a", &[("a.id", DataType::Int64)])),
+            right: Box::new(scan("b", &[("b.id", DataType::Int64), ("bp", DataType::Float64)])),
+            left_key: "a.id".into(),
+            right_key: "b.id".into(),
+            kind: JoinKind::Inner,
+        };
+        assert_eq!(plan.schema().unwrap().names(), vec!["a.id", "b.id", "bp"]);
+    }
+
+    #[test]
+    fn aggregate_schema_types() {
+        let plan = Plan::Aggregate {
+            input: Box::new(scan(
+                "t",
+                &[("k", DataType::Utf8), ("v", DataType::Int64)],
+            )),
+            group_by: vec!["k".into()],
+            aggregates: vec![
+                (AggFunc::Count, "v".into(), "n".into()),
+                (AggFunc::Sum, "v".into(), "s".into()),
+                (AggFunc::Avg, "v".into(), "a".into()),
+                (AggFunc::Max, "k".into(), "m".into()),
+            ],
+        };
+        let s = plan.schema().unwrap();
+        assert_eq!(s.names(), vec!["k", "n", "s", "a", "m"]);
+        assert_eq!(s.field(1).unwrap().dtype, DataType::Int64);
+        assert_eq!(s.field(2).unwrap().dtype, DataType::Int64);
+        assert_eq!(s.field(3).unwrap().dtype, DataType::Float64);
+        assert_eq!(s.field(4).unwrap().dtype, DataType::Utf8);
+    }
+
+    #[test]
+    fn predict_appends_output() {
+        let plan = Plan::Predict {
+            input: Box::new(scan("t", &[("age", DataType::Float64)])),
+            model: model_ref(),
+            output: "score".into(),
+            mode: ExecutionMode::InProcess,
+        };
+        let s = plan.schema().unwrap();
+        assert_eq!(s.names(), vec!["age", "score"]);
+        assert_eq!(s.field(1).unwrap().dtype, DataType::Float64);
+    }
+
+    #[test]
+    fn union_validation() {
+        let a = scan("a", &[("x", DataType::Int64)]);
+        let b = scan("b", &[("x", DataType::Int64)]);
+        let ok = Plan::Union {
+            inputs: vec![a.clone(), b],
+        };
+        assert!(ok.schema().is_ok());
+        let bad = Plan::Union {
+            inputs: vec![a, scan("c", &[("x", DataType::Int64), ("y", DataType::Bool)])],
+        };
+        assert!(bad.schema().is_err());
+        assert!(Plan::Union { inputs: vec![] }.schema().is_err());
+    }
+
+    #[test]
+    fn transform_up_rewrites() {
+        let plan = Plan::Filter {
+            input: Box::new(scan("t", &[("x", DataType::Int64)])),
+            predicate: Expr::col("x").gt(Expr::lit(1i64)),
+        };
+        // Remove all filters.
+        let stripped = plan.transform_up(&|p| match p {
+            Plan::Filter { input, .. } => *input,
+            other => other,
+        });
+        assert!(matches!(stripped, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn visit_and_counters() {
+        let plan = Plan::Limit {
+            input: Box::new(Plan::Join {
+                left: Box::new(scan("a", &[("id", DataType::Int64)])),
+                right: Box::new(scan("b", &[("id2", DataType::Int64)])),
+                left_key: "id".into(),
+                right_key: "id2".into(),
+                kind: JoinKind::Inner,
+            }),
+            fetch: 5,
+        };
+        assert_eq!(plan.node_count(), 4);
+        assert_eq!(plan.scanned_tables(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_is_indented() {
+        let plan = Plan::Filter {
+            input: Box::new(scan("t", &[("x", DataType::Int64)])),
+            predicate: Expr::col("x").gt(Expr::lit(1i64)),
+        };
+        let s = plan.to_string();
+        assert!(s.starts_with("Filter"));
+        assert!(s.contains("\n  Scan(t)"));
+    }
+
+    #[test]
+    fn labels() {
+        let p = scan("t", &[("x", DataType::Int64)]);
+        assert_eq!(p.label(), "Scan(t)");
+        let pr = Plan::Predict {
+            input: Box::new(p),
+            model: model_ref(),
+            output: "y".into(),
+            mode: ExecutionMode::OutOfProcess,
+        };
+        assert!(pr.label().contains("OutOfProcess"));
+        assert!(pr.label().contains("LinearRegression"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the ML crate.
+
+use std::fmt;
+
+/// Errors produced by models, featurizers and trainers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Training/inference input had the wrong shape.
+    DimensionMismatch { expected: usize, actual: usize },
+    /// Training data was empty or degenerate.
+    InvalidTrainingData(String),
+    /// A categorical value was not seen during fitting.
+    UnknownCategory(String),
+    /// Model (de)serialization failed.
+    Serialization(String),
+    /// Translation to a tensor graph failed.
+    Translation(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            MlError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            MlError::UnknownCategory(v) => write!(f, "unknown category: {v}"),
+            MlError::Serialization(msg) => write!(f, "model serialization error: {msg}"),
+            MlError::Translation(msg) => write!(f, "NN translation error: {msg}"),
+            MlError::Internal(msg) => write!(f, "internal ml error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<raven_tensor::TensorError> for MlError {
+    fn from(e: raven_tensor::TensorError) -> Self {
+        MlError::Translation(e.to_string())
+    }
+}
+
+impl From<raven_data::DataError> for MlError {
+    fn from(e: raven_data::DataError) -> Self {
+        MlError::Internal(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            MlError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            }
+            .to_string(),
+            "dimension mismatch: expected 3, got 2"
+        );
+        assert_eq!(
+            MlError::UnknownCategory("XYZ".into()).to_string(),
+            "unknown category: XYZ"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        let t: MlError = raven_tensor::TensorError::NameNotFound("x".into()).into();
+        assert!(matches!(t, MlError::Translation(_)));
+        let d: MlError = raven_data::DataError::FieldNotFound("y".into()).into();
+        assert!(matches!(d, MlError::Internal(_)));
+    }
+}

@@ -1,0 +1,263 @@
+//! Featurizers: scaling and one-hot encoding.
+//!
+//! These are the paper's "data featurizers" (MLD operators, §3.1). A
+//! [`Transform`] consumes one raw input column and produces one or more
+//! numeric features; [`crate::pipeline::Pipeline`] strings transforms
+//! together in front of an estimator.
+
+use crate::error::MlError;
+use crate::Result;
+use raven_data::{Column, Value};
+
+/// Z-score scaler for one numeric column: `(x - mean) / std`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    pub mean: f64,
+    pub std: f64,
+}
+
+impl StandardScaler {
+    /// Fit from values. A constant column gets `std = 1` to avoid division
+    /// by zero (matching scikit-learn).
+    pub fn fit(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(MlError::InvalidTrainingData("empty column".into()));
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std = if var > 0.0 { var.sqrt() } else { 1.0 };
+        Ok(StandardScaler { mean, std })
+    }
+
+    /// Scale one value.
+    pub fn transform_value(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std
+    }
+
+    /// Invert the scaling.
+    pub fn inverse(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+}
+
+/// One-hot encoder for a categorical column.
+///
+/// Unknown categories at inference time encode to the all-zero vector
+/// (scikit-learn's `handle_unknown='ignore'`), which is also what makes
+/// the paper's categorical predicate-based pruning sound: a filter
+/// `dest = 'JFK'` pins the JFK indicator to 1 and every other indicator
+/// to 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneHotEncoder {
+    categories: Vec<String>,
+}
+
+impl OneHotEncoder {
+    /// Build with explicit categories (order defines feature order).
+    pub fn new(categories: Vec<String>) -> Result<Self> {
+        if categories.is_empty() {
+            return Err(MlError::InvalidTrainingData("no categories".into()));
+        }
+        Ok(OneHotEncoder { categories })
+    }
+
+    /// Fit from observed values (categories sorted for determinism).
+    pub fn fit(values: &[String]) -> Result<Self> {
+        let mut cats: Vec<String> = values.to_vec();
+        cats.sort();
+        cats.dedup();
+        OneHotEncoder::new(cats)
+    }
+
+    /// The category list.
+    pub fn categories(&self) -> &[String] {
+        &self.categories
+    }
+
+    /// Number of output features.
+    pub fn n_outputs(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Index of a category, if known.
+    pub fn index_of(&self, value: &str) -> Option<usize> {
+        self.categories.iter().position(|c| c == value)
+    }
+
+    /// Encode one value as a category index; unknown values become -1
+    /// (which one-hots to all zeros).
+    pub fn encode_index(&self, value: &str) -> f64 {
+        self.index_of(value).map(|i| i as f64).unwrap_or(-1.0)
+    }
+
+    /// One-hot encode one raw index into `out` (appends `n_outputs` values).
+    pub fn onehot_from_index(&self, index: f64, out: &mut Vec<f64>) {
+        for i in 0..self.categories.len() {
+            out.push(if index == i as f64 { 1.0 } else { 0.0 });
+        }
+    }
+}
+
+/// A single-column transform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// Pass the numeric value through unchanged.
+    Identity,
+    /// Z-score scale a numeric value.
+    Scale(StandardScaler),
+    /// One-hot encode a categorical value.
+    OneHot(OneHotEncoder),
+}
+
+impl Transform {
+    /// Number of features this transform produces.
+    pub fn n_outputs(&self) -> usize {
+        match self {
+            Transform::Identity | Transform::Scale(_) => 1,
+            Transform::OneHot(e) => e.n_outputs(),
+        }
+    }
+
+    /// Names of the produced features, derived from the input column name.
+    pub fn output_names(&self, column: &str) -> Vec<String> {
+        match self {
+            Transform::Identity => vec![column.to_string()],
+            Transform::Scale(_) => vec![format!("scaled({column})")],
+            Transform::OneHot(e) => e
+                .categories()
+                .iter()
+                .map(|c| format!("{column}={c}"))
+                .collect(),
+        }
+    }
+
+    /// Encode a raw data column into per-row *raw model inputs* (numeric
+    /// passthrough; categorical → category index). One value per row.
+    pub fn encode_raw(&self, column: &Column) -> Result<Vec<f64>> {
+        match self {
+            Transform::Identity | Transform::Scale(_) => Ok(column.to_f64_vec()?),
+            Transform::OneHot(e) => match column {
+                Column::Utf8(values) => {
+                    Ok(values.iter().map(|v| e.encode_index(v)).collect())
+                }
+                // Numeric categorical columns: the value itself must be a
+                // category; map through its string form.
+                other => {
+                    let n = other.len();
+                    let mut out = Vec::with_capacity(n);
+                    for i in 0..n {
+                        let v = other.get(i)?;
+                        let s = match v {
+                            Value::Utf8(s) => s,
+                            Value::Int64(x) => x.to_string(),
+                            Value::Float64(x) => x.to_string(),
+                            Value::Bool(b) => b.to_string(),
+                        };
+                        out.push(e.encode_index(&s));
+                    }
+                    Ok(out)
+                }
+            },
+        }
+    }
+
+    /// Featurize one raw encoded value, appending to `out`.
+    pub fn featurize_value(&self, raw: f64, out: &mut Vec<f64>) {
+        match self {
+            Transform::Identity => out.push(raw),
+            Transform::Scale(s) => out.push(s.transform_value(raw)),
+            Transform::OneHot(e) => e.onehot_from_index(raw, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_fit_transform_inverse() {
+        let s = StandardScaler::fit(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(s.mean, 4.0);
+        assert!((s.transform_value(4.0)).abs() < 1e-12);
+        assert!((s.inverse(s.transform_value(2.0)) - 2.0).abs() < 1e-12);
+        assert!(StandardScaler::fit(&[]).is_err());
+    }
+
+    #[test]
+    fn scaler_constant_column() {
+        let s = StandardScaler::fit(&[5.0, 5.0]).unwrap();
+        assert_eq!(s.std, 1.0);
+        assert_eq!(s.transform_value(5.0), 0.0);
+    }
+
+    #[test]
+    fn onehot_fit_sorted_dedup() {
+        let e = OneHotEncoder::fit(&["b".into(), "a".into(), "b".into()]).unwrap();
+        assert_eq!(e.categories(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(e.index_of("b"), Some(1));
+        assert_eq!(e.index_of("zzz"), None);
+        assert_eq!(e.encode_index("zzz"), -1.0);
+    }
+
+    #[test]
+    fn onehot_unknown_is_all_zero() {
+        let e = OneHotEncoder::new(vec!["x".into(), "y".into()]).unwrap();
+        let mut out = Vec::new();
+        e.onehot_from_index(e.encode_index("nope"), &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+        out.clear();
+        e.onehot_from_index(e.encode_index("y"), &mut out);
+        assert_eq!(out, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn transform_outputs_and_names() {
+        let t = Transform::OneHot(OneHotEncoder::new(vec!["JFK".into(), "LAX".into()]).unwrap());
+        assert_eq!(t.n_outputs(), 2);
+        assert_eq!(t.output_names("dest"), vec!["dest=JFK", "dest=LAX"]);
+        assert_eq!(Transform::Identity.output_names("age"), vec!["age"]);
+        assert_eq!(
+            Transform::Scale(StandardScaler { mean: 0.0, std: 1.0 }).output_names("bp"),
+            vec!["scaled(bp)"]
+        );
+    }
+
+    #[test]
+    fn encode_raw_columns() {
+        let t = Transform::Identity;
+        assert_eq!(
+            t.encode_raw(&Column::from(vec![1i64, 2])).unwrap(),
+            vec![1.0, 2.0]
+        );
+        let oh = Transform::OneHot(OneHotEncoder::new(vec!["a".into(), "b".into()]).unwrap());
+        assert_eq!(
+            oh.encode_raw(&Column::from(vec!["b", "a", "zzz"])).unwrap(),
+            vec![1.0, 0.0, -1.0]
+        );
+        // Integer categorical column goes through string form.
+        let ohi = Transform::OneHot(OneHotEncoder::new(vec!["1".into(), "2".into()]).unwrap());
+        assert_eq!(
+            ohi.encode_raw(&Column::from(vec![2i64, 9])).unwrap(),
+            vec![1.0, -1.0]
+        );
+        // Strings cannot pass through Identity.
+        assert!(Transform::Identity
+            .encode_raw(&Column::from(vec!["x"]))
+            .is_err());
+    }
+
+    #[test]
+    fn featurize_values() {
+        let mut out = Vec::new();
+        Transform::Identity.featurize_value(3.0, &mut out);
+        Transform::Scale(StandardScaler { mean: 1.0, std: 2.0 }).featurize_value(3.0, &mut out);
+        assert_eq!(out, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn onehot_empty_categories_rejected() {
+        assert!(OneHotEncoder::new(vec![]).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Random forests: bagged ensembles of decision trees.
+
+use crate::error::MlError;
+use crate::tree::{DecisionTree, Interval, TreeParams};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Training hyperparameters for [`RandomForest::fit`].
+#[derive(Debug, Clone)]
+pub struct ForestParams {
+    pub n_trees: usize,
+    pub tree: TreeParams,
+    /// Features sampled per tree (`None` = all features).
+    pub max_features: Option<usize>,
+    /// Bootstrap sample fraction of the training rows.
+    pub sample_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 10,
+            tree: TreeParams::default(),
+            max_features: None,
+            sample_fraction: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+/// A bagged ensemble averaging tree predictions — the paper's "RF" model
+/// (hospital length-of-stay, Fig. 2(d) and Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Wrap pre-built trees (all must share `n_features`).
+    pub fn from_trees(trees: Vec<DecisionTree>) -> Result<Self> {
+        let first = trees
+            .first()
+            .ok_or_else(|| MlError::InvalidTrainingData("empty forest".into()))?;
+        let n_features = first.n_features();
+        if trees.iter().any(|t| t.n_features() != n_features) {
+            return Err(MlError::InvalidTrainingData(
+                "trees disagree on feature count".into(),
+            ));
+        }
+        Ok(RandomForest { trees, n_features })
+    }
+
+    /// Train by bootstrap aggregation.
+    pub fn fit(x: &[f64], n_features: usize, y: &[f64], params: &ForestParams) -> Result<Self> {
+        if params.n_trees == 0 {
+            return Err(MlError::InvalidTrainingData("n_trees must be > 0".into()));
+        }
+        if y.is_empty() || x.len() != y.len() * n_features {
+            return Err(MlError::InvalidTrainingData(
+                "x/y shape mismatch".into(),
+            ));
+        }
+        let rows = y.len();
+        let sample = ((rows as f64 * params.sample_fraction) as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            // Bootstrap rows.
+            let mut bx = Vec::with_capacity(sample * n_features);
+            let mut by = Vec::with_capacity(sample);
+            for _ in 0..sample {
+                let r = rng.gen_range(0..rows);
+                bx.extend_from_slice(&x[r * n_features..(r + 1) * n_features]);
+                by.push(y[r]);
+            }
+            // Feature bagging.
+            let mut tree_params = params.tree.clone();
+            if let Some(k) = params.max_features {
+                let k = k.min(n_features).max(1);
+                let mut all: Vec<usize> = (0..n_features).collect();
+                // Partial Fisher–Yates.
+                for i in 0..k {
+                    let j = rng.gen_range(i..all.len());
+                    all.swap(i, j);
+                }
+                all.truncate(k);
+                tree_params.allowed_features = Some(all);
+            }
+            trees.push(DecisionTree::fit(&bx, n_features, &by, &tree_params)?);
+        }
+        RandomForest::from_trees(trees)
+    }
+
+    /// The ensemble's trees.
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Total node count across trees.
+    pub fn n_nodes(&self) -> usize {
+        self.trees.iter().map(DecisionTree::n_nodes).sum()
+    }
+
+    /// Features used by any tree.
+    pub fn used_features(&self) -> BTreeSet<usize> {
+        self.trees
+            .iter()
+            .flat_map(|t| t.used_features())
+            .collect()
+    }
+
+    /// Predict one row (mean of tree predictions).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Predict a row-major batch.
+    pub fn predict_batch(&self, x: &[f64], rows: usize) -> Result<Vec<f64>> {
+        if x.len() != rows * self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * self.n_features,
+                actual: x.len(),
+            });
+        }
+        Ok((0..rows)
+            .map(|r| self.predict_row(&x[r * self.n_features..(r + 1) * self.n_features]))
+            .collect())
+    }
+
+    /// Prune every tree under the given feature bounds (predicate-based
+    /// model pruning applied to ensembles).
+    pub fn prune(&self, bounds: &[Interval]) -> Result<RandomForest> {
+        let trees = self
+            .trees
+            .iter()
+            .map(|t| t.prune(bounds))
+            .collect::<Result<Vec<_>>>()?;
+        RandomForest::from_trees(trees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<f64>, Vec<f64>) {
+        // y = x0 XOR x1 with 200 noisy copies; needs depth >= 2.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i / 2) % 2;
+            let b = i % 2;
+            x.push(a as f64 + (i % 5) as f64 * 0.01);
+            x.push(b as f64 + (i % 3) as f64 * 0.01);
+            y.push(((a ^ b) == 1) as i64 as f64);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fit_and_predict() {
+        let (x, y) = xor_data();
+        let f = RandomForest::fit(&x, 2, &y, &ForestParams::default()).unwrap();
+        assert_eq!(f.trees().len(), 10);
+        assert!(f.predict_row(&[0.0, 1.0]) > 0.5);
+        assert!(f.predict_row(&[1.0, 1.0]) < 0.5);
+        assert!(f.predict_row(&[0.0, 0.0]) < 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_data();
+        let a = RandomForest::fit(&x, 2, &y, &ForestParams::default()).unwrap();
+        let b = RandomForest::fit(&x, 2, &y, &ForestParams::default()).unwrap();
+        assert_eq!(a, b);
+        let c = RandomForest::fit(
+            &x,
+            2,
+            &y,
+            &ForestParams {
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batch_matches_row_by_row() {
+        let (x, y) = xor_data();
+        let f = RandomForest::fit(&x, 2, &y, &ForestParams::default()).unwrap();
+        let probe = vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0];
+        let batch = f.predict_batch(&probe, 4).unwrap();
+        for r in 0..4 {
+            assert_eq!(batch[r], f.predict_row(&probe[r * 2..r * 2 + 2]));
+        }
+        assert!(f.predict_batch(&probe, 5).is_err());
+    }
+
+    #[test]
+    fn prune_agrees_on_satisfying_rows() {
+        let (x, y) = xor_data();
+        let f = RandomForest::fit(&x, 2, &y, &ForestParams::default()).unwrap();
+        let bounds = vec![Interval::point(1.0), Interval::all()];
+        let p = f.prune(&bounds).unwrap();
+        assert!(p.n_nodes() <= f.n_nodes());
+        for b in [0.0, 1.0] {
+            let row = [1.0, b];
+            assert_eq!(p.predict_row(&row), f.predict_row(&row));
+        }
+    }
+
+    #[test]
+    fn feature_bagging_limits_used_features() {
+        let (x, y) = xor_data();
+        let f = RandomForest::fit(
+            &x,
+            2,
+            &y,
+            &ForestParams {
+                max_features: Some(1),
+                n_trees: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for t in f.trees() {
+            assert!(t.used_features().len() <= 1);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(RandomForest::from_trees(vec![]).is_err());
+        let (x, y) = xor_data();
+        assert!(RandomForest::fit(
+            &x,
+            2,
+            &y,
+            &ForestParams {
+                n_trees: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(RandomForest::fit(&x[..4], 2, &y, &ForestParams::default()).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! k-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Used for the paper's *model clustering* optimization (§4.1, Fig. 2(b)):
+//! cluster historical data offline, detect per-cluster (near-)constant
+//! features, and precompile a specialized model per cluster.
+
+use crate::error::MlError;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training parameters for [`KMeans::fit`].
+#[derive(Debug, Clone)]
+pub struct KMeansParams {
+    pub k: usize,
+    pub max_iters: usize,
+    pub seed: u64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        KMeansParams {
+            k: 4,
+            max_iters: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted k-means model: `k` centroids of dimension `dim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<f64>, // row-major [k × dim]
+    dim: usize,
+}
+
+impl KMeans {
+    /// Fit on a row-major matrix `x[rows × dim]`.
+    pub fn fit(x: &[f64], dim: usize, params: &KMeansParams) -> Result<Self> {
+        if dim == 0 || x.is_empty() || !x.len().is_multiple_of(dim) {
+            return Err(MlError::InvalidTrainingData("x/dim mismatch".into()));
+        }
+        let rows = x.len() / dim;
+        if params.k == 0 || params.k > rows {
+            return Err(MlError::InvalidTrainingData(format!(
+                "k={} must be in 1..={rows}",
+                params.k
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut centroids = kmeanspp_init(x, dim, rows, params.k, &mut rng);
+
+        let mut assignment = vec![0usize; rows];
+        for _ in 0..params.max_iters {
+            // Assignment step.
+            let mut changed = false;
+            for r in 0..rows {
+                let row = &x[r * dim..(r + 1) * dim];
+                let best = nearest(&centroids, dim, row).0;
+                if assignment[r] != best {
+                    assignment[r] = best;
+                    changed = true;
+                }
+            }
+            // Update step.
+            let mut sums = vec![0.0f64; params.k * dim];
+            let mut counts = vec![0usize; params.k];
+            for r in 0..rows {
+                let c = assignment[r];
+                counts[c] += 1;
+                for (s, &v) in sums[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&x[r * dim..(r + 1) * dim])
+                {
+                    *s += v;
+                }
+            }
+            for c in 0..params.k {
+                if counts[c] == 0 {
+                    continue; // keep the stale centroid for empty clusters
+                }
+                for (cent, &s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
+                {
+                    *cent = s / counts[c] as f64;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(KMeans { centroids, dim })
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len() / self.dim
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Centroid `c` as a slice.
+    pub fn centroid(&self, c: usize) -> &[f64] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Cluster assignment for one row.
+    pub fn assign_row(&self, row: &[f64]) -> usize {
+        nearest(&self.centroids, self.dim, row).0
+    }
+
+    /// Cluster assignments for a row-major batch.
+    pub fn assign_batch(&self, x: &[f64], rows: usize) -> Result<Vec<usize>> {
+        if x.len() != rows * self.dim {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * self.dim,
+                actual: x.len(),
+            });
+        }
+        Ok((0..rows)
+            .map(|r| self.assign_row(&x[r * self.dim..(r + 1) * self.dim]))
+            .collect())
+    }
+
+    /// Group row indices by cluster.
+    pub fn partition(&self, x: &[f64], rows: usize) -> Result<Vec<Vec<usize>>> {
+        let assignment = self.assign_batch(x, rows)?;
+        let mut groups = vec![Vec::new(); self.k()];
+        for (r, &c) in assignment.iter().enumerate() {
+            groups[c].push(r);
+        }
+        Ok(groups)
+    }
+}
+
+/// Squared Euclidean nearest centroid: returns (index, distance²).
+fn nearest(centroids: &[f64], dim: usize, row: &[f64]) -> (usize, f64) {
+    let k = centroids.len() / dim;
+    let mut best = (0usize, f64::INFINITY);
+    for c in 0..k {
+        let cent = &centroids[c * dim..(c + 1) * dim];
+        let mut d = 0.0;
+        for (a, b) in row.iter().zip(cent) {
+            let diff = a - b;
+            d += diff * diff;
+            if d >= best.1 {
+                break;
+            }
+        }
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// k-means++ initialization: pick centers with probability proportional to
+/// squared distance from the nearest existing center.
+fn kmeanspp_init(x: &[f64], dim: usize, rows: usize, k: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut centroids = Vec::with_capacity(k * dim);
+    let first = rng.gen_range(0..rows);
+    centroids.extend_from_slice(&x[first * dim..(first + 1) * dim]);
+    let mut dists = vec![0.0f64; rows];
+    while centroids.len() < k * dim {
+        let mut total = 0.0;
+        for r in 0..rows {
+            let d = nearest(&centroids, dim, &x[r * dim..(r + 1) * dim]).1;
+            dists[r] = d;
+            total += d;
+        }
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..rows)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = rows - 1;
+            for (r, &d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    pick = r;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.extend_from_slice(&x[chosen * dim..(chosen + 1) * dim]);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight blobs around (0,0) and (10,10).
+    fn blobs() -> Vec<f64> {
+        let mut x = Vec::new();
+        for i in 0..50 {
+            let jitter = (i % 5) as f64 * 0.01;
+            x.extend_from_slice(&[jitter, jitter]);
+            x.extend_from_slice(&[10.0 + jitter, 10.0 - jitter]);
+        }
+        x
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let x = blobs();
+        let km = KMeans::fit(
+            &x,
+            2,
+            &KMeansParams {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = km.assign_row(&[0.1, 0.1]);
+        let b = km.assign_row(&[9.9, 9.9]);
+        assert_ne!(a, b);
+        // Centroids near the blob centers.
+        let near_origin = km.centroid(a);
+        assert!(near_origin[0] < 1.0 && near_origin[1] < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = blobs();
+        let p = KMeansParams {
+            k: 3,
+            ..Default::default()
+        };
+        assert_eq!(KMeans::fit(&x, 2, &p).unwrap(), KMeans::fit(&x, 2, &p).unwrap());
+    }
+
+    #[test]
+    fn partition_covers_all_rows() {
+        let x = blobs();
+        let km = KMeans::fit(
+            &x,
+            2,
+            &KMeansParams {
+                k: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rows = x.len() / 2;
+        let parts = km.partition(&x, rows).unwrap();
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), rows);
+    }
+
+    #[test]
+    fn assign_batch_matches_rows() {
+        let x = blobs();
+        let km = KMeans::fit(&x, 2, &KMeansParams::default()).unwrap();
+        let batch = km.assign_batch(&x, x.len() / 2).unwrap();
+        for (r, &c) in batch.iter().enumerate().take(10) {
+            assert_eq!(c, km.assign_row(&x[r * 2..(r + 1) * 2]));
+        }
+        assert!(km.assign_batch(&x, 7).is_err());
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let x = blobs();
+        let km = KMeans::fit(
+            &x,
+            2,
+            &KMeansParams {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(km.k(), 1);
+        // Single centroid = grand mean ≈ (5, 5).
+        assert!((km.centroid(0)[0] - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(KMeans::fit(&[], 2, &KMeansParams::default()).is_err());
+        assert!(KMeans::fit(&[1.0, 2.0], 2, &KMeansParams { k: 0, ..Default::default() }).is_err());
+        assert!(KMeans::fit(&[1.0, 2.0], 2, &KMeansParams { k: 5, ..Default::default() }).is_err());
+        assert!(KMeans::fit(&[1.0, 2.0, 3.0], 2, &KMeansParams::default()).is_err());
+    }
+}

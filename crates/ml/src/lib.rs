@@ -1,0 +1,45 @@
+//! # raven-ml
+//!
+//! Classical ML models, featurizers and training for raven-rs — the
+//! stand-in for scikit-learn / ML.NET in the reproduction of *"Extending
+//! Relational Query Processing with ML Inference"* (CIDR 2020).
+//!
+//! The paper's inference queries invoke *model pipelines*: featurization
+//! steps (scaling, one-hot encoding) feeding an estimator (decision tree,
+//! random forest, linear/logistic regression, MLP). This crate provides:
+//!
+//! * reference ("framework-style") implementations of every estimator the
+//!   paper evaluates, with simple trainers so the benchmark datasets can be
+//!   fit from scratch ([`tree`], [`forest`], [`linear`], [`mlp`]);
+//! * featurizers and the [`pipeline::Pipeline`] abstraction tying them
+//!   together ([`featurize`], [`pipeline`]);
+//! * k-means for the paper's *model clustering* optimization ([`kmeans`]);
+//! * **NN translation** ([`translate`]): compiling a whole pipeline into a
+//!   [`raven_tensor::Graph`] (GEMM-based tree scoring à la Hummingbird),
+//!   the paper's §4.2 transformation that unlocks the optimized tensor
+//!   runtime and the (simulated) GPU;
+//! * a binary serialization format for pipelines ([`serialize`]) so models
+//!   can be stored inside the database as the paper proposes.
+
+pub mod error;
+pub mod featurize;
+pub mod forest;
+pub mod kmeans;
+pub mod linear;
+pub mod mlp;
+pub mod pipeline;
+pub mod serialize;
+pub mod translate;
+pub mod tree;
+
+pub use error::MlError;
+pub use featurize::{OneHotEncoder, StandardScaler, Transform};
+pub use forest::RandomForest;
+pub use kmeans::KMeans;
+pub use linear::{LinearKind, LinearModel};
+pub use mlp::Mlp;
+pub use pipeline::{Estimator, FeatureStep, Pipeline};
+pub use tree::DecisionTree;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MlError>;

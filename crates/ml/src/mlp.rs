@@ -1,0 +1,366 @@
+//! Multi-layer perceptrons with minibatch SGD training.
+//!
+//! The MLP is one of the two pipelines in the paper's Fig. 3 comparison
+//! (Raven vs standalone ONNX Runtime vs Raven Ext). Hidden layers use
+//! ReLU; the output is linear (regression) or sigmoid (binary logistic).
+
+use crate::error::MlError;
+use crate::linear::LinearKind;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One dense layer: row-major `w[in × out]` plus bias `b[out]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    pub w: Vec<f64>,
+    pub b: Vec<f64>,
+    pub n_in: usize,
+    pub n_out: usize,
+}
+
+impl Layer {
+    fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.b);
+        for (i, &xi) in input.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let wrow = &self.w[i * self.n_out..(i + 1) * self.n_out];
+            for (o, &wv) in out.iter_mut().zip(wrow) {
+                *o += xi * wv;
+            }
+        }
+    }
+}
+
+/// Training hyperparameters for [`Mlp::fit`].
+#[derive(Debug, Clone)]
+pub struct MlpParams {
+    pub hidden: Vec<usize>,
+    pub kind: LinearKind,
+    pub learning_rate: f64,
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams {
+            hidden: vec![16],
+            kind: LinearKind::Logistic,
+            learning_rate: 0.05,
+            epochs: 50,
+            batch_size: 32,
+            seed: 42,
+        }
+    }
+}
+
+/// A feed-forward network with ReLU hidden activations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    kind: LinearKind,
+}
+
+impl Mlp {
+    /// Build from explicit layers.
+    pub fn new(layers: Vec<Layer>, kind: LinearKind) -> Result<Self> {
+        if layers.is_empty() {
+            return Err(MlError::InvalidTrainingData("no layers".into()));
+        }
+        for pair in layers.windows(2) {
+            if pair[0].n_out != pair[1].n_in {
+                return Err(MlError::DimensionMismatch {
+                    expected: pair[0].n_out,
+                    actual: pair[1].n_in,
+                });
+            }
+        }
+        for layer in &layers {
+            if layer.w.len() != layer.n_in * layer.n_out || layer.b.len() != layer.n_out {
+                return Err(MlError::InvalidTrainingData(
+                    "layer weight/bias shapes inconsistent".into(),
+                ));
+            }
+        }
+        if layers.last().map(|l| l.n_out) != Some(1) {
+            return Err(MlError::InvalidTrainingData(
+                "output layer must have width 1".into(),
+            ));
+        }
+        Ok(Mlp { layers, kind })
+    }
+
+    /// Train with minibatch SGD + backprop.
+    pub fn fit(x: &[f64], n_features: usize, y: &[f64], params: &MlpParams) -> Result<Self> {
+        if n_features == 0 || y.is_empty() || x.len() != y.len() * n_features {
+            return Err(MlError::InvalidTrainingData("x/y shape mismatch".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut dims = vec![n_features];
+        dims.extend_from_slice(&params.hidden);
+        dims.push(1);
+        let mut layers: Vec<Layer> = dims
+            .windows(2)
+            .map(|d| {
+                let (n_in, n_out) = (d[0], d[1]);
+                let scale = (2.0 / n_in as f64).sqrt();
+                Layer {
+                    w: (0..n_in * n_out)
+                        .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+                        .collect(),
+                    b: vec![0.0; n_out],
+                    n_in,
+                    n_out,
+                }
+            })
+            .collect();
+
+        let rows = y.len();
+        let bs = params.batch_size.max(1);
+        let mut order: Vec<usize> = (0..rows).collect();
+        for _ in 0..params.epochs {
+            // Fisher–Yates shuffle for minibatch order.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(bs) {
+                sgd_step(&mut layers, x, n_features, y, chunk, params);
+            }
+        }
+        Mlp::new(layers, params.kind)
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Regression or logistic output.
+    pub fn kind(&self) -> LinearKind {
+        self.kind
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.layers[0].n_in
+    }
+
+    /// Predict one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut cur = row.to_vec();
+        let mut next = Vec::new();
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward_into(&cur, &mut next);
+            if li != last {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let score = cur[0];
+        match self.kind {
+            LinearKind::Regression => score,
+            LinearKind::Logistic => 1.0 / (1.0 + (-score).exp()),
+        }
+    }
+
+    /// Predict a row-major batch.
+    pub fn predict_batch(&self, x: &[f64], rows: usize) -> Result<Vec<f64>> {
+        let k = self.n_features();
+        if x.len() != rows * k {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * k,
+                actual: x.len(),
+            });
+        }
+        Ok((0..rows)
+            .map(|r| self.predict_row(&x[r * k..(r + 1) * k]))
+            .collect())
+    }
+}
+
+/// One SGD step over a minibatch (forward + backward + update).
+fn sgd_step(
+    layers: &mut [Layer],
+    x: &[f64],
+    n_features: usize,
+    y: &[f64],
+    batch: &[usize],
+    params: &MlpParams,
+) {
+    let lr = params.learning_rate / batch.len() as f64;
+    for &r in batch {
+        let row = &x[r * n_features..(r + 1) * n_features];
+        // Forward pass, keeping activations per layer.
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(layers.len() + 1);
+        activations.push(row.to_vec());
+        let last = layers.len() - 1;
+        for (li, layer) in layers.iter().enumerate() {
+            let mut out = Vec::new();
+            layer.forward_into(activations.last().unwrap(), &mut out);
+            if li != last {
+                for v in &mut out {
+                    *v = v.max(0.0);
+                }
+            }
+            activations.push(out);
+        }
+        let score = activations.last().unwrap()[0];
+        let pred = match params.kind {
+            LinearKind::Regression => score,
+            LinearKind::Logistic => 1.0 / (1.0 + (-score).exp()),
+        };
+        // dL/dscore for both squared loss (regression) and log loss
+        // (logistic) reduces to (pred - y).
+        let mut delta = vec![pred - y[r]];
+        // Backward pass.
+        for li in (0..layers.len()).rev() {
+            let input = &activations[li];
+            let mut next_delta = vec![0.0f64; layers[li].n_in];
+            {
+                let layer = &mut layers[li];
+                for (i, &xi) in input.iter().enumerate() {
+                    let wrow = &mut layer.w[i * layer.n_out..(i + 1) * layer.n_out];
+                    for (j, (w, &d)) in wrow.iter_mut().zip(&delta).enumerate() {
+                        next_delta[i] += *w * d;
+                        let _ = j;
+                        *w -= lr * d * xi;
+                    }
+                }
+                for (b, &d) in layer.b.iter_mut().zip(&delta) {
+                    *b -= lr * d;
+                }
+            }
+            if li > 0 {
+                // ReLU derivative w.r.t. the *input* activation of this layer.
+                for (nd, &a) in next_delta.iter_mut().zip(&activations[li][..]) {
+                    if a <= 0.0 {
+                        *nd = 0.0;
+                    }
+                }
+            }
+            delta = next_delta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<f64>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..400 {
+            let a = (i / 2) % 2;
+            let b = i % 2;
+            x.push(a as f64);
+            x.push(b as f64);
+            y.push(((a ^ b) == 1) as i64 as f64);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let m = Mlp::fit(
+            &x,
+            2,
+            &y,
+            &MlpParams {
+                hidden: vec![8],
+                epochs: 400,
+                learning_rate: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(m.predict_row(&[0.0, 1.0]) > 0.5);
+        assert!(m.predict_row(&[1.0, 0.0]) > 0.5);
+        assert!(m.predict_row(&[0.0, 0.0]) < 0.5);
+        assert!(m.predict_row(&[1.0, 1.0]) < 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_data();
+        let p = MlpParams {
+            epochs: 5,
+            ..Default::default()
+        };
+        let a = Mlp::fit(&x, 2, &y, &p).unwrap();
+        let b = Mlp::fit(&x, 2, &y, &p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regression_head() {
+        // y = x (identity) — trivially learnable.
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let y = x.clone();
+        let m = Mlp::fit(
+            &x,
+            1,
+            &y,
+            &MlpParams {
+                hidden: vec![4],
+                kind: LinearKind::Regression,
+                epochs: 500,
+                learning_rate: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((m.predict_row(&[0.5]) - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn batch_matches_rows() {
+        let (x, y) = xor_data();
+        let m = Mlp::fit(
+            &x,
+            2,
+            &y,
+            &MlpParams {
+                epochs: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let probe = vec![0.0, 0.0, 1.0, 1.0];
+        let out = m.predict_batch(&probe, 2).unwrap();
+        assert_eq!(out[0], m.predict_row(&[0.0, 0.0]));
+        assert_eq!(out[1], m.predict_row(&[1.0, 1.0]));
+        assert!(m.predict_batch(&probe, 3).is_err());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Mlp::new(vec![], LinearKind::Logistic).is_err());
+        // Mismatched layer dims.
+        let l1 = Layer {
+            w: vec![0.0; 4],
+            b: vec![0.0; 2],
+            n_in: 2,
+            n_out: 2,
+        };
+        let l2 = Layer {
+            w: vec![0.0; 3],
+            b: vec![0.0; 1],
+            n_in: 3,
+            n_out: 1,
+        };
+        assert!(Mlp::new(vec![l1.clone(), l2], LinearKind::Logistic).is_err());
+        // Output width must be 1.
+        assert!(Mlp::new(vec![l1], LinearKind::Logistic).is_err());
+    }
+}

@@ -1,0 +1,509 @@
+//! Model pipelines: featurization steps + estimator.
+//!
+//! A [`Pipeline`] is the paper's "model pipeline": the unit a data
+//! scientist trains, stores in the database, and a SQL query invokes via
+//! `PREDICT`. It owns:
+//!
+//! * an ordered list of [`FeatureStep`]s, each consuming one named input
+//!   column and producing one or more numeric features;
+//! * an [`Estimator`] scoring the concatenated feature vector.
+//!
+//! The flattened feature layout (each input column expands to a contiguous
+//! block of features) is what makes the paper's cross-optimizations
+//! tractable: zero weights map back to input columns
+//! (model-projection pushdown), and relational predicates map onto
+//! feature intervals (predicate-based model pruning).
+
+use crate::error::MlError;
+use crate::featurize::Transform;
+use crate::forest::RandomForest;
+use crate::linear::{LinearKind, LinearModel};
+use crate::mlp::Mlp;
+use crate::tree::{DecisionTree, Interval};
+use crate::Result;
+use raven_data::RecordBatch;
+use std::collections::BTreeSet;
+
+/// One featurization step: `column` → `transform`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStep {
+    pub column: String,
+    pub transform: Transform,
+}
+
+impl FeatureStep {
+    pub fn new(column: impl Into<String>, transform: Transform) -> Self {
+        FeatureStep {
+            column: column.into(),
+            transform,
+        }
+    }
+}
+
+/// The model at the end of a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Estimator {
+    Tree(DecisionTree),
+    Forest(RandomForest),
+    Linear(LinearModel),
+    Mlp(Mlp),
+}
+
+impl Estimator {
+    /// Number of features the estimator expects.
+    pub fn n_features(&self) -> usize {
+        match self {
+            Estimator::Tree(t) => t.n_features(),
+            Estimator::Forest(f) => f.n_features(),
+            Estimator::Linear(l) => l.n_features(),
+            Estimator::Mlp(m) => m.n_features(),
+        }
+    }
+
+    /// Predict one featurized row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        match self {
+            Estimator::Tree(t) => t.predict_row(row),
+            Estimator::Forest(f) => f.predict_row(row),
+            Estimator::Linear(l) => l.predict_row(row),
+            Estimator::Mlp(m) => m.predict_row(row),
+        }
+    }
+
+    /// Predict a row-major featurized batch.
+    pub fn predict_batch(&self, x: &[f64], rows: usize) -> Result<Vec<f64>> {
+        match self {
+            Estimator::Tree(t) => t.predict_batch(x, rows),
+            Estimator::Forest(f) => f.predict_batch(x, rows),
+            Estimator::Linear(l) => l.predict_batch(x, rows),
+            Estimator::Mlp(m) => m.predict_batch(x, rows),
+        }
+    }
+
+    /// Feature indices the estimator can actually be influenced by.
+    ///
+    /// For trees/forests: features appearing in a split. For linear models:
+    /// non-zero weights. MLPs conservatively use everything.
+    pub fn used_features(&self) -> BTreeSet<usize> {
+        match self {
+            Estimator::Tree(t) => t.used_features(),
+            Estimator::Forest(f) => f.used_features(),
+            Estimator::Linear(l) => l.nonzero_features().into_iter().collect(),
+            Estimator::Mlp(m) => (0..m.n_features()).collect(),
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            Estimator::Tree(t) => format!(
+                "DecisionTree(depth={}, nodes={})",
+                t.depth(),
+                t.n_nodes()
+            ),
+            Estimator::Forest(f) => format!(
+                "RandomForest(trees={}, nodes={})",
+                f.trees().len(),
+                f.n_nodes()
+            ),
+            Estimator::Linear(l) => {
+                let kind = match l.kind() {
+                    LinearKind::Regression => "LinearRegression",
+                    LinearKind::Logistic => "LogisticRegression",
+                };
+                format!(
+                    "{kind}(features={}, sparsity={:.1}%)",
+                    l.n_features(),
+                    l.sparsity() * 100.0
+                )
+            }
+            Estimator::Mlp(m) => format!(
+                "MLP(layers={}, features={})",
+                m.layers().len(),
+                m.n_features()
+            ),
+        }
+    }
+}
+
+/// A trained model pipeline: featurization + estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    steps: Vec<FeatureStep>,
+    estimator: Estimator,
+}
+
+impl Pipeline {
+    /// Build a pipeline, validating that the steps' total feature width
+    /// matches the estimator's expectation.
+    pub fn new(steps: Vec<FeatureStep>, estimator: Estimator) -> Result<Self> {
+        if steps.is_empty() {
+            return Err(MlError::InvalidTrainingData("pipeline has no steps".into()));
+        }
+        let width: usize = steps.iter().map(|s| s.transform.n_outputs()).sum();
+        if width != estimator.n_features() {
+            return Err(MlError::DimensionMismatch {
+                expected: estimator.n_features(),
+                actual: width,
+            });
+        }
+        Ok(Pipeline { steps, estimator })
+    }
+
+    /// The featurization steps.
+    pub fn steps(&self) -> &[FeatureStep] {
+        &self.steps
+    }
+
+    /// The estimator.
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// Replace the estimator (used by optimizer rewrites such as pruning);
+    /// the new estimator must accept the same feature width.
+    pub fn with_estimator(&self, estimator: Estimator) -> Result<Pipeline> {
+        Pipeline::new(self.steps.clone(), estimator)
+    }
+
+    /// Names of the raw input columns, in step order.
+    pub fn input_columns(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.column.as_str()).collect()
+    }
+
+    /// Flattened feature names.
+    pub fn feature_names(&self) -> Vec<String> {
+        self.steps
+            .iter()
+            .flat_map(|s| s.transform.output_names(&s.column))
+            .collect()
+    }
+
+    /// Total feature width.
+    pub fn n_features(&self) -> usize {
+        self.steps.iter().map(|s| s.transform.n_outputs()).sum()
+    }
+
+    /// Map a feature index back to the producing step index.
+    pub fn feature_to_step(&self, feature: usize) -> Result<usize> {
+        let mut offset = 0;
+        for (i, step) in self.steps.iter().enumerate() {
+            let w = step.transform.n_outputs();
+            if feature < offset + w {
+                return Ok(i);
+            }
+            offset += w;
+        }
+        Err(MlError::DimensionMismatch {
+            expected: self.n_features(),
+            actual: feature,
+        })
+    }
+
+    /// Half-open feature range `[start, end)` produced by step `step`.
+    pub fn step_feature_range(&self, step: usize) -> Result<(usize, usize)> {
+        if step >= self.steps.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.steps.len(),
+                actual: step,
+            });
+        }
+        let start: usize = self.steps[..step]
+            .iter()
+            .map(|s| s.transform.n_outputs())
+            .sum();
+        Ok((start, start + self.steps[step].transform.n_outputs()))
+    }
+
+    /// Input columns whose features the estimator actually uses. The
+    /// complement is what model-projection pushdown projects out.
+    pub fn used_input_columns(&self) -> Result<BTreeSet<String>> {
+        let mut used = BTreeSet::new();
+        for f in self.estimator.used_features() {
+            let step = self.feature_to_step(f)?;
+            used.insert(self.steps[step].column.clone());
+        }
+        Ok(used)
+    }
+
+    /// Encode raw inputs from a record batch: one value per (row, step) —
+    /// numeric passthrough, categorical → category index. Row-major
+    /// `[rows × steps]`.
+    pub fn encode_inputs(&self, batch: &RecordBatch) -> Result<Vec<f64>> {
+        let n = batch.num_rows();
+        let k = self.steps.len();
+        let per_step: Vec<Vec<f64>> = self
+            .steps
+            .iter()
+            .map(|s| {
+                let col = batch.column_by_name(&s.column)?;
+                s.transform.encode_raw(col)
+            })
+            .collect::<Result<_>>()?;
+        let mut out = vec![0.0; n * k];
+        for (j, col) in per_step.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                out[i * k + j] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Featurize raw encoded inputs (`[rows × steps]`) into the full
+    /// feature matrix (`[rows × n_features]`).
+    pub fn featurize_raw(&self, raw: &[f64], rows: usize) -> Result<Vec<f64>> {
+        let k = self.steps.len();
+        if raw.len() != rows * k {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * k,
+                actual: raw.len(),
+            });
+        }
+        let width = self.n_features();
+        let mut out = Vec::with_capacity(rows * width);
+        for r in 0..rows {
+            let row = &raw[r * k..(r + 1) * k];
+            for (step, &v) in self.steps.iter().zip(row) {
+                step.transform.featurize_value(v, &mut out);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Featurize a record batch directly.
+    pub fn featurize(&self, batch: &RecordBatch) -> Result<Vec<f64>> {
+        let raw = self.encode_inputs(batch)?;
+        self.featurize_raw(&raw, batch.num_rows())
+    }
+
+    /// End-to-end prediction over a record batch (the reference
+    /// "framework-style" scoring path the paper's baselines use).
+    pub fn predict(&self, batch: &RecordBatch) -> Result<Vec<f64>> {
+        let features = self.featurize(batch)?;
+        self.estimator.predict_batch(&features, batch.num_rows())
+    }
+
+    /// End-to-end prediction from raw encoded inputs.
+    pub fn predict_raw(&self, raw: &[f64], rows: usize) -> Result<Vec<f64>> {
+        let features = self.featurize_raw(raw, rows)?;
+        self.estimator.predict_batch(&features, rows)
+    }
+
+    /// Translate per-*input-column* intervals into per-*feature* intervals
+    /// (the bridge from relational predicates to model pruning).
+    ///
+    /// For numeric steps the interval carries over (scaled if needed); for
+    /// one-hot steps an equality constraint pins each indicator feature to
+    /// 0 or 1.
+    pub fn feature_bounds(
+        &self,
+        column_bounds: &[(String, Interval)],
+    ) -> Result<Vec<Interval>> {
+        let mut bounds = vec![Interval::all(); self.n_features()];
+        for (col, interval) in column_bounds {
+            for (si, step) in self.steps.iter().enumerate() {
+                if &step.column != col {
+                    continue;
+                }
+                let (start, end) = self.step_feature_range(si)?;
+                match &step.transform {
+                    Transform::Identity => bounds[start] = bounds[start].intersect(*interval),
+                    Transform::Scale(s) => {
+                        let lo = s.transform_value(interval.lo);
+                        let hi = s.transform_value(interval.hi);
+                        bounds[start] = bounds[start].intersect(Interval { lo, hi });
+                    }
+                    Transform::OneHot(e) => {
+                        if interval.is_point() {
+                            // Equality on the raw category index pins every
+                            // indicator feature.
+                            let idx = interval.lo;
+                            for (f, b) in bounds[start..end].iter_mut().enumerate() {
+                                let v = if idx == f as f64 { 1.0 } else { 0.0 };
+                                *b = b.intersect(Interval::point(v));
+                            }
+                        }
+                        let _ = e;
+                    }
+                }
+            }
+        }
+        Ok(bounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::{OneHotEncoder, StandardScaler};
+    use crate::tree::TreeNode;
+    use raven_data::{Column, Schema};
+    use raven_data::DataType;
+
+    /// Pipeline: [age (scaled), dest (one-hot of 3)] → linear model.
+    fn sample_pipeline() -> Pipeline {
+        let steps = vec![
+            FeatureStep::new(
+                "age",
+                Transform::Scale(StandardScaler {
+                    mean: 40.0,
+                    std: 10.0,
+                }),
+            ),
+            FeatureStep::new(
+                "dest",
+                Transform::OneHot(
+                    OneHotEncoder::new(vec!["JFK".into(), "LAX".into(), "SEA".into()]).unwrap(),
+                ),
+            ),
+        ];
+        let est = Estimator::Linear(
+            LinearModel::new(vec![1.0, 0.5, 0.0, -0.5], 0.1, LinearKind::Regression).unwrap(),
+        );
+        Pipeline::new(steps, est).unwrap()
+    }
+
+    fn sample_batch() -> RecordBatch {
+        let schema = Schema::from_pairs(&[
+            ("age", DataType::Float64),
+            ("dest", DataType::Utf8),
+        ])
+        .into_shared();
+        RecordBatch::try_new(
+            schema,
+            vec![
+                Column::from(vec![50.0, 30.0]),
+                Column::from(vec!["LAX", "ORD"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn width_validation() {
+        let steps = vec![FeatureStep::new("x", Transform::Identity)];
+        let est = Estimator::Linear(
+            LinearModel::new(vec![1.0, 2.0], 0.0, LinearKind::Regression).unwrap(),
+        );
+        assert!(Pipeline::new(steps, est).is_err());
+        assert!(Pipeline::new(
+            vec![],
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap())
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn names_and_ranges() {
+        let p = sample_pipeline();
+        assert_eq!(p.n_features(), 4);
+        assert_eq!(
+            p.feature_names(),
+            vec!["scaled(age)", "dest=JFK", "dest=LAX", "dest=SEA"]
+        );
+        assert_eq!(p.input_columns(), vec!["age", "dest"]);
+        assert_eq!(p.step_feature_range(1).unwrap(), (1, 4));
+        assert_eq!(p.feature_to_step(0).unwrap(), 0);
+        assert_eq!(p.feature_to_step(3).unwrap(), 1);
+        assert!(p.feature_to_step(4).is_err());
+        assert!(p.step_feature_range(2).is_err());
+    }
+
+    #[test]
+    fn encode_and_featurize() {
+        let p = sample_pipeline();
+        let b = sample_batch();
+        let raw = p.encode_inputs(&b).unwrap();
+        // age passthrough; LAX→1, ORD unknown→-1.
+        assert_eq!(raw, vec![50.0, 1.0, 30.0, -1.0]);
+        let feats = p.featurize_raw(&raw, 2).unwrap();
+        assert_eq!(feats, vec![1.0, 0.0, 1.0, 0.0, -1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn predict_end_to_end() {
+        let p = sample_pipeline();
+        let b = sample_batch();
+        let preds = p.predict(&b).unwrap();
+        // row0: 1*1.0 + 0.5*1.0(=LAX? no: weights [scaled, JFK, LAX, SEA])
+        // feats row0 = [1, 0, 1, 0] → 1*1 + 0.5*0 + 0*1 + (-0.5)*0 + 0.1
+        assert!((preds[0] - 1.1).abs() < 1e-9);
+        // feats row1 = [-1, 0, 0, 0] → -1 + 0.1
+        assert!((preds[1] + 0.9).abs() < 1e-9);
+        // predict_raw agrees.
+        let raw = p.encode_inputs(&b).unwrap();
+        assert_eq!(p.predict_raw(&raw, 2).unwrap(), preds);
+    }
+
+    #[test]
+    fn used_input_columns_respects_zero_weights() {
+        // Weights: scaled(age)=1, JFK=0.5, LAX=0, SEA=-0.5 → all columns used.
+        let p = sample_pipeline();
+        let used = p.used_input_columns().unwrap();
+        assert!(used.contains("age") && used.contains("dest"));
+
+        // Zero out everything except age → dest becomes unused.
+        let est = Estimator::Linear(
+            LinearModel::new(vec![1.0, 0.0, 0.0, 0.0], 0.1, LinearKind::Regression).unwrap(),
+        );
+        let p2 = p.with_estimator(est).unwrap();
+        let used = p2.used_input_columns().unwrap();
+        assert!(used.contains("age") && !used.contains("dest"));
+    }
+
+    #[test]
+    fn feature_bounds_numeric_and_onehot() {
+        let p = sample_pipeline();
+        // age = 50 (scaled to 1.0); dest = LAX (index 1).
+        let bounds = p
+            .feature_bounds(&[
+                ("age".into(), Interval::point(50.0)),
+                ("dest".into(), Interval::point(1.0)),
+            ])
+            .unwrap();
+        assert_eq!(bounds[0], Interval::point(1.0)); // (50-40)/10
+        assert_eq!(bounds[1], Interval::point(0.0)); // JFK off
+        assert_eq!(bounds[2], Interval::point(1.0)); // LAX on
+        assert_eq!(bounds[3], Interval::point(0.0)); // SEA off
+    }
+
+    #[test]
+    fn feature_bounds_range_constraint() {
+        let p = sample_pipeline();
+        let bounds = p
+            .feature_bounds(&[("age".into(), Interval::at_least(60.0))])
+            .unwrap();
+        assert_eq!(bounds[0].lo, 2.0); // (60-40)/10
+        assert_eq!(bounds[0].hi, f64::INFINITY);
+        // One-hot features unconstrained by a range predicate.
+        assert_eq!(bounds[1], Interval::all());
+    }
+
+    #[test]
+    fn tree_pipeline_prediction() {
+        // A stump over an identity feature.
+        let tree = DecisionTree::from_nodes(
+            vec![
+                TreeNode::Split {
+                    feature: 0,
+                    threshold: 1.0,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { value: 10.0 },
+                TreeNode::Leaf { value: 20.0 },
+            ],
+            1,
+        )
+        .unwrap();
+        let p = Pipeline::new(
+            vec![FeatureStep::new("x", Transform::Identity)],
+            Estimator::Tree(tree),
+        )
+        .unwrap();
+        let schema = Schema::from_pairs(&[("x", DataType::Float64)]).into_shared();
+        let b = RecordBatch::try_new(schema, vec![Column::from(vec![0.5, 3.0])]).unwrap();
+        assert_eq!(p.predict(&b).unwrap(), vec![10.0, 20.0]);
+        assert_eq!(p.estimator().describe(), "DecisionTree(depth=1, nodes=3)");
+    }
+}

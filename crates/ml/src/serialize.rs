@@ -1,0 +1,393 @@
+//! Binary serialization of model pipelines.
+//!
+//! The paper stores model pipelines inside the RDBMS ("INSERT INTO model
+//! ..."), inheriting transactionality, versioning and auditability. This
+//! module defines the byte format used by the model store:
+//!
+//! ```text
+//! magic "RVP1" | steps | estimator
+//! ```
+//!
+//! All integers are little-endian `u32`/`u64`; floats are `f64`; strings
+//! are length-prefixed UTF-8.
+
+use crate::error::MlError;
+use crate::featurize::{OneHotEncoder, StandardScaler, Transform};
+use crate::forest::RandomForest;
+use crate::linear::{LinearKind, LinearModel};
+use crate::mlp::{Layer, Mlp};
+use crate::pipeline::{Estimator, FeatureStep, Pipeline};
+use crate::tree::{DecisionTree, TreeNode};
+use crate::Result;
+
+const MAGIC: &[u8; 4] = b"RVP1";
+
+/// Serialize a pipeline to bytes.
+pub fn to_bytes(pipeline: &Pipeline) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    w_u32(&mut out, pipeline.steps().len() as u32);
+    for step in pipeline.steps() {
+        w_str(&mut out, &step.column);
+        w_transform(&mut out, &step.transform);
+    }
+    w_estimator(&mut out, pipeline.estimator());
+    out
+}
+
+/// Deserialize a pipeline from bytes.
+pub fn from_bytes(bytes: &[u8]) -> Result<Pipeline> {
+    let mut r = R { b: bytes, p: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(MlError::Serialization("bad pipeline magic".into()));
+    }
+    let n_steps = r.u32()? as usize;
+    let mut steps = Vec::with_capacity(n_steps);
+    for _ in 0..n_steps {
+        let column = r.str()?;
+        let transform = r.transform()?;
+        steps.push(FeatureStep::new(column, transform));
+    }
+    let estimator = r.estimator()?;
+    Pipeline::new(steps, estimator)
+}
+
+fn w_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn w_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn w_str(out: &mut Vec<u8>, s: &str) {
+    w_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+fn w_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    w_u32(out, vs.len() as u32);
+    for &v in vs {
+        w_f64(out, v);
+    }
+}
+
+fn w_transform(out: &mut Vec<u8>, t: &Transform) {
+    match t {
+        Transform::Identity => out.push(0),
+        Transform::Scale(s) => {
+            out.push(1);
+            w_f64(out, s.mean);
+            w_f64(out, s.std);
+        }
+        Transform::OneHot(e) => {
+            out.push(2);
+            w_u32(out, e.categories().len() as u32);
+            for c in e.categories() {
+                w_str(out, c);
+            }
+        }
+    }
+}
+
+fn w_kind(out: &mut Vec<u8>, k: LinearKind) {
+    out.push(match k {
+        LinearKind::Regression => 0,
+        LinearKind::Logistic => 1,
+    });
+}
+
+fn w_tree(out: &mut Vec<u8>, t: &DecisionTree) {
+    w_u32(out, t.n_features() as u32);
+    w_u32(out, t.nodes().len() as u32);
+    for node in t.nodes() {
+        match node {
+            TreeNode::Leaf { value } => {
+                out.push(0);
+                w_f64(out, *value);
+            }
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                out.push(1);
+                w_u32(out, *feature as u32);
+                w_f64(out, *threshold);
+                w_u32(out, *left as u32);
+                w_u32(out, *right as u32);
+            }
+        }
+    }
+}
+
+fn w_estimator(out: &mut Vec<u8>, e: &Estimator) {
+    match e {
+        Estimator::Tree(t) => {
+            out.push(0);
+            w_tree(out, t);
+        }
+        Estimator::Forest(f) => {
+            out.push(1);
+            w_u32(out, f.trees().len() as u32);
+            for t in f.trees() {
+                w_tree(out, t);
+            }
+        }
+        Estimator::Linear(m) => {
+            out.push(2);
+            w_kind(out, m.kind());
+            w_f64(out, m.bias());
+            w_f64s(out, m.weights());
+        }
+        Estimator::Mlp(m) => {
+            out.push(3);
+            w_kind(out, m.kind());
+            w_u32(out, m.layers().len() as u32);
+            for layer in m.layers() {
+                w_u32(out, layer.n_in as u32);
+                w_u32(out, layer.n_out as u32);
+                w_f64s(out, &layer.w);
+                w_f64s(out, &layer.b);
+            }
+        }
+    }
+}
+
+struct R<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+
+impl<'a> R<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.p + n > self.b.len() {
+            return Err(MlError::Serialization("truncated pipeline bytes".into()));
+        }
+        let s = &self.b[self.p..self.p + n];
+        self.p += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| MlError::Serialization("invalid UTF-8".into()))
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn kind(&mut self) -> Result<LinearKind> {
+        match self.u8()? {
+            0 => Ok(LinearKind::Regression),
+            1 => Ok(LinearKind::Logistic),
+            other => Err(MlError::Serialization(format!("bad kind tag {other}"))),
+        }
+    }
+    fn transform(&mut self) -> Result<Transform> {
+        Ok(match self.u8()? {
+            0 => Transform::Identity,
+            1 => Transform::Scale(StandardScaler {
+                mean: self.f64()?,
+                std: self.f64()?,
+            }),
+            2 => {
+                let n = self.u32()? as usize;
+                let cats = (0..n).map(|_| self.str()).collect::<Result<Vec<_>>>()?;
+                Transform::OneHot(OneHotEncoder::new(cats)?)
+            }
+            other => {
+                return Err(MlError::Serialization(format!(
+                    "bad transform tag {other}"
+                )))
+            }
+        })
+    }
+    fn tree(&mut self) -> Result<DecisionTree> {
+        let n_features = self.u32()? as usize;
+        let n_nodes = self.u32()? as usize;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            nodes.push(match self.u8()? {
+                0 => TreeNode::Leaf { value: self.f64()? },
+                1 => TreeNode::Split {
+                    feature: self.u32()? as usize,
+                    threshold: self.f64()?,
+                    left: self.u32()? as usize,
+                    right: self.u32()? as usize,
+                },
+                other => {
+                    return Err(MlError::Serialization(format!("bad node tag {other}")))
+                }
+            });
+        }
+        DecisionTree::from_nodes(nodes, n_features)
+    }
+    fn estimator(&mut self) -> Result<Estimator> {
+        Ok(match self.u8()? {
+            0 => Estimator::Tree(self.tree()?),
+            1 => {
+                let n = self.u32()? as usize;
+                let trees = (0..n).map(|_| self.tree()).collect::<Result<Vec<_>>>()?;
+                Estimator::Forest(RandomForest::from_trees(trees)?)
+            }
+            2 => {
+                let kind = self.kind()?;
+                let bias = self.f64()?;
+                let weights = self.f64s()?;
+                Estimator::Linear(LinearModel::new(weights, bias, kind)?)
+            }
+            3 => {
+                let kind = self.kind()?;
+                let n = self.u32()? as usize;
+                let mut layers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let n_in = self.u32()? as usize;
+                    let n_out = self.u32()? as usize;
+                    let w = self.f64s()?;
+                    let b = self.f64s()?;
+                    layers.push(Layer { w, b, n_in, n_out });
+                }
+                Estimator::Mlp(Mlp::new(layers, kind)?)
+            }
+            other => {
+                return Err(MlError::Serialization(format!(
+                    "bad estimator tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestParams;
+    use crate::mlp::MlpParams;
+    use crate::tree::TreeParams;
+
+    fn tree_pipeline() -> Pipeline {
+        let x: Vec<f64> = (0..60).map(|i| (i % 12) as f64).collect();
+        let y: Vec<f64> = x.chunks(2).map(|c| (c[0] > 5.0) as i64 as f64).collect();
+        let tree = DecisionTree::fit(&x, 2, &y, &TreeParams::default()).unwrap();
+        Pipeline::new(
+            vec![
+                FeatureStep::new("a", Transform::Identity),
+                FeatureStep::new(
+                    "b",
+                    Transform::Scale(StandardScaler {
+                        mean: 3.0,
+                        std: 2.0,
+                    }),
+                ),
+            ],
+            Estimator::Tree(tree),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tree_pipeline_roundtrip() {
+        let p = tree_pipeline();
+        let q = from_bytes(&to_bytes(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn forest_roundtrip() {
+        let x: Vec<f64> = (0..100).map(|i| (i % 9) as f64).collect();
+        let y: Vec<f64> = x.chunks(2).map(|c| (c[0] > 4.0) as i64 as f64).collect();
+        let f = RandomForest::fit(
+            &x,
+            2,
+            &y,
+            &ForestParams {
+                n_trees: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let p = Pipeline::new(
+            vec![
+                FeatureStep::new("a", Transform::Identity),
+                FeatureStep::new("b", Transform::Identity),
+            ],
+            Estimator::Forest(f),
+        )
+        .unwrap();
+        assert_eq!(from_bytes(&to_bytes(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn linear_onehot_roundtrip() {
+        let p = Pipeline::new(
+            vec![FeatureStep::new(
+                "dest",
+                Transform::OneHot(OneHotEncoder::new(vec!["A".into(), "B".into()]).unwrap()),
+            )],
+            Estimator::Linear(
+                LinearModel::new(vec![0.25, -0.75], 0.125, LinearKind::Logistic).unwrap(),
+            ),
+        )
+        .unwrap();
+        assert_eq!(from_bytes(&to_bytes(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn mlp_roundtrip() {
+        let x: Vec<f64> = (0..40).map(|i| (i % 5) as f64).collect();
+        let y: Vec<f64> = x.chunks(2).map(|c| (c[0] > 2.0) as i64 as f64).collect();
+        let m = Mlp::fit(
+            &x,
+            2,
+            &y,
+            &MlpParams {
+                epochs: 3,
+                hidden: vec![4],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let p = Pipeline::new(
+            vec![
+                FeatureStep::new("a", Transform::Identity),
+                FeatureStep::new("b", Transform::Identity),
+            ],
+            Estimator::Mlp(m),
+        )
+        .unwrap();
+        assert_eq!(from_bytes(&to_bytes(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        let bytes = to_bytes(&tree_pipeline());
+        assert!(from_bytes(b"XXXX").is_err());
+        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 0xFF; // implausible step count
+        assert!(from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let p = tree_pipeline();
+        let q = from_bytes(&to_bytes(&p)).unwrap();
+        let raw = vec![1.0, 2.0, 7.0, 0.0, 11.0, 3.0];
+        assert_eq!(
+            p.predict_raw(&raw, 3).unwrap(),
+            q.predict_raw(&raw, 3).unwrap()
+        );
+    }
+}

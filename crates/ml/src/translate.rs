@@ -1,0 +1,514 @@
+//! NN translation: compiling pipelines to tensor graphs.
+//!
+//! This is the paper's §4.2 "NN translation": classical ML operators and
+//! featurizers are rewritten into linear-algebra operators so a highly
+//! optimized NN runtime (here [`raven_tensor`]) executes them with batch
+//! GEMMs — and, in the paper, GPUs.
+//!
+//! Translation strategy per operator (mirroring Hummingbird's GEMM mode):
+//!
+//! * **scaler** → `Div(Sub(x, mean), std)`;
+//! * **one-hot** → replicate the raw category index across `k` columns
+//!   (`MatMul` with a ones row) and compare against the constant category
+//!   index vector (`Equal`);
+//! * **linear/logistic** → `Gemm` (+ `Sigmoid`);
+//! * **decision tree** → the 3-GEMM scheme: evaluate all node conditions
+//!   at once (`MatMul` + `LessOrEqual`), map condition vectors to leaf
+//!   indicators (`MatMul` + `Equal` against the per-leaf true-count), then
+//!   gather leaf values (`MatMul`);
+//! * **random forest** → per-tree translations averaged by one final
+//!   matrix–vector product;
+//! * **MLP** → a chain of `Gemm`/`Relu` (+ `Sigmoid`).
+//!
+//! The translated graph has one input `"input"` of shape
+//! `[rows × n_input_columns]` holding *raw encoded* inputs (numeric values
+//! and categorical indices — exactly what
+//! [`crate::pipeline::Pipeline::encode_inputs`] produces) and one output
+//! `"prediction"` of shape `[rows × 1]`.
+
+use crate::error::MlError;
+use crate::featurize::Transform;
+use crate::linear::{LinearKind, LinearModel};
+use crate::mlp::Mlp;
+use crate::pipeline::{Estimator, Pipeline};
+use crate::tree::{DecisionTree, TreeNode};
+use crate::Result;
+use raven_tensor::{Graph, GraphBuilder, Op, Tensor};
+
+/// Name of the translated graph's input tensor.
+pub const INPUT_NAME: &str = "input";
+/// Name of the translated graph's output tensor.
+pub const OUTPUT_NAME: &str = "prediction";
+
+/// Translate a full pipeline (featurization + estimator) into a graph.
+pub fn translate_pipeline(pipeline: &Pipeline) -> Result<Graph> {
+    let mut b = GraphBuilder::new();
+    let input = b.input(INPUT_NAME);
+
+    // Featurization: each step turns its raw input column into features.
+    let mut feature_parts: Vec<String> = Vec::with_capacity(pipeline.steps().len());
+    for (si, step) in pipeline.steps().iter().enumerate() {
+        let col = b.node(
+            Op::GatherCols { indices: vec![si] },
+            &[&input],
+        );
+        let part = match &step.transform {
+            Transform::Identity => col,
+            Transform::Scale(s) => {
+                let mean = b.initializer(
+                    format!("mean_{si}"),
+                    Tensor::scalar(s.mean as f32),
+                );
+                let std = b.initializer(format!("std_{si}"), Tensor::scalar(s.std as f32));
+                let centered = b.node(Op::Sub, &[&col, &mean]);
+                b.node(Op::Div, &[&centered, &std])
+            }
+            Transform::OneHot(e) => {
+                let k = e.n_outputs();
+                let ones = b.initializer(
+                    format!("ones_{si}"),
+                    Tensor::matrix(1, k, vec![1.0; k])?,
+                );
+                let cats = b.initializer(
+                    format!("cats_{si}"),
+                    Tensor::vector((0..k).map(|i| i as f32).collect()),
+                );
+                let replicated = b.node(Op::MatMul, &[&col, &ones]);
+                b.node(Op::Equal, &[&replicated, &cats])
+            }
+        };
+        feature_parts.push(part);
+    }
+    let features = if feature_parts.len() == 1 {
+        feature_parts.pop().expect("non-empty")
+    } else {
+        let refs: Vec<&str> = feature_parts.iter().map(String::as_str).collect();
+        b.node(Op::Concat { axis: 1 }, &refs)
+    };
+
+    let prediction = translate_estimator_into(&mut b, pipeline.estimator(), &features, "est")?;
+    // Expose under the canonical name.
+    let identity = one(&mut b);
+    b.named_node(Op::Mul, &[&prediction, &identity], OUTPUT_NAME);
+    b.output(OUTPUT_NAME);
+    Ok(b.build()?)
+}
+
+/// Translate a bare estimator over an already-featurized `[rows × f]`
+/// input (used by micro-benchmarks and tests).
+pub fn translate_estimator(estimator: &Estimator) -> Result<Graph> {
+    let mut b = GraphBuilder::new();
+    let input = b.input(INPUT_NAME);
+    let prediction = translate_estimator_into(&mut b, estimator, &input, "est")?;
+    let identity = one(&mut b);
+    b.named_node(Op::Mul, &[&prediction, &identity], OUTPUT_NAME);
+    b.output(OUTPUT_NAME);
+    Ok(b.build()?)
+}
+
+fn one(b: &mut GraphBuilder) -> String {
+    // A shared multiplicative identity used to alias a value to a fixed
+    // output name (the builder's nodes are single-assignment). Repeated
+    // calls overwrite the same initializer with the same value.
+    b.initializer("identity_one", Tensor::scalar(1.0))
+}
+
+fn translate_estimator_into(
+    b: &mut GraphBuilder,
+    estimator: &Estimator,
+    features: &str,
+    prefix: &str,
+) -> Result<String> {
+    match estimator {
+        Estimator::Linear(m) => translate_linear(b, m, features, prefix),
+        Estimator::Tree(t) => translate_tree(b, t, features, prefix),
+        Estimator::Forest(f) => {
+            let mut parts = Vec::with_capacity(f.trees().len());
+            for (ti, tree) in f.trees().iter().enumerate() {
+                parts.push(translate_tree(b, tree, features, &format!("{prefix}_t{ti}"))?);
+            }
+            if parts.len() == 1 {
+                return Ok(parts.pop().expect("non-empty"));
+            }
+            let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+            let stacked = b.node(Op::Concat { axis: 1 }, &refs);
+            let k = parts.len();
+            let avg = b.initializer(
+                format!("{prefix}_avg"),
+                Tensor::matrix(k, 1, vec![1.0 / k as f32; k])?,
+            );
+            Ok(b.node(Op::MatMul, &[&stacked, &avg]))
+        }
+        Estimator::Mlp(m) => translate_mlp(b, m, features, prefix),
+    }
+}
+
+fn translate_linear(
+    b: &mut GraphBuilder,
+    m: &LinearModel,
+    features: &str,
+    prefix: &str,
+) -> Result<String> {
+    let k = m.n_features();
+    let w = b.initializer(
+        format!("{prefix}_w"),
+        Tensor::matrix(k, 1, m.weights().iter().map(|&v| v as f32).collect())?,
+    );
+    let bias = b.initializer(
+        format!("{prefix}_b"),
+        Tensor::vector(vec![m.bias() as f32]),
+    );
+    let score = b.node(
+        Op::Gemm {
+            alpha: 1.0,
+            beta: 1.0,
+        },
+        &[features, &w, &bias],
+    );
+    Ok(match m.kind() {
+        LinearKind::Regression => score,
+        LinearKind::Logistic => b.node(Op::Sigmoid, &[&score]),
+    })
+}
+
+fn translate_mlp(b: &mut GraphBuilder, m: &Mlp, features: &str, prefix: &str) -> Result<String> {
+    let mut cur = features.to_string();
+    let last = m.layers().len() - 1;
+    for (li, layer) in m.layers().iter().enumerate() {
+        let w = b.initializer(
+            format!("{prefix}_w{li}"),
+            Tensor::matrix(
+                layer.n_in,
+                layer.n_out,
+                layer.w.iter().map(|&v| v as f32).collect(),
+            )?,
+        );
+        let bias = b.initializer(
+            format!("{prefix}_b{li}"),
+            Tensor::vector(layer.b.iter().map(|&v| v as f32).collect()),
+        );
+        cur = b.node(
+            Op::Gemm {
+                alpha: 1.0,
+                beta: 1.0,
+            },
+            &[&cur, &w, &bias],
+        );
+        if li != last {
+            cur = b.node(Op::Relu, &[&cur]);
+        }
+    }
+    Ok(match m.kind() {
+        LinearKind::Regression => cur,
+        LinearKind::Logistic => b.node(Op::Sigmoid, &[&cur]),
+    })
+}
+
+/// The 3-GEMM tree translation.
+fn translate_tree(
+    b: &mut GraphBuilder,
+    tree: &DecisionTree,
+    features: &str,
+    prefix: &str,
+) -> Result<String> {
+    let f = tree.n_features();
+    // Collect internal nodes and leaves with stable indices.
+    let mut internal: Vec<usize> = Vec::new();
+    let mut leaves: Vec<usize> = Vec::new();
+    for (i, node) in tree.nodes().iter().enumerate() {
+        match node {
+            TreeNode::Split { .. } => internal.push(i),
+            TreeNode::Leaf { .. } => leaves.push(i),
+        }
+    }
+    let ni = internal.len();
+    let nl = leaves.len();
+
+    if ni == 0 {
+        // Degenerate single-leaf tree: constant output via Gemm with zero
+        // weights (keeps the output row count tied to the input).
+        let TreeNode::Leaf { value } = tree.nodes()[leaves[0]] else {
+            return Err(MlError::Translation("leaf bookkeeping broken".into()));
+        };
+        let w = b.initializer(
+            format!("{prefix}_zero"),
+            Tensor::matrix(f, 1, vec![0.0; f])?,
+        );
+        let bias = b.initializer(
+            format!("{prefix}_const"),
+            Tensor::vector(vec![value as f32]),
+        );
+        return Ok(b.node(
+            Op::Gemm {
+                alpha: 1.0,
+                beta: 1.0,
+            },
+            &[features, &w, &bias],
+        ));
+    }
+
+    let internal_pos = |node: usize| internal.iter().position(|&n| n == node).expect("internal");
+    let leaf_pos = |node: usize| leaves.iter().position(|&n| n == node).expect("leaf");
+
+    // A[f × ni]: one-hot of the feature tested by each internal node.
+    let mut a = vec![0.0f32; f * ni];
+    // B[ni]: thresholds.
+    let mut thresholds = vec![0.0f32; ni];
+    for (col, &n) in internal.iter().enumerate() {
+        let TreeNode::Split {
+            feature, threshold, ..
+        } = tree.nodes()[n]
+        else {
+            unreachable!()
+        };
+        a[feature * ni + col] = 1.0;
+        thresholds[col] = threshold as f32;
+    }
+
+    // C[ni × nl]: +1 when the leaf sits in the left subtree of the node,
+    // -1 for the right subtree; T[nl]: number of +1 entries per leaf;
+    // V[nl × 1]: leaf values.
+    let mut c = vec![0.0f32; ni * nl];
+    let mut t_counts = vec![0.0f32; nl];
+    let mut values = vec![0.0f32; nl];
+    // DFS carrying the path (node, went_left) pairs.
+    let mut stack: Vec<(usize, Vec<(usize, bool)>)> = vec![(0, Vec::new())];
+    while let Some((node, path)) = stack.pop() {
+        match &tree.nodes()[node] {
+            TreeNode::Leaf { value } => {
+                let l = leaf_pos(node);
+                values[l] = *value as f32;
+                for &(split, went_left) in &path {
+                    let row = internal_pos(split);
+                    c[row * nl + l] = if went_left { 1.0 } else { -1.0 };
+                    if went_left {
+                        t_counts[l] += 1.0;
+                    }
+                }
+            }
+            TreeNode::Split { left, right, .. } => {
+                let mut lp = path.clone();
+                lp.push((node, true));
+                stack.push((*left, lp));
+                let mut rp = path;
+                rp.push((node, false));
+                stack.push((*right, rp));
+            }
+        }
+    }
+
+    let a_t = b.initializer(format!("{prefix}_A"), Tensor::matrix(f, ni, a)?);
+    let thr = b.initializer(format!("{prefix}_B"), Tensor::vector(thresholds));
+    let c_t = b.initializer(format!("{prefix}_C"), Tensor::matrix(ni, nl, c)?);
+    let t_t = b.initializer(format!("{prefix}_T"), Tensor::vector(t_counts));
+    let v_t = b.initializer(format!("{prefix}_V"), Tensor::matrix(nl, 1, values)?);
+
+    // S = X·A → node feature values; D = (S <= B) → condition bits.
+    let s = b.node(Op::MatMul, &[features, &a_t]);
+    let d = b.node(Op::LessOrEqual, &[&s, &thr]);
+    // E = D·C; leaf indicator = (E == T).
+    let e = b.node(Op::MatMul, &[&d, &c_t]);
+    let ind = b.node(Op::Equal, &[&e, &t_t]);
+    // Output = Indicator · V.
+    Ok(b.node(Op::MatMul, &[&ind, &v_t]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::{OneHotEncoder, StandardScaler};
+    use crate::forest::{ForestParams, RandomForest};
+    use crate::mlp::MlpParams;
+    use crate::pipeline::FeatureStep;
+    use crate::tree::TreeParams;
+    use raven_tensor::{InferenceSession, SessionOptions};
+    use std::collections::HashMap;
+
+    fn run_graph(graph: &Graph, raw: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+        let session = InferenceSession::new(graph.clone(), SessionOptions::default()).unwrap();
+        let input = Tensor::matrix(rows, cols, raw.iter().map(|&v| v as f32).collect()).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(INPUT_NAME.to_string(), input);
+        let (outs, _) = session.run(&inputs).unwrap();
+        outs[0].data().iter().map(|&v| v as f64).collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol,
+                "row {i}: reference={x} translated={y}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_translation_matches_reference() {
+        let tree = crate::tree::tests::fig1_tree();
+        let est = Estimator::Tree(tree.clone());
+        let graph = translate_estimator(&est).unwrap();
+        // Probe a grid of rows.
+        let mut x = Vec::new();
+        for &p in &[0.0, 1.0] {
+            for &bp in &[100.0, 140.0, 141.0, 180.0] {
+                for &age in &[20.0, 35.0, 36.0, 70.0] {
+                    x.extend_from_slice(&[p, bp, age]);
+                }
+            }
+        }
+        let rows = x.len() / 3;
+        let reference = tree.predict_batch(&x, rows).unwrap();
+        let translated = run_graph(&graph, &x, rows, 3);
+        assert_close(&reference, &translated, 1e-5);
+    }
+
+    #[test]
+    fn trained_tree_translation_matches() {
+        let x: Vec<f64> = (0..300).map(|i| ((i * 37) % 100) as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .chunks(3)
+            .map(|c| if c[0] + c[1] > 10.0 { 1.0 } else { 0.0 })
+            .collect();
+        let tree = DecisionTree::fit(&x, 3, &y, &TreeParams::default()).unwrap();
+        let graph = translate_estimator(&Estimator::Tree(tree.clone())).unwrap();
+        let rows = y.len();
+        assert_close(
+            &tree.predict_batch(&x, rows).unwrap(),
+            &run_graph(&graph, &x, rows, 3),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn single_leaf_tree_translation() {
+        let tree = DecisionTree::from_nodes(vec![TreeNode::Leaf { value: 2.5 }], 2).unwrap();
+        let graph = translate_estimator(&Estimator::Tree(tree)).unwrap();
+        let out = run_graph(&graph, &[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(out, vec![2.5, 2.5]);
+    }
+
+    #[test]
+    fn forest_translation_matches_reference() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i % 10) as f64;
+            let b = ((i * 7) % 10) as f64;
+            x.extend_from_slice(&[a, b]);
+            y.push(if a > b { 1.0 } else { 0.0 });
+        }
+        let forest = RandomForest::fit(
+            &x,
+            2,
+            &y,
+            &ForestParams {
+                n_trees: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let graph = translate_estimator(&Estimator::Forest(forest.clone())).unwrap();
+        let rows = y.len();
+        assert_close(
+            &forest.predict_batch(&x, rows).unwrap(),
+            &run_graph(&graph, &x, rows, 2),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn linear_translation_matches_reference() {
+        let m = LinearModel::new(vec![0.5, -1.5, 2.0], 0.25, LinearKind::Logistic).unwrap();
+        let graph = translate_estimator(&Estimator::Linear(m.clone())).unwrap();
+        let x = vec![1.0, 0.0, 2.0, -1.0, 3.0, 0.5];
+        assert_close(
+            &m.predict_batch(&x, 2).unwrap(),
+            &run_graph(&graph, &x, 2, 3),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn mlp_translation_matches_reference() {
+        let x: Vec<f64> = (0..60).map(|i| (i % 7) as f64 / 3.0).collect();
+        let y: Vec<f64> = x.chunks(2).map(|c| (c[0] > c[1]) as i64 as f64).collect();
+        let m = Mlp::fit(
+            &x,
+            2,
+            &y,
+            &MlpParams {
+                epochs: 10,
+                hidden: vec![5, 3],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let graph = translate_estimator(&Estimator::Mlp(m.clone())).unwrap();
+        let rows = y.len();
+        assert_close(
+            &m.predict_batch(&x, rows).unwrap(),
+            &run_graph(&graph, &x, rows, 2),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn full_pipeline_translation_matches_reference() {
+        use raven_data::{Column, DataType, RecordBatch, Schema};
+        // Pipeline: scaled(age), onehot(dest,3) → logistic regression.
+        let steps = vec![
+            FeatureStep::new(
+                "age",
+                Transform::Scale(StandardScaler {
+                    mean: 40.0,
+                    std: 10.0,
+                }),
+            ),
+            FeatureStep::new(
+                "dest",
+                Transform::OneHot(
+                    OneHotEncoder::new(vec!["JFK".into(), "LAX".into(), "SEA".into()]).unwrap(),
+                ),
+            ),
+        ];
+        let est = Estimator::Linear(
+            LinearModel::new(vec![0.8, 0.3, -0.2, 0.1], -0.05, LinearKind::Logistic).unwrap(),
+        );
+        let pipeline = Pipeline::new(steps, est).unwrap();
+
+        let schema = Schema::from_pairs(&[
+            ("age", DataType::Float64),
+            ("dest", DataType::Utf8),
+        ])
+        .into_shared();
+        let batch = RecordBatch::try_new(
+            schema,
+            vec![
+                Column::from(vec![25.0, 40.0, 61.0, 33.0]),
+                Column::from(vec!["LAX", "JFK", "ORD", "SEA"]),
+            ],
+        )
+        .unwrap();
+
+        let reference = pipeline.predict(&batch).unwrap();
+        let graph = translate_pipeline(&pipeline).unwrap();
+        let raw = pipeline.encode_inputs(&batch).unwrap();
+        let translated = run_graph(&graph, &raw, 4, 2);
+        assert_close(&reference, &translated, 1e-5);
+    }
+
+    #[test]
+    fn pipeline_graph_has_canonical_io() {
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("x", Transform::Identity)],
+            Estimator::Linear(
+                LinearModel::new(vec![2.0], 0.0, LinearKind::Regression).unwrap(),
+            ),
+        )
+        .unwrap();
+        let g = translate_pipeline(&pipeline).unwrap();
+        assert_eq!(g.inputs, vec![INPUT_NAME.to_string()]);
+        assert_eq!(g.outputs, vec![OUTPUT_NAME.to_string()]);
+    }
+}

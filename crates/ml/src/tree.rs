@@ -1,0 +1,782 @@
+//! Decision trees: CART training, inference, and constraint-based pruning.
+
+use crate::error::MlError;
+use crate::Result;
+use std::collections::BTreeSet;
+
+/// A closed interval of values a feature can take.
+///
+/// Intervals drive the paper's *predicate-based model pruning* (§4.1):
+/// the optimizer derives per-feature intervals from relational predicates
+/// (`WHERE pregnant = 1` → `pregnant ∈ [1,1]`) or from data statistics
+/// (`min(age)=36` → `age ∈ [36,∞)`) and prunes unreachable branches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The unconstrained interval `(-∞, +∞)`.
+    pub fn all() -> Interval {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// A single point `[v, v]` (equality constraint).
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `[lo, +∞)`.
+    pub fn at_least(lo: f64) -> Interval {
+        Interval {
+            lo,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// `(-∞, hi]`.
+    pub fn at_most(hi: f64) -> Interval {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi,
+        }
+    }
+
+    /// Intersection of two intervals (may be empty: `lo > hi`).
+    pub fn intersect(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// True if no value satisfies the interval.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// True if the interval pins a single value.
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// One node of an array-encoded decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// Terminal node producing a prediction.
+    Leaf { value: f64 },
+    /// `x[feature] <= threshold` goes left, otherwise right.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Training hyperparameters for [`DecisionTree::fit`].
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    pub min_samples_leaf: usize,
+    /// Restrict splits to these features (used by random forests for
+    /// per-tree feature bagging). `None` = all features.
+    pub allowed_features: Option<Vec<usize>>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 8,
+            min_samples_leaf: 4,
+            allowed_features: None,
+        }
+    }
+}
+
+/// A regression/“soft classification” decision tree.
+///
+/// Trained by CART with variance reduction; for binary labels the leaf
+/// value is the positive-class probability, which makes the same machinery
+/// serve the paper's classification workloads (hospital length-of-stay
+/// buckets, flight delayed/not).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<TreeNode>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Build directly from nodes (root at index 0).
+    pub fn from_nodes(nodes: Vec<TreeNode>, n_features: usize) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(MlError::InvalidTrainingData("empty tree".into()));
+        }
+        for node in &nodes {
+            if let TreeNode::Split {
+                feature,
+                left,
+                right,
+                ..
+            } = node
+            {
+                if *feature >= n_features {
+                    return Err(MlError::DimensionMismatch {
+                        expected: n_features,
+                        actual: *feature,
+                    });
+                }
+                if *left >= nodes.len() || *right >= nodes.len() {
+                    return Err(MlError::Internal("child index out of range".into()));
+                }
+            }
+        }
+        Ok(DecisionTree { nodes, n_features })
+    }
+
+    /// Train with CART (variance reduction) on a row-major matrix
+    /// `x[rows × n_features]` and targets `y`.
+    pub fn fit(x: &[f64], n_features: usize, y: &[f64], params: &TreeParams) -> Result<Self> {
+        if n_features == 0 || y.is_empty() || x.len() != y.len() * n_features {
+            return Err(MlError::InvalidTrainingData(format!(
+                "x has {} values; expected rows({}) × features({})",
+                x.len(),
+                y.len(),
+                n_features
+            )));
+        }
+        let features: Vec<usize> = match &params.allowed_features {
+            Some(fs) => {
+                if let Some(&bad) = fs.iter().find(|&&f| f >= n_features) {
+                    return Err(MlError::DimensionMismatch {
+                        expected: n_features,
+                        actual: bad,
+                    });
+                }
+                fs.clone()
+            }
+            None => (0..n_features).collect(),
+        };
+        let mut nodes = Vec::new();
+        let mut indices: Vec<usize> = (0..y.len()).collect();
+        build_node(
+            x,
+            n_features,
+            y,
+            &mut indices,
+            &features,
+            params,
+            0,
+            &mut nodes,
+        );
+        DecisionTree::from_nodes(nodes, n_features)
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// All nodes (root at index 0).
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Number of internal (split) nodes.
+    pub fn n_internal(&self) -> usize {
+        self.nodes.len() - self.n_leaves()
+    }
+
+    /// Maximum root-to-leaf depth (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn go(nodes: &[TreeNode], i: usize) -> usize {
+            match &nodes[i] {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Split { left, right, .. } => {
+                    1 + go(nodes, *left).max(go(nodes, *right))
+                }
+            }
+        }
+        go(&self.nodes, 0)
+    }
+
+    /// Features actually referenced by some split.
+    pub fn used_features(&self) -> BTreeSet<usize> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                TreeNode::Split { feature, .. } => Some(*feature),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Predict one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predict a row-major batch.
+    pub fn predict_batch(&self, x: &[f64], rows: usize) -> Result<Vec<f64>> {
+        if x.len() != rows * self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * self.n_features,
+                actual: x.len(),
+            });
+        }
+        Ok((0..rows)
+            .map(|r| self.predict_row(&x[r * self.n_features..(r + 1) * self.n_features]))
+            .collect())
+    }
+
+    /// Prune branches unreachable under per-feature `bounds`
+    /// (`bounds.len()` must equal `n_features`).
+    ///
+    /// Pruning is *safe*: a branch is removed only when provably
+    /// unreachable, so the pruned tree agrees with the original on every
+    /// row satisfying the bounds (the property the paper's predicate-based
+    /// model pruning relies on, and which our property tests check).
+    pub fn prune(&self, bounds: &[Interval]) -> Result<DecisionTree> {
+        if bounds.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                actual: bounds.len(),
+            });
+        }
+        let mut nodes = Vec::new();
+        let mut scratch = bounds.to_vec();
+        let root = prune_rec(&self.nodes, 0, &mut scratch, &mut nodes);
+        // `prune_rec` appends children before parents; the root ends up
+        // last. Re-root by rotating it to index 0 for the standard layout.
+        let mut tree = DecisionTree {
+            nodes,
+            n_features: self.n_features,
+        };
+        if root != 0 {
+            tree = tree.rerooted(root);
+        }
+        Ok(tree)
+    }
+
+    /// Rebuild the arena so `new_root` is at index 0 (preorder layout).
+    fn rerooted(&self, new_root: usize) -> DecisionTree {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        fn copy(src: &[TreeNode], i: usize, dst: &mut Vec<TreeNode>) -> usize {
+            let slot = dst.len();
+            dst.push(TreeNode::Leaf { value: 0.0 }); // placeholder
+            match &src[i] {
+                TreeNode::Leaf { value } => {
+                    dst[slot] = TreeNode::Leaf { value: *value };
+                }
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let l = copy(src, *left, dst);
+                    let r = copy(src, *right, dst);
+                    dst[slot] = TreeNode::Split {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: l,
+                        right: r,
+                    };
+                }
+            }
+            slot
+        }
+        copy(&self.nodes, new_root, &mut nodes);
+        DecisionTree {
+            nodes,
+            n_features: self.n_features,
+        }
+    }
+
+    /// Express the tree as nested `CASE WHEN` SQL over the given feature
+    /// expressions — the building block of the paper's *model inlining*
+    /// (§4.2), which turns a tree into a scalar SQL expression that the
+    /// relational engine evaluates natively.
+    pub fn to_sql_case(&self, feature_exprs: &[String]) -> Result<String> {
+        if feature_exprs.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                actual: feature_exprs.len(),
+            });
+        }
+        fn go(nodes: &[TreeNode], i: usize, exprs: &[String]) -> String {
+            match &nodes[i] {
+                TreeNode::Leaf { value } => format!("{value}"),
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => format!(
+                    "CASE WHEN {} <= {} THEN {} ELSE {} END",
+                    exprs[*feature],
+                    threshold,
+                    go(nodes, *left, exprs),
+                    go(nodes, *right, exprs)
+                ),
+            }
+        }
+        Ok(go(&self.nodes, 0, feature_exprs))
+    }
+}
+
+/// Recursive pruning: returns the index (in `out`) of the subtree root.
+fn prune_rec(
+    nodes: &[TreeNode],
+    i: usize,
+    bounds: &mut [Interval],
+    out: &mut Vec<TreeNode>,
+) -> usize {
+    match &nodes[i] {
+        TreeNode::Leaf { value } => {
+            out.push(TreeNode::Leaf { value: *value });
+            out.len() - 1
+        }
+        TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            let b = bounds[*feature];
+            // Left branch handles x <= threshold; reachable iff lo <= threshold.
+            let left_reachable = b.lo <= *threshold;
+            // Right branch handles x > threshold; reachable iff hi > threshold.
+            let right_reachable = b.hi > *threshold;
+            match (left_reachable, right_reachable) {
+                (true, false) => {
+                    let saved = bounds[*feature];
+                    bounds[*feature] = Interval {
+                        lo: saved.lo,
+                        hi: saved.hi.min(*threshold),
+                    };
+                    let idx = prune_rec(nodes, *left, bounds, out);
+                    bounds[*feature] = saved;
+                    idx
+                }
+                (false, true) => {
+                    let saved = bounds[*feature];
+                    bounds[*feature] = Interval {
+                        lo: saved.lo.max(*threshold),
+                        hi: saved.hi,
+                    };
+                    let idx = prune_rec(nodes, *right, bounds, out);
+                    bounds[*feature] = saved;
+                    idx
+                }
+                _ => {
+                    // Both reachable (or bounds empty — keep everything,
+                    // pruning must stay safe).
+                    let saved = bounds[*feature];
+                    bounds[*feature] = Interval {
+                        lo: saved.lo,
+                        hi: saved.hi.min(*threshold),
+                    };
+                    let l = prune_rec(nodes, *left, bounds, out);
+                    bounds[*feature] = Interval {
+                        lo: saved.lo.max(*threshold),
+                        hi: saved.hi,
+                    };
+                    let r = prune_rec(nodes, *right, bounds, out);
+                    bounds[*feature] = saved;
+                    out.push(TreeNode::Split {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: l,
+                        right: r,
+                    });
+                    out.len() - 1
+                }
+            }
+        }
+    }
+}
+
+/// CART node construction. Appends to `nodes` and returns the node index.
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    x: &[f64],
+    n_features: usize,
+    y: &[f64],
+    indices: &mut [usize],
+    features: &[usize],
+    params: &TreeParams,
+    depth: usize,
+    nodes: &mut Vec<TreeNode>,
+) -> usize {
+    let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+    let make_leaf = |nodes: &mut Vec<TreeNode>| {
+        nodes.push(TreeNode::Leaf { value: mean });
+        nodes.len() - 1
+    };
+    if depth >= params.max_depth || indices.len() < 2 * params.min_samples_leaf {
+        return make_leaf(nodes);
+    }
+    // Pure node?
+    let first = y[indices[0]];
+    if indices.iter().all(|&i| y[i] == first) {
+        return make_leaf(nodes);
+    }
+
+    // Find the best (feature, threshold) by variance reduction.
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+    let total_sum: f64 = indices.iter().map(|&i| y[i]).sum();
+    let total_sq: f64 = indices.iter().map(|&i| y[i] * y[i]).sum();
+    let n = indices.len() as f64;
+    let parent_sse = total_sq - total_sum * total_sum / n;
+
+    let mut order: Vec<usize> = Vec::with_capacity(indices.len());
+    for &f in features {
+        order.clear();
+        order.extend_from_slice(indices);
+        order.sort_by(|&a, &b| {
+            x[a * n_features + f]
+                .partial_cmp(&x[b * n_features + f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
+            left_sum += y[i];
+            left_sq += y[i] * y[i];
+            let xv = x[i * n_features + f];
+            let xn = x[order[k + 1] * n_features + f];
+            if xv == xn {
+                continue; // cannot split between equal values
+            }
+            let nl = (k + 1) as f64;
+            let nr = n - nl;
+            if (nl as usize) < params.min_samples_leaf || (nr as usize) < params.min_samples_leaf
+            {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / nl)
+                + (right_sq - right_sum * right_sum / nr);
+            let gain = parent_sse - sse;
+            if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
+                best = Some((f, (xv + xn) / 2.0, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        return make_leaf(nodes);
+    };
+
+    // Partition in place.
+    let mid = itertools_partition(indices, |&i| x[i * n_features + feature] <= threshold);
+    if mid == 0 || mid == indices.len() {
+        return make_leaf(nodes);
+    }
+    let slot = nodes.len();
+    nodes.push(TreeNode::Leaf { value: mean }); // placeholder, replaced below
+    let (left_idx, right_idx) = indices.split_at_mut(mid);
+    let left = build_node(x, n_features, y, left_idx, features, params, depth + 1, nodes);
+    let right = build_node(
+        x, n_features, y, right_idx, features, params, depth + 1, nodes,
+    );
+    nodes[slot] = TreeNode::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    slot
+}
+
+/// Stable partition: move elements satisfying `pred` to the front; returns
+/// the count.
+fn itertools_partition<T: Copy>(slice: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut buf: Vec<T> = Vec::with_capacity(slice.len());
+    let mut rest: Vec<T> = Vec::new();
+    for &v in slice.iter() {
+        if pred(&v) {
+            buf.push(v);
+        } else {
+            rest.push(v);
+        }
+    }
+    let mid = buf.len();
+    buf.extend_from_slice(&rest);
+    slice.copy_from_slice(&buf);
+    mid
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// The running-example tree from Fig. 1 of the paper:
+    /// pregnant? (yes: bp-based; no: age-based).
+    /// Features: [0]=pregnant (0/1), [1]=bp, [2]=age.
+    pub(crate) fn fig1_tree() -> DecisionTree {
+        DecisionTree::from_nodes(
+            vec![
+                // 0: pregnant <= 0.5 → right branch means pregnant=1
+                TreeNode::Split {
+                    feature: 0,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 4,
+                },
+                // 1: not pregnant: age <= 35 ?
+                TreeNode::Split {
+                    feature: 2,
+                    threshold: 35.0,
+                    left: 2,
+                    right: 3,
+                },
+                TreeNode::Leaf { value: 1.0 },
+                TreeNode::Leaf { value: 3.0 },
+                // 4: pregnant: bp <= 140 ?
+                TreeNode::Split {
+                    feature: 1,
+                    threshold: 140.0,
+                    left: 5,
+                    right: 6,
+                },
+                TreeNode::Leaf { value: 4.0 },
+                TreeNode::Leaf { value: 7.0 },
+            ],
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn predict_walks_the_tree() {
+        let t = fig1_tree();
+        assert_eq!(t.predict_row(&[1.0, 150.0, 30.0]), 7.0);
+        assert_eq!(t.predict_row(&[1.0, 120.0, 30.0]), 4.0);
+        assert_eq!(t.predict_row(&[0.0, 120.0, 30.0]), 1.0);
+        assert_eq!(t.predict_row(&[0.0, 120.0, 40.0]), 3.0);
+    }
+
+    #[test]
+    fn structure_metrics() {
+        let t = fig1_tree();
+        assert_eq!(t.n_nodes(), 7);
+        assert_eq!(t.n_leaves(), 4);
+        assert_eq!(t.n_internal(), 3);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.used_features(), BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn prune_with_equality_constraint_drops_branch() {
+        // The paper's example: pregnant = 1 prunes the not-pregnant branch.
+        let t = fig1_tree();
+        let mut bounds = vec![Interval::all(); 3];
+        bounds[0] = Interval::point(1.0);
+        let p = t.prune(&bounds).unwrap();
+        assert_eq!(p.n_nodes(), 3, "only the bp split remains");
+        // age/gender-style features are no longer used → enables
+        // model-projection pushdown downstream.
+        assert_eq!(p.used_features(), BTreeSet::from([1]));
+        // Agreement on all satisfying rows.
+        for bp in [100.0, 140.0, 180.0] {
+            for age in [20.0, 50.0] {
+                let row = [1.0, bp, age];
+                assert_eq!(p.predict_row(&row), t.predict_row(&row));
+            }
+        }
+    }
+
+    #[test]
+    fn prune_with_range_constraint() {
+        let t = fig1_tree();
+        let mut bounds = vec![Interval::all(); 3];
+        bounds[0] = Interval::point(0.0);
+        bounds[2] = Interval::at_least(36.0); // stats say all patients > 35
+        let p = t.prune(&bounds).unwrap();
+        assert_eq!(p.n_nodes(), 1, "collapses to a single leaf");
+        assert_eq!(p.predict_row(&[0.0, 120.0, 40.0]), 3.0);
+    }
+
+    #[test]
+    fn prune_noop_without_constraints() {
+        let t = fig1_tree();
+        let p = t.prune(&[Interval::all(); 3]).unwrap();
+        assert_eq!(p.n_nodes(), t.n_nodes());
+        for row in [[0.0, 100.0, 20.0], [1.0, 150.0, 40.0]] {
+            assert_eq!(p.predict_row(&row), t.predict_row(&row));
+        }
+    }
+
+    #[test]
+    fn prune_validates_bounds_len() {
+        assert!(fig1_tree().prune(&[Interval::all()]).is_err());
+    }
+
+    #[test]
+    fn fit_learns_a_threshold() {
+        // y = 1 if x0 > 5 else 0 — a single split suffices.
+        let x: Vec<f64> = (0..40).map(|i| i as f64 / 4.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| if v > 5.0 { 1.0 } else { 0.0 }).collect();
+        let t = DecisionTree::fit(&x, 1, &y, &TreeParams::default()).unwrap();
+        assert!(t.depth() >= 1);
+        assert_eq!(t.predict_row(&[2.0]), 0.0);
+        assert_eq!(t.predict_row(&[9.0]), 1.0);
+    }
+
+    #[test]
+    fn fit_respects_max_depth() {
+        let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+        let t = DecisionTree::fit(
+            &x,
+            1,
+            &y,
+            &TreeParams {
+                max_depth: 2,
+                min_samples_leaf: 1,
+                allowed_features: None,
+            },
+        )
+        .unwrap();
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn fit_respects_allowed_features() {
+        // Two features; only feature 1 is allowed, and only feature 0 is
+        // informative → the tree must stay a stump or split on feature 1.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..32 {
+            x.push(if i < 16 { 0.0 } else { 1.0 }); // informative
+            x.push(0.5); // constant
+            y.push(if i < 16 { 0.0 } else { 1.0 });
+        }
+        let t = DecisionTree::fit(
+            &x,
+            2,
+            &y,
+            &TreeParams {
+                allowed_features: Some(vec![1]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!t.used_features().contains(&0));
+    }
+
+    #[test]
+    fn fit_rejects_bad_shapes() {
+        assert!(DecisionTree::fit(&[1.0, 2.0], 1, &[1.0], &TreeParams::default()).is_err());
+        assert!(DecisionTree::fit(&[], 0, &[], &TreeParams::default()).is_err());
+        assert!(DecisionTree::fit(
+            &[1.0],
+            1,
+            &[1.0],
+            &TreeParams {
+                allowed_features: Some(vec![5]),
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn batch_matches_rows() {
+        let t = fig1_tree();
+        let x = vec![1.0, 150.0, 30.0, 0.0, 120.0, 40.0];
+        let out = t.predict_batch(&x, 2).unwrap();
+        assert_eq!(out, vec![7.0, 3.0]);
+        assert!(t.predict_batch(&x, 3).is_err());
+    }
+
+    #[test]
+    fn sql_case_generation() {
+        let t = fig1_tree();
+        let sql = t
+            .to_sql_case(&[
+                "pregnant".to_string(),
+                "bp".to_string(),
+                "age".to_string(),
+            ])
+            .unwrap();
+        assert!(sql.starts_with("CASE WHEN pregnant <= 0.5"));
+        assert!(sql.contains("bp <= 140"));
+        assert!(sql.contains("ELSE 7 END"));
+        assert!(t.to_sql_case(&["a".into()]).is_err());
+    }
+
+    #[test]
+    fn from_nodes_validates() {
+        assert!(DecisionTree::from_nodes(vec![], 1).is_err());
+        assert!(DecisionTree::from_nodes(
+            vec![TreeNode::Split {
+                feature: 0,
+                threshold: 0.0,
+                left: 5,
+                right: 6
+            }],
+            1
+        )
+        .is_err());
+        assert!(DecisionTree::from_nodes(
+            vec![TreeNode::Split {
+                feature: 3,
+                threshold: 0.0,
+                left: 0,
+                right: 0
+            }],
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn interval_algebra() {
+        let a = Interval::at_least(3.0);
+        let b = Interval::at_most(5.0);
+        let c = a.intersect(b);
+        assert_eq!(c, Interval { lo: 3.0, hi: 5.0 });
+        assert!(!c.is_empty());
+        assert!(Interval::point(2.0).intersect(Interval::at_least(3.0)).is_empty());
+        assert!(Interval::point(4.0).is_point());
+    }
+}

@@ -1,0 +1,257 @@
+//! Constraint collection below a plan node.
+//!
+//! The data→model rules need to know, at a model operator, which
+//! constraints hold on its input columns. Constraints come from two
+//! sources the paper names explicitly (§4.1):
+//!
+//! * **relational predicates** — `Filter` nodes below the model
+//!   (`WHERE pregnant = 1`);
+//! * **data statistics** — per-column stats of the scanned tables ("we
+//!   might observe ... that all patients are above 35"); derived
+//!   constraints are valid for the data currently in the table, exactly
+//!   the paper's model-clustering/derived-predicate regime.
+//!
+//! Constraint keys are rewritten through `Project` renames so they are
+//! expressed in the column names visible at the model's input.
+
+use crate::context::OptimizerContext;
+use raven_ir::analyze::{extract_constraints, ColumnConstraints};
+use raven_ir::{Expr, Plan};
+use raven_ml::tree::Interval;
+
+/// Collect constraints that hold for every row entering `plan`'s output.
+pub fn constraints_below(plan: &Plan, ctx: &OptimizerContext<'_>) -> ColumnConstraints {
+    match plan {
+        Plan::Scan { table, .. } => {
+            let mut out = ColumnConstraints::default();
+            if !ctx.rules.stats_derived_predicates {
+                return out;
+            }
+            let Ok(stats) = ctx.catalog.stats(table) else {
+                return out;
+            };
+            for col in &stats.columns {
+                // Constant columns become equality constraints; otherwise
+                // min/max become a derived range predicate.
+                if let Some(v) = col.constant_value() {
+                    match v {
+                        raven_data::Value::Utf8(s) => {
+                            out.equal_strings.insert(col.name.clone(), s);
+                        }
+                        other => {
+                            if let Ok(x) = other.as_f64() {
+                                out.intervals.insert(col.name.clone(), Interval::point(x));
+                            }
+                        }
+                    }
+                } else if let (Some(lo), Some(hi)) = (col.min, col.max) {
+                    out.intervals
+                        .insert(col.name.clone(), Interval { lo, hi });
+                }
+            }
+            out
+        }
+        Plan::Filter { input, predicate } => {
+            let mut out = constraints_below(input, ctx);
+            out.merge(&extract_constraints(predicate));
+            out
+        }
+        Plan::Project { input, exprs } => {
+            let inner = constraints_below(input, ctx);
+            let mut out = ColumnConstraints::default();
+            for (expr, name) in exprs {
+                if let Expr::Column(old) = expr {
+                    if let Some(iv) = inner.intervals.get(old) {
+                        out.intervals.insert(name.clone(), *iv);
+                    }
+                    if let Some(s) = inner.equal_strings.get(old) {
+                        out.equal_strings.insert(name.clone(), s.clone());
+                    }
+                }
+            }
+            out
+        }
+        Plan::Join { left, right, .. } => {
+            let mut out = constraints_below(left, ctx);
+            out.merge(&constraints_below(right, ctx));
+            out
+        }
+        Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::Predict { input, .. }
+        | Plan::TensorPredict { input, .. }
+        | Plan::ClusteredPredict { input, .. }
+        | Plan::Udf { input, .. } => constraints_below(input, ctx),
+        // Conservative: no constraints survive aggregation or union.
+        Plan::Aggregate { .. } | Plan::Union { .. } => ColumnConstraints::default(),
+    }
+}
+
+/// Turn column constraints into per-feature [`Interval`]s for a pipeline,
+/// translating categorical string equalities through the one-hot encoder.
+pub fn feature_bounds_for(
+    pipeline: &raven_ml::Pipeline,
+    constraints: &ColumnConstraints,
+) -> Vec<(String, Interval)> {
+    let mut column_bounds: Vec<(String, Interval)> = Vec::new();
+    for (col, iv) in &constraints.intervals {
+        column_bounds.push((col.clone(), *iv));
+    }
+    for (col, value) in &constraints.equal_strings {
+        // Find the one-hot step for this column (allowing a qualified
+        // plan-side name like `f.dest` to match the bare step `dest`) and
+        // map the category to its raw index (unknown → -1, which one-hots
+        // to all zeros).
+        let suffix = col.rsplit_once('.').map(|(_, s)| s).unwrap_or(col);
+        for step in pipeline.steps() {
+            if step.column == *col || step.column == suffix {
+                if let raven_ml::Transform::OneHot(encoder) = &step.transform {
+                    let idx = encoder.encode_index(value);
+                    column_bounds.push((step.column.clone(), Interval::point(idx)));
+                }
+            }
+        }
+    }
+    // Suffix matching: plan columns may be qualified (`d.pregnant`) while
+    // pipeline steps use bare names (`pregnant`). Add unqualified aliases.
+    let mut extra = Vec::new();
+    for (name, iv) in &column_bounds {
+        if let Some((_, suffix)) = name.rsplit_once('.') {
+            if pipeline.input_columns().contains(&suffix) {
+                extra.push((suffix.to_string(), *iv));
+            }
+        }
+    }
+    column_bounds.extend(extra);
+    column_bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{Catalog, Column, DataType, Schema, Table};
+    use raven_ml::featurize::{OneHotEncoder, Transform};
+    use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Pipeline};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            "patients",
+            Table::try_new(
+                Schema::from_pairs(&[
+                    ("age", DataType::Float64),
+                    ("gender", DataType::Utf8),
+                ])
+                .into_shared(),
+                vec![
+                    Column::from(vec![36.0, 50.0, 41.0]),
+                    Column::from(vec!["F", "F", "F"]),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn scan(cat: &Catalog) -> Plan {
+        Plan::Scan {
+            table: "patients".into(),
+            schema: cat.table("patients").unwrap().schema().clone(),
+        }
+    }
+
+    #[test]
+    fn stats_derive_constraints() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let c = constraints_below(&scan(&cat), &ctx);
+        // gender is constant 'F'; age has a [36, 50] range.
+        assert_eq!(c.equal_strings["gender"], "F");
+        assert_eq!(c.intervals["age"], Interval { lo: 36.0, hi: 50.0 });
+    }
+
+    #[test]
+    fn stats_respect_rule_toggle() {
+        let cat = catalog();
+        let mut ctx = OptimizerContext::new(&cat);
+        ctx.rules.stats_derived_predicates = false;
+        assert!(constraints_below(&scan(&cat), &ctx).is_empty());
+    }
+
+    #[test]
+    fn filter_constraints_merge_with_stats() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Filter {
+            input: Box::new(scan(&cat)),
+            predicate: Expr::col("age").gt(Expr::lit(40i64)),
+        };
+        let c = constraints_below(&plan, &ctx);
+        // Stats say [36,50]; predicate says [40,inf) → merged [40,50].
+        assert_eq!(c.intervals["age"], Interval { lo: 40.0, hi: 50.0 });
+    }
+
+    #[test]
+    fn project_renames_constraint_keys() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Project {
+            input: Box::new(Plan::Filter {
+                input: Box::new(scan(&cat)),
+                predicate: Expr::col("age").eq(Expr::lit(42i64)),
+            }),
+            exprs: vec![(Expr::col("age"), "pi.age".into())],
+        };
+        let c = constraints_below(&plan, &ctx);
+        assert_eq!(c.intervals["pi.age"], Interval::point(42.0));
+        assert!(!c.intervals.contains_key("age"));
+    }
+
+    #[test]
+    fn aggregates_drop_constraints() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Aggregate {
+            input: Box::new(scan(&cat)),
+            group_by: vec!["gender".into()],
+            aggregates: vec![],
+        };
+        assert!(constraints_below(&plan, &ctx).is_empty());
+    }
+
+    #[test]
+    fn feature_bounds_map_categorical_equality() {
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new(
+                "gender",
+                Transform::OneHot(OneHotEncoder::new(vec!["F".into(), "M".into()]).unwrap()),
+            )],
+            Estimator::Linear(
+                LinearModel::new(vec![1.0, -1.0], 0.0, LinearKind::Regression).unwrap(),
+            ),
+        )
+        .unwrap();
+        let mut c = ColumnConstraints::default();
+        c.equal_strings.insert("gender".into(), "F".into());
+        let bounds = feature_bounds_for(&pipeline, &c);
+        assert!(bounds.contains(&("gender".to_string(), Interval::point(0.0))));
+        let _ = Arc::new(pipeline);
+    }
+
+    #[test]
+    fn qualified_names_alias_to_bare_steps() {
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("age", Transform::Identity)],
+            Estimator::Linear(
+                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
+            ),
+        )
+        .unwrap();
+        let mut c = ColumnConstraints::default();
+        c.intervals.insert("d.age".into(), Interval::point(40.0));
+        let bounds = feature_bounds_for(&pipeline, &c);
+        assert!(bounds.contains(&("age".to_string(), Interval::point(40.0))));
+    }
+}

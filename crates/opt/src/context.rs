@@ -1,0 +1,133 @@
+//! Optimizer configuration.
+
+use raven_data::Catalog;
+use raven_ir::Device;
+
+/// Per-rule toggles — the knobs the ablation benchmarks sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    pub predicate_model_pruning: bool,
+    pub stats_derived_predicates: bool,
+    pub model_projection_pushdown: bool,
+    pub projection_pushdown: bool,
+    pub join_elimination: bool,
+    pub predicate_pushdown: bool,
+    pub expr_constant_folding: bool,
+    pub model_inlining: bool,
+    pub nn_translation: bool,
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet::all()
+    }
+}
+
+impl RuleSet {
+    /// Everything on (the paper's full Raven configuration).
+    pub fn all() -> RuleSet {
+        RuleSet {
+            predicate_model_pruning: true,
+            stats_derived_predicates: true,
+            model_projection_pushdown: true,
+            projection_pushdown: true,
+            join_elimination: true,
+            predicate_pushdown: true,
+            expr_constant_folding: true,
+            model_inlining: true,
+            nn_translation: true,
+        }
+    }
+
+    /// Everything off (the unoptimized baseline).
+    pub fn none() -> RuleSet {
+        RuleSet {
+            predicate_model_pruning: false,
+            stats_derived_predicates: false,
+            model_projection_pushdown: false,
+            projection_pushdown: false,
+            join_elimination: false,
+            predicate_pushdown: false,
+            expr_constant_folding: false,
+            model_inlining: false,
+            nn_translation: false,
+        }
+    }
+
+    /// Only the classical relational rewrites (what a plain DBMS does).
+    pub fn relational_only() -> RuleSet {
+        RuleSet {
+            projection_pushdown: true,
+            predicate_pushdown: true,
+            expr_constant_folding: true,
+            join_elimination: true,
+            ..RuleSet::none()
+        }
+    }
+}
+
+/// Everything rules need to make decisions.
+pub struct OptimizerContext<'a> {
+    /// Catalog for table statistics (derived predicates, cost model).
+    pub catalog: &'a Catalog,
+    /// Rule toggles.
+    pub rules: RuleSet,
+    /// Trees with at most this many nodes are inlined as CASE expressions
+    /// rather than NN-translated (the paper: "small decision trees can be
+    /// inlined").
+    pub inline_max_tree_nodes: usize,
+    /// Device NN-translated models run on.
+    pub device: Device,
+    /// Assume inner equi-joins are key-preserving (FK → PK), enabling join
+    /// elimination. Holds for the paper's hospital/flight schemas; the
+    /// rule is disabled when false.
+    pub assume_fk_joins: bool,
+}
+
+impl<'a> OptimizerContext<'a> {
+    pub fn new(catalog: &'a Catalog) -> Self {
+        OptimizerContext {
+            catalog,
+            rules: RuleSet::all(),
+            inline_max_tree_nodes: 512,
+            device: Device::CpuParallel,
+            assume_fk_joins: true,
+        }
+    }
+
+    /// Builder-style rule override.
+    pub fn with_rules(mut self, rules: RuleSet) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Builder-style device override.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_sets() {
+        assert!(RuleSet::all().model_inlining);
+        assert!(!RuleSet::none().model_inlining);
+        let rel = RuleSet::relational_only();
+        assert!(rel.predicate_pushdown && !rel.nn_translation);
+    }
+
+    #[test]
+    fn context_builders() {
+        let cat = Catalog::new();
+        let ctx = OptimizerContext::new(&cat)
+            .with_rules(RuleSet::none())
+            .with_device(Device::Gpu);
+        assert_eq!(ctx.rules, RuleSet::none());
+        assert_eq!(ctx.device, Device::Gpu);
+        assert_eq!(ctx.inline_max_tree_nodes, 512);
+    }
+}

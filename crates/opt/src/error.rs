@@ -1,0 +1,55 @@
+//! Error type for the optimizer.
+
+use std::fmt;
+
+/// Errors produced during optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// An ML-layer operation (pruning, projection, translation) failed.
+    Ml(String),
+    /// IR-level failure.
+    Ir(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Ml(msg) => write!(f, "ml error during optimization: {msg}"),
+            OptError::Ir(msg) => write!(f, "ir error during optimization: {msg}"),
+            OptError::Internal(msg) => write!(f, "internal optimizer error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<raven_ml::MlError> for OptError {
+    fn from(e: raven_ml::MlError) -> Self {
+        OptError::Ml(e.to_string())
+    }
+}
+
+impl From<raven_ir::IrError> for OptError {
+    fn from(e: raven_ir::IrError) -> Self {
+        OptError::Ir(e.to_string())
+    }
+}
+
+impl From<raven_data::DataError> for OptError {
+    fn from(e: raven_data::DataError) -> Self {
+        OptError::Ir(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: OptError = raven_ir::IrError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("unknown column"));
+    }
+}

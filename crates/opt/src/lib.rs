@@ -1,0 +1,41 @@
+//! # raven-opt
+//!
+//! Raven's **Cross Optimizer** (§4 of *"Extending Relational Query
+//! Processing with ML Inference"*, CIDR 2020): transformation rules over
+//! the unified IR that pass information between data and ML operators, and
+//! operator transformations that move work to the most efficient engine.
+//!
+//! Implemented rules (paper §4.1/§4.2):
+//!
+//! | Rule | Direction | Module |
+//! |---|---|---|
+//! | Predicate-based model pruning | data → model | [`rules::pruning`] |
+//! | Derived predicates from data statistics | data → model | [`constraints`] |
+//! | Model-projection pushdown | model → data | [`rules::projection`] |
+//! | Generic projection pushdown + join elimination | RA | [`rules::projection`] |
+//! | Predicate pushdown | RA | [`rules::pushdown`] |
+//! | Expression constant folding | RA | [`rules::folding`] |
+//! | Model inlining (tree → CASE, linear → arithmetic) | MLD → RA | [`rules::inlining`] |
+//! | NN translation (pipeline → tensor graph) | MLD → LA | [`rules::translation`] |
+//! | Model clustering (offline specialization) | data → model | [`rules::clustering`] |
+//!
+//! Two drivers ([`optimizer`]): the paper's *heuristic* optimizer (all
+//! rules in a fixed order, to fixpoint) and an initial *cost-based* one
+//! that prices a handful of alternative rule schedules with the cost
+//! model in [`cost`] and picks the cheapest — including the choice of
+//! engine (relational CASE vs tensor runtime vs classical scorer) per
+//! model operator.
+
+pub mod constraints;
+pub mod context;
+pub mod cost;
+pub mod error;
+pub mod optimizer;
+pub mod rules;
+
+pub use context::{OptimizerContext, RuleSet};
+pub use error::OptError;
+pub use optimizer::{optimize, OptimizationReport, Optimizer, OptimizerMode};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OptError>;

@@ -1,0 +1,107 @@
+//! Expression constant folding (the relational half of the paper's
+//! "compiler optimizations"; the tensor-graph half lives in
+//! `raven_tensor::optimize`).
+
+use crate::context::OptimizerContext;
+use crate::Result;
+use raven_data::Value;
+use raven_ir::{Expr, Plan};
+
+/// Fold constants in all predicates and projections; drop always-true
+/// filters.
+pub fn apply(plan: Plan, _ctx: &OptimizerContext<'_>) -> Result<Plan> {
+    Ok(plan.transform_up(&|node| match node {
+        Plan::Filter { input, predicate } => {
+            let folded = predicate.fold_constants();
+            if folded == Expr::Literal(Value::Bool(true)) {
+                *input
+            } else {
+                Plan::Filter {
+                    input,
+                    predicate: folded,
+                }
+            }
+        }
+        Plan::Project { input, exprs } => Plan::Project {
+            input,
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (e.fold_constants(), n))
+                .collect(),
+        },
+        other => other,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{Catalog, Column, DataType, Schema, Table};
+    use raven_ir::BinOp;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            "t",
+            Table::try_new(
+                Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+                vec![Column::from(vec![1.0])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn scan(cat: &Catalog) -> Plan {
+        Plan::Scan {
+            table: "t".into(),
+            schema: cat.table("t").unwrap().schema().clone(),
+        }
+    }
+
+    #[test]
+    fn always_true_filter_removed() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Filter {
+            input: Box::new(scan(&cat)),
+            predicate: Expr::lit(1i64).lt(Expr::lit(2i64)),
+        };
+        let out = apply(plan, &ctx).unwrap();
+        assert!(matches!(out, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn arithmetic_folded_in_projection() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Project {
+            input: Box::new(scan(&cat)),
+            exprs: vec![(
+                Expr::binary(
+                    BinOp::Multiply,
+                    Expr::col("x"),
+                    Expr::binary(BinOp::Plus, Expr::lit(2i64), Expr::lit(3i64)),
+                ),
+                "y".into(),
+            )],
+        };
+        let out = apply(plan, &ctx).unwrap();
+        let Plan::Project { exprs, .. } = &out else { panic!() };
+        assert_eq!(exprs[0].0.to_string(), "(x * 5)");
+    }
+
+    #[test]
+    fn partial_boolean_simplification() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Filter {
+            input: Box::new(scan(&cat)),
+            predicate: Expr::lit(true).and(Expr::col("x").gt(Expr::lit(0i64))),
+        };
+        let out = apply(plan, &ctx).unwrap();
+        let Plan::Filter { predicate, .. } = &out else { panic!() };
+        assert_eq!(predicate.to_string(), "(x > 0)");
+    }
+}

@@ -1,0 +1,403 @@
+//! Model inlining (paper §4.2): translate small ML models into relational
+//! scalar expressions.
+//!
+//! A decision tree becomes a nested `CASE WHEN` expression; a linear
+//! regression becomes arithmetic. The `Predict` node disappears and the
+//! relational engine evaluates the model natively — SQL Server's Froid-
+//! style UDF inlining, which the paper measures at ~17× over external
+//! scoring for a 300K-row hospital query (Fig. 2(c)).
+//!
+//! Featurizers inline too: a scaler becomes `(col - mean) / std`; a
+//! one-hot indicator becomes `CASE WHEN col = 'cat' THEN 1 ELSE 0 END`.
+//! Logistic outputs and MLPs are not inlinable (no `exp` in the relational
+//! expression language) and stay model operators.
+
+use crate::context::OptimizerContext;
+use crate::error::OptError;
+use crate::Result;
+use raven_ir::{BinOp, Expr, Plan};
+use raven_ml::featurize::Transform;
+use raven_ml::tree::TreeNode;
+use raven_ml::{DecisionTree, Estimator, LinearKind, Pipeline};
+use std::cell::RefCell;
+
+/// Apply model inlining to every eligible `Predict` node.
+pub fn apply(plan: Plan, ctx: &OptimizerContext<'_>) -> Result<Plan> {
+    let failure: RefCell<Option<OptError>> = RefCell::new(None);
+    let out = plan.transform_up(&|node| {
+        if failure.borrow().is_some() {
+            return node;
+        }
+        let Plan::Predict {
+            input,
+            model,
+            output,
+            mode,
+        } = node
+        else {
+            return node;
+        };
+        if mode != raven_ir::ExecutionMode::InProcess {
+            return Plan::Predict {
+                input,
+                model,
+                output,
+                mode,
+            };
+        }
+        let eligible = match model.pipeline.estimator() {
+            Estimator::Tree(t) => t.n_nodes() <= ctx.inline_max_tree_nodes,
+            Estimator::Linear(m) => m.kind() == LinearKind::Regression,
+            _ => false,
+        };
+        if !eligible {
+            return Plan::Predict {
+                input,
+                model,
+                output,
+                mode,
+            };
+        }
+        match inline_expr(&model.pipeline, &input) {
+            Ok(Some(expr)) => {
+                // Project: passthrough of every input column + the score.
+                let schema = match input.schema() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        *failure.borrow_mut() = Some(e.into());
+                        return Plan::Predict {
+                            input,
+                            model,
+                            output,
+                            mode,
+                        };
+                    }
+                };
+                let mut exprs: Vec<(Expr, String)> = schema
+                    .fields()
+                    .iter()
+                    .map(|f| (Expr::col(f.name.clone()), f.name.clone()))
+                    .collect();
+                exprs.push((expr, output));
+                Plan::Project { input, exprs }
+            }
+            Ok(None) => Plan::Predict {
+                input,
+                model,
+                output,
+                mode,
+            },
+            Err(e) => {
+                *failure.borrow_mut() = Some(e);
+                Plan::Predict {
+                    input,
+                    model,
+                    output,
+                    mode,
+                }
+            }
+        }
+    });
+    match failure.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Build the scalar expression for a pipeline, or `None` if not inlinable.
+pub fn inline_expr(pipeline: &Pipeline, input: &Plan) -> Result<Option<Expr>> {
+    let schema = input.schema()?;
+    // Per-feature scalar expressions (featurizer inlining).
+    let mut feature_exprs: Vec<Expr> = Vec::with_capacity(pipeline.n_features());
+    for step in pipeline.steps() {
+        // Resolve to the qualified field name visible in the schema.
+        let Ok(idx) = schema.index_of(&step.column) else {
+            return Ok(None);
+        };
+        let field = schema.field(idx)?.name.clone();
+        match &step.transform {
+            Transform::Identity => feature_exprs.push(Expr::col(field)),
+            Transform::Scale(s) => feature_exprs.push(Expr::binary(
+                BinOp::Divide,
+                Expr::binary(BinOp::Minus, Expr::col(field), Expr::lit(s.mean)),
+                Expr::lit(s.std),
+            )),
+            Transform::OneHot(encoder) => {
+                for cat in encoder.categories() {
+                    feature_exprs.push(Expr::Case {
+                        branches: vec![(
+                            Expr::col(field.clone()).eq(Expr::lit(cat.as_str())),
+                            Expr::lit(1.0f64),
+                        )],
+                        else_expr: Box::new(Expr::lit(0.0f64)),
+                    });
+                }
+            }
+        }
+    }
+
+    match pipeline.estimator() {
+        Estimator::Tree(tree) => Ok(Some(tree_to_expr(tree, &feature_exprs))),
+        Estimator::Linear(m) if m.kind() == LinearKind::Regression => {
+            let mut acc = Expr::lit(m.bias());
+            for (w, fe) in m.weights().iter().zip(&feature_exprs) {
+                if *w == 0.0 {
+                    continue; // projection pushdown's arithmetic twin
+                }
+                acc = Expr::binary(
+                    BinOp::Plus,
+                    acc,
+                    Expr::binary(BinOp::Multiply, Expr::lit(*w), fe.clone()),
+                );
+            }
+            Ok(Some(acc))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Recursive tree → CASE construction.
+fn tree_to_expr(tree: &DecisionTree, feature_exprs: &[Expr]) -> Expr {
+    fn go(nodes: &[TreeNode], i: usize, feats: &[Expr]) -> Expr {
+        match &nodes[i] {
+            TreeNode::Leaf { value } => Expr::lit(*value),
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => Expr::Case {
+                branches: vec![(
+                    feats[*feature].clone().lt_eq(Expr::lit(*threshold)),
+                    go(nodes, *left, feats),
+                )],
+                else_expr: Box::new(go(nodes, *right, feats)),
+            },
+        }
+    }
+    go(tree.nodes(), 0, feature_exprs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{Catalog, Column, DataType, Schema, Table};
+    use raven_ir::{ExecutionMode, ModelRef};
+    use raven_ml::featurize::{OneHotEncoder, StandardScaler};
+    use raven_ml::{FeatureStep, LinearModel, Mlp};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            "t",
+            Table::try_new(
+                Schema::from_pairs(&[
+                    ("bp", DataType::Float64),
+                    ("dest", DataType::Utf8),
+                ])
+                .into_shared(),
+                vec![
+                    Column::from(vec![120.0, 150.0]),
+                    Column::from(vec!["JFK", "LAX"]),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn scan(cat: &Catalog) -> Plan {
+        Plan::Scan {
+            table: "t".into(),
+            schema: cat.table("t").unwrap().schema().clone(),
+        }
+    }
+
+    fn stump() -> DecisionTree {
+        DecisionTree::from_nodes(
+            vec![
+                TreeNode::Split {
+                    feature: 0,
+                    threshold: 140.0,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { value: 2.0 },
+                TreeNode::Leaf { value: 7.0 },
+            ],
+            1,
+        )
+        .unwrap()
+    }
+
+    fn predict(cat: &Catalog, pipeline: Pipeline) -> Plan {
+        Plan::Predict {
+            input: Box::new(scan(cat)),
+            model: ModelRef {
+                name: "m".into(),
+                pipeline: Arc::new(pipeline),
+            },
+            output: "stay".into(),
+            mode: ExecutionMode::InProcess,
+        }
+    }
+
+    #[test]
+    fn small_tree_inlines_to_case() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("bp", Transform::Identity)],
+            Estimator::Tree(stump()),
+        )
+        .unwrap();
+        let out = apply(predict(&cat, pipeline), &ctx).unwrap();
+        let Plan::Project { exprs, .. } = &out else {
+            panic!("expected inlined projection:\n{out}");
+        };
+        let (case, name) = exprs.last().unwrap();
+        assert_eq!(name, "stay");
+        assert_eq!(
+            case.to_string(),
+            "CASE WHEN (bp <= 140) THEN 2 ELSE 7 END"
+        );
+        // Schema unchanged except the appended output.
+        assert_eq!(out.schema().unwrap().names(), vec!["bp", "dest", "stay"]);
+    }
+
+    #[test]
+    fn large_tree_not_inlined() {
+        let cat = catalog();
+        let mut ctx = OptimizerContext::new(&cat);
+        ctx.inline_max_tree_nodes = 1;
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("bp", Transform::Identity)],
+            Estimator::Tree(stump()),
+        )
+        .unwrap();
+        let plan = predict(&cat, pipeline);
+        let out = apply(plan.clone(), &ctx).unwrap();
+        assert_eq!(out, plan);
+    }
+
+    #[test]
+    fn scaled_feature_inlines_arithmetic() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new(
+                "bp",
+                Transform::Scale(StandardScaler {
+                    mean: 130.0,
+                    std: 10.0,
+                }),
+            )],
+            Estimator::Linear(
+                LinearModel::new(vec![2.0], 1.0, LinearKind::Regression).unwrap(),
+            ),
+        )
+        .unwrap();
+        let out = apply(predict(&cat, pipeline), &ctx).unwrap();
+        let Plan::Project { exprs, .. } = &out else { panic!() };
+        assert_eq!(
+            exprs.last().unwrap().0.to_string(),
+            "(1 + (2 * ((bp - 130) / 10)))"
+        );
+    }
+
+    #[test]
+    fn onehot_tree_inlines_with_equality_cases() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        // Tree over one-hot(dest): splits on indicator feature 1 (LAX).
+        let tree = DecisionTree::from_nodes(
+            vec![
+                TreeNode::Split {
+                    feature: 1,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { value: 0.0 },
+                TreeNode::Leaf { value: 1.0 },
+            ],
+            2,
+        )
+        .unwrap();
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new(
+                "dest",
+                Transform::OneHot(OneHotEncoder::new(vec!["JFK".into(), "LAX".into()]).unwrap()),
+            )],
+            Estimator::Tree(tree),
+        )
+        .unwrap();
+        let out = apply(predict(&cat, pipeline), &ctx).unwrap();
+        let Plan::Project { exprs, .. } = &out else { panic!() };
+        let case = exprs.last().unwrap().0.to_string();
+        assert!(case.contains("dest = 'LAX'"), "{case}");
+    }
+
+    #[test]
+    fn logistic_and_mlp_not_inlined() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let logistic = Pipeline::new(
+            vec![FeatureStep::new("bp", Transform::Identity)],
+            Estimator::Linear(
+                LinearModel::new(vec![1.0], 0.0, LinearKind::Logistic).unwrap(),
+            ),
+        )
+        .unwrap();
+        let plan = predict(&cat, logistic);
+        assert_eq!(apply(plan.clone(), &ctx).unwrap(), plan);
+
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v > &10.0) as i64 as f64).collect();
+        let mlp = Mlp::fit(
+            &x,
+            1,
+            &y,
+            &raven_ml::mlp::MlpParams {
+                epochs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let plan = predict(
+            &cat,
+            Pipeline::new(
+                vec![FeatureStep::new("bp", Transform::Identity)],
+                Estimator::Mlp(mlp),
+            )
+            .unwrap(),
+        );
+        assert_eq!(apply(plan.clone(), &ctx).unwrap(), plan);
+    }
+
+    #[test]
+    fn inlined_expr_matches_reference_predictions() {
+        use raven_relational::{ExecOptions, Executor, NoopScorer};
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("bp", Transform::Identity)],
+            Estimator::Tree(stump()),
+        )
+        .unwrap();
+        let reference = {
+            let batch = cat.table("t").unwrap().batch().clone();
+            pipeline.predict(&batch).unwrap()
+        };
+        let out = apply(predict(&cat, pipeline), &ctx).unwrap();
+        let table = Executor::new(&cat, &NoopScorer, ExecOptions::serial())
+            .execute(&out)
+            .unwrap();
+        assert_eq!(
+            table.column_by_name("stay").unwrap().f64_values().unwrap(),
+            reference.as_slice()
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! The transformation rules.
+
+pub mod clustering;
+pub mod folding;
+pub mod inlining;
+pub mod model_utils;
+pub mod projection;
+pub mod pruning;
+pub mod pushdown;
+pub mod translation;

@@ -1,0 +1,307 @@
+//! Shared model-rewriting helpers used by several rules.
+
+use crate::error::OptError;
+use crate::Result;
+use raven_ml::tree::{DecisionTree, Interval, TreeNode};
+use raven_ml::{Estimator, LinearModel, Pipeline, RandomForest};
+use std::collections::HashMap;
+
+/// Remap the feature indices referenced by a tree's splits.
+///
+/// `map[old] = new`. Every feature used by the tree must be present in the
+/// map; `new_width` is the feature count of the remapped space.
+pub fn remap_tree_features(
+    tree: &DecisionTree,
+    map: &HashMap<usize, usize>,
+    new_width: usize,
+) -> Result<DecisionTree> {
+    let nodes = tree
+        .nodes()
+        .iter()
+        .map(|n| match n {
+            TreeNode::Leaf { value } => Ok(TreeNode::Leaf { value: *value }),
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let new_feature = *map.get(feature).ok_or_else(|| {
+                    OptError::Internal(format!("feature {feature} missing from remap"))
+                })?;
+                Ok(TreeNode::Split {
+                    feature: new_feature,
+                    threshold: *threshold,
+                    left: *left,
+                    right: *right,
+                })
+            }
+        })
+        .collect::<Result<Vec<_>>>()?;
+    DecisionTree::from_nodes(nodes, new_width).map_err(OptError::from)
+}
+
+/// Fold per-feature point constants into a linear model without changing
+/// its shape: pinned features get weight 0 and their contribution moves
+/// into the bias. Returns the folded model and how many weights were
+/// zeroed (0 = nothing to do).
+pub fn fold_linear_constants(
+    model: &LinearModel,
+    bounds: &[Interval],
+) -> Result<(LinearModel, usize)> {
+    if bounds.len() != model.n_features() {
+        return Err(OptError::Internal(format!(
+            "bounds width {} vs model width {}",
+            bounds.len(),
+            model.n_features()
+        )));
+    }
+    let mut weights = model.weights().to_vec();
+    let mut bias = model.bias();
+    let mut folded = 0usize;
+    for (w, b) in weights.iter_mut().zip(bounds) {
+        if b.is_point() && *w != 0.0 {
+            bias += *w * b.lo;
+            *w = 0.0;
+            folded += 1;
+        }
+    }
+    let out = LinearModel::new(weights, bias, model.kind()).map_err(OptError::from)?;
+    Ok((out, folded))
+}
+
+/// Drop the features the estimator never uses, remapping the estimator
+/// onto the surviving feature space.
+///
+/// Granularity matches the paper's model-projection pushdown:
+/// * a whole step disappears when none of its features are used;
+/// * a **one-hot step shrinks to the used categories** — zero-weight
+///   indicator columns are exactly the "features multiplied with
+///   zero-weights" the paper projects out (unused categories encode to
+///   the all-zero vector, which is what their folded weights expect).
+///
+/// Returns `None` when nothing can be dropped (everything used, or the
+/// estimator is an MLP which conservatively uses everything).
+pub fn shrink_pipeline(pipeline: &Pipeline) -> Result<Option<Pipeline>> {
+    use raven_ml::featurize::{OneHotEncoder, Transform};
+    if matches!(pipeline.estimator(), Estimator::Mlp(_)) {
+        return Ok(None);
+    }
+    let used_features = pipeline.estimator().used_features();
+    // Rebuild steps, possibly narrowing one-hot encoders; collect the kept
+    // old-feature indices in order.
+    let mut kept_steps: Vec<raven_ml::FeatureStep> = Vec::new();
+    let mut kept_old_features: Vec<usize> = Vec::new();
+    let mut changed = false;
+    for (si, step) in pipeline.steps().iter().enumerate() {
+        let (start, end) = pipeline.step_feature_range(si).map_err(OptError::from)?;
+        let used_in_step: Vec<usize> =
+            (start..end).filter(|f| used_features.contains(f)).collect();
+        if used_in_step.is_empty() {
+            changed = true;
+            continue; // whole step dropped
+        }
+        match &step.transform {
+            Transform::OneHot(encoder) if used_in_step.len() < end - start => {
+                // Narrow to the used categories.
+                let cats: Vec<String> = used_in_step
+                    .iter()
+                    .map(|&f| encoder.categories()[f - start].clone())
+                    .collect();
+                let narrowed = OneHotEncoder::new(cats).map_err(OptError::from)?;
+                kept_steps.push(raven_ml::FeatureStep::new(
+                    step.column.clone(),
+                    Transform::OneHot(narrowed),
+                ));
+                kept_old_features.extend(used_in_step);
+                changed = true;
+            }
+            _ => {
+                kept_steps.push(step.clone());
+                kept_old_features.extend(start..end);
+            }
+        }
+    }
+    // A fully constant-folded model uses nothing; keep a minimal first
+    // step so the pipeline stays well-formed (its weights are all zero).
+    if kept_steps.is_empty() {
+        kept_steps.push(pipeline.steps()[0].clone());
+        let (start, end) = pipeline.step_feature_range(0).map_err(OptError::from)?;
+        kept_old_features.extend(start..end);
+    }
+    if !changed {
+        return Ok(None);
+    }
+    let feature_map: HashMap<usize, usize> = kept_old_features
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    let new_width = kept_old_features.len();
+
+    let estimator = match pipeline.estimator() {
+        Estimator::Tree(t) => Estimator::Tree(remap_tree_features(t, &feature_map, new_width)?),
+        Estimator::Forest(f) => {
+            let trees = f
+                .trees()
+                .iter()
+                .map(|t| remap_tree_features(t, &feature_map, new_width))
+                .collect::<Result<Vec<_>>>()?;
+            Estimator::Forest(RandomForest::from_trees(trees).map_err(OptError::from)?)
+        }
+        Estimator::Linear(m) => {
+            Estimator::Linear(m.project(&kept_old_features).map_err(OptError::from)?)
+        }
+        Estimator::Mlp(_) => unreachable!("handled above"),
+    };
+    Ok(Some(
+        Pipeline::new(kept_steps, estimator).map_err(OptError::from)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_ml::featurize::Transform;
+    use raven_ml::{FeatureStep, LinearKind};
+
+    fn tree() -> DecisionTree {
+        DecisionTree::from_nodes(
+            vec![
+                TreeNode::Split {
+                    feature: 2,
+                    threshold: 1.0,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { value: 0.0 },
+                TreeNode::Leaf { value: 1.0 },
+            ],
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn remap_tree() {
+        let map = HashMap::from([(2usize, 0usize)]);
+        let t = remap_tree_features(&tree(), &map, 1).unwrap();
+        assert_eq!(t.n_features(), 1);
+        assert_eq!(t.predict_row(&[2.0]), 1.0);
+        assert_eq!(t.predict_row(&[0.5]), 0.0);
+        // Missing mapping errors.
+        assert!(remap_tree_features(&tree(), &HashMap::new(), 1).is_err());
+    }
+
+    #[test]
+    fn fold_constants_into_bias() {
+        let m = LinearModel::new(vec![2.0, 3.0], 1.0, LinearKind::Regression).unwrap();
+        let bounds = vec![Interval::point(10.0), Interval::all()];
+        let (folded, n) = fold_linear_constants(&m, &bounds).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(folded.bias(), 21.0);
+        assert_eq!(folded.weights(), &[0.0, 3.0]);
+        // Semantics preserved on satisfying rows.
+        assert_eq!(
+            folded.predict_row(&[10.0, 5.0]),
+            m.predict_row(&[10.0, 5.0])
+        );
+        assert!(fold_linear_constants(&m, &[Interval::all()]).is_err());
+    }
+
+    #[test]
+    fn shrink_drops_unused_steps() {
+        // 3 identity steps; model only uses feature 1.
+        let pipeline = Pipeline::new(
+            vec![
+                FeatureStep::new("a", Transform::Identity),
+                FeatureStep::new("b", Transform::Identity),
+                FeatureStep::new("c", Transform::Identity),
+            ],
+            Estimator::Linear(
+                LinearModel::new(vec![0.0, 5.0, 0.0], 1.0, LinearKind::Regression).unwrap(),
+            ),
+        )
+        .unwrap();
+        let shrunk = shrink_pipeline(&pipeline).unwrap().unwrap();
+        assert_eq!(shrunk.input_columns(), vec!["b"]);
+        assert_eq!(
+            shrunk.predict_raw(&[7.0], 1).unwrap(),
+            pipeline.predict_raw(&[9.0, 7.0, 9.0], 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn shrink_tree_pipeline() {
+        let pipeline = Pipeline::new(
+            vec![
+                FeatureStep::new("a", Transform::Identity),
+                FeatureStep::new("b", Transform::Identity),
+                FeatureStep::new("c", Transform::Identity),
+            ],
+            Estimator::Tree(tree()),
+        )
+        .unwrap();
+        let shrunk = shrink_pipeline(&pipeline).unwrap().unwrap();
+        assert_eq!(shrunk.input_columns(), vec!["c"]);
+        assert_eq!(
+            shrunk.predict_raw(&[3.0], 1).unwrap(),
+            pipeline.predict_raw(&[0.0, 0.0, 3.0], 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn shrink_narrows_onehot_to_used_categories() {
+        use raven_ml::featurize::OneHotEncoder;
+        // one-hot(dest, 4 categories); only 'B' and 'D' have weight.
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new(
+                "dest",
+                Transform::OneHot(
+                    OneHotEncoder::new(vec![
+                        "A".into(),
+                        "B".into(),
+                        "C".into(),
+                        "D".into(),
+                    ])
+                    .unwrap(),
+                ),
+            )],
+            Estimator::Linear(
+                LinearModel::new(vec![0.0, 2.0, 0.0, -1.0], 0.5, LinearKind::Regression)
+                    .unwrap(),
+            ),
+        )
+        .unwrap();
+        let shrunk = shrink_pipeline(&pipeline).unwrap().unwrap();
+        assert_eq!(shrunk.n_features(), 2);
+        let Transform::OneHot(e) = &shrunk.steps()[0].transform else {
+            panic!()
+        };
+        assert_eq!(e.categories(), &["B".to_string(), "D".to_string()]);
+        // Predictions preserved for every category, including dropped ones.
+        use raven_data::{Column, DataType, RecordBatch, Schema};
+        let schema = Schema::from_pairs(&[("dest", DataType::Utf8)]).into_shared();
+        let batch = RecordBatch::try_new(
+            schema,
+            vec![Column::from(vec!["A", "B", "C", "D", "Z"])],
+        )
+        .unwrap();
+        assert_eq!(
+            shrunk.predict(&batch).unwrap(),
+            pipeline.predict(&batch).unwrap()
+        );
+    }
+
+    #[test]
+    fn shrink_noop_when_all_used() {
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("a", Transform::Identity)],
+            Estimator::Linear(
+                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
+            ),
+        )
+        .unwrap();
+        assert!(shrink_pipeline(&pipeline).unwrap().is_none());
+    }
+}

@@ -1,0 +1,418 @@
+//! Predicate pushdown (classical RA rewrite, paper's "standard DB
+//! optimizations").
+//!
+//! Filters move toward scans: through projections (rewriting column
+//! references through the rename map), through joins (conjuncts that
+//! touch only one side), and below model operators (conjuncts that do not
+//! reference the prediction output) — the last one is what puts the
+//! predicate *underneath* the model so predicate-based pruning can see it.
+
+use crate::context::OptimizerContext;
+use crate::Result;
+use raven_ir::analyze::{conjoin, conjuncts};
+use raven_ir::{Expr, Plan};
+
+/// Apply predicate pushdown everywhere (single pass; the driver iterates
+/// to fixpoint).
+pub fn apply(plan: Plan, _ctx: &OptimizerContext<'_>) -> Result<Plan> {
+    Ok(plan.transform_up(&push_filter))
+}
+
+fn push_filter(node: Plan) -> Plan {
+    let Plan::Filter { input, predicate } = node else {
+        return node;
+    };
+    match *input {
+        // Merge adjacent filters into one conjunction.
+        Plan::Filter {
+            input: inner,
+            predicate: inner_pred,
+        } => Plan::Filter {
+            input: inner,
+            predicate: inner_pred.and(predicate),
+        },
+        // Swap with projections when every referenced column maps to a
+        // pure column rename underneath.
+        Plan::Project {
+            input: inner,
+            exprs,
+        } => {
+            let rewritten = rewrite_through_project(&predicate, &exprs);
+            match rewritten {
+                Some(pred) => Plan::Project {
+                    input: Box::new(push_filter(Plan::Filter {
+                        input: inner,
+                        predicate: pred,
+                    })),
+                    exprs,
+                },
+                None => Plan::Filter {
+                    input: Box::new(Plan::Project {
+                        input: inner,
+                        exprs,
+                    }),
+                    predicate,
+                },
+            }
+        }
+        // Split conjuncts across join sides.
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+        } => {
+            let left_schema = left.schema().ok();
+            let right_schema = right.schema().ok();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut stay = Vec::new();
+            for c in conjuncts(&predicate) {
+                let cols = c.referenced_columns();
+                let all_in = |schema: &Option<std::sync::Arc<raven_data::Schema>>| {
+                    schema
+                        .as_ref()
+                        .map(|s| cols.iter().all(|c| s.index_of(c).is_ok()))
+                        .unwrap_or(false)
+                };
+                if all_in(&left_schema) {
+                    to_left.push(c.clone());
+                } else if all_in(&right_schema) {
+                    to_right.push(c.clone());
+                } else {
+                    stay.push(c.clone());
+                }
+            }
+            let mut new_left = *left;
+            if !to_left.is_empty() {
+                new_left = push_filter(Plan::Filter {
+                    input: Box::new(new_left),
+                    predicate: conjoin(to_left),
+                });
+            }
+            let mut new_right = *right;
+            if !to_right.is_empty() {
+                new_right = push_filter(Plan::Filter {
+                    input: Box::new(new_right),
+                    predicate: conjoin(to_right),
+                });
+            }
+            let joined = Plan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                left_key,
+                right_key,
+                kind,
+            };
+            if stay.is_empty() {
+                joined
+            } else {
+                Plan::Filter {
+                    input: Box::new(joined),
+                    predicate: conjoin(stay),
+                }
+            }
+        }
+        // Below model operators: conjuncts not referencing the output.
+        Plan::Predict {
+            input: inner,
+            model,
+            output,
+            mode,
+        } => {
+            let (below, above) = split_on_output(&predicate, &output);
+            let mut new_inner = *inner;
+            if let Some(below) = below {
+                new_inner = push_filter(Plan::Filter {
+                    input: Box::new(new_inner),
+                    predicate: below,
+                });
+            }
+            let predicted = Plan::Predict {
+                input: Box::new(new_inner),
+                model,
+                output,
+                mode,
+            };
+            match above {
+                Some(above) => Plan::Filter {
+                    input: Box::new(predicted),
+                    predicate: above,
+                },
+                None => predicted,
+            }
+        }
+        Plan::TensorPredict {
+            input: inner,
+            model,
+            graph,
+            output,
+            device,
+        } => {
+            let (below, above) = split_on_output(&predicate, &output);
+            let mut new_inner = *inner;
+            if let Some(below) = below {
+                new_inner = push_filter(Plan::Filter {
+                    input: Box::new(new_inner),
+                    predicate: below,
+                });
+            }
+            let predicted = Plan::TensorPredict {
+                input: Box::new(new_inner),
+                model,
+                graph,
+                output,
+                device,
+            };
+            match above {
+                Some(above) => Plan::Filter {
+                    input: Box::new(predicted),
+                    predicate: above,
+                },
+                None => predicted,
+            }
+        }
+        // Filters commute with sorts.
+        Plan::Sort {
+            input: inner,
+            column,
+            descending,
+        } => Plan::Sort {
+            input: Box::new(push_filter(Plan::Filter {
+                input: inner,
+                predicate,
+            })),
+            column,
+            descending,
+        },
+        other => Plan::Filter {
+            input: Box::new(other),
+            predicate,
+        },
+    }
+}
+
+/// Split a predicate into (conjuncts not referencing `output`, conjuncts
+/// referencing it). `None` = empty side.
+fn split_on_output(predicate: &Expr, output: &str) -> (Option<Expr>, Option<Expr>) {
+    let mut below = Vec::new();
+    let mut above = Vec::new();
+    let out_suffix = output.rsplit_once('.').map(|(_, s)| s).unwrap_or(output);
+    for c in conjuncts(predicate) {
+        let refs_output = c.referenced_columns().iter().any(|col| {
+            let col_suffix = col.rsplit_once('.').map(|(_, s)| s).unwrap_or(col);
+            col == output || col_suffix == out_suffix
+        });
+        if refs_output {
+            above.push(c.clone());
+        } else {
+            below.push(c.clone());
+        }
+    }
+    let wrap = |v: Vec<Expr>| if v.is_empty() { None } else { Some(conjoin(v)) };
+    (wrap(below), wrap(above))
+}
+
+/// Rewrite a predicate's column references through a projection's rename
+/// map; `None` if any referenced column is not a pure rename.
+fn rewrite_through_project(predicate: &Expr, exprs: &[(Expr, String)]) -> Option<Expr> {
+    // name → underlying column
+    let mut map = std::collections::HashMap::new();
+    for (e, name) in exprs {
+        if let Expr::Column(c) = e {
+            map.insert(name.clone(), c.clone());
+        }
+    }
+    let ok = predicate
+        .referenced_columns()
+        .iter()
+        .all(|c| map.contains_key(c));
+    if !ok {
+        return None;
+    }
+    Some(predicate.clone().transform(&|e| match e {
+        Expr::Column(c) => Expr::Column(map[&c].clone()),
+        other => other,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{Catalog, Column, DataType, Schema, Table};
+    use raven_ir::{ExecutionMode, JoinKind, ModelRef};
+    use raven_ml::featurize::Transform;
+    use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Pipeline};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            "a",
+            Table::try_new(
+                Schema::from_pairs(&[("id", DataType::Int64), ("x", DataType::Float64)])
+                    .into_shared(),
+                vec![Column::from(vec![1i64]), Column::from(vec![1.0])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.register(
+            "b",
+            Table::try_new(
+                Schema::from_pairs(&[("bid", DataType::Int64), ("z", DataType::Float64)])
+                    .into_shared(),
+                vec![Column::from(vec![1i64]), Column::from(vec![3.0])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn scan(cat: &Catalog, t: &str) -> Plan {
+        Plan::Scan {
+            table: t.into(),
+            schema: cat.table(t).unwrap().schema().clone(),
+        }
+    }
+
+    #[test]
+    fn filter_splits_across_join() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Join {
+                left: Box::new(scan(&cat, "a")),
+                right: Box::new(scan(&cat, "b")),
+                left_key: "id".into(),
+                right_key: "bid".into(),
+                kind: JoinKind::Inner,
+            }),
+            predicate: Expr::col("x")
+                .gt(Expr::lit(1i64))
+                .and(Expr::col("z").lt(Expr::lit(5i64))),
+        };
+        let out = apply(plan, &ctx).unwrap();
+        // Both conjuncts pushed to their sides; no filter above the join.
+        let Plan::Join { left, right, .. } = &out else {
+            panic!("expected join on top, got\n{out}");
+        };
+        assert!(matches!(**left, Plan::Filter { .. }));
+        assert!(matches!(**right, Plan::Filter { .. }));
+    }
+
+    #[test]
+    fn filter_pushes_through_rename_project() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Project {
+                input: Box::new(scan(&cat, "a")),
+                exprs: vec![(Expr::col("x"), "pi.x".into())],
+            }),
+            predicate: Expr::col("pi.x").gt(Expr::lit(0i64)),
+        };
+        let out = apply(plan, &ctx).unwrap();
+        let Plan::Project { input, .. } = &out else {
+            panic!("project should be on top:\n{out}");
+        };
+        let Plan::Filter { predicate, .. } = &**input else {
+            panic!("filter should be below project");
+        };
+        assert_eq!(predicate.to_string(), "(x > 0)");
+    }
+
+    #[test]
+    fn filter_blocked_by_computed_project() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Project {
+                input: Box::new(scan(&cat, "a")),
+                exprs: vec![(
+                    Expr::binary(raven_ir::BinOp::Multiply, Expr::col("x"), Expr::lit(2i64)),
+                    "x2".into(),
+                )],
+            }),
+            predicate: Expr::col("x2").gt(Expr::lit(0i64)),
+        };
+        let out = apply(plan.clone(), &ctx).unwrap();
+        assert_eq!(out, plan, "computed projections block pushdown");
+    }
+
+    #[test]
+    fn predicate_splits_around_predict() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("x", Transform::Identity)],
+            Estimator::Linear(
+                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
+            ),
+        )
+        .unwrap();
+        // The paper's shape: WHERE d.pregnant = 1 AND p.score > 7.
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Predict {
+                input: Box::new(scan(&cat, "a")),
+                model: ModelRef {
+                    name: "m".into(),
+                    pipeline: Arc::new(pipeline),
+                },
+                output: "p.score".into(),
+                mode: ExecutionMode::InProcess,
+            }),
+            predicate: Expr::col("x")
+                .gt(Expr::lit(0i64))
+                .and(Expr::col("p.score").gt(Expr::lit(7i64))),
+        };
+        let out = apply(plan, &ctx).unwrap();
+        // Expect Filter(score) over Predict over Filter(x).
+        let Plan::Filter { input, predicate } = &out else {
+            panic!("expected filter on top:\n{out}");
+        };
+        assert!(predicate.to_string().contains("p.score"));
+        let Plan::Predict { input: inner, .. } = &**input else {
+            panic!("expected predict below");
+        };
+        assert!(matches!(&**inner, Plan::Filter { predicate, .. }
+            if predicate.to_string() == "(x > 0)"));
+    }
+
+    #[test]
+    fn adjacent_filters_merge() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Filter {
+                input: Box::new(scan(&cat, "a")),
+                predicate: Expr::col("x").gt(Expr::lit(0i64)),
+            }),
+            predicate: Expr::col("x").lt(Expr::lit(10i64)),
+        };
+        let out = apply(plan, &ctx).unwrap();
+        let Plan::Filter { input, predicate } = &out else {
+            panic!()
+        };
+        assert!(matches!(**input, Plan::Scan { .. }));
+        assert!(predicate.to_string().contains("AND"));
+    }
+
+    #[test]
+    fn filter_commutes_with_sort() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Sort {
+                input: Box::new(scan(&cat, "a")),
+                column: "x".into(),
+                descending: false,
+            }),
+            predicate: Expr::col("x").gt(Expr::lit(0i64)),
+        };
+        let out = apply(plan, &ctx).unwrap();
+        assert!(matches!(out, Plan::Sort { .. }));
+    }
+}

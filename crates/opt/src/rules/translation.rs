@@ -1,0 +1,129 @@
+//! NN translation as an optimizer rule (paper §4.2): remaining classical
+//! `Predict` operators become `TensorPredict` operators executing the
+//! pipeline's GEMM translation on the integrated tensor runtime.
+
+use crate::context::OptimizerContext;
+use crate::error::OptError;
+use crate::Result;
+use raven_ir::{ExecutionMode, Plan};
+use raven_ml::translate::translate_pipeline;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Translate every in-process `Predict` into a `TensorPredict`.
+pub fn apply(plan: Plan, ctx: &OptimizerContext<'_>) -> Result<Plan> {
+    let failure: RefCell<Option<OptError>> = RefCell::new(None);
+    let out = plan.transform_up(&|node| {
+        if failure.borrow().is_some() {
+            return node;
+        }
+        let Plan::Predict {
+            input,
+            model,
+            output,
+            mode,
+        } = node
+        else {
+            return node;
+        };
+        // Out-of-process / containerized operators stay classical — the
+        // external runtime scores the original pipeline.
+        if mode != ExecutionMode::InProcess {
+            return Plan::Predict {
+                input,
+                model,
+                output,
+                mode,
+            };
+        }
+        match translate_pipeline(&model.pipeline) {
+            Ok(graph) => Plan::TensorPredict {
+                input,
+                model,
+                graph: Arc::new(graph),
+                output,
+                device: ctx.device,
+            },
+            Err(e) => {
+                *failure.borrow_mut() = Some(e.into());
+                Plan::Predict {
+                    input,
+                    model,
+                    output,
+                    mode,
+                }
+            }
+        }
+    });
+    match failure.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{Catalog, Column, DataType, Schema, Table};
+    use raven_ir::{Device, ModelRef};
+    use raven_ml::featurize::Transform;
+    use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Pipeline};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            "t",
+            Table::try_new(
+                Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+                vec![Column::from(vec![1.0])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn predict(cat: &Catalog, mode: ExecutionMode) -> Plan {
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("x", Transform::Identity)],
+            Estimator::Linear(
+                LinearModel::new(vec![2.0], 0.5, LinearKind::Logistic).unwrap(),
+            ),
+        )
+        .unwrap();
+        Plan::Predict {
+            input: Box::new(Plan::Scan {
+                table: "t".into(),
+                schema: cat.table("t").unwrap().schema().clone(),
+            }),
+            model: ModelRef {
+                name: "m".into(),
+                pipeline: Arc::new(pipeline),
+            },
+            output: "score".into(),
+            mode,
+        }
+    }
+
+    #[test]
+    fn inprocess_predict_becomes_tensor() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat).with_device(Device::CpuSingle);
+        let out = apply(predict(&cat, ExecutionMode::InProcess), &ctx).unwrap();
+        let Plan::TensorPredict { graph, device, .. } = &out else {
+            panic!("expected TensorPredict:\n{out}");
+        };
+        assert!(!graph.nodes.is_empty());
+        assert_eq!(*device, Device::CpuSingle);
+    }
+
+    #[test]
+    fn external_modes_untouched() {
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        for mode in [ExecutionMode::OutOfProcess, ExecutionMode::Container] {
+            let plan = predict(&cat, mode);
+            assert_eq!(apply(plan.clone(), &ctx).unwrap(), plan);
+        }
+    }
+}

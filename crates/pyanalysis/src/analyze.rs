@@ -1,0 +1,786 @@
+//! Dataflow extraction over the API knowledge base.
+
+use crate::ast::{CmpOp, PyExpr, Stmt};
+use crate::error::PyError;
+use crate::parser::parse;
+use crate::spec::{EstimatorSpec, PipelineSpec};
+use crate::Result;
+use raven_data::Catalog;
+use raven_ir::{BinOp, Expr, ExecutionMode, JoinKind, ModelRef, Plan};
+use raven_ml::Pipeline;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a script variable holds, as far as the analyzer can tell.
+#[derive(Debug, Clone)]
+enum FlowValue {
+    /// A module alias (`pd` → `pandas`).
+    Module(String),
+    /// A name imported from a module (`DecisionTreeClassifier` →
+    /// `sklearn.tree.DecisionTreeClassifier`).
+    ImportedName(String),
+    /// A relational dataflow (DataFrame-like).
+    Rel(Plan),
+    /// An instantiated featurizer.
+    Featurizer(FeaturizerKind),
+    /// An instantiated (untrained) estimator.
+    Estimator(EstimatorSpec),
+    /// An sklearn-style pipeline object.
+    PipelineObj(PipelineSpec),
+    /// A prediction result: data plan + the pipeline that scored it.
+    Predictions { input: Plan, spec: PipelineSpec },
+    /// Anything the knowledge base cannot interpret.
+    Opaque(String),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FeaturizerKind {
+    Scaler,
+    OneHot,
+    FeatureUnion,
+}
+
+/// Result of analyzing a script.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// One trace line per statement: what the knowledge base mapped it to.
+    pub trace: Vec<String>,
+    /// The relational dataflow feeding the model (if a predict was seen,
+    /// its input; otherwise the last DataFrame value).
+    pub data_plan: Option<Plan>,
+    /// The extracted pipeline structure, if any.
+    pub pipeline: Option<PipelineSpec>,
+    /// Feature columns observed flowing into the model.
+    pub feature_columns: Vec<String>,
+    /// Constructs that fell back to UDFs.
+    pub udfs: Vec<String>,
+}
+
+impl Analysis {
+    /// Assemble the unified IR for the script: the data plan topped by the
+    /// model operator. With a trained pipeline the model becomes a
+    /// `Predict` node; without one (or when the script was opaque) it
+    /// becomes a `Udf` node, as the paper prescribes for non-analyzable
+    /// code.
+    pub fn to_plan(&self, trained: Option<(String, Arc<Pipeline>)>) -> Result<Plan> {
+        let data = self
+            .data_plan
+            .clone()
+            .ok_or_else(|| PyError::Analysis("script has no relational dataflow".into()))?;
+        match (trained, &self.pipeline) {
+            (Some((name, pipeline)), Some(_)) => Ok(Plan::Predict {
+                input: Box::new(data),
+                model: ModelRef { name, pipeline },
+                output: "prediction".into(),
+                mode: ExecutionMode::InProcess,
+            }),
+            _ => Ok(Plan::Udf {
+                input: Box::new(data),
+                name: self
+                    .pipeline
+                    .as_ref()
+                    .map(|p| format!("untrained:{}", p.estimator.name()))
+                    .unwrap_or_else(|| "opaque_script".into()),
+                inputs: self.feature_columns.clone(),
+                output: "prediction".into(),
+            }),
+        }
+    }
+}
+
+/// Analyze a script against the catalog (for table schemas).
+pub fn analyze(source: &str, catalog: &Catalog) -> Result<Analysis> {
+    let stmts = parse(source)?;
+    let mut a = Analyzer {
+        catalog,
+        env: HashMap::new(),
+        analysis: Analysis {
+            trace: Vec::new(),
+            data_plan: None,
+            pipeline: None,
+            feature_columns: Vec::new(),
+            udfs: Vec::new(),
+        },
+    };
+    for stmt in &stmts {
+        a.statement(stmt)?;
+    }
+    Ok(a.analysis)
+}
+
+struct Analyzer<'a> {
+    catalog: &'a Catalog,
+    env: HashMap<String, FlowValue>,
+    analysis: Analysis,
+}
+
+impl<'a> Analyzer<'a> {
+    fn statement(&mut self, stmt: &Stmt) -> Result<()> {
+        match stmt {
+            Stmt::Import { module, alias } => {
+                self.env
+                    .insert(alias.clone(), FlowValue::Module(module.clone()));
+                self.analysis.trace.push(format!("import {module} as {alias}"));
+            }
+            Stmt::FromImport { module, names } => {
+                for name in names {
+                    self.env.insert(
+                        name.clone(),
+                        FlowValue::ImportedName(format!("{module}.{name}")),
+                    );
+                }
+                self.analysis
+                    .trace
+                    .push(format!("from {module} import {}", names.join(", ")));
+            }
+            Stmt::Assign { target, value, .. } => {
+                let v = self.eval(value)?;
+                self.analysis
+                    .trace
+                    .push(format!("{target} = {}", describe(&v)));
+                self.record(&v);
+                self.env.insert(target.clone(), v);
+            }
+            Stmt::Expr { value, .. } => {
+                let v = self.eval(value)?;
+                self.analysis.trace.push(describe(&v));
+                self.record(&v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Track analysis-level facts from an evaluated value.
+    fn record(&mut self, v: &FlowValue) {
+        match v {
+            FlowValue::Rel(plan) => {
+                self.analysis.data_plan = Some(plan.clone());
+            }
+            FlowValue::Predictions { input, spec } => {
+                self.analysis.data_plan = Some(input.clone());
+                self.analysis.pipeline = Some(spec.clone());
+                if !spec.feature_columns.is_empty() {
+                    self.analysis.feature_columns = spec.feature_columns.clone();
+                }
+            }
+            FlowValue::PipelineObj(spec) => {
+                self.analysis.pipeline = Some(spec.clone());
+            }
+            FlowValue::Opaque(what) => {
+                self.analysis.udfs.push(what.clone());
+            }
+            _ => {}
+        }
+    }
+
+    fn eval(&mut self, expr: &PyExpr) -> Result<FlowValue> {
+        match expr {
+            PyExpr::Name(n) => Ok(self
+                .env
+                .get(n)
+                .cloned()
+                .unwrap_or_else(|| FlowValue::Opaque(format!("unbound:{n}")))),
+            PyExpr::Call { func, args, kwargs } => self.eval_call(func, args, kwargs),
+            PyExpr::Subscript { base, index } => self.eval_subscript(base, index),
+            PyExpr::Attr(..) => {
+                // Bare attribute access (e.g. `df.columns`) — opaque.
+                Ok(FlowValue::Opaque(expr.to_string()))
+            }
+            other => Ok(FlowValue::Opaque(other.to_string())),
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        func: &PyExpr,
+        args: &[PyExpr],
+        kwargs: &[(String, PyExpr)],
+    ) -> Result<FlowValue> {
+        // Method call on an evaluated receiver?
+        if let PyExpr::Attr(base, method) = func {
+            let receiver = self.eval(base)?;
+            return self.eval_method(receiver, method, args, kwargs, func);
+        }
+        // Free function / constructor by (possibly imported) name.
+        if let PyExpr::Name(name) = func {
+            match self.env.get(name).cloned() {
+                Some(FlowValue::ImportedName(path)) => {
+                    return Ok(self.construct(&path, args, kwargs))
+                }
+                _ => {
+                    // Unimported constructor names still match the KB
+                    // (scripts often elide imports in notebooks).
+                    return Ok(self.construct(name, args, kwargs));
+                }
+            }
+        }
+        Ok(FlowValue::Opaque(format!("call:{func}")))
+    }
+
+    /// Knowledge base: constructors.
+    fn construct(
+        &mut self,
+        path: &str,
+        args: &[PyExpr],
+        kwargs: &[(String, PyExpr)],
+    ) -> FlowValue {
+        let short = path.rsplit('.').next().unwrap_or(path);
+        match short {
+            "StandardScaler" => FlowValue::Featurizer(FeaturizerKind::Scaler),
+            "OneHotEncoder" => FlowValue::Featurizer(FeaturizerKind::OneHot),
+            "FeatureUnion" => FlowValue::Featurizer(FeaturizerKind::FeatureUnion),
+            "DecisionTreeClassifier" | "DecisionTreeRegressor" => {
+                FlowValue::Estimator(EstimatorSpec::DecisionTree {
+                    max_depth: kw_usize(kwargs, "max_depth").unwrap_or(8),
+                })
+            }
+            "RandomForestClassifier" | "RandomForestRegressor" => {
+                FlowValue::Estimator(EstimatorSpec::RandomForest {
+                    n_trees: kw_usize(kwargs, "n_estimators").unwrap_or(10),
+                    max_depth: kw_usize(kwargs, "max_depth").unwrap_or(8),
+                })
+            }
+            "LogisticRegression" => {
+                let c = kw_f64(kwargs, "C").unwrap_or(1.0);
+                let penalty_l1 = kwargs
+                    .iter()
+                    .any(|(k, v)| k == "penalty" && matches!(v, PyExpr::Str(s) if s == "l1"));
+                FlowValue::Estimator(EstimatorSpec::Logistic {
+                    l1: if penalty_l1 { 1.0 / c.max(1e-9) } else { 0.0 },
+                })
+            }
+            "LinearRegression" => FlowValue::Estimator(EstimatorSpec::Linear { l1: 0.0 }),
+            "Lasso" => FlowValue::Estimator(EstimatorSpec::Linear {
+                l1: kw_f64(kwargs, "alpha").unwrap_or(1.0),
+            }),
+            "MLPClassifier" | "MLPRegressor" => {
+                let hidden = kwargs
+                    .iter()
+                    .find(|(k, _)| k == "hidden_layer_sizes")
+                    .map(|(_, v)| match v {
+                        PyExpr::Tuple(items) | PyExpr::List(items) => items
+                            .iter()
+                            .filter_map(|i| match i {
+                                PyExpr::Int(n) if *n > 0 => Some(*n as usize),
+                                _ => None,
+                            })
+                            .collect(),
+                        PyExpr::Int(n) if *n > 0 => vec![*n as usize],
+                        _ => vec![16],
+                    })
+                    .unwrap_or_else(|| vec![16]);
+                FlowValue::Estimator(EstimatorSpec::Mlp { hidden })
+            }
+            "Pipeline" => self.construct_pipeline(args),
+            other => FlowValue::Opaque(format!("call:{other}")),
+        }
+    }
+
+    /// `Pipeline([('name', step), ...])` — fold featurizer flags, take the
+    /// last estimator.
+    fn construct_pipeline(&mut self, args: &[PyExpr]) -> FlowValue {
+        let Some(PyExpr::List(steps)) = args.first() else {
+            return FlowValue::Opaque("Pipeline(non-list)".into());
+        };
+        let mut scale = false;
+        let mut onehot = false;
+        let mut estimator = None;
+        for step in steps {
+            // Steps are ('name', obj) tuples or bare objects.
+            let obj = match step {
+                PyExpr::Tuple(items) if items.len() == 2 => &items[1],
+                other => other,
+            };
+            match self.eval(obj) {
+                Ok(FlowValue::Featurizer(FeaturizerKind::Scaler)) => scale = true,
+                Ok(FlowValue::Featurizer(FeaturizerKind::OneHot)) => onehot = true,
+                Ok(FlowValue::Featurizer(FeaturizerKind::FeatureUnion)) => {
+                    // A FeatureUnion wraps nested featurizers; its members
+                    // were already evaluated by the nested Call handling —
+                    // treat it as "both kinds may be present".
+                    scale = true;
+                    onehot = true;
+                }
+                Ok(FlowValue::Estimator(spec)) => estimator = Some(spec),
+                _ => {
+                    self.analysis.udfs.push(format!("pipeline step: {obj}"));
+                }
+            }
+        }
+        match estimator {
+            Some(estimator) => FlowValue::PipelineObj(PipelineSpec {
+                scale_numeric: scale,
+                onehot_categorical: onehot,
+                estimator,
+                feature_columns: Vec::new(),
+                label_column: None,
+            }),
+            None => FlowValue::Opaque("Pipeline(no estimator)".into()),
+        }
+    }
+
+    /// Knowledge base: methods.
+    fn eval_method(
+        &mut self,
+        receiver: FlowValue,
+        method: &str,
+        args: &[PyExpr],
+        kwargs: &[(String, PyExpr)],
+        whole: &PyExpr,
+    ) -> Result<FlowValue> {
+        match (&receiver, method) {
+            // pandas module functions.
+            (FlowValue::Module(m), "read_sql" | "read_csv" | "read_table")
+                if m == "pandas" =>
+            {
+                let Some(PyExpr::Str(table)) = args.first() else {
+                    return Ok(FlowValue::Opaque(format!("pd.{method}(non-literal)")));
+                };
+                match self.catalog.table(table) {
+                    Ok(t) => Ok(FlowValue::Rel(Plan::Scan {
+                        table: table.clone(),
+                        schema: t.schema().clone(),
+                    })),
+                    Err(_) => Err(PyError::Analysis(format!(
+                        "script reads unknown table: {table}"
+                    ))),
+                }
+            }
+            // DataFrame.merge → join.
+            (FlowValue::Rel(left), "merge") => {
+                let Some(first) = args.first() else {
+                    return Ok(FlowValue::Opaque("merge(no args)".into()));
+                };
+                let FlowValue::Rel(right) = self.eval(first)? else {
+                    return Ok(FlowValue::Opaque("merge(non-dataframe)".into()));
+                };
+                let (lk, rk) = match (
+                    kw_str(kwargs, "on"),
+                    kw_str(kwargs, "left_on"),
+                    kw_str(kwargs, "right_on"),
+                ) {
+                    (Some(on), _, _) => (on.clone(), on),
+                    (None, Some(l), Some(r)) => (l, r),
+                    _ => {
+                        return Ok(FlowValue::Opaque(
+                            "merge without on=/left_on=/right_on=".into(),
+                        ))
+                    }
+                };
+                let joined = Plan::Join {
+                    left: Box::new(left.clone()),
+                    right: Box::new(right),
+                    left_key: lk,
+                    right_key: rk.clone(),
+                    kind: JoinKind::Inner,
+                };
+                // Drop the duplicated right key (pandas keeps one `on` col).
+                let schema = joined.schema().map_err(|e| PyError::Analysis(e.to_string()))?;
+                let mut exprs = Vec::new();
+                let mut dropped = false;
+                for f in schema.fields() {
+                    let is_dup = !dropped
+                        && exprs
+                            .iter()
+                            .any(|(_, n): &(Expr, String)| n == &f.name);
+                    if is_dup {
+                        dropped = true;
+                        continue;
+                    }
+                    exprs.push((Expr::col(f.name.clone()), f.name.clone()));
+                }
+                Ok(FlowValue::Rel(Plan::Project {
+                    input: Box::new(joined),
+                    exprs,
+                }))
+            }
+            // pipeline.fit(X, y) — record feature/label columns.
+            (FlowValue::PipelineObj(spec), "fit") => {
+                let mut spec = spec.clone();
+                if let Some(x) = args.first() {
+                    if let Some(cols) = projected_columns(x) {
+                        spec.feature_columns = cols;
+                    }
+                }
+                if let Some(y) = args.get(1) {
+                    if let Some(col) = label_column(y) {
+                        spec.label_column = Some(col);
+                    }
+                }
+                Ok(FlowValue::PipelineObj(spec))
+            }
+            // pipeline.predict(X) / estimator.predict(X).
+            (FlowValue::PipelineObj(spec), "predict") => {
+                self.eval_predict(spec.clone(), args, whole)
+            }
+            (FlowValue::Estimator(est), "predict") => {
+                let spec = PipelineSpec {
+                    scale_numeric: false,
+                    onehot_categorical: false,
+                    estimator: est.clone(),
+                    feature_columns: Vec::new(),
+                    label_column: None,
+                };
+                self.eval_predict(spec, args, whole)
+            }
+            _ => Ok(FlowValue::Opaque(whole.to_string())),
+        }
+    }
+
+    fn eval_predict(
+        &mut self,
+        mut spec: PipelineSpec,
+        args: &[PyExpr],
+        whole: &PyExpr,
+    ) -> Result<FlowValue> {
+        let Some(x) = args.first() else {
+            return Ok(FlowValue::Opaque(format!("{whole}")));
+        };
+        // The argument may be a projected frame: record columns.
+        if let Some(cols) = projected_columns(x) {
+            spec.feature_columns = cols;
+        }
+        let input = match self.eval(x)? {
+            FlowValue::Rel(plan) => plan,
+            FlowValue::Predictions { input, .. } => input,
+            _ => {
+                return Ok(FlowValue::Opaque(format!("{whole}")));
+            }
+        };
+        // A projection over the data narrows feature columns.
+        if spec.feature_columns.is_empty() {
+            if let Ok(schema) = input.schema() {
+                spec.feature_columns = schema
+                    .names()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect();
+            }
+        }
+        Ok(FlowValue::Predictions { input, spec })
+    }
+
+    fn eval_subscript(&mut self, base: &PyExpr, index: &PyExpr) -> Result<FlowValue> {
+        let receiver = self.eval(base)?;
+        let FlowValue::Rel(plan) = receiver else {
+            return Ok(FlowValue::Opaque(format!("{base}[{index}]")));
+        };
+        match index {
+            // df[df.col <op> literal] → Filter.
+            PyExpr::Compare { left, op, right } => {
+                let Some(col) = mask_column(left) else {
+                    self.analysis
+                        .udfs
+                        .push(format!("unrecognized mask: {index}"));
+                    return Ok(FlowValue::Rel(plan));
+                };
+                let Some(lit) = py_literal(right) else {
+                    self.analysis
+                        .udfs
+                        .push(format!("non-literal mask rhs: {index}"));
+                    return Ok(FlowValue::Rel(plan));
+                };
+                let bin = match op {
+                    CmpOp::Eq => BinOp::Eq,
+                    CmpOp::NotEq => BinOp::NotEq,
+                    CmpOp::Lt => BinOp::Lt,
+                    CmpOp::LtEq => BinOp::LtEq,
+                    CmpOp::Gt => BinOp::Gt,
+                    CmpOp::GtEq => BinOp::GtEq,
+                };
+                Ok(FlowValue::Rel(Plan::Filter {
+                    input: Box::new(plan),
+                    predicate: Expr::binary(bin, Expr::col(col), Expr::Literal(lit)),
+                }))
+            }
+            // df[['a', 'b']] → Project.
+            PyExpr::List(items) => {
+                let mut exprs = Vec::new();
+                for item in items {
+                    let PyExpr::Str(name) = item else {
+                        self.analysis
+                            .udfs
+                            .push(format!("non-string projection: {index}"));
+                        return Ok(FlowValue::Rel(plan));
+                    };
+                    exprs.push((Expr::col(name.clone()), name.clone()));
+                }
+                Ok(FlowValue::Rel(Plan::Project {
+                    input: Box::new(plan),
+                    exprs,
+                }))
+            }
+            // df['col'] → single-column projection.
+            PyExpr::Str(name) => Ok(FlowValue::Rel(Plan::Project {
+                input: Box::new(plan),
+                exprs: vec![(Expr::col(name.clone()), name.clone())],
+            })),
+            other => {
+                self.analysis.udfs.push(format!("subscript: {other}"));
+                Ok(FlowValue::Rel(plan))
+            }
+        }
+    }
+}
+
+/// `df.col` or `df['col']` inside a boolean mask.
+fn mask_column(expr: &PyExpr) -> Option<String> {
+    match expr {
+        PyExpr::Attr(_, attr) => Some(attr.clone()),
+        PyExpr::Subscript { index, .. } => match index.as_ref() {
+            PyExpr::Str(s) => Some(s.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn py_literal(expr: &PyExpr) -> Option<raven_data::Value> {
+    match expr {
+        PyExpr::Int(v) => Some(raven_data::Value::Int64(*v)),
+        PyExpr::Float(v) => Some(raven_data::Value::Float64(*v)),
+        PyExpr::Str(s) => Some(raven_data::Value::Utf8(s.clone())),
+        _ => None,
+    }
+}
+
+/// Columns of a `df[['a','b']]` projection expression.
+fn projected_columns(expr: &PyExpr) -> Option<Vec<String>> {
+    if let PyExpr::Subscript { index, .. } = expr {
+        if let PyExpr::List(items) = index.as_ref() {
+            let cols: Option<Vec<String>> = items
+                .iter()
+                .map(|i| match i {
+                    PyExpr::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect();
+            return cols;
+        }
+    }
+    None
+}
+
+/// Label column of `df['label']`.
+fn label_column(expr: &PyExpr) -> Option<String> {
+    if let PyExpr::Subscript { index, .. } = expr {
+        if let PyExpr::Str(s) = index.as_ref() {
+            return Some(s.clone());
+        }
+    }
+    None
+}
+
+fn kw_usize(kwargs: &[(String, PyExpr)], key: &str) -> Option<usize> {
+    kwargs.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        PyExpr::Int(n) if *n > 0 => Some(*n as usize),
+        _ => None,
+    })
+}
+
+fn kw_f64(kwargs: &[(String, PyExpr)], key: &str) -> Option<f64> {
+    kwargs.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        PyExpr::Int(n) => Some(*n as f64),
+        PyExpr::Float(f) => Some(*f),
+        _ => None,
+    })
+}
+
+fn kw_str(kwargs: &[(String, PyExpr)], key: &str) -> Option<String> {
+    kwargs.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        PyExpr::Str(s) => Some(s.clone()),
+        _ => None,
+    })
+}
+
+fn describe(v: &FlowValue) -> String {
+    match v {
+        FlowValue::Module(m) => format!("module({m})"),
+        FlowValue::ImportedName(p) => format!("imported({p})"),
+        FlowValue::Rel(plan) => format!("relation({})", plan.label()),
+        FlowValue::Featurizer(k) => format!("featurizer({k:?})"),
+        FlowValue::Estimator(e) => format!("estimator({})", e.name()),
+        FlowValue::PipelineObj(p) => format!("pipeline({})", p.estimator.name()),
+        FlowValue::Predictions { spec, .. } => {
+            format!("predictions({})", spec.estimator.name())
+        }
+        FlowValue::Opaque(s) => format!("UDF({s})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{Column, DataType, Schema, Table};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            "patients",
+            Table::try_new(
+                Schema::from_pairs(&[
+                    ("id", DataType::Int64),
+                    ("age", DataType::Float64),
+                    ("pregnant", DataType::Int64),
+                ])
+                .into_shared(),
+                vec![
+                    Column::from(vec![1i64, 2]),
+                    Column::from(vec![30.0, 40.0]),
+                    Column::from(vec![1i64, 0]),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.register(
+            "blood",
+            Table::try_new(
+                Schema::from_pairs(&[("id", DataType::Int64), ("bp", DataType::Float64)])
+                    .into_shared(),
+                vec![
+                    Column::from(vec![1i64, 2]),
+                    Column::from(vec![120.0, 140.0]),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    const RUNNING_EXAMPLE: &str = r#"
+import pandas as pd
+from sklearn.pipeline import Pipeline
+from sklearn.preprocessing import StandardScaler
+from sklearn.tree import DecisionTreeClassifier
+
+df = pd.read_sql("patients")
+blood = pd.read_sql("blood")
+joined = df.merge(blood, on="id")
+filtered = joined[joined.pregnant == 1]
+features = filtered[["age", "bp"]]
+model_pipeline = Pipeline([
+    ("scaler", StandardScaler()),
+    ("clf", DecisionTreeClassifier(max_depth=5)),
+])
+predictions = model_pipeline.predict(features)
+"#;
+
+    #[test]
+    fn running_example_extracts_everything() {
+        let a = analyze(RUNNING_EXAMPLE, &catalog()).unwrap();
+        let spec = a.pipeline.as_ref().expect("pipeline extracted");
+        assert!(spec.scale_numeric);
+        assert_eq!(
+            spec.estimator,
+            EstimatorSpec::DecisionTree { max_depth: 5 }
+        );
+        assert_eq!(a.feature_columns, vec!["age", "bp"]);
+        assert!(a.udfs.is_empty(), "udfs: {:?}", a.udfs);
+
+        // The data plan: Project(Filter(Project(Join(Scan, Scan)))).
+        let plan = a.data_plan.as_ref().unwrap();
+        let tables = plan.scanned_tables();
+        assert_eq!(tables, vec!["patients", "blood"]);
+        let mut filters = 0;
+        plan.visit(&mut |p| {
+            if matches!(p, Plan::Filter { .. }) {
+                filters += 1;
+            }
+        });
+        assert_eq!(filters, 1);
+        // Schema of the feature projection.
+        assert_eq!(plan.schema().unwrap().names(), vec!["age", "bp"]);
+    }
+
+    #[test]
+    fn estimator_hyperparameters() {
+        let src = "from sklearn.ensemble import RandomForestClassifier\nm = RandomForestClassifier(n_estimators=25, max_depth=3)";
+        let a = analyze(src, &catalog()).unwrap();
+        // Estimator alone isn't a pipeline; check the trace.
+        assert!(a.trace.iter().any(|t| t.contains("RandomForest")));
+    }
+
+    #[test]
+    fn logistic_l1_from_penalty() {
+        let src = "from sklearn.linear_model import LogisticRegression\nfrom sklearn.pipeline import Pipeline\np = Pipeline([('clf', LogisticRegression(penalty='l1', C=0.5))])";
+        let a = analyze(src, &catalog()).unwrap();
+        let spec = a.pipeline.unwrap();
+        assert_eq!(spec.estimator, EstimatorSpec::Logistic { l1: 2.0 });
+    }
+
+    #[test]
+    fn unknown_calls_become_udfs() {
+        let src = "import pandas as pd\ndf = pd.read_sql('patients')\nx = custom_magic(df)";
+        let a = analyze(src, &catalog()).unwrap();
+        assert!(!a.udfs.is_empty());
+        assert!(a.trace.last().unwrap().contains("UDF"));
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let src = "import pandas as pd\ndf = pd.read_sql('ghost_table')";
+        assert!(matches!(
+            analyze(src, &catalog()),
+            Err(PyError::Analysis(_))
+        ));
+    }
+
+    #[test]
+    fn filter_with_string_subscript_mask() {
+        let src = "import pandas as pd\ndf = pd.read_sql('patients')\nf = df[df['age'] > 35]";
+        let a = analyze(src, &catalog()).unwrap();
+        let plan = a.data_plan.unwrap();
+        assert!(matches!(&plan, Plan::Filter { predicate, .. }
+            if predicate.to_string() == "(age > 35)"));
+    }
+
+    #[test]
+    fn to_plan_with_and_without_model() {
+        let a = analyze(RUNNING_EXAMPLE, &catalog()).unwrap();
+        // Untrained → UDF node.
+        let p = a.to_plan(None).unwrap();
+        assert!(matches!(&p, Plan::Udf { name, .. } if name.contains("DecisionTree")));
+
+        // Trained → Predict node.
+        use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Transform};
+        let pipeline = Pipeline::new(
+            vec![
+                FeatureStep::new("age", Transform::Identity),
+                FeatureStep::new("bp", Transform::Identity),
+            ],
+            Estimator::Linear(
+                LinearModel::new(vec![1.0, 1.0], 0.0, LinearKind::Regression).unwrap(),
+            ),
+        )
+        .unwrap();
+        let p = a
+            .to_plan(Some(("stay".into(), Arc::new(pipeline))))
+            .unwrap();
+        assert!(matches!(&p, Plan::Predict { model, .. } if model.name == "stay"));
+    }
+
+    #[test]
+    fn fit_records_label_column() {
+        let src = "import pandas as pd\nfrom sklearn.pipeline import Pipeline\nfrom sklearn.tree import DecisionTreeClassifier\ndf = pd.read_sql('patients')\np = Pipeline([('clf', DecisionTreeClassifier())])\np2 = p.fit(df[['age']], df['pregnant'])";
+        let a = analyze(src, &catalog()).unwrap();
+        // fit() returns the pipeline; the assignment stores the updated spec.
+        assert!(a.trace.iter().any(|t| t.contains("pipeline")));
+    }
+
+    #[test]
+    fn analysis_is_fast() {
+        // The paper: static analysis < 10 ms. Generous bound for CI noise.
+        let cat = catalog();
+        let start = std::time::Instant::now();
+        for _ in 0..10 {
+            analyze(RUNNING_EXAMPLE, &cat).unwrap();
+        }
+        let per_run = start.elapsed() / 10;
+        assert!(
+            per_run < std::time::Duration::from_millis(10),
+            "analysis took {per_run:?}"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Python-subset abstract syntax.
+
+use std::fmt;
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `import pandas as pd` — records `pd` → `pandas`.
+    Import { module: String, alias: String },
+    /// `from sklearn.tree import DecisionTreeClassifier, ...` — records
+    /// each imported name with its source module path.
+    FromImport { module: String, names: Vec<String> },
+    /// `target = expr`.
+    Assign { target: String, value: PyExpr, line: usize },
+    /// A bare expression (e.g. a call for its side effect).
+    Expr { value: PyExpr, line: usize },
+}
+
+/// Comparison operators inside boolean masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PyExpr {
+    /// Variable reference.
+    Name(String),
+    /// `base.attr`.
+    Attr(Box<PyExpr>, String),
+    /// `func(args..., kw=value...)`.
+    Call {
+        func: Box<PyExpr>,
+        args: Vec<PyExpr>,
+        kwargs: Vec<(String, PyExpr)>,
+    },
+    /// `base[index]`.
+    Subscript { base: Box<PyExpr>, index: Box<PyExpr> },
+    /// `left <op> right`.
+    Compare {
+        left: Box<PyExpr>,
+        op: CmpOp,
+        right: Box<PyExpr>,
+    },
+    /// `[a, b, ...]`.
+    List(Vec<PyExpr>),
+    /// `(a, b, ...)`.
+    Tuple(Vec<PyExpr>),
+    Str(String),
+    Int(i64),
+    Float(f64),
+}
+
+impl PyExpr {
+    /// Render a dotted path (`pd.read_sql`) if this expression is a chain
+    /// of names/attributes; `None` otherwise.
+    pub fn dotted_path(&self) -> Option<String> {
+        match self {
+            PyExpr::Name(n) => Some(n.clone()),
+            PyExpr::Attr(base, attr) => Some(format!("{}.{attr}", base.dotted_path()?)),
+            _ => None,
+        }
+    }
+
+    /// The base variable of an attribute/subscript chain
+    /// (`df.merge(...)` → `df`).
+    pub fn base_name(&self) -> Option<&str> {
+        match self {
+            PyExpr::Name(n) => Some(n),
+            PyExpr::Attr(base, _) | PyExpr::Subscript { base, .. } => base.base_name(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PyExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PyExpr::Name(n) => f.write_str(n),
+            PyExpr::Attr(b, a) => write!(f, "{b}.{a}"),
+            PyExpr::Call { func, args, kwargs } => {
+                write!(f, "{func}(")?;
+                let mut first = true;
+                for a in args {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                    first = false;
+                }
+                for (k, v) in kwargs {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}={v}")?;
+                    first = false;
+                }
+                write!(f, ")")
+            }
+            PyExpr::Subscript { base, index } => write!(f, "{base}[{index}]"),
+            PyExpr::Compare { left, op, right } => {
+                let op = match op {
+                    CmpOp::Eq => "==",
+                    CmpOp::NotEq => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::LtEq => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::GtEq => ">=",
+                };
+                write!(f, "{left} {op} {right}")
+            }
+            PyExpr::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            PyExpr::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            PyExpr::Str(s) => write!(f, "'{s}'"),
+            PyExpr::Int(v) => write!(f, "{v}"),
+            PyExpr::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_paths() {
+        let e = PyExpr::Attr(
+            Box::new(PyExpr::Attr(
+                Box::new(PyExpr::Name("a".into())),
+                "b".into(),
+            )),
+            "c".into(),
+        );
+        assert_eq!(e.dotted_path(), Some("a.b.c".into()));
+        assert_eq!(e.base_name(), Some("a"));
+        let call = PyExpr::Call {
+            func: Box::new(e),
+            args: vec![],
+            kwargs: vec![],
+        };
+        assert_eq!(call.dotted_path(), None);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let e = PyExpr::Call {
+            func: Box::new(PyExpr::Attr(
+                Box::new(PyExpr::Name("df".into())),
+                "merge".into(),
+            )),
+            args: vec![PyExpr::Name("other".into())],
+            kwargs: vec![("on".into(), PyExpr::Str("id".into()))],
+        };
+        assert_eq!(e.to_string(), "df.merge(other, on='id')");
+    }
+}

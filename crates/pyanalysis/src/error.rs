@@ -1,0 +1,51 @@
+//! Error type for the static analyzer.
+
+use std::fmt;
+
+/// Errors produced while analyzing Python scripts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PyError {
+    /// Lexical error with line number.
+    Lex { line: usize, message: String },
+    /// Parse error.
+    Parse { line: usize, message: String },
+    /// Dataflow/semantic error (e.g. use of an unbound variable).
+    Analysis(String),
+    /// Fitting a pipeline spec failed.
+    Fit(String),
+}
+
+impl fmt::Display for PyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PyError::Lex { line, message } => write!(f, "line {line}: lex error: {message}"),
+            PyError::Parse { line, message } => {
+                write!(f, "line {line}: parse error: {message}")
+            }
+            PyError::Analysis(msg) => write!(f, "analysis error: {msg}"),
+            PyError::Fit(msg) => write!(f, "pipeline fit error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PyError {}
+
+impl From<raven_ml::MlError> for PyError {
+    fn from(e: raven_ml::MlError) -> Self {
+        PyError::Fit(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PyError::Parse {
+            line: 4,
+            message: "bad".into(),
+        };
+        assert_eq!(e.to_string(), "line 4: parse error: bad");
+    }
+}

@@ -1,0 +1,383 @@
+//! Python-subset lexer.
+
+use crate::error::PyError;
+use crate::Result;
+
+/// A Python token, tagged with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: PyToken,
+    pub line: usize,
+}
+
+/// Python-subset tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PyToken {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Newline,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Colon,
+    Assign,
+    EqEq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+/// Tokenize a script. Newlines are significant (statement separators)
+/// except inside brackets/parens; `#` comments and blank lines are
+/// skipped; both quote styles are accepted.
+pub fn lex(source: &str) -> Result<Vec<Spanned>> {
+    let bytes = source.as_bytes();
+    let mut out: Vec<Spanned> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut depth = 0usize; // bracket nesting: newlines inside are ignored
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                if depth == 0 && !matches!(out.last().map(|s| &s.token), None | Some(PyToken::Newline)) {
+                    out.push(Spanned {
+                        token: PyToken::Newline,
+                        line,
+                    });
+                }
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '\\' if bytes.get(i + 1) == Some(&b'\n') => {
+                // Explicit line continuation.
+                line += 1;
+                i += 2;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                depth += 1;
+                out.push(Spanned {
+                    token: PyToken::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                out.push(Spanned {
+                    token: PyToken::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            '[' => {
+                depth += 1;
+                out.push(Spanned {
+                    token: PyToken::LBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                out.push(Spanned {
+                    token: PyToken::RBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned {
+                    token: PyToken::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned {
+                    token: PyToken::Dot,
+                    line,
+                });
+                i += 1;
+            }
+            ':' => {
+                out.push(Spanned {
+                    token: PyToken::Colon,
+                    line,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned {
+                    token: PyToken::Plus,
+                    line,
+                });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned {
+                    token: PyToken::Minus,
+                    line,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned {
+                    token: PyToken::Star,
+                    line,
+                });
+                i += 1;
+            }
+            '/' => {
+                out.push(Spanned {
+                    token: PyToken::Slash,
+                    line,
+                });
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned {
+                        token: PyToken::EqEq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        token: PyToken::Assign,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned {
+                    token: PyToken::NotEq,
+                    line,
+                });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned {
+                        token: PyToken::LtEq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        token: PyToken::Lt,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned {
+                        token: PyToken::GtEq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        token: PyToken::Gt,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            q @ ('"' | '\'') => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(PyError::Lex {
+                                line,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(&b) if b as char == q => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b'\n') => {
+                            return Err(PyError::Lex {
+                                line,
+                                message: "newline in string".into(),
+                            })
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    token: PyToken::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_digit() {
+                        i += 1;
+                    } else if b == '.' && !is_float {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &source[start..i];
+                let token = if is_float {
+                    PyToken::Float(text.parse().map_err(|_| PyError::Lex {
+                        line,
+                        message: format!("bad float {text}"),
+                    })?)
+                } else {
+                    PyToken::Int(text.parse().map_err(|_| PyError::Lex {
+                        line,
+                        message: format!("bad int {text}"),
+                    })?)
+                };
+                out.push(Spanned { token, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: PyToken::Ident(source[start..i].to_string()),
+                    line,
+                });
+            }
+            other => {
+                return Err(PyError::Lex {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    // Terminate the final statement.
+    if !matches!(out.last().map(|s| &s.token), None | Some(PyToken::Newline)) {
+        out.push(Spanned {
+            token: PyToken::Newline,
+            line,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<PyToken> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn assignment_and_call() {
+        let t = toks("df = pd.read_sql(\"patients\")");
+        assert_eq!(
+            t,
+            vec![
+                PyToken::Ident("df".into()),
+                PyToken::Assign,
+                PyToken::Ident("pd".into()),
+                PyToken::Dot,
+                PyToken::Ident("read_sql".into()),
+                PyToken::LParen,
+                PyToken::Str("patients".into()),
+                PyToken::RParen,
+                PyToken::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn newlines_inside_brackets_ignored() {
+        let t = toks("x = Pipeline([\n  ('a', B()),\n])\ny = 1");
+        let newlines = t.iter().filter(|t| **t == PyToken::Newline).count();
+        assert_eq!(newlines, 2, "one per logical statement");
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let t = toks("# header\n\nx = 1  # trailing\n\n");
+        assert_eq!(
+            t,
+            vec![
+                PyToken::Ident("x".into()),
+                PyToken::Assign,
+                PyToken::Int(1),
+                PyToken::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = toks("df[df.pregnant == 1]");
+        assert!(t.contains(&PyToken::EqEq));
+        let t = toks("a != b <= c >= d");
+        assert!(t.contains(&PyToken::NotEq));
+        assert!(t.contains(&PyToken::LtEq));
+        assert!(t.contains(&PyToken::GtEq));
+    }
+
+    #[test]
+    fn both_quote_styles() {
+        assert_eq!(toks("'a'")[0], PyToken::Str("a".into()));
+        assert_eq!(toks("\"a\"")[0], PyToken::Str("a".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("3")[0], PyToken::Int(3));
+        assert_eq!(toks("3.5")[0], PyToken::Float(3.5));
+    }
+
+    #[test]
+    fn line_tracking() {
+        let spanned = lex("a = 1\nb = 2").unwrap();
+        let b = spanned
+            .iter()
+            .find(|s| s.token == PyToken::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("x = $").is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! Python-subset parser (straight-line statements).
+
+use crate::ast::{CmpOp, PyExpr, Stmt};
+use crate::error::PyError;
+use crate::lexer::{lex, PyToken, Spanned};
+use crate::Result;
+
+/// Parse a script into statements.
+pub fn parse(source: &str) -> Result<Vec<Stmt>> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        if p.eat(&PyToken::Newline) {
+            continue;
+        }
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn peek(&self) -> Option<&PyToken> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn next(&mut self) -> Result<PyToken> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .map(|s| s.token.clone())
+            .ok_or_else(|| PyError::Parse {
+                line: self.line(),
+                message: "unexpected end of input".into(),
+            })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat(&mut self, token: &PyToken) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: PyToken) -> Result<()> {
+        let line = self.line();
+        let got = self.next()?;
+        if got == token {
+            Ok(())
+        } else {
+            Err(PyError::Parse {
+                line,
+                message: format!("expected {token:?}, found {got:?}"),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        let line = self.line();
+        match self.next()? {
+            PyToken::Ident(s) => Ok(s),
+            other => Err(PyError::Parse {
+                line,
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn end_statement(&mut self) -> Result<()> {
+        if self.at_end() || self.eat(&PyToken::Newline) {
+            Ok(())
+        } else {
+            Err(PyError::Parse {
+                line: self.line(),
+                message: format!("expected end of statement, found {:?}", self.peek()),
+            })
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            Some(PyToken::Ident(kw)) if kw == "import" => {
+                self.pos += 1;
+                let mut module = self.ident()?;
+                while self.eat(&PyToken::Dot) {
+                    module = format!("{module}.{}", self.ident()?);
+                }
+                let alias = if self.eat(&PyToken::Ident("as".into())) {
+                    self.ident()?
+                } else {
+                    module.split('.').next_back().unwrap_or(&module).to_string()
+                };
+                self.end_statement()?;
+                Ok(Stmt::Import { module, alias })
+            }
+            Some(PyToken::Ident(kw)) if kw == "from" => {
+                self.pos += 1;
+                let mut module = self.ident()?;
+                while self.eat(&PyToken::Dot) {
+                    module = format!("{module}.{}", self.ident()?);
+                }
+                let line2 = self.line();
+                match self.next()? {
+                    PyToken::Ident(k) if k == "import" => {}
+                    other => {
+                        return Err(PyError::Parse {
+                            line: line2,
+                            message: format!("expected import, found {other:?}"),
+                        })
+                    }
+                }
+                let mut names = vec![self.ident()?];
+                while self.eat(&PyToken::Comma) {
+                    names.push(self.ident()?);
+                }
+                self.end_statement()?;
+                Ok(Stmt::FromImport { module, names })
+            }
+            _ => {
+                // `name = expr` or a bare expression.
+                let checkpoint = self.pos;
+                if let Some(PyToken::Ident(name)) = self.peek().cloned() {
+                    self.pos += 1;
+                    if self.eat(&PyToken::Assign) {
+                        let value = self.expr()?;
+                        self.end_statement()?;
+                        return Ok(Stmt::Assign {
+                            target: name,
+                            value,
+                            line,
+                        });
+                    }
+                    self.pos = checkpoint;
+                }
+                let value = self.expr()?;
+                self.end_statement()?;
+                Ok(Stmt::Expr { value, line })
+            }
+        }
+    }
+
+    /// Expression grammar: comparison over postfix over primary.
+    fn expr(&mut self) -> Result<PyExpr> {
+        let left = self.postfix()?;
+        let op = match self.peek() {
+            Some(PyToken::EqEq) => Some(CmpOp::Eq),
+            Some(PyToken::NotEq) => Some(CmpOp::NotEq),
+            Some(PyToken::Lt) => Some(CmpOp::Lt),
+            Some(PyToken::LtEq) => Some(CmpOp::LtEq),
+            Some(PyToken::Gt) => Some(CmpOp::Gt),
+            Some(PyToken::GtEq) => Some(CmpOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.postfix()?;
+            Ok(PyExpr::Compare {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            })
+        } else {
+            Ok(left)
+        }
+    }
+
+    /// Postfix chain: attribute access, calls, subscripts.
+    fn postfix(&mut self) -> Result<PyExpr> {
+        let mut expr = self.primary()?;
+        loop {
+            if self.eat(&PyToken::Dot) {
+                let attr = self.ident()?;
+                expr = PyExpr::Attr(Box::new(expr), attr);
+            } else if self.eat(&PyToken::LParen) {
+                let (args, kwargs) = self.call_arguments()?;
+                expr = PyExpr::Call {
+                    func: Box::new(expr),
+                    args,
+                    kwargs,
+                };
+            } else if self.eat(&PyToken::LBracket) {
+                let index = self.expr()?;
+                self.expect(PyToken::RBracket)?;
+                expr = PyExpr::Subscript {
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                };
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn call_arguments(&mut self) -> Result<(Vec<PyExpr>, Vec<(String, PyExpr)>)> {
+        let mut args = Vec::new();
+        let mut kwargs = Vec::new();
+        if self.eat(&PyToken::RParen) {
+            return Ok((args, kwargs));
+        }
+        loop {
+            // Keyword argument? (ident '=' not '==')
+            if let (Some(PyToken::Ident(name)), Some(PyToken::Assign)) = (
+                self.peek().cloned().clone().as_ref(),
+                self.tokens.get(self.pos + 1).map(|s| &s.token),
+            ) {
+                let name = name.clone();
+                self.pos += 2;
+                let value = self.expr()?;
+                kwargs.push((name, value));
+            } else {
+                args.push(self.expr()?);
+            }
+            if self.eat(&PyToken::Comma) {
+                // Allow trailing comma before ')'.
+                if self.eat(&PyToken::RParen) {
+                    return Ok((args, kwargs));
+                }
+                continue;
+            }
+            self.expect(PyToken::RParen)?;
+            return Ok((args, kwargs));
+        }
+    }
+
+    fn primary(&mut self) -> Result<PyExpr> {
+        let line = self.line();
+        match self.next()? {
+            PyToken::Ident(n) => Ok(PyExpr::Name(n)),
+            PyToken::Str(s) => Ok(PyExpr::Str(s)),
+            PyToken::Int(v) => Ok(PyExpr::Int(v)),
+            PyToken::Float(v) => Ok(PyExpr::Float(v)),
+            PyToken::Minus => match self.next()? {
+                PyToken::Int(v) => Ok(PyExpr::Int(-v)),
+                PyToken::Float(v) => Ok(PyExpr::Float(-v)),
+                other => Err(PyError::Parse {
+                    line,
+                    message: format!("expected number after '-', found {other:?}"),
+                }),
+            },
+            PyToken::LBracket => {
+                let mut items = Vec::new();
+                if self.eat(&PyToken::RBracket) {
+                    return Ok(PyExpr::List(items));
+                }
+                loop {
+                    items.push(self.expr()?);
+                    if self.eat(&PyToken::Comma) {
+                        if self.eat(&PyToken::RBracket) {
+                            break;
+                        }
+                        continue;
+                    }
+                    self.expect(PyToken::RBracket)?;
+                    break;
+                }
+                Ok(PyExpr::List(items))
+            }
+            PyToken::LParen => {
+                let mut items = Vec::new();
+                if self.eat(&PyToken::RParen) {
+                    return Ok(PyExpr::Tuple(items));
+                }
+                loop {
+                    items.push(self.expr()?);
+                    if self.eat(&PyToken::Comma) {
+                        if self.eat(&PyToken::RParen) {
+                            break;
+                        }
+                        continue;
+                    }
+                    self.expect(PyToken::RParen)?;
+                    // Single parenthesized expression, not a tuple.
+                    if items.len() == 1 {
+                        return Ok(items.pop().expect("non-empty"));
+                    }
+                    break;
+                }
+                Ok(PyExpr::Tuple(items))
+            }
+            other => Err(PyError::Parse {
+                line,
+                message: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imports() {
+        let s = parse("import pandas as pd\nfrom sklearn.tree import DecisionTreeClassifier")
+            .unwrap();
+        assert_eq!(
+            s[0],
+            Stmt::Import {
+                module: "pandas".into(),
+                alias: "pd".into()
+            }
+        );
+        assert_eq!(
+            s[1],
+            Stmt::FromImport {
+                module: "sklearn.tree".into(),
+                names: vec!["DecisionTreeClassifier".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn import_without_alias() {
+        let s = parse("import numpy").unwrap();
+        assert_eq!(
+            s[0],
+            Stmt::Import {
+                module: "numpy".into(),
+                alias: "numpy".into()
+            }
+        );
+    }
+
+    #[test]
+    fn assignment_with_call_chain() {
+        let s = parse("df = pd.read_sql('patients')").unwrap();
+        let Stmt::Assign { target, value, .. } = &s[0] else {
+            panic!()
+        };
+        assert_eq!(target, "df");
+        assert_eq!(value.to_string(), "pd.read_sql('patients')");
+    }
+
+    #[test]
+    fn boolean_mask_subscript() {
+        let s = parse("df2 = df[df.pregnant == 1]").unwrap();
+        let Stmt::Assign { value, .. } = &s[0] else { panic!() };
+        assert_eq!(value.to_string(), "df[df.pregnant == 1]");
+    }
+
+    #[test]
+    fn column_list_subscript() {
+        let s = parse("x = df[['age', 'bp']]").unwrap();
+        let Stmt::Assign { value, .. } = &s[0] else { panic!() };
+        assert_eq!(value.to_string(), "df[['age', 'bp']]");
+    }
+
+    #[test]
+    fn pipeline_with_tuples_multiline() {
+        let src = "model = Pipeline([\n    ('scaler', StandardScaler()),\n    ('clf', DecisionTreeClassifier(max_depth=5)),\n])";
+        let s = parse(src).unwrap();
+        let Stmt::Assign { value, .. } = &s[0] else { panic!() };
+        assert_eq!(
+            value.to_string(),
+            "Pipeline([('scaler', StandardScaler()), ('clf', DecisionTreeClassifier(max_depth=5))])"
+        );
+    }
+
+    #[test]
+    fn kwargs_and_args() {
+        let s = parse("df.merge(other, on='id', how='inner')").unwrap();
+        let Stmt::Expr { value, .. } = &s[0] else { panic!() };
+        let PyExpr::Call { args, kwargs, .. } = value else {
+            panic!()
+        };
+        assert_eq!(args.len(), 1);
+        assert_eq!(kwargs.len(), 2);
+        assert_eq!(kwargs[0].0, "on");
+    }
+
+    #[test]
+    fn negative_literals() {
+        let s = parse("x = f(-1, -2.5)").unwrap();
+        let Stmt::Assign { value, .. } = &s[0] else { panic!() };
+        assert_eq!(value.to_string(), "f(-1, -2.5)");
+    }
+
+    #[test]
+    fn parenthesized_vs_tuple() {
+        let s = parse("x = (a)\ny = (a, b)").unwrap();
+        let Stmt::Assign { value, .. } = &s[0] else { panic!() };
+        assert_eq!(*value, PyExpr::Name("a".into()));
+        let Stmt::Assign { value, .. } = &s[1] else { panic!() };
+        assert!(matches!(value, PyExpr::Tuple(items) if items.len() == 2));
+    }
+
+    #[test]
+    fn errors_with_lines() {
+        let err = parse("x = 1\ny = = 2").unwrap_err();
+        assert!(matches!(err, PyError::Parse { line: 2, .. }));
+        assert!(parse("x = ").is_err());
+        assert!(parse("f(a,,b)").is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Extracted pipeline structure, and fitting it into an executable model.
+//!
+//! Static analysis recovers the *structure* of an sklearn-style pipeline
+//! (which featurizers, which estimator, which hyperparameters) — weights
+//! only exist after training. [`PipelineSpec::fit`] closes the loop by
+//! training the spec on in-database data with `raven-ml`'s trainers,
+//! yielding a [`raven_ml::Pipeline`] that the rest of Raven can store,
+//! optimize and execute.
+
+use crate::error::PyError;
+use crate::Result;
+use raven_data::{Column, RecordBatch};
+use raven_ml::featurize::{OneHotEncoder, StandardScaler, Transform};
+use raven_ml::forest::ForestParams;
+use raven_ml::linear::{LinearKind, LinearParams};
+use raven_ml::mlp::MlpParams;
+use raven_ml::tree::TreeParams;
+use raven_ml::{
+    DecisionTree, Estimator, FeatureStep, LinearModel, Mlp, Pipeline, RandomForest,
+};
+
+/// Estimator structure + hyperparameters recognized by the knowledge base.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorSpec {
+    /// `DecisionTreeClassifier(max_depth=...)` / `DecisionTreeRegressor`.
+    DecisionTree { max_depth: usize },
+    /// `RandomForestClassifier(n_estimators=..., max_depth=...)`.
+    RandomForest { n_trees: usize, max_depth: usize },
+    /// `LogisticRegression(penalty='l1', C=...)` — `l1 = 1/C`.
+    Logistic { l1: f64 },
+    /// `LinearRegression()` / `Lasso(alpha=...)`.
+    Linear { l1: f64 },
+    /// `MLPClassifier(hidden_layer_sizes=(...))`.
+    Mlp { hidden: Vec<usize> },
+}
+
+impl EstimatorSpec {
+    /// Short name for traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EstimatorSpec::DecisionTree { .. } => "DecisionTree",
+            EstimatorSpec::RandomForest { .. } => "RandomForest",
+            EstimatorSpec::Logistic { .. } => "LogisticRegression",
+            EstimatorSpec::Linear { .. } => "LinearRegression",
+            EstimatorSpec::Mlp { .. } => "MLP",
+        }
+    }
+}
+
+/// The structure of a model pipeline extracted from a script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpec {
+    /// A `StandardScaler` appears in the pipeline.
+    pub scale_numeric: bool,
+    /// A `OneHotEncoder` appears in the pipeline.
+    pub onehot_categorical: bool,
+    pub estimator: EstimatorSpec,
+    /// Feature columns, when the script selected them (`df[['age','bp']]`).
+    pub feature_columns: Vec<String>,
+    /// Label column, when visible from `fit(X, df['label'])`.
+    pub label_column: Option<String>,
+}
+
+impl PipelineSpec {
+    /// Train the spec on a batch of data.
+    ///
+    /// `features` override the spec's recorded feature columns when given;
+    /// `labels` are the training targets (one per row).
+    pub fn fit(
+        &self,
+        batch: &RecordBatch,
+        features: &[String],
+        labels: &[f64],
+        seed: u64,
+    ) -> Result<Pipeline> {
+        let feature_columns: Vec<String> = if features.is_empty() {
+            self.feature_columns.clone()
+        } else {
+            features.to_vec()
+        };
+        if feature_columns.is_empty() {
+            return Err(PyError::Fit("no feature columns".into()));
+        }
+        if labels.len() != batch.num_rows() {
+            return Err(PyError::Fit(format!(
+                "{} labels for {} rows",
+                labels.len(),
+                batch.num_rows()
+            )));
+        }
+
+        // Build one FeatureStep per column, fitted on the data.
+        let mut steps = Vec::with_capacity(feature_columns.len());
+        for col_name in &feature_columns {
+            let col = batch
+                .column_by_name(col_name)
+                .map_err(|e| PyError::Fit(e.to_string()))?;
+            let transform = match col {
+                Column::Utf8(values) => {
+                    // String features always need encoding; honor the spec
+                    // when present, otherwise encode anyway (sklearn would
+                    // fail — we degrade gracefully and note it in docs).
+                    Transform::OneHot(OneHotEncoder::fit(values)?)
+                }
+                numeric => {
+                    if self.scale_numeric {
+                        let values = numeric
+                            .to_f64_vec()
+                            .map_err(|e| PyError::Fit(e.to_string()))?;
+                        Transform::Scale(StandardScaler::fit(&values)?)
+                    } else {
+                        Transform::Identity
+                    }
+                }
+            };
+            steps.push(FeatureStep::new(col_name.clone(), transform));
+        }
+
+        // Featurize the training data through the steps.
+        let probe = Pipeline::new(
+            steps.clone(),
+            // Temporary estimator with the right width for featurization.
+            Estimator::Linear(
+                LinearModel::new(
+                    vec![0.0; steps.iter().map(|s| s.transform.n_outputs()).sum::<usize>().max(1)],
+                    0.0,
+                    LinearKind::Regression,
+                )
+                .map_err(PyError::from)?,
+            ),
+        )
+        .map_err(PyError::from)?;
+        let x = probe.featurize(batch).map_err(PyError::from)?;
+        let width = probe.n_features();
+        let rows = batch.num_rows();
+        debug_assert_eq!(x.len(), width * rows);
+
+        let estimator = match &self.estimator {
+            EstimatorSpec::DecisionTree { max_depth } => Estimator::Tree(
+                DecisionTree::fit(
+                    &x,
+                    width,
+                    labels,
+                    &TreeParams {
+                        max_depth: *max_depth,
+                        ..Default::default()
+                    },
+                )
+                .map_err(PyError::from)?,
+            ),
+            EstimatorSpec::RandomForest { n_trees, max_depth } => Estimator::Forest(
+                RandomForest::fit(
+                    &x,
+                    width,
+                    labels,
+                    &ForestParams {
+                        n_trees: *n_trees,
+                        tree: TreeParams {
+                            max_depth: *max_depth,
+                            ..Default::default()
+                        },
+                        seed,
+                        ..Default::default()
+                    },
+                )
+                .map_err(PyError::from)?,
+            ),
+            EstimatorSpec::Logistic { l1 } => Estimator::Linear(
+                LinearModel::fit(
+                    &x,
+                    width,
+                    labels,
+                    &LinearParams {
+                        kind: LinearKind::Logistic,
+                        l1: *l1,
+                        ..Default::default()
+                    },
+                )
+                .map_err(PyError::from)?,
+            ),
+            EstimatorSpec::Linear { l1 } => Estimator::Linear(
+                LinearModel::fit(
+                    &x,
+                    width,
+                    labels,
+                    &LinearParams {
+                        kind: LinearKind::Regression,
+                        l1: *l1,
+                        ..Default::default()
+                    },
+                )
+                .map_err(PyError::from)?,
+            ),
+            EstimatorSpec::Mlp { hidden } => Estimator::Mlp(
+                Mlp::fit(
+                    &x,
+                    width,
+                    labels,
+                    &MlpParams {
+                        hidden: hidden.clone(),
+                        seed,
+                        ..Default::default()
+                    },
+                )
+                .map_err(PyError::from)?,
+            ),
+        };
+        Pipeline::new(steps, estimator).map_err(PyError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{DataType, Schema};
+
+    fn batch() -> RecordBatch {
+        let schema = Schema::from_pairs(&[
+            ("age", DataType::Float64),
+            ("dest", DataType::Utf8),
+        ])
+        .into_shared();
+        let ages: Vec<f64> = (0..40).map(|i| 20.0 + (i % 30) as f64).collect();
+        let dests: Vec<&str> = (0..40)
+            .map(|i| if i % 2 == 0 { "JFK" } else { "LAX" })
+            .collect();
+        RecordBatch::try_new(
+            schema,
+            vec![Column::from(ages), Column::from(dests)],
+        )
+        .unwrap()
+    }
+
+    fn labels() -> Vec<f64> {
+        (0..40).map(|i| ((20 + (i % 30)) > 35) as i64 as f64).collect()
+    }
+
+    #[test]
+    fn fit_tree_spec() {
+        let spec = PipelineSpec {
+            scale_numeric: true,
+            onehot_categorical: true,
+            estimator: EstimatorSpec::DecisionTree { max_depth: 4 },
+            feature_columns: vec!["age".into(), "dest".into()],
+            label_column: None,
+        };
+        let p = spec.fit(&batch(), &[], &labels(), 1).unwrap();
+        assert_eq!(p.input_columns(), vec!["age", "dest"]);
+        // Scaler on age, one-hot on dest (2 categories) → 3 features.
+        assert_eq!(p.n_features(), 3);
+        // The model learned the age threshold.
+        let preds = p.predict(&batch()).unwrap();
+        for (pred, label) in preds.iter().zip(labels()) {
+            assert!((pred - label).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn fit_all_estimator_kinds() {
+        let b = batch();
+        let y = labels();
+        for est in [
+            EstimatorSpec::RandomForest {
+                n_trees: 3,
+                max_depth: 3,
+            },
+            EstimatorSpec::Logistic { l1: 0.01 },
+            EstimatorSpec::Linear { l1: 0.0 },
+            EstimatorSpec::Mlp { hidden: vec![4] },
+        ] {
+            let spec = PipelineSpec {
+                scale_numeric: false,
+                onehot_categorical: true,
+                estimator: est.clone(),
+                feature_columns: vec!["age".into(), "dest".into()],
+                label_column: None,
+            };
+            let p = spec.fit(&b, &[], &y, 1);
+            assert!(p.is_ok(), "failed for {}", est.name());
+        }
+    }
+
+    #[test]
+    fn fit_errors() {
+        let spec = PipelineSpec {
+            scale_numeric: false,
+            onehot_categorical: false,
+            estimator: EstimatorSpec::Linear { l1: 0.0 },
+            feature_columns: vec![],
+            label_column: None,
+        };
+        assert!(spec.fit(&batch(), &[], &labels(), 1).is_err());
+        let spec2 = PipelineSpec {
+            feature_columns: vec!["ghost".into()],
+            ..spec.clone()
+        };
+        assert!(spec2.fit(&batch(), &[], &labels(), 1).is_err());
+        let spec3 = PipelineSpec {
+            feature_columns: vec!["age".into()],
+            ..spec
+        };
+        assert!(spec3.fit(&batch(), &[], &[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn feature_override() {
+        let spec = PipelineSpec {
+            scale_numeric: false,
+            onehot_categorical: false,
+            estimator: EstimatorSpec::Linear { l1: 0.0 },
+            feature_columns: vec!["dest".into()],
+            label_column: None,
+        };
+        let p = spec
+            .fit(&batch(), &["age".to_string()], &labels(), 1)
+            .unwrap();
+        assert_eq!(p.input_columns(), vec!["age"]);
+    }
+}

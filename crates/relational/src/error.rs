@@ -1,0 +1,62 @@
+//! Error type for the execution engine.
+
+use std::fmt;
+
+/// Errors produced during plan execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Data-layer failure (missing column/table, type mismatch...).
+    Data(raven_data::DataError),
+    /// IR-level failure (schema computation, typing).
+    Ir(String),
+    /// Expression evaluation failure.
+    Eval(String),
+    /// A model operator reached an executor with no scorer.
+    NoScorer(String),
+    /// Model scoring failed.
+    Scoring(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Data(e) => write!(f, "data error: {e}"),
+            ExecError::Ir(msg) => write!(f, "ir error: {msg}"),
+            ExecError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            ExecError::NoScorer(op) => {
+                write!(f, "no scorer available for model operator: {op}")
+            }
+            ExecError::Scoring(msg) => write!(f, "scoring error: {msg}"),
+            ExecError::Internal(msg) => write!(f, "internal execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<raven_data::DataError> for ExecError {
+    fn from(e: raven_data::DataError) -> Self {
+        ExecError::Data(e)
+    }
+}
+
+impl From<raven_ir::IrError> for ExecError {
+    fn from(e: raven_ir::IrError) -> Self {
+        ExecError::Ir(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: ExecError = raven_data::DataError::TableNotFound("t".into()).into();
+        assert_eq!(e.to_string(), "data error: table not found: t");
+        let e: ExecError = raven_ir::IrError::UnknownColumn("c".into()).into();
+        assert!(e.to_string().contains("unknown column"));
+    }
+}

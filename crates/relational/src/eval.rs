@@ -1,0 +1,494 @@
+//! Columnar expression evaluation.
+
+use crate::error::ExecError;
+use crate::Result;
+use raven_data::{Column, DataType, RecordBatch, Value};
+use raven_ir::{BinOp, Expr};
+use std::cmp::Ordering;
+
+/// Evaluate an expression over a batch, producing one column.
+pub fn evaluate(expr: &Expr, batch: &RecordBatch) -> Result<Column> {
+    match eval_inner(expr, batch)? {
+        Ev::Column(c) => Ok(c),
+        Ev::Scalar(v) => Ok(scalar_column(&v, batch.num_rows())),
+    }
+}
+
+/// Evaluate a boolean predicate into a selection mask.
+pub fn evaluate_predicate(expr: &Expr, batch: &RecordBatch) -> Result<Vec<bool>> {
+    match eval_inner(expr, batch)? {
+        Ev::Column(Column::Bool(mask)) => Ok(mask),
+        Ev::Scalar(Value::Bool(b)) => Ok(vec![b; batch.num_rows()]),
+        other => Err(ExecError::Eval(format!(
+            "predicate evaluated to non-boolean {:?}",
+            other.data_type()
+        ))),
+    }
+}
+
+/// Lazy evaluation result: literals stay scalar until forced, so
+/// `bp > 140` over a million rows never materializes a constant column.
+enum Ev {
+    Column(Column),
+    Scalar(Value),
+}
+
+impl Ev {
+    fn data_type(&self) -> DataType {
+        match self {
+            Ev::Column(c) => c.data_type(),
+            Ev::Scalar(v) => v.data_type(),
+        }
+    }
+}
+
+fn scalar_column(v: &Value, rows: usize) -> Column {
+    match v {
+        Value::Int64(x) => Column::Int64(vec![*x; rows]),
+        Value::Float64(x) => Column::Float64(vec![*x; rows]),
+        Value::Bool(x) => Column::Bool(vec![*x; rows]),
+        Value::Utf8(s) => Column::Utf8(vec![s.clone(); rows]),
+    }
+}
+
+fn eval_inner(expr: &Expr, batch: &RecordBatch) -> Result<Ev> {
+    match expr {
+        Expr::Column(name) => Ok(Ev::Column(batch.column_by_name(name)?.clone())),
+        Expr::Literal(v) => Ok(Ev::Scalar(v.clone())),
+        Expr::Binary { op, left, right } => {
+            let l = eval_inner(left, batch)?;
+            let r = eval_inner(right, batch)?;
+            eval_binary(*op, l, r, batch.num_rows())
+        }
+        Expr::Not(inner) => match eval_inner(inner, batch)? {
+            Ev::Column(Column::Bool(mut mask)) => {
+                for b in &mut mask {
+                    *b = !*b;
+                }
+                Ok(Ev::Column(Column::Bool(mask)))
+            }
+            Ev::Scalar(Value::Bool(b)) => Ok(Ev::Scalar(Value::Bool(!b))),
+            other => Err(ExecError::Eval(format!(
+                "NOT over {:?}",
+                other.data_type()
+            ))),
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => eval_case(branches, else_expr, batch),
+    }
+}
+
+/// CASE evaluation is *short-circuited per partition*: each branch's value
+/// expression is evaluated only over the rows its condition claimed, then
+/// results scatter back. Without this, a deeply nested CASE (an inlined
+/// decision tree!) would evaluate every subtree for every row —
+/// O(nodes × rows) instead of O(depth × rows).
+fn eval_case(branches: &[(Expr, Expr)], else_expr: &Expr, batch: &RecordBatch) -> Result<Ev> {
+    let rows = batch.num_rows();
+    // Decide the branch per row (conditions still evaluate over all
+    // undecided rows; for inlined trees there is exactly one condition).
+    let mut chosen: Vec<usize> = vec![usize::MAX; rows]; // MAX = else
+    for (bi, (cond, _)) in branches.iter().enumerate() {
+        let mask = evaluate_predicate(cond, batch)?;
+        for (r, &m) in mask.iter().enumerate() {
+            if m && chosen[r] == usize::MAX {
+                chosen[r] = bi;
+            }
+        }
+    }
+    // Partition rows by chosen branch.
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); branches.len() + 1];
+    for (r, &c) in chosen.iter().enumerate() {
+        let slot = if c == usize::MAX { branches.len() } else { c };
+        groups[slot].push(r);
+    }
+    // Narrow the batch to the columns each value expression needs before
+    // `take`, so partitioning does not clone unrelated columns.
+    let mut out_f64: Vec<f64> = vec![0.0; rows];
+    let mut out_utf8: Option<Vec<String>> = None;
+    let mut is_utf8 = false;
+    for (slot, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let value_expr = if slot == branches.len() {
+            else_expr
+        } else {
+            &branches[slot].1
+        };
+        let sub = project_and_take(batch, value_expr, group)?;
+        let col = evaluate(value_expr, &sub)?;
+        match col {
+            Column::Utf8(vals) => {
+                is_utf8 = true;
+                let out = out_utf8.get_or_insert_with(|| vec![String::new(); rows]);
+                for (&r, v) in group.iter().zip(vals) {
+                    out[r] = v;
+                }
+            }
+            other => {
+                let vals = other.to_f64_vec()?;
+                for (&r, v) in group.iter().zip(vals) {
+                    out_f64[r] = v;
+                }
+            }
+        }
+    }
+    if is_utf8 {
+        Ok(Ev::Column(Column::Utf8(out_utf8.unwrap_or_default())))
+    } else {
+        Ok(Ev::Column(Column::Float64(out_f64)))
+    }
+}
+
+/// Take `rows` from `batch`, restricted to the columns `expr` references.
+fn project_and_take(batch: &RecordBatch, expr: &Expr, rows: &[usize]) -> Result<RecordBatch> {
+    let needed = expr.referenced_columns();
+    if needed.is_empty() {
+        // Pure literal subtree: keep one column so the sub-batch carries
+        // the row count (literals broadcast over it at evaluation).
+        let first = batch.project(&[0])?;
+        return Ok(first.take(rows)?);
+    }
+    let schema = batch.schema();
+    let mut indices = Vec::with_capacity(needed.len());
+    for name in needed {
+        indices.push(schema.index_of(&name)?);
+    }
+    indices.sort_unstable();
+    indices.dedup();
+    Ok(batch.project(&indices)?.take(rows)?)
+}
+
+fn eval_binary(op: BinOp, l: Ev, r: Ev, rows: usize) -> Result<Ev> {
+    if op.is_logical() {
+        return eval_logical(op, l, r, rows);
+    }
+    if op.is_comparison() {
+        return eval_comparison(op, l, r, rows);
+    }
+    eval_arithmetic(op, l, r, rows)
+}
+
+fn eval_logical(op: BinOp, l: Ev, r: Ev, rows: usize) -> Result<Ev> {
+    let to_mask = |e: Ev| -> Result<Vec<bool>> {
+        match e {
+            Ev::Column(Column::Bool(m)) => Ok(m),
+            Ev::Scalar(Value::Bool(b)) => Ok(vec![b; rows]),
+            other => Err(ExecError::Eval(format!(
+                "logical op over {:?}",
+                other.data_type()
+            ))),
+        }
+    };
+    let (mut a, b) = (to_mask(l)?, to_mask(r)?);
+    match op {
+        BinOp::And => a.iter_mut().zip(&b).for_each(|(x, &y)| *x = *x && y),
+        BinOp::Or => a.iter_mut().zip(&b).for_each(|(x, &y)| *x = *x || y),
+        _ => unreachable!(),
+    }
+    Ok(Ev::Column(Column::Bool(a)))
+}
+
+fn cmp_matches(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::NotEq => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::LtEq => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!(),
+    }
+}
+
+fn eval_comparison(op: BinOp, l: Ev, r: Ev, rows: usize) -> Result<Ev> {
+    // Fast paths: numeric column vs numeric scalar (the overwhelmingly
+    // common shape for predicates like `bp > 140`).
+    match (&l, &r) {
+        (Ev::Column(col), Ev::Scalar(s)) if col.data_type().is_numeric() && s.data_type() != DataType::Utf8 => {
+            let threshold = s.as_f64().map_err(ExecError::from)?;
+            let mask = match col {
+                Column::Float64(v) => cmp_scalar(op, v.iter().copied(), threshold),
+                Column::Int64(v) => cmp_scalar(op, v.iter().map(|&x| x as f64), threshold),
+                _ => unreachable!(),
+            };
+            return Ok(Ev::Column(Column::Bool(mask)));
+        }
+        (Ev::Scalar(_), Ev::Column(_)) => {
+            return eval_comparison(flip_cmp(op), r, l, rows);
+        }
+        _ => {}
+    }
+    // String equality fast path.
+    if let (Ev::Column(Column::Utf8(vs)), Ev::Scalar(Value::Utf8(s))) = (&l, &r) {
+        let mask = vs
+            .iter()
+            .map(|v| cmp_matches(op, v.as_str().cmp(s.as_str())))
+            .collect();
+        return Ok(Ev::Column(Column::Bool(mask)));
+    }
+    // Generic path: row-wise Value comparison.
+    let lc = force(l, rows);
+    let rc = force(r, rows);
+    let mut mask = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let (a, b) = (lc.get(i)?, rc.get(i)?);
+        let ord = a.partial_cmp_value(&b).ok_or_else(|| {
+            ExecError::Eval(format!(
+                "cannot compare {:?} with {:?}",
+                a.data_type(),
+                b.data_type()
+            ))
+        })?;
+        mask.push(cmp_matches(op, ord));
+    }
+    Ok(Ev::Column(Column::Bool(mask)))
+}
+
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+fn cmp_scalar(op: BinOp, values: impl Iterator<Item = f64>, t: f64) -> Vec<bool> {
+    match op {
+        BinOp::Eq => values.map(|v| v == t).collect(),
+        BinOp::NotEq => values.map(|v| v != t).collect(),
+        BinOp::Lt => values.map(|v| v < t).collect(),
+        BinOp::LtEq => values.map(|v| v <= t).collect(),
+        BinOp::Gt => values.map(|v| v > t).collect(),
+        BinOp::GtEq => values.map(|v| v >= t).collect(),
+        _ => unreachable!(),
+    }
+}
+
+fn force(e: Ev, rows: usize) -> Column {
+    match e {
+        Ev::Column(c) => c,
+        Ev::Scalar(v) => scalar_column(&v, rows),
+    }
+}
+
+fn eval_arithmetic(op: BinOp, l: Ev, r: Ev, rows: usize) -> Result<Ev> {
+    // Scalar ∘ scalar folds immediately.
+    if let (Ev::Scalar(a), Ev::Scalar(b)) = (&l, &r) {
+        let (x, y) = (
+            a.as_f64().map_err(ExecError::from)?,
+            b.as_f64().map_err(ExecError::from)?,
+        );
+        return Ok(Ev::Scalar(Value::Float64(apply_arith(op, x, y))));
+    }
+    // Integer column ∘ integer scalar keeps Int64 for +,-,*.
+    if let (Ev::Column(Column::Int64(v)), Ev::Scalar(Value::Int64(s))) = (&l, &r) {
+        if matches!(op, BinOp::Plus | BinOp::Minus | BinOp::Multiply) {
+            let out = v
+                .iter()
+                .map(|&x| match op {
+                    BinOp::Plus => x + s,
+                    BinOp::Minus => x - s,
+                    BinOp::Multiply => x * s,
+                    _ => unreachable!(),
+                })
+                .collect();
+            return Ok(Ev::Column(Column::Int64(out)));
+        }
+    }
+    let lc = force(l, rows).to_f64_vec()?;
+    let rc = force(r, rows).to_f64_vec()?;
+    let out: Vec<f64> = lc
+        .iter()
+        .zip(&rc)
+        .map(|(&a, &b)| apply_arith(op, a, b))
+        .collect();
+    Ok(Ev::Column(Column::Float64(out)))
+}
+
+fn apply_arith(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Plus => a + b,
+        BinOp::Minus => a - b,
+        BinOp::Multiply => a * b,
+        BinOp::Divide => a / b,
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::Schema;
+    
+
+    fn batch() -> RecordBatch {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("bp", DataType::Float64),
+            ("dest", DataType::Utf8),
+            ("pregnant", DataType::Bool),
+        ])
+        .into_shared();
+        RecordBatch::try_new(
+            schema,
+            vec![
+                Column::from(vec![1i64, 2, 3]),
+                Column::from(vec![120.0, 150.0, 140.0]),
+                Column::from(vec!["JFK", "LAX", "JFK"]),
+                Column::from(vec![true, false, true]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let b = batch();
+        let c = evaluate(&Expr::col("bp"), &b).unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[120.0, 150.0, 140.0]);
+        let c = evaluate(&Expr::lit(7i64), &b).unwrap();
+        assert_eq!(c.i64_values().unwrap(), &[7, 7, 7]);
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let b = batch();
+        let mask = evaluate_predicate(&Expr::col("bp").gt(Expr::lit(140i64)), &b).unwrap();
+        assert_eq!(mask, vec![false, true, false]);
+        let mask = evaluate_predicate(&Expr::col("bp").gt_eq(Expr::lit(140i64)), &b).unwrap();
+        assert_eq!(mask, vec![false, true, true]);
+        // literal on the left
+        let mask = evaluate_predicate(
+            &Expr::binary(BinOp::Lt, Expr::lit(140i64), Expr::col("bp")),
+            &b,
+        )
+        .unwrap();
+        assert_eq!(mask, vec![false, true, false]);
+    }
+
+    #[test]
+    fn string_equality() {
+        let b = batch();
+        let mask = evaluate_predicate(&Expr::col("dest").eq(Expr::lit("JFK")), &b).unwrap();
+        assert_eq!(mask, vec![true, false, true]);
+        let mask =
+            evaluate_predicate(&Expr::binary(BinOp::NotEq, Expr::col("dest"), Expr::lit("JFK")), &b)
+                .unwrap();
+        assert_eq!(mask, vec![false, true, false]);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let b = batch();
+        let e = Expr::col("pregnant")
+            .eq(Expr::lit(true))
+            .and(Expr::col("bp").gt(Expr::lit(130i64)));
+        assert_eq!(evaluate_predicate(&e, &b).unwrap(), vec![false, false, true]);
+        let e = Expr::col("dest")
+            .eq(Expr::lit("LAX"))
+            .or(Expr::col("id").eq(Expr::lit(1i64)));
+        assert_eq!(evaluate_predicate(&e, &b).unwrap(), vec![true, true, false]);
+        let e = Expr::Not(Box::new(Expr::col("pregnant").eq(Expr::lit(true))));
+        assert_eq!(evaluate_predicate(&e, &b).unwrap(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn bool_column_as_predicate() {
+        let b = batch();
+        let mask = evaluate_predicate(&Expr::col("pregnant"), &b).unwrap();
+        assert_eq!(mask, vec![true, false, true]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let b = batch();
+        let c = evaluate(
+            &Expr::binary(BinOp::Plus, Expr::col("bp"), Expr::lit(10i64)),
+            &b,
+        )
+        .unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[130.0, 160.0, 150.0]);
+        // Int column + int literal stays Int64.
+        let c = evaluate(
+            &Expr::binary(BinOp::Multiply, Expr::col("id"), Expr::lit(3i64)),
+            &b,
+        )
+        .unwrap();
+        assert_eq!(c.i64_values().unwrap(), &[3, 6, 9]);
+        // Column / column.
+        let c = evaluate(
+            &Expr::binary(BinOp::Divide, Expr::col("bp"), Expr::col("id")),
+            &b,
+        )
+        .unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[120.0, 75.0, 140.0 / 3.0]);
+    }
+
+    #[test]
+    fn case_expression() {
+        let b = batch();
+        // The shape of an inlined decision stump.
+        let e = Expr::Case {
+            branches: vec![
+                (Expr::col("bp").gt(Expr::lit(140i64)), Expr::lit(7.0f64)),
+                (Expr::col("bp").gt(Expr::lit(120i64)), Expr::lit(4.0f64)),
+            ],
+            else_expr: Box::new(Expr::lit(2.0f64)),
+        };
+        let c = evaluate(&e, &b).unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[2.0, 7.0, 4.0]);
+    }
+
+    #[test]
+    fn case_first_match_wins() {
+        let b = batch();
+        let e = Expr::Case {
+            branches: vec![
+                (Expr::lit(true), Expr::lit(1.0f64)),
+                (Expr::lit(true), Expr::lit(2.0f64)),
+            ],
+            else_expr: Box::new(Expr::lit(3.0f64)),
+        };
+        let c = evaluate(&e, &b).unwrap();
+        assert_eq!(c.f64_values().unwrap(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn case_string_branches() {
+        let b = batch();
+        let e = Expr::Case {
+            branches: vec![(
+                Expr::col("bp").gt(Expr::lit(130i64)),
+                Expr::lit("high"),
+            )],
+            else_expr: Box::new(Expr::lit("ok")),
+        };
+        let c = evaluate(&e, &b).unwrap();
+        assert_eq!(c.utf8_values().unwrap(), &["ok", "high", "high"]);
+    }
+
+    #[test]
+    fn errors() {
+        let b = batch();
+        // Non-boolean predicate.
+        assert!(evaluate_predicate(&Expr::col("bp"), &b).is_err());
+        // Unknown column.
+        assert!(evaluate(&Expr::col("ghost"), &b).is_err());
+        // Cross-type comparison (string vs number).
+        assert!(evaluate_predicate(&Expr::col("dest").gt(Expr::lit(1i64)), &b).is_err());
+        // NOT over non-bool.
+        assert!(evaluate(&Expr::Not(Box::new(Expr::col("bp"))), &b).is_err());
+        // Arithmetic over strings.
+        assert!(evaluate(
+            &Expr::binary(BinOp::Plus, Expr::col("dest"), Expr::lit(1i64)),
+            &b
+        )
+        .is_err());
+    }
+}

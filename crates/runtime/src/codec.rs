@@ -1,0 +1,212 @@
+//! Wire codec for the external-runtime boundary.
+//!
+//! Out-of-process and containerized execution pay real data-movement
+//! costs in the paper ("additional overheads, most probably due to data
+//! transfers"). To charge those costs honestly, batches crossing the
+//! process boundary are actually serialized to bytes and deserialized on
+//! the other side using this codec.
+
+use crate::error::RuntimeError;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use raven_data::{Column, DataType, RecordBatch, Schema};
+use std::sync::Arc;
+
+/// Serialize a batch to bytes.
+pub fn batch_to_bytes(batch: &RecordBatch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(batch.num_rows() * batch.num_columns() * 8 + 64);
+    buf.put_u32_le(batch.num_columns() as u32);
+    buf.put_u64_le(batch.num_rows() as u64);
+    for (field, col) in batch.schema().fields().iter().zip(batch.columns()) {
+        put_str(&mut buf, &field.name);
+        match col.as_ref() {
+            Column::Int64(v) => {
+                buf.put_u8(0);
+                for &x in v {
+                    buf.put_i64_le(x);
+                }
+            }
+            Column::Float64(v) => {
+                buf.put_u8(1);
+                for &x in v {
+                    buf.put_f64_le(x);
+                }
+            }
+            Column::Bool(v) => {
+                buf.put_u8(2);
+                for &x in v {
+                    buf.put_u8(x as u8);
+                }
+            }
+            Column::Utf8(v) => {
+                buf.put_u8(3);
+                for s in v {
+                    put_str(&mut buf, s);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a batch from bytes.
+pub fn batch_from_bytes(mut bytes: Bytes) -> Result<RecordBatch> {
+    let cols = get_u32(&mut bytes)? as usize;
+    let rows = get_u64(&mut bytes)? as usize;
+    let mut fields = Vec::with_capacity(cols);
+    let mut columns = Vec::with_capacity(cols);
+    for _ in 0..cols {
+        let name = get_str(&mut bytes)?;
+        let tag = get_u8(&mut bytes)?;
+        let (dtype, col) = match tag {
+            0 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(get_i64(&mut bytes)?);
+                }
+                (DataType::Int64, Column::Int64(v))
+            }
+            1 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(get_f64(&mut bytes)?);
+                }
+                (DataType::Float64, Column::Float64(v))
+            }
+            2 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(get_u8(&mut bytes)? != 0);
+                }
+                (DataType::Bool, Column::Bool(v))
+            }
+            3 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(get_str(&mut bytes)?);
+                }
+                (DataType::Utf8, Column::Utf8(v))
+            }
+            other => {
+                return Err(RuntimeError::Codec(format!("bad column tag {other}")))
+            }
+        };
+        fields.push(raven_data::Field::new(name, dtype));
+        columns.push(col);
+    }
+    RecordBatch::try_new(Arc::new(Schema::new(fields)), columns)
+        .map_err(|e| RuntimeError::Codec(e.to_string()))
+}
+
+/// Serialize predictions.
+pub fn scores_to_bytes(scores: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(scores.len() * 8 + 8);
+    buf.put_u64_le(scores.len() as u64);
+    for &s in scores {
+        buf.put_f64_le(s);
+    }
+    buf.freeze()
+}
+
+/// Deserialize predictions.
+pub fn scores_from_bytes(mut bytes: Bytes) -> Result<Vec<f64>> {
+    let n = get_u64(&mut bytes)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_f64(&mut bytes)?);
+    }
+    Ok(out)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn need(bytes: &Bytes, n: usize) -> Result<()> {
+    if bytes.remaining() < n {
+        Err(RuntimeError::Codec("truncated payload".into()))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(bytes: &mut Bytes) -> Result<u8> {
+    need(bytes, 1)?;
+    Ok(bytes.get_u8())
+}
+fn get_u32(bytes: &mut Bytes) -> Result<u32> {
+    need(bytes, 4)?;
+    Ok(bytes.get_u32_le())
+}
+fn get_u64(bytes: &mut Bytes) -> Result<u64> {
+    need(bytes, 8)?;
+    Ok(bytes.get_u64_le())
+}
+fn get_i64(bytes: &mut Bytes) -> Result<i64> {
+    need(bytes, 8)?;
+    Ok(bytes.get_i64_le())
+}
+fn get_f64(bytes: &mut Bytes) -> Result<f64> {
+    need(bytes, 8)?;
+    Ok(bytes.get_f64_le())
+}
+fn get_str(bytes: &mut Bytes) -> Result<String> {
+    let n = get_u32(bytes)? as usize;
+    need(bytes, n)?;
+    let s = bytes.split_to(n);
+    String::from_utf8(s.to_vec()).map_err(|_| RuntimeError::Codec("invalid utf8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> RecordBatch {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("bp", DataType::Float64),
+            ("flag", DataType::Bool),
+            ("dest", DataType::Utf8),
+        ])
+        .into_shared();
+        RecordBatch::try_new(
+            schema,
+            vec![
+                Column::from(vec![1i64, 2]),
+                Column::from(vec![1.5, -2.5]),
+                Column::from(vec![true, false]),
+                Column::from(vec!["JFK", "it's"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let b = batch();
+        let decoded = batch_from_bytes(batch_to_bytes(&b)).unwrap();
+        assert_eq!(b, decoded);
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let schema = Schema::from_pairs(&[("x", DataType::Float64)]).into_shared();
+        let b = RecordBatch::empty(schema);
+        assert_eq!(batch_from_bytes(batch_to_bytes(&b)).unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn scores_roundtrip() {
+        let s = vec![1.0, -2.5, f64::MAX];
+        assert_eq!(scores_from_bytes(scores_to_bytes(&s)).unwrap(), s);
+        assert!(scores_from_bytes(Bytes::from_static(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = batch_to_bytes(&batch());
+        let cut = bytes.slice(0..bytes.len() - 3);
+        assert!(batch_from_bytes(cut).is_err());
+    }
+}

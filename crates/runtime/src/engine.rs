@@ -1,0 +1,148 @@
+//! The query engine: catalog + executor + scorer in one place.
+
+use crate::scorer::{RavenScorer, ScorerConfig};
+use crate::Result;
+use raven_data::{Catalog, Table};
+use raven_ir::Plan;
+use raven_relational::{ExecOptions, Executor};
+use std::time::{Duration, Instant};
+
+/// Timing and cache information for one query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionStats {
+    pub wall: Duration,
+    pub rows: usize,
+    /// Inference-session cache (hits, misses) accumulated on the engine.
+    pub session_cache: (u64, u64),
+}
+
+/// Executes optimized plans with Raven's scorer.
+pub struct QueryEngine<'a> {
+    catalog: &'a Catalog,
+    scorer: RavenScorer,
+    exec_options: ExecOptions,
+}
+
+impl<'a> QueryEngine<'a> {
+    pub fn new(catalog: &'a Catalog, config: ScorerConfig) -> Self {
+        QueryEngine {
+            catalog,
+            scorer: RavenScorer::new(config),
+            exec_options: ExecOptions::default(),
+        }
+    }
+
+    /// Builder-style executor options override.
+    pub fn with_exec_options(mut self, options: ExecOptions) -> Self {
+        self.exec_options = options;
+        self
+    }
+
+    /// The scorer (for cache management).
+    pub fn scorer(&self) -> &RavenScorer {
+        &self.scorer
+    }
+
+    /// Execute a plan, returning the result table and stats.
+    pub fn run(&self, plan: &Plan) -> Result<(Table, ExecutionStats)> {
+        let start = Instant::now();
+        let executor = Executor::new(self.catalog, &self.scorer, self.exec_options);
+        let table = executor.execute(plan)?;
+        let stats = ExecutionStats {
+            wall: start.elapsed(),
+            rows: table.num_rows(),
+            session_cache: self.scorer.cache_stats(),
+        };
+        Ok((table, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{Column, DataType, Schema};
+    use raven_ir::{Device, ExecutionMode, Expr, ModelRef};
+    use raven_ml::featurize::Transform;
+    use raven_ml::translate::translate_pipeline;
+    use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Pipeline};
+    use std::sync::Arc;
+
+    fn catalog(n: usize) -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            "t",
+            Table::try_new(
+                Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+                vec![Column::Float64((0..n).map(|i| (i % 100) as f64).collect())],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(
+            vec![FeatureStep::new("x", Transform::Identity)],
+            Estimator::Linear(
+                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn runs_inference_query_end_to_end() {
+        let cat = catalog(1000);
+        let engine = QueryEngine::new(&cat, ScorerConfig::instant());
+        let graph = Arc::new(translate_pipeline(&pipeline()).unwrap());
+        let plan = Plan::Filter {
+            input: Box::new(Plan::TensorPredict {
+                input: Box::new(Plan::Scan {
+                    table: "t".into(),
+                    schema: cat.table("t").unwrap().schema().clone(),
+                }),
+                model: ModelRef {
+                    name: "m".into(),
+                    pipeline: Arc::new(pipeline()),
+                },
+                graph,
+                output: "score".into(),
+                device: Device::CpuSingle,
+            }),
+            predicate: Expr::col("score").gt(Expr::lit(50i64)),
+        };
+        let (table, stats) = engine.run(&plan).unwrap();
+        assert_eq!(table.num_rows(), 490); // x in 51..100 per 100-cycle
+        assert_eq!(stats.rows, 490);
+        assert!(stats.wall > Duration::ZERO);
+
+        // Re-running hits the session cache.
+        let (_, stats2) = engine.run(&plan).unwrap();
+        assert!(stats2.session_cache.0 >= 1);
+    }
+
+    #[test]
+    fn out_of_process_query_executes() {
+        let cat = catalog(50);
+        let engine = QueryEngine::new(&cat, ScorerConfig::instant());
+        let plan = Plan::Predict {
+            input: Box::new(Plan::Scan {
+                table: "t".into(),
+                schema: cat.table("t").unwrap().schema().clone(),
+            }),
+            model: ModelRef {
+                name: "m".into(),
+                pipeline: Arc::new(pipeline()),
+            },
+            output: "score".into(),
+            mode: ExecutionMode::OutOfProcess,
+        };
+        let (table, _) = engine.run(&plan).unwrap();
+        assert_eq!(table.num_rows(), 50);
+        assert_eq!(
+            table.column_by_name("score").unwrap().f64_values().unwrap()[7],
+            7.0
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the runtime layer.
+
+use std::fmt;
+
+/// Errors produced while executing inference queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    Exec(String),
+    Ml(String),
+    Tensor(String),
+    Codec(String),
+    External(String),
+    Internal(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Exec(m) => write!(f, "execution error: {m}"),
+            RuntimeError::Ml(m) => write!(f, "model error: {m}"),
+            RuntimeError::Tensor(m) => write!(f, "tensor runtime error: {m}"),
+            RuntimeError::Codec(m) => write!(f, "serialization error: {m}"),
+            RuntimeError::External(m) => write!(f, "external runtime error: {m}"),
+            RuntimeError::Internal(m) => write!(f, "internal runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<raven_relational::ExecError> for RuntimeError {
+    fn from(e: raven_relational::ExecError) -> Self {
+        RuntimeError::Exec(e.to_string())
+    }
+}
+
+impl From<raven_ml::MlError> for RuntimeError {
+    fn from(e: raven_ml::MlError) -> Self {
+        RuntimeError::Ml(e.to_string())
+    }
+}
+
+impl From<raven_tensor::TensorError> for RuntimeError {
+    fn from(e: raven_tensor::TensorError) -> Self {
+        RuntimeError::Tensor(e.to_string())
+    }
+}
+
+impl From<raven_data::DataError> for RuntimeError {
+    fn from(e: raven_data::DataError) -> Self {
+        RuntimeError::Exec(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: RuntimeError = raven_ml::MlError::UnknownCategory("x".into()).into();
+        assert!(e.to_string().contains("unknown category"));
+        let e: RuntimeError = raven_tensor::TensorError::NameNotFound("t".into()).into();
+        assert!(e.to_string().contains("tensor"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # raven-runtime
+//!
+//! Inference-query execution (§5 of *"Extending Relational Query
+//! Processing with ML Inference"*, CIDR 2020): the layer that takes an
+//! optimized unified-IR plan and actually runs it, choosing — per model
+//! operator — among the paper's three execution strategies:
+//!
+//! * **In-process** ([`scorer`]): classical pipelines score directly;
+//!   NN-translated pipelines run on the integrated tensor runtime with
+//!   cached inference sessions (the Raven configuration);
+//! * **Out-of-process** ([`external`]): an external-language-runtime
+//!   simulation (`sp_execute_external_script`): real
+//!   serialize → worker → deserialize round trips plus a configurable
+//!   startup latency (the paper observes ~0.5 s constant overhead);
+//! * **Containerized** ([`external`], [`external::ContainerRuntime`]):
+//!   REST-over-container simulation with higher fixed costs.
+//!
+//! [`codegen`] is the paper's *Runtime Code Generator*: it renders the
+//! optimized IR back to executable SQL text (inlined models appear as
+//! `CASE` expressions; remaining model operators as `PREDICT(...)`).
+//! [`engine::QueryEngine`] packages catalog + scorer + executor into the
+//! one-call entry point used by `raven-core`.
+
+pub mod codec;
+pub mod codegen;
+pub mod engine;
+pub mod error;
+pub mod external;
+pub mod scorer;
+
+pub use engine::{ExecutionStats, QueryEngine};
+pub use error::RuntimeError;
+pub use scorer::{RavenScorer, ScorerConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,117 @@
+//! SQL abstract syntax.
+
+use raven_ir::{AggFunc, Expr};
+
+/// A full statement: optional model-variable declarations, optional CTEs,
+/// then a (possibly UNION ALL'ed) select body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `DECLARE @name ... = '<model>'` bindings, in order.
+    pub declares: Vec<(String, String)>,
+    /// `WITH name AS (...)` clauses, in order.
+    pub ctes: Vec<(String, SelectStmt)>,
+    /// UNION ALL branches (one element = plain SELECT).
+    pub selects: Vec<SelectStmt>,
+}
+
+/// One SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub projection: Vec<SelectItem>,
+    pub from: TableExpr,
+    pub joins: Vec<JoinClause>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<String>,
+    pub order_by: Option<(String, bool)>, // (column, descending)
+    pub limit: Option<usize>,
+}
+
+/// An item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// Expression with optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+    /// Aggregate call `FUNC(col)` (or `COUNT(*)` with column `"*"`).
+    Aggregate {
+        func: AggFunc,
+        column: String,
+        alias: Option<String>,
+    },
+}
+
+/// A table source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableExpr {
+    /// Base table or CTE reference.
+    Named { name: String, alias: Option<String> },
+    /// Parenthesized subquery: `(SELECT ...) AS alias`.
+    Subquery {
+        query: Box<SelectStmt>,
+        alias: Option<String>,
+    },
+    /// SQL Server's `PREDICT(MODEL = ..., DATA = <source> AS d) WITH
+    /// (col FLOAT) AS p` table function.
+    Predict {
+        model: ModelSpec,
+        data: Box<TableExpr>,
+        /// Declared output columns: (name, type name).
+        with_columns: Vec<(String, String)>,
+        alias: Option<String>,
+    },
+}
+
+impl TableExpr {
+    /// The alias (or name) this source is known by.
+    pub fn binding_name(&self) -> Option<&str> {
+        match self {
+            TableExpr::Named { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableExpr::Subquery { alias, .. } => alias.as_deref(),
+            TableExpr::Predict { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// How the model is referenced in `PREDICT`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    /// `MODEL = 'name'`.
+    Literal(String),
+    /// `MODEL = @variable` (resolved through `DECLARE`).
+    Variable(String),
+}
+
+/// `JOIN <table> ON <left> = <right>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: TableExpr,
+    pub left_key: String,
+    pub right_key: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_names() {
+        let t = TableExpr::Named {
+            name: "patient_info".into(),
+            alias: Some("pi".into()),
+        };
+        assert_eq!(t.binding_name(), Some("pi"));
+        let t = TableExpr::Named {
+            name: "t".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding_name(), Some("t"));
+        let p = TableExpr::Predict {
+            model: ModelSpec::Literal("m".into()),
+            data: Box::new(t),
+            with_columns: vec![],
+            alias: None,
+        };
+        assert_eq!(p.binding_name(), None);
+    }
+}

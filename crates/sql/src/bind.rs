@@ -1,0 +1,637 @@
+//! The binder: AST → unified IR, resolving tables, CTEs and models.
+
+use crate::ast::{ModelSpec, Query, SelectItem, SelectStmt, TableExpr};
+use crate::error::SqlError;
+use crate::Result;
+use raven_data::Catalog;
+use raven_ir::{AggFunc, ExecutionMode, Expr, JoinKind, ModelRef, Plan};
+use raven_ml::Pipeline;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Resolves model names to stored pipelines (implemented by the model
+/// store in the full system).
+pub trait ModelResolver {
+    fn resolve(&self, name: &str) -> Option<Arc<Pipeline>>;
+}
+
+/// A simple in-memory resolver (tests, examples).
+#[derive(Debug, Default)]
+pub struct MapModelResolver {
+    models: HashMap<String, Arc<Pipeline>>,
+}
+
+impl MapModelResolver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, pipeline: Pipeline) {
+        self.models.insert(name.into(), Arc::new(pipeline));
+    }
+}
+
+impl ModelResolver for MapModelResolver {
+    fn resolve(&self, name: &str) -> Option<Arc<Pipeline>> {
+        self.models.get(name).cloned()
+    }
+}
+
+/// Bind a parsed query against a catalog and model resolver.
+pub fn bind(query: &Query, catalog: &Catalog, models: &dyn ModelResolver) -> Result<Plan> {
+    Binder::new(catalog, models).bind_query(query)
+}
+
+/// Stateful binder (CTE and DECLARE scopes).
+pub struct Binder<'a> {
+    catalog: &'a Catalog,
+    models: &'a dyn ModelResolver,
+    ctes: HashMap<String, Plan>,
+    declares: HashMap<String, String>,
+}
+
+impl<'a> Binder<'a> {
+    pub fn new(catalog: &'a Catalog, models: &'a dyn ModelResolver) -> Self {
+        Binder {
+            catalog,
+            models,
+            ctes: HashMap::new(),
+            declares: HashMap::new(),
+        }
+    }
+
+    /// Bind a full query.
+    pub fn bind_query(&mut self, query: &Query) -> Result<Plan> {
+        for (var, model) in &query.declares {
+            self.declares.insert(var.clone(), model.clone());
+        }
+        for (name, select) in &query.ctes {
+            let plan = self.bind_select(select)?;
+            self.ctes.insert(name.clone(), plan);
+        }
+        let mut branches = query
+            .selects
+            .iter()
+            .map(|s| self.bind_select(s))
+            .collect::<Result<Vec<_>>>()?;
+        let plan = if branches.len() == 1 {
+            branches.pop().expect("non-empty")
+        } else {
+            Plan::Union { inputs: branches }
+        };
+        // Validate the full plan types/schemas eagerly.
+        plan.schema()?;
+        Ok(plan)
+    }
+
+    fn bind_select(&mut self, select: &SelectStmt) -> Result<Plan> {
+        let mut plan = self.bind_table(&select.from)?;
+        for (ji, join) in select.joins.iter().enumerate() {
+            let right = self.bind_table(&join.table)?;
+            // Keys referenced by later joins must survive this join.
+            let later_keys: std::collections::HashSet<&str> = select.joins[ji + 1..]
+                .iter()
+                .flat_map(|j| [j.left_key.as_str(), j.right_key.as_str()])
+                .collect();
+            plan = join_dropping_duplicate_key(
+                plan,
+                right,
+                &join.left_key,
+                &join.right_key,
+                &later_keys,
+            )?;
+        }
+        if let Some(predicate) = &select.selection {
+            validate_columns(predicate, &plan)?;
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                predicate: predicate.clone(),
+            };
+        }
+
+        let has_aggregates = select
+            .projection
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+        if has_aggregates || !select.group_by.is_empty() {
+            plan = self.bind_aggregate(select, plan)?;
+        } else if !matches!(select.projection.as_slice(), [SelectItem::Wildcard]) {
+            // Plain projection.
+            let mut exprs = Vec::new();
+            for item in &select.projection {
+                match item {
+                    SelectItem::Wildcard => {
+                        // `a.*`-style mixing: expand all input columns.
+                        let schema = plan.schema()?;
+                        for f in schema.fields() {
+                            exprs.push((Expr::col(f.name.clone()), f.name.clone()));
+                        }
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        validate_columns(expr, &plan)?;
+                        exprs.push((expr.clone(), output_name(expr, alias.as_deref())));
+                    }
+                    SelectItem::Aggregate { .. } => unreachable!("handled above"),
+                }
+            }
+            plan = Plan::Project {
+                input: Box::new(plan),
+                exprs,
+            };
+        }
+
+        if let Some((column, descending)) = &select.order_by {
+            plan = Plan::Sort {
+                input: Box::new(plan),
+                column: column.clone(),
+                descending: *descending,
+            };
+        }
+        if let Some(fetch) = select.limit {
+            plan = Plan::Limit {
+                input: Box::new(plan),
+                fetch,
+            };
+        }
+        Ok(plan)
+    }
+
+    fn bind_aggregate(&mut self, select: &SelectStmt, input: Plan) -> Result<Plan> {
+        let input_schema = input.schema()?;
+        let mut aggregates = Vec::new();
+        let mut output_order: Vec<String> = Vec::new();
+        for item in &select.projection {
+            match item {
+                SelectItem::Aggregate {
+                    func,
+                    column,
+                    alias,
+                } => {
+                    let col = if column == "*" {
+                        if *func != AggFunc::Count {
+                            return Err(SqlError::Bind(format!(
+                                "{}(*) is only valid for COUNT",
+                                func.sql()
+                            )));
+                        }
+                        input_schema
+                            .fields()
+                            .first()
+                            .map(|f| f.name.clone())
+                            .ok_or_else(|| SqlError::Bind("aggregate over empty schema".into()))?
+                    } else {
+                        input_schema.index_of(column)?;
+                        column.clone()
+                    };
+                    let name = alias.clone().unwrap_or_else(|| {
+                        format!("{}({})", func.sql().to_ascii_lowercase(), column)
+                    });
+                    aggregates.push((*func, col, name.clone()));
+                    output_order.push(name);
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let Expr::Column(col) = expr else {
+                        return Err(SqlError::Bind(
+                            "non-column expressions in GROUP BY selects are not supported"
+                                .into(),
+                        ));
+                    };
+                    if !select.group_by.iter().any(|g| g == col) {
+                        return Err(SqlError::Bind(format!(
+                            "column {col} must appear in GROUP BY"
+                        )));
+                    }
+                    output_order.push(output_name(expr, alias.as_deref()));
+                }
+                SelectItem::Wildcard => {
+                    return Err(SqlError::Bind(
+                        "SELECT * cannot be combined with aggregates".into(),
+                    ))
+                }
+            }
+        }
+        for g in &select.group_by {
+            input_schema.index_of(g)?;
+        }
+        let agg = Plan::Aggregate {
+            input: Box::new(input),
+            group_by: select.group_by.clone(),
+            aggregates,
+        };
+        // Reorder/rename to the select-list order.
+        let mut exprs = Vec::new();
+        for (item, name) in select.projection.iter().zip(&output_order) {
+            match item {
+                SelectItem::Expr { expr, alias } => {
+                    exprs.push((expr.clone(), output_name(expr, alias.as_deref())));
+                }
+                SelectItem::Aggregate { .. } => {
+                    exprs.push((Expr::col(name.clone()), name.clone()));
+                }
+                SelectItem::Wildcard => unreachable!(),
+            }
+        }
+        Ok(Plan::Project {
+            input: Box::new(agg),
+            exprs,
+        })
+    }
+
+    fn bind_table(&mut self, table: &TableExpr) -> Result<Plan> {
+        match table {
+            TableExpr::Named { name, alias } => {
+                let base = if let Some(cte) = self.ctes.get(name) {
+                    cte.clone()
+                } else {
+                    let t = self.catalog.table(name).map_err(|_| {
+                        SqlError::Bind(format!("table or CTE not found: {name}"))
+                    })?;
+                    Plan::Scan {
+                        table: name.clone(),
+                        schema: t.schema().clone(),
+                    }
+                };
+                match alias {
+                    Some(a) => alias_rename(base, a),
+                    None => Ok(base),
+                }
+            }
+            TableExpr::Subquery { query, alias } => {
+                let plan = self.bind_select(query)?;
+                match alias {
+                    Some(a) => alias_rename(plan, a),
+                    None => Ok(plan),
+                }
+            }
+            TableExpr::Predict {
+                model,
+                data,
+                with_columns,
+                alias,
+            } => {
+                let input = self.bind_table(data)?;
+                let model_name = match model {
+                    ModelSpec::Literal(name) => name.clone(),
+                    ModelSpec::Variable(var) => self
+                        .declares
+                        .get(var)
+                        .cloned()
+                        .ok_or_else(|| SqlError::Bind(format!("undeclared variable @{var}")))?,
+                };
+                let pipeline = self.models.resolve(&model_name).ok_or_else(|| {
+                    SqlError::Bind(format!("model not found: {model_name}"))
+                })?;
+                // Check the pipeline's input columns exist.
+                let schema = input.schema()?;
+                for col in pipeline.input_columns() {
+                    schema.index_of(col).map_err(|_| {
+                        SqlError::Bind(format!(
+                            "model {model_name} needs column {col}, absent from PREDICT data"
+                        ))
+                    })?;
+                }
+                let out_col = with_columns
+                    .first()
+                    .map(|(c, _)| c.clone())
+                    .unwrap_or_else(|| "prediction".to_string());
+                if with_columns.len() > 1 {
+                    return Err(SqlError::Bind(
+                        "PREDICT WITH clauses with multiple output columns are not supported"
+                            .into(),
+                    ));
+                }
+                let output = match alias {
+                    Some(a) => format!("{a}.{out_col}"),
+                    None => out_col,
+                };
+                Ok(Plan::Predict {
+                    input: Box::new(input),
+                    model: ModelRef {
+                        name: model_name,
+                        pipeline,
+                    },
+                    output,
+                    mode: ExecutionMode::InProcess,
+                })
+            }
+        }
+    }
+}
+
+/// Default output name for a projected expression.
+fn output_name(expr: &Expr, alias: Option<&str>) -> String {
+    match alias {
+        Some(a) => a.to_string(),
+        None => match expr {
+            Expr::Column(c) => c.clone(),
+            other => other.to_string(),
+        },
+    }
+}
+
+/// Check that every column an expression references exists in the plan's
+/// schema (with a SQL-flavored error).
+fn validate_columns(expr: &Expr, plan: &Plan) -> Result<()> {
+    let schema = plan.schema()?;
+    for col in expr.referenced_columns() {
+        schema
+            .index_of(&col)
+            .map_err(|e| SqlError::Bind(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Rename every output column of `plan` to `alias.<last-segment>`.
+///
+/// Binding an alias re-qualifies the whole row, matching how `data AS d`
+/// makes the CTE's columns addressable as `d.x` in the paper's query.
+/// Colliding renames (duplicated equi-join keys that both survive, e.g.
+/// `pi.id` and `bt.id` both becoming `d.id`) keep the first occurrence —
+/// they hold identical values after an inner equi-join.
+fn alias_rename(plan: Plan, alias: &str) -> Result<Plan> {
+    let schema = plan.schema()?;
+    let mut exprs: Vec<(Expr, String)> = Vec::with_capacity(schema.len());
+    for f in schema.fields() {
+        let last = f.name.rsplit_once('.').map(|(_, s)| s).unwrap_or(&f.name);
+        let new_name = format!("{alias}.{last}");
+        if exprs.iter().any(|(_, n)| n == &new_name) {
+            continue;
+        }
+        exprs.push((Expr::col(f.name.clone()), new_name));
+    }
+    Ok(Plan::Project {
+        input: Box::new(plan),
+        exprs,
+    })
+}
+
+/// Join two plans, dropping the duplicated right-side key column so
+/// suffix-based name resolution stays unambiguous downstream — unless a
+/// later join still needs the right key.
+fn join_dropping_duplicate_key(
+    left: Plan,
+    right: Plan,
+    left_key: &str,
+    right_key: &str,
+    later_keys: &std::collections::HashSet<&str>,
+) -> Result<Plan> {
+    // Validate keys.
+    left.schema()?
+        .index_of(left_key)
+        .map_err(|e| SqlError::Bind(format!("join key: {e}")))?;
+    right
+        .schema()?
+        .index_of(right_key)
+        .map_err(|e| SqlError::Bind(format!("join key: {e}")))?;
+    let joined = Plan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        left_key: left_key.to_string(),
+        right_key: right_key.to_string(),
+        kind: JoinKind::Inner,
+    };
+    if later_keys.contains(right_key) {
+        // A later join references the right key; keep the full row.
+        return Ok(joined);
+    }
+    let schema = joined.schema()?;
+    let right_key_idx = {
+        // The duplicate is the *second* occurrence (right side).
+        let mut seen = false;
+        let mut idx = None;
+        for (i, f) in schema.fields().iter().enumerate() {
+            let matches_key = f.name == right_key
+                || f.name
+                    .rsplit_once('.')
+                    .map(|(_, s)| s == right_key)
+                    .unwrap_or(false);
+            if matches_key {
+                if seen {
+                    idx = Some(i);
+                }
+                seen = true;
+            }
+        }
+        idx
+    };
+    let mut exprs = Vec::new();
+    for (i, f) in schema.fields().iter().enumerate() {
+        if Some(i) == right_key_idx {
+            continue;
+        }
+        // Skip exact right_key match when it's distinct from left_key.
+        if f.name == right_key && right_key != left_key {
+            continue;
+        }
+        exprs.push((Expr::col(f.name.clone()), f.name.clone()));
+    }
+    Ok(Plan::Project {
+        input: Box::new(joined),
+        exprs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use raven_data::{Column, DataType, Schema, Table};
+    use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Transform};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.register(
+            "patient_info",
+            Table::try_new(
+                Schema::from_pairs(&[
+                    ("id", DataType::Int64),
+                    ("age", DataType::Float64),
+                    ("pregnant", DataType::Int64),
+                ])
+                .into_shared(),
+                vec![
+                    Column::from(vec![1i64, 2]),
+                    Column::from(vec![30.0, 40.0]),
+                    Column::from(vec![1i64, 0]),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.register(
+            "blood_tests",
+            Table::try_new(
+                Schema::from_pairs(&[("id", DataType::Int64), ("bp", DataType::Float64)])
+                    .into_shared(),
+                vec![
+                    Column::from(vec![1i64, 2]),
+                    Column::from(vec![120.0, 150.0]),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn models() -> MapModelResolver {
+        let mut m = MapModelResolver::new();
+        m.insert(
+            "stay",
+            Pipeline::new(
+                vec![
+                    FeatureStep::new("age", Transform::Identity),
+                    FeatureStep::new("bp", Transform::Identity),
+                ],
+                Estimator::Linear(
+                    LinearModel::new(vec![0.1, 0.01], 0.0, LinearKind::Regression).unwrap(),
+                ),
+            )
+            .unwrap(),
+        );
+        m
+    }
+
+    fn plan(sql: &str) -> Result<Plan> {
+        let cat = catalog();
+        let m = models();
+        bind(&parse(sql)?, &cat, &m)
+    }
+
+    #[test]
+    fn simple_scan_binds() {
+        let p = plan("SELECT * FROM patient_info").unwrap();
+        assert!(matches!(p, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn alias_qualifies_columns() {
+        let p = plan("SELECT pi.age FROM patient_info AS pi").unwrap();
+        let s = p.schema().unwrap();
+        assert_eq!(s.names(), vec!["pi.age"]);
+    }
+
+    #[test]
+    fn unknown_table_and_column() {
+        assert!(matches!(
+            plan("SELECT * FROM nope"),
+            Err(SqlError::Bind(_))
+        ));
+        assert!(matches!(
+            plan("SELECT ghost FROM patient_info"),
+            Err(SqlError::Bind(_))
+        ));
+        assert!(matches!(
+            plan("SELECT * FROM patient_info WHERE ghost > 1"),
+            Err(SqlError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn join_drops_duplicate_key() {
+        let p = plan(
+            "SELECT * FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id",
+        )
+        .unwrap();
+        let s = p.schema().unwrap();
+        assert_eq!(s.names(), vec!["pi.id", "pi.age", "pi.pregnant", "bt.bp"]);
+        // Unambiguous suffix lookup now works.
+        assert!(s.index_of("bp").is_ok());
+        assert!(s.index_of("id").is_ok());
+    }
+
+    #[test]
+    fn predict_binds_model() {
+        let p = plan(
+            "SELECT * FROM PREDICT(MODEL = 'stay', \
+             DATA = patient_info AS d) WITH (los FLOAT) AS p WHERE p.los > 1",
+        );
+        // The model needs bp, absent from patient_info alone → bind error.
+        assert!(matches!(p, Err(SqlError::Bind(msg)) if msg.contains("bp")));
+
+        let p = plan(
+            "WITH data AS (SELECT * FROM patient_info AS pi \
+             JOIN blood_tests AS bt ON pi.id = bt.id) \
+             SELECT d.id, p.los FROM PREDICT(MODEL = 'stay', DATA = data AS d) \
+             WITH (los FLOAT) AS p WHERE p.los > 1",
+        )
+        .unwrap();
+        let mut found_predict = false;
+        p.visit(&mut |n| {
+            if let Plan::Predict { model, output, .. } = n {
+                found_predict = true;
+                assert_eq!(model.name, "stay");
+                assert_eq!(output, "p.los");
+            }
+        });
+        assert!(found_predict);
+    }
+
+    #[test]
+    fn declare_variable_resolves() {
+        let p = plan(
+            "DECLARE @m = 'stay'; \
+             WITH data AS (SELECT * FROM patient_info AS pi \
+             JOIN blood_tests AS bt ON pi.id = bt.id) \
+             SELECT * FROM PREDICT(MODEL = @m, DATA = data AS d) WITH (los FLOAT) AS p",
+        )
+        .unwrap();
+        assert!(p.scanned_tables().contains(&"patient_info".to_string()));
+        assert!(matches!(
+            plan("SELECT * FROM PREDICT(MODEL = @nope, DATA = patient_info) WITH (x FLOAT)"),
+            Err(SqlError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_model() {
+        let err = plan(
+            "SELECT * FROM PREDICT(MODEL = 'ghost', DATA = patient_info AS d) WITH (x FLOAT)",
+        );
+        assert!(matches!(err, Err(SqlError::Bind(msg)) if msg.contains("ghost")));
+    }
+
+    #[test]
+    fn aggregate_binding() {
+        let p = plan(
+            "SELECT pregnant, COUNT(*) AS n, AVG(age) AS mean_age \
+             FROM patient_info GROUP BY pregnant",
+        )
+        .unwrap();
+        let s = p.schema().unwrap();
+        assert_eq!(s.names(), vec!["pregnant", "n", "mean_age"]);
+    }
+
+    #[test]
+    fn aggregate_errors() {
+        assert!(matches!(
+            plan("SELECT age FROM patient_info GROUP BY pregnant"),
+            Err(SqlError::Bind(_))
+        ));
+        assert!(matches!(
+            plan("SELECT SUM(*) FROM patient_info"),
+            Err(SqlError::Bind(_))
+        ));
+        assert!(matches!(
+            plan("SELECT *, COUNT(*) FROM patient_info"),
+            Err(SqlError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn union_binds() {
+        let p = plan(
+            "SELECT age FROM patient_info UNION ALL SELECT bp FROM blood_tests",
+        )
+        .unwrap();
+        assert!(matches!(p, Plan::Union { .. }));
+    }
+
+    #[test]
+    fn order_limit_plan_shape() {
+        let p = plan("SELECT * FROM patient_info ORDER BY age DESC LIMIT 1").unwrap();
+        assert!(matches!(p, Plan::Limit { .. }));
+        let Plan::Limit { input, .. } = p else { unreachable!() };
+        assert!(matches!(*input, Plan::Sort { .. }));
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the SQL frontend.
+
+use std::fmt;
+
+/// Errors produced by lexing, parsing or binding SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error with byte offset.
+    Lex { offset: usize, message: String },
+    /// Parse error with the offending token (or EOF).
+    Parse(String),
+    /// Name-resolution/semantic error.
+    Bind(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SqlError::Bind(msg) => write!(f, "bind error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<raven_data::DataError> for SqlError {
+    fn from(e: raven_data::DataError) -> Self {
+        SqlError::Bind(e.to_string())
+    }
+}
+
+impl From<raven_ir::IrError> for SqlError {
+    fn from(e: raven_ir::IrError) -> Self {
+        SqlError::Bind(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SqlError::Parse("x".into()).to_string().contains("parse"));
+        assert!(SqlError::Lex {
+            offset: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("byte 3"));
+    }
+}

@@ -1,0 +1,336 @@
+//! SQL lexer.
+
+use crate::error::SqlError;
+use crate::Result;
+use std::fmt;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (kept verbatim; keyword matching is
+    /// case-insensitive at the parser level).
+    Ident(String),
+    /// `@variable`.
+    Variable(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Dot,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl Token {
+    /// True if this token is the (case-insensitive) keyword `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Variable(s) => write!(f, "@{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Semicolon => f.write_str(";"),
+            Token::Star => f.write_str("*"),
+            Token::Dot => f.write_str("."),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Slash => f.write_str("/"),
+            Token::Eq => f.write_str("="),
+            Token::NotEq => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::LtEq => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::GtEq => f.write_str(">="),
+        }
+    }
+}
+
+/// Tokenize SQL text. Supports `--` line comments, single-quoted strings
+/// with `''` escapes, and both `<>` and `!=` for inequality.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        tokens.push(Token::LtEq);
+                        i += 2;
+                    }
+                    Some(&b'>') => {
+                        tokens.push(Token::NotEq);
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                // Double-quoted identifier (SQL standard): allows names
+                // with dots, e.g. the qualified aliases codegen emits.
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'"' {
+                    end += 1;
+                }
+                if end >= bytes.len() {
+                    return Err(SqlError::Lex {
+                        offset: i,
+                        message: "unterminated quoted identifier".into(),
+                    });
+                }
+                tokens.push(Token::Ident(input[start..end].to_string()));
+                i = end + 1;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                offset: i,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(&b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(&b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '@' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(SqlError::Lex {
+                        offset: i,
+                        message: "bare '@'".into(),
+                    });
+                }
+                tokens.push(Token::Variable(input[start..end].to_string()));
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_digit() {
+                        end += 1;
+                    } else if b == '.'
+                        && !is_float
+                        && bytes
+                            .get(end + 1)
+                            .map(|n| n.is_ascii_digit())
+                            .unwrap_or(false)
+                    {
+                        is_float = true;
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..end];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        message: format!("bad float literal {text}"),
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        message: format!("bad int literal {text}"),
+                    })?));
+                }
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                tokens.push(Token::Ident(input[start..end].to_string()));
+                i = end;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_symbols() {
+        let t = lex("SELECT * FROM t WHERE a >= 1.5 AND b <> 'x';").unwrap();
+        assert!(t[0].is_kw("select"));
+        assert_eq!(t[1], Token::Star);
+        assert!(t[2].is_kw("FROM"));
+        assert!(t.contains(&Token::GtEq));
+        assert!(t.contains(&Token::Float(1.5)));
+        assert!(t.contains(&Token::NotEq));
+        assert!(t.contains(&Token::Str("x".into())));
+        assert_eq!(*t.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn qualified_names_and_variables() {
+        let t = lex("pi.age @model").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("pi".into()),
+                Token::Dot,
+                Token::Ident("age".into()),
+                Token::Variable("model".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = lex("'it''s'").unwrap();
+        assert_eq!(t, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("SELECT -- comment here\n 1").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], Token::Int(1));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = lex("42 3.25 7.x").unwrap();
+        assert_eq!(t[0], Token::Int(42));
+        assert_eq!(t[1], Token::Float(3.25));
+        // "7.x" lexes as Int(7), Dot, Ident(x) — the dot is member access.
+        assert_eq!(t[2], Token::Int(7));
+        assert_eq!(t[3], Token::Dot);
+    }
+
+    #[test]
+    fn bang_equals() {
+        assert!(lex("a != b").unwrap().contains(&Token::NotEq));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("@ ").is_err());
+        assert!(lex("#").is_err());
+    }
+}

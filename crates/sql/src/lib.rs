@@ -1,0 +1,50 @@
+//! # raven-sql
+//!
+//! SQL frontend for raven-rs: lexer, parser and binder producing
+//! [`raven_ir::Plan`]s — the "translating the SQL part into the IR" half of
+//! the paper's static analysis (§3.2 of *"Extending Relational Query
+//! Processing with ML Inference"*, CIDR 2020).
+//!
+//! The dialect covers the paper's inference queries:
+//!
+//! ```sql
+//! DECLARE @model VARBINARY(MAX) =
+//!     (SELECT model FROM scoring_models WHERE model_name = 'duration_of_stay');
+//! WITH data AS (
+//!     SELECT * FROM patient_info AS pi
+//!     JOIN blood_tests  AS bt ON pi.id = bt.id
+//!     JOIN prenatal_tests AS pt ON bt.id = pt.id
+//! )
+//! SELECT d.id, p.length_of_stay
+//! FROM PREDICT(MODEL = @model, DATA = data AS d)
+//!      WITH (length_of_stay FLOAT) AS p
+//! WHERE d.pregnant = 1 AND p.length_of_stay > 7;
+//! ```
+//!
+//! plus SELECT/JOIN/WHERE/GROUP BY/ORDER BY/LIMIT/UNION ALL. The
+//! `PREDICT(MODEL=..., DATA=...)` table function is SQL Server's native
+//! scoring syntax (paper §5); model names resolve through a
+//! [`bind::ModelResolver`] (the model store, in the full system).
+
+pub mod ast;
+pub mod bind;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use bind::{bind, Binder, MapModelResolver, ModelResolver};
+pub use error::SqlError;
+pub use parser::parse;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// Parse and bind in one step.
+pub fn plan_query(
+    sql: &str,
+    catalog: &raven_data::Catalog,
+    models: &dyn ModelResolver,
+) -> Result<raven_ir::Plan> {
+    let query = parse(sql)?;
+    bind(&query, catalog, models)
+}

@@ -1,0 +1,730 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::{JoinClause, ModelSpec, Query, SelectItem, SelectStmt, TableExpr};
+use crate::error::SqlError;
+use crate::lexer::{lex, Token};
+use crate::Result;
+use raven_data::Value;
+use raven_ir::{AggFunc, BinOp, Expr};
+
+/// Reserved words that terminate expressions / cannot be column names.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "order", "by", "limit", "join", "on", "as", "and",
+    "or", "not", "union", "all", "with", "declare", "case", "when", "then", "else", "end",
+    "asc", "desc", "true", "false", "inner",
+];
+
+fn is_reserved(word: &str) -> bool {
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let query = p.query()?;
+    p.eat_if(|t| *t == Token::Semicolon);
+    if !p.at_end() {
+        return Err(SqlError::Parse(format!(
+            "unexpected trailing token: {}",
+            p.peek_display()
+        )));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_display(&self) -> String {
+        self.peek().map(|t| t.to_string()).unwrap_or("EOF".into())
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SqlError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().map(|t| t.is_kw(kw)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {kw}, found {}",
+                self.peek_display()
+            )))
+        }
+    }
+
+    fn eat_if(&mut self, pred: impl Fn(&Token) -> bool) -> bool {
+        if self.peek().map(&pred).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: Token) -> Result<()> {
+        if self.eat_if(|t| *t == token) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {token}, found {}",
+                self.peek_display()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) if !is_reserved(&s) => Ok(s),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// `ident` or `ident.ident`.
+    fn column_ref(&mut self) -> Result<String> {
+        let first = self.ident()?;
+        if self.eat_if(|t| *t == Token::Dot) {
+            let second = self.ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut declares = Vec::new();
+        while self.eat_kw("declare") {
+            declares.push(self.declare_body()?);
+            self.eat_if(|t| *t == Token::Semicolon);
+        }
+        let mut ctes = Vec::new();
+        if self.eat_kw("with") {
+            loop {
+                let name = self.ident()?;
+                self.expect_kw("as")?;
+                self.expect(Token::LParen)?;
+                let select = self.select()?;
+                self.expect(Token::RParen)?;
+                ctes.push((name, select));
+                if !self.eat_if(|t| *t == Token::Comma) {
+                    break;
+                }
+            }
+            self.eat_if(|t| *t == Token::Semicolon);
+        }
+        let mut selects = vec![self.select()?];
+        while self.eat_kw("union") {
+            self.expect_kw("all")?;
+            selects.push(self.select()?);
+        }
+        Ok(Query {
+            declares,
+            ctes,
+            selects,
+        })
+    }
+
+    /// After `DECLARE`: `@name [type...] = '<model>'` or
+    /// `@name [type...] = ( ... '<model>' ... )` (the paper's subselect
+    /// form — the model name is taken from the last string literal).
+    fn declare_body(&mut self) -> Result<(String, String)> {
+        let var = match self.next()? {
+            Token::Variable(v) => v,
+            other => return Err(SqlError::Parse(format!("expected @variable, found {other}"))),
+        };
+        // Skip type tokens (e.g. VARBINARY ( MAX )) up to '='.
+        while !self.eat_if(|t| *t == Token::Eq) {
+            if self.at_end() {
+                return Err(SqlError::Parse("DECLARE without '='".into()));
+            }
+            self.pos += 1;
+        }
+        match self.next()? {
+            Token::Str(s) => Ok((var, s)),
+            Token::LParen => {
+                // Scan the parenthesized subselect, remembering the last
+                // string literal (the model name in the paper's pattern).
+                let mut depth = 1usize;
+                let mut last_str = None;
+                while depth > 0 {
+                    match self.next()? {
+                        Token::LParen => depth += 1,
+                        Token::RParen => depth -= 1,
+                        Token::Str(s) => last_str = Some(s),
+                        _ => {}
+                    }
+                }
+                last_str.map(|s| (var, s)).ok_or_else(|| {
+                    SqlError::Parse(
+                        "DECLARE subselect contains no model-name string literal".into(),
+                    )
+                })
+            }
+            other => Err(SqlError::Parse(format!(
+                "expected model string or subselect, found {other}"
+            ))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let mut projection = vec![self.select_item()?];
+        while self.eat_if(|t| *t == Token::Comma) {
+            projection.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let from = self.table_expr()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_kw("inner");
+            if !self.eat_kw("join") {
+                if inner {
+                    return Err(SqlError::Parse("INNER without JOIN".into()));
+                }
+                break;
+            }
+            let table = self.table_expr()?;
+            self.expect_kw("on")?;
+            let left_key = self.column_ref()?;
+            self.expect(Token::Eq)?;
+            let right_key = self.column_ref()?;
+            joins.push(JoinClause {
+                table,
+                left_key,
+                right_key,
+            });
+        }
+        let selection = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.column_ref()?);
+            while self.eat_if(|t| *t == Token::Comma) {
+                group_by.push(self.column_ref()?);
+            }
+        }
+        let order_by = if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            let col = self.column_ref()?;
+            let desc = if self.eat_kw("desc") {
+                true
+            } else {
+                self.eat_kw("asc");
+                false
+            };
+            Some((col, desc))
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("limit") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as usize),
+                other => return Err(SqlError::Parse(format!("bad LIMIT: {other}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            projection,
+            from,
+            joins,
+            selection,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_if(|t| *t == Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate call?
+        if let Some(Token::Ident(name)) = self.peek() {
+            let func = match name.to_ascii_lowercase().as_str() {
+                "count" => Some(AggFunc::Count),
+                "sum" => Some(AggFunc::Sum),
+                "avg" => Some(AggFunc::Avg),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    self.pos += 2; // func + '('
+                    let column = if self.eat_if(|t| *t == Token::Star) {
+                        "*".to_string()
+                    } else {
+                        self.column_ref()?
+                    };
+                    self.expect(Token::RParen)?;
+                    let alias = self.alias()?;
+                    return Ok(SelectItem::Aggregate {
+                        func,
+                        column,
+                        alias,
+                    });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn table_expr(&mut self) -> Result<TableExpr> {
+        if self.eat_if(|t| *t == Token::LParen) {
+            // Subquery source: `(SELECT ...) [AS] alias`.
+            let query = self.select()?;
+            self.expect(Token::RParen)?;
+            let alias = if self.eat_kw("as") {
+                Some(self.ident()?)
+            } else if let Some(Token::Ident(next)) = self.peek() {
+                if !is_reserved(next) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            return Ok(TableExpr::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        if self.eat_kw("predict") {
+            self.expect(Token::LParen)?;
+            self.expect_kw("model")?;
+            self.expect(Token::Eq)?;
+            let model = match self.next()? {
+                Token::Str(s) => ModelSpec::Literal(s),
+                Token::Variable(v) => ModelSpec::Variable(v),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected model name or @variable, found {other}"
+                    )))
+                }
+            };
+            self.expect(Token::Comma)?;
+            self.expect_kw("data")?;
+            self.expect(Token::Eq)?;
+            let mut data = self.table_expr()?;
+            // Optional `AS d` *inside* the PREDICT(...) — aliases the data.
+            if self.eat_kw("as") {
+                let a = self.ident()?;
+                data = match data {
+                    TableExpr::Named { name, .. } => TableExpr::Named {
+                        name,
+                        alias: Some(a),
+                    },
+                    TableExpr::Subquery { query, .. } => TableExpr::Subquery {
+                        query,
+                        alias: Some(a),
+                    },
+                    TableExpr::Predict {
+                        model,
+                        data,
+                        with_columns,
+                        ..
+                    } => TableExpr::Predict {
+                        model,
+                        data,
+                        with_columns,
+                        alias: Some(a),
+                    },
+                };
+            }
+            self.expect(Token::RParen)?;
+            // `WITH (col TYPE, ...)` declaring prediction outputs.
+            let mut with_columns = Vec::new();
+            if self.eat_kw("with") {
+                self.expect(Token::LParen)?;
+                loop {
+                    let col = self.ident()?;
+                    let ty = self.ident().unwrap_or_else(|_| "float".to_string());
+                    with_columns.push((col, ty));
+                    if !self.eat_if(|t| *t == Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Token::RParen)?;
+            }
+            let alias = self.alias()?;
+            Ok(TableExpr::Predict {
+                model,
+                data: Box::new(data),
+                with_columns,
+                alias,
+            })
+        } else {
+            let name = self.ident()?;
+            let alias = if self.eat_kw("as") {
+                Some(self.ident()?)
+            } else if let Some(Token::Ident(next)) = self.peek() {
+                // Implicit alias: `patient_info pi`.
+                if !is_reserved(next) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            Ok(TableExpr::Named { name, alias })
+        }
+    }
+
+    // Expression grammar: or → and → not → comparison → additive →
+    // multiplicative → primary.
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            Ok(Expr::binary(op, left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Plus,
+                Some(Token::Minus) => BinOp::Minus,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Multiply,
+                Some(Token::Slash) => BinOp::Divide,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.primary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int64(v)))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float64(v)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Utf8(s)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let inner = self.primary()?;
+                Ok(match inner {
+                    Expr::Literal(Value::Int64(v)) => Expr::Literal(Value::Int64(-v)),
+                    Expr::Literal(Value::Float64(v)) => Expr::Literal(Value::Float64(-v)),
+                    other => Expr::binary(BinOp::Minus, Expr::lit(0i64), other),
+                })
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(word)) if word.eq_ignore_ascii_case("true") => {
+                self.pos += 1;
+                Ok(Expr::lit(true))
+            }
+            Some(Token::Ident(word)) if word.eq_ignore_ascii_case("false") => {
+                self.pos += 1;
+                Ok(Expr::lit(false))
+            }
+            Some(Token::Ident(word)) if !is_reserved(&word) => {
+                Ok(Expr::Column(self.column_ref()?))
+            }
+            other => Err(SqlError::Parse(format!(
+                "expected expression, found {}",
+                other.map(|t| t.to_string()).unwrap_or("EOF".into())
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse("SELECT a, b FROM t WHERE a > 1").unwrap();
+        assert_eq!(q.selects.len(), 1);
+        let s = &q.selects[0];
+        assert_eq!(s.projection.len(), 2);
+        assert!(s.selection.is_some());
+        assert!(matches!(&s.from, TableExpr::Named { name, .. } if name == "t"));
+    }
+
+    #[test]
+    fn wildcard_and_aliases() {
+        let q = parse("SELECT * FROM patient_info AS pi").unwrap();
+        assert_eq!(q.selects[0].projection, vec![SelectItem::Wildcard]);
+        assert_eq!(q.selects[0].from.binding_name(), Some("pi"));
+        // Implicit alias.
+        let q = parse("SELECT * FROM patient_info pi").unwrap();
+        assert_eq!(q.selects[0].from.binding_name(), Some("pi"));
+    }
+
+    #[test]
+    fn joins() {
+        let q = parse(
+            "SELECT * FROM a JOIN b ON a.id = b.id INNER JOIN c ON b.id = c.id",
+        )
+        .unwrap();
+        let s = &q.selects[0];
+        assert_eq!(s.joins.len(), 2);
+        assert_eq!(s.joins[0].left_key, "a.id");
+        assert_eq!(s.joins[1].right_key, "c.id");
+    }
+
+    #[test]
+    fn where_precedence() {
+        let q = parse("SELECT * FROM t WHERE a = 1 AND b > 2 OR c < 3").unwrap();
+        // AND binds tighter than OR.
+        let sel = q.selects[0].selection.as_ref().unwrap();
+        assert_eq!(
+            sel.to_string(),
+            "(((a = 1) AND (b > 2)) OR (c < 3))"
+        );
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse("SELECT a + b * 2 AS x FROM t").unwrap();
+        match &q.selects[0].projection[0] {
+            SelectItem::Expr { expr, alias } => {
+                assert_eq!(expr.to_string(), "(a + (b * 2))");
+                assert_eq!(alias.as_deref(), Some("x"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let q = parse("SELECT dest, COUNT(*) AS n, AVG(delay) FROM flights GROUP BY dest")
+            .unwrap();
+        let s = &q.selects[0];
+        assert_eq!(s.group_by, vec!["dest"]);
+        assert!(matches!(
+            &s.projection[1],
+            SelectItem::Aggregate { func: AggFunc::Count, column, alias: Some(a) }
+                if column == "*" && a == "n"
+        ));
+        assert!(matches!(
+            &s.projection[2],
+            SelectItem::Aggregate { func: AggFunc::Avg, column, alias: None } if column == "delay"
+        ));
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let q = parse("SELECT * FROM t ORDER BY x DESC LIMIT 10").unwrap();
+        let s = &q.selects[0];
+        assert_eq!(s.order_by, Some(("x".to_string(), true)));
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn union_all() {
+        let q = parse("SELECT * FROM a UNION ALL SELECT * FROM b").unwrap();
+        assert_eq!(q.selects.len(), 2);
+        assert!(parse("SELECT * FROM a UNION SELECT * FROM b").is_err());
+    }
+
+    #[test]
+    fn ctes() {
+        let q = parse(
+            "WITH data AS (SELECT * FROM a JOIN b ON a.id = b.id) SELECT * FROM data",
+        )
+        .unwrap();
+        assert_eq!(q.ctes.len(), 1);
+        assert_eq!(q.ctes[0].0, "data");
+    }
+
+    #[test]
+    fn predict_table_function() {
+        let q = parse(
+            "SELECT d.id, p.stay FROM PREDICT(MODEL = 'm', DATA = data AS d) \
+             WITH (stay FLOAT) AS p WHERE p.stay > 7",
+        )
+        .unwrap();
+        match &q.selects[0].from {
+            TableExpr::Predict {
+                model,
+                data,
+                with_columns,
+                alias,
+            } => {
+                assert_eq!(*model, ModelSpec::Literal("m".into()));
+                assert_eq!(data.binding_name(), Some("d"));
+                assert_eq!(with_columns[0].0, "stay");
+                assert_eq!(alias.as_deref(), Some("p"));
+            }
+            other => panic!("unexpected from: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declare_with_string() {
+        let q = parse("DECLARE @m = 'duration_of_stay'; SELECT * FROM t").unwrap();
+        assert_eq!(q.declares, vec![("m".to_string(), "duration_of_stay".to_string())]);
+    }
+
+    #[test]
+    fn declare_with_subselect() {
+        // The paper's exact DECLARE shape.
+        let q = parse(
+            "DECLARE @model varbinary(max) = (SELECT model FROM scoring_models \
+             WHERE model_name = 'duration_of_stay'); SELECT * FROM t",
+        )
+        .unwrap();
+        assert_eq!(q.declares[0].1, "duration_of_stay");
+    }
+
+    #[test]
+    fn running_example_parses() {
+        let q = parse(
+            "DECLARE @model varbinary(max) = (SELECT model FROM scoring_models \
+             WHERE model_name = 'duration_of_stay');\
+             WITH data AS (\
+               SELECT * FROM patient_info AS pi \
+               JOIN blood_tests AS bt ON pi.id = bt.id \
+               JOIN prenatal_tests AS pt ON bt.id = pt.id);\
+             SELECT d.id, p.length_of_stay \
+             FROM PREDICT(MODEL = @model, DATA = data AS d) \
+             WITH (length_of_stay FLOAT) AS p \
+             WHERE d.pregnant = 1 AND p.length_of_stay > 7;",
+        )
+        .unwrap();
+        assert_eq!(q.declares.len(), 1);
+        assert_eq!(q.ctes.len(), 1);
+        match &q.selects[0].from {
+            TableExpr::Predict { model, .. } => {
+                assert_eq!(*model, ModelSpec::Variable("model".into()));
+            }
+            other => panic!("unexpected from: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let q = parse("SELECT * FROM t WHERE x > -5").unwrap();
+        let sel = q.selects[0].selection.as_ref().unwrap();
+        assert_eq!(sel.to_string(), "(x > -5)");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t extra garbage +").is_err());
+        assert!(parse("SELECT * FROM t LIMIT x").is_err());
+        assert!(parse("DECLARE @m = (SELECT 1)").is_err()); // no model string
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the tensor runtime.
+
+use std::fmt;
+
+/// Errors produced by the tensor runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Shapes are incompatible for the requested operation.
+    ShapeMismatch { expected: String, actual: String },
+    /// A named tensor (input, initializer, node output) was not found.
+    NameNotFound(String),
+    /// A graph is ill-formed (cycle, duplicate output, missing output...).
+    InvalidGraph(String),
+    /// Operator received the wrong number of inputs.
+    ArityMismatch {
+        op: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// Numeric or bookkeeping failure.
+    Internal(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::NameNotFound(n) => write!(f, "tensor not found: {n}"),
+            TensorError::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
+            TensorError::ArityMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op} expects {expected} inputs, got {actual}"),
+            TensorError::Internal(msg) => write!(f, "internal tensor error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = TensorError::ArityMismatch {
+            op: "MatMul".into(),
+            expected: 2,
+            actual: 1,
+        };
+        assert_eq!(e.to_string(), "MatMul expects 2 inputs, got 1");
+        assert_eq!(
+            TensorError::NameNotFound("x".into()).to_string(),
+            "tensor not found: x"
+        );
+    }
+}

@@ -1,0 +1,372 @@
+//! Tensor computation graphs.
+
+use crate::error::TensorError;
+use crate::ops::Op;
+use crate::tensor::Tensor;
+use crate::Result;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One operator application: `output = op(inputs...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    pub op: Op,
+    pub inputs: Vec<String>,
+    pub output: String,
+}
+
+/// A dataflow graph of tensor operators.
+///
+/// Names bind everything together: graph inputs, initializers (weights
+/// baked into the model) and node outputs share one namespace. A graph is
+/// the unit that NN translation produces and that an
+/// [`crate::InferenceSession`] optimizes and executes — the analogue of an
+/// ONNX model file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Graph {
+    pub nodes: Vec<Node>,
+    pub inputs: Vec<String>,
+    pub outputs: Vec<String>,
+    pub initializers: HashMap<String, Tensor>,
+}
+
+impl Graph {
+    /// Validate structural invariants:
+    /// * every node input is a graph input, an initializer, or some node's
+    ///   output;
+    /// * no name is produced twice (single static assignment);
+    /// * every graph output is produced;
+    /// * the graph is acyclic (checked by attempting a topological sort).
+    pub fn validate(&self) -> Result<()> {
+        let mut produced: HashSet<&str> = HashSet::new();
+        for name in &self.inputs {
+            produced.insert(name);
+        }
+        for name in self.initializers.keys() {
+            if !produced.insert(name) {
+                return Err(TensorError::InvalidGraph(format!(
+                    "initializer {name} shadows a graph input"
+                )));
+            }
+        }
+        let mut node_outputs: HashSet<&str> = HashSet::new();
+        for node in &self.nodes {
+            if produced.contains(node.output.as_str())
+                || !node_outputs.insert(node.output.as_str())
+            {
+                return Err(TensorError::InvalidGraph(format!(
+                    "name {} produced more than once",
+                    node.output
+                )));
+            }
+            if let Some(expected) = node.op.arity() {
+                if node.inputs.len() != expected {
+                    return Err(TensorError::ArityMismatch {
+                        op: node.op.name().into(),
+                        expected,
+                        actual: node.inputs.len(),
+                    });
+                }
+            }
+        }
+        let all: HashSet<&str> = produced
+            .iter()
+            .copied()
+            .chain(node_outputs.iter().copied())
+            .collect();
+        for node in &self.nodes {
+            for input in &node.inputs {
+                if !all.contains(input.as_str()) {
+                    return Err(TensorError::NameNotFound(input.clone()));
+                }
+            }
+        }
+        for output in &self.outputs {
+            if !all.contains(output.as_str()) {
+                return Err(TensorError::NameNotFound(output.clone()));
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Kahn topological sort; errors on cycles. Returns node indices in
+    /// executable order.
+    pub fn topo_order(&self) -> Result<Vec<usize>> {
+        let producer: HashMap<&str, usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.output.as_str(), i))
+            .collect();
+        let mut indegree = vec![0usize; self.nodes.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for input in &node.inputs {
+                if let Some(&p) = producer.get(input.as_str()) {
+                    indegree[i] += 1;
+                    dependents[p].push(i);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &d in &dependents[i] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err(TensorError::InvalidGraph("cycle detected".into()));
+        }
+        Ok(order)
+    }
+
+    /// Execute the graph with the given named inputs.
+    ///
+    /// Returns the requested outputs plus the total FLOPs executed (fed to
+    /// device timing models).
+    pub fn run(&self, inputs: &HashMap<String, Tensor>) -> Result<(Vec<Tensor>, u64)> {
+        let mut env: HashMap<&str, Tensor> = HashMap::with_capacity(
+            self.initializers.len() + inputs.len() + self.nodes.len(),
+        );
+        for (k, v) in &self.initializers {
+            env.insert(k.as_str(), v.clone());
+        }
+        for name in &self.inputs {
+            let t = inputs
+                .get(name)
+                .ok_or_else(|| TensorError::NameNotFound(name.clone()))?;
+            env.insert(name.as_str(), t.clone());
+        }
+        let mut flops = 0u64;
+        for &i in &self.topo_order()? {
+            let node = &self.nodes[i];
+            let args: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|n| {
+                    env.get(n.as_str())
+                        .ok_or_else(|| TensorError::NameNotFound(n.clone()))
+                })
+                .collect::<Result<_>>()?;
+            flops += node.op.flops(&args);
+            let out = node.op.eval(&args)?;
+            env.insert(node.output.as_str(), out);
+        }
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|n| {
+                env.get(n.as_str())
+                    .cloned()
+                    .ok_or_else(|| TensorError::NameNotFound(n.clone()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok((outputs, flops))
+    }
+
+    /// Total number of parameters (initializer elements).
+    pub fn num_parameters(&self) -> usize {
+        self.initializers.values().map(Tensor::numel).sum()
+    }
+
+    /// Names of all node outputs (useful for debugging passes).
+    pub fn node_output_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.output.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Graph(inputs={:?}, outputs={:?}, {} initializers, {} nodes)",
+            self.inputs,
+            self.outputs,
+            self.initializers.len(),
+            self.nodes.len()
+        )?;
+        for node in &self.nodes {
+            writeln!(f, "  {} = {}({})", node.output, node.op, node.inputs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Graph`]s; generates fresh value names.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+    counter: usize,
+}
+
+impl GraphBuilder {
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Declare a graph input.
+    pub fn input(&mut self, name: impl Into<String>) -> String {
+        let name = name.into();
+        self.graph.inputs.push(name.clone());
+        name
+    }
+
+    /// Add a weight/constant tensor.
+    pub fn initializer(&mut self, name: impl Into<String>, tensor: Tensor) -> String {
+        let name = name.into();
+        self.graph.initializers.insert(name.clone(), tensor);
+        name
+    }
+
+    /// Add a node; returns the fresh output name.
+    pub fn node(&mut self, op: Op, inputs: &[&str]) -> String {
+        let output = format!("v{}", self.counter);
+        self.counter += 1;
+        self.graph.nodes.push(Node {
+            op,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            output: output.clone(),
+        });
+        output
+    }
+
+    /// Add a node with an explicit output name.
+    pub fn named_node(&mut self, op: Op, inputs: &[&str], output: impl Into<String>) -> String {
+        let output = output.into();
+        self.graph.nodes.push(Node {
+            op,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            output: output.clone(),
+        });
+        output
+    }
+
+    /// Mark a name as a graph output.
+    pub fn output(&mut self, name: impl Into<String>) {
+        self.graph.outputs.push(name.into());
+    }
+
+    /// Finish, validating the graph.
+    pub fn build(self) -> Result<Graph> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = sigmoid(x·W + b)
+    fn logistic_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let w = b.initializer("w", Tensor::matrix(2, 1, vec![1.0, -1.0]).unwrap());
+        let bias = b.initializer("b", Tensor::vector(vec![0.5]));
+        let z = b.node(
+            Op::Gemm {
+                alpha: 1.0,
+                beta: 1.0,
+            },
+            &[&x, &w, &bias],
+        );
+        let y = b.node(Op::Sigmoid, &[&z]);
+        b.output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_run() {
+        let g = logistic_graph();
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "x".to_string(),
+            Tensor::matrix(2, 2, vec![1.0, 1.0, 3.0, 0.0]).unwrap(),
+        );
+        let (outs, flops) = g.run(&inputs).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].shape(), &[2, 1]);
+        // row0: sigmoid(1-1+0.5)=sigmoid(0.5)
+        assert!((outs[0].data()[0] - 1.0 / (1.0 + (-0.5f32).exp())).abs() < 1e-6);
+        assert!(flops > 0);
+    }
+
+    #[test]
+    fn missing_input_is_error() {
+        let g = logistic_graph();
+        let err = g.run(&HashMap::new());
+        assert!(matches!(err, Err(TensorError::NameNotFound(_))));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_output() {
+        let mut g = logistic_graph();
+        let dup = g.nodes[0].clone();
+        g.nodes.push(dup);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_input() {
+        let mut g = logistic_graph();
+        g.nodes[0].inputs[0] = "ghost".into();
+        assert!(matches!(
+            g.validate(),
+            Err(TensorError::NameNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_cycle() {
+        let mut g = Graph {
+            inputs: vec!["x".into()],
+            outputs: vec!["a".into()],
+            ..Default::default()
+        };
+        g.nodes.push(Node {
+            op: Op::Neg,
+            inputs: vec!["b".into()],
+            output: "a".into(),
+        });
+        g.nodes.push(Node {
+            op: Op::Neg,
+            inputs: vec!["a".into()],
+            output: "b".into(),
+        });
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let g = logistic_graph();
+        let order = g.topo_order().unwrap();
+        // Gemm (node 0) must run before Sigmoid (node 1).
+        let pos0 = order.iter().position(|&i| i == 0).unwrap();
+        let pos1 = order.iter().position(|&i| i == 1).unwrap();
+        assert!(pos0 < pos1);
+    }
+
+    #[test]
+    fn parameters_counted() {
+        let g = logistic_graph();
+        assert_eq!(g.num_parameters(), 3);
+    }
+
+    #[test]
+    fn display_contains_ops() {
+        let s = logistic_graph().to_string();
+        assert!(s.contains("Gemm"));
+        assert!(s.contains("Sigmoid"));
+    }
+}

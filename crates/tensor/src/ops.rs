@@ -1,0 +1,657 @@
+//! Operators and their CPU kernels.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+use std::fmt;
+
+/// A tensor operator.
+///
+/// The set covers what the paper's NN translations need (§4.2 "NN
+/// translation"): GEMM-based tree scoring, linear/logistic regression,
+/// MLPs, scalers and one-hot featurizers, plus the reduction/comparison
+/// plumbing they require. Every operator has a reference CPU kernel in
+/// [`Op::eval`] and an analytic FLOP estimate in [`Op::flops`] used by the
+/// simulated-GPU timing model and the cost-based optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Matrix product `A[m,k] × B[k,n] → [m,n]`.
+    MatMul,
+    /// Fused `alpha·(A×B) + beta·C` where `C` broadcasts per-row.
+    Gemm { alpha: f32, beta: f32 },
+    /// Elementwise/broadcast addition.
+    Add,
+    /// Elementwise/broadcast subtraction.
+    Sub,
+    /// Elementwise/broadcast multiplication.
+    Mul,
+    /// Elementwise/broadcast division.
+    Div,
+    /// Elementwise negation.
+    Neg,
+    /// Elementwise max(x, 0).
+    Relu,
+    /// Elementwise logistic sigmoid.
+    Sigmoid,
+    /// Elementwise tanh.
+    Tanh,
+    /// Elementwise e^x.
+    Exp,
+    /// Comparison producing 0.0/1.0: `a < b`.
+    Less,
+    /// Comparison producing 0.0/1.0: `a <= b`.
+    LessOrEqual,
+    /// Comparison producing 0.0/1.0: `a > b`.
+    Greater,
+    /// Comparison producing 0.0/1.0: `a >= b`.
+    GreaterOrEqual,
+    /// Comparison producing 0.0/1.0: `a == b` (exact).
+    Equal,
+    /// Select columns of a matrix by index.
+    GatherCols { indices: Vec<usize> },
+    /// Concatenate along an axis (0 = rows, 1 = cols).
+    Concat { axis: usize },
+    /// Reshape to a fixed target shape.
+    Reshape { shape: Vec<usize> },
+    /// Sum along an axis of a matrix → vector.
+    ReduceSum { axis: usize },
+    /// Mean along an axis of a matrix → vector.
+    ReduceMean { axis: usize },
+    /// Row-wise argmax of a matrix → vector of indices (as f32).
+    ArgMax,
+    /// Row-wise softmax of a matrix.
+    Softmax,
+}
+
+impl Op {
+    /// Operator name (for display / diagnostics).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::MatMul => "MatMul",
+            Op::Gemm { .. } => "Gemm",
+            Op::Add => "Add",
+            Op::Sub => "Sub",
+            Op::Mul => "Mul",
+            Op::Div => "Div",
+            Op::Neg => "Neg",
+            Op::Relu => "Relu",
+            Op::Sigmoid => "Sigmoid",
+            Op::Tanh => "Tanh",
+            Op::Exp => "Exp",
+            Op::Less => "Less",
+            Op::LessOrEqual => "LessOrEqual",
+            Op::Greater => "Greater",
+            Op::GreaterOrEqual => "GreaterOrEqual",
+            Op::Equal => "Equal",
+            Op::GatherCols { .. } => "GatherCols",
+            Op::Concat { .. } => "Concat",
+            Op::Reshape { .. } => "Reshape",
+            Op::ReduceSum { .. } => "ReduceSum",
+            Op::ReduceMean { .. } => "ReduceMean",
+            Op::ArgMax => "ArgMax",
+            Op::Softmax => "Softmax",
+        }
+    }
+
+    /// Number of inputs this operator expects. `None` = variadic (>=1).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            Op::MatMul
+            | Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Less
+            | Op::LessOrEqual
+            | Op::Greater
+            | Op::GreaterOrEqual
+            | Op::Equal => Some(2),
+            Op::Gemm { .. } => Some(3),
+            Op::Concat { .. } => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Evaluate the operator on `inputs`.
+    pub fn eval(&self, inputs: &[&Tensor]) -> Result<Tensor> {
+        if let Some(expected) = self.arity() {
+            if inputs.len() != expected {
+                return Err(TensorError::ArityMismatch {
+                    op: self.name().into(),
+                    expected,
+                    actual: inputs.len(),
+                });
+            }
+        } else if inputs.is_empty() {
+            return Err(TensorError::ArityMismatch {
+                op: self.name().into(),
+                expected: 1,
+                actual: 0,
+            });
+        }
+        match self {
+            Op::MatMul => matmul(inputs[0], inputs[1]),
+            Op::Gemm { alpha, beta } => gemm(inputs[0], inputs[1], inputs[2], *alpha, *beta),
+            Op::Add => broadcast_binary(inputs[0], inputs[1], "Add", |a, b| a + b),
+            Op::Sub => broadcast_binary(inputs[0], inputs[1], "Sub", |a, b| a - b),
+            Op::Mul => broadcast_binary(inputs[0], inputs[1], "Mul", |a, b| a * b),
+            Op::Div => broadcast_binary(inputs[0], inputs[1], "Div", |a, b| a / b),
+            Op::Neg => Ok(unary(inputs[0], |x| -x)),
+            Op::Relu => Ok(unary(inputs[0], |x| x.max(0.0))),
+            Op::Sigmoid => Ok(unary(inputs[0], |x| 1.0 / (1.0 + (-x).exp()))),
+            Op::Tanh => Ok(unary(inputs[0], f32::tanh)),
+            Op::Exp => Ok(unary(inputs[0], f32::exp)),
+            Op::Less => broadcast_binary(inputs[0], inputs[1], "Less", |a, b| bool2f(a < b)),
+            Op::LessOrEqual => {
+                broadcast_binary(inputs[0], inputs[1], "LessOrEqual", |a, b| bool2f(a <= b))
+            }
+            Op::Greater => {
+                broadcast_binary(inputs[0], inputs[1], "Greater", |a, b| bool2f(a > b))
+            }
+            Op::GreaterOrEqual => broadcast_binary(inputs[0], inputs[1], "GreaterOrEqual", |a, b| {
+                bool2f(a >= b)
+            }),
+            Op::Equal => broadcast_binary(inputs[0], inputs[1], "Equal", |a, b| bool2f(a == b)),
+            Op::GatherCols { indices } => gather_cols(inputs[0], indices),
+            Op::Concat { axis } => concat(inputs, *axis),
+            Op::Reshape { shape } => inputs[0].clone().reshape(shape.clone()),
+            Op::ReduceSum { axis } => reduce(inputs[0], *axis, false),
+            Op::ReduceMean { axis } => reduce(inputs[0], *axis, true),
+            Op::ArgMax => argmax(inputs[0]),
+            Op::Softmax => softmax(inputs[0]),
+        }
+    }
+
+    /// Analytic floating-point operation count for this op on the given
+    /// input shapes (used by the simulated-GPU timing model and cost-based
+    /// optimizer; precision matters less than proportionality).
+    pub fn flops(&self, inputs: &[&Tensor]) -> u64 {
+        let out_elems = |t: &Tensor| t.numel() as u64;
+        match self {
+            Op::MatMul | Op::Gemm { .. } => {
+                if inputs.len() >= 2 && inputs[0].rank() == 2 && inputs[1].rank() == 2 {
+                    let m = inputs[0].rows() as u64;
+                    let k = inputs[0].cols() as u64;
+                    let n = inputs[1].cols() as u64;
+                    2 * m * k * n
+                } else {
+                    0
+                }
+            }
+            Op::Softmax => inputs.first().map(|t| 4 * out_elems(t)).unwrap_or(0),
+            Op::Sigmoid | Op::Tanh | Op::Exp => {
+                inputs.first().map(|t| 4 * out_elems(t)).unwrap_or(0)
+            }
+            _ => inputs.iter().map(|t| out_elems(t)).max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[inline]
+fn bool2f(b: bool) -> f32 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn unary(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut out = a.clone();
+    for x in out.data_mut() {
+        *x = f(*x);
+    }
+    out
+}
+
+/// Broadcasting for binary ops. Supported shapes:
+/// * identical shapes (elementwise);
+/// * `[m,n] ∘ [n]` — the vector broadcasts across rows;
+/// * `[m,n] ∘ [1]` and `[k] ∘ [1]` — scalar broadcast;
+/// * the mirrored versions of the above.
+fn broadcast_binary(
+    a: &Tensor,
+    b: &Tensor,
+    op: &str,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor> {
+    // Same shape: straight elementwise.
+    if a.shape() == b.shape() {
+        let data = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        return Tensor::new(a.shape().to_vec(), data);
+    }
+    // Scalar on either side.
+    if b.numel() == 1 {
+        let s = b.data()[0];
+        let data = a.data().iter().map(|&x| f(x, s)).collect();
+        return Tensor::new(a.shape().to_vec(), data);
+    }
+    if a.numel() == 1 {
+        let s = a.data()[0];
+        let data = b.data().iter().map(|&y| f(s, y)).collect();
+        return Tensor::new(b.shape().to_vec(), data);
+    }
+    // Matrix ∘ row-vector.
+    if a.rank() == 2 && b.rank() == 1 && a.cols() == b.numel() {
+        let (m, n) = (a.rows(), a.cols());
+        let mut data = Vec::with_capacity(m * n);
+        let bv = b.data();
+        for i in 0..m {
+            let row = &a.data()[i * n..(i + 1) * n];
+            for j in 0..n {
+                data.push(f(row[j], bv[j]));
+            }
+        }
+        return Tensor::matrix(m, n, data);
+    }
+    if b.rank() == 2 && a.rank() == 1 && b.cols() == a.numel() {
+        let (m, n) = (b.rows(), b.cols());
+        let mut data = Vec::with_capacity(m * n);
+        let av = a.data();
+        for i in 0..m {
+            let row = &b.data()[i * n..(i + 1) * n];
+            for j in 0..n {
+                data.push(f(av[j], row[j]));
+            }
+        }
+        return Tensor::matrix(m, n, data);
+    }
+    Err(TensorError::ShapeMismatch {
+        expected: format!("{op}-broadcastable shapes"),
+        actual: format!("{:?} vs {:?}", a.shape(), b.shape()),
+    })
+}
+
+/// `A[m,k] × B[k,n]`. Rank-1 `A` is treated as `[1,k]`; rank-1 `B` as `[k,1]`.
+///
+/// The kernel uses the i-k-j loop order so the inner loop streams both the
+/// B row and the output row sequentially — the standard cache-friendly
+/// ordering for row-major data.
+fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k1) = if a.rank() == 2 {
+        (a.rows(), a.cols())
+    } else {
+        (1, a.numel())
+    };
+    let (k2, n) = if b.rank() == 2 {
+        (b.rows(), b.cols())
+    } else {
+        (b.numel(), 1)
+    };
+    if k1 != k2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("inner dims to match ({k1})"),
+            actual: format!("{k2}"),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k1..(i + 1) * k1];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue; // sparse-weight fast path; exact zeros are common after pruning
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    if a.rank() == 1 && b.rank() == 1 {
+        Tensor::new(vec![1], out)
+    } else if b.rank() == 1 {
+        Tensor::new(vec![m], out)
+    } else {
+        Tensor::matrix(m, n, out)
+    }
+}
+
+fn gemm(a: &Tensor, b: &Tensor, c: &Tensor, alpha: f32, beta: f32) -> Result<Tensor> {
+    let mut prod = matmul(a, b)?;
+    if alpha != 1.0 {
+        for x in prod.data_mut() {
+            *x *= alpha;
+        }
+    }
+    if beta == 0.0 {
+        return Ok(prod);
+    }
+    let scaled_c = if beta == 1.0 {
+        c.clone()
+    } else {
+        unary(c, |x| x * beta)
+    };
+    broadcast_binary(&prod, &scaled_c, "Gemm", |x, y| x + y)
+}
+
+fn gather_cols(a: &Tensor, indices: &[usize]) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: "rank 2".into(),
+            actual: format!("rank {}", a.rank()),
+        });
+    }
+    let (m, n) = (a.rows(), a.cols());
+    if let Some(&bad) = indices.iter().find(|&&i| i >= n) {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("column index < {n}"),
+            actual: format!("{bad}"),
+        });
+    }
+    let k = indices.len();
+    let mut out = Vec::with_capacity(m * k);
+    for i in 0..m {
+        let row = &a.data()[i * n..(i + 1) * n];
+        for &j in indices {
+            out.push(row[j]);
+        }
+    }
+    Tensor::matrix(m, k, out)
+}
+
+fn concat(inputs: &[&Tensor], axis: usize) -> Result<Tensor> {
+    match axis {
+        0 => Tensor::vstack(&inputs.iter().map(|&t| t.clone()).collect::<Vec<_>>()),
+        1 => {
+            let m = inputs[0].rows();
+            if inputs.iter().any(|t| t.rank() != 2 || t.rows() != m) {
+                return Err(TensorError::ShapeMismatch {
+                    expected: format!("[{m}, *] matrices"),
+                    actual: "mismatched row counts".into(),
+                });
+            }
+            let total: usize = inputs.iter().map(|t| t.cols()).sum();
+            let mut out = Vec::with_capacity(m * total);
+            for i in 0..m {
+                for t in inputs {
+                    out.extend_from_slice(t.row(i)?);
+                }
+            }
+            Tensor::matrix(m, total, out)
+        }
+        _ => Err(TensorError::InvalidGraph(format!(
+            "Concat axis must be 0 or 1, got {axis}"
+        ))),
+    }
+}
+
+fn reduce(a: &Tensor, axis: usize, mean: bool) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: "rank 2".into(),
+            actual: format!("rank {}", a.rank()),
+        });
+    }
+    let (m, n) = (a.rows(), a.cols());
+    match axis {
+        0 => {
+            let mut out = vec![0.0f32; n];
+            for i in 0..m {
+                for (o, &v) in out.iter_mut().zip(a.row(i)?) {
+                    *o += v;
+                }
+            }
+            if mean && m > 0 {
+                for o in &mut out {
+                    *o /= m as f32;
+                }
+            }
+            Ok(Tensor::vector(out))
+        }
+        1 => {
+            let mut out = Vec::with_capacity(m);
+            for i in 0..m {
+                let s: f32 = a.row(i)?.iter().sum();
+                out.push(if mean && n > 0 { s / n as f32 } else { s });
+            }
+            Ok(Tensor::vector(out))
+        }
+        _ => Err(TensorError::InvalidGraph(format!(
+            "Reduce axis must be 0 or 1, got {axis}"
+        ))),
+    }
+}
+
+fn argmax(a: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: "rank 2".into(),
+            actual: format!("rank {}", a.rank()),
+        });
+    }
+    let mut out = Vec::with_capacity(a.rows());
+    for i in 0..a.rows() {
+        let row = a.row(i)?;
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        out.push(best as f32);
+    }
+    Ok(Tensor::vector(out))
+}
+
+fn softmax(a: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: "rank 2".into(),
+            actual: format!("rank {}", a.rank()),
+        });
+    }
+    let (m, n) = (a.rows(), a.cols());
+    let mut out = Vec::with_capacity(m * n);
+    for i in 0..m {
+        let row = a.row(i)?;
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        out.extend(exps.into_iter().map(|e| e / sum));
+    }
+    Tensor::matrix(m, n, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(r: usize, c: usize, d: Vec<f32>) -> Tensor {
+        Tensor::matrix(r, c, d).unwrap()
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = m(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let out = Op::MatMul.eval(&[&a, &b]).unwrap();
+        assert_eq!(out.shape(), &[2, 2]);
+        assert_eq!(out.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_inner_dim_mismatch() {
+        let a = m(2, 3, vec![0.0; 6]);
+        let b = m(2, 2, vec![0.0; 4]);
+        assert!(Op::MatMul.eval(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn matmul_vector_forms() {
+        let a = Tensor::vector(vec![1., 2.]);
+        let b = m(2, 2, vec![1., 0., 0., 1.]);
+        let out = Op::MatMul.eval(&[&a, &b]).unwrap();
+        assert_eq!(out.shape(), &[1, 2]);
+        let bv = Tensor::vector(vec![3., 4.]);
+        let out2 = Op::MatMul.eval(&[&m(2, 2, vec![1., 0., 0., 1.]), &bv]).unwrap();
+        assert_eq!(out2.shape(), &[2]);
+        assert_eq!(out2.data(), &[3., 4.]);
+    }
+
+    #[test]
+    fn matmul_skips_zero_weights() {
+        // The zero fast path must not change results.
+        let a = m(1, 3, vec![0.0, 2.0, 0.0]);
+        let b = m(3, 1, vec![5.0, 7.0, 9.0]);
+        let out = Op::MatMul.eval(&[&a, &b]).unwrap();
+        assert_eq!(out.data(), &[14.0]);
+    }
+
+    #[test]
+    fn gemm_matches_matmul_plus_bias() {
+        let a = m(2, 2, vec![1., 2., 3., 4.]);
+        let b = m(2, 2, vec![1., 0., 0., 1.]);
+        let bias = Tensor::vector(vec![10., 20.]);
+        let out = Op::Gemm {
+            alpha: 1.0,
+            beta: 1.0,
+        }
+        .eval(&[&a, &b, &bias])
+        .unwrap();
+        assert_eq!(out.data(), &[11., 22., 13., 24.]);
+        // alpha/beta scaling
+        let out = Op::Gemm {
+            alpha: 2.0,
+            beta: 0.5,
+        }
+        .eval(&[&a, &b, &bias])
+        .unwrap();
+        assert_eq!(out.data(), &[7., 14., 11., 18.]);
+    }
+
+    #[test]
+    fn broadcast_add_row_vector() {
+        let a = m(2, 2, vec![1., 2., 3., 4.]);
+        let v = Tensor::vector(vec![10., 20.]);
+        assert_eq!(
+            Op::Add.eval(&[&a, &v]).unwrap().data(),
+            &[11., 22., 13., 24.]
+        );
+        // mirrored
+        assert_eq!(
+            Op::Sub.eval(&[&v, &a]).unwrap().data(),
+            &[9., 18., 7., 16.]
+        );
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = m(1, 3, vec![1., 2., 3.]);
+        let s = Tensor::scalar(2.0);
+        assert_eq!(Op::Mul.eval(&[&a, &s]).unwrap().data(), &[2., 4., 6.]);
+        assert_eq!(Op::Div.eval(&[&a, &s]).unwrap().data(), &[0.5, 1., 1.5]);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = m(2, 3, vec![0.0; 6]);
+        let v = Tensor::vector(vec![0.0; 2]);
+        assert!(Op::Add.eval(&[&a, &v]).is_err());
+    }
+
+    #[test]
+    fn comparisons_produce_indicator() {
+        let a = Tensor::vector(vec![1., 5., 3.]);
+        let b = Tensor::vector(vec![2., 2., 3.]);
+        assert_eq!(Op::Less.eval(&[&a, &b]).unwrap().data(), &[1., 0., 0.]);
+        assert_eq!(
+            Op::LessOrEqual.eval(&[&a, &b]).unwrap().data(),
+            &[1., 0., 1.]
+        );
+        assert_eq!(Op::Greater.eval(&[&a, &b]).unwrap().data(), &[0., 1., 0.]);
+        assert_eq!(
+            Op::GreaterOrEqual.eval(&[&a, &b]).unwrap().data(),
+            &[0., 1., 1.]
+        );
+        assert_eq!(Op::Equal.eval(&[&a, &b]).unwrap().data(), &[0., 0., 1.]);
+    }
+
+    #[test]
+    fn activations() {
+        let a = Tensor::vector(vec![-1., 0., 1.]);
+        assert_eq!(Op::Relu.eval(&[&a]).unwrap().data(), &[0., 0., 1.]);
+        let s = Op::Sigmoid.eval(&[&a]).unwrap();
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[0] < 0.5 && s.data()[2] > 0.5);
+        assert_eq!(Op::Neg.eval(&[&a]).unwrap().data(), &[1., 0., -1.]);
+    }
+
+    #[test]
+    fn gather_and_concat() {
+        let a = m(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let g = Op::GatherCols {
+            indices: vec![2, 0],
+        }
+        .eval(&[&a])
+        .unwrap();
+        assert_eq!(g.data(), &[3., 1., 6., 4.]);
+        assert!(Op::GatherCols { indices: vec![5] }.eval(&[&a]).is_err());
+
+        let b = m(2, 1, vec![9., 10.]);
+        let c = Op::Concat { axis: 1 }.eval(&[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[2, 4]);
+        assert_eq!(c.row(0).unwrap(), &[1., 2., 3., 9.]);
+        let r = Op::Concat { axis: 0 }.eval(&[&a, &a]).unwrap();
+        assert_eq!(r.shape(), &[4, 3]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(
+            Op::ReduceSum { axis: 0 }.eval(&[&a]).unwrap().data(),
+            &[5., 7., 9.]
+        );
+        assert_eq!(
+            Op::ReduceSum { axis: 1 }.eval(&[&a]).unwrap().data(),
+            &[6., 15.]
+        );
+        assert_eq!(
+            Op::ReduceMean { axis: 1 }.eval(&[&a]).unwrap().data(),
+            &[2., 5.]
+        );
+    }
+
+    #[test]
+    fn argmax_and_softmax() {
+        let a = m(2, 3, vec![1., 3., 2., 9., 0., 1.]);
+        assert_eq!(Op::ArgMax.eval(&[&a]).unwrap().data(), &[1., 0.]);
+        let s = Op::Softmax.eval(&[&a]).unwrap();
+        let row0: f32 = s.row(0).unwrap().iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+        assert!(s.at(0, 1) > s.at(0, 0));
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let a = Tensor::vector(vec![1.0]);
+        assert!(matches!(
+            Op::MatMul.eval(&[&a]),
+            Err(TensorError::ArityMismatch { .. })
+        ));
+        assert!(Op::Concat { axis: 0 }.eval(&[]).is_err());
+    }
+
+    #[test]
+    fn flops_estimates() {
+        let a = m(4, 8, vec![0.0; 32]);
+        let b = m(8, 2, vec![0.0; 16]);
+        assert_eq!(Op::MatMul.flops(&[&a, &b]), 2 * 4 * 8 * 2);
+        assert_eq!(Op::Add.flops(&[&a, &a]), 32);
+        assert_eq!(Op::Sigmoid.flops(&[&a]), 128);
+    }
+}

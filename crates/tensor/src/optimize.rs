@@ -1,0 +1,326 @@
+//! Graph optimization passes.
+//!
+//! These are the "compiler optimizations" of the paper's §4.1/§4.2: the ML
+//! runtime rewrites its own dataflow before execution. Three passes are
+//! implemented, mirroring what the paper leans on in ONNX Runtime:
+//!
+//! * **constant folding** — any node whose inputs are all constants is
+//!   evaluated at optimization time. Combined with
+//!   [`bind_input_constant`], this is how a predicate constant (e.g.
+//!   `pregnant = 1`) is propagated *into* a translated model;
+//! * **dead-code elimination** — nodes and initializers not reachable from
+//!   the outputs are dropped (model-projection pushdown leaves these
+//!   behind);
+//! * **MatMul+Add → Gemm fusion** — the classic fusion that turns a
+//!   translated linear layer into one kernel.
+
+use crate::graph::{Graph, Node};
+use crate::ops::Op;
+use crate::tensor::Tensor;
+use crate::Result;
+use std::collections::{HashMap, HashSet};
+
+/// Report of what the optimizer did (surfaced in EXPLAIN output).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptimizeReport {
+    pub folded_nodes: usize,
+    pub eliminated_nodes: usize,
+    pub eliminated_initializers: usize,
+    pub fused_gemms: usize,
+}
+
+impl OptimizeReport {
+    fn merge(&mut self, other: OptimizeReport) {
+        self.folded_nodes += other.folded_nodes;
+        self.eliminated_nodes += other.eliminated_nodes;
+        self.eliminated_initializers += other.eliminated_initializers;
+        self.fused_gemms += other.fused_gemms;
+    }
+}
+
+/// Run all passes to a fixpoint (bounded) and return the report.
+pub fn optimize(graph: &mut Graph) -> Result<OptimizeReport> {
+    let mut report = OptimizeReport::default();
+    // Each pass can expose work for the others; a handful of rounds always
+    // converges for our graph sizes. Bound defensively anyway.
+    for _ in 0..8 {
+        let mut round = OptimizeReport::default();
+        round.merge(fuse_gemm(graph)?);
+        round.merge(fold_constants(graph)?);
+        round.merge(eliminate_dead_code(graph)?);
+        let progress = round != OptimizeReport::default();
+        report.merge(round);
+        if !progress {
+            break;
+        }
+    }
+    Ok(report)
+}
+
+/// Replace a graph input with a constant initializer.
+///
+/// This is the entry point for the paper's predicate-driven constant
+/// propagation: when the relational side proves an input column constant
+/// (e.g. `WHERE pregnant = 1`), the optimizer binds that column to the
+/// constant and lets [`fold_constants`] simplify everything downstream.
+pub fn bind_input_constant(graph: &mut Graph, input: &str, value: Tensor) -> Result<()> {
+    let pos = graph
+        .inputs
+        .iter()
+        .position(|n| n == input)
+        .ok_or_else(|| crate::TensorError::NameNotFound(input.to_string()))?;
+    graph.inputs.remove(pos);
+    graph.initializers.insert(input.to_string(), value);
+    Ok(())
+}
+
+/// Evaluate every node whose inputs are all initializers.
+pub fn fold_constants(graph: &mut Graph) -> Result<OptimizeReport> {
+    let mut report = OptimizeReport::default();
+    let order = graph.topo_order()?;
+    let mut keep: Vec<Node> = Vec::with_capacity(graph.nodes.len());
+    // Process in topological order so folded outputs feed later folds.
+    let nodes_in_order: Vec<Node> = order.iter().map(|&i| graph.nodes[i].clone()).collect();
+    for node in nodes_in_order {
+        let all_const = node
+            .inputs
+            .iter()
+            .all(|n| graph.initializers.contains_key(n));
+        if all_const {
+            let args: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|n| &graph.initializers[n])
+                .collect();
+            let value = node.op.eval(&args)?;
+            graph.initializers.insert(node.output.clone(), value);
+            report.folded_nodes += 1;
+        } else {
+            keep.push(node);
+        }
+    }
+    graph.nodes = keep;
+    Ok(report)
+}
+
+/// Drop nodes and initializers not needed by the graph outputs.
+pub fn eliminate_dead_code(graph: &mut Graph) -> Result<OptimizeReport> {
+    let mut live: HashSet<String> = graph.outputs.iter().cloned().collect();
+    let producer: HashMap<String, usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.output.clone(), i))
+        .collect();
+    // Walk backwards from outputs.
+    let mut stack: Vec<String> = graph.outputs.clone();
+    while let Some(name) = stack.pop() {
+        if let Some(&i) = producer.get(&name) {
+            for input in &graph.nodes[i].inputs {
+                if live.insert(input.clone()) {
+                    stack.push(input.clone());
+                }
+            }
+        }
+    }
+    let before_nodes = graph.nodes.len();
+    graph.nodes.retain(|n| live.contains(&n.output));
+    let before_inits = graph.initializers.len();
+    graph.initializers.retain(|k, _| live.contains(k));
+    Ok(OptimizeReport {
+        eliminated_nodes: before_nodes - graph.nodes.len(),
+        eliminated_initializers: before_inits - graph.initializers.len(),
+        ..Default::default()
+    })
+}
+
+/// Fuse `Add(MatMul(x, w), bias)` into `Gemm(x, w, bias)` when the MatMul
+/// result has no other consumer.
+pub fn fuse_gemm(graph: &mut Graph) -> Result<OptimizeReport> {
+    let mut report = OptimizeReport::default();
+    // Count consumers of each value.
+    let mut uses: HashMap<String, usize> = HashMap::new();
+    for node in &graph.nodes {
+        for input in &node.inputs {
+            *uses.entry(input.clone()).or_insert(0) += 1;
+        }
+    }
+    for output in &graph.outputs {
+        *uses.entry(output.clone()).or_insert(0) += 1;
+    }
+    let producer: HashMap<String, usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.output.clone(), i))
+        .collect();
+
+    let mut remove: HashSet<usize> = HashSet::new();
+    let mut replacements: Vec<(usize, Node)> = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.op != Op::Add {
+            continue;
+        }
+        // Either operand order: Add(matmul, bias) or Add(bias, matmul).
+        for (mm_side, bias_side) in [(0usize, 1usize), (1, 0)] {
+            let mm_name = &node.inputs[mm_side];
+            let bias_name = &node.inputs[bias_side];
+            let Some(&mm_idx) = producer.get(mm_name) else {
+                continue;
+            };
+            if graph.nodes[mm_idx].op != Op::MatMul
+                || uses.get(mm_name).copied().unwrap_or(0) != 1
+                || remove.contains(&mm_idx)
+            {
+                continue;
+            }
+            let mm = &graph.nodes[mm_idx];
+            replacements.push((
+                i,
+                Node {
+                    op: Op::Gemm {
+                        alpha: 1.0,
+                        beta: 1.0,
+                    },
+                    inputs: vec![
+                        mm.inputs[0].clone(),
+                        mm.inputs[1].clone(),
+                        bias_name.clone(),
+                    ],
+                    output: node.output.clone(),
+                },
+            ));
+            remove.insert(mm_idx);
+            report.fused_gemms += 1;
+            break;
+        }
+    }
+    for (i, node) in replacements {
+        graph.nodes[i] = node;
+    }
+    let removed: Vec<usize> = remove.into_iter().collect();
+    let mut idx = 0usize;
+    graph.nodes.retain(|_| {
+        let keep = !removed.contains(&idx);
+        idx += 1;
+        keep
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use std::collections::HashMap as Map;
+
+    /// y = (x · W + b) with a dangling dead branch.
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let w = b.initializer("w", Tensor::matrix(2, 2, vec![1., 0., 0., 1.]).unwrap());
+        let bias = b.initializer("b", Tensor::vector(vec![1.0, 2.0]));
+        let dead_w = b.initializer("dead_w", Tensor::vector(vec![9.0]));
+        let mm = b.node(Op::MatMul, &[&x, &w]);
+        let y = b.node(Op::Add, &[&mm, &bias]);
+        let _dead = b.node(Op::Neg, &[&dead_w]);
+        b.output(y);
+        b.build().unwrap()
+    }
+
+    fn run1(g: &Graph, x: Tensor) -> Tensor {
+        let mut inputs = Map::new();
+        inputs.insert("x".to_string(), x);
+        g.run(&inputs).unwrap().0.remove(0)
+    }
+
+    #[test]
+    fn gemm_fusion_preserves_semantics() {
+        let mut g = sample();
+        let x = Tensor::matrix(1, 2, vec![3.0, 4.0]).unwrap();
+        let before = run1(&g, x.clone());
+        let report = fuse_gemm(&mut g).unwrap();
+        assert_eq!(report.fused_gemms, 1);
+        assert!(g.nodes.iter().any(|n| matches!(n.op, Op::Gemm { .. })));
+        assert!(!g.nodes.iter().any(|n| n.op == Op::MatMul));
+        assert_eq!(run1(&g, x), before);
+    }
+
+    #[test]
+    fn dce_removes_dead_branch() {
+        let mut g = sample();
+        let report = eliminate_dead_code(&mut g).unwrap();
+        assert_eq!(report.eliminated_nodes, 1);
+        assert_eq!(report.eliminated_initializers, 1);
+        assert!(!g.initializers.contains_key("dead_w"));
+    }
+
+    #[test]
+    fn constant_folding_precomputes() {
+        // Graph where everything is constant.
+        let mut b = GraphBuilder::new();
+        let a = b.initializer("a", Tensor::vector(vec![1.0, 2.0]));
+        let c = b.initializer("c", Tensor::vector(vec![3.0, 4.0]));
+        let s = b.node(Op::Add, &[&a, &c]);
+        b.output(s.clone());
+        let mut g = b.build().unwrap();
+        let report = fold_constants(&mut g).unwrap();
+        assert_eq!(report.folded_nodes, 1);
+        assert!(g.nodes.is_empty());
+        assert_eq!(g.initializers[&s].data(), &[4.0, 6.0]);
+        // It still runs (outputs come straight from initializers).
+        let (outs, _) = g.run(&Map::new()).unwrap();
+        assert_eq!(outs[0].data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn bind_constant_then_fold_simplifies() {
+        let mut g = sample();
+        // Bind x to a constant: the whole graph becomes constant.
+        bind_input_constant(
+            &mut g,
+            "x",
+            Tensor::matrix(1, 2, vec![5.0, 6.0]).unwrap(),
+        )
+        .unwrap();
+        assert!(g.inputs.is_empty());
+        let report = optimize(&mut g).unwrap();
+        assert!(report.folded_nodes >= 1);
+        assert!(g.nodes.is_empty());
+        let (outs, flops) = g.run(&Map::new()).unwrap();
+        assert_eq!(outs[0].data(), &[6.0, 8.0]);
+        assert_eq!(flops, 0, "all compute happened at optimization time");
+    }
+
+    #[test]
+    fn bind_constant_unknown_input_errors() {
+        let mut g = sample();
+        assert!(bind_input_constant(&mut g, "nope", Tensor::scalar(0.0)).is_err());
+    }
+
+    #[test]
+    fn full_optimize_is_idempotent() {
+        let mut g = sample();
+        optimize(&mut g).unwrap();
+        let snapshot = g.clone();
+        let second = optimize(&mut g).unwrap();
+        assert_eq!(second, OptimizeReport::default());
+        assert_eq!(g, snapshot);
+    }
+
+    #[test]
+    fn fusion_skipped_when_matmul_shared() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let w = b.initializer("w", Tensor::matrix(2, 2, vec![1., 0., 0., 1.]).unwrap());
+        let bias = b.initializer("b", Tensor::vector(vec![1.0, 2.0]));
+        let mm = b.node(Op::MatMul, &[&x, &w]);
+        let y1 = b.node(Op::Add, &[&mm, &bias]);
+        let y2 = b.node(Op::Relu, &[&mm]); // second consumer of mm
+        b.output(y1);
+        b.output(y2);
+        let mut g = b.build().unwrap();
+        let report = fuse_gemm(&mut g).unwrap();
+        assert_eq!(report.fused_gemms, 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Binary serialization of graphs: the on-disk/in-DB model format.
+//!
+//! The paper stores models *in the database* ("INSERT INTO model ...") and
+//! standalone ONNX Runtime reloads the model file per query. Both sides
+//! need a concrete byte format; this module provides a compact hand-rolled
+//! one (the stand-in for `.onnx` protobufs):
+//!
+//! ```text
+//! magic "RVN1" | inputs | outputs | initializers | nodes
+//! ```
+//!
+//! Strings are length-prefixed UTF-8; integers are little-endian `u32`/`u64`;
+//! tensor data is raw little-endian `f32`.
+
+use crate::error::TensorError;
+use crate::graph::{Graph, Node};
+use crate::ops::Op;
+use crate::tensor::Tensor;
+use crate::Result;
+
+const MAGIC: &[u8; 4] = b"RVN1";
+
+/// Serialize a graph to bytes.
+pub fn to_bytes(graph: &Graph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + graph.num_parameters() * 4);
+    out.extend_from_slice(MAGIC);
+    write_strings(&mut out, &graph.inputs);
+    write_strings(&mut out, &graph.outputs);
+    // Initializers, sorted for deterministic output.
+    let mut names: Vec<&String> = graph.initializers.keys().collect();
+    names.sort();
+    write_u32(&mut out, names.len() as u32);
+    for name in names {
+        write_string(&mut out, name);
+        write_tensor(&mut out, &graph.initializers[name]);
+    }
+    write_u32(&mut out, graph.nodes.len() as u32);
+    for node in &graph.nodes {
+        write_node(&mut out, node);
+    }
+    out
+}
+
+/// Deserialize a graph from bytes; validates the result.
+pub fn from_bytes(bytes: &[u8]) -> Result<Graph> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(TensorError::Internal("bad model magic".into()));
+    }
+    let inputs = r.read_strings()?;
+    let outputs = r.read_strings()?;
+    let n_init = r.read_u32()? as usize;
+    let mut initializers = std::collections::HashMap::with_capacity(n_init);
+    for _ in 0..n_init {
+        let name = r.read_string()?;
+        let tensor = r.read_tensor()?;
+        initializers.insert(name, tensor);
+    }
+    let n_nodes = r.read_u32()? as usize;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        nodes.push(r.read_node()?);
+    }
+    let graph = Graph {
+        nodes,
+        inputs,
+        outputs,
+        initializers,
+    };
+    graph.validate()?;
+    Ok(graph)
+}
+
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_strings(out: &mut Vec<u8>, ss: &[String]) {
+    write_u32(out, ss.len() as u32);
+    for s in ss {
+        write_string(out, s);
+    }
+}
+
+fn write_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    write_u32(out, t.shape().len() as u32);
+    for &d in t.shape() {
+        write_u32(out, d as u32);
+    }
+    for &v in t.data() {
+        write_f32(out, v);
+    }
+}
+
+fn write_node(out: &mut Vec<u8>, node: &Node) {
+    write_op(out, &node.op);
+    write_strings(out, &node.inputs);
+    write_string(out, &node.output);
+}
+
+fn write_op(out: &mut Vec<u8>, op: &Op) {
+    // Tag byte, then op-specific payload.
+    match op {
+        Op::MatMul => out.push(0),
+        Op::Gemm { alpha, beta } => {
+            out.push(1);
+            write_f32(out, *alpha);
+            write_f32(out, *beta);
+        }
+        Op::Add => out.push(2),
+        Op::Sub => out.push(3),
+        Op::Mul => out.push(4),
+        Op::Div => out.push(5),
+        Op::Neg => out.push(6),
+        Op::Relu => out.push(7),
+        Op::Sigmoid => out.push(8),
+        Op::Tanh => out.push(9),
+        Op::Exp => out.push(10),
+        Op::Less => out.push(11),
+        Op::LessOrEqual => out.push(12),
+        Op::Greater => out.push(13),
+        Op::GreaterOrEqual => out.push(14),
+        Op::Equal => out.push(15),
+        Op::GatherCols { indices } => {
+            out.push(16);
+            write_u32(out, indices.len() as u32);
+            for &i in indices {
+                write_u32(out, i as u32);
+            }
+        }
+        Op::Concat { axis } => {
+            out.push(17);
+            write_u32(out, *axis as u32);
+        }
+        Op::Reshape { shape } => {
+            out.push(18);
+            write_u32(out, shape.len() as u32);
+            for &d in shape {
+                write_u32(out, d as u32);
+            }
+        }
+        Op::ReduceSum { axis } => {
+            out.push(19);
+            write_u32(out, *axis as u32);
+        }
+        Op::ReduceMean { axis } => {
+            out.push(20);
+            write_u32(out, *axis as u32);
+        }
+        Op::ArgMax => out.push(21),
+        Op::Softmax => out.push(22),
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(TensorError::Internal("truncated model bytes".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn read_f32(&mut self) -> Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn read_string(&mut self) -> Result<String> {
+        let len = self.read_u32()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| TensorError::Internal("invalid UTF-8 in model".into()))
+    }
+
+    fn read_strings(&mut self) -> Result<Vec<String>> {
+        let n = self.read_u32()? as usize;
+        (0..n).map(|_| self.read_string()).collect()
+    }
+
+    fn read_tensor(&mut self) -> Result<Tensor> {
+        let rank = self.read_u32()? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(self.read_u32()? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(self.read_f32()?);
+        }
+        Tensor::new(shape, data)
+    }
+
+    fn read_node(&mut self) -> Result<Node> {
+        let op = self.read_op()?;
+        let inputs = self.read_strings()?;
+        let output = self.read_string()?;
+        Ok(Node { op, inputs, output })
+    }
+
+    fn read_op(&mut self) -> Result<Op> {
+        let tag = self.take(1)?[0];
+        Ok(match tag {
+            0 => Op::MatMul,
+            1 => Op::Gemm {
+                alpha: self.read_f32()?,
+                beta: self.read_f32()?,
+            },
+            2 => Op::Add,
+            3 => Op::Sub,
+            4 => Op::Mul,
+            5 => Op::Div,
+            6 => Op::Neg,
+            7 => Op::Relu,
+            8 => Op::Sigmoid,
+            9 => Op::Tanh,
+            10 => Op::Exp,
+            11 => Op::Less,
+            12 => Op::LessOrEqual,
+            13 => Op::Greater,
+            14 => Op::GreaterOrEqual,
+            15 => Op::Equal,
+            16 => {
+                let n = self.read_u32()? as usize;
+                let indices = (0..n)
+                    .map(|_| self.read_u32().map(|v| v as usize))
+                    .collect::<Result<_>>()?;
+                Op::GatherCols { indices }
+            }
+            17 => Op::Concat {
+                axis: self.read_u32()? as usize,
+            },
+            18 => {
+                let n = self.read_u32()? as usize;
+                let shape = (0..n)
+                    .map(|_| self.read_u32().map(|v| v as usize))
+                    .collect::<Result<_>>()?;
+                Op::Reshape { shape }
+            }
+            19 => Op::ReduceSum {
+                axis: self.read_u32()? as usize,
+            },
+            20 => Op::ReduceMean {
+                axis: self.read_u32()? as usize,
+            },
+            21 => Op::ArgMax,
+            22 => Op::Softmax,
+            other => {
+                return Err(TensorError::Internal(format!(
+                    "unknown op tag {other} in model bytes"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let w = b.initializer("w", Tensor::matrix(2, 2, vec![1., 2., 3., 4.]).unwrap());
+        let bias = b.initializer("b", Tensor::vector(vec![0.5, -0.5]));
+        let g = b.node(
+            Op::Gemm {
+                alpha: 1.0,
+                beta: 1.0,
+            },
+            &[&x, &w, &bias],
+        );
+        let s = b.node(Op::Sigmoid, &[&g]);
+        let picked = b.node(Op::GatherCols { indices: vec![1] }, &[&s]);
+        b.output(picked);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let g2 = from_bytes(&bytes).unwrap();
+        assert_eq!(g.inputs, g2.inputs);
+        assert_eq!(g.outputs, g2.outputs);
+        assert_eq!(g.nodes, g2.nodes);
+        assert_eq!(g.initializers, g2.initializers);
+    }
+
+    #[test]
+    fn roundtrip_execution_matches() {
+        use std::collections::HashMap;
+        let g = sample();
+        let g2 = from_bytes(&to_bytes(&g)).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "x".to_string(),
+            Tensor::matrix(3, 2, vec![1., 0., 0., 1., 2., 2.]).unwrap(),
+        );
+        assert_eq!(g.run(&inputs).unwrap().0, g2.run(&inputs).unwrap().0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(from_bytes(b"XXXX....").is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = to_bytes(&sample());
+        for cut in [4usize, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        let ops = vec![
+            Op::MatMul,
+            Op::Gemm { alpha: 0.5, beta: 2.0 },
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Neg,
+            Op::Relu,
+            Op::Sigmoid,
+            Op::Tanh,
+            Op::Exp,
+            Op::Less,
+            Op::LessOrEqual,
+            Op::Greater,
+            Op::GreaterOrEqual,
+            Op::Equal,
+            Op::GatherCols { indices: vec![0, 3] },
+            Op::Concat { axis: 1 },
+            Op::Reshape { shape: vec![2, 2] },
+            Op::ReduceSum { axis: 0 },
+            Op::ReduceMean { axis: 1 },
+            Op::ArgMax,
+            Op::Softmax,
+        ];
+        for op in ops {
+            let mut buf = Vec::new();
+            write_op(&mut buf, &op);
+            let mut r = Reader {
+                bytes: &buf,
+                pos: 0,
+            };
+            assert_eq!(r.read_op().unwrap(), op);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Dense `f32` tensors.
+
+use crate::error::TensorError;
+use crate::Result;
+use std::fmt;
+
+/// A dense row-major `f32` tensor of rank 1 or 2.
+///
+/// Rank-2 tensors are `[rows, cols]` matrices (the batch dimension first,
+/// matching how inference queries score a batch of tuples). Rank-1 tensors
+/// are used for biases, thresholds and per-column constants, and broadcast
+/// against the trailing dimension of a matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a tensor, validating that `shape` covers `data`.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Result<Self> {
+        let numel: usize = shape.iter().product();
+        if shape.is_empty() || shape.len() > 2 {
+            return Err(TensorError::ShapeMismatch {
+                expected: "rank 1 or 2".into(),
+                actual: format!("rank {}", shape.len()),
+            });
+        }
+        if numel != data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{numel} elements for shape {shape:?}"),
+                actual: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A rank-1 tensor from a vector.
+    pub fn vector(data: Vec<f32>) -> Self {
+        Tensor {
+            shape: vec![data.len()],
+            data,
+        }
+    }
+
+    /// A `[rows, cols]` matrix from row-major data.
+    pub fn matrix(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        Tensor::new(vec![rows, cols], data)
+    }
+
+    /// A scalar wrapped as a rank-1 tensor of length 1.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::vector(vec![v])
+    }
+
+    /// All-zero tensor.
+    pub fn zeros(shape: Vec<usize>) -> Result<Self> {
+        let numel = shape.iter().product();
+        Tensor::new(shape, vec![0.0; numel])
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Rank (1 or 2).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into raw data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Rows for a matrix; length for a vector.
+    pub fn rows(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Columns for a matrix; 1 for a vector.
+    pub fn cols(&self) -> usize {
+        if self.rank() == 2 {
+            self.shape[1]
+        } else {
+            1
+        }
+    }
+
+    /// Element access for matrices.
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// One row of a matrix as a slice.
+    pub fn row(&self, i: usize) -> Result<&[f32]> {
+        if self.rank() != 2 || i >= self.shape[0] {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("row index < {}", self.shape.first().unwrap_or(&0)),
+                actual: format!("{i}"),
+            });
+        }
+        let w = self.shape[1];
+        Ok(&self.data[i * w..(i + 1) * w])
+    }
+
+    /// Reshape without copying; element count must match.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Result<Self> {
+        let numel: usize = shape.iter().product();
+        if numel != self.data.len() || shape.is_empty() || shape.len() > 2 {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{} elements, rank<=2", self.data.len()),
+                actual: format!("{shape:?}"),
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Matrix transpose (copies).
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::ShapeMismatch {
+                expected: "rank 2".into(),
+                actual: format!("rank {}", self.rank()),
+            });
+        }
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::matrix(c, r, out)
+    }
+
+    /// Vertically stack matrices with equal column counts.
+    pub fn vstack(parts: &[Tensor]) -> Result<Tensor> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::Internal("vstack of zero tensors".into()))?;
+        if first.rank() != 2 {
+            return Err(TensorError::ShapeMismatch {
+                expected: "rank 2".into(),
+                actual: format!("rank {}", first.rank()),
+            });
+        }
+        let cols = first.cols();
+        let mut rows = 0;
+        let mut data = Vec::new();
+        for p in parts {
+            if p.rank() != 2 || p.cols() != cols {
+                return Err(TensorError::ShapeMismatch {
+                    expected: format!("[*, {cols}]"),
+                    actual: format!("{:?}", p.shape()),
+                });
+            }
+            rows += p.rows();
+            data.extend_from_slice(p.data());
+        }
+        Tensor::matrix(rows, cols, data)
+    }
+
+    /// Approximate equality (elementwise, absolute tolerance).
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(Tensor::new(vec![2, 2], vec![1.0; 4]).is_ok());
+        assert!(Tensor::new(vec![2, 2], vec![1.0; 3]).is_err());
+        assert!(Tensor::new(vec![], vec![]).is_err());
+        assert!(Tensor::new(vec![1, 1, 1], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.at(1, 2), 6.0);
+        assert_eq!(t.row(0).unwrap(), &[1., 2., 3.]);
+        assert!(t.row(2).is_err());
+        let v = Tensor::vector(vec![1., 2.]);
+        assert_eq!(v.rank(), 1);
+        assert_eq!(v.cols(), 1);
+    }
+
+    #[test]
+    fn reshape_checks_numel() {
+        let t = Tensor::vector(vec![1., 2., 3., 4.]);
+        let m = t.clone().reshape(vec![2, 2]).unwrap();
+        assert_eq!(m.shape(), &[2, 2]);
+        assert!(t.reshape(vec![3, 2]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.at(2, 1), 6.0);
+        assert_eq!(tt.transpose().unwrap(), t);
+        assert!(Tensor::vector(vec![1.0]).transpose().is_err());
+    }
+
+    #[test]
+    fn vstack() {
+        let a = Tensor::matrix(1, 2, vec![1., 2.]).unwrap();
+        let b = Tensor::matrix(2, 2, vec![3., 4., 5., 6.]).unwrap();
+        let s = Tensor::vstack(&[a, b]).unwrap();
+        assert_eq!(s.shape(), &[3, 2]);
+        assert_eq!(s.at(2, 1), 6.0);
+        assert!(Tensor::vstack(&[]).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Tensor::vector(vec![1.0, 2.0]);
+        let b = Tensor::vector(vec![1.0 + 1e-7, 2.0]);
+        assert!(a.approx_eq(&b, 1e-6));
+        assert!(!a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&Tensor::vector(vec![1.0]), 1.0));
+    }
+
+    #[test]
+    fn zeros_and_scalar() {
+        let z = Tensor::zeros(vec![2, 2]).unwrap();
+        assert_eq!(z.data(), &[0.0; 4]);
+        assert_eq!(Tensor::scalar(3.0).data(), &[3.0]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: store a model in the database, run an inference query.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use raven_core::{RavenSession, SessionConfig};
+use raven_datagen::{hospital, train};
+
+fn main() {
+    // A Raven session is an in-process "database" with a model store.
+    let session = RavenSession::with_config(SessionConfig::default());
+
+    // 1. Load data — the hospital tables of the paper's running example.
+    let data = hospital::generate(10_000, 42);
+    data.register(session.catalog()).expect("register tables");
+    println!(
+        "registered tables: {:?} ({} patients)",
+        session.catalog().table_names(),
+        data.len()
+    );
+
+    // 2. Train a model pipeline and store it *in the database* — it gets
+    //    versioned, serialized and audited like operational data.
+    let pipeline = train::hospital_tree(&data, 6).expect("train model");
+    let version = session
+        .store_model("duration_of_stay", pipeline)
+        .expect("store model");
+    println!("stored model 'duration_of_stay' (version {version})");
+
+    // 3. An analyst runs an inference query: SQL with PREDICT.
+    let sql = "\
+        WITH data AS (\
+          SELECT * FROM patient_info AS pi \
+          JOIN blood_tests AS bt ON pi.id = bt.id \
+          JOIN prenatal_tests AS pt ON bt.id = pt.id)\
+        SELECT d.id, p.length_of_stay \
+        FROM PREDICT(MODEL = 'duration_of_stay', DATA = data AS d) \
+        WITH (length_of_stay FLOAT) AS p \
+        WHERE d.pregnant = 1 AND p.length_of_stay > 6";
+    let result = session.query(sql).expect("run inference query");
+
+    println!(
+        "\n{} pregnant patients predicted to stay > 6 days (of {} total)",
+        result.table.num_rows(),
+        data.len()
+    );
+    for row in 0..result.table.num_rows().min(5) {
+        let values = result.table.batch().row(row).expect("row");
+        println!("  id={} predicted_stay={}", values[0], values[1]);
+    }
+    println!(
+        "\nquery time: {:?} (execution {:?})",
+        result.total_time, result.exec_time
+    );
+    println!("optimizer: {}", result.report.summary());
+
+    // 4. EXPLAIN shows the unified IR before/after cross optimization.
+    let explain = session.explain(sql).expect("explain");
+    println!("\n{explain}");
+
+    // 5. The audit log recorded the model mutation.
+    println!("audit log: {:?}", session.store().audit_log());
+}

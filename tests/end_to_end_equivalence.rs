@@ -1,0 +1,186 @@
+//! End-to-end semantic-equivalence suite: for randomized queries and
+//! models, the fully optimized plan (any driver, any engine placement)
+//! must return exactly the rows the unoptimized plan returns.
+//!
+//! This is the system-level counterpart of the per-rule proofs in
+//! `tests/properties.rs`: it composes SQL binding, the whole rule
+//! pipeline, NN translation and the execution engines.
+
+use proptest::prelude::*;
+use raven_core::{RavenSession, SessionConfig};
+use raven_datagen::{hospital, train};
+use raven_opt::{OptimizerMode, RuleSet};
+
+fn session_with_model(rules: RuleSet, mode: OptimizerMode) -> RavenSession {
+    let mut config = SessionConfig::for_tests();
+    config.rules = rules;
+    config.optimizer_mode = mode;
+    let session = RavenSession::with_config(config);
+    let data = hospital::generate(600, 7);
+    data.register(session.catalog()).unwrap();
+    let model = train::hospital_tree(&data, 6).unwrap();
+    session.store_model("m", model).unwrap();
+    session
+}
+
+/// Collect (id, score·1e3) pairs sorted, for order-insensitive comparison.
+/// Scores quantize to 1e-3 because the NN-translated engine computes in
+/// f32 while classical scoring uses f64 — identical decisions, last-ulp
+/// differences.
+fn rows_of(table: &raven_data::Table) -> Vec<(i64, i64)> {
+    let ids = table.column_by_name("d.id").unwrap().i64_values().unwrap();
+    let scores = table.column_by_name("p.s").unwrap().f64_values().unwrap();
+    let mut v: Vec<(i64, i64)> = ids
+        .iter()
+        .zip(scores)
+        .map(|(&i, &s)| (i, (s * 1e3).round() as i64))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Random-but-valid WHERE clauses over the hospital schema.
+fn predicate_strategy() -> impl Strategy<Value = String> {
+    let numeric = prop_oneof![
+        (20.0..80.0f64).prop_map(|v| format!("d.age > {v:.1}")),
+        (20.0..80.0f64).prop_map(|v| format!("d.age <= {v:.1}")),
+        (100.0..180.0f64).prop_map(|v| format!("d.bp > {v:.1}")),
+        Just("d.pregnant = 1".to_string()),
+        Just("d.pregnant = 0".to_string()),
+        Just("d.gender = 'F'".to_string()),
+        (0.5..7.0f64).prop_map(|v| format!("p.s > {v:.2}")),
+        (0.5..7.0f64).prop_map(|v| format!("p.s <= {v:.2}")),
+    ];
+    proptest::collection::vec(numeric, 1..4).prop_map(|cs| cs.join(" AND "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn optimized_queries_match_unoptimized(where_clause in predicate_strategy()) {
+        let sql = format!(
+            "WITH data AS (\
+               SELECT * FROM patient_info AS pi \
+               JOIN blood_tests AS bt ON pi.id = bt.id \
+               JOIN prenatal_tests AS pt ON bt.id = pt.id)\
+             SELECT d.id, p.s FROM PREDICT(MODEL = 'm', DATA = data AS d) \
+             WITH (s FLOAT) AS p WHERE {where_clause}"
+        );
+        let baseline = {
+            let session = session_with_model(RuleSet::none(), OptimizerMode::Heuristic);
+            rows_of(&session.query(&sql).unwrap().table)
+        };
+        for (label, rules, mode) in [
+            ("heuristic/full", RuleSet::all(), OptimizerMode::Heuristic),
+            ("cost-based/full", RuleSet::all(), OptimizerMode::CostBased),
+            (
+                "heuristic/tensor-only",
+                RuleSet { model_inlining: false, ..RuleSet::all() },
+                OptimizerMode::Heuristic,
+            ),
+        ] {
+            let session = session_with_model(rules, mode);
+            let got = rows_of(&session.query(&sql).unwrap().table);
+            prop_assert_eq!(
+                &got, &baseline,
+                "{} diverged for WHERE {}", label, where_clause
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_result_queries_are_safe() {
+    let session = session_with_model(RuleSet::all(), OptimizerMode::Heuristic);
+    // Contradictory predicate → empty result through every operator.
+    let sql = "WITH data AS (\
+         SELECT * FROM patient_info AS pi \
+         JOIN blood_tests AS bt ON pi.id = bt.id \
+         JOIN prenatal_tests AS pt ON bt.id = pt.id)\
+       SELECT d.id, p.s FROM PREDICT(MODEL = 'm', DATA = data AS d) \
+       WITH (s FLOAT) AS p WHERE d.age > 200 AND p.s > 100";
+    let result = session.query(sql).unwrap();
+    assert_eq!(result.table.num_rows(), 0);
+}
+
+#[test]
+fn aggregation_over_predictions() {
+    let session = session_with_model(RuleSet::all(), OptimizerMode::Heuristic);
+    let sql = "WITH scored AS (\
+         SELECT d.pregnant, p.s FROM PREDICT(MODEL = 'm', DATA = \
+           (SELECT * FROM patient_info AS pi \
+            JOIN blood_tests AS bt ON pi.id = bt.id \
+            JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d) \
+         WITH (s FLOAT) AS p)\
+       SELECT pregnant, COUNT(*) AS n, AVG(s) AS mean_stay \
+       FROM scored GROUP BY pregnant ORDER BY pregnant ASC";
+    let result = session.query(sql).unwrap();
+    assert_eq!(result.table.num_rows(), 2);
+    let means = result
+        .table
+        .column_by_name("mean_stay")
+        .unwrap()
+        .f64_values()
+        .unwrap();
+    // Pregnant patients stay longer on average in the generator.
+    assert!(means[1] > means[0], "pregnant mean {} !> {}", means[1], means[0]);
+}
+
+#[test]
+fn union_of_inference_branches() {
+    let session = session_with_model(RuleSet::all(), OptimizerMode::Heuristic);
+    let branch = |pred: &str| {
+        format!(
+            "SELECT d.id, p.s FROM PREDICT(MODEL = 'm', DATA = \
+              (SELECT * FROM patient_info AS pi \
+               JOIN blood_tests AS bt ON pi.id = bt.id \
+               JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d) \
+             WITH (s FLOAT) AS p WHERE {pred}"
+        )
+    };
+    let sql = format!("{} UNION ALL {}", branch("d.age > 70"), branch("d.age <= 70"));
+    let result = session.query(&sql).unwrap();
+    assert_eq!(result.table.num_rows(), 600, "partition must cover all rows");
+}
+
+#[test]
+fn limit_and_sort_over_predictions() {
+    let session = session_with_model(RuleSet::all(), OptimizerMode::Heuristic);
+    let sql = "SELECT d.id, p.s FROM PREDICT(MODEL = 'm', DATA = \
+          (SELECT * FROM patient_info AS pi \
+           JOIN blood_tests AS bt ON pi.id = bt.id \
+           JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d) \
+         WITH (s FLOAT) AS p ORDER BY s DESC LIMIT 5";
+    let result = session.query(sql).unwrap();
+    assert_eq!(result.table.num_rows(), 5);
+    let scores = result.table.column_by_name("p.s").unwrap().f64_values().unwrap();
+    assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+}
+
+#[test]
+fn model_version_update_changes_predictions_transactionally() {
+    let session = session_with_model(RuleSet::all(), OptimizerMode::Heuristic);
+    let sql = "SELECT d.id, p.s FROM PREDICT(MODEL = 'm', DATA = \
+          (SELECT * FROM patient_info AS pi \
+           JOIN blood_tests AS bt ON pi.id = bt.id \
+           JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d) \
+         WITH (s FLOAT) AS p LIMIT 10";
+    let v1 = session.query(sql).unwrap();
+    // Store a constant model under the same name (version 2).
+    use raven_ml::featurize::Transform;
+    use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Pipeline};
+    let constant = Pipeline::new(
+        vec![FeatureStep::new("age", Transform::Identity)],
+        Estimator::Linear(LinearModel::new(vec![0.0], 42.0, LinearKind::Regression).unwrap()),
+    )
+    .unwrap();
+    session.store_model("m", constant).unwrap();
+    let v2 = session.query(sql).unwrap();
+    let scores = v2.table.column_by_name("p.s").unwrap().f64_values().unwrap();
+    assert!(scores.iter().all(|&s| s == 42.0));
+    // Old version still retrievable from the store.
+    assert_eq!(session.store().latest_version("m"), 2);
+    assert!(session.store().get_version("m", 1).is_ok());
+    let _ = v1;
+}

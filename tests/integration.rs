@@ -1,0 +1,306 @@
+//! Cross-crate integration tests: the full Raven pipeline from SQL text
+//! (or Python script) through the unified IR, cross optimizer, and every
+//! execution engine, checked for end-to-end semantic equivalence.
+
+use raven_core::{RavenSession, SessionConfig};
+use raven_datagen::{flights, hospital, train};
+use raven_ir::{Device, Plan};
+use raven_opt::RuleSet;
+
+fn hospital_session(n: usize) -> (RavenSession, raven_datagen::HospitalData) {
+    let session = RavenSession::with_config(SessionConfig::for_tests());
+    let data = hospital::generate(n, 42);
+    data.register(session.catalog()).unwrap();
+    (session, data)
+}
+
+const HOSPITAL_SQL: &str = "\
+    WITH data AS (\
+      SELECT * FROM patient_info AS pi \
+      JOIN blood_tests AS bt ON pi.id = bt.id \
+      JOIN prenatal_tests AS pt ON bt.id = pt.id)\
+    SELECT d.id, p.length_of_stay \
+    FROM PREDICT(MODEL = 'duration_of_stay', DATA = data AS d) \
+    WITH (length_of_stay FLOAT) AS p \
+    WHERE d.pregnant = 1 AND p.length_of_stay > 6";
+
+/// Sorted (id, stay) pairs for order-insensitive comparison.
+fn result_set(table: &raven_data::Table) -> Vec<(i64, i64)> {
+    let ids = table.column_by_name("d.id").unwrap().i64_values().unwrap();
+    let stays = table
+        .column_by_name("p.length_of_stay")
+        .unwrap()
+        .f64_values()
+        .unwrap();
+    let mut out: Vec<(i64, i64)> = ids
+        .iter()
+        .zip(stays)
+        .map(|(&i, &s)| (i, (s * 1e6) as i64))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn every_rule_configuration_gives_identical_results() {
+    let (mut session, _) = hospital_session(2_000);
+    let model = train::hospital_tree(
+        &hospital::generate(2_000, 42),
+        6,
+    )
+    .unwrap();
+    session.store_model("duration_of_stay", model).unwrap();
+
+    let baseline = {
+        session.set_rules(RuleSet::none());
+        result_set(&session.query(HOSPITAL_SQL).unwrap().table)
+    };
+    assert!(!baseline.is_empty());
+
+    let configs: Vec<(&str, RuleSet)> = vec![
+        ("all", RuleSet::all()),
+        ("relational only", RuleSet::relational_only()),
+        (
+            "no inlining",
+            RuleSet {
+                model_inlining: false,
+                ..RuleSet::all()
+            },
+        ),
+        (
+            "no translation",
+            RuleSet {
+                nn_translation: false,
+                ..RuleSet::all()
+            },
+        ),
+        (
+            "pruning only",
+            RuleSet {
+                predicate_model_pruning: true,
+                predicate_pushdown: true,
+                ..RuleSet::none()
+            },
+        ),
+    ];
+    for (label, rules) in configs {
+        session.set_rules(rules);
+        let got = result_set(&session.query(HOSPITAL_SQL).unwrap().table);
+        assert_eq!(got, baseline, "rule set '{label}' changed query results");
+    }
+}
+
+#[test]
+fn forest_and_mlp_models_run_on_tensor_runtime() {
+    let (session, data) = hospital_session(800);
+    let forest = train::hospital_forest(&data, 5, 5).unwrap();
+    let mlp = train::hospital_mlp(&data, vec![8], 10).unwrap();
+    session.store_model("rf", forest.clone()).unwrap();
+    session.store_model("mlp", mlp.clone()).unwrap();
+
+    for (model, pipeline) in [("rf", &forest), ("mlp", &mlp)] {
+        let sql = format!(
+            "WITH data AS (\
+               SELECT * FROM patient_info AS pi \
+               JOIN blood_tests AS bt ON pi.id = bt.id \
+               JOIN prenatal_tests AS pt ON bt.id = pt.id)\
+             SELECT d.id, p.score FROM PREDICT(MODEL = '{model}', DATA = data AS d) \
+             WITH (score FLOAT) AS p"
+        );
+        let result = session.query(&sql).unwrap();
+        assert_eq!(result.table.num_rows(), 800);
+        // Cross-check a few predictions against direct pipeline scoring.
+        let reference = pipeline.predict(&data.joined_batch()).unwrap();
+        let ids = result.table.column_by_name("d.id").unwrap().i64_values().unwrap();
+        let scores = result
+            .table
+            .column_by_name("p.score")
+            .unwrap()
+            .f64_values()
+            .unwrap();
+        for k in [0usize, 100, 799] {
+            let id = ids[k] as usize;
+            assert!(
+                (scores[k] - reference[id]).abs() < 1e-3,
+                "{model} row {k}: {} vs {}",
+                scores[k],
+                reference[id]
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_device_produces_identical_predictions() {
+    let (session, data) = hospital_session(500);
+    let model = train::hospital_forest(&data, 4, 5).unwrap();
+    session.store_model("rf", model).unwrap();
+    let sql = "SELECT p.s FROM PREDICT(MODEL = 'rf', DATA = \
+               (SELECT * FROM patient_info AS pi \
+                JOIN blood_tests AS bt ON pi.id = bt.id \
+                JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d) \
+               WITH (s FLOAT) AS p";
+    let cpu = session.query(sql).unwrap();
+
+    let mut config = SessionConfig::for_tests();
+    config.device = Device::Gpu;
+    let gpu_session = RavenSession::with_config(config);
+    data.register(gpu_session.catalog()).unwrap();
+    gpu_session
+        .store_model("rf", train::hospital_forest(&data, 4, 5).unwrap())
+        .unwrap();
+    let gpu = gpu_session.query(sql).unwrap();
+    assert_eq!(
+        cpu.table.column_by_name("p.s").unwrap().f64_values().unwrap(),
+        gpu.table.column_by_name("p.s").unwrap().f64_values().unwrap()
+    );
+}
+
+#[test]
+fn out_of_process_mode_matches_in_process() {
+    use raven_ir::ExecutionMode;
+    let (session, data) = hospital_session(300);
+    let model = train::hospital_tree(&data, 5).unwrap();
+    session.store_model("m", model).unwrap();
+    let plan = session
+        .plan(
+            "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = \
+             (SELECT * FROM patient_info AS pi \
+              JOIN blood_tests AS bt ON pi.id = bt.id \
+              JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d) \
+             WITH (s FLOAT) AS p",
+        )
+        .unwrap();
+    let in_process = session.execute_plan(&plan).unwrap();
+
+    // Flip the Predict mode to OutOfProcess / Container.
+    for mode in [ExecutionMode::OutOfProcess, ExecutionMode::Container] {
+        let external_plan = plan.clone().transform_up(&|node| match node {
+            Plan::Predict {
+                input,
+                model,
+                output,
+                ..
+            } => Plan::Predict {
+                input,
+                model,
+                output,
+                mode,
+            },
+            other => other,
+        });
+        let external = session.execute_plan(&external_plan).unwrap();
+        assert_eq!(
+            in_process.column_by_name("p.s").unwrap(),
+            external.column_by_name("p.s").unwrap(),
+            "{mode:?}"
+        );
+    }
+}
+
+#[test]
+fn flight_workload_full_stack() {
+    let session = RavenSession::with_config(SessionConfig::for_tests());
+    let data = flights::generate(3_000, &flights::FlightParams::default());
+    data.register(session.catalog()).unwrap();
+    let sparse = train::flight_logistic(&data, 0.02, 100).unwrap();
+    session.store_model("delay", sparse).unwrap();
+
+    // Plain aggregation (relational path).
+    let agg = session
+        .query(
+            "SELECT carrier, COUNT(*) AS n FROM flights GROUP BY carrier ORDER BY n DESC",
+        )
+        .unwrap();
+    assert_eq!(agg.table.num_rows(), data.carriers.len());
+
+    // Inference with categorical filter (cross-optimization path).
+    let dest = data.airports[1].clone();
+    let result = session
+        .query(&format!(
+            "SELECT f.id, p.prob FROM PREDICT(MODEL = 'delay', DATA = flights AS f) \
+             WITH (prob FLOAT) AS p WHERE f.dest = '{dest}'"
+        ))
+        .unwrap();
+    // Count matches a plain filter.
+    let plain = session
+        .query(&format!(
+            "SELECT id FROM flights WHERE dest = '{dest}'"
+        ))
+        .unwrap();
+    assert_eq!(result.table.num_rows(), plain.table.num_rows());
+    // Probabilities are valid.
+    let probs = result.table.column_by_name("p.prob").unwrap().f64_values().unwrap();
+    assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+}
+
+#[test]
+fn python_script_to_sql_roundtrip() {
+    let (session, data) = hospital_session(600);
+    let script = r#"
+import pandas as pd
+from sklearn.pipeline import Pipeline
+from sklearn.linear_model import LogisticRegression
+
+pi = pd.read_sql("patient_info")
+bt = pd.read_sql("blood_tests")
+joined = pi.merge(bt, on="id")
+features = joined[["age", "bp"]]
+p = Pipeline([("clf", LogisticRegression(penalty="l1", C=2))])
+scores = p.predict(features)
+"#;
+    let labels: Vec<f64> = data
+        .length_of_stay
+        .iter()
+        .map(|&s| (s > 3.0) as i64 as f64)
+        .collect();
+    session
+        .store_model_from_script("risk", script, &labels)
+        .unwrap();
+    let result = session
+        .query(
+            "SELECT p.r FROM PREDICT(MODEL = 'risk', DATA = \
+             (SELECT * FROM patient_info AS pi JOIN blood_tests AS bt \
+              ON pi.id = bt.id) AS d) WITH (r FLOAT) AS p WHERE p.r > 0.5",
+        )
+        .unwrap();
+    assert!(result.table.num_rows() > 0);
+    assert!(result.table.num_rows() < 600);
+}
+
+#[test]
+fn codegen_roundtrip_executes_identically() {
+    // Optimized plan → SQL → parse+bind → execute: same results.
+    let (session, _) = hospital_session(400);
+    let sql = "SELECT pi.id, pi.age FROM patient_info AS pi WHERE pi.age > 50";
+    let plan = session.plan(sql).unwrap();
+    let (optimized, _) = session.optimize(plan).unwrap();
+    let generated = raven_runtime::codegen::to_sql(&optimized);
+    let reparsed = session.plan(&generated).unwrap();
+    let a = session.execute_plan(&optimized).unwrap();
+    let b = session.execute_plan(&reparsed).unwrap();
+    assert_eq!(a.num_rows(), b.num_rows());
+}
+
+#[test]
+fn session_cache_behaviour_across_queries() {
+    let (session, data) = hospital_session(300);
+    // NN-translated model exercises the tensor session cache.
+    let mut config_rules = RuleSet::all();
+    config_rules.model_inlining = false; // force tensor path
+    let mut session2 = session;
+    session2.set_rules(config_rules);
+    let model = train::hospital_forest(&data, 3, 4).unwrap();
+    session2.store_model("rf", model).unwrap();
+    let sql = "SELECT p.s FROM PREDICT(MODEL = 'rf', DATA = \
+               (SELECT * FROM patient_info AS pi \
+                JOIN blood_tests AS bt ON pi.id = bt.id \
+                JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d) \
+               WITH (s FLOAT) AS p";
+    session2.query(sql).unwrap();
+    let (_, misses1) = session2.session_cache_stats();
+    session2.query(sql).unwrap();
+    let (hits2, misses2) = session2.session_cache_stats();
+    assert_eq!(misses1, misses2, "second query must not rebuild the session");
+    assert!(hits2 >= 1);
+}

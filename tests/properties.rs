@@ -1,0 +1,188 @@
+//! Property-based tests over the system's core invariants (proptest):
+//!
+//! * tree pruning is *safe*: the pruned tree agrees with the original on
+//!   every row satisfying the pruning bounds;
+//! * NN translation is *faithful*: the GEMM-translated graph computes the
+//!   same predictions as the reference estimator;
+//! * pipeline serialization round-trips;
+//! * tensor-graph optimization preserves semantics;
+//! * relational expression folding preserves evaluation.
+
+use proptest::prelude::*;
+use raven_ml::featurize::Transform;
+use raven_ml::translate::{translate_estimator, INPUT_NAME};
+use raven_ml::tree::{DecisionTree, Interval, TreeParams};
+use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Pipeline};
+use raven_tensor::{InferenceSession, SessionOptions, Tensor};
+use std::collections::HashMap;
+
+/// Strategy: a small training set over `n_features` features.
+fn training_data(n_features: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    let rows = 24usize;
+    (
+        proptest::collection::vec(-10.0..10.0f64, rows * n_features),
+        proptest::collection::vec(0.0..5.0f64, rows),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pruned_tree_agrees_on_satisfying_rows(
+        (x, y) in training_data(3),
+        pin in -10.0..10.0f64,
+        probes in proptest::collection::vec(-10.0..10.0f64, 20),
+    ) {
+        let tree = DecisionTree::fit(&x, 3, &y, &TreeParams {
+            max_depth: 4,
+            min_samples_leaf: 2,
+            allowed_features: None,
+        }).unwrap();
+        // Pin feature 0 to a constant; prune.
+        let bounds = vec![Interval::point(pin), Interval::all(), Interval::all()];
+        let pruned = tree.prune(&bounds).unwrap();
+        prop_assert!(pruned.n_nodes() <= tree.n_nodes());
+        // Agreement on all satisfying rows.
+        for pair in probes.chunks(2) {
+            if pair.len() < 2 { continue; }
+            let row = [pin, pair[0], pair[1]];
+            prop_assert_eq!(pruned.predict_row(&row), tree.predict_row(&row));
+        }
+    }
+
+    #[test]
+    fn tree_translation_is_faithful(
+        (x, y) in training_data(2),
+        probes in proptest::collection::vec(-10.0..10.0f64, 24),
+    ) {
+        let tree = DecisionTree::fit(&x, 2, &y, &TreeParams {
+            max_depth: 4,
+            min_samples_leaf: 2,
+            allowed_features: None,
+        }).unwrap();
+        let graph = translate_estimator(&Estimator::Tree(tree.clone())).unwrap();
+        let session = InferenceSession::new(graph, SessionOptions::default()).unwrap();
+        let rows = probes.len() / 2;
+        let reference = tree.predict_batch(&probes[..rows * 2], rows).unwrap();
+        let input = Tensor::matrix(
+            rows, 2, probes[..rows * 2].iter().map(|&v| v as f32).collect()
+        ).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(INPUT_NAME.to_string(), input);
+        let (outs, _) = session.run(&inputs).unwrap();
+        for (r, &expected) in reference.iter().enumerate() {
+            let got = outs[0].data()[r] as f64;
+            prop_assert!((got - expected).abs() < 1e-3,
+                "row {}: translated {} vs reference {}", r, got, expected);
+        }
+    }
+
+    #[test]
+    fn linear_translation_is_faithful(
+        weights in proptest::collection::vec(-3.0..3.0f64, 1..6),
+        bias in -2.0..2.0f64,
+        probe in proptest::collection::vec(-5.0..5.0f64, 6),
+    ) {
+        let k = weights.len();
+        let model = LinearModel::new(weights, bias, LinearKind::Logistic).unwrap();
+        let graph = translate_estimator(&Estimator::Linear(model.clone())).unwrap();
+        let session = InferenceSession::new(graph, SessionOptions::default()).unwrap();
+        let row: Vec<f64> = probe.into_iter().take(k).chain(std::iter::repeat(0.0)).take(k).collect();
+        let reference = model.predict_row(&row);
+        let input = Tensor::matrix(1, k, row.iter().map(|&v| v as f32).collect()).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(INPUT_NAME.to_string(), input);
+        let (outs, _) = session.run(&inputs).unwrap();
+        prop_assert!(((outs[0].data()[0] as f64) - reference).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pipeline_serialization_roundtrips(
+        weights in proptest::collection::vec(-5.0..5.0f64, 3),
+        bias in -1.0..1.0f64,
+        mean in -10.0..10.0f64,
+        std in 0.1..10.0f64,
+    ) {
+        use raven_ml::featurize::StandardScaler;
+        let pipeline = Pipeline::new(
+            vec![
+                FeatureStep::new("a", Transform::Identity),
+                FeatureStep::new("b", Transform::Scale(StandardScaler { mean, std })),
+                FeatureStep::new("c", Transform::Identity),
+            ],
+            Estimator::Linear(LinearModel::new(weights, bias, LinearKind::Regression).unwrap()),
+        ).unwrap();
+        let bytes = raven_ml::serialize::to_bytes(&pipeline);
+        let back = raven_ml::serialize::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(pipeline, back);
+    }
+
+    #[test]
+    fn graph_optimization_preserves_outputs(
+        w in proptest::collection::vec(-2.0..2.0f32, 4),
+        b in proptest::collection::vec(-1.0..1.0f32, 2),
+        x in proptest::collection::vec(-3.0..3.0f32, 6),
+    ) {
+        use raven_tensor::{GraphBuilder, Op};
+        let mut builder = GraphBuilder::new();
+        let input = builder.input("x");
+        let wt = builder.initializer("w", Tensor::matrix(2, 2, w).unwrap());
+        let bt = builder.initializer("b", Tensor::vector(b));
+        let mm = builder.node(Op::MatMul, &[&input, &wt]);
+        let add = builder.node(Op::Add, &[&mm, &bt]);
+        let out = builder.node(Op::Sigmoid, &[&add]);
+        builder.output(out);
+        let graph = builder.build().unwrap();
+
+        let input_tensor = Tensor::matrix(3, 2, x).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), input_tensor);
+
+        let (raw_out, _) = graph.run(&inputs).unwrap();
+        let optimized = InferenceSession::new(graph, SessionOptions::default()).unwrap();
+        let (opt_out, _) = optimized.run(&inputs).unwrap();
+        prop_assert!(raw_out[0].approx_eq(&opt_out[0], 1e-5));
+    }
+
+    #[test]
+    fn expr_folding_preserves_evaluation(
+        a in -100i64..100,
+        b in -100i64..100,
+        vals in proptest::collection::vec(-100.0..100.0f64, 8),
+    ) {
+        use raven_data::{Column, DataType, RecordBatch, Schema};
+        use raven_ir::{BinOp, Expr};
+        use raven_relational::evaluate;
+        let schema = Schema::from_pairs(&[("x", DataType::Float64)]).into_shared();
+        let batch = RecordBatch::try_new(schema, vec![Column::Float64(vals)]).unwrap();
+        // (x + (a + b)) > (a * 1) composed with constants on both sides.
+        let expr = Expr::binary(
+            BinOp::Gt,
+            Expr::binary(
+                BinOp::Plus,
+                Expr::col("x"),
+                Expr::binary(BinOp::Plus, Expr::lit(a), Expr::lit(b)),
+            ),
+            Expr::binary(BinOp::Multiply, Expr::lit(a), Expr::lit(1i64)),
+        );
+        let before = evaluate(&expr, &batch).unwrap();
+        let after = evaluate(&expr.fold_constants(), &batch).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn interval_intersection_is_sound(
+        lo1 in -50.0..50.0f64, hi1 in -50.0..50.0f64,
+        lo2 in -50.0..50.0f64, hi2 in -50.0..50.0f64,
+        probe in -60.0..60.0f64,
+    ) {
+        let a = Interval { lo: lo1.min(hi1), hi: lo1.max(hi1) };
+        let b = Interval { lo: lo2.min(hi2), hi: lo2.max(hi2) };
+        let c = a.intersect(b);
+        let in_a = probe >= a.lo && probe <= a.hi;
+        let in_b = probe >= b.lo && probe <= b.hi;
+        let in_c = probe >= c.lo && probe <= c.hi;
+        prop_assert_eq!(in_a && in_b, in_c);
+    }
+}
