@@ -17,8 +17,7 @@ use raven_opt::rules::clustering::{specialize_per_cluster, ClusteredModel};
 use raven_opt::rules::model_utils::shrink_pipeline;
 use raven_opt::RuleSet;
 use raven_tensor::{
-    serialize as graph_serialize, Device as TensorDevice, InferenceSession, SessionOptions,
-    Tensor,
+    serialize as graph_serialize, Device as TensorDevice, InferenceSession, SessionOptions, Tensor,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -89,7 +88,14 @@ fn fig2b_model_clustering() {
     let baseline = time_mean(3, || model.predict(batch).expect("predict"));
     println!("flight delay ({n} tuples): baseline {} ms", ms(baseline));
     for k in [1usize, 2, 4, 8, 16, 32] {
-        let clustered = specialize_per_cluster(&model, &sample, k, 42, &["origin".to_string(), "dest".to_string()]).expect("cluster");
+        let clustered = specialize_per_cluster(
+            &model,
+            &sample,
+            k,
+            42,
+            &["origin".to_string(), "dest".to_string()],
+        )
+        .expect("cluster");
         let t = time_mean(3, || score_clustered(&model, &clustered, batch));
         println!(
             "  k={k:<3} inference {:>9} ms ({:+.1}% vs baseline)  compile {:>8} ms",
@@ -104,7 +110,14 @@ fn fig2b_model_clustering() {
     let hbatch = hdata.joined_batch();
     let hsample = hbatch.slice(0, 10_000).expect("sample");
     let hbase = time_mean(3, || hmodel.predict(&hbatch).expect("predict"));
-    let hcluster = specialize_per_cluster(&hmodel, &hsample, 8, 42, &["gender".to_string(), "pregnant".to_string()]).expect("cluster");
+    let hcluster = specialize_per_cluster(
+        &hmodel,
+        &hsample,
+        8,
+        42,
+        &["gender".to_string(), "pregnant".to_string()],
+    )
+    .expect("cluster");
     let ht = time_mean(3, || score_clustered(&hmodel, &hcluster, &hbatch));
     println!(
         "hospital (100K tuples): baseline {} ms, clustered k=8 {} ms \
@@ -122,11 +135,13 @@ fn score_clustered(
     batch: &raven_data::RecordBatch,
 ) -> Vec<f64> {
     let rows = batch.num_rows();
-    let routing = raven_opt::rules::clustering::routing_matrix(
-        original, batch, &clustered.route_columns,
-    )
-    .expect("routing");
-    let assignment = clustered.kmeans.assign_batch(&routing, rows).expect("assign");
+    let routing =
+        raven_opt::rules::clustering::routing_matrix(original, batch, &clustered.route_columns)
+            .expect("routing");
+    let assignment = clustered
+        .kmeans
+        .assign_batch(&routing, rows)
+        .expect("assign");
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); clustered.models.len()];
     for (r, &c) in assignment.iter().enumerate() {
         groups[c].push(r);
@@ -169,12 +184,17 @@ fn fig2c_model_inlining() {
     // External baseline: no cross optimizations, out-of-process scoring
     // with the paper's ~0.5 s runtime-startup cost.
     let external = {
-        let mut config = SessionConfig::default();
-        config.rules = RuleSet::none();
+        let config = SessionConfig {
+            rules: RuleSet::none(),
+            ..Default::default()
+        };
         let session = RavenSession::with_config(config);
         data.register(session.catalog()).expect("register");
         session.store_model("m", model.clone()).expect("store");
-        let plan = to_mode(session.plan(base_sql).expect("plan"), ExecutionMode::OutOfProcess);
+        let plan = to_mode(
+            session.plan(base_sql).expect("plan"),
+            ExecutionMode::OutOfProcess,
+        );
         time_mean_cold(2, || session.execute_plan(&plan).expect("exec"))
     };
 
@@ -188,8 +208,7 @@ fn fig2c_model_inlining() {
     let (pruned_plan, _) = session
         .optimize(session.plan(filtered_sql).expect("plan"))
         .expect("optimize");
-    let inlined_pruned =
-        time_mean(3, || session.execute_plan(&pruned_plan).expect("exec"));
+    let inlined_pruned = time_mean(3, || session.execute_plan(&pruned_plan).expect("exec"));
 
     println!("external scoring (0.5s startup): {:>9} ms", ms(external));
     println!(
@@ -354,11 +373,7 @@ fn fig3_raven_vs_ort() {
 }
 
 /// Warm in-database execution over a wide (pre-joined) table.
-fn raven_query_time(
-    model: &Pipeline,
-    data: &hospital::HospitalData,
-    runs: usize,
-) -> Duration {
+fn raven_query_time(model: &Pipeline, data: &hospital::HospitalData, runs: usize) -> Duration {
     let session = RavenSession::with_config(SessionConfig::default());
     session
         .register_table("wide", raven_data::Table::from_batch(data.joined_batch()))
@@ -406,7 +421,10 @@ out = model.predict(features)
     let t = time_mean(100, || {
         raven_pyanalysis::analyze(script, session.catalog()).expect("analyze")
     });
-    println!("static analysis: {} ms per script (paper: < 10 ms)\n", ms(t));
+    println!(
+        "static analysis: {} ms per script (paper: < 10 ms)\n",
+        ms(t)
+    );
 }
 
 /// Paper §4.1 running example: predicate-based pruning improves tree
@@ -427,10 +445,7 @@ fn text_predicate_pruning() {
     let pregnant_batch = batch.filter(&mask).expect("filter");
 
     let bounds = model
-        .feature_bounds(&[(
-            "pregnant".to_string(),
-            raven_ml::tree::Interval::point(1.0),
-        )])
+        .feature_bounds(&[("pregnant".to_string(), raven_ml::tree::Interval::point(1.0))])
         .expect("bounds");
     let Estimator::Tree(tree) = model.estimator() else {
         unreachable!()
@@ -501,8 +516,7 @@ fn text_categorical_pruning() {
 /// over per-tuple scoring.
 fn text_batching() {
     println!("--- §5(v): batch inference vs per-tuple scoring ---");
-    let model =
-        train::hospital_mlp(&hospital::generate(5_000, 42), vec![16], 15).expect("mlp");
+    let model = train::hospital_mlp(&hospital::generate(5_000, 42), vec![16], 15).expect("mlp");
     let graph = translate_pipeline(&model).expect("translate");
     let data = hospital::generate(50_000, 42);
     let batch = data.joined_batch();

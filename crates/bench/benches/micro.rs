@@ -31,8 +31,7 @@ fn bench_projection_pushdown(c: &mut Criterion) {
     let model = train::flight_logistic(&data, 0.02, 150).unwrap();
     c.bench_function("rule/shrink_pipeline", |b| {
         b.iter(|| {
-            raven_opt::rules::model_utils::shrink_pipeline(std::hint::black_box(&model))
-                .unwrap()
+            raven_opt::rules::model_utils::shrink_pipeline(std::hint::black_box(&model)).unwrap()
         })
     });
 }
@@ -40,7 +39,9 @@ fn bench_projection_pushdown(c: &mut Criterion) {
 /// Static analysis of the running-example script (paper: < 10 ms).
 fn bench_static_analysis(c: &mut Criterion) {
     let session = RavenSession::with_config(SessionConfig::for_tests());
-    hospital::generate(100, 1).register(session.catalog()).unwrap();
+    hospital::generate(100, 1)
+        .register(session.catalog())
+        .unwrap();
     let script = r#"
 import pandas as pd
 from sklearn.pipeline import Pipeline
@@ -54,7 +55,9 @@ model = Pipeline([("s", StandardScaler()), ("c", DecisionTreeClassifier(max_dept
 out = model.predict(features)
 "#;
     c.bench_function("static_analysis/running_example", |b| {
-        b.iter(|| raven_pyanalysis::analyze(std::hint::black_box(script), session.catalog()).unwrap())
+        b.iter(|| {
+            raven_pyanalysis::analyze(std::hint::black_box(script), session.catalog()).unwrap()
+        })
     });
 }
 
@@ -78,7 +81,11 @@ fn bench_planning(c: &mut Criterion) {
     });
     let plan = session.plan(sql).unwrap();
     c.bench_function("planning/cross_optimize", |b| {
-        b.iter(|| session.optimize(std::hint::black_box(plan.clone())).unwrap())
+        b.iter(|| {
+            session
+                .optimize(std::hint::black_box(plan.clone()))
+                .unwrap()
+        })
     });
 }
 
@@ -155,15 +162,15 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/running_example_50k");
     group.sample_size(10);
     for (label, rules) in configs {
-        let mut config = SessionConfig::default();
-        config.rules = rules;
+        let config = SessionConfig {
+            rules,
+            ..Default::default()
+        };
         let session = RavenSession::with_config(config);
         data.register(session.catalog()).unwrap();
         session.store_model("m", model.clone()).unwrap();
         let (plan, _) = session.optimize(session.plan(sql).unwrap()).unwrap();
-        group.bench_function(label, |b| {
-            b.iter(|| session.execute_plan(&plan).unwrap())
-        });
+        group.bench_function(label, |b| b.iter(|| session.execute_plan(&plan).unwrap()));
     }
     group.finish();
 }
@@ -174,9 +181,7 @@ fn bench_relational(c: &mut Criterion) {
     let data = hospital::generate(100_000, 42);
     data.register(session.catalog()).unwrap();
     let join_plan = session
-        .plan(
-            "SELECT * FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id",
-        )
+        .plan("SELECT * FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id")
         .unwrap();
     let filter_plan = session
         .plan("SELECT * FROM patient_info WHERE age > 50 AND pregnant = 1")
@@ -211,11 +216,7 @@ fn bench_cost_model(c: &mut Criterion) {
     let params = raven_opt::cost::CostParams::default();
     c.bench_function("cost_model/estimate", |b| {
         b.iter(|| {
-            raven_opt::cost::estimate(
-                std::hint::black_box(&plan),
-                session.catalog(),
-                &params,
-            )
+            raven_opt::cost::estimate(std::hint::black_box(&plan), session.catalog(), &params)
         })
     });
     let ctx = OptimizerContext::new(session.catalog());

@@ -1,0 +1,176 @@
+//! Serving-layer benchmark: queries/sec through a shared `ServerState`.
+//!
+//! Run with `cargo bench -p raven-bench --bench serving`. Three sections:
+//!
+//! * **plan cache on vs. off** — the amortization the prepared-plan
+//!   cache buys on a repeated inference query (parse → bind → optimize
+//!   skipped on every hit);
+//! * **concurrent clients** — the same workload from 1/4/8 threads over
+//!   one shared server;
+//! * **micro-batch sizes {1, 8, 64}** — point-scoring throughput as the
+//!   coalescing window widens (`max_batch = 1` reproduces per-tuple
+//!   scoring; the paper's §5 observation v is the same lever at the
+//!   tensor-runtime layer).
+//!
+//! Default dataset is 20k rows; set `RAVEN_BENCH_FULL=1` for 200k.
+
+use raven_bench::{full_scale, ms, time_mean};
+use raven_datagen::{hospital, train};
+use raven_server::{BatchConfig, ServerConfig, ServerState};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SQL: &str = "\
+    WITH data AS (\
+      SELECT * FROM patient_info AS pi \
+      JOIN blood_tests AS bt ON pi.id = bt.id \
+      JOIN prenatal_tests AS pt ON bt.id = pt.id)\
+    SELECT d.id, p.length_of_stay \
+    FROM PREDICT(MODEL = 'duration_of_stay', DATA = data AS d) \
+    WITH (length_of_stay FLOAT) AS p \
+    WHERE d.pregnant = 1 AND p.length_of_stay > 6";
+
+fn hospital_server(rows: usize, plan_cache_capacity: usize) -> ServerState {
+    let config = ServerConfig {
+        plan_cache_capacity,
+        ..Default::default()
+    };
+    let server = ServerState::new(config);
+    let data = hospital::generate(rows, 42);
+    data.register(server.catalog()).expect("register");
+    let model = train::hospital_tree(&data, 6).expect("train");
+    server
+        .store_model("duration_of_stay", model)
+        .expect("store");
+    server
+}
+
+fn qps(queries: usize, elapsed: Duration) -> f64 {
+    queries as f64 / elapsed.as_secs_f64()
+}
+
+fn bench_plan_cache(rows: usize) {
+    println!("== plan cache on vs. off ({rows} rows, repeated inference query) ==");
+    let runs = 30;
+    for (label, capacity) in [("cache off", 0usize), ("cache on", 128)] {
+        let server = hospital_server(rows, capacity);
+        let mean = time_mean(runs, || server.execute(SQL).expect("query"));
+        let stats = server.plan_cache_stats();
+        println!(
+            "  {label:<9}  {:>8} ms/query  {:>8.1} q/s  ({} preparations for {} queries)",
+            ms(mean),
+            1.0 / mean.as_secs_f64(),
+            stats.preparations,
+            runs + 1,
+        );
+    }
+}
+
+fn bench_concurrency(rows: usize) {
+    println!("== concurrent clients, shared ServerState (plan cache on) ==");
+    let per_client = 20;
+    for clients in [1usize, 4, 8] {
+        let server = Arc::new(hospital_server(rows, 128));
+        server.execute(SQL).expect("warm-up");
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_client {
+                        std::hint::black_box(server.execute(SQL).expect("query"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client");
+        }
+        let elapsed = start.elapsed();
+        let snap = server.stats();
+        println!(
+            "  {clients} client(s)  {:>8.1} q/s  p50 {} ms  p99 {} ms  (plan cache: {})",
+            qps(clients * per_client, elapsed),
+            ms(snap.latency.p50),
+            ms(snap.latency.p99),
+            snap.plan_cache,
+        );
+    }
+}
+
+fn bench_micro_batching(rows: usize) {
+    println!("== micro-batched point scoring, batch sizes {{1, 8, 64}} ==");
+    let data_rows = rows.min(5_000);
+    let data = hospital::generate(data_rows, 42);
+    // An MLP: per-invocation cost is real (matrix work), so coalescing
+    // point lookups into batched invocations is the lever under test.
+    let model = train::hospital_mlp(&data, vec![32, 16], 5).expect("train");
+    // Raw rows in the pipeline's encoding (categoricals → indices).
+    let joined = data.joined_batch();
+    let columns: Vec<Vec<f64>> = model
+        .steps()
+        .iter()
+        .map(|step| {
+            let col = joined.column_by_name(&step.column).expect("column");
+            step.transform.encode_raw(col).expect("encode")
+        })
+        .collect();
+    // Open-loop-ish load: many more clients than cores, so batches can
+    // actually fill without waiting out the flush window. The sweep
+    // exposes the classic serving tradeoff: coalescing trades queueing
+    // delay (bounded by the flush window) for fewer scorer invocations —
+    // it pays off in proportion to per-invocation overhead, which for
+    // the in-process classical scorer is small and for the paper's
+    // external runtimes (~0.5 s startup) is enormous.
+    let requests = 1024usize;
+    let clients = 64usize;
+    for max_batch in [1usize, 8, 64] {
+        let config = ServerConfig {
+            batch: BatchConfig {
+                max_batch,
+                flush_interval: Duration::from_micros(50),
+            },
+            ..Default::default()
+        };
+        let server = Arc::new(ServerState::new(config));
+        server
+            .store_model("duration_of_stay", model.clone())
+            .expect("store");
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = server.clone();
+                let columns = columns.clone();
+                std::thread::spawn(move || {
+                    for r in 0..requests / clients {
+                        let i = (c * 131 + r * 17) % data_rows;
+                        let row: Vec<f64> = columns.iter().map(|col| col[i]).collect();
+                        std::hint::black_box(
+                            server.score_row("duration_of_stay", row).expect("score"),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client");
+        }
+        let elapsed = start.elapsed();
+        let stats = server.batcher_stats();
+        println!(
+            "  max_batch={max_batch:<3}  {:>9.0} scores/s  \
+             ({} scorer calls for {} requests, mean batch {:.1})",
+            qps(requests, elapsed),
+            stats.batches,
+            stats.requests,
+            stats.mean_batch_size(),
+        );
+    }
+}
+
+fn main() {
+    let rows = if full_scale() { 200_000 } else { 20_000 };
+    bench_plan_cache(rows);
+    bench_concurrency(rows);
+    bench_micro_batching(rows);
+}

@@ -52,7 +52,11 @@ pub fn full_scale() -> bool {
 /// Dataset sizes for a sweep: the paper's log scale, capped by mode.
 pub fn sweep_sizes(max_default: usize) -> Vec<usize> {
     let all = [1_000usize, 10_000, 100_000, 1_000_000, 10_000_000];
-    let cap = if full_scale() { 10_000_000 } else { max_default };
+    let cap = if full_scale() {
+        10_000_000
+    } else {
+        max_default
+    };
     all.into_iter().filter(|&n| n <= cap).collect()
 }
 

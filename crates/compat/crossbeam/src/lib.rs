@@ -1,0 +1,67 @@
+//! Offline stand-in for the slice of the `crossbeam` crate the engine
+//! uses: `crossbeam::thread::scope` with spawn-taking-scope closures.
+//! Backed by `std::thread::scope`; child panics are converted into the
+//! `Err` return that `crossbeam` callers expect (std would instead
+//! propagate the panic out of `scope`).
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Scope handle passed to `scope`'s closure and to every spawned
+    /// thread's closure (crossbeam lets children spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let child = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&child))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing-threads can be spawned;
+    /// all are joined before returning. Returns `Err` if any child (or
+    /// `f` itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1, 2, 3, 4];
+        let mut out = vec![0; 4];
+        super::thread::scope(|scope| {
+            for (slot, &v) in out.iter_mut().zip(&data) {
+                scope.spawn(move |_| *slot = v * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("child died"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Offline stand-in for the slice of the `proptest` crate the test
+//! suites use: the `proptest!` macro, range/vec/tuple/`Just`/`prop_map`
+//! strategies, `prop_oneof!`, and `ProptestConfig::with_cases`.
+//!
+//! Semantics differ from real proptest in two deliberate ways: case
+//! generation is **deterministic** (seeded from the test name, so CI
+//! failures reproduce locally with no state file), and there is **no
+//! shrinking** — a failing case panics with the generated values
+//! visible via the assertion message.
+
+pub mod test_runner {
+    /// Per-test configuration (only `cases` is honored).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    use rand::{Rng, SeedableRng, StdRng};
+
+    /// Deterministic generator seeded from the test name (the sibling
+    /// `rand` shim's SplitMix64 underneath).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            self.inner.gen::<f64>()
+        }
+
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0);
+            self.inner.gen_range(0..n)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of values (no shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_oneof!` combinator: uniform choice among strategies.
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    assert!(span > 0, "empty range");
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let len = self.size.lo + if span > 1 { rng.below(span) } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for _case in 0..config.cases {
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(
+            x in -5.0..5.0f64,
+            (a, b) in (0..10i64, 0..10i64),
+            v in crate::collection::vec(0..100usize, 1..8),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn oneof_and_map(
+            s in prop_oneof![
+                (0.0..1.0f64).prop_map(|v| format!("f{v:.2}")),
+                Just("fixed".to_string()),
+            ],
+        ) {
+            prop_assert!(s.starts_with('f'));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let gen_once = || {
+            let mut rng = crate::test_runner::TestRng::deterministic("t");
+            (0..5)
+                .map(|_| (0.0..1.0f64).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+}

@@ -120,10 +120,15 @@ impl fmt::Display for ExplainOutput {
 
 /// An in-process Raven instance: catalog + model store + optimizer +
 /// execution engines.
+///
+/// All state lives behind `Arc`s, so a session can hand shared ownership
+/// of its catalog, model store, and scorer to concurrent components (the
+/// `raven-server` serving layer) instead of threading `&'a` borrows
+/// through every engine.
 pub struct RavenSession {
-    catalog: Catalog,
-    store: ModelStore,
-    scorer: RavenScorer,
+    catalog: Arc<Catalog>,
+    store: Arc<ModelStore>,
+    scorer: Arc<RavenScorer>,
     config: SessionConfig,
 }
 
@@ -142,9 +147,25 @@ impl RavenSession {
     /// New session with explicit configuration.
     pub fn with_config(config: SessionConfig) -> Self {
         RavenSession {
-            catalog: Catalog::new(),
-            store: ModelStore::new(),
-            scorer: RavenScorer::new(config.scorer.clone()),
+            catalog: Arc::new(Catalog::new()),
+            store: Arc::new(ModelStore::new()),
+            scorer: Arc::new(RavenScorer::new(config.scorer.clone())),
+            config,
+        }
+    }
+
+    /// A session over *existing* shared state — many sessions (or a
+    /// session plus a server) can serve the same catalog and models.
+    pub fn from_shared(
+        catalog: Arc<Catalog>,
+        store: Arc<ModelStore>,
+        scorer: Arc<RavenScorer>,
+        config: SessionConfig,
+    ) -> Self {
+        RavenSession {
+            catalog,
+            store,
+            scorer,
             config,
         }
     }
@@ -154,9 +175,24 @@ impl RavenSession {
         &self.catalog
     }
 
+    /// Shared handle to the catalog.
+    pub fn catalog_shared(&self) -> Arc<Catalog> {
+        self.catalog.clone()
+    }
+
     /// The model store.
     pub fn store(&self) -> &ModelStore {
         &self.store
+    }
+
+    /// Shared handle to the model store.
+    pub fn store_shared(&self) -> Arc<ModelStore> {
+        self.store.clone()
+    }
+
+    /// Shared handle to the scorer (inference-session cache included).
+    pub fn scorer_shared(&self) -> Arc<RavenScorer> {
+        self.scorer.clone()
     }
 
     /// Current configuration.
@@ -190,12 +226,7 @@ impl RavenSession {
     ///
     /// `label_column` supplies training targets; it must exist in the
     /// script's data plan output (or be provided via `labels`).
-    pub fn store_model_from_script(
-        &self,
-        name: &str,
-        script: &str,
-        labels: &[f64],
-    ) -> Result<u32> {
+    pub fn store_model_from_script(&self, name: &str, script: &str, labels: &[f64]) -> Result<u32> {
         let analysis =
             analyze(script, &self.catalog).map_err(|e| SessionError::Python(e.to_string()))?;
         let spec: &PipelineSpec = analysis
@@ -218,7 +249,7 @@ impl RavenSession {
     /// Parse + bind a SQL query into the unified IR (no optimization).
     pub fn plan(&self, sql_text: &str) -> Result<Plan> {
         let query = parse(sql_text).map_err(|e| SessionError::Sql(e.to_string()))?;
-        let mut binder = Binder::new(&self.catalog, &self.store);
+        let mut binder = Binder::new(&self.catalog, self.store.as_ref());
         binder
             .bind_query(&query)
             .map_err(|e| SessionError::Sql(e.to_string()))
@@ -283,7 +314,7 @@ impl RavenSession {
     }
 
     fn execute_plan_raw(&self, plan: &Plan) -> Result<Table> {
-        Executor::new(&self.catalog, &self.scorer, self.config.exec)
+        Executor::new(&self.catalog, self.scorer.as_ref(), self.config.exec)
             .execute(plan)
             .map_err(|e| SessionError::Execution(e.to_string()))
     }
@@ -327,12 +358,24 @@ mod tests {
     fn running_example_executes() {
         let (session, data) = hospital_session();
         let result = session.query(RUNNING_EXAMPLE_SQL).unwrap();
-        assert_eq!(result.table.schema().names(), vec!["d.id", "p.length_of_stay"]);
+        assert_eq!(
+            result.table.schema().names(),
+            vec!["d.id", "p.length_of_stay"]
+        );
         // Every returned row is pregnant with a long predicted stay;
         // cross-check against raw data.
         let batch = data.joined_batch();
-        let pregnant = batch.column_by_name("pregnant").unwrap().i64_values().unwrap();
-        let ids = result.table.column_by_name("d.id").unwrap().i64_values().unwrap();
+        let pregnant = batch
+            .column_by_name("pregnant")
+            .unwrap()
+            .i64_values()
+            .unwrap();
+        let ids = result
+            .table
+            .column_by_name("d.id")
+            .unwrap()
+            .i64_values()
+            .unwrap();
         assert!(!ids.is_empty());
         for &id in ids {
             assert_eq!(pregnant[id as usize], 1);

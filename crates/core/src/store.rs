@@ -223,9 +223,16 @@ mod tests {
         store.store("m", pipeline(1.0));
         assert_eq!(store.store("m", pipeline(2.0)), 2);
         // Latest is v2; v1 still retrievable.
-        assert_eq!(store.get("m").unwrap().predict_raw(&[1.0], 1).unwrap(), vec![2.0]);
         assert_eq!(
-            store.get_version("m", 1).unwrap().predict_raw(&[1.0], 1).unwrap(),
+            store.get("m").unwrap().predict_raw(&[1.0], 1).unwrap(),
+            vec![2.0]
+        );
+        assert_eq!(
+            store
+                .get_version("m", 1)
+                .unwrap()
+                .predict_raw(&[1.0], 1)
+                .unwrap(),
             vec![1.0]
         );
         assert!(store.get_version("m", 3).is_err());

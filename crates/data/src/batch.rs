@@ -167,15 +167,14 @@ impl RecordBatch {
 
     /// Vertically concatenate batches sharing a schema.
     pub fn concat(batches: &[RecordBatch]) -> Result<RecordBatch> {
-        let first = batches.first().ok_or_else(|| {
-            DataError::Internal("cannot concat zero batches".into())
-        })?;
+        let first = batches
+            .first()
+            .ok_or_else(|| DataError::Internal("cannot concat zero batches".into()))?;
         if batches.len() == 1 {
             return Ok(first.clone());
         }
         let schema = first.schema.clone();
-        let mut columns: Vec<Column> =
-            first.columns.iter().map(|c| c.as_ref().clone()).collect();
+        let mut columns: Vec<Column> = first.columns.iter().map(|c| c.as_ref().clone()).collect();
         for batch in &batches[1..] {
             if batch.schema.fields() != schema.fields() {
                 return Err(DataError::SchemaMismatch(
@@ -196,8 +195,7 @@ impl RecordBatch {
             .iter()
             .map(|f| self.column_by_name(f))
             .collect::<Result<Vec<_>>>()?;
-        let per_col: Vec<Vec<f64>> =
-            cols.iter().map(|c| c.to_f64_vec()).collect::<Result<_>>()?;
+        let per_col: Vec<Vec<f64>> = cols.iter().map(|c| c.to_f64_vec()).collect::<Result<_>>()?;
         let n = self.rows;
         let k = per_col.len();
         let mut out = vec![0.0f64; n * k];
@@ -238,9 +236,7 @@ mod tests {
         // Wrong column count.
         assert!(RecordBatch::try_new(schema.clone(), vec![]).is_err());
         // Wrong type.
-        assert!(
-            RecordBatch::try_new(schema.clone(), vec![Column::from(vec![1.0])]).is_err()
-        );
+        assert!(RecordBatch::try_new(schema.clone(), vec![Column::from(vec![1.0])]).is_err());
         // OK.
         let b = RecordBatch::try_new(schema, vec![Column::from(vec![1i64])]).unwrap();
         assert_eq!(b.num_rows(), 1);
@@ -249,8 +245,7 @@ mod tests {
     #[test]
     fn length_mismatch_rejected() {
         let schema =
-            Schema::from_pairs(&[("a", DataType::Int64), ("b", DataType::Int64)])
-                .into_shared();
+            Schema::from_pairs(&[("a", DataType::Int64), ("b", DataType::Int64)]).into_shared();
         let err = RecordBatch::try_new(
             schema,
             vec![Column::from(vec![1i64, 2]), Column::from(vec![1i64])],

@@ -118,10 +118,7 @@ mod tests {
         assert!(cat.contains("a"));
         assert_eq!(cat.table("a").unwrap().num_rows(), 2);
         assert_eq!(cat.stats("a").unwrap().row_count, 2);
-        assert!(matches!(
-            cat.table("b"),
-            Err(DataError::TableNotFound(_))
-        ));
+        assert!(matches!(cat.table("b"), Err(DataError::TableNotFound(_))));
     }
 
     #[test]

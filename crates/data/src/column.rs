@@ -186,10 +186,7 @@ impl Column {
     pub fn take(&self, indices: &[usize]) -> Result<Column> {
         let len = self.len();
         if let Some(&bad) = indices.iter().find(|&&i| i >= len) {
-            return Err(DataError::OutOfBounds {
-                index: bad,
-                len,
-            });
+            return Err(DataError::OutOfBounds { index: bad, len });
         }
         fn gather<T: Clone>(vals: &[T], indices: &[usize]) -> Vec<T> {
             indices.iter().map(|&i| vals[i].clone()).collect()

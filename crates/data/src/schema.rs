@@ -46,10 +46,7 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
         Schema {
-            fields: pairs
-                .iter()
-                .map(|(n, t)| Field::new(*n, *t))
-                .collect(),
+            fields: pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
         }
     }
 

@@ -114,9 +114,7 @@ impl ColumnStats {
         match &self.distinct {
             Some(values) if values.len() == 1 => Some(values[0].clone()),
             _ => match (self.min, self.max) {
-                (Some(lo), Some(hi)) if lo == hi && self.count > 0 => {
-                    Some(Value::Float64(lo))
-                }
+                (Some(lo), Some(hi)) if lo == hi && self.count > 0 => Some(Value::Float64(lo)),
                 _ => None,
             },
         }
@@ -163,7 +161,6 @@ mod tests {
     use super::*;
     use crate::schema::Schema;
     use crate::types::DataType;
-    
 
     fn table() -> Table {
         let schema = Schema::from_pairs(&[

@@ -132,11 +132,8 @@ mod tests {
 
     #[test]
     fn from_rows_roundtrip() {
-        let schema = Schema::from_pairs(&[
-            ("name", DataType::Utf8),
-            ("age", DataType::Int64),
-        ])
-        .into_shared();
+        let schema =
+            Schema::from_pairs(&[("name", DataType::Utf8), ("age", DataType::Int64)]).into_shared();
         let t = Table::from_rows(
             schema,
             &[

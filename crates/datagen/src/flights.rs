@@ -1,9 +1,9 @@
 //! The flight-delay workload (the paper's second dataset, standing in for
 //! the Kaggle `usdot/flight-delays` data).
 
-use raven_data::{Catalog, Column, DataType, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use raven_data::{Catalog, Column, DataType, Table};
 
 /// Generation knobs.
 #[derive(Debug, Clone)]
@@ -38,7 +38,12 @@ pub struct FlightData {
 
 /// Feature columns used by flight models, in canonical order.
 pub const FEATURES: [&str; 6] = [
-    "origin", "dest", "carrier", "distance", "dep_hour", "day_of_week",
+    "origin",
+    "dest",
+    "carrier",
+    "distance",
+    "dep_hour",
+    "day_of_week",
 ];
 
 /// Generate `n` flights.
@@ -54,9 +59,7 @@ pub fn generate(n: usize, params: &FlightParams) -> FlightData {
             )
         })
         .collect();
-    let carriers: Vec<String> = (0..params.n_carriers)
-        .map(|i| format!("C{i}"))
-        .collect();
+    let carriers: Vec<String> = (0..params.n_carriers).map(|i| format!("C{i}")).collect();
     // Hidden per-airport / per-carrier delay propensities.
     let airport_bias: Vec<f64> = (0..params.n_airports)
         .map(|_| rng.gen_range(-1.0..1.0f64))
@@ -179,10 +182,23 @@ mod tests {
         assert_eq!(d.carriers.len(), 3);
         assert_eq!(
             d.flights.schema().names(),
-            vec!["id", "origin", "dest", "carrier", "distance", "dep_hour", "day_of_week"]
+            vec![
+                "id",
+                "origin",
+                "dest",
+                "carrier",
+                "distance",
+                "dep_hour",
+                "day_of_week"
+            ]
         );
         // All values drawn from the code lists.
-        let dests = d.flights.column_by_name("dest").unwrap().utf8_values().unwrap();
+        let dests = d
+            .flights
+            .column_by_name("dest")
+            .unwrap()
+            .utf8_values()
+            .unwrap();
         assert!(dests.iter().all(|v| d.airports.contains(v)));
         // Airport codes are unique.
         let mut codes = d.airports.clone();
@@ -193,8 +209,18 @@ mod tests {
     #[test]
     fn origin_differs_from_dest() {
         let d = generate(300, &FlightParams::default());
-        let o = d.flights.column_by_name("origin").unwrap().utf8_values().unwrap();
-        let t = d.flights.column_by_name("dest").unwrap().utf8_values().unwrap();
+        let o = d
+            .flights
+            .column_by_name("origin")
+            .unwrap()
+            .utf8_values()
+            .unwrap();
+        let t = d
+            .flights
+            .column_by_name("dest")
+            .unwrap()
+            .utf8_values()
+            .unwrap();
         assert!(o.iter().zip(t).all(|(a, b)| a != b));
     }
 
@@ -210,7 +236,12 @@ mod tests {
         // Some airport should have a noticeably different delay rate than
         // the average — that's the signal clustering exploits.
         let d = generate(10_000, &FlightParams::default());
-        let dests = d.flights.column_by_name("dest").unwrap().utf8_values().unwrap();
+        let dests = d
+            .flights
+            .column_by_name("dest")
+            .unwrap()
+            .utf8_values()
+            .unwrap();
         let global = d.delayed.iter().sum::<f64>() / d.len() as f64;
         let mut max_gap: f64 = 0.0;
         for airport in &d.airports {

@@ -1,8 +1,8 @@
 //! The hospital length-of-stay workload (the paper's running example).
 
-use raven_data::{Catalog, Column, DataType, RecordBatch, Schema, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use raven_data::{Catalog, Column, DataType, RecordBatch, Schema, Table};
 use std::sync::Arc;
 
 /// The three tables of the running example plus training labels.
@@ -42,7 +42,11 @@ pub fn generate(n: usize, seed: u64) -> HospitalData {
         let female = rng.gen_bool(0.5);
         let p = female && a < 45.0 && rng.gen_bool(0.4);
         let blood_pressure = rng.gen_range(90.0..190.0f64)
-            + if a > 60.0 { rng.gen_range(0.0..15.0) } else { 0.0 };
+            + if a > 60.0 {
+                rng.gen_range(0.0..15.0)
+            } else {
+                0.0
+            };
         let g = rng.gen_range(70.0..200.0f64);
         let w = rng.gen_range(3.5..12.0f64);
         // 15% of pregnancies have no fetal-heart-rate reading yet, so the
@@ -54,7 +58,11 @@ pub fn generate(n: usize, seed: u64) -> HospitalData {
         } else {
             0.0
         };
-        let marker = if p { rng.gen_range(10.0..200.0f64) } else { 0.0 };
+        let marker = if p {
+            rng.gen_range(10.0..200.0f64)
+        } else {
+            0.0
+        };
 
         // The Fig.-1 label structure: pregnancy routes on blood pressure;
         // everyone else routes on age — plus mild noise.
@@ -76,7 +84,11 @@ pub fn generate(n: usize, seed: u64) -> HospitalData {
         let label = (base + rng.gen_range(-0.3..0.3f64)).max(0.5);
 
         age.push(a);
-        gender.push(if female { "F".to_string() } else { "M".to_string() });
+        gender.push(if female {
+            "F".to_string()
+        } else {
+            "M".to_string()
+        });
         pregnant.push(p as i64);
         bp.push(blood_pressure);
         glucose.push(g);
@@ -161,12 +173,7 @@ impl HospitalData {
             (&self.blood_tests, true),
             (&self.prenatal_tests, true),
         ] {
-            for (f, c) in table
-                .schema()
-                .fields()
-                .iter()
-                .zip(table.batch().columns())
-            {
+            for (f, c) in table.schema().fields().iter().zip(table.batch().columns()) {
                 if skip_id && f.name == "id" {
                     continue;
                 }
@@ -211,7 +218,10 @@ mod tests {
             d.patient_info.schema().names(),
             vec!["id", "age", "gender", "pregnant"]
         );
-        assert_eq!(d.blood_tests.schema().names(), vec!["id", "bp", "glucose", "wbc"]);
+        assert_eq!(
+            d.blood_tests.schema().names(),
+            vec!["id", "bp", "glucose", "wbc"]
+        );
         assert_eq!(
             d.prenatal_tests.schema().names(),
             vec!["id", "fetal_hr", "afp"]
@@ -223,7 +233,11 @@ mod tests {
     fn labels_follow_rule_structure() {
         let d = generate(2000, 42);
         let batch = d.joined_batch();
-        let pregnant = batch.column_by_name("pregnant").unwrap().i64_values().unwrap();
+        let pregnant = batch
+            .column_by_name("pregnant")
+            .unwrap()
+            .i64_values()
+            .unwrap();
         let bp = batch.column_by_name("bp").unwrap().f64_values().unwrap();
         for i in 0..d.len() {
             if pregnant[i] == 1 && bp[i] > 140.0 {
@@ -239,9 +253,21 @@ mod tests {
     fn pregnancy_consistency() {
         let d = generate(500, 3);
         let batch = d.joined_batch();
-        let pregnant = batch.column_by_name("pregnant").unwrap().i64_values().unwrap();
-        let gender = batch.column_by_name("gender").unwrap().utf8_values().unwrap();
-        let fhr = batch.column_by_name("fetal_hr").unwrap().f64_values().unwrap();
+        let pregnant = batch
+            .column_by_name("pregnant")
+            .unwrap()
+            .i64_values()
+            .unwrap();
+        let gender = batch
+            .column_by_name("gender")
+            .unwrap()
+            .utf8_values()
+            .unwrap();
+        let fhr = batch
+            .column_by_name("fetal_hr")
+            .unwrap()
+            .f64_values()
+            .unwrap();
         let mut measured = 0usize;
         let mut pregnant_count = 0usize;
         for i in 0..d.len() {

@@ -27,15 +27,14 @@ fn fit_steps(batch: &RecordBatch, spec: &[(&str, StepKind)]) -> Result<Vec<Featu
         let col = batch.column_by_name(name)?;
         let transform = match kind {
             StepKind::Identity => Transform::Identity,
-            StepKind::Scale => {
-                Transform::Scale(StandardScaler::fit(&col.to_f64_vec()?)?)
-            }
+            StepKind::Scale => Transform::Scale(StandardScaler::fit(&col.to_f64_vec()?)?),
             StepKind::OneHot => match col {
                 Column::Utf8(values) => Transform::OneHot(OneHotEncoder::fit(values)?),
                 other => {
                     // Integer categorical: encode by string form.
-                    let strings: Vec<String> =
-                        (0..other.len()).map(|i| other.get(i).unwrap().to_string()).collect();
+                    let strings: Vec<String> = (0..other.len())
+                        .map(|i| other.get(i).unwrap().to_string())
+                        .collect();
                     Transform::OneHot(OneHotEncoder::fit(&strings)?)
                 }
             },
@@ -94,11 +93,7 @@ pub fn hospital_tree(data: &HospitalData, max_depth: usize) -> Result<Pipeline> 
 }
 
 /// Random-forest pipeline for hospital length-of-stay.
-pub fn hospital_forest(
-    data: &HospitalData,
-    n_trees: usize,
-    max_depth: usize,
-) -> Result<Pipeline> {
+pub fn hospital_forest(data: &HospitalData, n_trees: usize, max_depth: usize) -> Result<Pipeline> {
     let batch = data.joined_batch();
     let steps = hospital_steps(data)?;
     let (x, width) = featurized(&steps, &batch)?;
@@ -250,11 +245,14 @@ mod tests {
 
     #[test]
     fn feature_width_matches_cardinalities() {
-        let data = crate::flights::generate(500, &FlightParams {
-            n_airports: 10,
-            n_carriers: 4,
-            seed: 2,
-        });
+        let data = crate::flights::generate(
+            500,
+            &FlightParams {
+                n_airports: 10,
+                n_carriers: 4,
+                seed: 2,
+            },
+        );
         let steps = flight_steps(&data).unwrap();
         let width: usize = steps.iter().map(|s| s.transform.n_outputs()).sum();
         // 10 origins + 10 dests + 4 carriers + 3 numerics.

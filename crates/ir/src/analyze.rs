@@ -148,7 +148,9 @@ mod tests {
             .and(Expr::col("c").lt(Expr::lit(3i64)));
         assert_eq!(conjuncts(&e).len(), 3);
         // OR is a single conjunct.
-        let e = Expr::col("a").gt(Expr::lit(1i64)).or(Expr::col("b").eq(Expr::lit(2i64)));
+        let e = Expr::col("a")
+            .gt(Expr::lit(1i64))
+            .or(Expr::col("b").eq(Expr::lit(2i64)));
         assert_eq!(conjuncts(&e).len(), 1);
     }
 

@@ -62,15 +62,9 @@ impl PartialEq for ModelRef {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
     /// Base table scan.
-    Scan {
-        table: String,
-        schema: Arc<Schema>,
-    },
+    Scan { table: String, schema: Arc<Schema> },
     /// Row filter.
-    Filter {
-        input: Box<Plan>,
-        predicate: Expr,
-    },
+    Filter { input: Box<Plan>, predicate: Expr },
     /// Projection: `(expression, output name)` pairs.
     Project {
         input: Box<Plan>,
@@ -99,10 +93,7 @@ pub enum Plan {
         descending: bool,
     },
     /// Row-count limit.
-    Limit {
-        input: Box<Plan>,
-        fetch: usize,
-    },
+    Limit { input: Box<Plan>, fetch: usize },
     /// Classical model-pipeline scoring (MLD). Appends `output` (Float64).
     Predict {
         input: Box<Plan>,
@@ -388,7 +379,11 @@ impl Plan {
                     .iter()
                     .map(|(f, c, o)| format!("{}({c}) AS {o}", f.sql()))
                     .collect();
-                format!("Aggregate(by=[{}], {})", group_by.join(", "), aggs.join(", "))
+                format!(
+                    "Aggregate(by=[{}], {})",
+                    group_by.join(", "),
+                    aggs.join(", ")
+                )
             }
             Plan::Union { inputs } => format!("Union({} inputs)", inputs.len()),
             Plan::Sort {
@@ -398,7 +393,12 @@ impl Plan {
                 if *descending { "DESC" } else { "ASC" }
             ),
             Plan::Limit { fetch, .. } => format!("Limit({fetch})"),
-            Plan::Predict { model, mode, output, .. } => format!(
+            Plan::Predict {
+                model,
+                mode,
+                output,
+                ..
+            } => format!(
                 "Predict(model={}, mode={mode:?}, out={output}) [{}]",
                 model.name,
                 model.pipeline.estimator().describe()
@@ -513,7 +513,10 @@ mod tests {
     fn join_schema_concat() {
         let plan = Plan::Join {
             left: Box::new(scan("a", &[("a.id", DataType::Int64)])),
-            right: Box::new(scan("b", &[("b.id", DataType::Int64), ("bp", DataType::Float64)])),
+            right: Box::new(scan(
+                "b",
+                &[("b.id", DataType::Int64), ("bp", DataType::Float64)],
+            )),
             left_key: "a.id".into(),
             right_key: "b.id".into(),
             kind: JoinKind::Inner,
@@ -524,10 +527,7 @@ mod tests {
     #[test]
     fn aggregate_schema_types() {
         let plan = Plan::Aggregate {
-            input: Box::new(scan(
-                "t",
-                &[("k", DataType::Utf8), ("v", DataType::Int64)],
-            )),
+            input: Box::new(scan("t", &[("k", DataType::Utf8), ("v", DataType::Int64)])),
             group_by: vec!["k".into()],
             aggregates: vec![
                 (AggFunc::Count, "v".into(), "n".into()),
@@ -566,7 +566,10 @@ mod tests {
         };
         assert!(ok.schema().is_ok());
         let bad = Plan::Union {
-            inputs: vec![a, scan("c", &[("x", DataType::Int64), ("y", DataType::Bool)])],
+            inputs: vec![
+                a,
+                scan("c", &[("x", DataType::Int64), ("y", DataType::Bool)]),
+            ],
         };
         assert!(bad.schema().is_err());
         assert!(Plan::Union { inputs: vec![] }.schema().is_err());

@@ -138,9 +138,7 @@ impl Transform {
         match self {
             Transform::Identity | Transform::Scale(_) => Ok(column.to_f64_vec()?),
             Transform::OneHot(e) => match column {
-                Column::Utf8(values) => {
-                    Ok(values.iter().map(|v| e.encode_index(v)).collect())
-                }
+                Column::Utf8(values) => Ok(values.iter().map(|v| e.encode_index(v)).collect()),
                 // Numeric categorical columns: the value itself must be a
                 // category; map through its string form.
                 other => {
@@ -219,7 +217,11 @@ mod tests {
         assert_eq!(t.output_names("dest"), vec!["dest=JFK", "dest=LAX"]);
         assert_eq!(Transform::Identity.output_names("age"), vec!["age"]);
         assert_eq!(
-            Transform::Scale(StandardScaler { mean: 0.0, std: 1.0 }).output_names("bp"),
+            Transform::Scale(StandardScaler {
+                mean: 0.0,
+                std: 1.0
+            })
+            .output_names("bp"),
             vec!["scaled(bp)"]
         );
     }
@@ -252,7 +254,11 @@ mod tests {
     fn featurize_values() {
         let mut out = Vec::new();
         Transform::Identity.featurize_value(3.0, &mut out);
-        Transform::Scale(StandardScaler { mean: 1.0, std: 2.0 }).featurize_value(3.0, &mut out);
+        Transform::Scale(StandardScaler {
+            mean: 1.0,
+            std: 2.0,
+        })
+        .featurize_value(3.0, &mut out);
         assert_eq!(out, vec![3.0, 1.0]);
     }
 

@@ -60,9 +60,7 @@ impl RandomForest {
             return Err(MlError::InvalidTrainingData("n_trees must be > 0".into()));
         }
         if y.is_empty() || x.len() != y.len() * n_features {
-            return Err(MlError::InvalidTrainingData(
-                "x/y shape mismatch".into(),
-            ));
+            return Err(MlError::InvalidTrainingData("x/y shape mismatch".into()));
         }
         let rows = y.len();
         let sample = ((rows as f64 * params.sample_fraction) as usize).max(1);
@@ -112,10 +110,7 @@ impl RandomForest {
 
     /// Features used by any tree.
     pub fn used_features(&self) -> BTreeSet<usize> {
-        self.trees
-            .iter()
-            .flat_map(|t| t.used_features())
-            .collect()
+        self.trees.iter().flat_map(|t| t.used_features()).collect()
     }
 
     /// Predict one row (mean of tree predictions).

@@ -233,7 +233,10 @@ mod tests {
             k: 3,
             ..Default::default()
         };
-        assert_eq!(KMeans::fit(&x, 2, &p).unwrap(), KMeans::fit(&x, 2, &p).unwrap());
+        assert_eq!(
+            KMeans::fit(&x, 2, &p).unwrap(),
+            KMeans::fit(&x, 2, &p).unwrap()
+        );
     }
 
     #[test]
@@ -285,8 +288,24 @@ mod tests {
     #[test]
     fn validation() {
         assert!(KMeans::fit(&[], 2, &KMeansParams::default()).is_err());
-        assert!(KMeans::fit(&[1.0, 2.0], 2, &KMeansParams { k: 0, ..Default::default() }).is_err());
-        assert!(KMeans::fit(&[1.0, 2.0], 2, &KMeansParams { k: 5, ..Default::default() }).is_err());
+        assert!(KMeans::fit(
+            &[1.0, 2.0],
+            2,
+            &KMeansParams {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(KMeans::fit(
+            &[1.0, 2.0],
+            2,
+            &KMeansParams {
+                k: 5,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(KMeans::fit(&[1.0, 2.0, 3.0], 2, &KMeansParams::default()).is_err());
     }
 }

@@ -63,9 +63,7 @@ impl LinearModel {
     /// Train with full-batch proximal gradient descent.
     pub fn fit(x: &[f64], n_features: usize, y: &[f64], params: &LinearParams) -> Result<Self> {
         if n_features == 0 || y.is_empty() || x.len() != y.len() * n_features {
-            return Err(MlError::InvalidTrainingData(
-                "x/y shape mismatch".into(),
-            ));
+            return Err(MlError::InvalidTrainingData("x/y shape mismatch".into()));
         }
         let rows = y.len();
         let mut w = vec![0.0f64; n_features];
@@ -297,7 +295,10 @@ mod tests {
         // The noise feature must be zeroed out by the proximal step.
         assert_eq!(m.weights()[2], 0.0);
         assert!(m.sparsity() >= 1.0 / 3.0);
-        assert_eq!(m.nonzero_features().len(), 3 - (m.sparsity() * 3.0) as usize);
+        assert_eq!(
+            m.nonzero_features().len(),
+            3 - (m.sparsity() * 3.0) as usize
+        );
     }
 
     #[test]
@@ -335,9 +336,7 @@ mod tests {
     #[test]
     fn partial_evaluate_folds_constants() {
         let m = LinearModel::new(vec![2.0, 3.0, 4.0], 1.0, LinearKind::Regression).unwrap();
-        let (pe, kept) = m
-            .partial_evaluate(&[None, Some(10.0), None])
-            .unwrap();
+        let (pe, kept) = m.partial_evaluate(&[None, Some(10.0), None]).unwrap();
         assert_eq!(kept, vec![0, 2]);
         assert_eq!(pe.bias(), 31.0);
         assert_eq!(

@@ -96,11 +96,9 @@ impl Estimator {
     /// Short human-readable description.
     pub fn describe(&self) -> String {
         match self {
-            Estimator::Tree(t) => format!(
-                "DecisionTree(depth={}, nodes={})",
-                t.depth(),
-                t.n_nodes()
-            ),
+            Estimator::Tree(t) => {
+                format!("DecisionTree(depth={}, nodes={})", t.depth(), t.n_nodes())
+            }
             Estimator::Forest(f) => format!(
                 "RandomForest(trees={}, nodes={})",
                 f.trees().len(),
@@ -295,10 +293,7 @@ impl Pipeline {
     /// For numeric steps the interval carries over (scaled if needed); for
     /// one-hot steps an equality constraint pins each indicator feature to
     /// 0 or 1.
-    pub fn feature_bounds(
-        &self,
-        column_bounds: &[(String, Interval)],
-    ) -> Result<Vec<Interval>> {
+    pub fn feature_bounds(&self, column_bounds: &[(String, Interval)]) -> Result<Vec<Interval>> {
         let mut bounds = vec![Interval::all(); self.n_features()];
         for (col, interval) in column_bounds {
             for (si, step) in self.steps.iter().enumerate() {
@@ -337,8 +332,8 @@ mod tests {
     use super::*;
     use crate::featurize::{OneHotEncoder, StandardScaler};
     use crate::tree::TreeNode;
-    use raven_data::{Column, Schema};
     use raven_data::DataType;
+    use raven_data::{Column, Schema};
 
     /// Pipeline: [age (scaled), dest (one-hot of 3)] → linear model.
     fn sample_pipeline() -> Pipeline {
@@ -364,11 +359,8 @@ mod tests {
     }
 
     fn sample_batch() -> RecordBatch {
-        let schema = Schema::from_pairs(&[
-            ("age", DataType::Float64),
-            ("dest", DataType::Utf8),
-        ])
-        .into_shared();
+        let schema = Schema::from_pairs(&[("age", DataType::Float64), ("dest", DataType::Utf8)])
+            .into_shared();
         RecordBatch::try_new(
             schema,
             vec![

@@ -207,11 +207,7 @@ impl<'a> R<'a> {
                 let cats = (0..n).map(|_| self.str()).collect::<Result<Vec<_>>>()?;
                 Transform::OneHot(OneHotEncoder::new(cats)?)
             }
-            other => {
-                return Err(MlError::Serialization(format!(
-                    "bad transform tag {other}"
-                )))
-            }
+            other => return Err(MlError::Serialization(format!("bad transform tag {other}"))),
         })
     }
     fn tree(&mut self) -> Result<DecisionTree> {
@@ -227,9 +223,7 @@ impl<'a> R<'a> {
                     left: self.u32()? as usize,
                     right: self.u32()? as usize,
                 },
-                other => {
-                    return Err(MlError::Serialization(format!("bad node tag {other}")))
-                }
+                other => return Err(MlError::Serialization(format!("bad node tag {other}"))),
             });
         }
         DecisionTree::from_nodes(nodes, n_features)
@@ -261,11 +255,7 @@ impl<'a> R<'a> {
                 }
                 Estimator::Mlp(Mlp::new(layers, kind)?)
             }
-            other => {
-                return Err(MlError::Serialization(format!(
-                    "bad estimator tag {other}"
-                )))
-            }
+            other => return Err(MlError::Serialization(format!("bad estimator tag {other}"))),
         })
     }
 }

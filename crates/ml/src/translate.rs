@@ -48,27 +48,18 @@ pub fn translate_pipeline(pipeline: &Pipeline) -> Result<Graph> {
     // Featurization: each step turns its raw input column into features.
     let mut feature_parts: Vec<String> = Vec::with_capacity(pipeline.steps().len());
     for (si, step) in pipeline.steps().iter().enumerate() {
-        let col = b.node(
-            Op::GatherCols { indices: vec![si] },
-            &[&input],
-        );
+        let col = b.node(Op::GatherCols { indices: vec![si] }, &[&input]);
         let part = match &step.transform {
             Transform::Identity => col,
             Transform::Scale(s) => {
-                let mean = b.initializer(
-                    format!("mean_{si}"),
-                    Tensor::scalar(s.mean as f32),
-                );
+                let mean = b.initializer(format!("mean_{si}"), Tensor::scalar(s.mean as f32));
                 let std = b.initializer(format!("std_{si}"), Tensor::scalar(s.std as f32));
                 let centered = b.node(Op::Sub, &[&col, &mean]);
                 b.node(Op::Div, &[&centered, &std])
             }
             Transform::OneHot(e) => {
                 let k = e.n_outputs();
-                let ones = b.initializer(
-                    format!("ones_{si}"),
-                    Tensor::matrix(1, k, vec![1.0; k])?,
-                );
+                let ones = b.initializer(format!("ones_{si}"), Tensor::matrix(1, k, vec![1.0; k])?);
                 let cats = b.initializer(
                     format!("cats_{si}"),
                     Tensor::vector((0..k).map(|i| i as f32).collect()),
@@ -125,7 +116,12 @@ fn translate_estimator_into(
         Estimator::Forest(f) => {
             let mut parts = Vec::with_capacity(f.trees().len());
             for (ti, tree) in f.trees().iter().enumerate() {
-                parts.push(translate_tree(b, tree, features, &format!("{prefix}_t{ti}"))?);
+                parts.push(translate_tree(
+                    b,
+                    tree,
+                    features,
+                    &format!("{prefix}_t{ti}"),
+                )?);
             }
             if parts.len() == 1 {
                 return Ok(parts.pop().expect("non-empty"));
@@ -154,10 +150,7 @@ fn translate_linear(
         format!("{prefix}_w"),
         Tensor::matrix(k, 1, m.weights().iter().map(|&v| v as f32).collect())?,
     );
-    let bias = b.initializer(
-        format!("{prefix}_b"),
-        Tensor::vector(vec![m.bias() as f32]),
-    );
+    let bias = b.initializer(format!("{prefix}_b"), Tensor::vector(vec![m.bias() as f32]));
     let score = b.node(
         Op::Gemm {
             alpha: 1.0,
@@ -477,11 +470,8 @@ mod tests {
         );
         let pipeline = Pipeline::new(steps, est).unwrap();
 
-        let schema = Schema::from_pairs(&[
-            ("age", DataType::Float64),
-            ("dest", DataType::Utf8),
-        ])
-        .into_shared();
+        let schema = Schema::from_pairs(&[("age", DataType::Float64), ("dest", DataType::Utf8)])
+            .into_shared();
         let batch = RecordBatch::try_new(
             schema,
             vec![
@@ -502,9 +492,7 @@ mod tests {
     fn pipeline_graph_has_canonical_io() {
         let pipeline = Pipeline::new(
             vec![FeatureStep::new("x", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![2.0], 0.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![2.0], 0.0, LinearKind::Regression).unwrap()),
         )
         .unwrap();
         let g = translate_pipeline(&pipeline).unwrap();

@@ -210,9 +210,7 @@ impl DecisionTree {
         fn go(nodes: &[TreeNode], i: usize) -> usize {
             match &nodes[i] {
                 TreeNode::Leaf { .. } => 0,
-                TreeNode::Split { left, right, .. } => {
-                    1 + go(nodes, *left).max(go(nodes, *right))
-                }
+                TreeNode::Split { left, right, .. } => 1 + go(nodes, *left).max(go(nodes, *right)),
             }
         }
         go(&self.nodes, 0)
@@ -486,14 +484,13 @@ fn build_node(
             }
             let nl = (k + 1) as f64;
             let nr = n - nl;
-            if (nl as usize) < params.min_samples_leaf || (nr as usize) < params.min_samples_leaf
-            {
+            if (nl as usize) < params.min_samples_leaf || (nr as usize) < params.min_samples_leaf {
                 continue;
             }
             let right_sum = total_sum - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / nl)
-                + (right_sq - right_sum * right_sum / nr);
+            let sse =
+                (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
             let gain = parent_sse - sse;
             if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
                 best = Some((f, (xv + xn) / 2.0, gain));
@@ -513,9 +510,25 @@ fn build_node(
     let slot = nodes.len();
     nodes.push(TreeNode::Leaf { value: mean }); // placeholder, replaced below
     let (left_idx, right_idx) = indices.split_at_mut(mid);
-    let left = build_node(x, n_features, y, left_idx, features, params, depth + 1, nodes);
+    let left = build_node(
+        x,
+        n_features,
+        y,
+        left_idx,
+        features,
+        params,
+        depth + 1,
+        nodes,
+    );
     let right = build_node(
-        x, n_features, y, right_idx, features, params, depth + 1, nodes,
+        x,
+        n_features,
+        y,
+        right_idx,
+        features,
+        params,
+        depth + 1,
+        nodes,
     );
     nodes[slot] = TreeNode::Split {
         feature,
@@ -732,11 +745,7 @@ pub(crate) mod tests {
     fn sql_case_generation() {
         let t = fig1_tree();
         let sql = t
-            .to_sql_case(&[
-                "pregnant".to_string(),
-                "bp".to_string(),
-                "age".to_string(),
-            ])
+            .to_sql_case(&["pregnant".to_string(), "bp".to_string(), "age".to_string()])
             .unwrap();
         assert!(sql.starts_with("CASE WHEN pregnant <= 0.5"));
         assert!(sql.contains("bp <= 140"));
@@ -776,7 +785,9 @@ pub(crate) mod tests {
         let c = a.intersect(b);
         assert_eq!(c, Interval { lo: 3.0, hi: 5.0 });
         assert!(!c.is_empty());
-        assert!(Interval::point(2.0).intersect(Interval::at_least(3.0)).is_empty());
+        assert!(Interval::point(2.0)
+            .intersect(Interval::at_least(3.0))
+            .is_empty());
         assert!(Interval::point(4.0).is_point());
     }
 }

@@ -45,8 +45,7 @@ pub fn constraints_below(plan: &Plan, ctx: &OptimizerContext<'_>) -> ColumnConst
                         }
                     }
                 } else if let (Some(lo), Some(hi)) = (col.min, col.max) {
-                    out.intervals
-                        .insert(col.name.clone(), Interval { lo, hi });
+                    out.intervals.insert(col.name.clone(), Interval { lo, hi });
                 }
             }
             out
@@ -139,11 +138,8 @@ mod tests {
         cat.register(
             "patients",
             Table::try_new(
-                Schema::from_pairs(&[
-                    ("age", DataType::Float64),
-                    ("gender", DataType::Utf8),
-                ])
-                .into_shared(),
+                Schema::from_pairs(&[("age", DataType::Float64), ("gender", DataType::Utf8)])
+                    .into_shared(),
                 vec![
                     Column::from(vec![36.0, 50.0, 41.0]),
                     Column::from(vec!["F", "F", "F"]),
@@ -244,9 +240,7 @@ mod tests {
     fn qualified_names_alias_to_bare_steps() {
         let pipeline = Pipeline::new(
             vec![FeatureStep::new("age", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap()),
         )
         .unwrap();
         let mut c = ColumnConstraints::default();

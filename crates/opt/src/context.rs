@@ -4,7 +4,11 @@ use raven_data::Catalog;
 use raven_ir::Device;
 
 /// Per-rule toggles — the knobs the ablation benchmarks sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` because the serving layer's prepared-plan cache keys on the
+/// rule configuration: the same SQL optimized under different rules is a
+/// different prepared plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RuleSet {
     pub predicate_model_pruning: bool,
     pub stats_derived_predicates: bool,

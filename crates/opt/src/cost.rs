@@ -114,7 +114,9 @@ pub fn estimate(plan: &Plan, catalog: &raven_data::Catalog, params: &CostParams)
             let (c, rows) = estimate(input, catalog, params);
             (c, rows.min(*fetch as f64))
         }
-        Plan::Predict { input, model, mode, .. } => {
+        Plan::Predict {
+            input, model, mode, ..
+        } => {
             let (c, rows) = estimate(input, catalog, params);
             let per_row = model_row_cost(model.pipeline.estimator(), params)
                 + model.pipeline.n_features() as f64 * 0.5;
@@ -171,15 +173,14 @@ pub fn model_row_cost(estimator: &Estimator, params: &CostParams) -> f64 {
             .iter()
             .map(|t| t.depth().max(1) as f64 * params.tree_node_visit)
             .sum(),
-        Estimator::Linear(m) => {
-            m.nonzero_features().len().max(1) as f64 * params.linear_nnz
+        Estimator::Linear(m) => m.nonzero_features().len().max(1) as f64 * params.linear_nnz,
+        Estimator::Mlp(m) => {
+            m.layers()
+                .iter()
+                .map(|l| (l.w.len() + l.b.len()) as f64)
+                .sum::<f64>()
+                * params.mlp_param
         }
-        Estimator::Mlp(m) => m
-            .layers()
-            .iter()
-            .map(|l| (l.w.len() + l.b.len()) as f64)
-            .sum::<f64>()
-            * params.mlp_param,
     }
 }
 
@@ -238,9 +239,7 @@ mod tests {
     fn predict(cat: &Catalog, mode: ExecutionMode) -> Plan {
         let pipeline = Pipeline::new(
             vec![FeatureStep::new("x", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap()),
         )
         .unwrap();
         Plan::Predict {
@@ -284,7 +283,13 @@ mod tests {
         let params = CostParams::default();
         let classical = predict(&cat, ExecutionMode::InProcess);
         let (cc, _) = estimate(&classical, &cat, &params);
-        let Plan::Predict { input, model, output, .. } = classical else {
+        let Plan::Predict {
+            input,
+            model,
+            output,
+            ..
+        } = classical
+        else {
             unreachable!()
         };
         let graph = raven_ml::translate::translate_pipeline(&model.pipeline).unwrap();
@@ -323,11 +328,8 @@ mod tests {
             1,
         )
         .unwrap();
-        let shallow = raven_ml::DecisionTree::from_nodes(
-            vec![TreeNode::Leaf { value: 1.0 }],
-            1,
-        )
-        .unwrap();
+        let shallow =
+            raven_ml::DecisionTree::from_nodes(vec![TreeNode::Leaf { value: 1.0 }], 1).unwrap();
         let params = CostParams::default();
         assert!(
             model_row_cost(&Estimator::Tree(deep), &params)

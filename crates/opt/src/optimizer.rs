@@ -8,7 +8,7 @@ use crate::Result;
 use raven_ir::Plan;
 
 /// Which driver to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OptimizerMode {
     /// Apply all enabled rules in the paper's order, to a fixpoint.
     #[default]
@@ -143,8 +143,7 @@ impl Optimizer {
                         best = Some((cost, candidate, report));
                     }
                 }
-                let (_, plan, report) =
-                    best.expect("at least one alternative evaluated");
+                let (_, plan, report) = best.expect("at least one alternative evaluated");
                 Ok((plan, report))
             }
         }
@@ -264,11 +263,8 @@ mod tests {
         cat.register(
             "blood_tests",
             Table::try_new(
-                Schema::from_pairs(&[
-                    ("bid", DataType::Int64),
-                    ("bp", DataType::Float64),
-                ])
-                .into_shared(),
+                Schema::from_pairs(&[("bid", DataType::Int64), ("bp", DataType::Float64)])
+                    .into_shared(),
                 vec![
                     Column::Int64((0..n as i64).collect()),
                     Column::Float64((0..n).map(|i| 100.0 + (i % 80) as f64).collect()),
@@ -280,11 +276,8 @@ mod tests {
         cat.register(
             "prenatal_tests",
             Table::try_new(
-                Schema::from_pairs(&[
-                    ("pid", DataType::Int64),
-                    ("marker", DataType::Float64),
-                ])
-                .into_shared(),
+                Schema::from_pairs(&[("pid", DataType::Int64), ("marker", DataType::Float64)])
+                    .into_shared(),
                 vec![
                     Column::Int64((0..n as i64).collect()),
                     Column::Float64((0..n).map(|i| (i % 7) as f64).collect()),

@@ -93,11 +93,7 @@ pub fn specialize_per_cluster(
     route_columns: &[String],
 ) -> Result<ClusteredModel> {
     let route_columns: Vec<String> = if route_columns.is_empty() {
-        pipeline
-            .steps()
-            .iter()
-            .map(|s| s.column.clone())
-            .collect()
+        pipeline.steps().iter().map(|s| s.column.clone()).collect()
     } else {
         route_columns.to_vec()
     };
@@ -274,22 +270,15 @@ mod tests {
     /// Flight-like data: two clusters perfectly separated by destination.
     fn sample() -> RecordBatch {
         let n = 60;
-        let schema = Schema::from_pairs(&[
-            ("dist", DataType::Float64),
-            ("dest", DataType::Utf8),
-        ])
-        .into_shared();
+        let schema = Schema::from_pairs(&[("dist", DataType::Float64), ("dest", DataType::Utf8)])
+            .into_shared();
         let dist: Vec<f64> = (0..n)
             .map(|i| if i % 2 == 0 { 100.0 } else { 2000.0 })
             .collect();
         let dest: Vec<&str> = (0..n)
             .map(|i| if i % 2 == 0 { "JFK" } else { "LAX" })
             .collect();
-        RecordBatch::try_new(
-            schema,
-            vec![Column::from(dist), Column::from(dest)],
-        )
-        .unwrap()
+        RecordBatch::try_new(schema, vec![Column::from(dist), Column::from(dest)]).unwrap()
     }
 
     fn pipeline() -> Pipeline {
@@ -316,12 +305,13 @@ mod tests {
         assert_eq!(clustered.models.len(), 2);
         // Each cluster has a constant destination → the one-hot step is
         // folded away, leaving only `dist`.
-        for (m, dropped) in clustered
-            .models
-            .iter()
-            .zip(&clustered.dropped_per_cluster)
-        {
-            assert_eq!(m.input_columns(), vec!["dist"], "model kept: {:?}", m.input_columns());
+        for (m, dropped) in clustered.models.iter().zip(&clustered.dropped_per_cluster) {
+            assert_eq!(
+                m.input_columns(),
+                vec!["dist"],
+                "model kept: {:?}",
+                m.input_columns()
+            );
             assert_eq!(*dropped, 1);
         }
     }
@@ -375,18 +365,17 @@ mod tests {
             mode: ExecutionMode::InProcess,
         };
         let out = to_clustered_plan(plan, &clustered);
-        assert!(matches!(out, Plan::ClusteredPredict { ref cluster_models, .. }
-            if cluster_models.len() == 2));
+        assert!(
+            matches!(out, Plan::ClusteredPredict { ref cluster_models, .. }
+            if cluster_models.len() == 2)
+        );
     }
 
     #[test]
     fn specialize_with_explicit_bounds() {
         let p = pipeline();
-        let (spec, dropped) = specialize_with_bounds(
-            &p,
-            &[("dest".to_string(), Interval::point(0.0))],
-        )
-        .unwrap();
+        let (spec, dropped) =
+            specialize_with_bounds(&p, &[("dest".to_string(), Interval::point(0.0))]).unwrap();
         assert_eq!(dropped, 1);
         assert_eq!(spec.input_columns(), vec!["dist"]);
         // Nothing to do with empty bounds.

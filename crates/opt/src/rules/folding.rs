@@ -88,7 +88,9 @@ mod tests {
             )],
         };
         let out = apply(plan, &ctx).unwrap();
-        let Plan::Project { exprs, .. } = &out else { panic!() };
+        let Plan::Project { exprs, .. } = &out else {
+            panic!()
+        };
         assert_eq!(exprs[0].0.to_string(), "(x * 5)");
     }
 
@@ -101,7 +103,9 @@ mod tests {
             predicate: Expr::lit(true).and(Expr::col("x").gt(Expr::lit(0i64))),
         };
         let out = apply(plan, &ctx).unwrap();
-        let Plan::Filter { predicate, .. } = &out else { panic!() };
+        let Plan::Filter { predicate, .. } = &out else {
+            panic!()
+        };
         assert_eq!(predicate.to_string(), "(x > 0)");
     }
 }

@@ -192,11 +192,8 @@ mod tests {
         cat.register(
             "t",
             Table::try_new(
-                Schema::from_pairs(&[
-                    ("bp", DataType::Float64),
-                    ("dest", DataType::Utf8),
-                ])
-                .into_shared(),
+                Schema::from_pairs(&[("bp", DataType::Float64), ("dest", DataType::Utf8)])
+                    .into_shared(),
                 vec![
                     Column::from(vec![120.0, 150.0]),
                     Column::from(vec!["JFK", "LAX"]),
@@ -259,10 +256,7 @@ mod tests {
         };
         let (case, name) = exprs.last().unwrap();
         assert_eq!(name, "stay");
-        assert_eq!(
-            case.to_string(),
-            "CASE WHEN (bp <= 140) THEN 2 ELSE 7 END"
-        );
+        assert_eq!(case.to_string(), "CASE WHEN (bp <= 140) THEN 2 ELSE 7 END");
         // Schema unchanged except the appended output.
         assert_eq!(out.schema().unwrap().names(), vec!["bp", "dest", "stay"]);
     }
@@ -294,13 +288,13 @@ mod tests {
                     std: 10.0,
                 }),
             )],
-            Estimator::Linear(
-                LinearModel::new(vec![2.0], 1.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![2.0], 1.0, LinearKind::Regression).unwrap()),
         )
         .unwrap();
         let out = apply(predict(&cat, pipeline), &ctx).unwrap();
-        let Plan::Project { exprs, .. } = &out else { panic!() };
+        let Plan::Project { exprs, .. } = &out else {
+            panic!()
+        };
         assert_eq!(
             exprs.last().unwrap().0.to_string(),
             "(1 + (2 * ((bp - 130) / 10)))"
@@ -335,7 +329,9 @@ mod tests {
         )
         .unwrap();
         let out = apply(predict(&cat, pipeline), &ctx).unwrap();
-        let Plan::Project { exprs, .. } = &out else { panic!() };
+        let Plan::Project { exprs, .. } = &out else {
+            panic!()
+        };
         let case = exprs.last().unwrap().0.to_string();
         assert!(case.contains("dest = 'LAX'"), "{case}");
     }
@@ -346,9 +342,7 @@ mod tests {
         let ctx = OptimizerContext::new(&cat);
         let logistic = Pipeline::new(
             vec![FeatureStep::new("bp", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![1.0], 0.0, LinearKind::Logistic).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Logistic).unwrap()),
         )
         .unwrap();
         let plan = predict(&cat, logistic);

@@ -95,8 +95,7 @@ pub fn shrink_pipeline(pipeline: &Pipeline) -> Result<Option<Pipeline>> {
     let mut changed = false;
     for (si, step) in pipeline.steps().iter().enumerate() {
         let (start, end) = pipeline.step_feature_range(si).map_err(OptError::from)?;
-        let used_in_step: Vec<usize> =
-            (start..end).filter(|f| used_features.contains(f)).collect();
+        let used_in_step: Vec<usize> = (start..end).filter(|f| used_features.contains(f)).collect();
         if used_in_step.is_empty() {
             changed = true;
             continue; // whole step dropped
@@ -258,18 +257,12 @@ mod tests {
             vec![FeatureStep::new(
                 "dest",
                 Transform::OneHot(
-                    OneHotEncoder::new(vec![
-                        "A".into(),
-                        "B".into(),
-                        "C".into(),
-                        "D".into(),
-                    ])
-                    .unwrap(),
+                    OneHotEncoder::new(vec!["A".into(), "B".into(), "C".into(), "D".into()])
+                        .unwrap(),
                 ),
             )],
             Estimator::Linear(
-                LinearModel::new(vec![0.0, 2.0, 0.0, -1.0], 0.5, LinearKind::Regression)
-                    .unwrap(),
+                LinearModel::new(vec![0.0, 2.0, 0.0, -1.0], 0.5, LinearKind::Regression).unwrap(),
             ),
         )
         .unwrap();
@@ -282,11 +275,8 @@ mod tests {
         // Predictions preserved for every category, including dropped ones.
         use raven_data::{Column, DataType, RecordBatch, Schema};
         let schema = Schema::from_pairs(&[("dest", DataType::Utf8)]).into_shared();
-        let batch = RecordBatch::try_new(
-            schema,
-            vec![Column::from(vec!["A", "B", "C", "D", "Z"])],
-        )
-        .unwrap();
+        let batch = RecordBatch::try_new(schema, vec![Column::from(vec!["A", "B", "C", "D", "Z"])])
+            .unwrap();
         assert_eq!(
             shrunk.predict(&batch).unwrap(),
             pipeline.predict(&batch).unwrap()
@@ -297,9 +287,7 @@ mod tests {
     fn shrink_noop_when_all_used() {
         let pipeline = Pipeline::new(
             vec![FeatureStep::new("a", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap()),
         )
         .unwrap();
         assert!(shrink_pipeline(&pipeline).unwrap().is_none());

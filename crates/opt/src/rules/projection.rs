@@ -80,7 +80,11 @@ pub fn projection_pushdown(plan: Plan, ctx: &OptimizerContext<'_>) -> Result<Pla
 }
 
 /// `required = None` means "everything" (at the root).
-fn push(plan: Plan, required: Option<&HashSet<String>>, ctx: &OptimizerContext<'_>) -> Result<Plan> {
+fn push(
+    plan: Plan,
+    required: Option<&HashSet<String>>,
+    ctx: &OptimizerContext<'_>,
+) -> Result<Plan> {
     match plan {
         Plan::Scan { table, schema } => {
             let scan = Plan::Scan {

@@ -47,6 +47,9 @@ pub fn apply(plan: Plan, ctx: &OptimizerContext<'_>) -> Result<Plan> {
 
 /// Attempt to prune one node; on failure return the original node and the
 /// error (so `transform_up` can unwind cleanly).
+// The `Err` variant intentionally carries the plan back so the caller can
+// restore the un-pruned node on failure; boxing would just move the cost.
+#[allow(clippy::result_large_err)]
 fn prune_node(
     node: Plan,
     ctx: &OptimizerContext<'_>,

@@ -348,9 +348,7 @@ mod tests {
         let ctx = OptimizerContext::new(&cat);
         let pipeline = Pipeline::new(
             vec![FeatureStep::new("x", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap()),
         )
         .unwrap();
         // The paper's shape: WHERE d.pregnant = 1 AND p.score > 7.

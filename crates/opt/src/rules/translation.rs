@@ -86,9 +86,7 @@ mod tests {
     fn predict(cat: &Catalog, mode: ExecutionMode) -> Plan {
         let pipeline = Pipeline::new(
             vec![FeatureStep::new("x", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![2.0], 0.5, LinearKind::Logistic).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![2.0], 0.5, LinearKind::Logistic).unwrap()),
         )
         .unwrap();
         Plan::Predict {

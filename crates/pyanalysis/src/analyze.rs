@@ -6,7 +6,7 @@ use crate::parser::parse;
 use crate::spec::{EstimatorSpec, PipelineSpec};
 use crate::Result;
 use raven_data::Catalog;
-use raven_ir::{BinOp, Expr, ExecutionMode, JoinKind, ModelRef, Plan};
+use raven_ir::{BinOp, ExecutionMode, Expr, JoinKind, ModelRef, Plan};
 use raven_ml::Pipeline;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -120,7 +120,9 @@ impl<'a> Analyzer<'a> {
             Stmt::Import { module, alias } => {
                 self.env
                     .insert(alias.clone(), FlowValue::Module(module.clone()));
-                self.analysis.trace.push(format!("import {module} as {alias}"));
+                self.analysis
+                    .trace
+                    .push(format!("import {module} as {alias}"));
             }
             Stmt::FromImport { module, names } => {
                 for name in names {
@@ -218,12 +220,7 @@ impl<'a> Analyzer<'a> {
     }
 
     /// Knowledge base: constructors.
-    fn construct(
-        &mut self,
-        path: &str,
-        args: &[PyExpr],
-        kwargs: &[(String, PyExpr)],
-    ) -> FlowValue {
+    fn construct(&mut self, path: &str, args: &[PyExpr], kwargs: &[(String, PyExpr)]) -> FlowValue {
         let short = path.rsplit('.').next().unwrap_or(path);
         match short {
             "StandardScaler" => FlowValue::Featurizer(FeaturizerKind::Scaler),
@@ -330,9 +327,7 @@ impl<'a> Analyzer<'a> {
     ) -> Result<FlowValue> {
         match (&receiver, method) {
             // pandas module functions.
-            (FlowValue::Module(m), "read_sql" | "read_csv" | "read_table")
-                if m == "pandas" =>
-            {
+            (FlowValue::Module(m), "read_sql" | "read_csv" | "read_table") if m == "pandas" => {
                 let Some(PyExpr::Str(table)) = args.first() else {
                     return Ok(FlowValue::Opaque(format!("pd.{method}(non-literal)")));
                 };
@@ -375,14 +370,14 @@ impl<'a> Analyzer<'a> {
                     kind: JoinKind::Inner,
                 };
                 // Drop the duplicated right key (pandas keeps one `on` col).
-                let schema = joined.schema().map_err(|e| PyError::Analysis(e.to_string()))?;
+                let schema = joined
+                    .schema()
+                    .map_err(|e| PyError::Analysis(e.to_string()))?;
                 let mut exprs = Vec::new();
                 let mut dropped = false;
                 for f in schema.fields() {
-                    let is_dup = !dropped
-                        && exprs
-                            .iter()
-                            .any(|(_, n): &(Expr, String)| n == &f.name);
+                    let is_dup =
+                        !dropped && exprs.iter().any(|(_, n): &(Expr, String)| n == &f.name);
                     if is_dup {
                         dropped = true;
                         continue;
@@ -450,11 +445,7 @@ impl<'a> Analyzer<'a> {
         // A projection over the data narrows feature columns.
         if spec.feature_columns.is_empty() {
             if let Ok(schema) = input.schema() {
-                spec.feature_columns = schema
-                    .names()
-                    .into_iter()
-                    .map(str::to_string)
-                    .collect();
+                spec.feature_columns = schema.names().into_iter().map(str::to_string).collect();
             }
         }
         Ok(FlowValue::Predictions { input, spec })
@@ -572,25 +563,34 @@ fn label_column(expr: &PyExpr) -> Option<String> {
 }
 
 fn kw_usize(kwargs: &[(String, PyExpr)], key: &str) -> Option<usize> {
-    kwargs.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
-        PyExpr::Int(n) if *n > 0 => Some(*n as usize),
-        _ => None,
-    })
+    kwargs
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            PyExpr::Int(n) if *n > 0 => Some(*n as usize),
+            _ => None,
+        })
 }
 
 fn kw_f64(kwargs: &[(String, PyExpr)], key: &str) -> Option<f64> {
-    kwargs.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
-        PyExpr::Int(n) => Some(*n as f64),
-        PyExpr::Float(f) => Some(*f),
-        _ => None,
-    })
+    kwargs
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            PyExpr::Int(n) => Some(*n as f64),
+            PyExpr::Float(f) => Some(*f),
+            _ => None,
+        })
 }
 
 fn kw_str(kwargs: &[(String, PyExpr)], key: &str) -> Option<String> {
-    kwargs.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
-        PyExpr::Str(s) => Some(s.clone()),
-        _ => None,
-    })
+    kwargs
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            PyExpr::Str(s) => Some(s.clone()),
+            _ => None,
+        })
 }
 
 fn describe(v: &FlowValue) -> String {
@@ -672,10 +672,7 @@ predictions = model_pipeline.predict(features)
         let a = analyze(RUNNING_EXAMPLE, &catalog()).unwrap();
         let spec = a.pipeline.as_ref().expect("pipeline extracted");
         assert!(spec.scale_numeric);
-        assert_eq!(
-            spec.estimator,
-            EstimatorSpec::DecisionTree { max_depth: 5 }
-        );
+        assert_eq!(spec.estimator, EstimatorSpec::DecisionTree { max_depth: 5 });
         assert_eq!(a.feature_columns, vec!["age", "bp"]);
         assert!(a.udfs.is_empty(), "udfs: {:?}", a.udfs);
 

@@ -11,7 +11,11 @@ pub enum Stmt {
     /// each imported name with its source module path.
     FromImport { module: String, names: Vec<String> },
     /// `target = expr`.
-    Assign { target: String, value: PyExpr, line: usize },
+    Assign {
+        target: String,
+        value: PyExpr,
+        line: usize,
+    },
     /// A bare expression (e.g. a call for its side effect).
     Expr { value: PyExpr, line: usize },
 }
@@ -41,7 +45,10 @@ pub enum PyExpr {
         kwargs: Vec<(String, PyExpr)>,
     },
     /// `base[index]`.
-    Subscript { base: Box<PyExpr>, index: Box<PyExpr> },
+    Subscript {
+        base: Box<PyExpr>,
+        index: Box<PyExpr>,
+    },
     /// `left <op> right`.
     Compare {
         left: Box<PyExpr>,
@@ -149,10 +156,7 @@ mod tests {
     #[test]
     fn dotted_paths() {
         let e = PyExpr::Attr(
-            Box::new(PyExpr::Attr(
-                Box::new(PyExpr::Name("a".into())),
-                "b".into(),
-            )),
+            Box::new(PyExpr::Attr(Box::new(PyExpr::Name("a".into())), "b".into())),
             "c".into(),
         );
         assert_eq!(e.dotted_path(), Some("a.b.c".into()));

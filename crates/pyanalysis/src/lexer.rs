@@ -52,7 +52,9 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>> {
         let c = bytes[i] as char;
         match c {
             '\n' => {
-                if depth == 0 && !matches!(out.last().map(|s| &s.token), None | Some(PyToken::Newline)) {
+                if depth == 0
+                    && !matches!(out.last().map(|s| &s.token), None | Some(PyToken::Newline))
+                {
                     out.push(Spanned {
                         token: PyToken::Newline,
                         line,

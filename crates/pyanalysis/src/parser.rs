@@ -5,6 +5,9 @@ use crate::error::PyError;
 use crate::lexer::{lex, PyToken, Spanned};
 use crate::Result;
 
+/// Positional and keyword arguments of a call expression.
+type CallArguments = (Vec<PyExpr>, Vec<(String, PyExpr)>);
+
 /// Parse a script into statements.
 pub fn parse(source: &str) -> Result<Vec<Stmt>> {
     let tokens = lex(source)?;
@@ -212,7 +215,7 @@ impl Parser {
         }
     }
 
-    fn call_arguments(&mut self) -> Result<(Vec<PyExpr>, Vec<(String, PyExpr)>)> {
+    fn call_arguments(&mut self) -> Result<CallArguments> {
         let mut args = Vec::new();
         let mut kwargs = Vec::new();
         if self.eat(&PyToken::RParen) {
@@ -312,8 +315,8 @@ mod tests {
 
     #[test]
     fn imports() {
-        let s = parse("import pandas as pd\nfrom sklearn.tree import DecisionTreeClassifier")
-            .unwrap();
+        let s =
+            parse("import pandas as pd\nfrom sklearn.tree import DecisionTreeClassifier").unwrap();
         assert_eq!(
             s[0],
             Stmt::Import {
@@ -355,14 +358,18 @@ mod tests {
     #[test]
     fn boolean_mask_subscript() {
         let s = parse("df2 = df[df.pregnant == 1]").unwrap();
-        let Stmt::Assign { value, .. } = &s[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &s[0] else {
+            panic!()
+        };
         assert_eq!(value.to_string(), "df[df.pregnant == 1]");
     }
 
     #[test]
     fn column_list_subscript() {
         let s = parse("x = df[['age', 'bp']]").unwrap();
-        let Stmt::Assign { value, .. } = &s[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &s[0] else {
+            panic!()
+        };
         assert_eq!(value.to_string(), "df[['age', 'bp']]");
     }
 
@@ -370,7 +377,9 @@ mod tests {
     fn pipeline_with_tuples_multiline() {
         let src = "model = Pipeline([\n    ('scaler', StandardScaler()),\n    ('clf', DecisionTreeClassifier(max_depth=5)),\n])";
         let s = parse(src).unwrap();
-        let Stmt::Assign { value, .. } = &s[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &s[0] else {
+            panic!()
+        };
         assert_eq!(
             value.to_string(),
             "Pipeline([('scaler', StandardScaler()), ('clf', DecisionTreeClassifier(max_depth=5))])"
@@ -380,7 +389,9 @@ mod tests {
     #[test]
     fn kwargs_and_args() {
         let s = parse("df.merge(other, on='id', how='inner')").unwrap();
-        let Stmt::Expr { value, .. } = &s[0] else { panic!() };
+        let Stmt::Expr { value, .. } = &s[0] else {
+            panic!()
+        };
         let PyExpr::Call { args, kwargs, .. } = value else {
             panic!()
         };
@@ -392,16 +403,22 @@ mod tests {
     #[test]
     fn negative_literals() {
         let s = parse("x = f(-1, -2.5)").unwrap();
-        let Stmt::Assign { value, .. } = &s[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &s[0] else {
+            panic!()
+        };
         assert_eq!(value.to_string(), "f(-1, -2.5)");
     }
 
     #[test]
     fn parenthesized_vs_tuple() {
         let s = parse("x = (a)\ny = (a, b)").unwrap();
-        let Stmt::Assign { value, .. } = &s[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &s[0] else {
+            panic!()
+        };
         assert_eq!(*value, PyExpr::Name("a".into()));
-        let Stmt::Assign { value, .. } = &s[1] else { panic!() };
+        let Stmt::Assign { value, .. } = &s[1] else {
+            panic!()
+        };
         assert!(matches!(value, PyExpr::Tuple(items) if items.len() == 2));
     }
 

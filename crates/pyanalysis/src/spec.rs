@@ -15,9 +15,7 @@ use raven_ml::forest::ForestParams;
 use raven_ml::linear::{LinearKind, LinearParams};
 use raven_ml::mlp::MlpParams;
 use raven_ml::tree::TreeParams;
-use raven_ml::{
-    DecisionTree, Estimator, FeatureStep, LinearModel, Mlp, Pipeline, RandomForest,
-};
+use raven_ml::{DecisionTree, Estimator, FeatureStep, LinearModel, Mlp, Pipeline, RandomForest};
 
 /// Estimator structure + hyperparameters recognized by the knowledge base.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,7 +120,14 @@ impl PipelineSpec {
             // Temporary estimator with the right width for featurization.
             Estimator::Linear(
                 LinearModel::new(
-                    vec![0.0; steps.iter().map(|s| s.transform.n_outputs()).sum::<usize>().max(1)],
+                    vec![
+                        0.0;
+                        steps
+                            .iter()
+                            .map(|s| s.transform.n_outputs())
+                            .sum::<usize>()
+                            .max(1)
+                    ],
                     0.0,
                     LinearKind::Regression,
                 )
@@ -215,24 +220,19 @@ mod tests {
     use raven_data::{DataType, Schema};
 
     fn batch() -> RecordBatch {
-        let schema = Schema::from_pairs(&[
-            ("age", DataType::Float64),
-            ("dest", DataType::Utf8),
-        ])
-        .into_shared();
+        let schema = Schema::from_pairs(&[("age", DataType::Float64), ("dest", DataType::Utf8)])
+            .into_shared();
         let ages: Vec<f64> = (0..40).map(|i| 20.0 + (i % 30) as f64).collect();
         let dests: Vec<&str> = (0..40)
             .map(|i| if i % 2 == 0 { "JFK" } else { "LAX" })
             .collect();
-        RecordBatch::try_new(
-            schema,
-            vec![Column::from(ages), Column::from(dests)],
-        )
-        .unwrap()
+        RecordBatch::try_new(schema, vec![Column::from(ages), Column::from(dests)]).unwrap()
     }
 
     fn labels() -> Vec<f64> {
-        (0..40).map(|i| ((20 + (i % 30)) > 35) as i64 as f64).collect()
+        (0..40)
+            .map(|i| ((20 + (i % 30)) > 35) as i64 as f64)
+            .collect()
     }
 
     #[test]

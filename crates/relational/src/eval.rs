@@ -68,10 +68,7 @@ fn eval_inner(expr: &Expr, batch: &RecordBatch) -> Result<Ev> {
                 Ok(Ev::Column(Column::Bool(mask)))
             }
             Ev::Scalar(Value::Bool(b)) => Ok(Ev::Scalar(Value::Bool(!b))),
-            other => Err(ExecError::Eval(format!(
-                "NOT over {:?}",
-                other.data_type()
-            ))),
+            other => Err(ExecError::Eval(format!("NOT over {:?}", other.data_type()))),
         },
         Expr::Case {
             branches,
@@ -208,7 +205,9 @@ fn eval_comparison(op: BinOp, l: Ev, r: Ev, rows: usize) -> Result<Ev> {
     // Fast paths: numeric column vs numeric scalar (the overwhelmingly
     // common shape for predicates like `bp > 140`).
     match (&l, &r) {
-        (Ev::Column(col), Ev::Scalar(s)) if col.data_type().is_numeric() && s.data_type() != DataType::Utf8 => {
+        (Ev::Column(col), Ev::Scalar(s))
+            if col.data_type().is_numeric() && s.data_type() != DataType::Utf8 =>
+        {
             let threshold = s.as_f64().map_err(ExecError::from)?;
             let mask = match col {
                 Column::Float64(v) => cmp_scalar(op, v.iter().copied(), threshold),
@@ -325,7 +324,6 @@ fn apply_arith(op: BinOp, a: f64, b: f64) -> f64 {
 mod tests {
     use super::*;
     use raven_data::Schema;
-    
 
     fn batch() -> RecordBatch {
         let schema = Schema::from_pairs(&[
@@ -377,9 +375,11 @@ mod tests {
         let b = batch();
         let mask = evaluate_predicate(&Expr::col("dest").eq(Expr::lit("JFK")), &b).unwrap();
         assert_eq!(mask, vec![true, false, true]);
-        let mask =
-            evaluate_predicate(&Expr::binary(BinOp::NotEq, Expr::col("dest"), Expr::lit("JFK")), &b)
-                .unwrap();
+        let mask = evaluate_predicate(
+            &Expr::binary(BinOp::NotEq, Expr::col("dest"), Expr::lit("JFK")),
+            &b,
+        )
+        .unwrap();
         assert_eq!(mask, vec![false, true, false]);
     }
 
@@ -389,13 +389,19 @@ mod tests {
         let e = Expr::col("pregnant")
             .eq(Expr::lit(true))
             .and(Expr::col("bp").gt(Expr::lit(130i64)));
-        assert_eq!(evaluate_predicate(&e, &b).unwrap(), vec![false, false, true]);
+        assert_eq!(
+            evaluate_predicate(&e, &b).unwrap(),
+            vec![false, false, true]
+        );
         let e = Expr::col("dest")
             .eq(Expr::lit("LAX"))
             .or(Expr::col("id").eq(Expr::lit(1i64)));
         assert_eq!(evaluate_predicate(&e, &b).unwrap(), vec![true, true, false]);
         let e = Expr::Not(Box::new(Expr::col("pregnant").eq(Expr::lit(true))));
-        assert_eq!(evaluate_predicate(&e, &b).unwrap(), vec![false, true, false]);
+        assert_eq!(
+            evaluate_predicate(&e, &b).unwrap(),
+            vec![false, true, false]
+        );
     }
 
     #[test]
@@ -463,10 +469,7 @@ mod tests {
     fn case_string_branches() {
         let b = batch();
         let e = Expr::Case {
-            branches: vec![(
-                Expr::col("bp").gt(Expr::lit(130i64)),
-                Expr::lit("high"),
-            )],
+            branches: vec![(Expr::col("bp").gt(Expr::lit(130i64)), Expr::lit("high"))],
             else_expr: Box::new(Expr::lit("ok")),
         };
         let c = evaluate(&e, &b).unwrap();

@@ -86,6 +86,39 @@ pub struct Executor<'a> {
     options: ExecOptions,
 }
 
+/// An executor that *owns* its catalog and scorer behind `Arc`s, so it can
+/// be held by long-lived, multi-threaded components (the serving layer)
+/// without borrow plumbing. `Send + Sync`: one instance may execute plans
+/// from many worker threads concurrently.
+pub struct SharedExecutor {
+    catalog: Arc<Catalog>,
+    scorer: Arc<dyn Scorer>,
+    options: ExecOptions,
+}
+
+impl SharedExecutor {
+    pub fn new(catalog: Arc<Catalog>, scorer: Arc<dyn Scorer>, options: ExecOptions) -> Self {
+        SharedExecutor {
+            catalog,
+            scorer,
+            options,
+        }
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn options(&self) -> ExecOptions {
+        self.options
+    }
+
+    /// Execute a plan to a materialized table.
+    pub fn execute(&self, plan: &Plan) -> Result<Table> {
+        Executor::new(&self.catalog, self.scorer.as_ref(), self.options).execute(plan)
+    }
+}
+
 impl<'a> Executor<'a> {
     pub fn new(catalog: &'a Catalog, scorer: &'a dyn Scorer, options: ExecOptions) -> Self {
         Executor {
@@ -130,7 +163,9 @@ impl<'a> Executor<'a> {
                     let columns = exprs
                         .iter()
                         .map(|(e, _)| {
-                            let Expr::Column(name) = e else { unreachable!() };
+                            let Expr::Column(name) = e else {
+                                unreachable!()
+                            };
                             let idx = batch.schema().index_of(name)?;
                             Ok(batch.column_arc(idx)?.clone())
                         })
@@ -371,9 +406,9 @@ fn sort_indices(indices: &mut [usize], col: &Column, descending: bool) -> Result
         Column::Int64(v) => indices.sort_by_key(|&i| v[i]),
         Column::Bool(v) => indices.sort_by_key(|&i| v[i]),
         Column::Utf8(v) => indices.sort_by(|&a, &b| v[a].cmp(&v[b])),
-        Column::Float64(v) => indices.sort_by(|&a, &b| {
-            v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal)
-        }),
+        Column::Float64(v) => {
+            indices.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal))
+        }
     }
     if descending {
         indices.reverse();
@@ -559,11 +594,8 @@ mod tests {
         .unwrap();
         cat.register("people", t).unwrap();
 
-        let schema2 = Schema::from_pairs(&[
-            ("pid", DataType::Int64),
-            ("bp", DataType::Float64),
-        ])
-        .into_shared();
+        let schema2 = Schema::from_pairs(&[("pid", DataType::Int64), ("bp", DataType::Float64)])
+            .into_shared();
         let t2 = Table::try_new(
             schema2,
             vec![
@@ -664,7 +696,10 @@ mod tests {
             t.column_by_name("dest").unwrap().utf8_values().unwrap(),
             &["JFK", "LAX", "SEA"]
         );
-        assert_eq!(t.column_by_name("n").unwrap().i64_values().unwrap(), &[2, 1, 1]);
+        assert_eq!(
+            t.column_by_name("n").unwrap().i64_values().unwrap(),
+            &[2, 1, 1]
+        );
         assert_eq!(
             t.column_by_name("avg_age").unwrap().f64_values().unwrap(),
             &[40.0, 40.0, 60.0]
@@ -742,9 +777,7 @@ mod tests {
         let cat = catalog();
         let pipeline = Pipeline::new(
             vec![FeatureStep::new("age", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![0.1], 1.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![0.1], 1.0, LinearKind::Regression).unwrap()),
         )
         .unwrap();
         let plan = Plan::Predict {
@@ -801,9 +834,7 @@ mod tests {
         let cat = catalog();
         let pipeline = Pipeline::new(
             vec![FeatureStep::new("age", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap()),
         )
         .unwrap();
         let plan = Plan::Predict {
@@ -824,18 +855,12 @@ mod tests {
         // Model inlining shape: CASE over bp, evaluated by the engine.
         let cat = catalog();
         let case = Expr::Case {
-            branches: vec![(
-                Expr::col("bp").gt(Expr::lit(140i64)),
-                Expr::lit(7.0f64),
-            )],
+            branches: vec![(Expr::col("bp").gt(Expr::lit(140i64)), Expr::lit(7.0f64))],
             else_expr: Box::new(Expr::lit(2.0f64)),
         };
         let plan = Plan::Project {
             input: Box::new(scan(&cat, "vitals")),
-            exprs: vec![
-                (Expr::col("pid"), "pid".into()),
-                (case, "stay".into()),
-            ],
+            exprs: vec![(Expr::col("pid"), "pid".into()), (case, "stay".into())],
         };
         let t = exec(&cat, &plan);
         assert_eq!(

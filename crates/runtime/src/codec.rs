@@ -87,9 +87,7 @@ pub fn batch_from_bytes(mut bytes: Bytes) -> Result<RecordBatch> {
                 }
                 (DataType::Utf8, Column::Utf8(v))
             }
-            other => {
-                return Err(RuntimeError::Codec(format!("bad column tag {other}")))
-            }
+            other => return Err(RuntimeError::Codec(format!("bad column tag {other}"))),
         };
         fields.push(raven_data::Field::new(name, dtype));
         columns.push(col);

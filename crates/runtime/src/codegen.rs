@@ -59,7 +59,12 @@ fn render(plan: &Plan) -> String {
         } => {
             let mut cols: Vec<String> = group_by.iter().map(|g| quote_name(g)).collect();
             for (f, c, out) in aggregates {
-                cols.push(format!("{}({}) AS {}", f.sql(), quote_name(c), quote_name(out)));
+                cols.push(format!(
+                    "{}({}) AS {}",
+                    f.sql(),
+                    quote_name(c),
+                    quote_name(out)
+                ));
             }
             let group = if group_by.is_empty() {
                 String::new()
@@ -105,9 +110,7 @@ fn render(plan: &Plan) -> String {
         } => {
             let mode_comment = match mode {
                 raven_ir::ExecutionMode::InProcess => "",
-                raven_ir::ExecutionMode::OutOfProcess => {
-                    " /* via sp_execute_external_script */"
-                }
+                raven_ir::ExecutionMode::OutOfProcess => " /* via sp_execute_external_script */",
                 raven_ir::ExecutionMode::Container => " /* via containerized REST */",
             };
             format!(
@@ -119,7 +122,13 @@ fn render(plan: &Plan) -> String {
                 mode_comment
             )
         }
-        Plan::TensorPredict { input, model, output, device, .. } => format!(
+        Plan::TensorPredict {
+            input,
+            model,
+            output,
+            device,
+            ..
+        } => format!(
             "SELECT *, _pred AS {} FROM PREDICT(MODEL = '{}', DATA = ({}) AS _d) \
              WITH (_pred FLOAT) /* NN-translated, tensor runtime on {device:?} */",
             quote_name(output),
@@ -202,9 +211,7 @@ mod tests {
     fn predict_renders_sqlserver_syntax() {
         let pipeline = Pipeline::new(
             vec![FeatureStep::new("bp", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap()),
         )
         .unwrap();
         let plan = Plan::Predict {
@@ -227,10 +234,7 @@ mod tests {
             input: Box::new(scan()),
             exprs: vec![(
                 Expr::Case {
-                    branches: vec![(
-                        Expr::col("bp").lt_eq(Expr::lit(140i64)),
-                        Expr::lit(2.0f64),
-                    )],
+                    branches: vec![(Expr::col("bp").lt_eq(Expr::lit(140i64)), Expr::lit(2.0f64))],
                     else_expr: Box::new(Expr::lit(7.0f64)),
                 },
                 "stay".into(),

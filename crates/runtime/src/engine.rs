@@ -5,6 +5,7 @@ use crate::Result;
 use raven_data::{Catalog, Table};
 use raven_ir::Plan;
 use raven_relational::{ExecOptions, Executor};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Timing and cache information for one query execution.
@@ -17,17 +18,32 @@ pub struct ExecutionStats {
 }
 
 /// Executes optimized plans with Raven's scorer.
-pub struct QueryEngine<'a> {
-    catalog: &'a Catalog,
-    scorer: RavenScorer,
+///
+/// Owns its catalog and scorer behind `Arc`s (no borrow lifetimes), so an
+/// engine can be shared across worker threads or embedded in long-lived
+/// services; the scorer's inference-session cache is shared by every
+/// clone-holder.
+pub struct QueryEngine {
+    catalog: Arc<Catalog>,
+    scorer: Arc<RavenScorer>,
     exec_options: ExecOptions,
 }
 
-impl<'a> QueryEngine<'a> {
-    pub fn new(catalog: &'a Catalog, config: ScorerConfig) -> Self {
+impl QueryEngine {
+    pub fn new(catalog: impl Into<Arc<Catalog>>, config: ScorerConfig) -> Self {
+        QueryEngine {
+            catalog: catalog.into(),
+            scorer: Arc::new(RavenScorer::new(config)),
+            exec_options: ExecOptions::default(),
+        }
+    }
+
+    /// An engine over existing shared state (the serving layer's path:
+    /// catalog and session cache survive across many engines/requests).
+    pub fn from_shared(catalog: Arc<Catalog>, scorer: Arc<RavenScorer>) -> Self {
         QueryEngine {
             catalog,
-            scorer: RavenScorer::new(config),
+            scorer,
             exec_options: ExecOptions::default(),
         }
     }
@@ -43,10 +59,20 @@ impl<'a> QueryEngine<'a> {
         &self.scorer
     }
 
+    /// Shared handle to the scorer.
+    pub fn scorer_shared(&self) -> Arc<RavenScorer> {
+        self.scorer.clone()
+    }
+
+    /// Shared handle to the catalog.
+    pub fn catalog_shared(&self) -> Arc<Catalog> {
+        self.catalog.clone()
+    }
+
     /// Execute a plan, returning the result table and stats.
     pub fn run(&self, plan: &Plan) -> Result<(Table, ExecutionStats)> {
         let start = Instant::now();
-        let executor = Executor::new(self.catalog, &self.scorer, self.exec_options);
+        let executor = Executor::new(&self.catalog, self.scorer.as_ref(), self.exec_options);
         let table = executor.execute(plan)?;
         let stats = ExecutionStats {
             wall: start.elapsed(),
@@ -84,17 +110,15 @@ mod tests {
     fn pipeline() -> Pipeline {
         Pipeline::new(
             vec![FeatureStep::new("x", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap()),
         )
         .unwrap()
     }
 
     #[test]
     fn runs_inference_query_end_to_end() {
-        let cat = catalog(1000);
-        let engine = QueryEngine::new(&cat, ScorerConfig::instant());
+        let cat = Arc::new(catalog(1000));
+        let engine = QueryEngine::new(cat.clone(), ScorerConfig::instant());
         let graph = Arc::new(translate_pipeline(&pipeline()).unwrap());
         let plan = Plan::Filter {
             input: Box::new(Plan::TensorPredict {
@@ -124,8 +148,8 @@ mod tests {
 
     #[test]
     fn out_of_process_query_executes() {
-        let cat = catalog(50);
-        let engine = QueryEngine::new(&cat, ScorerConfig::instant());
+        let cat = Arc::new(catalog(50));
+        let engine = QueryEngine::new(cat.clone(), ScorerConfig::instant());
         let plan = Plan::Predict {
             input: Box::new(Plan::Scan {
                 table: "t".into(),

@@ -175,9 +175,7 @@ mod tests {
     fn pipeline() -> Pipeline {
         Pipeline::new(
             vec![FeatureStep::new("x", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![2.0], 1.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![2.0], 1.0, LinearKind::Regression).unwrap()),
         )
         .unwrap()
     }
@@ -196,8 +194,7 @@ mod tests {
         let p = pipeline();
         let b = batch(10);
         let reference = p.predict(&b).unwrap();
-        let external =
-            score_out_of_process(&p, &b, &ExternalConfig::instant()).unwrap();
+        let external = score_out_of_process(&p, &b, &ExternalConfig::instant()).unwrap();
         assert_eq!(reference, external);
     }
 

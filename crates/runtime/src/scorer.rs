@@ -1,8 +1,6 @@
 //! The Raven scorer: dispatches model operators to their engines.
 
-use crate::external::{
-    score_container, score_out_of_process, ContainerConfig, ExternalConfig,
-};
+use crate::external::{score_container, score_out_of_process, ContainerConfig, ExternalConfig};
 use crate::Result;
 use raven_data::RecordBatch;
 use raven_ir::{Device, ExecutionMode, Plan};
@@ -13,8 +11,7 @@ use raven_tensor::{
 use std::sync::Arc;
 
 /// Scorer configuration.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ScorerConfig {
     /// Out-of-process runtime costs (Raven Ext).
     pub external: ExternalConfig,
@@ -25,7 +22,6 @@ pub struct ScorerConfig {
     /// (§5 observation v); set to 1 to reproduce per-tuple scoring.
     pub tensor_batch_size: usize,
 }
-
 
 impl ScorerConfig {
     /// Zero-latency externals (unit tests).
@@ -127,8 +123,7 @@ impl RavenScorer {
             return Ok(Vec::new());
         }
         let input = Tensor::matrix(rows, cols, raw.iter().map(|&v| v as f32).collect())?;
-        let (outputs, _stats) =
-            session.run_batched(raven_ml::translate::INPUT_NAME, &input)?;
+        let (outputs, _stats) = session.run_batched(raven_ml::translate::INPUT_NAME, &input)?;
         let out = &outputs[0];
         Ok(out.data().iter().map(|&v| v as f64).collect())
     }
@@ -243,9 +238,7 @@ impl Scorer for RavenScorer {
                     route_columns,
                     cluster_models,
                     ..
-                } => {
-                    self.score_clustered(model, kmeans, route_columns, cluster_models, batch)
-                }
+                } => self.score_clustered(model, kmeans, route_columns, cluster_models, batch),
                 Plan::Udf { name, .. } => Err(crate::RuntimeError::Exec(format!(
                     "UDF {name} is not executable (the paper treats UDFs as opaque; \
                      train or register the model to replace it)"
@@ -283,9 +276,7 @@ mod tests {
     fn pipeline() -> Pipeline {
         Pipeline::new(
             vec![FeatureStep::new("x", Transform::Identity)],
-            Estimator::Linear(
-                LinearModel::new(vec![3.0], -1.0, LinearKind::Regression).unwrap(),
-            ),
+            Estimator::Linear(LinearModel::new(vec![3.0], -1.0, LinearKind::Regression).unwrap()),
         )
         .unwrap()
     }

@@ -1,0 +1,324 @@
+//! Micro-batched point scoring.
+//!
+//! Serving workloads are dominated by single-row "score this one entity"
+//! requests, but every scoring substrate in Raven is dramatically cheaper
+//! per row when invoked on a batch (the paper's §5 observation v: batch
+//! inference gains ~an order of magnitude). The micro-batcher closes the
+//! gap: concurrent single-row requests are queued, coalesced for up to a
+//! flush window (or until a batch fills), grouped by model, and scored
+//! with **one** pipeline invocation per model per flush.
+
+use crate::error::{Result, ServerError};
+use parking_lot::Mutex;
+use raven_core::ModelStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Flush as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Flush a partial batch this long after its first request arrived.
+    pub flush_interval: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            flush_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Counters exposed by [`MicroBatcher::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatcherStats {
+    /// Single-row requests accepted.
+    pub requests: u64,
+    /// Scorer invocations issued (per model per flush).
+    pub batches: u64,
+    /// Rows scored across all batches.
+    pub batched_rows: u64,
+    /// Largest single scorer invocation.
+    pub max_batch_seen: u64,
+}
+
+impl BatcherStats {
+    /// Mean rows per scorer invocation (1.0 = no coalescing happened).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_rows as f64 / self.batches as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    batched_rows: AtomicU64,
+    max_batch_seen: AtomicU64,
+}
+
+struct Request {
+    model: String,
+    row: Vec<f64>,
+    reply: mpsc::Sender<Result<f64>>,
+}
+
+/// A background coalescing loop over a shared [`ModelStore`].
+///
+/// `score` blocks the calling thread until its row's prediction comes
+/// back from a batched scorer invocation; any number of threads may call
+/// it concurrently. Dropping the batcher drains the queue and joins the
+/// worker.
+pub struct MicroBatcher {
+    tx: Mutex<Option<mpsc::Sender<Request>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    counters: Arc<Counters>,
+}
+
+impl MicroBatcher {
+    pub fn new(store: Arc<ModelStore>, config: BatchConfig) -> Self {
+        let (tx, rx) = mpsc::channel::<Request>();
+        let counters = Arc::new(Counters::default());
+        let worker_counters = counters.clone();
+        let worker = std::thread::Builder::new()
+            .name("raven-microbatcher".into())
+            .spawn(move || batch_loop(rx, store, config, worker_counters))
+            .expect("spawn micro-batcher worker");
+        MicroBatcher {
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            counters,
+        }
+    }
+
+    /// Score one raw feature row (values in the model pipeline's step
+    /// order) against the latest version of `model`. Blocks until the
+    /// batched invocation containing this row completes.
+    pub fn score(&self, model: &str, row: Vec<f64>) -> Result<f64> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        {
+            let tx = self.tx.lock();
+            let tx = tx.as_ref().ok_or(ServerError::ShuttingDown)?;
+            tx.send(Request {
+                model: model.to_string(),
+                row,
+                reply: reply_tx,
+            })
+            .map_err(|_| ServerError::ShuttingDown)?;
+        }
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        reply_rx.recv().map_err(|_| ServerError::ShuttingDown)?
+    }
+
+    pub fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batched_rows: self.counters.batched_rows.load(Ordering::Relaxed),
+            max_batch_seen: self.counters.max_batch_seen.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        *self.tx.lock() = None; // disconnect → worker drains and exits
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn batch_loop(
+    rx: mpsc::Receiver<Request>,
+    store: Arc<ModelStore>,
+    config: BatchConfig,
+    counters: Arc<Counters>,
+) {
+    let max_batch = config.max_batch.max(1);
+    while let Ok(first) = rx.recv() {
+        let deadline = Instant::now() + config.flush_interval;
+        let mut pending = vec![first];
+        while pending.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(req) => pending.push(req),
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        flush(pending, &store, &counters);
+    }
+}
+
+/// Score a flush's worth of requests: one scorer invocation per model.
+fn flush(pending: Vec<Request>, store: &ModelStore, counters: &Counters) {
+    // Group by model, preserving arrival order within each group.
+    let mut groups: Vec<(String, Vec<Request>)> = Vec::new();
+    for req in pending {
+        match groups.iter_mut().find(|(m, _)| *m == req.model) {
+            Some((_, g)) => g.push(req),
+            None => groups.push((req.model.clone(), vec![req])),
+        }
+    }
+    for (model, group) in groups {
+        score_group(&model, group, store, counters);
+    }
+}
+
+fn score_group(model: &str, group: Vec<Request>, store: &ModelStore, counters: &Counters) {
+    let pipeline = match store.get(model) {
+        Ok(p) => p,
+        Err(e) => {
+            let err = ServerError::Store(e.to_string());
+            for req in group {
+                let _ = req.reply.send(Err(err.clone()));
+            }
+            return;
+        }
+    };
+    let width = pipeline.steps().len();
+    // Rows with the wrong arity get individual errors; the rest batch.
+    let (good, bad): (Vec<Request>, Vec<Request>) =
+        group.into_iter().partition(|r| r.row.len() == width);
+    for req in bad {
+        let _ = req.reply.send(Err(ServerError::BadRequest(format!(
+            "model '{model}' takes {width} features, request has {}",
+            req.row.len()
+        ))));
+    }
+    if good.is_empty() {
+        return;
+    }
+    let rows = good.len();
+    let mut flat = Vec::with_capacity(rows * width);
+    for req in &good {
+        flat.extend_from_slice(&req.row);
+    }
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters
+        .batched_rows
+        .fetch_add(rows as u64, Ordering::Relaxed);
+    counters
+        .max_batch_seen
+        .fetch_max(rows as u64, Ordering::Relaxed);
+    match pipeline.predict_raw(&flat, rows) {
+        Ok(scores) => {
+            for (req, score) in good.into_iter().zip(scores) {
+                let _ = req.reply.send(Ok(score));
+            }
+        }
+        Err(e) => {
+            let err = ServerError::Scoring(e.to_string());
+            for req in good {
+                let _ = req.reply.send(Err(err.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_ml::featurize::Transform;
+    use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Pipeline};
+
+    fn store_with_linear(name: &str, w: &[f64], b: f64) -> Arc<ModelStore> {
+        let store = Arc::new(ModelStore::new());
+        let steps = (0..w.len())
+            .map(|i| FeatureStep::new(format!("f{i}"), Transform::Identity))
+            .collect();
+        let pipeline = Pipeline::new(
+            steps,
+            Estimator::Linear(LinearModel::new(w.to_vec(), b, LinearKind::Regression).unwrap()),
+        )
+        .unwrap();
+        store.store(name, pipeline);
+        store
+    }
+
+    #[test]
+    fn scores_match_direct_pipeline() {
+        let store = store_with_linear("m", &[2.0, -1.0], 0.5);
+        let batcher = MicroBatcher::new(store, BatchConfig::default());
+        assert_eq!(batcher.score("m", vec![3.0, 1.0]).unwrap(), 5.5);
+        assert_eq!(batcher.score("m", vec![0.0, 0.0]).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce() {
+        let store = store_with_linear("m", &[1.0], 0.0);
+        let batcher = Arc::new(MicroBatcher::new(
+            store,
+            BatchConfig {
+                max_batch: 64,
+                // Wide window: all threads' rows land in very few flushes.
+                flush_interval: Duration::from_millis(50),
+            },
+        ));
+        let n = 24;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let b = batcher.clone();
+                std::thread::spawn(move || b.score("m", vec![i as f64]).unwrap())
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), i as f64);
+        }
+        let stats = batcher.stats();
+        assert_eq!(stats.requests, n as u64);
+        assert_eq!(stats.batched_rows, n as u64);
+        assert!(
+            stats.batches < n as u64,
+            "no coalescing: {} batches for {n} requests",
+            stats.batches
+        );
+        assert!(stats.mean_batch_size() > 1.0);
+        assert!(stats.max_batch_seen >= 2);
+    }
+
+    #[test]
+    fn bad_requests_fail_individually() {
+        let store = store_with_linear("m", &[1.0, 1.0], 0.0);
+        let batcher = MicroBatcher::new(store, BatchConfig::default());
+        assert!(matches!(
+            batcher.score("m", vec![1.0]),
+            Err(ServerError::BadRequest(_))
+        ));
+        assert!(matches!(
+            batcher.score("ghost", vec![1.0, 2.0]),
+            Err(ServerError::Store(_))
+        ));
+        // The queue still works afterwards.
+        assert_eq!(batcher.score("m", vec![1.0, 2.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn model_update_visible_to_next_flush() {
+        let store = store_with_linear("m", &[1.0], 0.0);
+        let batcher = MicroBatcher::new(store.clone(), BatchConfig::default());
+        assert_eq!(batcher.score("m", vec![4.0]).unwrap(), 4.0);
+        // v2 doubles the weight; the batcher resolves latest-per-flush.
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("f0", Transform::Identity)],
+            Estimator::Linear(LinearModel::new(vec![2.0], 0.0, LinearKind::Regression).unwrap()),
+        )
+        .unwrap();
+        store.store("m", pipeline);
+        assert_eq!(batcher.score("m", vec![4.0]).unwrap(), 8.0);
+    }
+}

@@ -1,0 +1,603 @@
+//! The prepared-plan cache: parse → bind → optimize once, execute many.
+//!
+//! Keyed by the *exact SQL text* plus the optimizer configuration
+//! ([`RuleSet`] and [`OptimizerMode`]): the same query optimized under
+//! different rule toggles is a different plan and must not collide.
+//! Entries record which tables and models the bound plan depends on, so
+//! catalog and model-store mutations invalidate exactly the affected
+//! plans (the serving-layer counterpart of the paper's transactional
+//! model updates).
+
+use parking_lot::Mutex;
+use raven_ir::Plan;
+use raven_opt::{OptimizationReport, OptimizerMode, RuleSet};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cache key: SQL text + everything that changes the optimized plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    pub sql: String,
+    pub rules: RuleSet,
+    pub mode: OptimizerMode,
+}
+
+/// A query prepared once and executable many times.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// The SQL text this plan was prepared from.
+    pub sql: String,
+    /// The fully optimized plan.
+    pub plan: Plan,
+    /// What the cross optimizer did while preparing.
+    pub report: OptimizationReport,
+    /// Models the plan's operators are bound to (by name).
+    pub model_deps: Vec<String>,
+    /// Tables the plan scans.
+    pub table_deps: Vec<String>,
+    /// Wall time of the parse + bind + optimize work this cache amortizes.
+    pub prepare_time: Duration,
+}
+
+impl PreparedQuery {
+    /// Build a prepared query, extracting table/model dependencies from
+    /// the optimized plan.
+    pub fn new(
+        sql: impl Into<String>,
+        plan: Plan,
+        report: OptimizationReport,
+        prepare_time: Duration,
+    ) -> Self {
+        let (model_deps, table_deps) = collect_deps(&plan, HashSet::new(), HashSet::new());
+        PreparedQuery {
+            sql: sql.into(),
+            plan,
+            report,
+            model_deps,
+            table_deps,
+            prepare_time,
+        }
+    }
+
+    /// Build a prepared query whose dependency sets are the union of the
+    /// *bound* and *optimized* plans. The bound plan matters: cross
+    /// optimizations can erase the evidence — model inlining replaces a
+    /// `Predict` node with CASE arithmetic and join elimination drops
+    /// scans — yet the cached plan still embeds that model's (now stale
+    /// after an update) parameters.
+    pub fn from_stages(
+        sql: impl Into<String>,
+        bound: &Plan,
+        optimized: Plan,
+        report: OptimizationReport,
+        prepare_time: Duration,
+    ) -> Self {
+        let mut prepared = PreparedQuery::new(sql, optimized, report, prepare_time);
+        let (model_deps, table_deps) = collect_deps(
+            bound,
+            prepared.model_deps.iter().cloned().collect(),
+            prepared.table_deps.iter().cloned().collect(),
+        );
+        prepared.model_deps = model_deps;
+        prepared.table_deps = table_deps;
+        prepared
+    }
+}
+
+fn collect_deps(
+    plan: &Plan,
+    mut models: HashSet<String>,
+    mut tables: HashSet<String>,
+) -> (Vec<String>, Vec<String>) {
+    plan.visit(&mut |node| match node {
+        Plan::Scan { table, .. } => {
+            tables.insert(table.clone());
+        }
+        Plan::Predict { model, .. }
+        | Plan::TensorPredict { model, .. }
+        | Plan::ClusteredPredict { model, .. } => {
+            models.insert(model.name.clone());
+        }
+        _ => {}
+    });
+    let mut model_deps: Vec<String> = models.into_iter().collect();
+    model_deps.sort();
+    let mut table_deps: Vec<String> = tables.into_iter().collect();
+    table_deps.sort();
+    (model_deps, table_deps)
+}
+
+/// Counters exposed by [`PlanCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that found a plan.
+    pub hits: u64,
+    /// Lookups that found nothing. Under single-flight contention this
+    /// exceeds `preparations`: every waiter counts its first miss.
+    pub misses: u64,
+    /// Parse → bind → optimize passes actually run by `get_or_prepare`
+    /// (the work the cache exists to amortize).
+    pub preparations: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for PlanCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate), {} preparations, \
+             {} evictions, {} invalidations",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.preparations,
+            self.evictions,
+            self.invalidations
+        )
+    }
+}
+
+struct Entry {
+    prepared: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<PlanKey, Entry>,
+    tick: u64,
+    stats: PlanCacheStats,
+    /// Bumped by every invalidation, under this same lock, so a
+    /// preparation that straddles a bump can atomically decide not to
+    /// cache its (possibly stale-bound) result.
+    epoch: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.prepared.clone()
+        })
+    }
+
+    fn insert(&mut self, capacity: usize, key: PlanKey, prepared: Arc<PreparedQuery>) {
+        self.tick += 1;
+        let tick = self.tick;
+        if !self.map.contains_key(&key) && self.map.len() >= capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                prepared,
+                last_used: tick,
+            },
+        );
+    }
+}
+
+/// A thread-safe LRU cache of [`PreparedQuery`]s with single-flight
+/// preparation: when N threads miss on the same key concurrently, one
+/// prepares while the rest wait and then hit — optimization runs once.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    // std primitives: waiting on a condvar needs guard-by-value semantics.
+    inflight: std::sync::Mutex<HashSet<PlanKey>>,
+    inflight_done: std::sync::Condvar,
+}
+
+/// Releases a single-flight claim on drop — including a panicking
+/// `prepare` — so waiters always wake and can retry.
+struct ClaimGuard<'a> {
+    cache: &'a PlanCache,
+    key: &'a PlanKey,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        let mut inflight = self
+            .cache
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inflight.remove(self.key);
+        self.cache.inflight_done.notify_all();
+    }
+}
+
+impl PlanCache {
+    /// `capacity` = maximum cached plans (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+            inflight: std::sync::Mutex::new(HashSet::new()),
+            inflight_done: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Count an optimizer pass that ran outside the cache (the
+    /// cache-disabled serving path), so `preparations` stays an honest
+    /// measure of optimization work either way.
+    pub fn note_uncached_preparation(&self) {
+        self.inner.lock().stats.preparations += 1;
+    }
+
+    /// Look up without touching the hit/miss counters (used for the
+    /// post-claim double-check, which already counted its miss).
+    fn peek(&self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+        self.inner.lock().touch(key)
+    }
+
+    /// Look up a prepared plan, counting a hit or miss.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+        let mut inner = self.inner.lock();
+        let found = inner.touch(key);
+        if found.is_some() {
+            inner.stats.hits += 1;
+        } else {
+            inner.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Insert a prepared plan, evicting the least-recently-used entry
+    /// when the cache is full.
+    pub fn insert(&self, key: PlanKey, prepared: Arc<PreparedQuery>) {
+        self.inner.lock().insert(self.capacity, key, prepared);
+    }
+
+    /// Cached plan for `key`, or prepare one with `prepare` (run outside
+    /// all locks, at most once per key across concurrent callers).
+    ///
+    /// Two hazards are handled here:
+    /// * a **panic** inside `prepare` releases the single-flight claim
+    ///   (RAII guard), so one pathological statement cannot wedge every
+    ///   future request for the same SQL;
+    /// * an **invalidation racing the preparation** (model update while
+    ///   parse → bind → optimize is binding the old version) prevents the
+    ///   result from being cached: the plan is still returned — the
+    ///   request began before the update — but never outlives it.
+    pub fn get_or_prepare<E>(
+        &self,
+        key: PlanKey,
+        prepare: impl FnOnce() -> Result<PreparedQuery, E>,
+    ) -> Result<(Arc<PreparedQuery>, bool), E> {
+        loop {
+            if let Some(hit) = self.get(&key) {
+                return Ok((hit, true));
+            }
+            // Miss: claim the key, or wait for whoever holds it.
+            let mut inflight = self.inflight.lock().unwrap();
+            if inflight.insert(key.clone()) {
+                break;
+            }
+            let _woken = self.inflight_done.wait(inflight).unwrap();
+            // Re-check the cache; the preparer may have failed, in which
+            // case this caller claims the key and retries.
+        }
+        // From here the claim must be released on every exit path,
+        // including a panicking `prepare`.
+        let claim = ClaimGuard {
+            cache: self,
+            key: &key,
+        };
+        // Double-check after claiming: the previous holder may have
+        // inserted between our cache miss and our claim.
+        if let Some(hit) = self.peek(&key) {
+            return Ok((hit, true));
+        }
+        let epoch = {
+            let mut inner = self.inner.lock();
+            inner.stats.preparations += 1;
+            inner.epoch
+        };
+        let prepared = Arc::new(prepare()?);
+        // Insert BEFORE releasing the claim (waiters woken by the guard
+        // must see the entry on their re-check) — unless an invalidation
+        // ran while we were preparing, in which case this plan may be
+        // bound to state that no longer exists and must not be cached.
+        // Epoch re-check and insert happen under one lock acquisition so
+        // no invalidation can slip between them.
+        {
+            let mut inner = self.inner.lock();
+            if inner.epoch == epoch {
+                inner.insert(self.capacity, key.clone(), prepared.clone());
+            }
+        }
+        drop(claim);
+        Ok((prepared, false))
+    }
+
+    /// Drop every plan bound to `model`; returns how many were dropped.
+    pub fn invalidate_model(&self, model: &str) -> usize {
+        self.invalidate_where(|p| p.model_deps.iter().any(|m| m == model))
+    }
+
+    /// Drop every plan scanning `table`; returns how many were dropped.
+    pub fn invalidate_table(&self, table: &str) -> usize {
+        self.invalidate_where(|p| p.table_deps.iter().any(|t| t == table))
+    }
+
+    /// Drop all cached plans.
+    pub fn clear(&self) -> usize {
+        self.invalidate_where(|_| true)
+    }
+
+    fn invalidate_where(&self, pred: impl Fn(&PreparedQuery) -> bool) -> usize {
+        let mut inner = self.inner.lock();
+        // Bump even when nothing matches: an in-flight preparation may be
+        // binding the state this invalidation targets, and the bump is
+        // what stops it from caching the result.
+        inner.epoch += 1;
+        let before = inner.map.len();
+        inner.map.retain(|_, e| !pred(&e.prepared));
+        let dropped = before - inner.map.len();
+        inner.stats.invalidations += dropped as u64;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{DataType, Schema};
+
+    fn key(sql: &str, rules: RuleSet) -> PlanKey {
+        PlanKey {
+            sql: sql.to_string(),
+            rules,
+            mode: OptimizerMode::Heuristic,
+        }
+    }
+
+    fn prepared(table: &str) -> Arc<PreparedQuery> {
+        let plan = Plan::Scan {
+            table: table.to_string(),
+            schema: Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+        };
+        Arc::new(PreparedQuery::new(
+            format!("SELECT * FROM {table}"),
+            plan,
+            OptimizationReport::default(),
+            Duration::ZERO,
+        ))
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = PlanCache::new(4);
+        let k = key("q1", RuleSet::all());
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), prepared("t"));
+        assert!(cache.get(&k).is_some());
+        assert!(cache.get(&k).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn key_is_sensitive_to_rules_and_mode() {
+        let cache = PlanCache::new(8);
+        cache.insert(key("q", RuleSet::all()), prepared("t"));
+        // Same SQL, different rules → different entry.
+        assert!(cache.get(&key("q", RuleSet::none())).is_none());
+        // Same SQL + rules, different driver → different entry.
+        let cost_based = PlanKey {
+            sql: "q".into(),
+            rules: RuleSet::all(),
+            mode: OptimizerMode::CostBased,
+        };
+        assert!(cache.get(&cost_based).is_none());
+        assert!(cache.get(&key("q", RuleSet::all())).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let cache = PlanCache::new(2);
+        let (a, b, c) = (
+            key("a", RuleSet::all()),
+            key("b", RuleSet::all()),
+            key("c", RuleSet::all()),
+        );
+        cache.insert(a.clone(), prepared("t"));
+        cache.insert(b.clone(), prepared("t"));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.get(&a).is_some());
+        cache.insert(c.clone(), prepared("t"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&a).is_some(), "recently-used entry survived");
+        assert!(cache.get(&c).is_some(), "new entry present");
+        assert!(cache.get(&b).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let cache = PlanCache::new(2);
+        let a = key("a", RuleSet::all());
+        let b = key("b", RuleSet::all());
+        cache.insert(a.clone(), prepared("t"));
+        cache.insert(b.clone(), prepared("t"));
+        cache.insert(a.clone(), prepared("t2"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn dependency_invalidation() {
+        let cache = PlanCache::new(8);
+        let k1 = key("scan t1", RuleSet::all());
+        let k2 = key("scan t2", RuleSet::all());
+        cache.insert(k1.clone(), prepared("t1"));
+        cache.insert(k2.clone(), prepared("t2"));
+        assert_eq!(cache.invalidate_table("t1"), 1);
+        assert!(cache.get(&k1).is_none());
+        assert!(cache.get(&k2).is_some());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.invalidate_model("nope"), 0);
+        assert_eq!(cache.clear(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn single_flight_prepares_once_under_contention() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = Arc::new(PlanCache::new(8));
+        let prepares = Arc::new(AtomicUsize::new(0));
+        let k = key("hot", RuleSet::all());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                let prepares = prepares.clone();
+                let k = k.clone();
+                std::thread::spawn(move || {
+                    let (p, _) = cache
+                        .get_or_prepare::<()>(k, || {
+                            prepares.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(Duration::from_millis(10));
+                            Ok(PreparedQuery::new(
+                                "hot",
+                                Plan::Scan {
+                                    table: "t".into(),
+                                    schema: Schema::from_pairs(&[("x", DataType::Float64)])
+                                        .into_shared(),
+                                },
+                                OptimizationReport::default(),
+                                Duration::ZERO,
+                            ))
+                        })
+                        .unwrap();
+                    assert_eq!(p.sql, "hot");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(prepares.load(Ordering::SeqCst), 1, "optimized exactly once");
+        assert_eq!(cache.stats().preparations, 1);
+        assert_eq!(cache.stats().misses, 8, "every first lookup missed");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn panicking_preparation_releases_the_claim() {
+        let cache = Arc::new(PlanCache::new(4));
+        let k = key("boom", RuleSet::all());
+        let panicked = {
+            let cache = cache.clone();
+            let k = k.clone();
+            std::thread::spawn(move || {
+                let _ = cache.get_or_prepare::<()>(k, || panic!("bad statement"));
+            })
+        };
+        assert!(panicked.join().is_err(), "prepare panicked");
+        // The claim must be free: the same key prepares fine afterwards
+        // instead of deadlocking in the single-flight wait.
+        let (p, hit) = cache
+            .get_or_prepare::<()>(k, || {
+                Ok(PreparedQuery::new(
+                    "boom",
+                    Plan::Scan {
+                        table: "t".into(),
+                        schema: Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+                    },
+                    OptimizationReport::default(),
+                    Duration::ZERO,
+                ))
+            })
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(p.sql, "boom");
+    }
+
+    #[test]
+    fn invalidation_during_preparation_is_not_cached() {
+        let cache = PlanCache::new(4);
+        let k = key("racy", RuleSet::all());
+        // The "model update" lands while the preparation is in flight.
+        let (p, hit) = cache
+            .get_or_prepare::<()>(k.clone(), || {
+                cache.invalidate_model("m");
+                Ok(PreparedQuery::new(
+                    "racy",
+                    Plan::Scan {
+                        table: "t".into(),
+                        schema: Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+                    },
+                    OptimizationReport::default(),
+                    Duration::ZERO,
+                ))
+            })
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(p.sql, "racy", "the request itself is still served");
+        assert!(
+            cache.is_empty(),
+            "a plan prepared across an invalidation must not be cached"
+        );
+        // The next request simply prepares again (and caches).
+        let (_, hit2) = cache
+            .get_or_prepare::<()>(k.clone(), || {
+                Ok(PreparedQuery::new(
+                    "racy",
+                    Plan::Scan {
+                        table: "t".into(),
+                        schema: Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+                    },
+                    OptimizationReport::default(),
+                    Duration::ZERO,
+                ))
+            })
+            .unwrap();
+        assert!(!hit2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&k).is_some());
+    }
+}

@@ -1,0 +1,57 @@
+//! Serving-layer errors.
+
+use raven_core::session::SessionError;
+use std::fmt;
+
+/// Errors surfaced to serving clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// SQL parse/bind failure.
+    Sql(String),
+    /// Cross-optimizer failure.
+    Optimizer(String),
+    /// Plan execution failure.
+    Execution(String),
+    /// Catalog/data failure.
+    Data(String),
+    /// Model-store failure (unknown model, corrupt bytes, …).
+    Store(String),
+    /// Scoring failure inside a batched invocation.
+    Scoring(String),
+    /// Malformed request (e.g. wrong feature arity).
+    BadRequest(String),
+    /// The server is shutting down; the request was not served.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Sql(m) => write!(f, "sql error: {m}"),
+            ServerError::Optimizer(m) => write!(f, "optimizer error: {m}"),
+            ServerError::Execution(m) => write!(f, "execution error: {m}"),
+            ServerError::Data(m) => write!(f, "data error: {m}"),
+            ServerError::Store(m) => write!(f, "model store error: {m}"),
+            ServerError::Scoring(m) => write!(f, "scoring error: {m}"),
+            ServerError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<SessionError> for ServerError {
+    fn from(e: SessionError) -> Self {
+        match e {
+            SessionError::Sql(m) | SessionError::Python(m) => ServerError::Sql(m),
+            SessionError::Optimizer(m) => ServerError::Optimizer(m),
+            SessionError::Execution(m) => ServerError::Execution(m),
+            SessionError::Data(m) => ServerError::Data(m),
+            SessionError::Store(m) => ServerError::Store(m),
+        }
+    }
+}
+
+/// Serving-layer result alias.
+pub type Result<T> = std::result::Result<T, ServerError>;

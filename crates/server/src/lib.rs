@@ -1,0 +1,66 @@
+//! # raven-server
+//!
+//! The concurrent prediction-serving layer over the Raven engine — the
+//! step from "a session that can run one inference query" toward the
+//! paper's deployment story: models served *inside* the data engine, at
+//! application traffic rates.
+//!
+//! A [`ServerState`] bundles the engine's shared state (catalog, model
+//! store, scorer with its inference-session cache) behind `Arc`s and adds
+//! the two classic inference-serving levers:
+//!
+//! * a **prepared-plan cache** ([`PlanCache`]): parse → bind → optimize
+//!   runs once per distinct (SQL, [`raven_opt::RuleSet`], optimizer mode)
+//!   key, with LRU eviction, single-flight preparation under concurrency,
+//!   and precise invalidation when a model or table changes;
+//! * a **micro-batcher** ([`MicroBatcher`]): concurrent single-row
+//!   scoring requests coalesce into one batched pipeline invocation per
+//!   flush window (the paper's §5 "batch inference" observation, applied
+//!   to point lookups).
+//!
+//! Every method takes `&self`; wrap the state in an `Arc` and share it
+//! across as many worker threads as the machine offers:
+//!
+//! ```
+//! use raven_server::{ServerConfig, ServerState};
+//! use raven_data::{Column, DataType, Schema, Table};
+//! use raven_ml::featurize::Transform;
+//! use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Pipeline};
+//! use std::sync::Arc;
+//!
+//! let server = Arc::new(ServerState::new(ServerConfig::for_tests()));
+//! let table = Table::try_new(
+//!     Schema::from_pairs(&[("age", DataType::Float64)]).into_shared(),
+//!     vec![Column::from(vec![30.0, 60.0])],
+//! ).unwrap();
+//! server.register_table("patients", table).unwrap();
+//! let model = Pipeline::new(
+//!     vec![FeatureStep::new("age", Transform::Identity)],
+//!     Estimator::Linear(LinearModel::new(vec![0.1], 0.0, LinearKind::Regression).unwrap()),
+//! ).unwrap();
+//! server.store_model("risk", model).unwrap();
+//!
+//! let sql = "SELECT p.score FROM PREDICT(MODEL = 'risk', DATA = patients AS d) \
+//!            WITH (score FLOAT) AS p";
+//! let threads: Vec<_> = (0..4).map(|_| {
+//!     let server = server.clone();
+//!     std::thread::spawn(move || server.execute(sql).unwrap().table.num_rows())
+//! }).collect();
+//! for t in threads {
+//!     assert_eq!(t.join().unwrap(), 2);
+//! }
+//! // 4 requests, 1 optimization: the plan cache absorbed the rest.
+//! assert_eq!(server.plan_cache_stats().preparations, 1);
+//! ```
+
+pub mod batcher;
+pub mod cache;
+pub mod error;
+pub mod state;
+pub mod stats;
+
+pub use batcher::{BatchConfig, BatcherStats, MicroBatcher};
+pub use cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
+pub use error::{Result, ServerError};
+pub use state::{ServerConfig, ServerQueryResult, ServerState};
+pub use stats::{LatencySummary, ServerStats, StatsSnapshot};

@@ -1,0 +1,387 @@
+//! `ServerState`: the shared, thread-safe heart of the serving layer.
+
+use crate::batcher::{BatchConfig, BatcherStats, MicroBatcher};
+use crate::cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
+use crate::error::{Result, ServerError};
+use crate::stats::{ServerStats, StatsSnapshot};
+use raven_core::{ModelStore, RavenSession, SessionConfig};
+use raven_data::{Catalog, Table};
+use raven_ml::Pipeline;
+use raven_relational::SharedExecutor;
+use raven_runtime::RavenScorer;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serving configuration: a [`SessionConfig`] (optimizer + engines) plus
+/// the serving-only knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Optimizer/executor/scorer configuration shared by every request.
+    pub session: SessionConfig,
+    /// Maximum prepared plans kept (LRU beyond this). 0 disables the
+    /// cache: every request re-optimizes (the bench ablation baseline).
+    pub plan_cache_capacity: usize,
+    /// Micro-batching knobs for point-scoring requests.
+    pub batch: BatchConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            session: SessionConfig::default(),
+            plan_cache_capacity: 128,
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Serial engines, zero external latency — unit tests.
+    pub fn for_tests() -> Self {
+        ServerConfig {
+            session: SessionConfig::for_tests(),
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of one served query.
+#[derive(Debug)]
+pub struct ServerQueryResult {
+    pub table: Table,
+    /// End-to-end latency of this request (cache lookup + execution).
+    pub total_time: Duration,
+    /// Execution-only latency.
+    pub exec_time: Duration,
+    /// Whether the plan came from the prepared-plan cache.
+    pub cache_hit: bool,
+    /// The prepared plan this request executed (report included).
+    pub prepared: Arc<PreparedQuery>,
+}
+
+/// Shared serving state: catalog + model store + scorer + prepared-plan
+/// cache + micro-batcher + stats, everything behind `Arc`s.
+///
+/// One `ServerState` (wrapped in an `Arc`) is shared by any number of
+/// worker/client threads; all methods take `&self`. Per the paper's
+/// north star — inference "serving heavy traffic" inside the DBMS — the
+/// two throughput levers are (1) the prepared-plan cache, which runs
+/// parse → bind → optimize once per distinct query text, and (2) the
+/// micro-batcher, which turns concurrent point lookups into batched
+/// scorer invocations.
+pub struct ServerState {
+    catalog: Arc<Catalog>,
+    store: Arc<ModelStore>,
+    scorer: Arc<RavenScorer>,
+    executor: SharedExecutor,
+    plan_cache: PlanCache,
+    batcher: MicroBatcher,
+    stats: ServerStats,
+    config: ServerConfig,
+}
+
+impl Default for ServerState {
+    fn default() -> Self {
+        ServerState::new(ServerConfig::default())
+    }
+}
+
+impl ServerState {
+    /// Fresh server: empty catalog, empty model store.
+    pub fn new(config: ServerConfig) -> Self {
+        let catalog = Arc::new(Catalog::new());
+        let store = Arc::new(ModelStore::new());
+        let scorer = Arc::new(RavenScorer::new(config.session.scorer.clone()));
+        ServerState::from_parts(catalog, store, scorer, config)
+    }
+
+    /// A server over an existing session's catalog, models, and warm
+    /// scorer caches (e.g. train interactively, then serve).
+    pub fn from_session(session: &RavenSession, config: ServerConfig) -> Self {
+        ServerState::from_parts(
+            session.catalog_shared(),
+            session.store_shared(),
+            session.scorer_shared(),
+            config,
+        )
+    }
+
+    /// A server over explicit shared parts.
+    pub fn from_parts(
+        catalog: Arc<Catalog>,
+        store: Arc<ModelStore>,
+        scorer: Arc<RavenScorer>,
+        config: ServerConfig,
+    ) -> Self {
+        let executor = SharedExecutor::new(
+            catalog.clone(),
+            scorer.clone() as Arc<dyn raven_relational::Scorer>,
+            config.session.exec,
+        );
+        let batcher = MicroBatcher::new(store.clone(), config.batch.clone());
+        ServerState {
+            catalog,
+            store,
+            scorer,
+            executor,
+            plan_cache: PlanCache::new(config.plan_cache_capacity.max(1)),
+            batcher,
+            stats: ServerStats::new(),
+            config,
+        }
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The model store.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// A session over this server's shared state (for training flows,
+    /// EXPLAIN, ad-hoc work); queries through it bypass the plan cache.
+    pub fn session(&self) -> RavenSession {
+        RavenSession::from_shared(
+            self.catalog.clone(),
+            self.store.clone(),
+            self.scorer.clone(),
+            self.config.session.clone(),
+        )
+    }
+
+    /// Register a table. Errors if the name is taken.
+    pub fn register_table(&self, name: &str, table: Table) -> Result<()> {
+        self.catalog
+            .register(name, table)
+            .map_err(|e| ServerError::Data(e.to_string()))
+    }
+
+    /// Replace (or insert) a table, invalidating every cached plan that
+    /// scans it.
+    pub fn replace_table(&self, name: &str, table: Table) {
+        self.catalog.register_or_replace(name, table);
+        self.plan_cache.invalidate_table(name);
+    }
+
+    /// Store a model (new version if the name exists). Cached plans bind
+    /// model pipelines at prepare time, so every plan referencing the
+    /// model is invalidated, as are its cached inference sessions — the
+    /// serving-layer half of the paper's transactional model updates.
+    pub fn store_model(&self, name: &str, pipeline: Pipeline) -> Result<u32> {
+        let version = self.store.store(name, pipeline);
+        self.scorer.invalidate(name);
+        self.plan_cache.invalidate_model(name);
+        Ok(version)
+    }
+
+    /// Prepare `sql` (parse → bind → optimize), consulting the plan
+    /// cache. Returns the prepared plan and whether it was a cache hit.
+    pub fn prepare(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
+        let key = PlanKey {
+            sql: sql.to_string(),
+            rules: self.config.session.rules,
+            mode: self.config.session.optimizer_mode,
+        };
+        if self.config.plan_cache_capacity == 0 {
+            // Cache disabled: always prepare fresh.
+            let prepared = self.prepare_uncached(sql)?;
+            self.plan_cache.note_uncached_preparation();
+            return Ok((Arc::new(prepared), false));
+        }
+        self.plan_cache
+            .get_or_prepare(key, || self.prepare_uncached(sql))
+    }
+
+    fn prepare_uncached(&self, sql: &str) -> Result<PreparedQuery> {
+        let start = Instant::now();
+        let session = self.session();
+        let bound = session.plan(sql)?;
+        let (optimized, report) = session.optimize(bound.clone())?;
+        Ok(PreparedQuery::from_stages(
+            sql,
+            &bound,
+            optimized,
+            report,
+            start.elapsed(),
+        ))
+    }
+
+    /// Serve one SQL query end to end.
+    pub fn execute(&self, sql: &str) -> Result<ServerQueryResult> {
+        let start = Instant::now();
+        let outcome = self.execute_inner(sql, start);
+        if outcome.is_err() {
+            self.stats.record_error();
+        }
+        outcome
+    }
+
+    fn execute_inner(&self, sql: &str, start: Instant) -> Result<ServerQueryResult> {
+        let (prepared, cache_hit) = self.prepare(sql)?;
+        let exec_start = Instant::now();
+        let table = self
+            .executor
+            .execute(&prepared.plan)
+            .map_err(|e| ServerError::Execution(e.to_string()))?;
+        let exec_time = exec_start.elapsed();
+        let total_time = start.elapsed();
+        self.stats.record_query(total_time, table.num_rows());
+        Ok(ServerQueryResult {
+            table,
+            total_time,
+            exec_time,
+            cache_hit,
+            prepared,
+        })
+    }
+
+    /// Score one raw feature row against `model` via the micro-batcher
+    /// (blocks until the coalesced batch completes).
+    pub fn score_row(&self, model: &str, row: Vec<f64>) -> Result<f64> {
+        self.batcher.score(model, row)
+    }
+
+    /// Plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Micro-batcher counters.
+    pub fn batcher_stats(&self) -> BatcherStats {
+        self.batcher.stats()
+    }
+
+    /// Full observability snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot(
+            self.plan_cache.stats(),
+            self.scorer.cache_stats(),
+            self.batcher.stats(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{Column, DataType, Schema};
+    use raven_ml::featurize::Transform;
+    use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel};
+
+    fn linear(w: Vec<f64>, b: f64) -> Pipeline {
+        let steps = (0..w.len())
+            .map(|i| FeatureStep::new(format!("x{i}"), Transform::Identity))
+            .collect();
+        Pipeline::new(
+            steps,
+            Estimator::Linear(LinearModel::new(w, b, LinearKind::Regression).unwrap()),
+        )
+        .unwrap()
+    }
+
+    fn server_with_table() -> ServerState {
+        let server = ServerState::new(ServerConfig::for_tests());
+        let table = Table::try_new(
+            Schema::from_pairs(&[("x0", DataType::Float64)]).into_shared(),
+            vec![Column::Float64((0..100).map(|i| i as f64).collect())],
+        )
+        .unwrap();
+        server.register_table("t", table).unwrap();
+        server.store_model("m", linear(vec![1.0], 0.0)).unwrap();
+        server
+    }
+
+    const SQL: &str = "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d) \
+                       WITH (s FLOAT) AS p WHERE p.s > 49";
+
+    #[test]
+    fn prepare_once_execute_many() {
+        let server = server_with_table();
+        let first = server.execute(SQL).unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.table.num_rows(), 50);
+        for _ in 0..4 {
+            let again = server.execute(SQL).unwrap();
+            assert!(again.cache_hit, "repeat execution must hit the plan cache");
+            assert_eq!(again.table.num_rows(), 50);
+        }
+        let stats = server.plan_cache_stats();
+        assert_eq!(stats.preparations, 1, "optimization ran once");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        let snap = server.stats();
+        assert_eq!(snap.queries, 5);
+        assert!(snap.latency.max >= snap.latency.p50);
+    }
+
+    #[test]
+    fn model_update_invalidates_dependent_plans() {
+        let server = server_with_table();
+        let v1 = server.execute(SQL).unwrap();
+        assert_eq!(v1.table.num_rows(), 50);
+        // New model scores every row at 100: the filter keeps all rows.
+        server.store_model("m", linear(vec![0.0], 100.0)).unwrap();
+        let v2 = server.execute(SQL).unwrap();
+        assert!(!v2.cache_hit, "model update must invalidate the plan");
+        assert_eq!(v2.table.num_rows(), 100);
+        assert_eq!(server.plan_cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn table_replacement_invalidates_dependent_plans() {
+        let server = server_with_table();
+        server.execute(SQL).unwrap();
+        let bigger = Table::try_new(
+            Schema::from_pairs(&[("x0", DataType::Float64)]).into_shared(),
+            vec![Column::Float64((0..200).map(|i| i as f64).collect())],
+        )
+        .unwrap();
+        server.replace_table("t", bigger);
+        let result = server.execute(SQL).unwrap();
+        assert!(!result.cache_hit);
+        assert_eq!(result.table.num_rows(), 150);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut config = ServerConfig::for_tests();
+        config.plan_cache_capacity = 0;
+        let server = ServerState::new(config);
+        let table = Table::try_new(
+            Schema::from_pairs(&[("x0", DataType::Float64)]).into_shared(),
+            vec![Column::Float64(vec![1.0, 2.0])],
+        )
+        .unwrap();
+        server.register_table("t", table).unwrap();
+        server.store_model("m", linear(vec![1.0], 0.0)).unwrap();
+        let sql = "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d) WITH (s FLOAT) AS p";
+        assert!(!server.execute(sql).unwrap().cache_hit);
+        assert!(!server.execute(sql).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn errors_are_counted_and_typed() {
+        let server = server_with_table();
+        assert!(matches!(
+            server.execute("SELECT * FROM missing"),
+            Err(ServerError::Sql(_))
+        ));
+        assert_eq!(server.stats().errors, 1);
+    }
+
+    #[test]
+    fn session_view_shares_state() {
+        let server = server_with_table();
+        let session = server.session();
+        let result = session.query("SELECT x0 FROM t WHERE x0 > 97").unwrap();
+        assert_eq!(result.table.num_rows(), 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Server-wide observability: throughput, latency percentiles, and the
+//! cache hit rates that explain them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::batcher::BatcherStats;
+use crate::cache::PlanCacheStats;
+use parking_lot::Mutex;
+
+/// How many recent query latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Latency percentiles over the recent-query window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    pub max: Duration,
+    pub mean: Duration,
+}
+
+#[derive(Default)]
+struct LatencyWindow {
+    ring: Vec<u64>, // microseconds
+    next: usize,
+}
+
+impl LatencyWindow {
+    fn record(&mut self, micros: u64) {
+        if self.ring.len() < LATENCY_WINDOW {
+            self.ring.push(micros);
+        } else {
+            self.ring[self.next] = micros;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    fn summary(&self) -> LatencySummary {
+        if self.ring.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.ring.clone();
+        sorted.sort_unstable();
+        let at = |q: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            Duration::from_micros(sorted[idx])
+        };
+        let total: u64 = sorted.iter().sum();
+        LatencySummary {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            max: Duration::from_micros(*sorted.last().unwrap()),
+            mean: Duration::from_micros(total / sorted.len() as u64),
+        }
+    }
+}
+
+/// Live counters updated by [`crate::ServerState`] on every query.
+pub struct ServerStats {
+    started: Instant,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    rows: AtomicU64,
+    latencies: Mutex<LatencyWindow>,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyWindow::default()),
+        }
+    }
+}
+
+impl ServerStats {
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    pub fn record_query(&self, latency: Duration, rows: usize) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.latencies
+            .lock()
+            .record(latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(
+        &self,
+        plan_cache: PlanCacheStats,
+        session_cache: (u64, u64),
+        batcher: BatcherStats,
+    ) -> StatsSnapshot {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        StatsSnapshot {
+            uptime,
+            queries,
+            errors: self.errors.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            queries_per_sec: if uptime.as_secs_f64() > 0.0 {
+                queries as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency: self.latencies.lock().summary(),
+            plan_cache,
+            session_cache,
+            batcher,
+        }
+    }
+}
+
+/// A point-in-time view of everything the server measures.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    pub uptime: Duration,
+    pub queries: u64,
+    pub errors: u64,
+    pub rows: u64,
+    pub queries_per_sec: f64,
+    pub latency: LatencySummary,
+    pub plan_cache: PlanCacheStats,
+    /// Inference-session cache `(hits, misses)` from the scorer.
+    pub session_cache: (u64, u64),
+    pub batcher: BatcherStats,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "queries: {} ({} errors), rows: {}, {:.1} q/s over {:.1?}",
+            self.queries, self.errors, self.rows, self.queries_per_sec, self.uptime
+        )?;
+        writeln!(
+            f,
+            "latency: p50 {:?}, p95 {:?}, p99 {:?}, max {:?}",
+            self.latency.p50, self.latency.p95, self.latency.p99, self.latency.max
+        )?;
+        writeln!(f, "plan cache: {}", self.plan_cache)?;
+        writeln!(
+            f,
+            "inference-session cache: {} hits / {} misses",
+            self.session_cache.0, self.session_cache.1
+        )?;
+        write!(
+            f,
+            "micro-batcher: {} requests in {} batches (mean {:.1} rows, max {})",
+            self.batcher.requests,
+            self.batcher.batches,
+            self.batcher.mean_batch_size(),
+            self.batcher.max_batch_seen
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_window() {
+        let stats = ServerStats::new();
+        for i in 1..=100u64 {
+            stats.record_query(Duration::from_micros(i * 10), 1);
+        }
+        let snap = stats.snapshot(PlanCacheStats::default(), (0, 0), BatcherStats::default());
+        assert_eq!(snap.queries, 100);
+        assert_eq!(snap.rows, 100);
+        assert_eq!(snap.latency.max, Duration::from_micros(1000));
+        assert!(snap.latency.p50 >= Duration::from_micros(400));
+        assert!(snap.latency.p50 <= Duration::from_micros(600));
+        assert!(snap.latency.p99 >= snap.latency.p95);
+        assert!(snap.latency.p95 >= snap.latency.p50);
+        let shown = snap.to_string();
+        assert!(shown.contains("plan cache"));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut w = LatencyWindow::default();
+        for i in 0..(LATENCY_WINDOW as u64 + 10) {
+            w.record(i);
+        }
+        assert_eq!(w.ring.len(), LATENCY_WINDOW);
+        // The first 10 samples were overwritten.
+        assert!(!w.ring.contains(&5));
+    }
+}

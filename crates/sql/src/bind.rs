@@ -192,8 +192,7 @@ impl<'a> Binder<'a> {
                 SelectItem::Expr { expr, alias } => {
                     let Expr::Column(col) = expr else {
                         return Err(SqlError::Bind(
-                            "non-column expressions in GROUP BY selects are not supported"
-                                .into(),
+                            "non-column expressions in GROUP BY selects are not supported".into(),
                         ));
                     };
                     if !select.group_by.iter().any(|g| g == col) {
@@ -243,9 +242,10 @@ impl<'a> Binder<'a> {
                 let base = if let Some(cte) = self.ctes.get(name) {
                     cte.clone()
                 } else {
-                    let t = self.catalog.table(name).map_err(|_| {
-                        SqlError::Bind(format!("table or CTE not found: {name}"))
-                    })?;
+                    let t = self
+                        .catalog
+                        .table(name)
+                        .map_err(|_| SqlError::Bind(format!("table or CTE not found: {name}")))?;
                     Plan::Scan {
                         table: name.clone(),
                         schema: t.schema().clone(),
@@ -278,9 +278,10 @@ impl<'a> Binder<'a> {
                         .cloned()
                         .ok_or_else(|| SqlError::Bind(format!("undeclared variable @{var}")))?,
                 };
-                let pipeline = self.models.resolve(&model_name).ok_or_else(|| {
-                    SqlError::Bind(format!("model not found: {model_name}"))
-                })?;
+                let pipeline = self
+                    .models
+                    .resolve(&model_name)
+                    .ok_or_else(|| SqlError::Bind(format!("model not found: {model_name}")))?;
                 // Check the pipeline's input columns exist.
                 let schema = input.schema()?;
                 for col in pipeline.input_columns() {
@@ -513,10 +514,7 @@ mod tests {
 
     #[test]
     fn unknown_table_and_column() {
-        assert!(matches!(
-            plan("SELECT * FROM nope"),
-            Err(SqlError::Bind(_))
-        ));
+        assert!(matches!(plan("SELECT * FROM nope"), Err(SqlError::Bind(_))));
         assert!(matches!(
             plan("SELECT ghost FROM patient_info"),
             Err(SqlError::Bind(_))
@@ -529,10 +527,8 @@ mod tests {
 
     #[test]
     fn join_drops_duplicate_key() {
-        let p = plan(
-            "SELECT * FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id",
-        )
-        .unwrap();
+        let p = plan("SELECT * FROM patient_info AS pi JOIN blood_tests AS bt ON pi.id = bt.id")
+            .unwrap();
         let s = p.schema().unwrap();
         assert_eq!(s.names(), vec!["pi.id", "pi.age", "pi.pregnant", "bt.bp"]);
         // Unambiguous suffix lookup now works.
@@ -585,9 +581,8 @@ mod tests {
 
     #[test]
     fn unknown_model() {
-        let err = plan(
-            "SELECT * FROM PREDICT(MODEL = 'ghost', DATA = patient_info AS d) WITH (x FLOAT)",
-        );
+        let err =
+            plan("SELECT * FROM PREDICT(MODEL = 'ghost', DATA = patient_info AS d) WITH (x FLOAT)");
         assert!(matches!(err, Err(SqlError::Bind(msg)) if msg.contains("ghost")));
     }
 
@@ -620,10 +615,7 @@ mod tests {
 
     #[test]
     fn union_binds() {
-        let p = plan(
-            "SELECT age FROM patient_info UNION ALL SELECT bp FROM blood_tests",
-        )
-        .unwrap();
+        let p = plan("SELECT age FROM patient_info UNION ALL SELECT bp FROM blood_tests").unwrap();
         assert!(matches!(p, Plan::Union { .. }));
     }
 
@@ -631,7 +623,9 @@ mod tests {
     fn order_limit_plan_shape() {
         let p = plan("SELECT * FROM patient_info ORDER BY age DESC LIMIT 1").unwrap();
         assert!(matches!(p, Plan::Limit { .. }));
-        let Plan::Limit { input, .. } = p else { unreachable!() };
+        let Plan::Limit { input, .. } = p else {
+            unreachable!()
+        };
         assert!(matches!(*input, Plan::Sort { .. }));
     }
 }

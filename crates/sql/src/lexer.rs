@@ -125,22 +125,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token::NotEq);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(&b'=') => {
-                        tokens.push(Token::LtEq);
-                        i += 2;
-                    }
-                    Some(&b'>') => {
-                        tokens.push(Token::NotEq);
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token::LtEq);
+                    i += 2;
                 }
-            }
+                Some(&b'>') => {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token::GtEq);

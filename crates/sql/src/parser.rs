@@ -9,9 +9,9 @@ use raven_ir::{AggFunc, BinOp, Expr};
 
 /// Reserved words that terminate expressions / cannot be column names.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "order", "by", "limit", "join", "on", "as", "and",
-    "or", "not", "union", "all", "with", "declare", "case", "when", "then", "else", "end",
-    "asc", "desc", "true", "false", "inner",
+    "select", "from", "where", "group", "order", "by", "limit", "join", "on", "as", "and", "or",
+    "not", "union", "all", "with", "declare", "case", "when", "then", "else", "end", "asc", "desc",
+    "true", "false", "inner",
 ];
 
 fn is_reserved(word: &str) -> bool {
@@ -104,7 +104,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) if !is_reserved(&s) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other}"
+            ))),
         }
     }
 
@@ -158,7 +160,11 @@ impl Parser {
     fn declare_body(&mut self) -> Result<(String, String)> {
         let var = match self.next()? {
             Token::Variable(v) => v,
-            other => return Err(SqlError::Parse(format!("expected @variable, found {other}"))),
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected @variable, found {other}"
+                )))
+            }
         };
         // Skip type tokens (e.g. VARBINARY ( MAX )) up to '='.
         while !self.eat_if(|t| *t == Token::Eq) {
@@ -534,9 +540,7 @@ impl Parser {
                 self.pos += 1;
                 Ok(Expr::lit(false))
             }
-            Some(Token::Ident(word)) if !is_reserved(&word) => {
-                Ok(Expr::Column(self.column_ref()?))
-            }
+            Some(Token::Ident(word)) if !is_reserved(&word) => Ok(Expr::Column(self.column_ref()?)),
             other => Err(SqlError::Parse(format!(
                 "expected expression, found {}",
                 other.map(|t| t.to_string()).unwrap_or("EOF".into())
@@ -571,10 +575,7 @@ mod tests {
 
     #[test]
     fn joins() {
-        let q = parse(
-            "SELECT * FROM a JOIN b ON a.id = b.id INNER JOIN c ON b.id = c.id",
-        )
-        .unwrap();
+        let q = parse("SELECT * FROM a JOIN b ON a.id = b.id INNER JOIN c ON b.id = c.id").unwrap();
         let s = &q.selects[0];
         assert_eq!(s.joins.len(), 2);
         assert_eq!(s.joins[0].left_key, "a.id");
@@ -586,10 +587,7 @@ mod tests {
         let q = parse("SELECT * FROM t WHERE a = 1 AND b > 2 OR c < 3").unwrap();
         // AND binds tighter than OR.
         let sel = q.selects[0].selection.as_ref().unwrap();
-        assert_eq!(
-            sel.to_string(),
-            "(((a = 1) AND (b > 2)) OR (c < 3))"
-        );
+        assert_eq!(sel.to_string(), "(((a = 1) AND (b > 2)) OR (c < 3))");
     }
 
     #[test]
@@ -606,8 +604,7 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        let q = parse("SELECT dest, COUNT(*) AS n, AVG(delay) FROM flights GROUP BY dest")
-            .unwrap();
+        let q = parse("SELECT dest, COUNT(*) AS n, AVG(delay) FROM flights GROUP BY dest").unwrap();
         let s = &q.selects[0];
         assert_eq!(s.group_by, vec!["dest"]);
         assert!(matches!(
@@ -638,10 +635,8 @@ mod tests {
 
     #[test]
     fn ctes() {
-        let q = parse(
-            "WITH data AS (SELECT * FROM a JOIN b ON a.id = b.id) SELECT * FROM data",
-        )
-        .unwrap();
+        let q = parse("WITH data AS (SELECT * FROM a JOIN b ON a.id = b.id) SELECT * FROM data")
+            .unwrap();
         assert_eq!(q.ctes.len(), 1);
         assert_eq!(q.ctes[0].0, "data");
     }
@@ -672,7 +667,10 @@ mod tests {
     #[test]
     fn declare_with_string() {
         let q = parse("DECLARE @m = 'duration_of_stay'; SELECT * FROM t").unwrap();
-        assert_eq!(q.declares, vec![("m".to_string(), "duration_of_stay".to_string())]);
+        assert_eq!(
+            q.declares,
+            vec![("m".to_string(), "duration_of_stay".to_string())]
+        );
     }
 
     #[test]

@@ -51,8 +51,7 @@ impl Graph {
         }
         let mut node_outputs: HashSet<&str> = HashSet::new();
         for node in &self.nodes {
-            if produced.contains(node.output.as_str())
-                || !node_outputs.insert(node.output.as_str())
+            if produced.contains(node.output.as_str()) || !node_outputs.insert(node.output.as_str())
             {
                 return Err(TensorError::InvalidGraph(format!(
                     "name {} produced more than once",
@@ -136,9 +135,8 @@ impl Graph {
     /// Returns the requested outputs plus the total FLOPs executed (fed to
     /// device timing models).
     pub fn run(&self, inputs: &HashMap<String, Tensor>) -> Result<(Vec<Tensor>, u64)> {
-        let mut env: HashMap<&str, Tensor> = HashMap::with_capacity(
-            self.initializers.len() + inputs.len() + self.nodes.len(),
-        );
+        let mut env: HashMap<&str, Tensor> =
+            HashMap::with_capacity(self.initializers.len() + inputs.len() + self.nodes.len());
         for (k, v) in &self.initializers {
             env.insert(k.as_str(), v.clone());
         }
@@ -197,7 +195,13 @@ impl fmt::Display for Graph {
             self.nodes.len()
         )?;
         for node in &self.nodes {
-            writeln!(f, "  {} = {}({})", node.output, node.op, node.inputs.join(", "))?;
+            writeln!(
+                f,
+                "  {} = {}({})",
+                node.output,
+                node.op,
+                node.inputs.join(", ")
+            )?;
         }
         Ok(())
     }
@@ -321,10 +325,7 @@ mod tests {
     fn validate_rejects_unknown_input() {
         let mut g = logistic_graph();
         g.nodes[0].inputs[0] = "ghost".into();
-        assert!(matches!(
-            g.validate(),
-            Err(TensorError::NameNotFound(_))
-        ));
+        assert!(matches!(g.validate(), Err(TensorError::NameNotFound(_))));
     }
 
     #[test]

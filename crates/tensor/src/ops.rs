@@ -145,12 +145,12 @@ impl Op {
             Op::LessOrEqual => {
                 broadcast_binary(inputs[0], inputs[1], "LessOrEqual", |a, b| bool2f(a <= b))
             }
-            Op::Greater => {
-                broadcast_binary(inputs[0], inputs[1], "Greater", |a, b| bool2f(a > b))
+            Op::Greater => broadcast_binary(inputs[0], inputs[1], "Greater", |a, b| bool2f(a > b)),
+            Op::GreaterOrEqual => {
+                broadcast_binary(inputs[0], inputs[1], "GreaterOrEqual", |a, b| {
+                    bool2f(a >= b)
+                })
             }
-            Op::GreaterOrEqual => broadcast_binary(inputs[0], inputs[1], "GreaterOrEqual", |a, b| {
-                bool2f(a >= b)
-            }),
             Op::Equal => broadcast_binary(inputs[0], inputs[1], "Equal", |a, b| bool2f(a == b)),
             Op::GatherCols { indices } => gather_cols(inputs[0], indices),
             Op::Concat { axis } => concat(inputs, *axis),
@@ -497,7 +497,9 @@ mod tests {
         let out = Op::MatMul.eval(&[&a, &b]).unwrap();
         assert_eq!(out.shape(), &[1, 2]);
         let bv = Tensor::vector(vec![3., 4.]);
-        let out2 = Op::MatMul.eval(&[&m(2, 2, vec![1., 0., 0., 1.]), &bv]).unwrap();
+        let out2 = Op::MatMul
+            .eval(&[&m(2, 2, vec![1., 0., 0., 1.]), &bv])
+            .unwrap();
         assert_eq!(out2.shape(), &[2]);
         assert_eq!(out2.data(), &[3., 4.]);
     }
@@ -542,10 +544,7 @@ mod tests {
             &[11., 22., 13., 24.]
         );
         // mirrored
-        assert_eq!(
-            Op::Sub.eval(&[&v, &a]).unwrap().data(),
-            &[9., 18., 7., 16.]
-        );
+        assert_eq!(Op::Sub.eval(&[&v, &a]).unwrap().data(), &[9., 18., 7., 16.]);
     }
 
     #[test]

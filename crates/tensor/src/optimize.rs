@@ -87,11 +87,7 @@ pub fn fold_constants(graph: &mut Graph) -> Result<OptimizeReport> {
             .iter()
             .all(|n| graph.initializers.contains_key(n));
         if all_const {
-            let args: Vec<&Tensor> = node
-                .inputs
-                .iter()
-                .map(|n| &graph.initializers[n])
-                .collect();
+            let args: Vec<&Tensor> = node.inputs.iter().map(|n| &graph.initializers[n]).collect();
             let value = node.op.eval(&args)?;
             graph.initializers.insert(node.output.clone(), value);
             report.folded_nodes += 1;
@@ -277,12 +273,7 @@ mod tests {
     fn bind_constant_then_fold_simplifies() {
         let mut g = sample();
         // Bind x to a constant: the whole graph becomes constant.
-        bind_input_constant(
-            &mut g,
-            "x",
-            Tensor::matrix(1, 2, vec![5.0, 6.0]).unwrap(),
-        )
-        .unwrap();
+        bind_input_constant(&mut g, "x", Tensor::matrix(1, 2, vec![5.0, 6.0]).unwrap()).unwrap();
         assert!(g.inputs.is_empty());
         let report = optimize(&mut g).unwrap();
         assert!(report.folded_nodes >= 1);

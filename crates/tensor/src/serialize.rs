@@ -340,7 +340,10 @@ mod tests {
     fn all_ops_roundtrip() {
         let ops = vec![
             Op::MatMul,
-            Op::Gemm { alpha: 0.5, beta: 2.0 },
+            Op::Gemm {
+                alpha: 0.5,
+                beta: 2.0,
+            },
             Op::Add,
             Op::Sub,
             Op::Mul,
@@ -355,7 +358,9 @@ mod tests {
             Op::Greater,
             Op::GreaterOrEqual,
             Op::Equal,
-            Op::GatherCols { indices: vec![0, 3] },
+            Op::GatherCols {
+                indices: vec![0, 3],
+            },
             Op::Concat { axis: 1 },
             Op::Reshape { shape: vec![2, 2] },
             Op::ReduceSum { axis: 0 },

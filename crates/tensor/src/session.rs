@@ -159,9 +159,7 @@ impl InferenceSession {
             let errors = parking_lot::Mutex::new(Vec::<TensorError>::new());
             let chunk = ranges.len().div_ceil(threads);
             crossbeam::thread::scope(|scope| {
-                for (slot, range_chunk) in
-                    results.chunks_mut(chunk).zip(ranges.chunks(chunk))
-                {
+                for (slot, range_chunk) in results.chunks_mut(chunk).zip(ranges.chunks(chunk)) {
                     let errors = &errors;
                     let slice_rows = &slice_rows;
                     scope.spawn(move |_| {
@@ -203,10 +201,9 @@ impl InferenceSession {
         if threads > 1 {
             // Parallel batches overlap: report aggregate CPU time scaled by
             // the actual overlap rather than the sum.
-            stats.wall = std::time::Duration::from_secs_f64(
-                stats.wall.as_secs_f64() / threads as f64,
-            )
-            .max(wall_max);
+            stats.wall =
+                std::time::Duration::from_secs_f64(stats.wall.as_secs_f64() / threads as f64)
+                    .max(wall_max);
             stats.simulated = stats.wall;
         }
         let mut outputs = Vec::with_capacity(n_outputs);
@@ -318,7 +315,10 @@ mod tests {
     fn mlp_graph() -> Graph {
         let mut b = GraphBuilder::new();
         let x = b.input("x");
-        let w = b.initializer("w", Tensor::matrix(3, 2, vec![1., 0., 0., 1., 1., 1.]).unwrap());
+        let w = b.initializer(
+            "w",
+            Tensor::matrix(3, 2, vec![1., 0., 0., 1., 1., 1.]).unwrap(),
+        );
         let bias = b.initializer("b", Tensor::vector(vec![0.0, -1.0]));
         let mm = b.node(Op::MatMul, &[&x, &w]);
         let z = b.node(Op::Add, &[&mm, &bias]);
@@ -336,7 +336,11 @@ mod tests {
     fn session_optimizes_on_creation() {
         let s = InferenceSession::new(mlp_graph(), SessionOptions::default()).unwrap();
         assert_eq!(s.optimize_report().fused_gemms, 1);
-        assert!(s.graph().nodes.iter().any(|n| matches!(n.op, Op::Gemm { .. })));
+        assert!(s
+            .graph()
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, Op::Gemm { .. })));
     }
 
     #[test]
@@ -428,7 +432,9 @@ mod tests {
     #[test]
     fn batched_rejects_vector_input() {
         let s = InferenceSession::new(mlp_graph(), SessionOptions::default()).unwrap();
-        assert!(s.run_batched("x", &Tensor::vector(vec![1.0, 2.0, 3.0])).is_err());
+        assert!(s
+            .run_batched("x", &Tensor::vector(vec![1.0, 2.0, 3.0]))
+            .is_err());
     }
 
     #[test]
@@ -471,9 +477,7 @@ mod tests {
     #[test]
     fn cache_error_propagates_and_does_not_poison() {
         let cache = SessionCache::new();
-        let err = cache.get_or_create("bad", || {
-            Err(TensorError::Internal("boom".into()))
-        });
+        let err = cache.get_or_create("bad", || Err(TensorError::Internal("boom".into())));
         assert!(err.is_err());
         assert!(cache.is_empty());
         assert!(cache

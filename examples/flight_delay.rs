@@ -83,10 +83,15 @@ fn main() {
         .expect("sample");
     let n_features = dense.n_features();
     for k in [2usize, 4, 8, 16] {
-        let clustered =
-            specialize_per_cluster(&dense, &sample, k, 42, &["origin".to_string(), "dest".to_string()]).expect("clustering");
-        let avg_folded: f64 =
-            clustered.folded_per_cluster.iter().sum::<usize>() as f64 / k as f64;
+        let clustered = specialize_per_cluster(
+            &dense,
+            &sample,
+            k,
+            42,
+            &["origin".to_string(), "dest".to_string()],
+        )
+        .expect("clustering");
+        let avg_folded: f64 = clustered.folded_per_cluster.iter().sum::<usize>() as f64 / k as f64;
         let avg_width: f64 = clustered
             .models
             .iter()

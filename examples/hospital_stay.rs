@@ -25,12 +25,16 @@ const SQL: &str = "\
     WHERE d.pregnant = 1 AND p.length_of_stay > 6";
 
 fn run_with_rules(label: &str, rules: RuleSet, data: &raven_datagen::HospitalData) {
-    let mut config = SessionConfig::default();
-    config.rules = rules;
+    let config = SessionConfig {
+        rules,
+        ..Default::default()
+    };
     let session = RavenSession::with_config(config);
     data.register(session.catalog()).expect("register");
     let model = train::hospital_tree(data, 8).expect("train");
-    session.store_model("duration_of_stay", model).expect("store");
+    session
+        .store_model("duration_of_stay", model)
+        .expect("store");
 
     // Warm-up run (model/session caches), then timed runs.
     let _ = session.query(SQL).expect("warmup");
@@ -54,11 +58,16 @@ fn main() {
     let small = hospital::generate(1_000, 42);
     small.register(session.catalog()).expect("register");
     let model = train::hospital_tree(&small, 8).expect("train");
-    session.store_model("duration_of_stay", model).expect("store");
+    session
+        .store_model("duration_of_stay", model)
+        .expect("store");
     let explain = session.explain(SQL).expect("explain");
     println!("{explain}");
 
-    println!("\n== Timing with different rule sets ({} rows) ==\n", data.len());
+    println!(
+        "\n== Timing with different rule sets ({} rows) ==\n",
+        data.len()
+    );
     run_with_rules("no optimization", RuleSet::none(), &data);
     run_with_rules("relational rules only", RuleSet::relational_only(), &data);
     run_with_rules(

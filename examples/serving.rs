@@ -1,0 +1,93 @@
+//! Prediction serving: one shared `ServerState`, many client threads.
+//!
+//! Run with `cargo run --release --example serving`. Builds the paper's
+//! hospital workload, trains a length-of-stay model, then serves it two
+//! ways at once:
+//!
+//! * SQL inference queries from 4 concurrent analyst threads — the
+//!   prepared-plan cache makes parse → bind → optimize a one-time cost;
+//! * single-row point lookups from 4 concurrent application threads —
+//!   the micro-batcher coalesces them into batched scorer calls.
+
+use raven_datagen::{hospital, train};
+use raven_server::{ServerConfig, ServerState};
+use std::sync::Arc;
+
+const SQL: &str = "\
+    WITH data AS (\
+      SELECT * FROM patient_info AS pi \
+      JOIN blood_tests AS bt ON pi.id = bt.id \
+      JOIN prenatal_tests AS pt ON bt.id = pt.id)\
+    SELECT d.id, p.length_of_stay \
+    FROM PREDICT(MODEL = 'duration_of_stay', DATA = data AS d) \
+    WITH (length_of_stay FLOAT) AS p \
+    WHERE d.pregnant = 1 AND p.length_of_stay > 6";
+
+fn main() {
+    // 1. Stand up the server: catalog + model store behind one Arc.
+    let server = Arc::new(ServerState::new(ServerConfig::default()));
+    let data = hospital::generate(20_000, 42);
+    data.register(server.catalog()).expect("register tables");
+    let model = train::hospital_tree(&data, 6).expect("train model");
+
+    // Keep the encoded feature columns around for point lookups.
+    let joined = data.joined_batch();
+    let columns: Vec<Vec<f64>> = model
+        .steps()
+        .iter()
+        .map(|step| {
+            let col = joined.column_by_name(&step.column).expect("column");
+            step.transform.encode_raw(col).expect("encode")
+        })
+        .collect();
+    server
+        .store_model("duration_of_stay", model)
+        .expect("store model");
+
+    // 2. Four analyst threads running the same SQL inference query.
+    let analysts: Vec<_> = (0..4)
+        .map(|t| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                for i in 0..10 {
+                    let result = server.execute(SQL).expect("query");
+                    if t == 0 && i == 0 {
+                        println!(
+                            "first query: {} rows in {:.2} ms (prepared in {:.2} ms, \
+                             cache hit: {})",
+                            result.table.num_rows(),
+                            result.total_time.as_secs_f64() * 1e3,
+                            result.prepared.prepare_time.as_secs_f64() * 1e3,
+                            result.cache_hit,
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // 3. Four application threads scoring individual patients.
+    let apps: Vec<_> = (0..4)
+        .map(|t| {
+            let server = server.clone();
+            let columns = columns.clone();
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    let patient = (t * 1_000 + i * 37) % 20_000;
+                    let row: Vec<f64> = columns.iter().map(|c| c[patient]).collect();
+                    let stay = server
+                        .score_row("duration_of_stay", row)
+                        .expect("point score");
+                    assert!(stay.is_finite());
+                }
+            })
+        })
+        .collect();
+
+    for h in analysts.into_iter().chain(apps) {
+        h.join().expect("client thread");
+    }
+
+    // 4. What the server measured.
+    println!("\n-- server stats --\n{}", server.stats());
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the Raven workspace: re-exports the public facade
+//! ([`raven_core`]) and the serving layer ([`raven_server`]). The
+//! workspace's integration tests (`tests/`) and runnable examples
+//! (`examples/`) are targets of this package.
+
+pub use raven_core as core;
+pub use raven_server as server;

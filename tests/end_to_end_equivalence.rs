@@ -124,7 +124,12 @@ fn aggregation_over_predictions() {
         .f64_values()
         .unwrap();
     // Pregnant patients stay longer on average in the generator.
-    assert!(means[1] > means[0], "pregnant mean {} !> {}", means[1], means[0]);
+    assert!(
+        means[1] > means[0],
+        "pregnant mean {} !> {}",
+        means[1],
+        means[0]
+    );
 }
 
 #[test]
@@ -139,9 +144,17 @@ fn union_of_inference_branches() {
              WITH (s FLOAT) AS p WHERE {pred}"
         )
     };
-    let sql = format!("{} UNION ALL {}", branch("d.age > 70"), branch("d.age <= 70"));
+    let sql = format!(
+        "{} UNION ALL {}",
+        branch("d.age > 70"),
+        branch("d.age <= 70")
+    );
     let result = session.query(&sql).unwrap();
-    assert_eq!(result.table.num_rows(), 600, "partition must cover all rows");
+    assert_eq!(
+        result.table.num_rows(),
+        600,
+        "partition must cover all rows"
+    );
 }
 
 #[test]
@@ -154,7 +167,12 @@ fn limit_and_sort_over_predictions() {
          WITH (s FLOAT) AS p ORDER BY s DESC LIMIT 5";
     let result = session.query(sql).unwrap();
     assert_eq!(result.table.num_rows(), 5);
-    let scores = result.table.column_by_name("p.s").unwrap().f64_values().unwrap();
+    let scores = result
+        .table
+        .column_by_name("p.s")
+        .unwrap()
+        .f64_values()
+        .unwrap();
     assert!(scores.windows(2).all(|w| w[0] >= w[1]));
 }
 
@@ -177,7 +195,12 @@ fn model_version_update_changes_predictions_transactionally() {
     .unwrap();
     session.store_model("m", constant).unwrap();
     let v2 = session.query(sql).unwrap();
-    let scores = v2.table.column_by_name("p.s").unwrap().f64_values().unwrap();
+    let scores = v2
+        .table
+        .column_by_name("p.s")
+        .unwrap()
+        .f64_values()
+        .unwrap();
     assert!(scores.iter().all(|&s| s == 42.0));
     // Old version still retrievable from the store.
     assert_eq!(session.store().latest_version("m"), 2);

@@ -24,7 +24,10 @@ const HOSPITAL_SQL: &str = "\
     WITH (length_of_stay FLOAT) AS p \
     WHERE d.pregnant = 1 AND p.length_of_stay > 6";
 
-/// Sorted (id, stay) pairs for order-insensitive comparison.
+/// Sorted (id, stay·1e3) pairs for order-insensitive comparison. Scores
+/// quantize to 1e-3 (as in `end_to_end_equivalence.rs`): configurations
+/// that disable inlining score on the NN-translated f32 engine while the
+/// baseline scores in f64 — identical decisions, last-ulp differences.
 fn result_set(table: &raven_data::Table) -> Vec<(i64, i64)> {
     let ids = table.column_by_name("d.id").unwrap().i64_values().unwrap();
     let stays = table
@@ -35,7 +38,7 @@ fn result_set(table: &raven_data::Table) -> Vec<(i64, i64)> {
     let mut out: Vec<(i64, i64)> = ids
         .iter()
         .zip(stays)
-        .map(|(&i, &s)| (i, (s * 1e6) as i64))
+        .map(|(&i, &s)| (i, (s * 1e3).round() as i64))
         .collect();
     out.sort();
     out
@@ -44,11 +47,7 @@ fn result_set(table: &raven_data::Table) -> Vec<(i64, i64)> {
 #[test]
 fn every_rule_configuration_gives_identical_results() {
     let (mut session, _) = hospital_session(2_000);
-    let model = train::hospital_tree(
-        &hospital::generate(2_000, 42),
-        6,
-    )
-    .unwrap();
+    let model = train::hospital_tree(&hospital::generate(2_000, 42), 6).unwrap();
     session.store_model("duration_of_stay", model).unwrap();
 
     let baseline = {
@@ -111,7 +110,12 @@ fn forest_and_mlp_models_run_on_tensor_runtime() {
         assert_eq!(result.table.num_rows(), 800);
         // Cross-check a few predictions against direct pipeline scoring.
         let reference = pipeline.predict(&data.joined_batch()).unwrap();
-        let ids = result.table.column_by_name("d.id").unwrap().i64_values().unwrap();
+        let ids = result
+            .table
+            .column_by_name("d.id")
+            .unwrap()
+            .i64_values()
+            .unwrap();
         let scores = result
             .table
             .column_by_name("p.score")
@@ -151,8 +155,16 @@ fn gpu_device_produces_identical_predictions() {
         .unwrap();
     let gpu = gpu_session.query(sql).unwrap();
     assert_eq!(
-        cpu.table.column_by_name("p.s").unwrap().f64_values().unwrap(),
-        gpu.table.column_by_name("p.s").unwrap().f64_values().unwrap()
+        cpu.table
+            .column_by_name("p.s")
+            .unwrap()
+            .f64_values()
+            .unwrap(),
+        gpu.table
+            .column_by_name("p.s")
+            .unwrap()
+            .f64_values()
+            .unwrap()
     );
 }
 
@@ -208,9 +220,7 @@ fn flight_workload_full_stack() {
 
     // Plain aggregation (relational path).
     let agg = session
-        .query(
-            "SELECT carrier, COUNT(*) AS n FROM flights GROUP BY carrier ORDER BY n DESC",
-        )
+        .query("SELECT carrier, COUNT(*) AS n FROM flights GROUP BY carrier ORDER BY n DESC")
         .unwrap();
     assert_eq!(agg.table.num_rows(), data.carriers.len());
 
@@ -224,13 +234,16 @@ fn flight_workload_full_stack() {
         .unwrap();
     // Count matches a plain filter.
     let plain = session
-        .query(&format!(
-            "SELECT id FROM flights WHERE dest = '{dest}'"
-        ))
+        .query(&format!("SELECT id FROM flights WHERE dest = '{dest}'"))
         .unwrap();
     assert_eq!(result.table.num_rows(), plain.table.num_rows());
     // Probabilities are valid.
-    let probs = result.table.column_by_name("p.prob").unwrap().f64_values().unwrap();
+    let probs = result
+        .table
+        .column_by_name("p.prob")
+        .unwrap()
+        .f64_values()
+        .unwrap();
     assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
 }
 
@@ -301,6 +314,9 @@ fn session_cache_behaviour_across_queries() {
     let (_, misses1) = session2.session_cache_stats();
     session2.query(sql).unwrap();
     let (hits2, misses2) = session2.session_cache_stats();
-    assert_eq!(misses1, misses2, "second query must not rebuild the session");
+    assert_eq!(
+        misses1, misses2,
+        "second query must not rebuild the session"
+    );
     assert!(hits2 >= 1);
 }
