@@ -7,6 +7,8 @@
 //!   skipped on every hit);
 //! * **concurrent clients** — the same workload from 1/4/8 threads over
 //!   one shared server;
+//! * **network path** — the same workload over the framed-TCP front end
+//!   (loop-back), pricing framing + result serialization per query;
 //! * **micro-batch sizes {1, 8, 64}** — point-scoring throughput as the
 //!   coalescing window widens (`max_batch = 1` reproduces per-tuple
 //!   scoring; the paper's §5 observation v is the same lever at the
@@ -16,7 +18,7 @@
 
 use raven_bench::{full_scale, ms, time_mean};
 use raven_datagen::{hospital, train};
-use raven_server::{BatchConfig, ServerConfig, ServerState};
+use raven_server::{BatchConfig, NetConfig, RavenClient, RavenServer, ServerConfig, ServerState};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -168,9 +170,55 @@ fn bench_micro_batching(rows: usize) {
     }
 }
 
+fn bench_network_path(rows: usize) {
+    println!("== network path: framed TCP vs. in-process, shared ServerState ==");
+    // A loop-back round-trip adds framing + syscalls + result-table
+    // serialization per query; this section prices that overhead against
+    // the in-process `bench_concurrency` numbers above.
+    let per_client = 20;
+    for clients in [1usize, 4, 8] {
+        let state = Arc::new(hospital_server(rows, 128));
+        state.execute(SQL).expect("warm-up");
+        let server = RavenServer::bind(
+            state,
+            NetConfig {
+                workers: clients,
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = RavenClient::connect(addr).expect("connect");
+                    for _ in 0..per_client {
+                        std::hint::black_box(client.query(SQL).expect("query"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client");
+        }
+        let elapsed = start.elapsed();
+        let snap = server.state().stats();
+        println!(
+            "  {clients} client(s)  {:>8.1} q/s  p50 {} ms  p99 {} ms  (plan cache: {})",
+            qps(clients * per_client, elapsed),
+            ms(snap.latency.p50),
+            ms(snap.latency.p99),
+            snap.plan_cache,
+        );
+        server.shutdown();
+    }
+}
+
 fn main() {
     let rows = if full_scale() { 200_000 } else { 20_000 };
     bench_plan_cache(rows);
     bench_concurrency(rows);
+    bench_network_path(rows);
     bench_micro_batching(rows);
 }

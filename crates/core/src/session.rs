@@ -5,7 +5,7 @@ use raven_data::{Catalog, Table};
 use raven_ir::Plan;
 use raven_opt::{OptimizationReport, Optimizer, OptimizerContext, OptimizerMode, RuleSet};
 use raven_pyanalysis::{analyze, PipelineSpec};
-use raven_relational::{ExecOptions, Executor};
+use raven_relational::{CancelToken, ExecError, ExecOptions, Executor};
 use raven_runtime::{codegen, RavenScorer, ScorerConfig};
 use raven_sql::{parse, Binder};
 use std::fmt;
@@ -21,6 +21,8 @@ pub enum SessionError {
     Optimizer(String),
     Execution(String),
     Store(String),
+    /// Execution was cancelled (explicit cancel or an expired deadline).
+    Cancelled,
 }
 
 impl fmt::Display for SessionError {
@@ -32,6 +34,7 @@ impl fmt::Display for SessionError {
             SessionError::Optimizer(m) => ("optimizer", m),
             SessionError::Execution(m) => ("execution", m),
             SessionError::Store(m) => ("model store", m),
+            SessionError::Cancelled => return write!(f, "execution cancelled"),
         };
         write!(f, "{kind} error: {msg}")
     }
@@ -292,6 +295,21 @@ impl RavenSession {
     /// Execute an already-optimized plan.
     pub fn execute_plan(&self, plan: &Plan) -> Result<Table> {
         self.execute_plan_raw(plan)
+    }
+
+    /// Execute an already-optimized plan under a cancellation token. The
+    /// executor polls the token between operators and morsels (and the
+    /// scorer across simulated external-runtime sleeps), so an expired
+    /// deadline aborts with [`SessionError::Cancelled`] instead of
+    /// running to completion.
+    pub fn execute_plan_with_cancel(&self, plan: &Plan, cancel: &CancelToken) -> Result<Table> {
+        Executor::new(&self.catalog, self.scorer.as_ref(), self.config.exec)
+            .with_cancel(cancel.clone())
+            .execute(plan)
+            .map_err(|e| match e {
+                ExecError::Cancelled => SessionError::Cancelled,
+                e => SessionError::Execution(e.to_string()),
+            })
     }
 
     /// EXPLAIN: plans before and after optimization, the rule report, and
@@ -561,6 +579,24 @@ predictions = model_pipeline.predict(features)
             session.query("THIS IS NOT SQL"),
             Err(SessionError::Sql(_))
         ));
+    }
+
+    #[test]
+    fn cancelled_plan_execution_is_typed() {
+        let (session, _) = hospital_session();
+        let plan = session.plan("SELECT * FROM patient_info").unwrap();
+        let (optimized, _) = session.optimize(plan).unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert_eq!(
+            session.execute_plan_with_cancel(&optimized, &cancel),
+            Err(SessionError::Cancelled)
+        );
+        // A fresh token executes normally.
+        let table = session
+            .execute_plan_with_cancel(&optimized, &CancelToken::new())
+            .unwrap();
+        assert_eq!(table.num_rows(), 500);
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub enum ExecError {
     NoScorer(String),
     /// Model scoring failed.
     Scoring(String),
+    /// Execution was cancelled (explicitly, or by an expired deadline)
+    /// before it completed.
+    Cancelled,
     /// Anything else.
     Internal(String),
 }
@@ -29,6 +32,7 @@ impl fmt::Display for ExecError {
                 write!(f, "no scorer available for model operator: {op}")
             }
             ExecError::Scoring(msg) => write!(f, "scoring error: {msg}"),
+            ExecError::Cancelled => write!(f, "execution cancelled"),
             ExecError::Internal(msg) => write!(f, "internal execution error: {msg}"),
         }
     }

@@ -6,8 +6,59 @@ use crate::Result;
 use raven_data::{Catalog, Column, RecordBatch, Schema, Table, Value};
 use raven_ir::{AggFunc, Expr, Plan};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 #[allow(unused_imports)]
 use std::sync::Arc;
+use std::time::Instant;
+
+/// A cooperative cancellation token threaded through plan execution.
+///
+/// The serving layer's deadline story hangs off this: a token carries an
+/// optional wall-clock deadline and a shared flag, and the executor (plus
+/// any cancellation-aware [`Scorer`]) polls it between operators and
+/// morsels, aborting with [`ExecError::Cancelled`] instead of finishing
+/// work whose requester has already given up. Checks are cooperative —
+/// a long single scorer invocation still runs to completion — which
+/// bounds over-run to one operator/morsel rather than one query.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Request cancellation (visible to every clone of this token).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token was cancelled or its deadline has expired.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// `Err(ExecError::Cancelled)` once cancelled, `Ok(())` before.
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            Err(ExecError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// Scoring hook for model operators.
 ///
@@ -19,6 +70,20 @@ pub trait Scorer: Send + Sync {
     /// Score `node` (a model operator) over `batch`, returning one
     /// prediction per row.
     fn score(&self, node: &Plan, batch: &RecordBatch) -> Result<Vec<f64>>;
+
+    /// Cancellation-aware scoring. The default checks the token once and
+    /// delegates to [`Scorer::score`]; scorers with internally long
+    /// invocations (simulated external runtimes, chunked REST calls)
+    /// override this to poll `cancel` between chunks.
+    fn score_cancellable(
+        &self,
+        node: &Plan,
+        batch: &RecordBatch,
+        cancel: &CancelToken,
+    ) -> Result<Vec<f64>> {
+        cancel.check()?;
+        self.score(node, batch)
+    }
 
     /// Whether the engine may split the input into morsels and call
     /// [`Scorer::score`] from multiple worker threads. Out-of-process
@@ -84,6 +149,7 @@ pub struct Executor<'a> {
     catalog: &'a Catalog,
     scorer: &'a dyn Scorer,
     options: ExecOptions,
+    cancel: CancelToken,
 }
 
 /// An executor that *owns* its catalog and scorer behind `Arc`s, so it can
@@ -117,6 +183,15 @@ impl SharedExecutor {
     pub fn execute(&self, plan: &Plan) -> Result<Table> {
         Executor::new(&self.catalog, self.scorer.as_ref(), self.options).execute(plan)
     }
+
+    /// Execute a plan under a cancellation token: the executor polls the
+    /// token between operators and morsels and aborts with
+    /// [`ExecError::Cancelled`] once it fires (or its deadline passes).
+    pub fn execute_with(&self, plan: &Plan, cancel: &CancelToken) -> Result<Table> {
+        Executor::new(&self.catalog, self.scorer.as_ref(), self.options)
+            .with_cancel(cancel.clone())
+            .execute(plan)
+    }
 }
 
 impl<'a> Executor<'a> {
@@ -125,7 +200,14 @@ impl<'a> Executor<'a> {
             catalog,
             scorer,
             options,
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// Attach a cancellation token (checked between operators/morsels).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Execute a plan to a materialized table.
@@ -134,6 +216,7 @@ impl<'a> Executor<'a> {
     }
 
     fn exec(&self, plan: &Plan) -> Result<RecordBatch> {
+        self.cancel.check()?;
         match plan {
             Plan::Scan { table, schema } => {
                 let t = self.catalog.table(table)?;
@@ -240,7 +323,7 @@ impl<'a> Executor<'a> {
                 let batch = self.exec(input)?;
                 let allow_parallel = self.scorer.parallelizable(plan);
                 let scores = self.morsel_map(&batch, allow_parallel, |morsel| {
-                    let s = self.scorer.score(plan, morsel)?;
+                    let s = self.scorer.score_cancellable(plan, morsel, &self.cancel)?;
                     if s.len() != morsel.num_rows() {
                         return Err(ExecError::Scoring(format!(
                             "scorer returned {} predictions for {} rows",
@@ -271,6 +354,7 @@ impl<'a> Executor<'a> {
     ) -> Result<Vec<T>> {
         let rows = batch.num_rows();
         let workers = self.options.workers();
+        self.cancel.check()?;
         if !allow_parallel
             || workers <= 1
             || rows < self.options.parallel_threshold
@@ -293,7 +377,12 @@ impl<'a> Executor<'a> {
         crossbeam::thread::scope(|scope| {
             for (slot, &(lo, hi)) in results.iter_mut().zip(&ranges) {
                 let f = &f;
+                let cancel = &self.cancel;
                 scope.spawn(move |_| {
+                    if let Err(e) = cancel.check() {
+                        *slot = Some(Err(e));
+                        return;
+                    }
                     let morsel = match batch.slice(lo, hi) {
                         Ok(m) => m,
                         Err(e) => {
@@ -848,6 +937,96 @@ mod tests {
         };
         let err = Executor::new(&cat, &NoopScorer, ExecOptions::serial()).execute(&plan);
         assert!(matches!(err, Err(ExecError::NoScorer(_))));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_before_execution() {
+        let cat = catalog();
+        let plan = scan(&cat, "people");
+        let token = CancelToken::new();
+        token.cancel();
+        let err = Executor::new(&cat, &NoopScorer, ExecOptions::serial())
+            .with_cancel(token)
+            .execute(&plan);
+        assert!(matches!(err, Err(ExecError::Cancelled)));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_execution() {
+        let cat = catalog();
+        let plan = Plan::Filter {
+            input: Box::new(scan(&cat, "people")),
+            predicate: Expr::col("age").gt(Expr::lit(0i64)),
+        };
+        let token = CancelToken::with_deadline(std::time::Instant::now());
+        let err = Executor::new(&cat, &NoopScorer, ExecOptions::serial())
+            .with_cancel(token)
+            .execute(&plan);
+        assert!(matches!(err, Err(ExecError::Cancelled)));
+        // A generous deadline does not interfere.
+        let token = CancelToken::with_deadline(
+            std::time::Instant::now() + std::time::Duration::from_secs(60),
+        );
+        let ok = Executor::new(&cat, &NoopScorer, ExecOptions::serial())
+            .with_cancel(token)
+            .execute(&plan);
+        assert_eq!(ok.unwrap().num_rows(), 4);
+    }
+
+    #[test]
+    fn cancellation_fires_between_scorer_morsels() {
+        // A scorer that cancels the shared token from inside its first
+        // invocation: the next morsel (or operator) must observe it.
+        struct CancellingScorer(CancelToken);
+        impl Scorer for CancellingScorer {
+            fn score(&self, _node: &Plan, batch: &RecordBatch) -> Result<Vec<f64>> {
+                self.0.cancel();
+                Ok(vec![0.0; batch.num_rows()])
+            }
+        }
+        let cat = catalog();
+        let token = CancelToken::new();
+        let inner = Plan::Predict {
+            input: Box::new(scan(&cat, "people")),
+            model: ModelRef {
+                name: "m".into(),
+                pipeline: Arc::new(
+                    Pipeline::new(
+                        vec![FeatureStep::new("age", Transform::Identity)],
+                        Estimator::Linear(
+                            LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
+                        ),
+                    )
+                    .unwrap(),
+                ),
+            },
+            output: "s1".into(),
+            mode: raven_ir::ExecutionMode::InProcess,
+        };
+        // Two stacked Predicts: the first invocation cancels, the second
+        // operator's pre-check aborts the plan.
+        let plan = Plan::Predict {
+            input: Box::new(inner),
+            model: ModelRef {
+                name: "m2".into(),
+                pipeline: Arc::new(
+                    Pipeline::new(
+                        vec![FeatureStep::new("age", Transform::Identity)],
+                        Estimator::Linear(
+                            LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap(),
+                        ),
+                    )
+                    .unwrap(),
+                ),
+            },
+            output: "s2".into(),
+            mode: raven_ir::ExecutionMode::InProcess,
+        };
+        let scorer = CancellingScorer(token.clone());
+        let err = Executor::new(&cat, &scorer, ExecOptions::serial())
+            .with_cancel(token)
+            .execute(&plan);
+        assert!(matches!(err, Err(ExecError::Cancelled)));
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod exec;
 
 pub use error::ExecError;
 pub use eval::{evaluate, evaluate_predicate};
-pub use exec::{ExecOptions, Executor, NoopScorer, Scorer, SharedExecutor};
+pub use exec::{CancelToken, ExecOptions, Executor, NoopScorer, Scorer, SharedExecutor};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ExecError>;

@@ -10,6 +10,9 @@ pub enum RuntimeError {
     Tensor(String),
     Codec(String),
     External(String),
+    /// Scoring was cancelled (deadline expiry or explicit cancel) before
+    /// it completed.
+    Cancelled,
     Internal(String),
 }
 
@@ -21,6 +24,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Tensor(m) => write!(f, "tensor runtime error: {m}"),
             RuntimeError::Codec(m) => write!(f, "serialization error: {m}"),
             RuntimeError::External(m) => write!(f, "external runtime error: {m}"),
+            RuntimeError::Cancelled => write!(f, "scoring cancelled"),
             RuntimeError::Internal(m) => write!(f, "internal runtime error: {m}"),
         }
     }

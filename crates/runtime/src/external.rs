@@ -18,8 +18,29 @@ use crate::error::RuntimeError;
 use crate::Result;
 use raven_data::RecordBatch;
 use raven_ml::Pipeline;
+use raven_relational::CancelToken;
 use std::sync::mpsc;
 use std::time::Duration;
+
+/// Sleep `total`, polling `cancel` so a deadline-expired request stops
+/// paying for a simulated runtime it no longer wants. Errors with
+/// [`RuntimeError::Cancelled`] if the token fires mid-sleep.
+fn sleep_cancellable(total: Duration, cancel: &CancelToken) -> Result<()> {
+    const SLICE: Duration = Duration::from_millis(5);
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if cancel.is_cancelled() {
+            return Err(RuntimeError::Cancelled);
+        }
+        let step = remaining.min(SLICE);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+    if cancel.is_cancelled() {
+        return Err(RuntimeError::Cancelled);
+    }
+    Ok(())
+}
 
 /// Config for the out-of-process runtime simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,12 +77,22 @@ pub fn score_out_of_process(
     batch: &RecordBatch,
     config: &ExternalConfig,
 ) -> Result<Vec<f64>> {
+    score_out_of_process_cancellable(pipeline, batch, config, &CancelToken::new())
+}
+
+/// [`score_out_of_process`] with a cancellation token polled across the
+/// simulated startup and transfer sleeps — the runtime layer's hook for
+/// deadline-expired serving requests.
+pub fn score_out_of_process_cancellable(
+    pipeline: &Pipeline,
+    batch: &RecordBatch,
+    config: &ExternalConfig,
+    cancel: &CancelToken,
+) -> Result<Vec<f64>> {
     // Startup: the external runtime boots before any work happens.
-    if !config.startup_latency.is_zero() {
-        std::thread::sleep(config.startup_latency);
-    }
+    sleep_cancellable(config.startup_latency, cancel)?;
     let payload = codec::batch_to_bytes(batch);
-    charge_transfer(payload.len(), config);
+    charge_transfer(payload.len(), config, cancel)?;
 
     // The "external process": a worker thread that only sees bytes.
     let (tx, rx) = mpsc::channel();
@@ -82,7 +113,7 @@ pub fn score_out_of_process(
     handle
         .join()
         .map_err(|_| RuntimeError::External("external worker panicked".into()))?;
-    charge_transfer(response.len(), config);
+    charge_transfer(response.len(), config, cancel)?;
     codec::scores_from_bytes(response)
 }
 
@@ -128,26 +159,38 @@ pub fn score_container(
     batch: &RecordBatch,
     config: &ContainerConfig,
 ) -> Result<Vec<f64>> {
-    if !config.startup_latency.is_zero() {
-        std::thread::sleep(config.startup_latency);
-    }
+    score_container_cancellable(pipeline, batch, config, &CancelToken::new())
+}
+
+/// [`score_container`] with a cancellation token polled between REST
+/// chunks: an expired deadline stops the remaining round-trips.
+pub fn score_container_cancellable(
+    pipeline: &Pipeline,
+    batch: &RecordBatch,
+    config: &ContainerConfig,
+    cancel: &CancelToken,
+) -> Result<Vec<f64>> {
+    sleep_cancellable(config.startup_latency, cancel)?;
     let rows = batch.num_rows();
     let chunk = config.rows_per_request.max(1);
     let mut out = Vec::with_capacity(rows);
     let mut start = 0;
     while start < rows || (rows == 0 && start == 0) {
+        if cancel.is_cancelled() {
+            return Err(RuntimeError::Cancelled);
+        }
         let end = (start + chunk).min(rows);
         let part = batch
             .slice(start, end)
             .map_err(|e| RuntimeError::Exec(e.to_string()))?;
-        if !config.request_latency.is_zero() {
-            std::thread::sleep(config.request_latency);
-        }
+        sleep_cancellable(config.request_latency, cancel)?;
         let external = ExternalConfig {
             startup_latency: Duration::ZERO,
             bandwidth_bytes_per_sec: config.bandwidth_bytes_per_sec,
         };
-        out.extend(score_out_of_process(pipeline, &part, &external)?);
+        out.extend(score_out_of_process_cancellable(
+            pipeline, &part, &external, cancel,
+        )?);
         start = end;
         if rows == 0 {
             break;
@@ -156,13 +199,14 @@ pub fn score_container(
     Ok(out)
 }
 
-fn charge_transfer(bytes: usize, config: &ExternalConfig) {
+fn charge_transfer(bytes: usize, config: &ExternalConfig, cancel: &CancelToken) -> Result<()> {
     if config.bandwidth_bytes_per_sec.is_finite() && config.bandwidth_bytes_per_sec > 0.0 {
         let secs = bytes as f64 / config.bandwidth_bytes_per_sec;
         if secs > 1e-6 {
-            std::thread::sleep(Duration::from_secs_f64(secs));
+            sleep_cancellable(Duration::from_secs_f64(secs), cancel)?;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -222,6 +266,33 @@ mod tests {
         let start = std::time::Instant::now();
         score_out_of_process(&p, &b, &config).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn cancellation_interrupts_startup_latency() {
+        let p = pipeline();
+        let b = batch(4);
+        let config = ExternalConfig {
+            startup_latency: Duration::from_secs(10),
+            bandwidth_bytes_per_sec: f64::INFINITY,
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let start = std::time::Instant::now();
+        let err = score_out_of_process_cancellable(&p, &b, &config, &cancel);
+        assert_eq!(err, Err(RuntimeError::Cancelled));
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "cancellation must not wait out the simulated startup"
+        );
+        let container = ContainerConfig {
+            startup_latency: Duration::from_secs(10),
+            ..ContainerConfig::instant()
+        };
+        assert_eq!(
+            score_container_cancellable(&p, &b, &container, &cancel),
+            Err(RuntimeError::Cancelled)
+        );
     }
 
     #[test]

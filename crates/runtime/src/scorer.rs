@@ -1,10 +1,12 @@
 //! The Raven scorer: dispatches model operators to their engines.
 
-use crate::external::{score_container, score_out_of_process, ContainerConfig, ExternalConfig};
+use crate::external::{
+    score_container_cancellable, score_out_of_process_cancellable, ContainerConfig, ExternalConfig,
+};
 use crate::Result;
 use raven_data::RecordBatch;
 use raven_ir::{Device, ExecutionMode, Plan};
-use raven_relational::{ExecError, Scorer};
+use raven_relational::{CancelToken, ExecError, Scorer};
 use raven_tensor::{
     Device as TensorDevice, InferenceSession, SessionCache, SessionOptions, Tensor,
 };
@@ -215,16 +217,36 @@ fn routing_matrix_for(
 
 impl Scorer for RavenScorer {
     fn score(&self, node: &Plan, batch: &RecordBatch) -> raven_relational::Result<Vec<f64>> {
+        self.score_cancellable(node, batch, &CancelToken::new())
+    }
+
+    /// Cancellation hook for deadline-expired executions: the token is
+    /// checked on entry and polled across the simulated external-runtime
+    /// and container sleeps, so an abandoned request stops consuming the
+    /// scorer instead of running to completion.
+    fn score_cancellable(
+        &self,
+        node: &Plan,
+        batch: &RecordBatch,
+        cancel: &CancelToken,
+    ) -> raven_relational::Result<Vec<f64>> {
+        cancel.check()?;
         let run = || -> Result<Vec<f64>> {
             match node {
                 Plan::Predict { model, mode, .. } => match mode {
                     ExecutionMode::InProcess => Ok(model.pipeline.predict(batch)?),
-                    ExecutionMode::OutOfProcess => {
-                        score_out_of_process(&model.pipeline, batch, &self.config.external)
-                    }
-                    ExecutionMode::Container => {
-                        score_container(&model.pipeline, batch, &self.config.container)
-                    }
+                    ExecutionMode::OutOfProcess => score_out_of_process_cancellable(
+                        &model.pipeline,
+                        batch,
+                        &self.config.external,
+                        cancel,
+                    ),
+                    ExecutionMode::Container => score_container_cancellable(
+                        &model.pipeline,
+                        batch,
+                        &self.config.container,
+                        cancel,
+                    ),
                 },
                 Plan::TensorPredict {
                     model,
@@ -249,7 +271,10 @@ impl Scorer for RavenScorer {
                 ))),
             }
         };
-        run().map_err(|e| ExecError::Scoring(e.to_string()))
+        run().map_err(|e| match e {
+            crate::RuntimeError::Cancelled => ExecError::Cancelled,
+            e => ExecError::Scoring(e.to_string()),
+        })
     }
 
     fn parallelizable(&self, node: &Plan) -> bool {

@@ -160,7 +160,32 @@ fn batch_loop(
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
+        let filled = pending.len() >= max_batch;
         flush(pending, &store, &counters);
+        if !filled {
+            continue;
+        }
+        // The batch filled before its window closed, so the queue may
+        // hold a backlog. Drain it now — full batches back to back, then
+        // the partial residue — rather than making requests that already
+        // waited out a saturated flush wait for a fresh timer tick too.
+        loop {
+            let mut backlog = Vec::new();
+            while backlog.len() < max_batch {
+                match rx.try_recv() {
+                    Ok(req) => backlog.push(req),
+                    Err(_) => break,
+                }
+            }
+            if backlog.is_empty() {
+                break;
+            }
+            let full = backlog.len() >= max_batch;
+            flush(backlog, &store, &counters);
+            if !full {
+                break;
+            }
+        }
     }
 }
 
@@ -305,6 +330,54 @@ mod tests {
         ));
         // The queue still works afterwards.
         assert_eq!(batcher.score("m", vec![1.0, 2.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn backlog_beyond_one_batch_drains_without_waiting_the_timer() {
+        // Regression: a queue holding more than `max_batch` requests used
+        // to flush one batch and leave the residue waiting out a fresh
+        // flush window. Pre-fill the queue before the worker runs so the
+        // scenario is deterministic, with a window (5 s) far beyond what
+        // the test tolerates (1 s per reply).
+        let store = store_with_linear("m", &[1.0], 0.0);
+        let (tx, rx) = mpsc::channel::<Request>();
+        let mut replies = Vec::new();
+        for i in 0..6 {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            tx.send(Request {
+                model: "m".into(),
+                row: vec![i as f64],
+                reply: reply_tx,
+            })
+            .unwrap();
+            replies.push(reply_rx);
+        }
+        let counters = Arc::new(Counters::default());
+        let worker_counters = counters.clone();
+        let worker = std::thread::spawn(move || {
+            batch_loop(
+                rx,
+                store,
+                BatchConfig {
+                    max_batch: 4,
+                    flush_interval: Duration::from_secs(5),
+                },
+                worker_counters,
+            )
+        });
+        for (i, reply) in replies.iter().enumerate() {
+            let scored = reply
+                .recv_timeout(Duration::from_secs(1))
+                .expect("residue must flush immediately, not at the next timer tick")
+                .unwrap();
+            assert_eq!(scored, i as f64);
+        }
+        drop(tx);
+        worker.join().unwrap();
+        // One full batch of 4, one drained residue of 2.
+        assert_eq!(counters.batches.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.batched_rows.load(Ordering::Relaxed), 6);
+        assert_eq!(counters.max_batch_seen.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! A blocking client for the framed-TCP protocol — the counterpart of
+//! [`crate::net`], used by the examples, benches, and the integration
+//! test harness.
+//!
+//! One client owns one connection and speaks the synchronous protocol:
+//! write a request frame, read the response frame. Error frames come
+//! back as the same typed [`ServerError`] the server produced —
+//! `Overloaded`, `DeadlineExceeded`, `Sql`, … — so callers can branch on
+//! overload vs. failure without string matching.
+
+use crate::error::{Result, ServerError};
+use crate::proto::{self, Request, Response, WireStats};
+use raven_data::Table;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// The reply to a successful [`RavenClient::query`].
+#[derive(Debug, Clone)]
+pub struct ClientQueryReply {
+    /// The materialized result rows.
+    pub table: Table,
+    /// Whether the server served a cached plan.
+    pub cache_hit: bool,
+    /// Server-side end-to-end latency.
+    pub server_time: Duration,
+}
+
+/// A blocking connection to a [`crate::net::RavenServer`].
+pub struct RavenClient {
+    stream: TcpStream,
+}
+
+impl RavenClient {
+    /// Connect to a serving endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RavenClient> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| ServerError::Network(format!("connect: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        Ok(RavenClient { stream })
+    }
+
+    /// Bound how long any single reply may take (`None` = wait forever).
+    pub fn set_reply_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ServerError::Network(e.to_string()))
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response> {
+        proto::write_frame(&mut self.stream, &request.encode())?;
+        let body = proto::read_frame(&mut self.stream)?;
+        match Response::decode(&body)? {
+            Response::Error { code, message } => Err(code.into_error(message)),
+            response => Ok(response),
+        }
+    }
+
+    /// Warm the server's plan cache for `sql` without executing it.
+    /// Returns `(cache_hit, server-side prepare time)`.
+    pub fn prepare(&mut self, sql: &str) -> Result<(bool, Duration)> {
+        match self.roundtrip(&Request::Prepare { sql: sql.into() })? {
+            Response::Prepared {
+                cache_hit,
+                prepare_micros,
+            } => Ok((cache_hit, Duration::from_micros(prepare_micros))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Execute `sql` and fetch the full result table.
+    pub fn query(&mut self, sql: &str) -> Result<ClientQueryReply> {
+        self.query_with_deadline(sql, None)
+    }
+
+    /// Execute `sql` with a server-enforced deadline covering admission
+    /// queueing and execution. Expiry returns
+    /// [`ServerError::DeadlineExceeded`]; a saturated server returns
+    /// [`ServerError::Overloaded`].
+    pub fn query_with_deadline(
+        &mut self,
+        sql: &str,
+        deadline: Option<Duration>,
+    ) -> Result<ClientQueryReply> {
+        let request = Request::Query {
+            sql: sql.into(),
+            deadline,
+        };
+        match self.roundtrip(&request)? {
+            Response::Rows {
+                cache_hit,
+                total_micros,
+                table,
+            } => Ok(ClientQueryReply {
+                table,
+                cache_hit,
+                server_time: Duration::from_micros(total_micros),
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Score one raw feature row through the server's micro-batcher.
+    pub fn score(&mut self, model: &str, row: Vec<f64>) -> Result<f64> {
+        let request = Request::Score {
+            model: model.into(),
+            row,
+        };
+        match self.roundtrip(&request)? {
+            Response::Score { value } => Ok(value),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the server's observability counters.
+    pub fn stats(&mut self) -> Result<WireStats> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to shut down; returns once it acknowledges.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ServerError {
+    ServerError::Protocol(format!("unexpected response frame: {response:?}"))
+}

@@ -22,6 +22,18 @@ pub enum ServerError {
     BadRequest(String),
     /// The server is shutting down; the request was not served.
     ShuttingDown,
+    /// Admission control rejected the request: the execution semaphore
+    /// and its bounded queue are full (or the wait timed out). The
+    /// request was never executed; retry with backoff.
+    Overloaded(String),
+    /// The request's deadline expired — while queued for admission or
+    /// mid-execution (the executor's cancellation token fired).
+    DeadlineExceeded(String),
+    /// A malformed or incompatible wire frame (bad version, truncated
+    /// payload, unknown kind).
+    Protocol(String),
+    /// A transport-level failure (connect/read/write on the socket).
+    Network(String),
 }
 
 impl fmt::Display for ServerError {
@@ -35,6 +47,33 @@ impl fmt::Display for ServerError {
             ServerError::Scoring(m) => write!(f, "scoring error: {m}"),
             ServerError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            ServerError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            ServerError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServerError::Network(m) => write!(f, "network error: {m}"),
+        }
+    }
+}
+
+impl ServerError {
+    /// The variant's inner message, without the `Display` prefix — what
+    /// error frames carry, so a client-side reconstruction through
+    /// [`crate::proto::ErrorCode::into_error`] round-trips exactly
+    /// instead of stacking prefixes.
+    pub fn detail(&self) -> String {
+        match self {
+            ServerError::Sql(m)
+            | ServerError::Optimizer(m)
+            | ServerError::Execution(m)
+            | ServerError::Data(m)
+            | ServerError::Store(m)
+            | ServerError::Scoring(m)
+            | ServerError::BadRequest(m)
+            | ServerError::Overloaded(m)
+            | ServerError::DeadlineExceeded(m)
+            | ServerError::Protocol(m)
+            | ServerError::Network(m) => m.clone(),
+            ServerError::ShuttingDown => "server is shutting down".into(),
         }
     }
 }
@@ -49,6 +88,7 @@ impl From<SessionError> for ServerError {
             SessionError::Execution(m) => ServerError::Execution(m),
             SessionError::Data(m) => ServerError::Data(m),
             SessionError::Store(m) => ServerError::Store(m),
+            SessionError::Cancelled => ServerError::DeadlineExceeded("execution cancelled".into()),
         }
     }
 }

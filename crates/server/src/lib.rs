@@ -18,6 +18,16 @@
 //!   flush window (the paper's §5 "batch inference" observation, applied
 //!   to point lookups).
 //!
+//! Around that state sits the network front end: a length-prefixed
+//! framed-TCP protocol ([`proto`]) served by a thread-pool accept loop
+//! ([`net::RavenServer`]) and spoken by a blocking client
+//! ([`client::RavenClient`]), with admission control and backpressure
+//! ([`admission`]) — a bounded concurrent-execution semaphore, a bounded
+//! wait queue, and per-request deadlines enforced through the executor's
+//! cancellation token — rejecting overload with typed
+//! [`ServerError::Overloaded`] / [`ServerError::DeadlineExceeded`]
+//! frames instead of stalling the socket.
+//!
 //! Every method takes `&self`; wrap the state in an `Arc` and share it
 //! across as many worker threads as the machine offers:
 //!
@@ -53,14 +63,22 @@
 //! assert_eq!(server.plan_cache_stats().preparations, 1);
 //! ```
 
+pub mod admission;
 pub mod batcher;
 pub mod cache;
+pub mod client;
 pub mod error;
+pub mod net;
+pub mod proto;
 pub mod state;
 pub mod stats;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
 pub use batcher::{BatchConfig, BatcherStats, MicroBatcher};
 pub use cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
+pub use client::{ClientQueryReply, RavenClient};
 pub use error::{Result, ServerError};
+pub use net::{NetConfig, RavenServer};
+pub use proto::{ErrorCode, ProtoError, Request, Response, WireStats};
 pub use state::{ServerConfig, ServerQueryResult, ServerState};
 pub use stats::{LatencySummary, ServerStats, StatsSnapshot};

@@ -1,0 +1,427 @@
+//! The framed-TCP network front end: a thread-pool accept loop over a
+//! shared [`ServerState`].
+//!
+//! One acceptor thread hands sockets to a fixed pool of handler threads
+//! through a channel; each handler owns one connection at a time and
+//! speaks the synchronous [`crate::proto`] protocol — read a request
+//! frame, serve it, write the response frame. That synchrony is itself a
+//! backpressure property: a connection has at most one request in flight,
+//! so per-connection queue depth is bounded at 1 by construction, and the
+//! global picture is bounded by [`NetConfig::max_connections`] (the outer
+//! ring) plus the execution semaphore in [`crate::admission`] (the inner
+//! ring). Overflow at either ring answers with a typed `Overloaded`
+//! frame instead of stalling the socket.
+//!
+//! Shutdown is cooperative: [`RavenServer::signal_shutdown`] (or a
+//! [`Request::Shutdown`] frame) raises a flag, wakes the acceptor with a
+//! loop-back connection, and handlers notice at their next poll tick.
+
+use crate::proto::{self, ProtoError, Request, Response, WireStats};
+use crate::state::ServerState;
+use crate::stats::StatsSnapshot;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Network front-end knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Handler threads — the maximum connections served concurrently.
+    pub workers: usize,
+    /// Open connections before new arrivals are turned away with an
+    /// `Overloaded` frame. A handler owns its connection for the
+    /// connection's lifetime, so a connection beyond the worker pool
+    /// would stall unserved: the effective cap is
+    /// `min(workers, max_connections)` (0 = `workers`).
+    pub max_connections: usize,
+    /// How often idle handlers wake to poll the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            max_connections: 256,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+struct Shared {
+    state: Arc<ServerState>,
+    shutdown: AtomicBool,
+    /// Connections accepted and not yet finished (queued + serving).
+    active: AtomicUsize,
+    addr: SocketAddr,
+    poll_interval: Duration,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor: a throwaway loop-back connection makes its
+        // blocking `accept` return so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running TCP server over one shared [`ServerState`].
+///
+/// Dropping the handle signals shutdown and joins every thread; use
+/// [`RavenServer::shutdown`] for an explicit, observable join.
+pub struct RavenServer {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RavenServer {
+    /// Bind a listener and start the accept loop + handler pool.
+    pub fn bind(state: Arc<ServerState>, config: NetConfig) -> io::Result<RavenServer> {
+        let listener =
+            TcpListener::bind(
+                config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "empty bind addr")
+                })?,
+            )?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            addr,
+            poll_interval: config.poll_interval,
+        });
+        let worker_count = config.workers.max(1);
+        // A connection only makes progress while a handler owns it, so
+        // accepting beyond the pool would park clients in the hand-off
+        // queue with no response — the silent stall this layer exists to
+        // prevent. Clamp the cap to the pool size.
+        let connection_cap = if config.max_connections == 0 {
+            worker_count
+        } else {
+            config.max_connections.min(worker_count)
+        };
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..worker_count)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("raven-net-worker-{i}"))
+                    .spawn(move || worker_loop(rx, shared))
+                    .expect("spawn net worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("raven-net-accept".into())
+                .spawn(move || accept_loop(listener, tx, shared, connection_cap))
+                .expect("spawn net acceptor")
+        };
+        Ok(RavenServer {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The shared serving state behind this listener.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.shared.state
+    }
+
+    /// Ask every thread to stop without blocking on the join.
+    pub fn signal_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Signal shutdown and join the acceptor and all handlers.
+    pub fn shutdown(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        self.shared.request_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RavenServer {
+    fn drop(&mut self) {
+        self.join_all();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: mpsc::Sender<TcpStream>,
+    shared: Arc<Shared>,
+    connection_cap: usize,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Persistent accept failures (fd exhaustion under the
+                // very overload this layer handles) must not busy-spin
+                // a core; back off briefly and retry.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a straggler) — drop it
+        }
+        if shared.active.load(Ordering::SeqCst) >= connection_cap {
+            // Connection-level backpressure: answer with a typed frame
+            // instead of letting the socket queue silently. Done off the
+            // accept thread so a slow rejected peer can't stall accepts.
+            reject_connection(stream, connection_cap);
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        if tx.send(stream).is_err() {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            break; // workers are gone; nothing left to serve
+        }
+    }
+    // `tx` drops here: idle workers see a disconnected queue and exit.
+}
+
+/// Turn a connection away with a typed `Overloaded` frame. Closing a
+/// socket that still holds unread received bytes sends RST, which can
+/// discard the frame before the peer reads it — the client would see a
+/// reset instead of the typed rejection. So the write, a short drain of
+/// whatever request the peer already pipelined, and the close happen on
+/// a detached thread.
+fn reject_connection(mut stream: TcpStream, connection_cap: usize) {
+    let _ = std::thread::Builder::new()
+        .name("raven-net-reject".into())
+        .spawn(move || {
+            let overloaded = Response::Error {
+                code: proto::ErrorCode::Overloaded,
+                message: format!("server at its connection limit ({connection_cap})"),
+            };
+            if proto::write_frame(&mut stream, &overloaded.encode()).is_err() {
+                return;
+            }
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+            let mut sink = [0u8; 512];
+            loop {
+                match std::io::Read::read(&mut stream, &mut sink) {
+                    Ok(0) | Err(_) => break, // peer closed, or drained enough
+                    Ok(_) => continue,
+                }
+            }
+        });
+}
+
+fn worker_loop(rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: Arc<Shared>) {
+    loop {
+        // Hold the lock only for the dequeue, never while serving.
+        let next = {
+            let rx = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            rx.recv_timeout(shared.poll_interval)
+        };
+        match next {
+            Ok(stream) => {
+                handle_connection(stream, &shared);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Read one frame with the shutdown flag polled on read timeouts.
+enum NetRead {
+    Frame(Vec<u8>),
+    Eof,
+    Shutdown,
+    Error(ProtoError),
+}
+
+fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> NetRead {
+    use std::io::Read;
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    // Length prefix, then body — both loops poll shutdown on timeout.
+    let read_full = |stream: &mut TcpStream, buf: &mut [u8], got: &mut usize| -> Option<NetRead> {
+        while *got < buf.len() {
+            match stream.read(&mut buf[*got..]) {
+                Ok(0) => {
+                    return Some(if *got == 0 {
+                        NetRead::Eof
+                    } else {
+                        NetRead::Error(ProtoError::Truncated)
+                    })
+                }
+                Ok(n) => *got += n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::Interrupted =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return Some(NetRead::Shutdown);
+                    }
+                }
+                Err(e) => return Some(NetRead::Error(ProtoError::Io(e.to_string()))),
+            }
+        }
+        None
+    };
+    if let Some(out) = read_full(stream, &mut len_buf, &mut got) {
+        return out;
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if !(2..=proto::MAX_FRAME_LEN).contains(&len) {
+        return NetRead::Error(ProtoError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut got = 0usize;
+    if let Some(out) = read_full(stream, &mut body, &mut got) {
+        return match out {
+            NetRead::Eof => NetRead::Error(ProtoError::Truncated),
+            out => out,
+        };
+    }
+    NetRead::Frame(body)
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let frame = Response::from_error(&crate::ServerError::ShuttingDown).encode();
+            let _ = proto::write_frame(&mut stream, &frame);
+            break;
+        }
+        let body = match read_frame_polled(&mut stream, shared) {
+            NetRead::Frame(body) => body,
+            NetRead::Eof => break,
+            NetRead::Shutdown => continue, // top of loop sends the frame
+            NetRead::Error(e) => {
+                // Protocol confusion: answer once, then drop the
+                // connection — framing can no longer be trusted.
+                let frame = Response::Error {
+                    code: proto::ErrorCode::Protocol,
+                    message: e.to_string(),
+                }
+                .encode();
+                let _ = proto::write_frame(&mut stream, &frame);
+                break;
+            }
+        };
+        let request = match Request::decode(&body) {
+            Ok(req) => req,
+            Err(e) => {
+                let frame = Response::Error {
+                    code: proto::ErrorCode::Protocol,
+                    message: e.to_string(),
+                }
+                .encode();
+                let _ = proto::write_frame(&mut stream, &frame);
+                break;
+            }
+        };
+        let shutdown_after = matches!(request, Request::Shutdown);
+        let response = serve_request(request, shared);
+        // A result table too large for one frame becomes a typed error
+        // the client can read, not a length the client must reject.
+        let frame = response.encode_checked().unwrap_or_else(|_| {
+            Response::Error {
+                code: proto::ErrorCode::Execution,
+                message: format!(
+                    "result exceeds the {} byte frame cap; narrow the query",
+                    proto::MAX_FRAME_LEN
+                ),
+            }
+            .encode()
+        });
+        if proto::write_frame(&mut stream, &frame).is_err() {
+            break;
+        }
+        if shutdown_after {
+            shared.request_shutdown();
+            break;
+        }
+    }
+}
+
+fn serve_request(request: Request, shared: &Shared) -> Response {
+    let state = &shared.state;
+    match request {
+        Request::Prepare { sql } => match state.prepare(&sql) {
+            Ok((prepared, cache_hit)) => Response::Prepared {
+                cache_hit,
+                prepare_micros: prepared.prepare_time.as_micros() as u64,
+            },
+            Err(e) => Response::from_error(&e),
+        },
+        Request::Query { sql, deadline } => match state.serve(&sql, deadline) {
+            Ok(result) => Response::Rows {
+                cache_hit: result.cache_hit,
+                total_micros: result.total_time.as_micros() as u64,
+                table: result.table,
+            },
+            Err(e) => Response::from_error(&e),
+        },
+        Request::Score { model, row } => match state.score_row(&model, row) {
+            Ok(value) => Response::Score { value },
+            Err(e) => Response::from_error(&e),
+        },
+        Request::Stats => Response::Stats(wire_stats(&state.stats())),
+        Request::Shutdown => Response::ShutdownAck,
+    }
+}
+
+/// Flatten a [`StatsSnapshot`] into the wire-stable counter set.
+pub fn wire_stats(snap: &StatsSnapshot) -> WireStats {
+    WireStats {
+        queries: snap.queries,
+        errors: snap.errors,
+        rows: snap.rows,
+        plan_hits: snap.plan_cache.hits,
+        plan_misses: snap.plan_cache.misses,
+        preparations: snap.plan_cache.preparations,
+        invalidations: snap.plan_cache.invalidations,
+        batch_requests: snap.batcher.requests,
+        batches: snap.batcher.batches,
+        admitted: snap.admission.admitted,
+        rejected_overloaded: snap.admission.rejected_overloaded,
+        rejected_deadline: snap.admission.rejected_deadline,
+    }
+}

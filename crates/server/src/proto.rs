@@ -1,0 +1,894 @@
+//! The framed wire protocol spoken by [`crate::net`] and
+//! [`crate::client`].
+//!
+//! Every message is one length-prefixed frame:
+//!
+//! ```text
+//! [len: u32 LE] [version: u8] [kind: u8] [payload: len - 2 bytes]
+//! ```
+//!
+//! `len` counts everything after itself (version + kind + payload) and is
+//! capped at [`MAX_FRAME_LEN`]; a peer announcing more is rejected before
+//! any allocation happens. `version` is [`PROTOCOL_VERSION`]; a mismatch
+//! produces a typed error, never a misparse. Request kinds live below
+//! `0x80`, response kinds at or above it, and `0xEE` is the error frame:
+//! a `u16` [`ErrorCode`] plus a human-readable message, so clients
+//! reconstruct the same typed [`ServerError`] the server saw.
+//!
+//! Integers are little-endian; `f64`s are IEEE bit patterns; strings are
+//! `u32` length + UTF-8 bytes. Result tables ship column-major: row
+//! count, then per column its name, a [`DataType`] tag, and the values.
+//! Decoding is total — truncated, oversized, or garbage frames return
+//! [`ProtoError`]s, they never panic — and strict: trailing bytes after
+//! a well-formed payload are an error, not ignored.
+
+use crate::error::ServerError;
+use raven_data::{Column, DataType, Field, Schema, Table};
+use std::fmt;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Wire protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on `len` (version + kind + payload), rejected before
+/// allocation. Large enough for multi-million-row result tables, small
+/// enough that a garbage length prefix cannot OOM the server.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+// Request frame kinds (< 0x80).
+const KIND_PREPARE: u8 = 0x01;
+const KIND_QUERY: u8 = 0x02;
+const KIND_SCORE: u8 = 0x03;
+const KIND_STATS: u8 = 0x04;
+const KIND_SHUTDOWN: u8 = 0x05;
+
+// Response frame kinds (>= 0x80).
+const KIND_PREPARED: u8 = 0x81;
+const KIND_ROWS: u8 = 0x82;
+const KIND_SCORED: u8 = 0x83;
+const KIND_STATS_REPLY: u8 = 0x84;
+const KIND_SHUTDOWN_ACK: u8 = 0x85;
+const KIND_ERROR: u8 = 0xEE;
+
+/// Decode/transport failures. Everything a hostile or confused peer can
+/// send lands in one of these — never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The stream ended inside a frame, or a payload field overran it.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is too short to
+    /// hold the version and kind bytes).
+    BadLength(u32),
+    /// The frame's version byte is not [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// Unknown frame kind for the decoder that was asked.
+    BadKind(u8),
+    /// Structurally invalid payload (bad UTF-8, bad type tag, trailing
+    /// garbage, inconsistent column lengths, …).
+    Malformed(String),
+    /// Socket-level read/write failure.
+    Io(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Eof => write!(f, "connection closed"),
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::BadLength(n) => write!(f, "bad frame length {n}"),
+            ProtoError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (want {PROTOCOL_VERSION})"
+                )
+            }
+            ProtoError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            ProtoError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for ServerError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(m) => ServerError::Network(m),
+            ProtoError::Eof => ServerError::Network("connection closed".into()),
+            e => ServerError::Protocol(e.to_string()),
+        }
+    }
+}
+
+/// Typed error codes carried by error frames, mirroring [`ServerError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    Sql = 1,
+    Optimizer = 2,
+    Execution = 3,
+    Data = 4,
+    Store = 5,
+    Scoring = 6,
+    BadRequest = 7,
+    ShuttingDown = 8,
+    Overloaded = 9,
+    DeadlineExceeded = 10,
+    Protocol = 11,
+    Network = 12,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Sql,
+            2 => ErrorCode::Optimizer,
+            3 => ErrorCode::Execution,
+            4 => ErrorCode::Data,
+            5 => ErrorCode::Store,
+            6 => ErrorCode::Scoring,
+            7 => ErrorCode::BadRequest,
+            8 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::Overloaded,
+            10 => ErrorCode::DeadlineExceeded,
+            11 => ErrorCode::Protocol,
+            12 => ErrorCode::Network,
+            _ => return None,
+        })
+    }
+
+    /// Reconstruct the typed [`ServerError`] this code was built from.
+    pub fn into_error(self, message: String) -> ServerError {
+        match self {
+            ErrorCode::Sql => ServerError::Sql(message),
+            ErrorCode::Optimizer => ServerError::Optimizer(message),
+            ErrorCode::Execution => ServerError::Execution(message),
+            ErrorCode::Data => ServerError::Data(message),
+            ErrorCode::Store => ServerError::Store(message),
+            ErrorCode::Scoring => ServerError::Scoring(message),
+            ErrorCode::BadRequest => ServerError::BadRequest(message),
+            ErrorCode::ShuttingDown => ServerError::ShuttingDown,
+            ErrorCode::Overloaded => ServerError::Overloaded(message),
+            ErrorCode::DeadlineExceeded => ServerError::DeadlineExceeded(message),
+            ErrorCode::Protocol => ServerError::Protocol(message),
+            ErrorCode::Network => ServerError::Network(message),
+        }
+    }
+}
+
+impl From<&ServerError> for ErrorCode {
+    fn from(e: &ServerError) -> Self {
+        match e {
+            ServerError::Sql(_) => ErrorCode::Sql,
+            ServerError::Optimizer(_) => ErrorCode::Optimizer,
+            ServerError::Execution(_) => ErrorCode::Execution,
+            ServerError::Data(_) => ErrorCode::Data,
+            ServerError::Store(_) => ErrorCode::Store,
+            ServerError::Scoring(_) => ErrorCode::Scoring,
+            ServerError::BadRequest(_) => ErrorCode::BadRequest,
+            ServerError::ShuttingDown => ErrorCode::ShuttingDown,
+            ServerError::Overloaded(_) => ErrorCode::Overloaded,
+            ServerError::DeadlineExceeded(_) => ErrorCode::DeadlineExceeded,
+            ServerError::Protocol(_) => ErrorCode::Protocol,
+            ServerError::Network(_) => ErrorCode::Network,
+        }
+    }
+}
+
+/// A client-to-server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Parse → bind → optimize `sql` into the plan cache without
+    /// executing it (statement warm-up).
+    Prepare { sql: String },
+    /// Execute `sql` end to end; `deadline` bounds queueing + execution.
+    Query {
+        sql: String,
+        deadline: Option<Duration>,
+    },
+    /// Micro-batched point scoring of one raw feature row.
+    Score { model: String, row: Vec<f64> },
+    /// Fetch the server's observability counters.
+    Stats,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// A server-to-client frame.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Reply to [`Request::Prepare`].
+    Prepared {
+        cache_hit: bool,
+        prepare_micros: u64,
+    },
+    /// Reply to [`Request::Query`]: the materialized result table.
+    Rows {
+        cache_hit: bool,
+        total_micros: u64,
+        table: Table,
+    },
+    /// Reply to [`Request::Score`].
+    Score { value: f64 },
+    /// Reply to [`Request::Stats`].
+    Stats(WireStats),
+    /// Reply to [`Request::Shutdown`].
+    ShutdownAck,
+    /// Any request can fail with a typed error instead of its reply.
+    Error { code: ErrorCode, message: String },
+}
+
+impl PartialEq for Response {
+    fn eq(&self, other: &Self) -> bool {
+        use Response::*;
+        match (self, other) {
+            (
+                Prepared {
+                    cache_hit: a,
+                    prepare_micros: b,
+                },
+                Prepared {
+                    cache_hit: c,
+                    prepare_micros: d,
+                },
+            ) => a == c && b == d,
+            (
+                Rows {
+                    cache_hit: a,
+                    total_micros: b,
+                    table: t1,
+                },
+                Rows {
+                    cache_hit: c,
+                    total_micros: d,
+                    table: t2,
+                },
+            ) => a == c && b == d && t1 == t2,
+            (Score { value: a }, Score { value: b }) => a == b,
+            (Stats(a), Stats(b)) => a == b,
+            (ShutdownAck, ShutdownAck) => true,
+            (
+                Error {
+                    code: a,
+                    message: b,
+                },
+                Error {
+                    code: c,
+                    message: d,
+                },
+            ) => a == c && b == d,
+            _ => false,
+        }
+    }
+}
+
+/// The observability counters a [`Request::Stats`] round-trip returns —
+/// a flattened, wire-stable subset of [`crate::StatsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    pub queries: u64,
+    pub errors: u64,
+    pub rows: u64,
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    pub preparations: u64,
+    pub invalidations: u64,
+    pub batch_requests: u64,
+    pub batches: u64,
+    pub admitted: u64,
+    pub rejected_overloaded: u64,
+    pub rejected_deadline: u64,
+}
+
+// ---------------------------------------------------------------------
+// Payload cursor helpers.
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtoError::Malformed("invalid utf-8 in string".into()))
+    }
+
+    /// A `u32` element count validated against the bytes actually left
+    /// (each element needs at least `min_elem_bytes`), so a garbage
+    /// count cannot trigger a huge allocation.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(ProtoError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>, ProtoError> {
+        let n = self.count(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Every payload byte must be consumed: trailing garbage is an error.
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.remaining() != 0 {
+            return Err(ProtoError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f64_vec(out: &mut Vec<u8>, v: &[f64]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_f64(out, x);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table encoding.
+
+fn dtype_tag(dtype: DataType) -> u8 {
+    match dtype {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Bool => 2,
+        DataType::Utf8 => 3,
+    }
+}
+
+fn encode_table(out: &mut Vec<u8>, table: &Table) {
+    let batch = table.batch();
+    put_u32(out, table.num_rows() as u32);
+    put_u32(out, batch.schema().len() as u32);
+    for (field, col) in batch.schema().fields().iter().zip(batch.columns()) {
+        put_string(out, &field.name);
+        out.push(dtype_tag(field.dtype));
+        match col.as_ref() {
+            Column::Int64(v) => v.iter().for_each(|&x| put_u64(out, x as u64)),
+            Column::Float64(v) => v.iter().for_each(|&x| put_f64(out, x)),
+            Column::Bool(v) => v.iter().for_each(|&x| out.push(x as u8)),
+            Column::Utf8(v) => v.iter().for_each(|s| put_string(out, s)),
+        }
+    }
+}
+
+fn decode_table(r: &mut Reader<'_>) -> Result<Table, ProtoError> {
+    let rows = r.u32()? as usize;
+    let cols = r.count(5)?; // name len + dtype tag at minimum per column
+    let mut fields = Vec::with_capacity(cols);
+    let mut columns = Vec::with_capacity(cols);
+    for _ in 0..cols {
+        let name = r.string()?;
+        let tag = r.u8()?;
+        let (dtype, column) = match tag {
+            0 => {
+                if rows.saturating_mul(8) > r.remaining() {
+                    return Err(ProtoError::Truncated);
+                }
+                let v = (0..rows).map(|_| r.i64()).collect::<Result<Vec<_>, _>>()?;
+                (DataType::Int64, Column::Int64(v))
+            }
+            1 => {
+                if rows.saturating_mul(8) > r.remaining() {
+                    return Err(ProtoError::Truncated);
+                }
+                let v = (0..rows).map(|_| r.f64()).collect::<Result<Vec<_>, _>>()?;
+                (DataType::Float64, Column::Float64(v))
+            }
+            2 => {
+                let v = r
+                    .take(rows)?
+                    .iter()
+                    .map(|&b| match b {
+                        0 => Ok(false),
+                        1 => Ok(true),
+                        b => Err(ProtoError::Malformed(format!("bad bool byte {b}"))),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                (DataType::Bool, Column::Bool(v))
+            }
+            3 => {
+                if rows.saturating_mul(4) > r.remaining() {
+                    return Err(ProtoError::Truncated);
+                }
+                let v = (0..rows)
+                    .map(|_| r.string())
+                    .collect::<Result<Vec<_>, _>>()?;
+                (DataType::Utf8, Column::Utf8(v))
+            }
+            tag => return Err(ProtoError::Malformed(format!("bad dtype tag {tag}"))),
+        };
+        fields.push(Field::new(name, dtype));
+        columns.push(column);
+    }
+    Table::try_new(Schema::new(fields).into_shared(), columns)
+        .map_err(|e| ProtoError::Malformed(e.to_string()))
+}
+
+// ---------------------------------------------------------------------
+// Frame encode/decode.
+
+/// Assemble a full frame: length prefix, version, kind, payload. A
+/// body beyond `u32` saturates the prefix rather than silently wrapping
+/// — the receiver then rejects it as `BadLength` instead of desyncing;
+/// use [`Response::encode_checked`] to catch oversize before sending.
+fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len() + 2).unwrap_or(u32::MAX);
+    let mut out = Vec::with_capacity(payload.len() + 6);
+    put_u32(&mut out, len);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validate the version byte and return `(kind, payload)` of a frame
+/// body (everything after the length prefix).
+fn split_body(body: &[u8]) -> Result<(u8, &[u8]), ProtoError> {
+    if body.len() < 2 {
+        return Err(ProtoError::Truncated);
+    }
+    if body[0] != PROTOCOL_VERSION {
+        return Err(ProtoError::BadVersion(body[0]));
+    }
+    Ok((body[1], &body[2..]))
+}
+
+impl Request {
+    /// Encode to a complete wire frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        let kind = match self {
+            Request::Prepare { sql } => {
+                put_string(&mut payload, sql);
+                KIND_PREPARE
+            }
+            Request::Query { sql, deadline } => {
+                put_string(&mut payload, sql);
+                // 0 = no deadline; a zero deadline is sent as 1 µs.
+                let micros = deadline.map(|d| (d.as_micros() as u64).max(1)).unwrap_or(0);
+                put_u64(&mut payload, micros);
+                KIND_QUERY
+            }
+            Request::Score { model, row } => {
+                put_string(&mut payload, model);
+                put_f64_vec(&mut payload, row);
+                KIND_SCORE
+            }
+            Request::Stats => KIND_STATS,
+            Request::Shutdown => KIND_SHUTDOWN,
+        };
+        frame(kind, &payload)
+    }
+
+    /// Decode a frame body (version + kind + payload, no length prefix).
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let (kind, payload) = split_body(body)?;
+        let mut r = Reader::new(payload);
+        let req = match kind {
+            KIND_PREPARE => Request::Prepare { sql: r.string()? },
+            KIND_QUERY => {
+                let sql = r.string()?;
+                let micros = r.u64()?;
+                Request::Query {
+                    sql,
+                    deadline: (micros > 0).then(|| Duration::from_micros(micros)),
+                }
+            }
+            KIND_SCORE => Request::Score {
+                model: r.string()?,
+                row: r.f64_vec()?,
+            },
+            KIND_STATS => Request::Stats,
+            KIND_SHUTDOWN => Request::Shutdown,
+            kind => return Err(ProtoError::BadKind(kind)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode to a complete wire frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        let kind = match self {
+            Response::Prepared {
+                cache_hit,
+                prepare_micros,
+            } => {
+                payload.push(*cache_hit as u8);
+                put_u64(&mut payload, *prepare_micros);
+                KIND_PREPARED
+            }
+            Response::Rows {
+                cache_hit,
+                total_micros,
+                table,
+            } => {
+                payload.push(*cache_hit as u8);
+                put_u64(&mut payload, *total_micros);
+                encode_table(&mut payload, table);
+                KIND_ROWS
+            }
+            Response::Score { value } => {
+                put_f64(&mut payload, *value);
+                KIND_SCORED
+            }
+            Response::Stats(s) => {
+                for v in [
+                    s.queries,
+                    s.errors,
+                    s.rows,
+                    s.plan_hits,
+                    s.plan_misses,
+                    s.preparations,
+                    s.invalidations,
+                    s.batch_requests,
+                    s.batches,
+                    s.admitted,
+                    s.rejected_overloaded,
+                    s.rejected_deadline,
+                ] {
+                    put_u64(&mut payload, v);
+                }
+                KIND_STATS_REPLY
+            }
+            Response::ShutdownAck => KIND_SHUTDOWN_ACK,
+            Response::Error { code, message } => {
+                put_u16(&mut payload, *code as u16);
+                put_string(&mut payload, message);
+                KIND_ERROR
+            }
+        };
+        frame(kind, &payload)
+    }
+
+    /// Decode a frame body (version + kind + payload, no length prefix).
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let (kind, payload) = split_body(body)?;
+        let mut r = Reader::new(payload);
+        let resp = match kind {
+            KIND_PREPARED => Response::Prepared {
+                cache_hit: decode_bool(r.u8()?)?,
+                prepare_micros: r.u64()?,
+            },
+            KIND_ROWS => Response::Rows {
+                cache_hit: decode_bool(r.u8()?)?,
+                total_micros: r.u64()?,
+                table: decode_table(&mut r)?,
+            },
+            KIND_SCORED => Response::Score { value: r.f64()? },
+            KIND_STATS_REPLY => Response::Stats(WireStats {
+                queries: r.u64()?,
+                errors: r.u64()?,
+                rows: r.u64()?,
+                plan_hits: r.u64()?,
+                plan_misses: r.u64()?,
+                preparations: r.u64()?,
+                invalidations: r.u64()?,
+                batch_requests: r.u64()?,
+                batches: r.u64()?,
+                admitted: r.u64()?,
+                rejected_overloaded: r.u64()?,
+                rejected_deadline: r.u64()?,
+            }),
+            KIND_SHUTDOWN_ACK => Response::ShutdownAck,
+            KIND_ERROR => {
+                let raw = r.u16()?;
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or_else(|| ProtoError::Malformed(format!("bad error code {raw}")))?;
+                Response::Error {
+                    code,
+                    message: r.string()?,
+                }
+            }
+            kind => return Err(ProtoError::BadKind(kind)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+
+    /// Build the error frame for a [`ServerError`]. The message is the
+    /// variant's inner detail: the code already carries the kind, and
+    /// [`ErrorCode::into_error`] reconstructs the exact original.
+    pub fn from_error(e: &ServerError) -> Response {
+        Response::Error {
+            code: e.into(),
+            message: e.detail(),
+        }
+    }
+
+    /// [`Response::encode`], but a frame beyond [`MAX_FRAME_LEN`] — a
+    /// result table too large for the protocol — comes back as
+    /// `Err(BadLength)` instead of a frame the receiver would reject.
+    pub fn encode_checked(&self) -> Result<Vec<u8>, ProtoError> {
+        let wire = self.encode();
+        let body_len = wire.len() - 4;
+        if body_len > MAX_FRAME_LEN as usize {
+            return Err(ProtoError::BadLength(
+                u32::try_from(body_len).unwrap_or(u32::MAX),
+            ));
+        }
+        Ok(wire)
+    }
+}
+
+fn decode_bool(b: u8) -> Result<bool, ProtoError> {
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(ProtoError::Malformed(format!("bad bool byte {b}"))),
+    }
+}
+
+/// Read one frame body from `r`: the length prefix is validated against
+/// [`MAX_FRAME_LEN`] *before* the body allocation. A clean close before
+/// the first length byte is [`ProtoError::Eof`]; mid-frame closes are
+/// [`ProtoError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    ProtoError::Eof
+                } else {
+                    ProtoError::Truncated
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtoError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if !(2..=MAX_FRAME_LEN).contains(&len) {
+        return Err(ProtoError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated
+        } else {
+            ProtoError::Io(e.to_string())
+        }
+    })?;
+    Ok(body)
+}
+
+/// Write a fully assembled frame (from [`Request::encode`] /
+/// [`Response::encode`]) to `w`.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<(), ProtoError> {
+    w.write_all(frame)
+        .map_err(|e| ProtoError::Io(e.to_string()))?;
+    w.flush().map_err(|e| ProtoError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(req: Request) {
+        let wire = req.encode();
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let wire = resp.encode();
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Prepare {
+            sql: "SELECT 1".into(),
+        });
+        roundtrip_request(Request::Query {
+            sql: "SELECT * FROM t WHERE x > 1".into(),
+            deadline: None,
+        });
+        roundtrip_request(Request::Query {
+            sql: "q".into(),
+            deadline: Some(Duration::from_millis(250)),
+        });
+        roundtrip_request(Request::Score {
+            model: "risk".into(),
+            row: vec![1.0, -2.5, f64::MAX],
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let table = Table::try_new(
+            Schema::from_pairs(&[
+                ("id", DataType::Int64),
+                ("score", DataType::Float64),
+                ("dest", DataType::Utf8),
+                ("flag", DataType::Bool),
+            ])
+            .into_shared(),
+            vec![
+                Column::Int64(vec![1, -7]),
+                Column::Float64(vec![0.5, f64::NEG_INFINITY]),
+                Column::Utf8(vec!["JFK".into(), "日本".into()]),
+                Column::Bool(vec![true, false]),
+            ],
+        )
+        .unwrap();
+        roundtrip_response(Response::Rows {
+            cache_hit: true,
+            total_micros: 1234,
+            table,
+        });
+        roundtrip_response(Response::Prepared {
+            cache_hit: false,
+            prepare_micros: 99,
+        });
+        roundtrip_response(Response::Score { value: 6.25 });
+        roundtrip_response(Response::Stats(WireStats {
+            queries: 1,
+            errors: 2,
+            rows: 3,
+            plan_hits: 4,
+            plan_misses: 5,
+            preparations: 6,
+            invalidations: 7,
+            batch_requests: 8,
+            batches: 9,
+            admitted: 10,
+            rejected_overloaded: 11,
+            rejected_deadline: 12,
+        }));
+        roundtrip_response(Response::ShutdownAck);
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        });
+    }
+
+    #[test]
+    fn error_frames_reconstruct_the_exact_error() {
+        let errors = [
+            ServerError::Sql("s".into()),
+            ServerError::Overloaded("o".into()),
+            ServerError::DeadlineExceeded("d".into()),
+            ServerError::ShuttingDown,
+            ServerError::BadRequest("b".into()),
+        ];
+        for e in errors {
+            let Response::Error { code, message } = Response::from_error(&e) else {
+                panic!("not an error frame");
+            };
+            assert_eq!(code.into_error(message), e, "round-trip must be exact");
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        put_u32(&mut wire, MAX_FRAME_LEN + 1);
+        wire.extend_from_slice(&[0u8; 64]);
+        assert_eq!(
+            read_frame(&mut Cursor::new(&wire)),
+            Err(ProtoError::BadLength(MAX_FRAME_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut wire = Request::Stats.encode();
+        wire[4] = 9; // clobber the version byte
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(Request::decode(&body), Err(ProtoError::BadVersion(9)));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut wire = Request::Stats.encode();
+        // Extend the payload by one byte and fix up the length prefix.
+        wire.push(0xAB);
+        let len = (wire.len() - 4) as u32;
+        wire[..4].copy_from_slice(&len.to_le_bytes());
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        assert!(matches!(
+            Request::decode(&body),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn eof_and_truncation_are_distinct() {
+        assert_eq!(
+            read_frame(&mut Cursor::new(Vec::new())),
+            Err(ProtoError::Eof)
+        );
+        let wire = Request::Prepare {
+            sql: "SELECT 1".into(),
+        }
+        .encode();
+        for cut in 1..wire.len() {
+            let err = read_frame(&mut Cursor::new(&wire[..cut]));
+            assert!(err.is_err(), "cut at {cut} must not parse");
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! `ServerState`: the shared, thread-safe heart of the serving layer.
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats};
 use crate::batcher::{BatchConfig, BatcherStats, MicroBatcher};
 use crate::cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
 use crate::error::{Result, ServerError};
@@ -7,7 +8,7 @@ use crate::stats::{ServerStats, StatsSnapshot};
 use raven_core::{ModelStore, RavenSession, SessionConfig};
 use raven_data::{Catalog, Table};
 use raven_ml::Pipeline;
-use raven_relational::SharedExecutor;
+use raven_relational::{CancelToken, ExecError, SharedExecutor};
 use raven_runtime::RavenScorer;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,6 +24,9 @@ pub struct ServerConfig {
     pub plan_cache_capacity: usize,
     /// Micro-batching knobs for point-scoring requests.
     pub batch: BatchConfig,
+    /// Admission control for [`ServerState::serve`]: concurrent-execution
+    /// limit, queue bound, wait timeout, default deadline.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -31,6 +35,7 @@ impl Default for ServerConfig {
             session: SessionConfig::default(),
             plan_cache_capacity: 128,
             batch: BatchConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -76,6 +81,7 @@ pub struct ServerState {
     executor: SharedExecutor,
     plan_cache: PlanCache,
     batcher: MicroBatcher,
+    admission: AdmissionController,
     stats: ServerStats,
     config: ServerConfig,
 }
@@ -119,6 +125,7 @@ impl ServerState {
             config.session.exec,
         );
         let batcher = MicroBatcher::new(store.clone(), config.batch.clone());
+        let admission = AdmissionController::new(config.admission.clone());
         ServerState {
             catalog,
             store,
@@ -126,6 +133,7 @@ impl ServerState {
             executor,
             plan_cache: PlanCache::new(config.plan_cache_capacity.max(1)),
             batcher,
+            admission,
             stats: ServerStats::new(),
             config,
         }
@@ -214,23 +222,55 @@ impl ServerState {
         ))
     }
 
-    /// Serve one SQL query end to end.
+    /// Serve one SQL query end to end (no explicit deadline; admission
+    /// control still applies per [`ServerConfig::admission`]).
     pub fn execute(&self, sql: &str) -> Result<ServerQueryResult> {
+        self.serve(sql, None)
+    }
+
+    /// Serve one SQL query under admission control and an optional
+    /// deadline. The request first acquires an execution permit — a full
+    /// queue or a timed-out wait rejects with a typed
+    /// [`ServerError::Overloaded`] instead of stalling — then executes
+    /// with a [`CancelToken`] carrying the deadline, so an expired
+    /// request aborts mid-plan with [`ServerError::DeadlineExceeded`].
+    /// `deadline` falls back to [`AdmissionConfig::default_deadline`].
+    pub fn serve(&self, sql: &str, deadline: Option<Duration>) -> Result<ServerQueryResult> {
         let start = Instant::now();
-        let outcome = self.execute_inner(sql, start);
+        let deadline_at = deadline
+            .or(self.config.admission.default_deadline)
+            .map(|d| start + d);
+        // Admission rejections are counted by the controller, not as
+        // query errors: the request was never executed.
+        let _permit = self.admission.admit(deadline_at)?;
+        let outcome = self.execute_inner(sql, start, deadline_at);
         if outcome.is_err() {
             self.stats.record_error();
         }
         outcome
     }
 
-    fn execute_inner(&self, sql: &str, start: Instant) -> Result<ServerQueryResult> {
+    fn execute_inner(
+        &self,
+        sql: &str,
+        start: Instant,
+        deadline_at: Option<Instant>,
+    ) -> Result<ServerQueryResult> {
         let (prepared, cache_hit) = self.prepare(sql)?;
         let exec_start = Instant::now();
-        let table = self
-            .executor
-            .execute(&prepared.plan)
-            .map_err(|e| ServerError::Execution(e.to_string()))?;
+        let exec_result = match deadline_at {
+            Some(at) => self
+                .executor
+                .execute_with(&prepared.plan, &CancelToken::with_deadline(at)),
+            None => self.executor.execute(&prepared.plan),
+        };
+        let table = exec_result.map_err(|e| match e {
+            ExecError::Cancelled => ServerError::DeadlineExceeded(format!(
+                "query exceeded its deadline after {:?}",
+                start.elapsed()
+            )),
+            e => ServerError::Execution(e.to_string()),
+        })?;
         let exec_time = exec_start.elapsed();
         let total_time = start.elapsed();
         self.stats.record_query(total_time, table.num_rows());
@@ -259,12 +299,18 @@ impl ServerState {
         self.batcher.stats()
     }
 
+    /// Admission-control counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
     /// Full observability snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot(
             self.plan_cache.stats(),
             self.scorer.cache_stats(),
             self.batcher.stats(),
+            self.admission.stats(),
         )
     }
 }
@@ -375,6 +421,21 @@ mod tests {
             Err(ServerError::Sql(_))
         ));
         assert_eq!(server.stats().errors, 1);
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected_typed() {
+        let server = server_with_table();
+        // An already-expired deadline never reaches execution.
+        assert!(matches!(
+            server.serve(SQL, Some(Duration::ZERO)),
+            Err(ServerError::DeadlineExceeded(_))
+        ));
+        assert_eq!(server.admission_stats().rejected_deadline, 1);
+        // A generous deadline serves normally.
+        let ok = server.serve(SQL, Some(Duration::from_secs(60))).unwrap();
+        assert_eq!(ok.table.num_rows(), 50);
+        assert_eq!(server.admission_stats().admitted, 1);
     }
 
     #[test]

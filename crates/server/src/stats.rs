@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::admission::AdmissionStats;
 use crate::batcher::BatcherStats;
 use crate::cache::PlanCacheStats;
 use parking_lot::Mutex;
@@ -102,6 +103,7 @@ impl ServerStats {
         plan_cache: PlanCacheStats,
         session_cache: (u64, u64),
         batcher: BatcherStats,
+        admission: AdmissionStats,
     ) -> StatsSnapshot {
         let queries = self.queries.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
@@ -119,6 +121,7 @@ impl ServerStats {
             plan_cache,
             session_cache,
             batcher,
+            admission,
         }
     }
 }
@@ -136,6 +139,8 @@ pub struct StatsSnapshot {
     /// Inference-session cache `(hits, misses)` from the scorer.
     pub session_cache: (u64, u64),
     pub batcher: BatcherStats,
+    /// Admission-control outcomes (permits granted, typed rejections).
+    pub admission: AdmissionStats,
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -156,13 +161,20 @@ impl fmt::Display for StatsSnapshot {
             "inference-session cache: {} hits / {} misses",
             self.session_cache.0, self.session_cache.1
         )?;
-        write!(
+        writeln!(
             f,
             "micro-batcher: {} requests in {} batches (mean {:.1} rows, max {})",
             self.batcher.requests,
             self.batcher.batches,
             self.batcher.mean_batch_size(),
             self.batcher.max_batch_seen
+        )?;
+        write!(
+            f,
+            "admission: {} admitted, {} rejected overloaded, {} rejected past deadline",
+            self.admission.admitted,
+            self.admission.rejected_overloaded,
+            self.admission.rejected_deadline
         )
     }
 }
@@ -177,7 +189,12 @@ mod tests {
         for i in 1..=100u64 {
             stats.record_query(Duration::from_micros(i * 10), 1);
         }
-        let snap = stats.snapshot(PlanCacheStats::default(), (0, 0), BatcherStats::default());
+        let snap = stats.snapshot(
+            PlanCacheStats::default(),
+            (0, 0),
+            BatcherStats::default(),
+            AdmissionStats::default(),
+        );
         assert_eq!(snap.queries, 100);
         assert_eq!(snap.rows, 100);
         assert_eq!(snap.latency.max, Duration::from_micros(1000));

@@ -1,0 +1,197 @@
+//! Property tests for the wire protocol: every request/response
+//! round-trips bit-exactly through encode → frame → decode, and no
+//! amount of truncation, oversizing, or outright garbage makes the
+//! decoder panic — it returns typed [`ProtoError`]s.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use raven_data::{Column, DataType, Schema, Table};
+use raven_server::proto::{read_frame, MAX_FRAME_LEN};
+use raven_server::{ErrorCode, Request, Response, WireStats};
+use std::io::Cursor;
+use std::time::Duration;
+
+/// Printable-ASCII strings plus the occasional multi-byte UTF-8, so the
+/// length prefixes are exercised in bytes, not chars.
+fn text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        vec(32..127u32, 0..48).prop_map(|v| {
+            v.into_iter()
+                .map(|c| char::from_u32(c).unwrap())
+                .collect::<String>()
+        }),
+        Just("SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d)".to_string()),
+        Just("日本語テキスト🚀".to_string()),
+        Just(String::new()),
+    ]
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e12..1.0e12f64,
+        Just(0.0),
+        Just(f64::MAX),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        text().prop_map(|sql| Request::Prepare { sql }),
+        (text(), 0..10_000_000u64).prop_map(|(sql, micros)| Request::Query {
+            sql,
+            deadline: (micros % 2 == 0).then(|| Duration::from_micros(micros + 1)),
+        }),
+        (text(), vec(finite_f64(), 0..32)).prop_map(|(model, row)| Request::Score { model, row }),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn table() -> impl Strategy<Value = Table> {
+    (
+        vec(-1_000_000..1_000_000i64, 0..8),
+        vec(finite_f64(), 0..8),
+        vec(text(), 0..8),
+        vec(0..2u8, 0..8),
+    )
+        .prop_map(|(ints, floats, strings, bools)| {
+            let n = ints
+                .len()
+                .min(floats.len())
+                .min(strings.len())
+                .min(bools.len());
+            Table::try_new(
+                Schema::from_pairs(&[
+                    ("i", DataType::Int64),
+                    ("f", DataType::Float64),
+                    ("s", DataType::Utf8),
+                    ("b", DataType::Bool),
+                ])
+                .into_shared(),
+                vec![
+                    Column::Int64(ints[..n].to_vec()),
+                    Column::Float64(floats[..n].to_vec()),
+                    Column::Utf8(strings[..n].to_vec()),
+                    Column::Bool(bools[..n].iter().map(|&b| b == 1).collect()),
+                ],
+            )
+            .unwrap()
+        })
+}
+
+fn error_code() -> impl Strategy<Value = ErrorCode> {
+    const CODES: [ErrorCode; 12] = [
+        ErrorCode::Sql,
+        ErrorCode::Optimizer,
+        ErrorCode::Execution,
+        ErrorCode::Data,
+        ErrorCode::Store,
+        ErrorCode::Scoring,
+        ErrorCode::BadRequest,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Overloaded,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::Protocol,
+        ErrorCode::Network,
+    ];
+    (0..CODES.len()).prop_map(|i| CODES[i])
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0..2u8, 0..1_000_000u64).prop_map(|(hit, micros)| Response::Prepared {
+            cache_hit: hit == 1,
+            prepare_micros: micros,
+        }),
+        (0..2u8, 0..1_000_000u64, table()).prop_map(|(hit, micros, table)| Response::Rows {
+            cache_hit: hit == 1,
+            total_micros: micros,
+            table,
+        }),
+        finite_f64().prop_map(|value| Response::Score { value }),
+        vec(0..u64::MAX, 12).prop_map(|v| {
+            Response::Stats(WireStats {
+                queries: v[0],
+                errors: v[1],
+                rows: v[2],
+                plan_hits: v[3],
+                plan_misses: v[4],
+                preparations: v[5],
+                invalidations: v[6],
+                batch_requests: v[7],
+                batches: v[8],
+                admitted: v[9],
+                rejected_overloaded: v[10],
+                rejected_deadline: v[11],
+            })
+        }),
+        Just(Response::ShutdownAck),
+        (error_code(), text()).prop_map(|(code, message)| Response::Error { code, message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_roundtrip(req in request()) {
+        let wire = req.encode();
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        prop_assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_roundtrip(resp in response()) {
+        let wire = resp.encode();
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        prop_assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_parsing(
+        req in request(),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let wire = req.encode();
+        // Cut strictly inside the frame: every prefix must fail cleanly.
+        let cut = ((wire.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(read_frame(&mut Cursor::new(&wire[..cut])).is_err());
+    }
+
+    #[test]
+    fn truncated_payloads_error_instead_of_panicking(
+        req in request(),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        // Truncate the decoded body (post-length-prefix) directly: the
+        // payload cursor must bounds-check every field.
+        let wire = req.encode();
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        let cut = ((body.len().saturating_sub(1)) as f64 * cut_frac) as usize;
+        if cut < body.len() {
+            prop_assert!(Request::decode(&body[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in vec(0..256u32, 0..512)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        // Whatever happens — Eof, BadLength, BadVersion, BadKind,
+        // Malformed, or even an accidental parse — it must not panic.
+        if let Ok(body) = read_frame(&mut Cursor::new(&bytes)) {
+            let _ = Request::decode(&body);
+            let _ = Response::decode(&body);
+        }
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn oversized_length_prefixes_rejected(excess in 1..u32::MAX - MAX_FRAME_LEN) {
+        let len = MAX_FRAME_LEN + excess;
+        let mut wire = len.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[1u8, 0x04]); // plausible version + kind
+        prop_assert!(read_frame(&mut Cursor::new(&wire)).is_err());
+    }
+}

@@ -7,10 +7,13 @@
 //! * SQL inference queries from 4 concurrent analyst threads — the
 //!   prepared-plan cache makes parse → bind → optimize a one-time cost;
 //! * single-row point lookups from 4 concurrent application threads —
-//!   the micro-batcher coalesces them into batched scorer calls.
+//!   the micro-batcher coalesces them into batched scorer calls;
+//! * the same state behind the framed-TCP front end, queried over a real
+//!   socket by `RavenClient` (with a deliberately overloaded request to
+//!   show the typed admission-control rejection).
 
 use raven_datagen::{hospital, train};
-use raven_server::{ServerConfig, ServerState};
+use raven_server::{NetConfig, RavenClient, RavenServer, ServerConfig, ServerState};
 use std::sync::Arc;
 
 const SQL: &str = "\
@@ -88,6 +91,24 @@ fn main() {
         h.join().expect("client thread");
     }
 
-    // 4. What the server measured.
+    // 4. The same state over the wire: framed TCP on an ephemeral port.
+    let net = RavenServer::bind(server.clone(), NetConfig::default()).expect("bind listener");
+    let addr = net.local_addr();
+    let mut client = RavenClient::connect(addr).expect("connect");
+    let reply = client.query(SQL).expect("network query");
+    println!(
+        "\nover TCP ({addr}): {} rows, cache hit: {}, server time {:.2} ms",
+        reply.table.num_rows(),
+        reply.cache_hit,
+        reply.server_time.as_secs_f64() * 1e3,
+    );
+    // A query that cannot meet its deadline comes back typed, not stuck.
+    match client.query_with_deadline(SQL, Some(std::time::Duration::from_micros(1))) {
+        Err(e) => println!("1 µs deadline: {e}"),
+        Ok(_) => println!("1 µs deadline: served (machine faster than the example expected)"),
+    }
+    net.shutdown();
+
+    // 5. What the server measured.
     println!("\n-- server stats --\n{}", server.stats());
 }
