@@ -5,6 +5,10 @@
 //! * **plan cache on vs. off** — the amortization the prepared-plan
 //!   cache buys on a repeated inference query (parse → bind → optimize
 //!   skipped on every hit);
+//! * **exact-text vs. template cache** — 1000 queries from 10 shapes ×
+//!   20 distinct constants each: keying the cache on the normalized
+//!   template (constants → `?`) vs. on raw SQL text, with the hit-rate
+//!   delta printed;
 //! * **concurrent clients** — the same workload from 1/4/8 threads over
 //!   one shared server;
 //! * **network path** — the same workload over the framed-TCP front end
@@ -33,10 +37,16 @@ const SQL: &str = "\
     WHERE d.pregnant = 1 AND p.length_of_stay > 6";
 
 fn hospital_server(rows: usize, plan_cache_capacity: usize) -> ServerState {
-    let config = ServerConfig {
-        plan_cache_capacity,
-        ..Default::default()
-    };
+    hospital_server_with(
+        rows,
+        ServerConfig {
+            plan_cache_capacity,
+            ..Default::default()
+        },
+    )
+}
+
+fn hospital_server_with(rows: usize, config: ServerConfig) -> ServerState {
     let server = ServerState::new(config);
     let data = hospital::generate(rows, 42);
     data.register(server.catalog()).expect("register");
@@ -66,6 +76,63 @@ fn bench_plan_cache(rows: usize) {
             runs + 1,
         );
     }
+}
+
+/// Exact-text vs. template plan caching on production-shaped traffic:
+/// 1000 queries drawn from 10 query *shapes*, each shape instantiated
+/// with 20 distinct constants (so 200 distinct SQL texts). The
+/// exact-text cache (normalization off) must prepare every text; the
+/// template cache prepares each shape once. The printed delta is the
+/// number in the ISSUE: hit rate + optimizations paid.
+fn bench_template_cache(rows: usize) {
+    println!("== exact-text vs. template plan cache (1000 queries, 10 shapes x 20 constants) ==");
+    const QUERIES: usize = 1000;
+    const SHAPES: usize = 10;
+    const CONSTANTS: usize = 20;
+    // Shapes differ structurally (LIMIT is part of the plan, not a
+    // parameter); constants differ per request, as template traffic does.
+    let sql_for = |q: usize| {
+        let shape = q % SHAPES;
+        let constant = 18 + 3 * ((q / SHAPES) % CONSTANTS); // 20 distinct ages
+        format!(
+            "SELECT d.id, p.stay FROM PREDICT(MODEL = 'duration_of_stay', \
+             DATA = (SELECT * FROM patient_info AS pi \
+             JOIN blood_tests AS bt ON pi.id = bt.id \
+             JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d) \
+             WITH (stay FLOAT) AS p \
+             WHERE d.age > {constant} ORDER BY p.stay DESC LIMIT {}",
+            shape + 1
+        )
+    };
+    let mut hit_rates = Vec::new();
+    for (label, normalize) in [("exact-text", false), ("template", true)] {
+        let config = ServerConfig {
+            normalize_parameters: normalize,
+            ..Default::default()
+        };
+        let server = hospital_server_with(rows, config);
+        let start = Instant::now();
+        for q in 0..QUERIES {
+            std::hint::black_box(server.execute(&sql_for(q)).expect("query"));
+        }
+        let elapsed = start.elapsed();
+        let stats = server.plan_cache_stats();
+        hit_rates.push(stats.hit_rate());
+        let snap = server.stats();
+        println!(
+            "  {label:<10}  {:>8.1} q/s  hit rate {:>5.1}%  {:>3} preparations  \
+             ({} normalized, {} template hits)",
+            qps(QUERIES, elapsed),
+            stats.hit_rate() * 100.0,
+            stats.preparations,
+            snap.normalized,
+            snap.template_hits,
+        );
+    }
+    println!(
+        "  hit-rate delta: +{:.1} points for the template cache",
+        (hit_rates[1] - hit_rates[0]) * 100.0
+    );
 }
 
 fn bench_concurrency(rows: usize) {
@@ -218,6 +285,7 @@ fn bench_network_path(rows: usize) {
 fn main() {
     let rows = if full_scale() { 200_000 } else { 20_000 };
     bench_plan_cache(rows);
+    bench_template_cache(rows.min(20_000));
     bench_concurrency(rows);
     bench_network_path(rows);
     bench_micro_batching(rows);

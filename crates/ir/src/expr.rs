@@ -85,6 +85,19 @@ pub enum Expr {
     Column(String),
     /// Constant.
     Literal(Value),
+    /// Positional prepared-statement placeholder (`?` in SQL, 0-based).
+    ///
+    /// `dtype` is `None` straight out of the parser; the binder infers it
+    /// from the expression's context against the schema (a parameter
+    /// compared with a `Float64` column becomes a `Float64` parameter).
+    /// Parameters never constant-fold and never feed predicate-based
+    /// model pruning — a cached template plan must stay correct for
+    /// *every* future argument. [`Expr::bind_params`] substitutes real
+    /// values at execution time.
+    Parameter {
+        index: usize,
+        dtype: Option<DataType>,
+    },
     /// Binary operation.
     Binary {
         op: BinOp,
@@ -110,6 +123,19 @@ impl Expr {
     /// Convenience: literal.
     pub fn lit(value: impl Into<Value>) -> Expr {
         Expr::Literal(value.into())
+    }
+
+    /// Convenience: untyped positional parameter (as parsed from `?`).
+    pub fn param(index: usize) -> Expr {
+        Expr::Parameter { index, dtype: None }
+    }
+
+    /// Convenience: parameter with an inferred type.
+    pub fn typed_param(index: usize, dtype: DataType) -> Expr {
+        Expr::Parameter {
+            index,
+            dtype: Some(dtype),
+        }
     }
 
     /// Convenience: binary node.
@@ -174,7 +200,7 @@ impl Expr {
     pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Column(_) | Expr::Literal(_) | Expr::Parameter { .. } => {}
             Expr::Binary { left, right, .. } => {
                 left.visit(f);
                 right.visit(f);
@@ -225,6 +251,12 @@ impl Expr {
                 Ok(schema.field(idx)?.dtype)
             }
             Expr::Literal(v) => Ok(v.data_type()),
+            Expr::Parameter { index, dtype } => dtype.ok_or_else(|| {
+                IrError::TypeError(format!(
+                    "parameter ?{} has no inferred type; bind the query first",
+                    index + 1
+                ))
+            }),
             Expr::Binary { op, left, right } => {
                 let lt = left.data_type(schema)?;
                 let rt = right.data_type(schema)?;
@@ -266,6 +298,88 @@ impl Expr {
                 Ok(t)
             }
         }
+    }
+
+    /// All parameter indices referenced by this expression (sorted,
+    /// deduplicated).
+    pub fn parameter_indices(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Parameter { index, .. } = e {
+                if !out.contains(index) {
+                    out.push(*index);
+                }
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// Check `params` against this expression's placeholders without
+    /// rewriting anything: every referenced index must have a value, and
+    /// each value must be compatible with the parameter's inferred type.
+    /// Numeric values are interchangeable across numeric parameters —
+    /// `pregnant > 0.5` over an `Int64` column must behave exactly like
+    /// the literal query, so a `Float64` argument in an `Int64`-typed
+    /// slot is accepted (and substituted unchanged, never truncated).
+    /// Any other mismatch (and any missing argument) is a
+    /// [`IrError::TypeError`].
+    pub fn validate_params(&self, params: &[Value]) -> Result<()> {
+        let mut problem: Option<IrError> = None;
+        self.visit(&mut |e| {
+            if let Expr::Parameter { index, dtype } = e {
+                if problem.is_some() {
+                    return;
+                }
+                let Some(value) = params.get(*index) else {
+                    problem = Some(IrError::TypeError(format!(
+                        "no value for parameter ?{}: statement got {} parameter(s)",
+                        index + 1,
+                        params.len()
+                    )));
+                    return;
+                };
+                if let Some(expected) = dtype {
+                    let actual = value.data_type();
+                    let numeric_ok = expected.is_numeric() && actual.is_numeric();
+                    if actual != *expected && !numeric_ok {
+                        problem = Some(IrError::TypeError(format!(
+                            "parameter ?{} expects {expected}, got {actual} ({value})",
+                            index + 1
+                        )));
+                    }
+                }
+            }
+        });
+        match problem {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Substitute positional parameters with concrete values, validating
+    /// first via [`Expr::validate_params`]. `Int64` arguments widen to
+    /// `Float64` parameters; `Float64` arguments in `Int64` slots pass
+    /// through unchanged (matching the literal query's expression).
+    pub fn bind_params(self, params: &[Value]) -> Result<Expr> {
+        self.validate_params(params)?;
+        Ok(self.substitute_params(params))
+    }
+
+    /// The rewrite half of [`Expr::bind_params`]; callers must have run
+    /// [`Expr::validate_params`] (indexing panics otherwise).
+    pub(crate) fn substitute_params(self, params: &[Value]) -> Expr {
+        self.transform(&|e| match e {
+            Expr::Parameter { index, dtype } => {
+                let value = params[index].clone();
+                let value = match (dtype, &value) {
+                    (Some(DataType::Float64), Value::Int64(v)) => Value::Float64(*v as f64),
+                    _ => value,
+                };
+                Expr::Literal(value)
+            }
+            other => other,
+        })
     }
 
     /// Fold constant subexpressions (numeric arithmetic, comparisons on
@@ -355,6 +469,10 @@ impl fmt::Display for Expr {
         match self {
             Expr::Column(name) => f.write_str(name),
             Expr::Literal(v) => write!(f, "{v}"),
+            // Positional placeholders render as SQL's `?`; expressions
+            // print in evaluation order, so re-parsing the rendered text
+            // assigns the same indices.
+            Expr::Parameter { .. } => f.write_str("?"),
             Expr::Binary { op, left, right } => {
                 let needs_parens = |e: &Expr| matches!(e, Expr::Binary { op: inner, .. } if inner.is_logical() && !op.is_logical());
                 let _ = needs_parens;
@@ -503,6 +621,63 @@ mod tests {
             other => other,
         });
         assert_eq!(renamed.referenced_columns(), vec!["b"]);
+    }
+
+    #[test]
+    fn parameter_typing_and_display() {
+        let schema = Schema::from_pairs(&[("age", DataType::Float64)]);
+        // Untyped parameters cannot be typed against a schema.
+        assert!(Expr::col("age")
+            .gt(Expr::param(0))
+            .data_type(&schema)
+            .is_err());
+        // Typed ones participate like literals.
+        let e = Expr::col("age").gt(Expr::typed_param(0, DataType::Float64));
+        assert_eq!(e.data_type(&schema).unwrap(), DataType::Bool);
+        assert_eq!(e.to_string(), "(age > ?)");
+        assert_eq!(e.parameter_indices(), vec![0]);
+        // Parameters never constant-fold.
+        let folded = Expr::typed_param(0, DataType::Int64)
+            .gt(Expr::lit(1i64))
+            .fold_constants();
+        assert!(matches!(folded, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn bind_params_substitutes_and_widens() {
+        let e = Expr::col("age").gt(Expr::typed_param(0, DataType::Float64));
+        let bound = e.bind_params(&[Value::Int64(30)]).unwrap();
+        // Int64 argument widened to the parameter's Float64 type.
+        assert_eq!(bound, Expr::col("age").gt(Expr::lit(30.0f64)));
+    }
+
+    #[test]
+    fn bind_params_numeric_values_are_interchangeable() {
+        // `pregnant > 0.5` over an Int64 column: the binder types the
+        // parameter Int64 (from the column), but the extracted constant
+        // is Float64 — it must substitute unchanged (never truncated),
+        // exactly as the literal query would have evaluated.
+        let e = Expr::col("pregnant").gt(Expr::typed_param(0, DataType::Int64));
+        let bound = e.bind_params(&[Value::Float64(0.5)]).unwrap();
+        assert_eq!(bound, Expr::col("pregnant").gt(Expr::lit(0.5f64)));
+    }
+
+    #[test]
+    fn bind_params_arity_and_type_errors() {
+        let e = Expr::col("age").gt(Expr::typed_param(0, DataType::Float64));
+        // Wrong arity.
+        let err = e.clone().bind_params(&[]).unwrap_err();
+        assert!(
+            err.to_string().contains("no value for parameter ?1"),
+            "{err}"
+        );
+        // Type mismatch: a string where a float is expected.
+        let err = e.bind_params(&[Value::Utf8("x".into())]).unwrap_err();
+        assert!(err.to_string().contains("expects Float64"), "{err}");
+        // Utf8 parameter accepts only strings.
+        let e = Expr::col("dest").eq(Expr::typed_param(0, DataType::Utf8));
+        assert!(e.clone().bind_params(&[Value::Int64(1)]).is_err());
+        assert!(e.bind_params(&[Value::Utf8("JFK".into())]).is_ok());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::error::IrError;
 use crate::expr::{AggFunc, Expr};
 use crate::Result;
-use raven_data::{DataType, Field, Schema};
+use raven_data::{DataType, Field, Schema, Value};
 use raven_ml::{KMeans, Pipeline};
 use raven_tensor::Graph;
 use std::fmt;
@@ -428,6 +428,69 @@ impl Plan {
         }
     }
 
+    /// Visit every scalar expression embedded in the plan (filter
+    /// predicates and projection expressions — the only operators that
+    /// carry [`Expr`]s).
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        self.visit(&mut |node| match node {
+            Plan::Filter { predicate, .. } => f(predicate),
+            Plan::Project { exprs, .. } => {
+                for (e, _) in exprs {
+                    f(e);
+                }
+            }
+            _ => {}
+        });
+    }
+
+    /// Number of positional parameters this plan expects (`?` in the SQL
+    /// it was bound from): the highest [`Expr::Parameter`] index + 1, or
+    /// 0 for a fully literal plan.
+    pub fn parameter_count(&self) -> usize {
+        let mut max: Option<usize> = None;
+        self.visit_exprs(&mut |e| {
+            if let Some(&m) = e.parameter_indices().last() {
+                max = Some(max.map_or(m, |x: usize| x.max(m)));
+            }
+        });
+        max.map_or(0, |m| m + 1)
+    }
+
+    /// Substitute positional parameters with concrete values throughout
+    /// the plan (see [`Expr::bind_params`] for arity/type rules). This is
+    /// the execution-time half of prepared statements: the cached,
+    /// optimized template plan stays untouched; each request executes a
+    /// cheap literal-plan copy.
+    pub fn bind_parameters(&self, params: &[Value]) -> Result<Plan> {
+        // Validate by visiting (no clones) so the consuming rewrite
+        // below can substitute infallibly.
+        let mut problem = None;
+        self.visit_exprs(&mut |e| {
+            if problem.is_none() {
+                if let Err(err) = e.validate_params(params) {
+                    problem = Some(err);
+                }
+            }
+        });
+        if let Some(e) = problem {
+            return Err(e);
+        }
+        Ok(self.clone().transform_up(&|node| match node {
+            Plan::Filter { input, predicate } => Plan::Filter {
+                input,
+                predicate: predicate.substitute_params(params),
+            },
+            Plan::Project { input, exprs } => Plan::Project {
+                input,
+                exprs: exprs
+                    .into_iter()
+                    .map(|(e, n)| (e.substitute_params(params), n))
+                    .collect(),
+            },
+            other => other,
+        }))
+    }
+
     /// All tables scanned by the plan.
     pub fn scanned_tables(&self) -> Vec<String> {
         let mut out = Vec::new();
@@ -603,6 +666,50 @@ mod tests {
         };
         assert_eq!(plan.node_count(), 4);
         assert_eq!(plan.scanned_tables(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parameter_count_and_binding() {
+        use raven_data::Value;
+        let template = Plan::Project {
+            input: Box::new(Plan::Filter {
+                input: Box::new(scan(
+                    "t",
+                    &[("x", DataType::Float64), ("y", DataType::Int64)],
+                )),
+                predicate: Expr::col("x").gt(Expr::typed_param(0, DataType::Float64)),
+            }),
+            exprs: vec![(
+                Expr::binary(
+                    BinOp::Plus,
+                    Expr::col("y"),
+                    Expr::typed_param(1, DataType::Int64),
+                ),
+                "y2".into(),
+            )],
+        };
+        assert_eq!(template.parameter_count(), 2);
+
+        let bound = template
+            .bind_parameters(&[Value::Int64(5), Value::Int64(7)])
+            .unwrap();
+        assert_eq!(bound.parameter_count(), 0);
+        let Plan::Project { input, exprs } = &bound else {
+            panic!("project on top");
+        };
+        assert_eq!(exprs[0].0.to_string(), "(y + 7)");
+        let Plan::Filter { predicate, .. } = &**input else {
+            panic!("filter below");
+        };
+        assert_eq!(predicate.to_string(), "(x > 5)");
+        // The template itself is untouched.
+        assert_eq!(template.parameter_count(), 2);
+
+        // Arity/type errors surface without mutating anything.
+        assert!(template.bind_parameters(&[Value::Int64(5)]).is_err());
+        assert!(template
+            .bind_parameters(&[Value::Utf8("a".into()), Value::Int64(7)])
+            .is_err());
     }
 
     #[test]

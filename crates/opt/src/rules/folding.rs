@@ -95,6 +95,25 @@ mod tests {
     }
 
     #[test]
+    fn parameters_never_fold() {
+        use raven_data::DataType;
+        // A parameterized predicate must survive folding untouched: the
+        // cached template plan serves every future argument, so nothing
+        // about the (unknown) constant may be baked in.
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let plan = Plan::Filter {
+            input: Box::new(scan(&cat)),
+            predicate: Expr::typed_param(0, DataType::Float64)
+                .gt(Expr::lit(1i64))
+                .and(Expr::col("x").lt_eq(Expr::typed_param(1, DataType::Float64))),
+        };
+        let out = apply(plan.clone(), &ctx).unwrap();
+        assert_eq!(out, plan, "parameterized predicate must not change");
+        assert_eq!(out.parameter_count(), 2);
+    }
+
+    #[test]
     fn partial_boolean_simplification() {
         let cat = catalog();
         let ctx = OptimizerContext::new(&cat);

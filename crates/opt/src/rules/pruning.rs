@@ -287,6 +287,28 @@ mod tests {
     }
 
     #[test]
+    fn parameterized_predicates_never_prune() {
+        // `pregnant = ?` would prune the `pregnant = 0` subtree if the
+        // optimizer treated the placeholder as a constant — and the
+        // cached template plan would then be wrong for `? = 0`. The
+        // constraint extractor must see no constant here.
+        let cat = catalog();
+        let mut ctx = OptimizerContext::new(&cat);
+        ctx.rules.stats_derived_predicates = false;
+        let plan = predict_over(
+            Plan::Filter {
+                input: Box::new(scan(&cat, "patients")),
+                predicate: Expr::col("pregnant")
+                    .eq(Expr::typed_param(0, raven_data::DataType::Int64)),
+            },
+            fig1_pipeline(),
+        );
+        let out = apply(plan.clone(), &ctx).unwrap();
+        assert_eq!(out, plan, "no pruning from a parameter");
+        assert_eq!(tree_nodes_of(&out), 7, "full tree retained");
+    }
+
+    #[test]
     fn no_constraints_no_change() {
         let cat = catalog();
         let mut ctx = OptimizerContext::new(&cat);

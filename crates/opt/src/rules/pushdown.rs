@@ -380,6 +380,50 @@ mod tests {
     }
 
     #[test]
+    fn parameterized_conjuncts_push_like_literals() {
+        use raven_data::DataType;
+        // `d.x > ?` references only input columns, so it pushes below
+        // the model exactly as the literal form does — that placement is
+        // what lets one cached template plan skip scoring filtered rows
+        // for every future argument.
+        let cat = catalog();
+        let ctx = OptimizerContext::new(&cat);
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("x", Transform::Identity)],
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap()),
+        )
+        .unwrap();
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Predict {
+                input: Box::new(scan(&cat, "a")),
+                model: ModelRef {
+                    name: "m".into(),
+                    pipeline: Arc::new(pipeline),
+                },
+                output: "p.score".into(),
+                mode: ExecutionMode::InProcess,
+            }),
+            predicate: Expr::col("x")
+                .gt(Expr::typed_param(0, DataType::Float64))
+                .and(Expr::col("p.score").gt(Expr::typed_param(1, DataType::Float64))),
+        };
+        let out = apply(plan, &ctx).unwrap();
+        let Plan::Filter { input, predicate } = &out else {
+            panic!("expected output filter on top:\n{out}");
+        };
+        assert!(predicate.to_string().contains("p.score"));
+        let Plan::Predict { input: inner, .. } = &**input else {
+            panic!("expected predict below");
+        };
+        assert!(
+            matches!(&**inner, Plan::Filter { predicate, .. }
+                if predicate.to_string() == "(x > ?)"),
+            "data-side parameterized conjunct pushed below the model:\n{out}"
+        );
+        assert_eq!(out.parameter_count(), 2);
+    }
+
+    #[test]
     fn adjacent_filters_merge() {
         let cat = catalog();
         let ctx = OptimizerContext::new(&cat);

@@ -17,7 +17,7 @@
 //! Pipeline of this crate:
 //!
 //! 1. [`lexer`] / [`parser`] — Python-subset front end;
-//! 2. [`analyze`] — dataflow extraction over the knowledge base
+//! 2. [`mod@analyze`] — dataflow extraction over the knowledge base
 //!    (pandas `read_sql`/`merge`/filter/projection; sklearn `Pipeline`,
 //!    featurizers, estimators; `.predict`), producing an [`analyze::Analysis`];
 //! 3. [`spec`] — the extracted [`spec::PipelineSpec`] (featurizer +

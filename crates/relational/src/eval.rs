@@ -55,6 +55,13 @@ fn eval_inner(expr: &Expr, batch: &RecordBatch) -> Result<Ev> {
     match expr {
         Expr::Column(name) => Ok(Ev::Column(batch.column_by_name(name)?.clone())),
         Expr::Literal(v) => Ok(Ev::Scalar(v.clone())),
+        // Template plans must be bound (`Plan::bind_parameters`) before
+        // execution; reaching the evaluator with a placeholder is a bug
+        // in the caller, reported rather than panicked.
+        Expr::Parameter { index, .. } => Err(ExecError::Eval(format!(
+            "unbound parameter ?{}: execute the plan with parameter values",
+            index + 1
+        ))),
         Expr::Binary { op, left, right } => {
             let l = eval_inner(left, batch)?;
             let r = eval_inner(right, batch)?;

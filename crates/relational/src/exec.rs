@@ -192,6 +192,26 @@ impl SharedExecutor {
             .with_cancel(cancel.clone())
             .execute(plan)
     }
+
+    /// Execute a prepared template plan with positional parameter values:
+    /// placeholders are substituted into a throwaway copy of the plan
+    /// ([`Plan::bind_parameters`] — arity and types validated there), the
+    /// cached template itself is never mutated. An empty parameter list
+    /// over a parameter-free plan skips the copy entirely.
+    pub fn execute_with_params(
+        &self,
+        plan: &Plan,
+        params: &[raven_data::Value],
+        cancel: &CancelToken,
+    ) -> Result<Table> {
+        if params.is_empty() && plan.parameter_count() == 0 {
+            return self.execute_with(plan, cancel);
+        }
+        let bound = plan
+            .bind_parameters(params)
+            .map_err(|e| ExecError::Eval(e.to_string()))?;
+        self.execute_with(&bound, cancel)
+    }
 }
 
 impl<'a> Executor<'a> {
@@ -916,6 +936,36 @@ mod tests {
         .unwrap();
         assert_eq!(serial.num_rows(), parallel.num_rows());
         assert_eq!(serial.batch(), parallel.batch());
+    }
+
+    #[test]
+    fn parameterized_template_executes_per_request() {
+        let cat = catalog();
+        let template = Plan::Filter {
+            input: Box::new(scan(&cat, "people")),
+            predicate: Expr::col("age").gt(Expr::typed_param(0, DataType::Float64)),
+        };
+        let shared = SharedExecutor::new(
+            Arc::new(catalog()),
+            Arc::new(NoopScorer) as Arc<dyn Scorer>,
+            ExecOptions::serial(),
+        );
+        let cancel = CancelToken::new();
+        // One template, three requests with different constants.
+        for (threshold, expect) in [(35i64, 3usize), (45, 2), (55, 1)] {
+            let t = shared
+                .execute_with_params(&template, &[Value::Int64(threshold)], &cancel)
+                .unwrap();
+            assert_eq!(t.num_rows(), expect, "age > {threshold}");
+        }
+        // Unbound execution of a template is a typed error, not a panic.
+        let err = shared.execute_with_params(&template, &[], &cancel);
+        assert!(matches!(err, Err(ExecError::Eval(_))), "{err:?}");
+        let direct = Executor::new(&cat, &NoopScorer, ExecOptions::serial()).execute(&template);
+        assert!(matches!(direct, Err(ExecError::Eval(_))));
+        // Wrong type: string into a Float64 slot.
+        let err = shared.execute_with_params(&template, &[Value::Utf8("x".into())], &cancel);
+        assert!(matches!(err, Err(ExecError::Eval(_))));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   simulation (`sp_execute_external_script`): real
 //!   serialize → worker → deserialize round trips plus a configurable
 //!   startup latency (the paper observes ~0.5 s constant overhead);
-//! * **Containerized** ([`external`], [`external::ContainerRuntime`]):
+//! * **Containerized** ([`external`], [`external::ContainerConfig`]):
 //!   REST-over-container simulation with higher fixed costs.
 //!
 //! [`codegen`] is the paper's *Runtime Code Generator*: it renders the

@@ -7,6 +7,41 @@
 //! catalog and model-store mutations invalidate exactly the affected
 //! plans (the serving-layer counterpart of the paper's transactional
 //! model updates).
+//!
+//! With parameter normalization on (the default), the `sql` in the key
+//! is the *template* — `WHERE age > ?` — so requests differing only in
+//! constants share one entry; see [`mod@crate::normalize`].
+//!
+//! ```
+//! use raven_server::cache::{PlanCache, PlanKey, PreparedQuery};
+//! use raven_opt::{OptimizationReport, OptimizerMode, RuleSet};
+//! use raven_ir::Plan;
+//! use raven_data::{DataType, Schema};
+//! use std::time::Duration;
+//!
+//! let cache = PlanCache::new(8);
+//! let key = PlanKey {
+//!     sql: "SELECT x FROM t WHERE x > ?".into(),
+//!     rules: RuleSet::all(),
+//!     mode: OptimizerMode::Heuristic,
+//! };
+//! let prepare = || -> Result<PreparedQuery, ()> {
+//!     Ok(PreparedQuery::new(
+//!         "SELECT x FROM t WHERE x > ?",
+//!         Plan::Scan {
+//!             table: "t".into(),
+//!             schema: Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+//!         },
+//!         OptimizationReport::default(),
+//!         Duration::ZERO,
+//!     ))
+//! };
+//! let (_, hit) = cache.get_or_prepare(key.clone(), prepare).unwrap();
+//! assert!(!hit, "first request prepares");
+//! let (_, hit) = cache.get_or_prepare(key, prepare).unwrap();
+//! assert!(hit, "second request reuses the plan");
+//! assert_eq!(cache.stats().preparations, 1);
+//! ```
 
 use parking_lot::Mutex;
 use raven_ir::Plan;
@@ -39,6 +74,9 @@ pub struct PreparedQuery {
     pub table_deps: Vec<String>,
     /// Wall time of the parse + bind + optimize work this cache amortizes.
     pub prepare_time: Duration,
+    /// Positional parameters (`?`) the template expects; execution must
+    /// supply exactly this many values.
+    pub param_count: usize,
 }
 
 impl PreparedQuery {
@@ -51,6 +89,7 @@ impl PreparedQuery {
         prepare_time: Duration,
     ) -> Self {
         let (model_deps, table_deps) = collect_deps(&plan, HashSet::new(), HashSet::new());
+        let param_count = plan.parameter_count();
         PreparedQuery {
             sql: sql.into(),
             plan,
@@ -58,6 +97,7 @@ impl PreparedQuery {
             model_deps,
             table_deps,
             prepare_time,
+            param_count,
         }
     }
 
@@ -82,6 +122,9 @@ impl PreparedQuery {
         );
         prepared.model_deps = model_deps;
         prepared.table_deps = table_deps;
+        // The caller-facing arity is the template's: use the bound plan
+        // in case an (aggressive) optimization rewrote a parameter away.
+        prepared.param_count = prepared.param_count.max(bound.parameter_count());
         prepared
     }
 }

@@ -99,6 +99,52 @@ impl RavenClient {
         }
     }
 
+    /// Execute a parameterized template (`?` placeholders) with
+    /// positional argument values. The server prepares the template once
+    /// and substitutes the values per request, so calling this in a loop
+    /// with different constants pays parse → bind → optimize exactly
+    /// once:
+    ///
+    /// ```no_run
+    /// use raven_server::RavenClient;
+    /// use raven_data::Value;
+    ///
+    /// let mut client = RavenClient::connect("127.0.0.1:4741")?;
+    /// for age in [30, 40, 50] {
+    ///     let reply = client.query_params(
+    ///         "SELECT * FROM patients WHERE age > ?",
+    ///         vec![Value::Int64(age)],
+    ///         None,
+    ///     )?;
+    ///     println!("age > {age}: {} rows", reply.table.num_rows());
+    /// }
+    /// # Ok::<(), raven_server::ServerError>(())
+    /// ```
+    pub fn query_params(
+        &mut self,
+        template: &str,
+        params: Vec<raven_data::Value>,
+        deadline: Option<Duration>,
+    ) -> Result<ClientQueryReply> {
+        let request = Request::QueryParams {
+            template: template.into(),
+            params,
+            deadline,
+        };
+        match self.roundtrip(&request)? {
+            Response::Rows {
+                cache_hit,
+                total_micros,
+                table,
+            } => Ok(ClientQueryReply {
+                table,
+                cache_hit,
+                server_time: Duration::from_micros(total_micros),
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Score one raw feature row through the server's micro-batcher.
     pub fn score(&mut self, model: &str, row: Vec<f64>) -> Result<f64> {
         let request = Request::Score {

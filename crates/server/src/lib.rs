@@ -69,6 +69,7 @@ pub mod cache;
 pub mod client;
 pub mod error;
 pub mod net;
+pub mod normalize;
 pub mod proto;
 pub mod state;
 pub mod stats;
@@ -79,6 +80,7 @@ pub use cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
 pub use client::{ClientQueryReply, RavenClient};
 pub use error::{Result, ServerError};
 pub use net::{NetConfig, RavenServer};
+pub use normalize::{normalize, NormalizedQuery};
 pub use proto::{ErrorCode, ProtoError, Request, Response, WireStats};
 pub use state::{ServerConfig, ServerQueryResult, ServerState};
 pub use stats::{LatencySummary, ServerStats, StatsSnapshot};

@@ -399,6 +399,18 @@ fn serve_request(request: Request, shared: &Shared) -> Response {
             },
             Err(e) => Response::from_error(&e),
         },
+        Request::QueryParams {
+            template,
+            params,
+            deadline,
+        } => match state.serve_with_params(&template, &params, deadline) {
+            Ok(result) => Response::Rows {
+                cache_hit: result.cache_hit,
+                total_micros: result.total_time.as_micros() as u64,
+                table: result.table,
+            },
+            Err(e) => Response::from_error(&e),
+        },
         Request::Score { model, row } => match state.score_row(&model, row) {
             Ok(value) => Response::Score { value },
             Err(e) => Response::from_error(&e),
@@ -418,6 +430,8 @@ pub fn wire_stats(snap: &StatsSnapshot) -> WireStats {
         plan_misses: snap.plan_cache.misses,
         preparations: snap.plan_cache.preparations,
         invalidations: snap.plan_cache.invalidations,
+        normalized: snap.normalized,
+        template_hits: snap.template_hits,
         batch_requests: snap.batcher.requests,
         batches: snap.batcher.batches,
         admitted: snap.admission.admitted,

@@ -1,0 +1,338 @@
+//! Constant → placeholder extraction: the serving-side half of
+//! parameterized prepared statements.
+//!
+//! Production traffic is overwhelmingly *template-shaped*: millions of
+//! requests that differ only in the literal constants they carry
+//! (`WHERE d.age > 30` vs. `WHERE d.age > 31`). A plan cache keyed on
+//! exact SQL text re-optimizes every one of them. [`normalize`] rewrites
+//! incoming SQL at the token level — each literal becomes a `?`
+//! positional placeholder and its value is captured — so the cache keys
+//! on the shared template and every constant variant hits the same
+//! prepared plan, which executes via [`raven_ir::Plan::bind_parameters`].
+//!
+//! Positions where a literal is *structural* rather than data are left
+//! untouched:
+//!
+//! * `DECLARE @var ... = '<model>'` bodies (the string names a model);
+//! * `MODEL = '<name>'` inside `PREDICT(...)`;
+//! * `LIMIT n` (the parser requires a literal row count, and a different
+//!   limit is a genuinely different plan);
+//! * negative literals fold their sign into the captured value, so
+//!   `x > -5` normalizes to `x > ?` with parameter `-5`.
+//!
+//! Because the template is re-rendered from the token stream, queries
+//! that differ only in whitespace or comments also share one cache
+//! entry.
+//!
+//! ```
+//! use raven_server::normalize::normalize;
+//! use raven_data::Value;
+//!
+//! let n = normalize("SELECT a FROM t WHERE a > 30 AND dest = 'JFK'").unwrap();
+//! assert_eq!(n.template, "SELECT a FROM t WHERE a > ? AND dest = ?");
+//! assert_eq!(n.params, vec![Value::Int64(30), Value::Utf8("JFK".into())]);
+//! // A different constant produces the SAME template:
+//! let m = normalize("SELECT a FROM t WHERE a > 31 AND dest = 'LAX'").unwrap();
+//! assert_eq!(m.template, n.template);
+//! ```
+
+use raven_data::Value;
+use raven_sql::lexer::{lex, Token};
+
+/// A query rewritten to its parameterized template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedQuery {
+    /// The SQL text with literals replaced by `?` placeholders,
+    /// re-rendered from tokens (whitespace/comment-insensitive).
+    pub template: String,
+    /// The extracted constants, in placeholder order.
+    pub params: Vec<Value>,
+}
+
+impl NormalizedQuery {
+    /// True if at least one literal was extracted (if not, the template
+    /// still canonicalizes whitespace but adds no sharing beyond that).
+    pub fn has_params(&self) -> bool {
+        !self.params.is_empty()
+    }
+}
+
+/// Canonicalize SQL text without extracting anything: lex and re-render,
+/// so whitespace/comment variants (and client-written templates) key the
+/// plan cache identically to the templates [`normalize`] produces.
+/// Returns `None` when the text does not lex.
+pub fn canonicalize(sql: &str) -> Option<String> {
+    Some(render(&lex(sql).ok()?))
+}
+
+/// Normalize `sql` into a parameterized template plus its constants.
+/// Returns `None` when the text does not lex — the caller then falls
+/// back to the exact-text path and lets preparation report the error —
+/// or when it already contains `?` placeholders: mixing caller-supplied
+/// placeholders with extracted constants would scramble positional
+/// indices, so such text is served as written (placeholder-bearing SQL
+/// belongs on the `QueryParams` path, which carries the values).
+pub fn normalize(sql: &str) -> Option<NormalizedQuery> {
+    let tokens = lex(sql).ok()?;
+    if tokens.contains(&Token::Placeholder) {
+        return None;
+    }
+    let mut out: Vec<Token> = Vec::with_capacity(tokens.len());
+    let mut params = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        // Structural regions: copy verbatim, extracting nothing.
+        if tok.is_kw("declare") {
+            i = copy_declare(&tokens, i, &mut out);
+            continue;
+        }
+        if tok.is_kw("model")
+            && matches!(tokens.get(i + 1), Some(Token::Eq))
+            && matches!(tokens.get(i + 2), Some(Token::Str(_)))
+        {
+            out.extend_from_slice(&tokens[i..i + 3]);
+            i += 3;
+            continue;
+        }
+        if tok.is_kw("limit") {
+            out.push(tok.clone());
+            if let Some(n @ Token::Int(_)) = tokens.get(i + 1) {
+                out.push(n.clone());
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        // A minus is a sign (not subtraction) unless the previous token
+        // can end an operand; fold it into the captured value.
+        if *tok == Token::Minus && !ends_operand(out.last()) {
+            match tokens.get(i + 1) {
+                Some(Token::Int(v)) => {
+                    out.push(Token::Placeholder);
+                    params.push(Value::Int64(-v));
+                    i += 2;
+                    continue;
+                }
+                Some(Token::Float(v)) => {
+                    out.push(Token::Placeholder);
+                    params.push(Value::Float64(-v));
+                    i += 2;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        match tok {
+            Token::Int(v) => {
+                out.push(Token::Placeholder);
+                params.push(Value::Int64(*v));
+            }
+            Token::Float(v) => {
+                out.push(Token::Placeholder);
+                params.push(Value::Float64(*v));
+            }
+            Token::Str(s) => {
+                out.push(Token::Placeholder);
+                params.push(Value::Utf8(s.clone()));
+            }
+            other => out.push(other.clone()),
+        }
+        i += 1;
+    }
+    Some(NormalizedQuery {
+        template: render(&out),
+        params,
+    })
+}
+
+/// Copy a `DECLARE @var ... = <value>` region verbatim: everything up to
+/// and including the assigned value (a string literal, or a parenthesized
+/// subselect scanned to its matching close).
+fn copy_declare(tokens: &[Token], mut i: usize, out: &mut Vec<Token>) -> usize {
+    // DECLARE keyword + everything up to '='.
+    while i < tokens.len() {
+        let t = &tokens[i];
+        out.push(t.clone());
+        i += 1;
+        if *t == Token::Eq {
+            break;
+        }
+    }
+    match tokens.get(i) {
+        Some(t @ Token::Str(_)) => {
+            out.push(t.clone());
+            i + 1
+        }
+        Some(Token::LParen) => {
+            let mut depth = 0usize;
+            while i < tokens.len() {
+                let t = &tokens[i];
+                match t {
+                    Token::LParen => depth += 1,
+                    Token::RParen => depth -= 1,
+                    _ => {}
+                }
+                out.push(t.clone());
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            i
+        }
+        _ => i,
+    }
+}
+
+/// Can this token end an operand? If so, a following `-` is subtraction;
+/// otherwise it is a sign.
+fn ends_operand(prev: Option<&Token>) -> bool {
+    match prev {
+        Some(Token::Ident(word)) => !is_expression_keyword(word),
+        Some(Token::Int(_) | Token::Float(_) | Token::Str(_) | Token::RParen) => true,
+        _ => false,
+    }
+}
+
+/// Keywords after which a minus must be a sign (`WHERE -5 < x`,
+/// `AND x > -5`, …). Identifiers that are column names return false.
+fn is_expression_keyword(word: &str) -> bool {
+    [
+        "select", "where", "and", "or", "not", "on", "when", "then", "else", "by", "all",
+    ]
+    .iter()
+    .any(|k| word.eq_ignore_ascii_case(k))
+}
+
+/// Render tokens back to SQL text. `Token`'s `Display` re-escapes string
+/// quotes, so the rendered template re-lexes to the same stream; a plain
+/// space between every pair of tokens keeps rendering trivially correct
+/// (the lexer is whitespace-insensitive).
+fn render(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 && needs_space(&tokens[i - 1], t) {
+            s.push(' ');
+        }
+        s.push_str(&t.to_string());
+    }
+    s
+}
+
+/// Elide the space only where gluing tokens could merge them into one
+/// (identifier-like next to identifier-like); everywhere else a space is
+/// harmless and keeps this simple.
+fn needs_space(prev: &Token, next: &Token) -> bool {
+    !matches!(next, Token::Comma | Token::Semicolon | Token::Dot) && !matches!(prev, Token::Dot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm(sql: &str) -> NormalizedQuery {
+        normalize(sql).expect("lexes")
+    }
+
+    #[test]
+    fn extracts_numeric_and_string_literals() {
+        let n = norm("SELECT * FROM t WHERE age > 30 AND score <= 1.5 AND dest = 'JFK'");
+        assert_eq!(
+            n.params,
+            vec![
+                Value::Int64(30),
+                Value::Float64(1.5),
+                Value::Utf8("JFK".into())
+            ]
+        );
+        assert_eq!(n.template.matches('?').count(), 3);
+        assert!(!n.template.contains("30"));
+        assert!(!n.template.contains("JFK"));
+    }
+
+    #[test]
+    fn distinct_constants_share_a_template() {
+        let a = norm("SELECT * FROM t WHERE age > 30");
+        let b = norm("SELECT * FROM t WHERE age > 31");
+        assert_eq!(a.template, b.template);
+        assert_ne!(a.params, b.params);
+    }
+
+    #[test]
+    fn whitespace_and_comments_canonicalize() {
+        let a = norm("SELECT * FROM t WHERE age > 30");
+        let b = norm("SELECT   * -- a comment\n FROM t \n WHERE age > 99");
+        assert_eq!(a.template, b.template);
+    }
+
+    #[test]
+    fn model_names_and_declares_are_preserved() {
+        let n = norm(
+            "DECLARE @m varbinary(max) = (SELECT model FROM models WHERE name = 'stay'); \
+             SELECT p.s FROM PREDICT(MODEL = @m, DATA = t AS d) WITH (s FLOAT) AS p \
+             WHERE p.s > 7",
+        );
+        assert!(n.template.contains("'stay'"), "{}", n.template);
+        assert_eq!(n.params, vec![Value::Int64(7)]);
+
+        let n = norm(
+            "SELECT p.s FROM PREDICT(MODEL = 'stay', DATA = t AS d) WITH (s FLOAT) AS p \
+             WHERE p.s > 7",
+        );
+        assert!(n.template.contains("MODEL = 'stay'"), "{}", n.template);
+        assert_eq!(n.params, vec![Value::Int64(7)]);
+    }
+
+    #[test]
+    fn limit_stays_literal() {
+        let n = norm("SELECT * FROM t WHERE x > 5 ORDER BY x DESC LIMIT 10");
+        assert!(n.template.contains("LIMIT 10"), "{}", n.template);
+        assert_eq!(n.params, vec![Value::Int64(5)]);
+    }
+
+    #[test]
+    fn negative_literals_fold_their_sign() {
+        let n = norm("SELECT * FROM t WHERE x > -5 AND y < -1.5");
+        assert_eq!(n.params, vec![Value::Int64(-5), Value::Float64(-1.5)]);
+        assert!(!n.template.contains('-'), "{}", n.template);
+        // Subtraction between operands is NOT a sign.
+        let n = norm("SELECT * FROM t WHERE x - 5 > y");
+        assert_eq!(n.params, vec![Value::Int64(5)]);
+        assert!(n.template.contains("x - ?"), "{}", n.template);
+    }
+
+    #[test]
+    fn quotes_in_strings_survive_the_roundtrip() {
+        let n = norm("DECLARE @m = 'it''s'; SELECT * FROM t WHERE x = 1");
+        assert!(n.template.contains("'it''s'"), "{}", n.template);
+        // The re-rendered template lexes back to the same stream.
+        assert!(raven_sql::lexer::lex(&n.template).is_ok());
+    }
+
+    #[test]
+    fn unlexable_input_returns_none() {
+        assert!(normalize("SELECT # nope").is_none());
+    }
+
+    #[test]
+    fn placeholder_bearing_input_is_not_renormalized() {
+        // Extracting `5` here would collide with the caller's `?` over
+        // positional indices — decline, so the caller serves it as-is.
+        assert!(normalize("SELECT * FROM t WHERE a > ? AND b = 5").is_none());
+        assert!(normalize("SELECT * FROM t WHERE a > ?").is_none());
+        // But canonicalization still works on templates.
+        assert_eq!(
+            canonicalize("SELECT  *  FROM t   WHERE a > ?").unwrap(),
+            canonicalize("SELECT * FROM t WHERE a > ?").unwrap()
+        );
+    }
+
+    #[test]
+    fn literal_free_queries_have_no_params() {
+        let n = norm("SELECT a, b FROM t ORDER BY a");
+        assert!(!n.has_params());
+        assert_eq!(n.template, "SELECT a, b FROM t ORDER BY a");
+    }
+}

@@ -10,26 +10,67 @@
 //! `len` counts everything after itself (version + kind + payload) and is
 //! capped at [`MAX_FRAME_LEN`]; a peer announcing more is rejected before
 //! any allocation happens. `version` is [`PROTOCOL_VERSION`]; a mismatch
-//! produces a typed error, never a misparse. Request kinds live below
-//! `0x80`, response kinds at or above it, and `0xEE` is the error frame:
-//! a `u16` [`ErrorCode`] plus a human-readable message, so clients
-//! reconstruct the same typed [`ServerError`] the server saw.
+//! produces a typed error, never a misparse.
 //!
-//! Integers are little-endian; `f64`s are IEEE bit patterns; strings are
-//! `u32` length + UTF-8 bytes. Result tables ship column-major: row
-//! count, then per column its name, a [`DataType`] tag, and the values.
-//! Decoding is total — truncated, oversized, or garbage frames return
+//! # Frame kinds and payload layout
+//!
+//! Request kinds live below `0x80`, response kinds at or above it, and
+//! `0xEE` is the error frame. All integers are little-endian; `f64`s are
+//! IEEE bit patterns; a *string* is `u32` length + UTF-8 bytes; a
+//! *value* is a [`DataType`] tag byte (`0` Int64, `1` Float64, `2` Bool,
+//! `3` Utf8) followed by its payload; a *deadline* is `u64` microseconds
+//! with `0` meaning none.
+//!
+//! | kind | frame | payload layout |
+//! |------|-------|----------------|
+//! | `0x01` | [`Request::Prepare`] | sql: string |
+//! | `0x02` | [`Request::Query`] | sql: string · deadline |
+//! | `0x03` | [`Request::Score`] | model: string · row: `u32` count + `f64`s |
+//! | `0x04` | [`Request::Stats`] | *(empty)* |
+//! | `0x05` | [`Request::Shutdown`] | *(empty)* |
+//! | `0x06` | [`Request::QueryParams`] | template: string · params: `u32` count + values · deadline |
+//! | `0x81` | [`Response::Prepared`] | cache_hit: `u8` · prepare_micros: `u64` |
+//! | `0x82` | [`Response::Rows`] | cache_hit: `u8` · total_micros: `u64` · table |
+//! | `0x83` | [`Response::Score`] | value: `f64` |
+//! | `0x84` | [`Response::Stats`] | the [`WireStats`] counters, each `u64`, in declaration order |
+//! | `0x85` | [`Response::ShutdownAck`] | *(empty)* |
+//! | `0xEE` | [`Response::Error`] | code: `u16` [`ErrorCode`] · message: string |
+//!
+//! Result tables ship column-major: `u32` row count, `u32` column count,
+//! then per column its name, a [`DataType`] tag, and the values. Decoding
+//! is total — truncated, oversized, or garbage frames return
 //! [`ProtoError`]s, they never panic — and strict: trailing bytes after
 //! a well-formed payload are an error, not ignored.
+//!
+//! # Example: a request round-trip, byte-exact
+//!
+//! ```
+//! use raven_server::proto::{read_frame, Request, PROTOCOL_VERSION};
+//! use raven_data::Value;
+//! use std::io::Cursor;
+//!
+//! let request = Request::QueryParams {
+//!     template: "SELECT a FROM t WHERE a > ?".into(),
+//!     params: vec![Value::Int64(30)],
+//!     deadline: None,
+//! };
+//! let wire = request.encode();
+//! assert_eq!(wire[4], PROTOCOL_VERSION);
+//! assert_eq!(wire[5], 0x06);
+//! let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+//! assert_eq!(Request::decode(&body).unwrap(), request);
+//! ```
 
 use crate::error::ServerError;
-use raven_data::{Column, DataType, Field, Schema, Table};
+use raven_data::{Column, DataType, Field, Schema, Table, Value};
 use std::fmt;
 use std::io::{Read, Write};
 use std::time::Duration;
 
-/// Wire protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Wire protocol version carried in every frame. Version 2 added the
+/// `QueryParams` request frame (0x06) and the template counters in the
+/// `Stats` reply.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on `len` (version + kind + payload), rejected before
 /// allocation. Large enough for multi-million-row result tables, small
@@ -42,6 +83,7 @@ const KIND_QUERY: u8 = 0x02;
 const KIND_SCORE: u8 = 0x03;
 const KIND_STATS: u8 = 0x04;
 const KIND_SHUTDOWN: u8 = 0x05;
+const KIND_QUERY_PARAMS: u8 = 0x06;
 
 // Response frame kinds (>= 0x80).
 const KIND_PREPARED: u8 = 0x81;
@@ -190,6 +232,15 @@ pub enum Request {
         sql: String,
         deadline: Option<Duration>,
     },
+    /// Execute a parameterized template: SQL containing `?` placeholders
+    /// plus the positional argument values. The server prepares the
+    /// template once (plan cache) and substitutes the values per request
+    /// — distinct constants share one optimization.
+    QueryParams {
+        template: String,
+        params: Vec<Value>,
+        deadline: Option<Duration>,
+    },
     /// Micro-batched point scoring of one raw feature row.
     Score { model: String, row: Vec<f64> },
     /// Fetch the server's observability counters.
@@ -277,6 +328,11 @@ pub struct WireStats {
     pub plan_misses: u64,
     pub preparations: u64,
     pub invalidations: u64,
+    /// Queries rewritten to a parameterized template (constants
+    /// extracted) before the plan-cache lookup.
+    pub normalized: u64,
+    /// Normalized queries whose template plan was already cached.
+    pub template_hits: u64,
     pub batch_requests: u64,
     pub batches: u64,
     pub admitted: u64,
@@ -394,6 +450,27 @@ fn put_f64_vec(out: &mut Vec<u8>, v: &[f64]) {
     put_u32(out, v.len() as u32);
     for &x in v {
         put_f64(out, x);
+    }
+}
+
+// A scalar parameter value: [`DataType`] tag byte + payload.
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    out.push(dtype_tag(v.data_type()));
+    match v {
+        Value::Int64(x) => put_u64(out, *x as u64),
+        Value::Float64(x) => put_f64(out, *x),
+        Value::Bool(b) => out.push(*b as u8),
+        Value::Utf8(s) => put_string(out, s),
+    }
+}
+
+fn decode_value(r: &mut Reader<'_>) -> Result<Value, ProtoError> {
+    match r.u8()? {
+        0 => Ok(Value::Int64(r.i64()?)),
+        1 => Ok(Value::Float64(r.f64()?)),
+        2 => Ok(Value::Bool(decode_bool(r.u8()?)?)),
+        3 => Ok(Value::Utf8(r.string()?)),
+        tag => Err(ProtoError::Malformed(format!("bad value tag {tag}"))),
     }
 }
 
@@ -523,6 +600,20 @@ impl Request {
                 put_u64(&mut payload, micros);
                 KIND_QUERY
             }
+            Request::QueryParams {
+                template,
+                params,
+                deadline,
+            } => {
+                put_string(&mut payload, template);
+                put_u32(&mut payload, params.len() as u32);
+                for p in params {
+                    put_value(&mut payload, p);
+                }
+                let micros = deadline.map(|d| (d.as_micros() as u64).max(1)).unwrap_or(0);
+                put_u64(&mut payload, micros);
+                KIND_QUERY_PARAMS
+            }
             Request::Score { model, row } => {
                 put_string(&mut payload, model);
                 put_f64_vec(&mut payload, row);
@@ -545,6 +636,19 @@ impl Request {
                 let micros = r.u64()?;
                 Request::Query {
                     sql,
+                    deadline: (micros > 0).then(|| Duration::from_micros(micros)),
+                }
+            }
+            KIND_QUERY_PARAMS => {
+                let template = r.string()?;
+                let n = r.count(2)?; // tag + ≥ 1 payload byte per value
+                let params = (0..n)
+                    .map(|_| decode_value(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let micros = r.u64()?;
+                Request::QueryParams {
+                    template,
+                    params,
                     deadline: (micros > 0).then(|| Duration::from_micros(micros)),
                 }
             }
@@ -597,6 +701,8 @@ impl Response {
                     s.plan_misses,
                     s.preparations,
                     s.invalidations,
+                    s.normalized,
+                    s.template_hits,
                     s.batch_requests,
                     s.batches,
                     s.admitted,
@@ -640,6 +746,8 @@ impl Response {
                 plan_misses: r.u64()?,
                 preparations: r.u64()?,
                 invalidations: r.u64()?,
+                normalized: r.u64()?,
+                template_hits: r.u64()?,
                 batch_requests: r.u64()?,
                 batches: r.u64()?,
                 admitted: r.u64()?,
@@ -813,6 +921,8 @@ mod tests {
             plan_misses: 5,
             preparations: 6,
             invalidations: 7,
+            normalized: 13,
+            template_hits: 14,
             batch_requests: 8,
             batches: 9,
             admitted: 10,

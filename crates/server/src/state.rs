@@ -6,7 +6,7 @@ use crate::cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
 use crate::error::{Result, ServerError};
 use crate::stats::{ServerStats, StatsSnapshot};
 use raven_core::{ModelStore, RavenSession, SessionConfig};
-use raven_data::{Catalog, Table};
+use raven_data::{Catalog, Table, Value};
 use raven_ml::Pipeline;
 use raven_relational::{CancelToken, ExecError, SharedExecutor};
 use raven_runtime::RavenScorer;
@@ -27,6 +27,12 @@ pub struct ServerConfig {
     /// Admission control for [`ServerState::serve`]: concurrent-execution
     /// limit, queue bound, wait timeout, default deadline.
     pub admission: AdmissionConfig,
+    /// Normalize incoming SQL before the plan-cache lookup
+    /// ([`mod@crate::normalize`]): literals become `?` placeholders, so
+    /// queries differing only in constants share one prepared plan.
+    /// Disable to key the cache on exact SQL text (the PR-1 behavior and
+    /// the bench ablation baseline).
+    pub normalize_parameters: bool,
 }
 
 impl Default for ServerConfig {
@@ -36,6 +42,7 @@ impl Default for ServerConfig {
             plan_cache_capacity: 128,
             batch: BatchConfig::default(),
             admission: AdmissionConfig::default(),
+            normalize_parameters: true,
         }
     }
 }
@@ -192,7 +199,52 @@ impl ServerState {
 
     /// Prepare `sql` (parse → bind → optimize), consulting the plan
     /// cache. Returns the prepared plan and whether it was a cache hit.
+    ///
+    /// With [`ServerConfig::normalize_parameters`] on (the default) the
+    /// SQL is first normalized to its parameterized template, so warming
+    /// the cache with `... WHERE age > 30` also warms it for every other
+    /// constant.
     pub fn prepare(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
+        let (prepared, cache_hit, _params) = self.prepare_normalized(sql)?;
+        Ok((prepared, cache_hit))
+    }
+
+    /// Normalize (when enabled) and prepare: returns the prepared
+    /// template plan, whether it was a cache hit, and the parameter
+    /// values extracted from `sql` (empty on the exact-text path).
+    fn prepare_normalized(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool, Vec<Value>)> {
+        if self.config.normalize_parameters {
+            if let Some(n) = crate::normalize::normalize(sql) {
+                match self.prepare_text(&n.template) {
+                    Ok((prepared, cache_hit)) if prepared.param_count == n.params.len() => {
+                        if n.has_params() {
+                            self.stats.record_normalized(cache_hit);
+                        }
+                        return Ok((prepared, cache_hit, n.params));
+                    }
+                    // The template didn't prepare (e.g. a literal whose
+                    // placeholder type is uninferable, like a bare
+                    // `SELECT 5`) or its arity surprised us: fall back to
+                    // the exact literal text below.
+                    _ => {}
+                }
+            }
+            // Exact-text path, canonicalized: `normalize` declines SQL
+            // that already carries `?` placeholders, and canonicalizing
+            // here keys it identically to [`ServerState::serve_with_params`]
+            // — so `prepare(template)` warms the entry `QueryParams`
+            // requests will hit.
+            let canonical = crate::normalize::canonicalize(sql).unwrap_or_else(|| sql.to_string());
+            let (prepared, cache_hit) = self.prepare_text(&canonical)?;
+            return Ok((prepared, cache_hit, Vec::new()));
+        }
+        let (prepared, cache_hit) = self.prepare_text(sql)?;
+        Ok((prepared, cache_hit, Vec::new()))
+    }
+
+    /// Prepare exactly this text (template or literal SQL), consulting
+    /// the plan cache keyed on it.
+    fn prepare_text(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
         let key = PlanKey {
             sql: sql.to_string(),
             rules: self.config.session.rules,
@@ -250,20 +302,74 @@ impl ServerState {
         outcome
     }
 
+    /// Serve a pre-parameterized statement: a template containing `?`
+    /// placeholders plus its positional argument values (the
+    /// [`crate::proto::Request::QueryParams`] wire path). The template is
+    /// prepared through the plan cache exactly as written — no
+    /// normalization pass — and must expect exactly `params.len()`
+    /// values; a mismatch is a typed [`ServerError::BadRequest`].
+    pub fn serve_with_params(
+        &self,
+        template: &str,
+        params: &[Value],
+        deadline: Option<Duration>,
+    ) -> Result<ServerQueryResult> {
+        let start = Instant::now();
+        let deadline_at = deadline
+            .or(self.config.admission.default_deadline)
+            .map(|d| start + d);
+        let _permit = self.admission.admit(deadline_at)?;
+        let outcome = (|| {
+            // Canonicalize spacing so a hand-written template and the
+            // normalizer's rendering of the equivalent literal query
+            // share one cache entry.
+            let canonical =
+                crate::normalize::canonicalize(template).unwrap_or_else(|| template.to_string());
+            let (prepared, cache_hit) = self.prepare_text(&canonical)?;
+            if prepared.param_count != params.len() {
+                return Err(ServerError::BadRequest(format!(
+                    "statement expects {} parameter(s), got {}",
+                    prepared.param_count,
+                    params.len()
+                )));
+            }
+            self.run_prepared(prepared, cache_hit, params, start, deadline_at)
+        })();
+        if outcome.is_err() {
+            self.stats.record_error();
+        }
+        outcome
+    }
+
     fn execute_inner(
         &self,
         sql: &str,
         start: Instant,
         deadline_at: Option<Instant>,
     ) -> Result<ServerQueryResult> {
-        let (prepared, cache_hit) = self.prepare(sql)?;
+        let (prepared, cache_hit, params) = self.prepare_normalized(sql)?;
+        self.run_prepared(prepared, cache_hit, &params, start, deadline_at)
+    }
+
+    /// Execute a prepared (possibly parameterized) plan: substitute the
+    /// parameter values into a throwaway copy of the cached template plan
+    /// and run it under the deadline's cancellation token.
+    fn run_prepared(
+        &self,
+        prepared: Arc<PreparedQuery>,
+        cache_hit: bool,
+        params: &[Value],
+        start: Instant,
+        deadline_at: Option<Instant>,
+    ) -> Result<ServerQueryResult> {
         let exec_start = Instant::now();
-        let exec_result = match deadline_at {
-            Some(at) => self
-                .executor
-                .execute_with(&prepared.plan, &CancelToken::with_deadline(at)),
-            None => self.executor.execute(&prepared.plan),
+        let cancel = match deadline_at {
+            Some(at) => CancelToken::with_deadline(at),
+            None => CancelToken::new(),
         };
+        let exec_result = self
+            .executor
+            .execute_with_params(&prepared.plan, params, &cancel);
         let table = exec_result.map_err(|e| match e {
             ExecError::Cancelled => ServerError::DeadlineExceeded(format!(
                 "query exceeded its deadline after {:?}",

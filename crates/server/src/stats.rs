@@ -66,6 +66,13 @@ pub struct ServerStats {
     queries: AtomicU64,
     errors: AtomicU64,
     rows: AtomicU64,
+    /// Queries whose SQL normalized to a template with ≥ 1 extracted
+    /// constant (the parameterized-prepared-statement path).
+    normalized: AtomicU64,
+    /// Normalized queries whose template hit the plan cache — repeated
+    /// query *shapes* served without re-optimization, even though the
+    /// literal SQL text had never been seen before.
+    template_hits: AtomicU64,
     latencies: Mutex<LatencyWindow>,
 }
 
@@ -76,6 +83,8 @@ impl Default for ServerStats {
             queries: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rows: AtomicU64::new(0),
+            normalized: AtomicU64::new(0),
+            template_hits: AtomicU64::new(0),
             latencies: Mutex::new(LatencyWindow::default()),
         }
     }
@@ -98,6 +107,15 @@ impl ServerStats {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A query was rewritten to a parameterized template; `cache_hit`
+    /// says whether that template was already prepared.
+    pub fn record_normalized(&self, cache_hit: bool) {
+        self.normalized.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.template_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     pub fn snapshot(
         &self,
         plan_cache: PlanCacheStats,
@@ -117,6 +135,8 @@ impl ServerStats {
             } else {
                 0.0
             },
+            normalized: self.normalized.load(Ordering::Relaxed),
+            template_hits: self.template_hits.load(Ordering::Relaxed),
             latency: self.latencies.lock().summary(),
             plan_cache,
             session_cache,
@@ -134,6 +154,11 @@ pub struct StatsSnapshot {
     pub errors: u64,
     pub rows: u64,
     pub queries_per_sec: f64,
+    /// Queries rewritten to a parameterized template (≥ 1 constant
+    /// extracted by [`mod@crate::normalize`]).
+    pub normalized: u64,
+    /// Normalized queries that hit an already-prepared template plan.
+    pub template_hits: u64,
     pub latency: LatencySummary,
     pub plan_cache: PlanCacheStats,
     /// Inference-session cache `(hits, misses)` from the scorer.
@@ -156,6 +181,11 @@ impl fmt::Display for StatsSnapshot {
             self.latency.p50, self.latency.p95, self.latency.p99, self.latency.max
         )?;
         writeln!(f, "plan cache: {}", self.plan_cache)?;
+        writeln!(
+            f,
+            "parameterized templates: {} normalized queries, {} template hits",
+            self.normalized, self.template_hits
+        )?;
         writeln!(
             f,
             "inference-session cache: {} hits / {} misses",

@@ -43,8 +43,25 @@ fn request() -> impl Strategy<Value = Request> {
             deadline: (micros % 2 == 0).then(|| Duration::from_micros(micros + 1)),
         }),
         (text(), vec(finite_f64(), 0..32)).prop_map(|(model, row)| Request::Score { model, row }),
+        (text(), vec(param_value(), 0..8), 0..10_000_000u64).prop_map(
+            |(template, params, micros)| Request::QueryParams {
+                template,
+                params,
+                deadline: (micros % 2 == 0).then(|| Duration::from_micros(micros + 1)),
+            }
+        ),
         Just(Request::Stats),
         Just(Request::Shutdown),
+    ]
+}
+
+fn param_value() -> impl Strategy<Value = raven_data::Value> {
+    use raven_data::Value;
+    prop_oneof![
+        (-1_000_000..1_000_000i64).prop_map(Value::Int64),
+        finite_f64().prop_map(Value::Float64),
+        (0..2u8).prop_map(|b| Value::Bool(b == 1)),
+        text().prop_map(Value::Utf8),
     ]
 }
 
@@ -110,7 +127,7 @@ fn response() -> impl Strategy<Value = Response> {
             table,
         }),
         finite_f64().prop_map(|value| Response::Score { value }),
-        vec(0..u64::MAX, 12).prop_map(|v| {
+        vec(0..u64::MAX, 14).prop_map(|v| {
             Response::Stats(WireStats {
                 queries: v[0],
                 errors: v[1],
@@ -119,6 +136,8 @@ fn response() -> impl Strategy<Value = Response> {
                 plan_misses: v[4],
                 preparations: v[5],
                 invalidations: v[6],
+                normalized: v[12],
+                template_hits: v[13],
                 batch_requests: v[7],
                 batches: v[8],
                 admitted: v[9],

@@ -12,6 +12,9 @@ pub struct Query {
     pub ctes: Vec<(String, SelectStmt)>,
     /// UNION ALL branches (one element = plain SELECT).
     pub selects: Vec<SelectStmt>,
+    /// How many `?` positional placeholders the statement contains
+    /// (indices `0..params`, assigned in lexical order by the parser).
+    pub params: usize,
 }
 
 /// One SELECT.

@@ -102,10 +102,11 @@ impl<'a> Binder<'a> {
             )?;
         }
         if let Some(predicate) = &select.selection {
-            validate_columns(predicate, &plan)?;
+            let predicate = infer_parameter_types(predicate, &plan)?;
+            validate_columns(&predicate, &plan)?;
             plan = Plan::Filter {
                 input: Box::new(plan),
-                predicate: predicate.clone(),
+                predicate,
             };
         }
 
@@ -128,8 +129,10 @@ impl<'a> Binder<'a> {
                         }
                     }
                     SelectItem::Expr { expr, alias } => {
-                        validate_columns(expr, &plan)?;
-                        exprs.push((expr.clone(), output_name(expr, alias.as_deref())));
+                        let expr = infer_parameter_types(expr, &plan)?;
+                        validate_columns(&expr, &plan)?;
+                        let name = output_name(&expr, alias.as_deref());
+                        exprs.push((expr, name));
                     }
                     SelectItem::Aggregate { .. } => unreachable!("handled above"),
                 }
@@ -327,6 +330,83 @@ fn output_name(expr: &Expr, alias: Option<&str>) -> String {
             Expr::Column(c) => c.clone(),
             other => other.to_string(),
         },
+    }
+}
+
+/// Give every untyped `?` placeholder in `expr` a concrete type inferred
+/// from its context against the plan's schema: a parameter compared with
+/// (or combined arithmetically with) a typed sibling takes the sibling's
+/// type; operands of AND/OR/NOT become `Bool`. A parameter with no typed
+/// context — e.g. a bare `SELECT ?` projection — is a bind error, so
+/// cached template plans always know their parameter signature.
+fn infer_parameter_types(expr: &Expr, plan: &Plan) -> Result<Expr> {
+    let schema = plan.schema()?;
+    infer_types(expr.clone(), &schema, None)
+}
+
+fn infer_types(
+    expr: Expr,
+    schema: &raven_data::Schema,
+    expected: Option<raven_data::DataType>,
+) -> Result<Expr> {
+    use raven_data::DataType;
+    // The type of a subtree with no untyped parameters, if derivable.
+    let known = |e: &Expr, schema: &raven_data::Schema| e.data_type(schema).ok();
+    match expr {
+        Expr::Parameter { index, dtype: None } => {
+            let dtype = expected.ok_or_else(|| {
+                SqlError::Bind(format!(
+                    "cannot infer the type of parameter ?{}: compare or combine \
+                     it with a typed column or literal",
+                    index + 1
+                ))
+            })?;
+            Ok(Expr::typed_param(index, dtype))
+        }
+        done @ Expr::Parameter { .. } => Ok(done),
+        Expr::Binary { op, left, right } => {
+            let (l, r) = (*left, *right);
+            let (lx, rx) = if op.is_logical() {
+                (Some(DataType::Bool), Some(DataType::Bool))
+            } else {
+                // Comparison/arithmetic: each side types from its sibling,
+                // falling back (for arithmetic) to the surrounding context.
+                let pass_down = if op.is_comparison() { None } else { expected };
+                (
+                    known(&r, schema).or(pass_down),
+                    known(&l, schema).or(pass_down),
+                )
+            };
+            Ok(Expr::Binary {
+                op,
+                left: Box::new(infer_types(l, schema, lx)?),
+                right: Box::new(infer_types(r, schema, rx)?),
+            })
+        }
+        Expr::Not(inner) => Ok(Expr::Not(Box::new(infer_types(
+            *inner,
+            schema,
+            Some(DataType::Bool),
+        )?))),
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            let branches = branches
+                .into_iter()
+                .map(|(c, v)| {
+                    Ok((
+                        infer_types(c, schema, Some(DataType::Bool))?,
+                        infer_types(v, schema, None)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Ok(Expr::Case {
+                branches,
+                else_expr: Box::new(infer_types(*else_expr, schema, None)?),
+            })
+        }
+        leaf @ (Expr::Column(_) | Expr::Literal(_)) => Ok(leaf),
     }
 }
 
@@ -611,6 +691,56 @@ mod tests {
             plan("SELECT *, COUNT(*) FROM patient_info"),
             Err(SqlError::Bind(_))
         ));
+    }
+
+    #[test]
+    fn predicate_parameters_take_the_column_type() {
+        use raven_data::DataType;
+        let p = plan("SELECT * FROM patient_info WHERE age > ? AND pregnant = ?").unwrap();
+        assert_eq!(p.parameter_count(), 2);
+        let mut dtypes = Vec::new();
+        let Plan::Filter { predicate, .. } = &p else {
+            panic!("expected filter, got\n{p}");
+        };
+        predicate.visit(&mut |e| {
+            if let raven_ir::Expr::Parameter { index, dtype } = e {
+                dtypes.push((*index, *dtype));
+            }
+        });
+        // `age` is Float64, `pregnant` is Int64.
+        assert_eq!(
+            dtypes,
+            vec![(0, Some(DataType::Float64)), (1, Some(DataType::Int64))]
+        );
+    }
+
+    #[test]
+    fn projection_parameters_need_a_typed_context() {
+        // Combined with a typed column: inferable.
+        let p = plan("SELECT age + ? AS bumped FROM patient_info").unwrap();
+        assert_eq!(p.parameter_count(), 1);
+        assert_eq!(p.schema().unwrap().names(), vec!["bumped"]);
+        // Bare placeholder: no context to infer a type from.
+        let err = plan("SELECT ? AS x FROM patient_info").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("cannot infer the type of parameter ?1"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parameter_predicates_reach_predict_inputs() {
+        // The paper's shape, parameterized: the predicate over the model
+        // output and the data predicate both carry placeholders.
+        let p = plan(
+            "WITH data AS (SELECT * FROM patient_info AS pi \
+             JOIN blood_tests AS bt ON pi.id = bt.id) \
+             SELECT d.id, p.los FROM PREDICT(MODEL = 'stay', DATA = data AS d) \
+             WITH (los FLOAT) AS p WHERE d.age > ? AND p.los > ?",
+        )
+        .unwrap();
+        assert_eq!(p.parameter_count(), 2);
     }
 
     #[test]

@@ -12,6 +12,8 @@ pub enum Token {
     Ident(String),
     /// `@variable`.
     Variable(String),
+    /// `?` — positional prepared-statement placeholder.
+    Placeholder,
     Int(i64),
     Float(f64),
     Str(String),
@@ -44,9 +46,12 @@ impl fmt::Display for Token {
         match self {
             Token::Ident(s) => write!(f, "{s}"),
             Token::Variable(s) => write!(f, "@{s}"),
+            Token::Placeholder => f.write_str("?"),
             Token::Int(v) => write!(f, "{v}"),
             Token::Float(v) => write!(f, "{v}"),
-            Token::Str(s) => write!(f, "'{s}'"),
+            // Re-escape embedded quotes so rendered tokens re-lex to the
+            // same string (the server's template renderer relies on it).
+            Token::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
             Token::LParen => f.write_str("("),
             Token::RParen => f.write_str(")"),
             Token::Comma => f.write_str(","),
@@ -119,6 +124,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             '=' => {
                 tokens.push(Token::Eq);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Placeholder);
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {

@@ -21,8 +21,13 @@ fn is_reserved(word: &str) -> bool {
 /// Parse one SQL statement.
 pub fn parse(sql: &str) -> Result<Query> {
     let tokens = lex(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
-    let query = p.query()?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
+    let mut query = p.query()?;
+    query.params = p.params;
     p.eat_if(|t| *t == Token::Semicolon);
     if !p.at_end() {
         return Err(SqlError::Parse(format!(
@@ -36,6 +41,9 @@ pub fn parse(sql: &str) -> Result<Query> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// `?` placeholders seen so far; assigns positional indices in
+    /// lexical order.
+    params: usize,
 }
 
 impl Parser {
@@ -151,6 +159,7 @@ impl Parser {
             declares,
             ctes,
             selects,
+            params: 0, // finalized by `parse` once the whole text is consumed
         })
     }
 
@@ -517,6 +526,12 @@ impl Parser {
                 self.pos += 1;
                 Ok(Expr::Literal(Value::Utf8(s)))
             }
+            Some(Token::Placeholder) => {
+                self.pos += 1;
+                let index = self.params;
+                self.params += 1;
+                Ok(Expr::param(index))
+            }
             Some(Token::Minus) => {
                 self.pos += 1;
                 let inner = self.primary()?;
@@ -707,6 +722,33 @@ mod tests {
             }
             other => panic!("unexpected from: {other:?}"),
         }
+    }
+
+    #[test]
+    fn placeholders_are_numbered_in_lexical_order() {
+        let q = parse("SELECT * FROM t WHERE a > ? AND b = ? OR c < ?").unwrap();
+        assert_eq!(q.params, 3);
+        let sel = q.selects[0].selection.as_ref().unwrap();
+        let mut indices = Vec::new();
+        sel.visit(&mut |e| {
+            if let Expr::Parameter { index, dtype } = e {
+                indices.push(*index);
+                assert_eq!(*dtype, None, "parser emits untyped parameters");
+            }
+        });
+        assert_eq!(indices, vec![0, 1, 2]);
+        // No placeholders → params is 0.
+        assert_eq!(parse("SELECT * FROM t").unwrap().params, 0);
+    }
+
+    #[test]
+    fn placeholders_in_projection_parse() {
+        let q = parse("SELECT a + ? AS bumped FROM t").unwrap();
+        assert_eq!(q.params, 1);
+        assert!(matches!(
+            &q.selects[0].projection[0],
+            SelectItem::Expr { alias: Some(a), .. } if a == "bumped"
+        ));
     }
 
     #[test]

@@ -10,8 +10,12 @@
 //!   the micro-batcher coalesces them into batched scorer calls;
 //! * the same state behind the framed-TCP front end, queried over a real
 //!   socket by `RavenClient` (with a deliberately overloaded request to
-//!   show the typed admission-control rejection).
+//!   show the typed admission-control rejection);
+//! * template-shaped traffic: queries differing only in their constants
+//!   share one prepared plan (transparently via normalization, and
+//!   explicitly via `query_params`).
 
+use raven_data::Value;
 use raven_datagen::{hospital, train};
 use raven_server::{NetConfig, RavenClient, RavenServer, ServerConfig, ServerState};
 use std::sync::Arc;
@@ -107,8 +111,37 @@ fn main() {
         Err(e) => println!("1 µs deadline: {e}"),
         Ok(_) => println!("1 µs deadline: served (machine faster than the example expected)"),
     }
+    // 5. Parameterized prepared statements: production traffic differs
+    // only in constants, and all of it rides one prepared template plan.
+    let before = server.plan_cache_stats().preparations;
+    for stay in [2.0, 4.0, 6.0, 8.0] {
+        let reply = client
+            .query_params(
+                "WITH data AS (\
+                   SELECT * FROM patient_info AS pi \
+                   JOIN blood_tests AS bt ON pi.id = bt.id \
+                   JOIN prenatal_tests AS pt ON bt.id = pt.id)\
+                 SELECT d.id, p.length_of_stay \
+                 FROM PREDICT(MODEL = 'duration_of_stay', DATA = data AS d) \
+                 WITH (length_of_stay FLOAT) AS p \
+                 WHERE d.pregnant = 1 AND p.length_of_stay > ?",
+                vec![Value::Float64(stay)],
+                None,
+            )
+            .expect("parameterized query");
+        println!(
+            "stay > {stay}: {} rows (cache hit: {})",
+            reply.table.num_rows(),
+            reply.cache_hit
+        );
+    }
+    let after = server.plan_cache_stats().preparations;
+    println!(
+        "4 distinct constants cost {} optimization(s)",
+        after - before
+    );
     net.shutdown();
 
-    // 5. What the server measured.
+    // 6. What the server measured.
     println!("\n-- server stats --\n{}", server.stats());
 }
