@@ -10,14 +10,25 @@
 
 pub mod test_runner {
     /// Per-test configuration (only `cases` is honored).
+    ///
+    /// Precedence matches real proptest: the `PROPTEST_CASES`
+    /// environment variable seeds the *default* case count, while an
+    /// explicit `with_cases(n)` always wins — a suite that sized its
+    /// workload deliberately keeps that size regardless of environment.
     #[derive(Clone, Debug)]
     pub struct ProptestConfig {
         pub cases: u32,
     }
 
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(64),
+            }
         }
     }
 

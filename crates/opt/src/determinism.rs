@@ -1,0 +1,222 @@
+//! Determinism analysis: is a plan's result a pure function of its
+//! inputs — and therefore safe to memoize?
+//!
+//! The serving layer's result cache replays a stored table instead of
+//! executing, so it may only engage when a *re*-execution of the same
+//! optimized plan over the same table/model versions is guaranteed to
+//! produce the same bytes. This pass walks the optimized plan and
+//! reports every reason that guarantee does not hold:
+//!
+//! * **Opaque UDFs** ([`raven_ir::Plan::Udf`]). The static analyzer
+//!   already failed to translate this code — by construction nothing is
+//!   known about it, including whether it reads a clock, a random
+//!   source, or external state. Never cacheable.
+//! * **External-runtime scoring** ([`raven_ir::Plan::Predict`] with
+//!   [`ExecutionMode::OutOfProcess`] or [`ExecutionMode::Container`]).
+//!   The model evaluates outside the engine's transaction/version
+//!   boundary: the external process or endpoint can be redeployed,
+//!   retrained, or stateful without the model store's version counter
+//!   moving, so the engine cannot vouch for repeatability.
+//!
+//! Everything else in the IR is pure: relational operators are
+//! deterministic functions of their (versioned) inputs, the expression
+//! language has no volatile functions (no `RAND()`, no `NOW()` — if one
+//! is ever added, [`expr_volatility`] is the choke point that must learn
+//! about it), and in-process scoring — classical, tensor-translated, or
+//! clustered — is arithmetic over version-pinned model parameters.
+//!
+//! Row *order* is also covered: the executor reassembles morsels in
+//! input order, the hash aggregate emits groups in first-seen order, and
+//! the hash join probes in build order — so a pure plan's output is
+//! byte-stable, not just set-stable.
+//!
+//! ```
+//! use raven_opt::determinism::analyze;
+//! use raven_ir::{Expr, Plan};
+//! use raven_data::{DataType, Schema};
+//!
+//! let scan = Plan::Scan {
+//!     table: "t".into(),
+//!     schema: Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+//! };
+//! assert!(analyze(&scan).cacheable);
+//!
+//! let udf = Plan::Udf {
+//!     input: Box::new(scan),
+//!     name: "mystery".into(),
+//!     inputs: vec![],
+//!     output: "y".into(),
+//! };
+//! let report = analyze(&udf);
+//! assert!(!report.cacheable);
+//! assert!(report.reasons[0].contains("mystery"));
+//! ```
+
+use raven_ir::{ExecutionMode, Expr, Plan};
+
+/// The verdict of [`analyze`]: cacheable, or the reasons it is not.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeterminismReport {
+    /// True when every operator and expression in the plan is pure.
+    pub cacheable: bool,
+    /// Human-readable reasons, one per offending operator (empty when
+    /// cacheable). Surfaced through stats/EXPLAIN so an operator can see
+    /// *why* a hot query never hits the result cache.
+    pub reasons: Vec<String>,
+}
+
+impl DeterminismReport {
+    fn deterministic() -> Self {
+        DeterminismReport {
+            cacheable: true,
+            reasons: Vec::new(),
+        }
+    }
+}
+
+/// Volatility of a scalar expression. Every variant in today's IR is
+/// pure by construction (no function calls at all, so no `RAND()` /
+/// `NOW()`), which makes this a compile-time tripwire rather than a
+/// runtime search: the match is exhaustive, so adding a new `Expr`
+/// variant fails compilation here and forces a cacheability decision —
+/// at which point the implementation must also recurse into operands.
+pub fn expr_volatility(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Column(_)
+        | Expr::Literal(_)
+        | Expr::Parameter { .. }
+        | Expr::Binary { .. }
+        | Expr::Not(_)
+        | Expr::Case { .. } => None,
+    }
+}
+
+/// Walk `plan` and decide whether its result may be memoized keyed on a
+/// [`raven_ir::PlanFingerprint`]. Run this on the *optimized* plan — the
+/// one that executes: optimization can rewrite a volatile operator into
+/// a pure one (model inlining turns an out-of-process `Predict` into
+/// CASE arithmetic), and it is the executed form that matters.
+pub fn analyze(plan: &Plan) -> DeterminismReport {
+    let mut reasons = Vec::new();
+    plan.visit(&mut |node| match node {
+        Plan::Udf { name, .. } => {
+            reasons.push(format!(
+                "opaque UDF '{name}': untranslated code may read volatile state"
+            ));
+        }
+        Plan::Predict { model, mode, .. }
+            if matches!(mode, ExecutionMode::OutOfProcess | ExecutionMode::Container) =>
+        {
+            reasons.push(format!(
+                "model '{}' scores in an external runtime ({mode:?}): \
+                 results are outside the engine's version control",
+                model.name
+            ));
+        }
+        _ => {}
+    });
+    plan.visit_exprs(&mut |e| {
+        if let Some(reason) = expr_volatility(e) {
+            reasons.push(reason);
+        }
+    });
+    if reasons.is_empty() {
+        DeterminismReport::deterministic()
+    } else {
+        DeterminismReport {
+            cacheable: false,
+            reasons,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_data::{DataType, Schema};
+    use raven_ir::ModelRef;
+    use raven_ml::featurize::Transform;
+    use raven_ml::{Estimator, FeatureStep, LinearKind, LinearModel, Pipeline};
+    use std::sync::Arc;
+
+    fn scan() -> Plan {
+        Plan::Scan {
+            table: "t".into(),
+            schema: Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+        }
+    }
+
+    fn model_ref() -> ModelRef {
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("x", Transform::Identity)],
+            Estimator::Linear(LinearModel::new(vec![1.0], 0.0, LinearKind::Regression).unwrap()),
+        )
+        .unwrap();
+        ModelRef {
+            name: "m".into(),
+            pipeline: Arc::new(pipeline),
+        }
+    }
+
+    fn predict(mode: ExecutionMode) -> Plan {
+        Plan::Predict {
+            input: Box::new(scan()),
+            model: model_ref(),
+            output: "s".into(),
+            mode,
+        }
+    }
+
+    #[test]
+    fn relational_and_in_process_plans_are_cacheable() {
+        let plan = Plan::Filter {
+            input: Box::new(predict(ExecutionMode::InProcess)),
+            predicate: Expr::col("s").gt(Expr::lit(1.0f64)),
+        };
+        let report = analyze(&plan);
+        assert!(report.cacheable, "{:?}", report.reasons);
+        assert!(report.reasons.is_empty());
+    }
+
+    #[test]
+    fn external_runtime_scoring_is_not_cacheable() {
+        for mode in [ExecutionMode::OutOfProcess, ExecutionMode::Container] {
+            let report = analyze(&predict(mode));
+            assert!(!report.cacheable, "{mode:?} must not be cacheable");
+            assert_eq!(report.reasons.len(), 1);
+            assert!(report.reasons[0].contains("external runtime"), "{report:?}");
+        }
+    }
+
+    #[test]
+    fn udf_is_not_cacheable_and_reasons_accumulate() {
+        let plan = Plan::Udf {
+            input: Box::new(predict(ExecutionMode::Container)),
+            name: "mystery".into(),
+            inputs: vec!["x".into()],
+            output: "y".into(),
+        };
+        let report = analyze(&plan);
+        assert!(!report.cacheable);
+        assert_eq!(report.reasons.len(), 2, "{report:?}");
+    }
+
+    #[test]
+    fn volatility_applies_to_the_executed_plan_not_the_bound_one() {
+        // Inlining rewrites an external-runtime Predict into pure CASE
+        // arithmetic: the *optimized* plan is what executes, and it is
+        // cacheable even though the bound plan was not.
+        let inlined = Plan::Project {
+            input: Box::new(scan()),
+            exprs: vec![(
+                Expr::Case {
+                    branches: vec![(Expr::col("x").gt(Expr::lit(1.0f64)), Expr::lit(2.0f64))],
+                    else_expr: Box::new(Expr::lit(3.0f64)),
+                },
+                "s".into(),
+            )],
+        };
+        assert!(analyze(&inlined).cacheable);
+        assert!(!analyze(&predict(ExecutionMode::OutOfProcess)).cacheable);
+    }
+}

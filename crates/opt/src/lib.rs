@@ -29,11 +29,13 @@
 pub mod constraints;
 pub mod context;
 pub mod cost;
+pub mod determinism;
 pub mod error;
 pub mod optimizer;
 pub mod rules;
 
 pub use context::{OptimizerContext, RuleSet};
+pub use determinism::DeterminismReport;
 pub use error::OptError;
 pub use optimizer::{optimize, OptimizationReport, Optimizer, OptimizerMode};
 

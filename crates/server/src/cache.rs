@@ -45,7 +45,7 @@
 
 use parking_lot::Mutex;
 use raven_ir::Plan;
-use raven_opt::{OptimizationReport, OptimizerMode, RuleSet};
+use raven_opt::{determinism, DeterminismReport, OptimizationReport, OptimizerMode, RuleSet};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -77,6 +77,10 @@ pub struct PreparedQuery {
     /// Positional parameters (`?`) the template expects; execution must
     /// supply exactly this many values.
     pub param_count: usize,
+    /// Whether the *optimized* plan is a pure function of its versioned
+    /// inputs — the admission ticket to the result cache — plus the
+    /// reasons when it is not (see [`raven_opt::determinism`]).
+    pub determinism: DeterminismReport,
 }
 
 impl PreparedQuery {
@@ -90,6 +94,9 @@ impl PreparedQuery {
     ) -> Self {
         let (model_deps, table_deps) = collect_deps(&plan, HashSet::new(), HashSet::new());
         let param_count = plan.parameter_count();
+        // Determinism is a property of the plan that executes (the
+        // optimized one): inlining can purify a volatile bound plan.
+        let determinism = determinism::analyze(&plan);
         PreparedQuery {
             sql: sql.into(),
             plan,
@@ -98,6 +105,7 @@ impl PreparedQuery {
             table_deps,
             prepare_time,
             param_count,
+            determinism,
         }
     }
 

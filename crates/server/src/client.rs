@@ -91,7 +91,7 @@ impl RavenClient {
                 total_micros,
                 table,
             } => Ok(ClientQueryReply {
-                table,
+                table: unwrap_table(table),
                 cache_hit,
                 server_time: Duration::from_micros(total_micros),
             }),
@@ -137,7 +137,7 @@ impl RavenClient {
                 total_micros,
                 table,
             } => Ok(ClientQueryReply {
-                table,
+                table: unwrap_table(table),
                 cache_hit,
                 server_time: Duration::from_micros(total_micros),
             }),
@@ -157,7 +157,10 @@ impl RavenClient {
         }
     }
 
-    /// Fetch the server's observability counters.
+    /// Fetch the server's observability counters — including the
+    /// result-cache triple (`result_hits` / `result_misses` /
+    /// `result_invalidations`; see [`WireStats::result_hit_rate`]) that
+    /// says how much of the repeat traffic skipped execution entirely.
     pub fn stats(&mut self) -> Result<WireStats> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
@@ -172,6 +175,12 @@ impl RavenClient {
             other => Err(unexpected(&other)),
         }
     }
+}
+
+/// A freshly decoded response table has exactly one owner, so this is a
+/// move, not a copy; the fallback clone only runs if that ever changes.
+fn unwrap_table(table: std::sync::Arc<Table>) -> Table {
+    std::sync::Arc::try_unwrap(table).unwrap_or_else(|shared| (*shared).clone())
 }
 
 fn unexpected(response: &Response) -> ServerError {

@@ -7,12 +7,18 @@
 //!
 //! A [`ServerState`] bundles the engine's shared state (catalog, model
 //! store, scorer with its inference-session cache) behind `Arc`s and adds
-//! the two classic inference-serving levers:
+//! the classic inference-serving levers:
 //!
 //! * a **prepared-plan cache** ([`PlanCache`]): parse → bind → optimize
 //!   runs once per distinct (SQL, [`raven_opt::RuleSet`], optimizer mode)
 //!   key, with LRU eviction, single-flight preparation under concurrency,
 //!   and precise invalidation when a model or table changes;
+//! * a **deterministic result cache** ([`ResultCache`]): for plans the
+//!   determinism analysis ([`raven_opt::determinism`]) proves pure,
+//!   execution itself is memoized keyed on a [`raven_ir::PlanFingerprint`]
+//!   (optimized plan × bound parameter values × model/table versions) —
+//!   the hot repeat path becomes a hash lookup, invalidated by the same
+//!   model/table updates as the plan cache;
 //! * a **micro-batcher** ([`MicroBatcher`]): concurrent single-row
 //!   scoring requests coalesce into one batched pipeline invocation per
 //!   flush window (the paper's §5 "batch inference" observation, applied
@@ -71,6 +77,7 @@ pub mod error;
 pub mod net;
 pub mod normalize;
 pub mod proto;
+pub mod result_cache;
 pub mod state;
 pub mod stats;
 
@@ -82,5 +89,6 @@ pub use error::{Result, ServerError};
 pub use net::{NetConfig, RavenServer};
 pub use normalize::{normalize, NormalizedQuery};
 pub use proto::{ErrorCode, ProtoError, Request, Response, WireStats};
+pub use result_cache::{ResultCache, ResultCacheStats, ResultDeps};
 pub use state::{ServerConfig, ServerQueryResult, ServerState};
 pub use stats::{LatencySummary, ServerStats, StatsSnapshot};

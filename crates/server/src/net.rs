@@ -432,6 +432,9 @@ pub fn wire_stats(snap: &StatsSnapshot) -> WireStats {
         invalidations: snap.plan_cache.invalidations,
         normalized: snap.normalized,
         template_hits: snap.template_hits,
+        result_hits: snap.result_cache.hits,
+        result_misses: snap.result_cache.misses,
+        result_invalidations: snap.result_cache.invalidations,
         batch_requests: snap.batcher.requests,
         batches: snap.batcher.batches,
         admitted: snap.admission.admitted,

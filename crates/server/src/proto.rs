@@ -65,12 +65,15 @@ use crate::error::ServerError;
 use raven_data::{Column, DataType, Field, Schema, Table, Value};
 use std::fmt;
 use std::io::{Read, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Wire protocol version carried in every frame. Version 2 added the
 /// `QueryParams` request frame (0x06) and the template counters in the
+/// `Stats` reply; version 3 added the result-cache counters
+/// (`result_hits` / `result_misses` / `result_invalidations`) to the
 /// `Stats` reply.
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on `len` (version + kind + payload), rejected before
 /// allocation. Large enough for multi-million-row result tables, small
@@ -258,10 +261,12 @@ pub enum Response {
         prepare_micros: u64,
     },
     /// Reply to [`Request::Query`]: the materialized result table.
+    /// Shared (`Arc`) so the server can frame a cached result without
+    /// deep-copying it per connection.
     Rows {
         cache_hit: bool,
         total_micros: u64,
-        table: Table,
+        table: Arc<Table>,
     },
     /// Reply to [`Request::Score`].
     Score { value: f64 },
@@ -333,11 +338,32 @@ pub struct WireStats {
     pub normalized: u64,
     /// Normalized queries whose template plan was already cached.
     pub template_hits: u64,
+    /// Requests answered from the deterministic result cache — the
+    /// repeats that skipped execution entirely.
+    pub result_hits: u64,
+    /// Cacheable requests that had to execute (first sight of their
+    /// fingerprint, or its entry was evicted/invalidated).
+    pub result_misses: u64,
+    /// Memoized results dropped by model/table updates.
+    pub result_invalidations: u64,
     pub batch_requests: u64,
     pub batches: u64,
     pub admitted: u64,
     pub rejected_overloaded: u64,
     pub rejected_deadline: u64,
+}
+
+impl WireStats {
+    /// Result-cache hit fraction in `[0, 1]` over cacheable requests
+    /// (0 before any).
+    pub fn result_hit_rate(&self) -> f64 {
+        let total = self.result_hits + self.result_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.result_hits as f64 / total as f64
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -703,6 +729,9 @@ impl Response {
                     s.invalidations,
                     s.normalized,
                     s.template_hits,
+                    s.result_hits,
+                    s.result_misses,
+                    s.result_invalidations,
                     s.batch_requests,
                     s.batches,
                     s.admitted,
@@ -735,7 +764,7 @@ impl Response {
             KIND_ROWS => Response::Rows {
                 cache_hit: decode_bool(r.u8()?)?,
                 total_micros: r.u64()?,
-                table: decode_table(&mut r)?,
+                table: Arc::new(decode_table(&mut r)?),
             },
             KIND_SCORED => Response::Score { value: r.f64()? },
             KIND_STATS_REPLY => Response::Stats(WireStats {
@@ -748,6 +777,9 @@ impl Response {
                 invalidations: r.u64()?,
                 normalized: r.u64()?,
                 template_hits: r.u64()?,
+                result_hits: r.u64()?,
+                result_misses: r.u64()?,
+                result_invalidations: r.u64()?,
                 batch_requests: r.u64()?,
                 batches: r.u64()?,
                 admitted: r.u64()?,
@@ -906,7 +938,7 @@ mod tests {
         roundtrip_response(Response::Rows {
             cache_hit: true,
             total_micros: 1234,
-            table,
+            table: Arc::new(table),
         });
         roundtrip_response(Response::Prepared {
             cache_hit: false,
@@ -923,6 +955,9 @@ mod tests {
             invalidations: 7,
             normalized: 13,
             template_hits: 14,
+            result_hits: 15,
+            result_misses: 16,
+            result_invalidations: 17,
             batch_requests: 8,
             batches: 9,
             admitted: 10,

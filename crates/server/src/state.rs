@@ -4,9 +4,11 @@ use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats};
 use crate::batcher::{BatchConfig, BatcherStats, MicroBatcher};
 use crate::cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
 use crate::error::{Result, ServerError};
+use crate::result_cache::{ResultCache, ResultCacheStats, ResultDeps};
 use crate::stats::{ServerStats, StatsSnapshot};
 use raven_core::{ModelStore, RavenSession, SessionConfig};
 use raven_data::{Catalog, Table, Value};
+use raven_ir::{FingerprintBuilder, PlanFingerprint};
 use raven_ml::Pipeline;
 use raven_relational::{CancelToken, ExecError, SharedExecutor};
 use raven_runtime::RavenScorer;
@@ -22,6 +24,19 @@ pub struct ServerConfig {
     /// Maximum prepared plans kept (LRU beyond this). 0 disables the
     /// cache: every request re-optimizes (the bench ablation baseline).
     pub plan_cache_capacity: usize,
+    /// Maximum memoized result tables kept (LRU beyond this). 0 disables
+    /// result caching: every request executes. Results are cached only
+    /// for plans the determinism analysis marks pure, keyed on a
+    /// [`PlanFingerprint`] over (optimized plan, bound parameter values,
+    /// model/table versions), and invalidated by [`ServerState::store_model`]
+    /// and [`ServerState::replace_table`].
+    pub result_cache_capacity: usize,
+    /// Byte budget across all memoized result tables (approximate
+    /// payload bytes; 0 = unbounded). Entry count alone is no memory
+    /// bound when entries are whole tables — LRU entries are evicted
+    /// until the total fits, and a single result larger than the whole
+    /// budget is served but never cached (`too_large` counter).
+    pub result_cache_max_bytes: usize,
     /// Micro-batching knobs for point-scoring requests.
     pub batch: BatchConfig,
     /// Admission control for [`ServerState::serve`]: concurrent-execution
@@ -40,6 +55,8 @@ impl Default for ServerConfig {
         ServerConfig {
             session: SessionConfig::default(),
             plan_cache_capacity: 128,
+            result_cache_capacity: 256,
+            result_cache_max_bytes: 64 * 1024 * 1024,
             batch: BatchConfig::default(),
             admission: AdmissionConfig::default(),
             normalize_parameters: true,
@@ -60,13 +77,17 @@ impl ServerConfig {
 /// The result of one served query.
 #[derive(Debug)]
 pub struct ServerQueryResult {
-    pub table: Table,
+    /// The result rows. Shared (`Arc`) so a result-cache hit replays the
+    /// stored table without a deep copy.
+    pub table: Arc<Table>,
     /// End-to-end latency of this request (cache lookup + execution).
     pub total_time: Duration,
-    /// Execution-only latency.
+    /// Execution-only latency (a result-cache hit pays only the lookup).
     pub exec_time: Duration,
     /// Whether the plan came from the prepared-plan cache.
     pub cache_hit: bool,
+    /// Whether the *rows* came from the result cache (execution skipped).
+    pub result_cache_hit: bool,
     /// The prepared plan this request executed (report included).
     pub prepared: Arc<PreparedQuery>,
 }
@@ -77,16 +98,18 @@ pub struct ServerQueryResult {
 /// One `ServerState` (wrapped in an `Arc`) is shared by any number of
 /// worker/client threads; all methods take `&self`. Per the paper's
 /// north star — inference "serving heavy traffic" inside the DBMS — the
-/// two throughput levers are (1) the prepared-plan cache, which runs
-/// parse → bind → optimize once per distinct query text, and (2) the
-/// micro-batcher, which turns concurrent point lookups into batched
-/// scorer invocations.
+/// three throughput levers are (1) the prepared-plan cache, which runs
+/// parse → bind → optimize once per distinct query template, (2) the
+/// deterministic result cache, which skips execution entirely for exact
+/// repeats of pure queries, and (3) the micro-batcher, which turns
+/// concurrent point lookups into batched scorer invocations.
 pub struct ServerState {
     catalog: Arc<Catalog>,
     store: Arc<ModelStore>,
     scorer: Arc<RavenScorer>,
     executor: SharedExecutor,
     plan_cache: PlanCache,
+    result_cache: ResultCache,
     batcher: MicroBatcher,
     admission: AdmissionController,
     stats: ServerStats,
@@ -139,6 +162,10 @@ impl ServerState {
             scorer,
             executor,
             plan_cache: PlanCache::new(config.plan_cache_capacity.max(1)),
+            result_cache: ResultCache::new(
+                config.result_cache_capacity.max(1),
+                config.result_cache_max_bytes,
+            ),
             batcher,
             admission,
             stats: ServerStats::new(),
@@ -180,20 +207,24 @@ impl ServerState {
     }
 
     /// Replace (or insert) a table, invalidating every cached plan that
-    /// scans it.
+    /// scans it and every memoized result computed from it (the catalog
+    /// generation it advances also retires the old fingerprints).
     pub fn replace_table(&self, name: &str, table: Table) {
         self.catalog.register_or_replace(name, table);
         self.plan_cache.invalidate_table(name);
+        self.result_cache.invalidate_table(name);
     }
 
     /// Store a model (new version if the name exists). Cached plans bind
     /// model pipelines at prepare time, so every plan referencing the
-    /// model is invalidated, as are its cached inference sessions — the
-    /// serving-layer half of the paper's transactional model updates.
+    /// model is invalidated, as are its cached inference sessions and
+    /// every memoized result it scored — the serving-layer half of the
+    /// paper's transactional model updates.
     pub fn store_model(&self, name: &str, pipeline: Pipeline) -> Result<u32> {
         let version = self.store.store(name, pipeline);
         self.scorer.invalidate(name);
         self.plan_cache.invalidate_model(name);
+        self.result_cache.invalidate_model(name);
         Ok(version)
     }
 
@@ -302,6 +333,15 @@ impl ServerState {
         outcome
     }
 
+    /// Snapshot the result-cache epoch. Must happen **before** the plan
+    /// this request will execute is resolved (plan-cache lookup): any
+    /// model/table mutation after this point bumps the epoch, and the
+    /// request's result — possibly computed from the superseded plan or
+    /// versions — is then served but never published to the cache.
+    fn result_epoch(&self) -> u64 {
+        self.result_cache.epoch()
+    }
+
     /// Serve a pre-parameterized statement: a template containing `?`
     /// placeholders plus its positional argument values (the
     /// [`crate::proto::Request::QueryParams`] wire path). The template is
@@ -319,6 +359,7 @@ impl ServerState {
             .or(self.config.admission.default_deadline)
             .map(|d| start + d);
         let _permit = self.admission.admit(deadline_at)?;
+        let result_epoch = self.result_epoch();
         let outcome = (|| {
             // Canonicalize spacing so a hand-written template and the
             // normalizer's rendering of the equivalent literal query
@@ -333,7 +374,14 @@ impl ServerState {
                     params.len()
                 )));
             }
-            self.run_prepared(prepared, cache_hit, params, start, deadline_at)
+            self.run_prepared(
+                prepared,
+                cache_hit,
+                params,
+                start,
+                deadline_at,
+                result_epoch,
+            )
         })();
         if outcome.is_err() {
             self.stats.record_error();
@@ -347,13 +395,47 @@ impl ServerState {
         start: Instant,
         deadline_at: Option<Instant>,
     ) -> Result<ServerQueryResult> {
+        let result_epoch = self.result_epoch();
         let (prepared, cache_hit, params) = self.prepare_normalized(sql)?;
-        self.run_prepared(prepared, cache_hit, &params, start, deadline_at)
+        self.run_prepared(
+            prepared,
+            cache_hit,
+            &params,
+            start,
+            deadline_at,
+            result_epoch,
+        )
+    }
+
+    /// The result-cache key for one request: the optimized plan's
+    /// structure, this request's bound parameter values, and the current
+    /// version of every model and table the plan depends on (dependency
+    /// lists are sorted at prepare time, so the feed order is stable).
+    /// Versions make stale entries unreachable even before invalidation
+    /// sweeps them out.
+    fn result_fingerprint(&self, prepared: &PreparedQuery, params: &[Value]) -> PlanFingerprint {
+        let mut builder = FingerprintBuilder::new()
+            .plan(&prepared.plan)
+            .params(params);
+        for model in &prepared.model_deps {
+            builder = builder.dependency("model", model, self.store.latest_version(model) as u64);
+        }
+        for table in &prepared.table_deps {
+            builder =
+                builder.dependency("table", table, self.catalog.generation(table).unwrap_or(0));
+        }
+        builder.finish()
     }
 
     /// Execute a prepared (possibly parameterized) plan: substitute the
     /// parameter values into a throwaway copy of the cached template plan
     /// and run it under the deadline's cancellation token.
+    ///
+    /// Deterministic plans route through the result cache first: a
+    /// fingerprint hit replays the stored table with no execution at all;
+    /// a miss executes under single-flight (one execution per hot
+    /// fingerprint, however many threads race) and publishes the result
+    /// unless an invalidation intervened since `result_epoch`.
     fn run_prepared(
         &self,
         prepared: Arc<PreparedQuery>,
@@ -361,22 +443,52 @@ impl ServerState {
         params: &[Value],
         start: Instant,
         deadline_at: Option<Instant>,
+        result_epoch: u64,
     ) -> Result<ServerQueryResult> {
         let exec_start = Instant::now();
         let cancel = match deadline_at {
             Some(at) => CancelToken::with_deadline(at),
             None => CancelToken::new(),
         };
-        let exec_result = self
-            .executor
-            .execute_with_params(&prepared.plan, params, &cancel);
-        let table = exec_result.map_err(|e| match e {
+        let map_exec_err = |e: ExecError| match e {
             ExecError::Cancelled => ServerError::DeadlineExceeded(format!(
                 "query exceeded its deadline after {:?}",
                 start.elapsed()
             )),
             e => ServerError::Execution(e.to_string()),
-        })?;
+        };
+        let caching = self.config.result_cache_capacity > 0;
+        let (table, result_cache_hit) = if caching && prepared.determinism.cacheable {
+            let fingerprint = self.result_fingerprint(&prepared, params);
+            let deps = ResultDeps {
+                models: prepared.model_deps.clone(),
+                tables: prepared.table_deps.clone(),
+            };
+            self.result_cache
+                .get_or_execute(
+                    fingerprint,
+                    result_epoch,
+                    deps,
+                    // Polled while waiting on another thread's in-flight
+                    // execution of the same fingerprint: this request's
+                    // deadline keeps firing even though it runs no plan.
+                    || cancel.check(),
+                    || {
+                        self.executor
+                            .execute_with_params(&prepared.plan, params, &cancel)
+                    },
+                )
+                .map_err(map_exec_err)?
+        } else {
+            if caching {
+                self.result_cache.note_uncacheable();
+            }
+            let table = self
+                .executor
+                .execute_with_params(&prepared.plan, params, &cancel)
+                .map_err(map_exec_err)?;
+            (Arc::new(table), false)
+        };
         let exec_time = exec_start.elapsed();
         let total_time = start.elapsed();
         self.stats.record_query(total_time, table.num_rows());
@@ -385,6 +497,7 @@ impl ServerState {
             total_time,
             exec_time,
             cache_hit,
+            result_cache_hit,
             prepared,
         })
     }
@@ -398,6 +511,11 @@ impl ServerState {
     /// Plan-cache counters.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()
+    }
+
+    /// Result-cache counters.
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.result_cache.stats()
     }
 
     /// Micro-batcher counters.
@@ -414,6 +532,7 @@ impl ServerState {
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot(
             self.plan_cache.stats(),
+            self.result_cache.stats(),
             self.scorer.cache_stats(),
             self.batcher.stats(),
             self.admission.stats(),
@@ -459,18 +578,31 @@ mod tests {
         let server = server_with_table();
         let first = server.execute(SQL).unwrap();
         assert!(!first.cache_hit);
+        assert!(!first.result_cache_hit, "first execution must run");
         assert_eq!(first.table.num_rows(), 50);
         for _ in 0..4 {
             let again = server.execute(SQL).unwrap();
             assert!(again.cache_hit, "repeat execution must hit the plan cache");
+            assert!(
+                again.result_cache_hit,
+                "identical deterministic repeat must hit the result cache"
+            );
             assert_eq!(again.table.num_rows(), 50);
+            assert!(
+                Arc::ptr_eq(&first.table, &again.table),
+                "a result hit replays the stored table, no copy"
+            );
         }
         let stats = server.plan_cache_stats();
         assert_eq!(stats.preparations, 1, "optimization ran once");
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 4);
+        let results = server.result_cache_stats();
+        assert_eq!(results.executions, 1, "execution ran once: {results}");
+        assert_eq!((results.hits, results.misses), (4, 1));
         let snap = server.stats();
         assert_eq!(snap.queries, 5);
+        assert_eq!(snap.result_cache.hits, 4);
         assert!(snap.latency.max >= snap.latency.p50);
     }
 
@@ -483,8 +615,13 @@ mod tests {
         server.store_model("m", linear(vec![0.0], 100.0)).unwrap();
         let v2 = server.execute(SQL).unwrap();
         assert!(!v2.cache_hit, "model update must invalidate the plan");
+        assert!(
+            !v2.result_cache_hit,
+            "model update must invalidate the memoized result"
+        );
         assert_eq!(v2.table.num_rows(), 100);
         assert_eq!(server.plan_cache_stats().invalidations, 1);
+        assert_eq!(server.result_cache_stats().invalidations, 1);
     }
 
     #[test]
@@ -499,13 +636,16 @@ mod tests {
         server.replace_table("t", bigger);
         let result = server.execute(SQL).unwrap();
         assert!(!result.cache_hit);
+        assert!(!result.result_cache_hit);
         assert_eq!(result.table.num_rows(), 150);
+        assert_eq!(server.result_cache_stats().invalidations, 1);
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut config = ServerConfig::for_tests();
         config.plan_cache_capacity = 0;
+        config.result_cache_capacity = 0;
         let server = ServerState::new(config);
         let table = Table::try_new(
             Schema::from_pairs(&[("x0", DataType::Float64)]).into_shared(),
@@ -516,7 +656,70 @@ mod tests {
         server.store_model("m", linear(vec![1.0], 0.0)).unwrap();
         let sql = "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d) WITH (s FLOAT) AS p";
         assert!(!server.execute(sql).unwrap().cache_hit);
-        assert!(!server.execute(sql).unwrap().cache_hit);
+        let second = server.execute(sql).unwrap();
+        assert!(!second.cache_hit);
+        assert!(
+            !second.result_cache_hit,
+            "capacity 0 must disable result caching"
+        );
+        let results = server.result_cache_stats();
+        assert_eq!(
+            (results.hits, results.misses, results.executions),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn distinct_parameter_values_are_distinct_result_entries() {
+        // 1 template plan, N constants: the plan cache shares one entry,
+        // the result cache keys each bound-parameter variant separately —
+        // and each repeat of the same constant hits.
+        let server = server_with_table();
+        for threshold in [10, 20, 30] {
+            let sql = format!(
+                "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d) \
+                 WITH (s FLOAT) AS p WHERE p.s > {threshold}"
+            );
+            let first = server.execute(&sql).unwrap();
+            assert!(!first.result_cache_hit);
+            assert_eq!(first.table.num_rows(), (99 - threshold) as usize);
+            let again = server.execute(&sql).unwrap();
+            assert!(again.result_cache_hit, "repeat of threshold {threshold}");
+            assert_eq!(again.table.num_rows(), (99 - threshold) as usize);
+        }
+        assert_eq!(server.plan_cache_stats().preparations, 1);
+        let results = server.result_cache_stats();
+        assert_eq!(results.executions, 3, "one execution per distinct constant");
+        assert_eq!(results.hits, 3);
+    }
+
+    #[test]
+    fn serve_with_params_rides_the_result_cache() {
+        let server = server_with_table();
+        let template = "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d) \
+                        WITH (s FLOAT) AS p WHERE p.s > ?";
+        let first = server
+            .serve_with_params(template, &[Value::Float64(49.0)], None)
+            .unwrap();
+        assert!(!first.result_cache_hit);
+        let again = server
+            .serve_with_params(template, &[Value::Float64(49.0)], None)
+            .unwrap();
+        assert!(again.result_cache_hit);
+        assert_eq!(first.table.num_rows(), again.table.num_rows());
+        // And the literal spelling of the same request shares the entry:
+        // normalization binds the same template to the same values.
+        let literal = server
+            .execute(
+                "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d) \
+                 WITH (s FLOAT) AS p WHERE p.s > 49.0",
+            )
+            .unwrap();
+        assert!(
+            literal.result_cache_hit,
+            "literal spelling must reuse the parameterized result"
+        );
+        assert_eq!(server.result_cache_stats().executions, 1);
     }
 
     #[test]

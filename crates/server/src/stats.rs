@@ -1,13 +1,22 @@
 //! Server-wide observability: throughput, latency percentiles, and the
 //! cache hit rates that explain them.
+//!
+//! Counters live behind **one** mutex, not a bag of independent atomics.
+//! That is a correctness decision, not a style one: a snapshot assembled
+//! field-by-field from separate atomics can observe a request half
+//! recorded — `queries` incremented but its `rows` not yet — so derived
+//! invariants (`rows` vs `queries`, hits + misses vs totals) wobble under
+//! load and every consumer needs slack. Recording a query already took
+//! this lock for the latency window, so the consolidation adds no
+//! acquisition to the hot path; snapshots now read one consistent state.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::admission::AdmissionStats;
 use crate::batcher::BatcherStats;
 use crate::cache::PlanCacheStats;
+use crate::result_cache::ResultCacheStats;
 use parking_lot::Mutex;
 
 /// How many recent query latencies the percentile window keeps.
@@ -60,32 +69,33 @@ impl LatencyWindow {
     }
 }
 
-/// Live counters updated by [`crate::ServerState`] on every query.
-pub struct ServerStats {
-    started: Instant,
-    queries: AtomicU64,
-    errors: AtomicU64,
-    rows: AtomicU64,
+/// Everything one request mutates, updated and read atomically together.
+#[derive(Default)]
+struct Counters {
+    queries: u64,
+    errors: u64,
+    rows: u64,
     /// Queries whose SQL normalized to a template with ≥ 1 extracted
     /// constant (the parameterized-prepared-statement path).
-    normalized: AtomicU64,
+    normalized: u64,
     /// Normalized queries whose template hit the plan cache — repeated
     /// query *shapes* served without re-optimization, even though the
     /// literal SQL text had never been seen before.
-    template_hits: AtomicU64,
-    latencies: Mutex<LatencyWindow>,
+    template_hits: u64,
+    latencies: LatencyWindow,
+}
+
+/// Live counters updated by [`crate::ServerState`] on every query.
+pub struct ServerStats {
+    started: Instant,
+    counters: Mutex<Counters>,
 }
 
 impl Default for ServerStats {
     fn default() -> Self {
         ServerStats {
             started: Instant::now(),
-            queries: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            rows: AtomicU64::new(0),
-            normalized: AtomicU64::new(0),
-            template_hits: AtomicU64::new(0),
-            latencies: Mutex::new(LatencyWindow::default()),
+            counters: Mutex::new(Counters::default()),
         }
     }
 }
@@ -95,50 +105,58 @@ impl ServerStats {
         ServerStats::default()
     }
 
+    /// Record one served query — count, row total, and latency land in
+    /// one critical section, so no snapshot can see a torn request.
     pub fn record_query(&self, latency: Duration, rows: usize) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        self.rows.fetch_add(rows as u64, Ordering::Relaxed);
-        self.latencies
-            .lock()
+        let mut counters = self.counters.lock();
+        counters.queries += 1;
+        counters.rows += rows as u64;
+        counters
+            .latencies
             .record(latency.as_micros().min(u64::MAX as u128) as u64);
     }
 
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.counters.lock().errors += 1;
     }
 
     /// A query was rewritten to a parameterized template; `cache_hit`
     /// says whether that template was already prepared.
     pub fn record_normalized(&self, cache_hit: bool) {
-        self.normalized.fetch_add(1, Ordering::Relaxed);
+        let mut counters = self.counters.lock();
+        counters.normalized += 1;
         if cache_hit {
-            self.template_hits.fetch_add(1, Ordering::Relaxed);
+            counters.template_hits += 1;
         }
     }
 
     pub fn snapshot(
         &self,
         plan_cache: PlanCacheStats,
+        result_cache: ResultCacheStats,
         session_cache: (u64, u64),
         batcher: BatcherStats,
         admission: AdmissionStats,
     ) -> StatsSnapshot {
-        let queries = self.queries.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
+        // One lock acquisition for every request-path counter: the
+        // snapshot is internally consistent by construction.
+        let counters = self.counters.lock();
         StatsSnapshot {
             uptime,
-            queries,
-            errors: self.errors.load(Ordering::Relaxed),
-            rows: self.rows.load(Ordering::Relaxed),
+            queries: counters.queries,
+            errors: counters.errors,
+            rows: counters.rows,
             queries_per_sec: if uptime.as_secs_f64() > 0.0 {
-                queries as f64 / uptime.as_secs_f64()
+                counters.queries as f64 / uptime.as_secs_f64()
             } else {
                 0.0
             },
-            normalized: self.normalized.load(Ordering::Relaxed),
-            template_hits: self.template_hits.load(Ordering::Relaxed),
-            latency: self.latencies.lock().summary(),
+            normalized: counters.normalized,
+            template_hits: counters.template_hits,
+            latency: counters.latencies.summary(),
             plan_cache,
+            result_cache,
             session_cache,
             batcher,
             admission,
@@ -161,6 +179,8 @@ pub struct StatsSnapshot {
     pub template_hits: u64,
     pub latency: LatencySummary,
     pub plan_cache: PlanCacheStats,
+    /// Deterministic result memoization (execution skipped on hits).
+    pub result_cache: ResultCacheStats,
     /// Inference-session cache `(hits, misses)` from the scorer.
     pub session_cache: (u64, u64),
     pub batcher: BatcherStats,
@@ -181,6 +201,7 @@ impl fmt::Display for StatsSnapshot {
             self.latency.p50, self.latency.p95, self.latency.p99, self.latency.max
         )?;
         writeln!(f, "plan cache: {}", self.plan_cache)?;
+        writeln!(f, "result cache: {}", self.result_cache)?;
         writeln!(
             f,
             "parameterized templates: {} normalized queries, {} template hits",
@@ -213,18 +234,23 @@ impl fmt::Display for StatsSnapshot {
 mod tests {
     use super::*;
 
+    fn snap(stats: &ServerStats) -> StatsSnapshot {
+        stats.snapshot(
+            PlanCacheStats::default(),
+            ResultCacheStats::default(),
+            (0, 0),
+            BatcherStats::default(),
+            AdmissionStats::default(),
+        )
+    }
+
     #[test]
     fn percentiles_over_window() {
         let stats = ServerStats::new();
         for i in 1..=100u64 {
             stats.record_query(Duration::from_micros(i * 10), 1);
         }
-        let snap = stats.snapshot(
-            PlanCacheStats::default(),
-            (0, 0),
-            BatcherStats::default(),
-            AdmissionStats::default(),
-        );
+        let snap = snap(&stats);
         assert_eq!(snap.queries, 100);
         assert_eq!(snap.rows, 100);
         assert_eq!(snap.latency.max, Duration::from_micros(1000));
@@ -234,6 +260,7 @@ mod tests {
         assert!(snap.latency.p95 >= snap.latency.p50);
         let shown = snap.to_string();
         assert!(shown.contains("plan cache"));
+        assert!(shown.contains("result cache"));
     }
 
     #[test]
@@ -245,5 +272,45 @@ mod tests {
         assert_eq!(w.ring.len(), LATENCY_WINDOW);
         // The first 10 samples were overwritten.
         assert!(!w.ring.contains(&5));
+    }
+
+    /// Regression: a snapshot racing `record_query` must never observe a
+    /// half-recorded request. Each recorded query adds exactly one row,
+    /// so `queries == rows` is an invariant of every consistent state —
+    /// the old field-by-field atomic snapshot could be caught between
+    /// the two increments and break it.
+    #[test]
+    fn snapshot_is_consistent_under_concurrent_recording() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let stats = Arc::new(ServerStats::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let stats = stats.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        stats.record_query(Duration::from_micros(1), 1);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        for _ in 0..2_000 {
+            let s = snap(&stats);
+            assert_eq!(
+                s.queries, s.rows,
+                "snapshot observed a torn request: {} queries vs {} rows",
+                s.queries, s.rows
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        let final_snap = snap(&stats);
+        assert_eq!(final_snap.queries, total, "no recorded query lost");
+        assert_eq!(final_snap.rows, total);
     }
 }

@@ -1,0 +1,159 @@
+//! Property tests for [`raven_ir::PlanFingerprint`] as the serving layer
+//! actually computes it: over normalized templates and extracted
+//! parameters, across independently-built servers.
+//!
+//! The contracts under test:
+//! * same template + same bound params ⇒ same fingerprint — even when
+//!   the SQL spelling differs (whitespace, comments, literal forms like
+//!   `4.0` vs `4.00`), and even across two separate server processes'
+//!   worth of state (no per-process randomness);
+//! * differing params ⇒ differing fingerprints (no false sharing);
+//! * differing query shape ⇒ differing fingerprints.
+
+use proptest::prelude::*;
+use raven_datagen::{hospital, train};
+use raven_ir::{FingerprintBuilder, PlanFingerprint};
+use raven_server::normalize::normalize;
+use raven_server::{ServerConfig, ServerState};
+
+fn hospital_server() -> ServerState {
+    let server = ServerState::new(ServerConfig::for_tests());
+    let data = hospital::generate(120, 7);
+    data.register(server.catalog()).unwrap();
+    let model = train::hospital_tree(&data, 5).unwrap();
+    server.store_model("duration_of_stay", model).unwrap();
+    server
+}
+
+/// Fingerprint a literal SQL text the way `ServerState` does: normalize
+/// to (template, params), prepare the template, hash plan + params +
+/// dependency versions.
+fn fingerprint_of(server: &ServerState, sql: &str) -> PlanFingerprint {
+    let normalized = normalize(sql).expect("workload SQL must lex");
+    let (prepared, _) = server.prepare(&normalized.template).expect("prepare");
+    let mut builder = FingerprintBuilder::new()
+        .plan(&prepared.plan)
+        .params(&normalized.params);
+    for model in &prepared.model_deps {
+        builder = builder.dependency("model", model, server.store().latest_version(model) as u64);
+    }
+    for table in &prepared.table_deps {
+        builder = builder.dependency(
+            "table",
+            table,
+            server.catalog().generation(table).unwrap_or(0),
+        );
+    }
+    builder.finish()
+}
+
+fn spelling_variants(age: i64, stay: f64) -> [String; 3] {
+    let join = "SELECT * FROM patient_info AS pi \
+                JOIN blood_tests AS bt ON pi.id = bt.id \
+                JOIN prenatal_tests AS pt ON bt.id = pt.id";
+    [
+        // Canonical.
+        format!(
+            "WITH data AS ({join})\
+             SELECT d.id, p.stay FROM PREDICT(MODEL = 'duration_of_stay', \
+             DATA = data AS d) WITH (stay FLOAT) AS p \
+             WHERE d.age > {age} AND p.stay > {stay:?}"
+        ),
+        // Whitespace-mangled.
+        format!(
+            "WITH data AS ({join})\n\
+             SELECT   d.id ,\n\tp.stay FROM PREDICT( MODEL='duration_of_stay', \
+             DATA = data AS d )\nWITH (stay FLOAT) AS p \
+             WHERE  d.age>{age}   AND p.stay   > {stay:?}"
+        ),
+        // Different literal spelling of the same values (trailing zeros
+        // extend the decimal form without changing the parsed value).
+        format!(
+            "WITH data AS ({join})\
+             SELECT d.id, p.stay FROM PREDICT(MODEL = 'duration_of_stay', \
+             DATA = data AS d) WITH (stay FLOAT) AS p \
+             WHERE d.age > {age} AND p.stay > {stay:?}00"
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Spelling-insensitivity and cross-server stability: every textual
+    /// variant of one (template, params) pair lands on one fingerprint,
+    /// and an independently constructed server computes the same one.
+    #[test]
+    fn same_template_same_params_same_fingerprint(
+        age in 18i64..80,
+        stay in 1.0f64..9.0,
+    ) {
+        let server = hospital_server();
+        let variants = spelling_variants(age, stay);
+        let fps: Vec<PlanFingerprint> =
+            variants.iter().map(|sql| fingerprint_of(&server, sql)).collect();
+        prop_assert_eq!(fps[0], fps[1], "whitespace changed the fingerprint");
+        prop_assert_eq!(fps[0], fps[2], "literal spelling changed the fingerprint");
+
+        // A second server, built from scratch the same way, agrees —
+        // the fingerprint has no per-process or per-instance randomness.
+        let other = hospital_server();
+        prop_assert_eq!(
+            fps[0],
+            fingerprint_of(&other, &variants[0]),
+            "fingerprint not stable across server instances"
+        );
+    }
+
+    /// No false sharing: different parameter values (or a different
+    /// query shape) always produce different fingerprints.
+    #[test]
+    fn differing_params_differ(
+        age in 18i64..80,
+        stay in 1.0f64..9.0,
+        age_delta in 1i64..10,
+    ) {
+        let server = hospital_server();
+        let base = fingerprint_of(&server, &spelling_variants(age, stay)[0]);
+        let other_age = fingerprint_of(
+            &server,
+            &spelling_variants(age + age_delta, stay)[0],
+        );
+        prop_assert_ne!(base, other_age, "age {} vs {}", age, age + age_delta);
+        let other_stay = fingerprint_of(
+            &server,
+            &spelling_variants(age, stay + 0.25)[0],
+        );
+        prop_assert_ne!(base, other_stay);
+        // Same constants, different shape.
+        let shape = fingerprint_of(
+            &server,
+            &format!("SELECT id FROM patient_info WHERE age > {age}"),
+        );
+        prop_assert_ne!(base, shape);
+    }
+}
+
+/// Version sensitivity end to end: the same SQL fingerprints differently
+/// once a referenced model or table moves, and identically once it is
+/// queried again without intervening mutations.
+#[test]
+fn versions_move_the_fingerprint() {
+    let server = hospital_server();
+    let sql = &spelling_variants(30, 4.0)[0];
+    let before = fingerprint_of(&server, sql);
+    assert_eq!(before, fingerprint_of(&server, sql), "idempotent re-read");
+
+    let data = hospital::generate(120, 7);
+    let retrained = train::hospital_tree(&data, 6).unwrap();
+    server.store_model("duration_of_stay", retrained).unwrap();
+    let after_model = fingerprint_of(&server, sql);
+    assert_ne!(before, after_model, "model version must move the key");
+
+    server.replace_table("patient_info", data.patient_info.clone());
+    let after_table = fingerprint_of(&server, sql);
+    assert_ne!(
+        after_model, after_table,
+        "table generation must move the key"
+    );
+}

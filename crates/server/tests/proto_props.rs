@@ -124,10 +124,10 @@ fn response() -> impl Strategy<Value = Response> {
         (0..2u8, 0..1_000_000u64, table()).prop_map(|(hit, micros, table)| Response::Rows {
             cache_hit: hit == 1,
             total_micros: micros,
-            table,
+            table: std::sync::Arc::new(table),
         }),
         finite_f64().prop_map(|value| Response::Score { value }),
-        vec(0..u64::MAX, 14).prop_map(|v| {
+        vec(0..u64::MAX, 17).prop_map(|v| {
             Response::Stats(WireStats {
                 queries: v[0],
                 errors: v[1],
@@ -138,6 +138,9 @@ fn response() -> impl Strategy<Value = Response> {
                 invalidations: v[6],
                 normalized: v[12],
                 template_hits: v[13],
+                result_hits: v[14],
+                result_misses: v[15],
+                result_invalidations: v[16],
                 batch_requests: v[7],
                 batches: v[8],
                 admitted: v[9],

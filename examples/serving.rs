@@ -13,7 +13,10 @@
 //!   show the typed admission-control rejection);
 //! * template-shaped traffic: queries differing only in their constants
 //!   share one prepared plan (transparently via normalization, and
-//!   explicitly via `query_params`).
+//!   explicitly via `query_params`);
+//! * deterministic result caching: an exact repeat (same plan, same
+//!   constants, same model/table versions) skips execution entirely, and
+//!   a model update invalidates the memoized rows.
 
 use raven_data::Value;
 use raven_datagen::{hospital, train};
@@ -142,6 +145,31 @@ fn main() {
     );
     net.shutdown();
 
-    // 6. What the server measured.
+    // 6. Deterministic result caching: the repeat path is a hash lookup.
+    // A constant not used above, so the first execution is genuinely cold.
+    let cold_sql = SQL.replace("> 6", "> 7.5");
+    let cold = server.execute(&cold_sql).expect("cold query");
+    let warm = server.execute(&cold_sql).expect("warm repeat");
+    assert!(!cold.result_cache_hit && warm.result_cache_hit);
+    println!(
+        "\nresult cache: cold execution {:.3} ms, exact repeat {:.3} ms \
+         (result hit: {})",
+        cold.total_time.as_secs_f64() * 1e3,
+        warm.total_time.as_secs_f64() * 1e3,
+        warm.result_cache_hit,
+    );
+    // A model update retires the memoized rows — the next query executes.
+    let retrained = train::hospital_tree(&data, 5).expect("retrain");
+    server
+        .store_model("duration_of_stay", retrained)
+        .expect("transactional update");
+    let fresh = server.execute(SQL).expect("post-update query");
+    println!(
+        "after a model update the repeat re-executes (result hit: {}), {}",
+        fresh.result_cache_hit,
+        server.result_cache_stats(),
+    );
+
+    // 7. What the server measured.
     println!("\n-- server stats --\n{}", server.stats());
 }
