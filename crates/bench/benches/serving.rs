@@ -20,13 +20,20 @@
 //! * **micro-batch sizes {1, 8, 64}** — point-scoring throughput as the
 //!   coalescing window widens (`max_batch = 1` reproduces per-tuple
 //!   scoring; the paper's §5 observation v is the same lever at the
-//!   tensor-runtime layer).
+//!   tensor-runtime layer);
+//! * **multi-tenant serving** — N tenants × one hot query each over one
+//!   engine: per-tenant result-cache hit rates, cross-tenant
+//!   invalidation isolation (a model swap in tenant 0 drops nothing
+//!   elsewhere), and per-tenant quotas bounding a noisy neighbor's
+//!   impact on a quiet tenant's tail latency.
 //!
 //! Default dataset is 20k rows; set `RAVEN_BENCH_FULL=1` for 200k.
 
 use raven_bench::{full_scale, ms, time_mean};
 use raven_datagen::{hospital, train};
-use raven_server::{BatchConfig, NetConfig, RavenClient, RavenServer, ServerConfig, ServerState};
+use raven_server::{
+    BatchConfig, NetConfig, RavenClient, RavenServer, ServerConfig, ServerState, TenantQuotaConfig,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -365,6 +372,157 @@ fn bench_network_path(rows: usize) {
     }
 }
 
+/// Multi-tenant serving: N tenants, each with its own (same-named!)
+/// dataset and model, hammered concurrently over one engine.
+///
+/// Three measurements:
+/// 1. hot throughput with per-tenant result caches (every tenant's
+///    repeat traffic hits its own cache);
+/// 2. cross-tenant invalidation isolation — a model swap in tenant 0
+///    invalidates its own entries and nobody else's (counters printed);
+/// 3. noisy neighbor: tenant 0 saturates a strict per-tenant quota
+///    while a quiet tenant runs the same workload with and without the
+///    noise — the quiet tenant's p99 must not move materially.
+fn bench_multi_tenant(rows: usize) {
+    const TENANTS: usize = 4;
+    const QUERIES_PER_TENANT: usize = 60;
+    let per_tenant_rows = (rows / 4).clamp(1_000, 20_000);
+    println!(
+        "== multi-tenant serving ({TENANTS} tenants x {per_tenant_rows} rows, same-named models) =="
+    );
+    let build = |quota: TenantQuotaConfig| {
+        let server = Arc::new(ServerState::new(ServerConfig {
+            tenant_quota: quota,
+            ..Default::default()
+        }));
+        for t in 0..TENANTS {
+            let tenant = format!("tenant-{t}");
+            let data = hospital::generate(per_tenant_rows, 42 + t as u64);
+            let shard = server.tenant(&tenant).expect("tenant");
+            data.register(shard.catalog()).expect("register");
+            shard
+                .store_model(
+                    "duration_of_stay",
+                    train::hospital_tree(&data, 6).expect("train"),
+                )
+                .expect("store");
+        }
+        server
+    };
+
+    // 1. Hot throughput: every tenant hammers its own namespace.
+    let server = build(TenantQuotaConfig::default());
+    let start = Instant::now();
+    let handles: Vec<_> = (0..TENANTS)
+        .map(|t| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let tenant = format!("tenant-{t}");
+                for _ in 0..QUERIES_PER_TENANT {
+                    std::hint::black_box(server.execute_in(&tenant, SQL).expect("query"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("tenant thread");
+    }
+    let elapsed = start.elapsed();
+    let aggregate = server.stats();
+    println!(
+        "  {TENANTS} tenants hot   {:>8.1} q/s aggregate  result hit rate {:>5.1}%  \
+         ({} preparations: one per tenant)",
+        qps(TENANTS * QUERIES_PER_TENANT, elapsed),
+        aggregate.result_cache.hit_rate() * 100.0,
+        aggregate.plan_cache.preparations,
+    );
+
+    // 2. Invalidation isolation: swap tenant-0's model, count casualties.
+    let data = hospital::generate(per_tenant_rows, 42);
+    server
+        .store_model_in(
+            "tenant-0",
+            "duration_of_stay",
+            train::hospital_tree(&data, 5).expect("retrain"),
+        )
+        .expect("swap");
+    let victims: u64 = (1..TENANTS)
+        .map(|t| {
+            server
+                .tenant_stats(&format!("tenant-{t}"))
+                .expect("stats")
+                .result_cache
+                .invalidations
+        })
+        .sum();
+    let own = server
+        .tenant_stats("tenant-0")
+        .expect("stats")
+        .result_cache
+        .invalidations;
+    println!(
+        "  tenant-0 model swap: {own} own result entries invalidated, \
+         {victims} in the other {} tenants",
+        TENANTS - 1
+    );
+
+    // 3. Noisy neighbor under a strict quota: quiet tenant's p99 with
+    // the noise vs. without it.
+    let quiet_p99 = |noisy: bool| {
+        let server = build(TenantQuotaConfig::strict(2));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let noise: Vec<_> = if noisy {
+            (0..6)
+                .map(|thread| {
+                    let server = server.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        let mut i = 0usize;
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            // A fresh constant every request: one shared
+                            // template plan, but a distinct result
+                            // fingerprint, so every request *executes*
+                            // and holds its quota slot — saturating
+                            // traffic with rejections expected.
+                            let sql = SQL.replace(
+                                "> 6",
+                                &format!("> 6.{:04}", (thread * 1_000 + i) % 10_000),
+                            );
+                            let _ = server.serve_in("tenant-0", &sql, None);
+                            i += 1;
+                        }
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if noisy {
+            // Let the noise actually saturate tenant-0's quota before
+            // the quiet tenant's measurement window opens.
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        for _ in 0..QUERIES_PER_TENANT {
+            std::hint::black_box(server.execute_in("tenant-1", SQL).expect("quiet query"));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in noise {
+            h.join().expect("noise thread");
+        }
+        let quiet = server.tenant_stats("tenant-1").expect("stats");
+        let noisy_stats = server.tenant_stats("tenant-0").expect("stats");
+        (quiet.latency.p99, noisy_stats.admission.rejected_overloaded)
+    };
+    let (p99_alone, _) = quiet_p99(false);
+    let (p99_noisy, rejections) = quiet_p99(true);
+    println!(
+        "  quiet tenant p99: {} ms alone, {} ms beside a noisy neighbor \
+         ({rejections} noisy rejections absorbed by its quota)",
+        ms(p99_alone),
+        ms(p99_noisy),
+    );
+}
+
 fn main() {
     let rows = if full_scale() { 200_000 } else { 20_000 };
     bench_plan_cache(rows);
@@ -373,4 +531,5 @@ fn main() {
     bench_concurrency(rows);
     bench_network_path(rows);
     bench_micro_batching(rows);
+    bench_multi_tenant(rows);
 }

@@ -20,6 +20,7 @@ pub mod batch;
 pub mod catalog;
 pub mod column;
 pub mod error;
+pub mod namespace;
 pub mod schema;
 pub mod stats;
 pub mod table;
@@ -29,6 +30,7 @@ pub use batch::RecordBatch;
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::DataError;
+pub use namespace::{CatalogShards, NamespaceMap};
 pub use schema::{Field, Schema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

@@ -1,0 +1,313 @@
+//! Namespaced registries: a generic sharded name → value map
+//! ([`NamespaceMap`]) and its catalog instantiation ([`CatalogShards`] —
+//! one independent [`Catalog`] per namespace).
+//!
+//! The serving layer's multi-tenant story starts here: each tenant owns a
+//! whole catalog of its own, so `alpha`'s table `patients` and `beta`'s
+//! table `patients` are unrelated objects with independent contents,
+//! statistics, and generations. Isolation is structural (separate
+//! `Catalog` instances), not a key prefix — nothing a binder or executor
+//! resolves through one namespace's catalog can observe another's, and a
+//! replacement in one namespace advances only that catalog's generation
+//! counter.
+//!
+//! Both registries are sharded: namespaces hash (stable FNV-1a, no
+//! per-process hasher randomness) to one of N `RwLock<HashMap>` shards,
+//! so concurrent lookups of different namespaces do not serialize on one
+//! global lock. Lookups of an existing namespace take a read lock on one
+//! shard only. The serving layer reuses [`NamespaceMap`] for its tenant
+//! registry, so the data layer and the serving layer agree on what a
+//! namespace registry *is*.
+
+use crate::catalog::Catalog;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default shard count — enough to make cross-namespace lock contention
+/// negligible at realistic tenant counts, small enough to iterate cheaply.
+pub const DEFAULT_CATALOG_SHARDS: usize = 16;
+
+/// Stable FNV-1a over the namespace name — deterministic shard placement
+/// with no per-process hasher randomness.
+fn shard_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in name.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A generic sharded registry of named values (namespace → `V`).
+/// Values are handed out by clone, so `V` is typically an `Arc<…>`.
+pub struct NamespaceMap<V> {
+    shards: Box<[RwLock<HashMap<String, V>>]>,
+}
+
+impl<V: Clone> NamespaceMap<V> {
+    /// A registry with `shards` lock shards (≥ 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        NamespaceMap {
+            shards: (0..shards)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    /// How many lock shards back the registry.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, namespace: &str) -> &RwLock<HashMap<String, V>> {
+        &self.shards[(shard_hash(namespace) % self.shards.len() as u64) as usize]
+    }
+
+    /// The value registered under `namespace`, if any (read lock on one
+    /// shard).
+    pub fn get(&self, namespace: &str) -> Option<V> {
+        self.shard(namespace).read().get(namespace).cloned()
+    }
+
+    /// Insert `value` under `namespace` unless the name is taken:
+    /// `Ok(value)` if this call inserted, `Err(existing)` if a racing
+    /// (or earlier) registrant won. Lets callers that reserved resources
+    /// for the insert release them on the losing path.
+    pub fn try_insert(&self, namespace: &str, value: V) -> Result<V, V> {
+        let mut shard = self.shard(namespace).write();
+        if let Some(existing) = shard.get(namespace) {
+            return Err(existing.clone());
+        }
+        shard.insert(namespace.to_string(), value.clone());
+        Ok(value)
+    }
+
+    /// The value under `namespace`, creating it with `make` if absent.
+    /// `make` runs outside any lock; under a creation race the first
+    /// insert wins and the loser's value is dropped.
+    pub fn get_or_insert_with(&self, namespace: &str, make: impl FnOnce() -> V) -> V {
+        if let Some(found) = self.get(namespace) {
+            return found;
+        }
+        match self.try_insert(namespace, make()) {
+            Ok(inserted) => inserted,
+            Err(existing) => existing,
+        }
+    }
+
+    /// Remove a namespace and return its value (an `Arc` value stays
+    /// valid through handles elsewhere — removal unlinks the name).
+    pub fn remove(&self, namespace: &str) -> Option<V> {
+        self.shard(namespace).write().remove(namespace)
+    }
+
+    /// True if `namespace` is registered.
+    pub fn contains(&self, namespace: &str) -> bool {
+        self.shard(namespace).read().contains_key(namespace)
+    }
+
+    /// All registered namespaces, sorted.
+    pub fn namespaces(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// All registered values, in their namespaces' sorted order.
+    pub fn values(&self) -> Vec<V> {
+        let mut entries: Vec<(String, V)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Number of registered namespaces.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A sharded registry of named catalogs (namespace → [`Catalog`]).
+pub struct CatalogShards {
+    map: NamespaceMap<Arc<Catalog>>,
+}
+
+impl Default for CatalogShards {
+    fn default() -> Self {
+        CatalogShards::new(DEFAULT_CATALOG_SHARDS)
+    }
+}
+
+impl CatalogShards {
+    /// A registry with `shards` lock shards (≥ 1).
+    pub fn new(shards: usize) -> Self {
+        CatalogShards {
+            map: NamespaceMap::new(shards),
+        }
+    }
+
+    /// How many lock shards back the registry.
+    pub fn shard_count(&self) -> usize {
+        self.map.shard_count()
+    }
+
+    /// The catalog registered under `namespace`, if any.
+    pub fn get(&self, namespace: &str) -> Option<Arc<Catalog>> {
+        self.map.get(namespace)
+    }
+
+    /// The catalog under `namespace`, creating it with `make` if absent.
+    pub fn get_or_insert_with(
+        &self,
+        namespace: &str,
+        make: impl FnOnce() -> Arc<Catalog>,
+    ) -> Arc<Catalog> {
+        self.map.get_or_insert_with(namespace, make)
+    }
+
+    /// The catalog under `namespace`, creating an empty one if absent.
+    pub fn get_or_create(&self, namespace: &str) -> Arc<Catalog> {
+        self.get_or_insert_with(namespace, || Arc::new(Catalog::new()))
+    }
+
+    /// Remove a namespace and return its catalog (other handles to it
+    /// stay valid — removal unlinks the name, it does not drop tables).
+    pub fn remove(&self, namespace: &str) -> Option<Arc<Catalog>> {
+        self.map.remove(namespace)
+    }
+
+    /// True if `namespace` is registered.
+    pub fn contains(&self, namespace: &str) -> bool {
+        self.map.contains(namespace)
+    }
+
+    /// All registered namespaces, sorted.
+    pub fn namespaces(&self) -> Vec<String> {
+        self.map.namespaces()
+    }
+
+    /// Number of registered namespaces.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::Schema;
+    use crate::table::Table;
+    use crate::types::DataType;
+
+    fn table(values: Vec<i64>) -> Table {
+        let schema = Schema::from_pairs(&[("x", DataType::Int64)]).into_shared();
+        Table::try_new(schema, vec![Column::from(values)]).unwrap()
+    }
+
+    #[test]
+    fn namespaces_are_structurally_isolated() {
+        let shards = CatalogShards::default();
+        let alpha = shards.get_or_create("alpha");
+        let beta = shards.get_or_create("beta");
+        // Same table name, different contents, no interference.
+        alpha.register("t", table(vec![1, 2, 3])).unwrap();
+        beta.register("t", table(vec![9])).unwrap();
+        assert_eq!(
+            shards.get("alpha").unwrap().table("t").unwrap().num_rows(),
+            3
+        );
+        assert_eq!(
+            shards.get("beta").unwrap().table("t").unwrap().num_rows(),
+            1
+        );
+        // A replacement in one namespace moves only that catalog's
+        // generation.
+        let beta_gen = beta.generation("t").unwrap();
+        alpha.register_or_replace("t", table(vec![4, 5]));
+        assert_eq!(beta.generation("t").unwrap(), beta_gen);
+        assert_eq!(alpha.table("t").unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn get_or_create_is_idempotent_and_listing_is_sorted() {
+        let shards = CatalogShards::new(4);
+        let first = shards.get_or_create("zeta");
+        let again = shards.get_or_create("zeta");
+        assert!(Arc::ptr_eq(&first, &again), "one catalog per namespace");
+        shards.get_or_create("alpha");
+        assert_eq!(shards.namespaces(), vec!["alpha", "zeta"]);
+        assert_eq!(shards.len(), 2);
+        assert!(shards.contains("alpha"));
+        assert!(!shards.contains("ghost"));
+        assert!(shards.get("ghost").is_none());
+    }
+
+    #[test]
+    fn remove_unlinks_but_does_not_invalidate_handles() {
+        let shards = CatalogShards::default();
+        let cat = shards.get_or_create("a");
+        cat.register("t", table(vec![1])).unwrap();
+        let removed = shards.remove("a").unwrap();
+        assert!(Arc::ptr_eq(&cat, &removed));
+        assert!(!shards.contains("a"));
+        // The held handle still reads its tables.
+        assert_eq!(cat.table("t").unwrap().num_rows(), 1);
+        // Re-creating the name yields a fresh, empty catalog.
+        assert!(shards.get_or_create("a").table("t").is_err());
+        assert!(shards.remove("ghost").is_none());
+    }
+
+    #[test]
+    fn concurrent_get_or_create_converges_on_one_catalog() {
+        let shards = Arc::new(CatalogShards::new(2));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let shards = shards.clone();
+                std::thread::spawn(move || shards.get_or_create("hot"))
+            })
+            .collect();
+        let catalogs: Vec<Arc<Catalog>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(
+            catalogs.iter().all(|c| Arc::ptr_eq(c, &catalogs[0])),
+            "racing creators must converge on one catalog"
+        );
+        assert_eq!(shards.len(), 1);
+    }
+
+    #[test]
+    fn generic_map_try_insert_reports_the_winner() {
+        let map: NamespaceMap<Arc<i64>> = NamespaceMap::new(2);
+        let first = map.try_insert("n", Arc::new(1)).expect("first insert wins");
+        assert_eq!(*first, 1);
+        let second = map.try_insert("n", Arc::new(2)).expect_err("name taken");
+        assert!(Arc::ptr_eq(&second, &first), "loser adopts the winner");
+        assert_eq!(map.values().len(), 1);
+        assert_eq!(map.namespaces(), vec!["n"]);
+        // values() follows sorted namespace order.
+        map.try_insert("a", Arc::new(0)).unwrap();
+        assert_eq!(map.values().iter().map(|v| **v).collect::<Vec<_>>(), [0, 1]);
+    }
+}

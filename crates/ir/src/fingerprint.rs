@@ -124,6 +124,18 @@ impl FingerprintBuilder {
         }
     }
 
+    /// Hash the tenant (namespace) this computation runs in. Two tenants
+    /// may hold same-named tables and models with different contents, so
+    /// a fingerprint that ignored the tenant could conflate their
+    /// results; feeding the tenant first makes cross-tenant collision
+    /// structurally impossible even if every other input matches. The
+    /// serving layer calls this before [`FingerprintBuilder::plan`].
+    pub fn tenant(mut self, tenant: &str) -> Self {
+        self.lanes.write(b"tenant");
+        write_str(&mut self.lanes, tenant);
+        self
+    }
+
     /// Hash the full structure of `plan` (operators, expressions,
     /// schemas, literals, parameter slots).
     pub fn plan(mut self, plan: &Plan) -> Self {
@@ -529,6 +541,37 @@ mod tests {
         assert_ne!(
             with(&[Value::Utf8("ab".into()), Value::Utf8("c".into())]),
             with(&[Value::Utf8("a".into()), Value::Utf8("bc".into())])
+        );
+    }
+
+    #[test]
+    fn tenants_move_the_fingerprint() {
+        // Identical plan, params, and dependency versions in two tenants
+        // must never share a fingerprint: the tenants may hold
+        // same-named tables/models with entirely different contents.
+        let plan = scan("t");
+        let with = |tenant: &str| {
+            FingerprintBuilder::new()
+                .tenant(tenant)
+                .plan(&plan)
+                .params(&[Value::Int64(30)])
+                .dependency("table", "t", 1)
+                .finish()
+        };
+        assert_eq!(with("acme"), with("acme"));
+        assert_ne!(with("acme"), with("globex"));
+        // Concatenation safety at the tenant boundary: the tenant is
+        // length-prefixed, so ("ab" + table "t") cannot collide with
+        // ("a" + table "bt")-shaped inputs.
+        assert_ne!(
+            FingerprintBuilder::new()
+                .tenant("ab")
+                .plan(&scan("t"))
+                .finish(),
+            FingerprintBuilder::new()
+                .tenant("a")
+                .plan(&scan("bt"))
+                .finish()
         );
     }
 

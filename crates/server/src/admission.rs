@@ -75,6 +75,14 @@ pub struct AdmissionStats {
     pub rejected_deadline: u64,
 }
 
+impl std::ops::AddAssign for AdmissionStats {
+    fn add_assign(&mut self, other: Self) {
+        self.admitted += other.admitted;
+        self.rejected_overloaded += other.rejected_overloaded;
+        self.rejected_deadline += other.rejected_deadline;
+    }
+}
+
 #[derive(Default)]
 struct Waitable {
     executing: usize,

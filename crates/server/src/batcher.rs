@@ -46,6 +46,16 @@ pub struct BatcherStats {
     pub batched_rows: u64,
     /// Largest single scorer invocation.
     pub max_batch_seen: u64,
+    /// Total wall time spent inside scorer invocations (µs).
+    pub score_micros: u64,
+    /// Exponentially-weighted observed cost of one scorer *invocation*
+    /// (µs) — the fixed overhead adaptive batching amortizes.
+    pub ewma_invocation_micros: f64,
+    /// Exponentially-weighted observed cost per scored *row* (µs) — the
+    /// marginal cost that bounds how long a flush window is worth
+    /// holding. Together with `ewma_invocation_micros` this is the input
+    /// an adaptive flush policy sizes its window from.
+    pub ewma_row_micros: f64,
 }
 
 impl BatcherStats {
@@ -57,6 +67,113 @@ impl BatcherStats {
             self.batched_rows as f64 / self.batches as f64
         }
     }
+
+    /// Mean wall time per scorer invocation (µs) over the whole run
+    /// (the EWMA fields weight recent invocations instead).
+    pub fn mean_invocation_micros(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.score_micros as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean wall time per scored row (µs) over the whole run.
+    pub fn mean_row_micros(&self) -> f64 {
+        if self.batched_rows == 0 {
+            0.0
+        } else {
+            self.score_micros as f64 / self.batched_rows as f64
+        }
+    }
+
+    /// Fold another batcher's counters into this one (the cross-tenant
+    /// aggregate). EWMA costs merge weighted by work done, so an idle
+    /// tenant's zeros do not drag the estimate toward zero.
+    pub fn absorb(&mut self, other: &BatcherStats) {
+        let (self_rows, other_rows) = (self.batched_rows as f64, other.batched_rows as f64);
+        if self_rows + other_rows > 0.0 {
+            self.ewma_row_micros = (self.ewma_row_micros * self_rows
+                + other.ewma_row_micros * other_rows)
+                / (self_rows + other_rows);
+        }
+        let (self_batches, other_batches) = (self.batches as f64, other.batches as f64);
+        if self_batches + other_batches > 0.0 {
+            self.ewma_invocation_micros = (self.ewma_invocation_micros * self_batches
+                + other.ewma_invocation_micros * other_batches)
+                / (self_batches + other_batches);
+        }
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.batched_rows += other.batched_rows;
+        self.max_batch_seen = self.max_batch_seen.max(other.max_batch_seen);
+        self.score_micros += other.score_micros;
+    }
+}
+
+/// Observed scorer-cost estimator — the groundwork for adaptive
+/// micro-batching (sizing the flush window from measured cost instead of
+/// a fixed config value). Each scorer invocation feeds `(rows, elapsed)`;
+/// the estimator keeps exponentially-weighted averages of the
+/// per-invocation and per-row cost, so a future flush policy can ask
+/// "how long does a batch of N take?" ≈ `invocation + N × row` and hold
+/// the window only while the queueing delay it adds is smaller than the
+/// invocation overhead it saves.
+#[derive(Default)]
+pub(crate) struct CostEstimator {
+    /// EWMA of per-invocation micros, stored as f64 bits for lock-free
+    /// updates (the flush loop is single-threaded per batcher, but stats
+    /// readers race it).
+    invocation_micros: AtomicU64,
+    row_micros: AtomicU64,
+}
+
+/// EWMA smoothing factor: ~the last 10 invocations dominate.
+const COST_EWMA_ALPHA: f64 = 0.2;
+
+impl CostEstimator {
+    /// Record one scorer invocation of `rows` rows taking `elapsed`.
+    /// Fractional microseconds: fast in-process invocations routinely
+    /// finish in well under 1 µs and must not round to a zero cost.
+    fn record(&self, rows: usize, elapsed: Duration) {
+        let micros = elapsed.as_secs_f64() * 1e6;
+        ewma_update(&self.invocation_micros, micros);
+        if rows > 0 {
+            ewma_update(&self.row_micros, micros / rows as f64);
+        }
+    }
+
+    fn invocation_micros(&self) -> f64 {
+        f64::from_bits(self.invocation_micros.load(Ordering::Relaxed))
+    }
+
+    fn row_micros(&self) -> f64 {
+        f64::from_bits(self.row_micros.load(Ordering::Relaxed))
+    }
+}
+
+/// CAS-loop EWMA over an `AtomicU64` holding f64 bits. The first sample
+/// seeds the average directly (an EWMA from zero would need ~1/α samples
+/// to approach the true cost).
+fn ewma_update(cell: &AtomicU64, sample: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let old = f64::from_bits(current);
+        let next = if old == 0.0 {
+            sample
+        } else {
+            old + COST_EWMA_ALPHA * (sample - old)
+        };
+        match cell.compare_exchange_weak(
+            current,
+            next.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -65,6 +182,8 @@ struct Counters {
     batches: AtomicU64,
     batched_rows: AtomicU64,
     max_batch_seen: AtomicU64,
+    score_micros: AtomicU64,
+    cost: CostEstimator,
 }
 
 struct Request {
@@ -126,6 +245,9 @@ impl MicroBatcher {
             batches: self.counters.batches.load(Ordering::Relaxed),
             batched_rows: self.counters.batched_rows.load(Ordering::Relaxed),
             max_batch_seen: self.counters.max_batch_seen.load(Ordering::Relaxed),
+            score_micros: self.counters.score_micros.load(Ordering::Relaxed),
+            ewma_invocation_micros: self.counters.cost.invocation_micros(),
+            ewma_row_micros: self.counters.cost.row_micros(),
         }
     }
 }
@@ -240,7 +362,15 @@ fn score_group(model: &str, group: Vec<Request>, store: &ModelStore, counters: &
     counters
         .max_batch_seen
         .fetch_max(rows as u64, Ordering::Relaxed);
-    match pipeline.predict_raw(&flat, rows) {
+    let score_started = Instant::now();
+    let outcome = pipeline.predict_raw(&flat, rows);
+    let elapsed = score_started.elapsed();
+    counters.score_micros.fetch_add(
+        elapsed.as_micros().min(u64::MAX as u128) as u64,
+        Ordering::Relaxed,
+    );
+    counters.cost.record(rows, elapsed);
+    match outcome {
         Ok(scores) => {
             for (req, score) in good.into_iter().zip(scores) {
                 let _ = req.reply.send(Ok(score));
@@ -378,6 +508,57 @@ mod tests {
         assert_eq!(counters.batches.load(Ordering::Relaxed), 2);
         assert_eq!(counters.batched_rows.load(Ordering::Relaxed), 6);
         assert_eq!(counters.max_batch_seen.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn cost_estimator_converges_and_tracks_shifts() {
+        let est = CostEstimator::default();
+        // First sample seeds directly — no warm-up bias from zero.
+        est.record(10, Duration::from_micros(1_000));
+        assert_eq!(est.row_micros(), 100.0);
+        assert_eq!(est.invocation_micros(), 1_000.0);
+        // A steady workload keeps the estimate steady.
+        for _ in 0..50 {
+            est.record(10, Duration::from_micros(1_000));
+        }
+        assert!((est.row_micros() - 100.0).abs() < 1e-9);
+        // The scorer gets 4x slower (model swap, cold cache): the EWMA
+        // converges to the new cost within a few dozen invocations.
+        for _ in 0..50 {
+            est.record(10, Duration::from_micros(4_000));
+        }
+        assert!(
+            (est.row_micros() - 400.0).abs() < 5.0,
+            "row cost must track the shift, got {}",
+            est.row_micros()
+        );
+        assert!((est.invocation_micros() - 4_000.0).abs() < 50.0);
+        // Zero-row invocations update invocation cost, never row cost.
+        let before = est.row_micros();
+        est.record(0, Duration::from_micros(9_999));
+        assert_eq!(est.row_micros(), before);
+    }
+
+    #[test]
+    fn scorer_cost_lands_in_stats() {
+        let store = store_with_linear("m", &[1.0], 0.0);
+        let batcher = MicroBatcher::new(store, BatchConfig::default());
+        for i in 0..8 {
+            batcher.score("m", vec![i as f64]).unwrap();
+        }
+        let stats = batcher.stats();
+        assert!(
+            stats.ewma_row_micros > 0.0,
+            "observed per-row cost must be exposed: {stats:?}"
+        );
+        assert!(stats.ewma_invocation_micros >= stats.ewma_row_micros);
+        assert!(stats.mean_invocation_micros() >= stats.mean_row_micros());
+        // Aggregation: merging with an idle batcher's zeros must not
+        // drag the cost estimate down.
+        let mut merged = stats;
+        merged.absorb(&BatcherStats::default());
+        assert_eq!(merged.ewma_row_micros, stats.ewma_row_micros);
+        assert_eq!(merged.requests, stats.requests);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!
 //! let cache = PlanCache::new(8);
 //! let key = PlanKey {
+//!     tenant: "default".into(),
 //!     sql: "SELECT x FROM t WHERE x > ?".into(),
 //!     rules: RuleSet::all(),
 //!     mode: OptimizerMode::Heuristic,
@@ -51,9 +52,14 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Cache key: SQL text + everything that changes the optimized plan.
+/// Cache key: tenant + SQL text + everything that changes the optimized
+/// plan. The tenant dimension is defense in depth — each tenant owns its
+/// own `PlanCache`, so entries cannot collide across tenants today, but
+/// the key carries the namespace anyway so a future consolidation of the
+/// maps could not silently lose it.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
+    pub tenant: String,
     pub sql: String,
     pub rules: RuleSet,
     pub mode: OptimizerMode,
@@ -173,6 +179,16 @@ pub struct PlanCacheStats {
     pub preparations: u64,
     pub evictions: u64,
     pub invalidations: u64,
+}
+
+impl std::ops::AddAssign for PlanCacheStats {
+    fn add_assign(&mut self, other: Self) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.preparations += other.preparations;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
 }
 
 impl PlanCacheStats {
@@ -439,6 +455,7 @@ mod tests {
 
     fn key(sql: &str, rules: RuleSet) -> PlanKey {
         PlanKey {
+            tenant: "default".to_string(),
             sql: sql.to_string(),
             rules,
             mode: OptimizerMode::Heuristic,
@@ -472,18 +489,25 @@ mod tests {
     }
 
     #[test]
-    fn key_is_sensitive_to_rules_and_mode() {
+    fn key_is_sensitive_to_rules_mode_and_tenant() {
         let cache = PlanCache::new(8);
         cache.insert(key("q", RuleSet::all()), prepared("t"));
         // Same SQL, different rules → different entry.
         assert!(cache.get(&key("q", RuleSet::none())).is_none());
         // Same SQL + rules, different driver → different entry.
         let cost_based = PlanKey {
+            tenant: "default".into(),
             sql: "q".into(),
             rules: RuleSet::all(),
             mode: OptimizerMode::CostBased,
         };
         assert!(cache.get(&cost_based).is_none());
+        // Same everything, different tenant → different entry.
+        let other_tenant = PlanKey {
+            tenant: "acme".into(),
+            ..key("q", RuleSet::all())
+        };
+        assert!(cache.get(&other_tenant).is_none());
         assert!(cache.get(&key("q", RuleSet::all())).is_some());
         assert_eq!(cache.len(), 1);
     }

@@ -25,18 +25,47 @@ pub struct ClientQueryReply {
     pub server_time: Duration,
 }
 
-/// A blocking connection to a [`crate::net::RavenServer`].
+/// A blocking connection to a [`crate::net::RavenServer`], bound to one
+/// tenant namespace ([`crate::tenant::DEFAULT_TENANT`] unless rebound
+/// with [`RavenClient::for_tenant`]).
 pub struct RavenClient {
     stream: TcpStream,
+    tenant: String,
 }
 
 impl RavenClient {
-    /// Connect to a serving endpoint.
+    /// Connect to a serving endpoint (requests run in the default
+    /// tenant).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<RavenClient> {
         let stream =
             TcpStream::connect(addr).map_err(|e| ServerError::Network(format!("connect: {e}")))?;
         let _ = stream.set_nodelay(true);
-        Ok(RavenClient { stream })
+        Ok(RavenClient {
+            stream,
+            tenant: crate::tenant::DEFAULT_TENANT.to_string(),
+        })
+    }
+
+    /// Rebind this connection to `tenant`: every subsequent request
+    /// (prepare, query, score, stats) runs in that namespace. The tenant
+    /// is created server-side on first use:
+    ///
+    /// ```no_run
+    /// use raven_server::RavenClient;
+    ///
+    /// let mut client = RavenClient::connect("127.0.0.1:4741")?.for_tenant("team-a");
+    /// let reply = client.query("SELECT * FROM patients")?; // team-a's `patients`
+    /// # let _ = reply;
+    /// # Ok::<(), raven_server::ServerError>(())
+    /// ```
+    pub fn for_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// The tenant this connection's requests run in.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
     }
 
     /// Bound how long any single reply may take (`None` = wait forever).
@@ -55,10 +84,15 @@ impl RavenClient {
         }
     }
 
-    /// Warm the server's plan cache for `sql` without executing it.
-    /// Returns `(cache_hit, server-side prepare time)`.
+    /// Warm the server's plan cache for `sql` (in this client's tenant)
+    /// without executing it. Returns `(cache_hit, server-side prepare
+    /// time)`.
     pub fn prepare(&mut self, sql: &str) -> Result<(bool, Duration)> {
-        match self.roundtrip(&Request::Prepare { sql: sql.into() })? {
+        let request = Request::Prepare {
+            sql: sql.into(),
+            tenant: self.tenant.clone(),
+        };
+        match self.roundtrip(&request)? {
             Response::Prepared {
                 cache_hit,
                 prepare_micros,
@@ -83,6 +117,7 @@ impl RavenClient {
     ) -> Result<ClientQueryReply> {
         let request = Request::Query {
             sql: sql.into(),
+            tenant: self.tenant.clone(),
             deadline,
         };
         match self.roundtrip(&request)? {
@@ -128,6 +163,7 @@ impl RavenClient {
     ) -> Result<ClientQueryReply> {
         let request = Request::QueryParams {
             template: template.into(),
+            tenant: self.tenant.clone(),
             params,
             deadline,
         };
@@ -145,10 +181,11 @@ impl RavenClient {
         }
     }
 
-    /// Score one raw feature row through the server's micro-batcher.
+    /// Score one raw feature row through this tenant's micro-batcher.
     pub fn score(&mut self, model: &str, row: Vec<f64>) -> Result<f64> {
         let request = Request::Score {
             model: model.into(),
+            tenant: self.tenant.clone(),
             row,
         };
         match self.roundtrip(&request)? {
@@ -157,15 +194,33 @@ impl RavenClient {
         }
     }
 
-    /// Fetch the server's observability counters — including the
+    /// Fetch this tenant's observability counters — including the
     /// result-cache triple (`result_hits` / `result_misses` /
     /// `result_invalidations`; see [`WireStats::result_hit_rate`]) that
-    /// says how much of the repeat traffic skipped execution entirely.
+    /// says how much of the repeat traffic skipped execution entirely,
+    /// and (protocol v4) the tenant's recent latency percentiles.
     pub fn stats(&mut self) -> Result<WireStats> {
-        match self.roundtrip(&Request::Stats)? {
+        let tenant = self.tenant.clone();
+        self.stats_for(&tenant)
+    }
+
+    /// Fetch another tenant's counters without rebinding the connection
+    /// (a server observing its tenants from one socket). A tenant that
+    /// does not exist yet reports zeros — observing never creates.
+    pub fn stats_for(&mut self, tenant: &str) -> Result<WireStats> {
+        let request = Request::Stats {
+            tenant: tenant.into(),
+        };
+        match self.roundtrip(&request)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Fetch the cross-tenant aggregate counters (sums across every
+    /// tenant; latency percentiles over the merged windows).
+    pub fn stats_aggregate(&mut self) -> Result<WireStats> {
+        self.stats_for("")
     }
 
     /// Ask the server to shut down; returns once it acknowledges.

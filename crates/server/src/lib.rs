@@ -5,8 +5,10 @@
 //! paper's deployment story: models served *inside* the data engine, at
 //! application traffic rates.
 //!
-//! A [`ServerState`] bundles the engine's shared state (catalog, model
-//! store, scorer with its inference-session cache) behind `Arc`s and adds
+//! A [`ServerState`] is a sharded registry of **tenants** — isolated
+//! model/table namespaces served by one engine ([`tenant`]): each
+//! [`Tenant`] owns its catalog, model store, scorer (with its
+//! inference-session cache), admission quota, stats, and its own copy of
 //! the classic inference-serving levers:
 //!
 //! * a **prepared-plan cache** ([`PlanCache`]): parse → bind → optimize
@@ -25,14 +27,18 @@
 //!   to point lookups).
 //!
 //! Around that state sits the network front end: a length-prefixed
-//! framed-TCP protocol ([`proto`]) served by a thread-pool accept loop
-//! ([`net::RavenServer`]) and spoken by a blocking client
-//! ([`client::RavenClient`]), with admission control and backpressure
-//! ([`admission`]) — a bounded concurrent-execution semaphore, a bounded
-//! wait queue, and per-request deadlines enforced through the executor's
-//! cancellation token — rejecting overload with typed
+//! framed-TCP protocol ([`proto`], version 4 — frames carry the tenant;
+//! v3 peers land in the [`DEFAULT_TENANT`]) served by a thread-pool
+//! accept loop ([`net::RavenServer`]) and spoken by a blocking client
+//! ([`client::RavenClient`], rebindable per namespace via
+//! [`RavenClient::for_tenant`]), with two-ring admission control and
+//! backpressure ([`admission`], [`TenantQuotaConfig`]) — a per-tenant
+//! quota inside a server-wide bounded concurrent-execution semaphore,
+//! a bounded wait queue, and per-request deadlines enforced through the
+//! executor's cancellation token — rejecting overload with typed
 //! [`ServerError::Overloaded`] / [`ServerError::DeadlineExceeded`]
-//! frames instead of stalling the socket.
+//! frames instead of stalling the socket. A noisy tenant exhausts its
+//! own quota at its own boundary; everyone else keeps their latency.
 //!
 //! Every method takes `&self`; wrap the state in an `Arc` and share it
 //! across as many worker threads as the machine offers:
@@ -80,6 +86,7 @@ pub mod proto;
 pub mod result_cache;
 pub mod state;
 pub mod stats;
+pub mod tenant;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
 pub use batcher::{BatchConfig, BatcherStats, MicroBatcher};
@@ -92,3 +99,4 @@ pub use proto::{ErrorCode, ProtoError, Request, Response, WireStats};
 pub use result_cache::{ResultCache, ResultCacheStats, ResultDeps};
 pub use state::{ServerConfig, ServerQueryResult, ServerState};
 pub use stats::{LatencySummary, ServerStats, StatsSnapshot};
+pub use tenant::{Tenant, TenantId, TenantQuotaConfig, DEFAULT_TENANT};

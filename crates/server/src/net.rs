@@ -227,7 +227,11 @@ fn reject_connection(mut stream: TcpStream, connection_cap: usize) {
                 code: proto::ErrorCode::Overloaded,
                 message: format!("server at its connection limit ({connection_cap})"),
             };
-            if proto::write_frame(&mut stream, &overloaded.encode()).is_err() {
+            // No request was read, so the peer's version is unknown:
+            // encode at the oldest supported version, which every
+            // supported peer (v3 and v4 alike) can decode.
+            let frame = overloaded.encode_for_version(proto::MIN_PROTOCOL_VERSION);
+            if proto::write_frame(&mut stream, &frame).is_err() {
                 return;
             }
             let _ = stream.shutdown(std::net::Shutdown::Write);
@@ -323,9 +327,16 @@ fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> NetRead {
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    // Replies carry the version of the request they answer, so a v3 peer
+    // round-trips v3 bytes end to end. Until the first request decodes,
+    // the peer's version is unknown, so error frames use the *oldest*
+    // supported version — its error layout is identical and every
+    // supported peer (v3 and v4 alike) can decode it.
+    let mut peer_version = proto::MIN_PROTOCOL_VERSION;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
-            let frame = Response::from_error(&crate::ServerError::ShuttingDown).encode();
+            let frame = Response::from_error(&crate::ServerError::ShuttingDown)
+                .encode_for_version(peer_version);
             let _ = proto::write_frame(&mut stream, &frame);
             break;
         }
@@ -340,19 +351,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                     code: proto::ErrorCode::Protocol,
                     message: e.to_string(),
                 }
-                .encode();
+                .encode_for_version(peer_version);
                 let _ = proto::write_frame(&mut stream, &frame);
                 break;
             }
         };
-        let request = match Request::decode(&body) {
-            Ok(req) => req,
+        let request = match Request::decode_versioned(&body) {
+            Ok((req, version)) => {
+                peer_version = version;
+                req
+            }
             Err(e) => {
                 let frame = Response::Error {
                     code: proto::ErrorCode::Protocol,
                     message: e.to_string(),
                 }
-                .encode();
+                .encode_for_version(peer_version);
                 let _ = proto::write_frame(&mut stream, &frame);
                 break;
             }
@@ -361,7 +375,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         let response = serve_request(request, shared);
         // A result table too large for one frame becomes a typed error
         // the client can read, not a length the client must reject.
-        let frame = response.encode_checked().unwrap_or_else(|_| {
+        let frame = response.encode_checked(peer_version).unwrap_or_else(|_| {
             Response::Error {
                 code: proto::ErrorCode::Execution,
                 message: format!(
@@ -369,7 +383,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                     proto::MAX_FRAME_LEN
                 ),
             }
-            .encode()
+            .encode_for_version(peer_version)
         });
         if proto::write_frame(&mut stream, &frame).is_err() {
             break;
@@ -384,14 +398,18 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 fn serve_request(request: Request, shared: &Shared) -> Response {
     let state = &shared.state;
     match request {
-        Request::Prepare { sql } => match state.prepare(&sql) {
+        Request::Prepare { sql, tenant } => match state.prepare_in(&tenant, &sql) {
             Ok((prepared, cache_hit)) => Response::Prepared {
                 cache_hit,
                 prepare_micros: prepared.prepare_time.as_micros() as u64,
             },
             Err(e) => Response::from_error(&e),
         },
-        Request::Query { sql, deadline } => match state.serve(&sql, deadline) {
+        Request::Query {
+            sql,
+            tenant,
+            deadline,
+        } => match state.serve_in(&tenant, &sql, deadline) {
             Ok(result) => Response::Rows {
                 cache_hit: result.cache_hit,
                 total_micros: result.total_time.as_micros() as u64,
@@ -401,9 +419,10 @@ fn serve_request(request: Request, shared: &Shared) -> Response {
         },
         Request::QueryParams {
             template,
+            tenant,
             params,
             deadline,
-        } => match state.serve_with_params(&template, &params, deadline) {
+        } => match state.serve_with_params_in(&tenant, &template, &params, deadline) {
             Ok(result) => Response::Rows {
                 cache_hit: result.cache_hit,
                 total_micros: result.total_time.as_micros() as u64,
@@ -411,11 +430,23 @@ fn serve_request(request: Request, shared: &Shared) -> Response {
             },
             Err(e) => Response::from_error(&e),
         },
-        Request::Score { model, row } => match state.score_row(&model, row) {
+        Request::Score { model, tenant, row } => match state.score_row_in(&tenant, &model, row) {
             Ok(value) => Response::Score { value },
             Err(e) => Response::from_error(&e),
         },
-        Request::Stats => Response::Stats(wire_stats(&state.stats())),
+        // An empty tenant asks for the cross-tenant aggregate; a named
+        // tenant gets its own counters — zeros if it does not exist yet
+        // (observing a tenant must not create one).
+        Request::Stats { tenant } => {
+            if tenant.is_empty() {
+                Response::Stats(wire_stats(&state.stats()))
+            } else {
+                match state.tenant_stats(&tenant) {
+                    Some(snap) => Response::Stats(wire_stats(&snap)),
+                    None => Response::Stats(WireStats::default()),
+                }
+            }
+        }
         Request::Shutdown => Response::ShutdownAck,
     }
 }
@@ -440,5 +471,8 @@ pub fn wire_stats(snap: &StatsSnapshot) -> WireStats {
         admitted: snap.admission.admitted,
         rejected_overloaded: snap.admission.rejected_overloaded,
         rejected_deadline: snap.admission.rejected_deadline,
+        latency_p50_micros: snap.latency.p50.as_micros() as u64,
+        latency_p95_micros: snap.latency.p95.as_micros() as u64,
+        latency_p99_micros: snap.latency.p99.as_micros() as u64,
     }
 }

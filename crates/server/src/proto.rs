@@ -9,32 +9,46 @@
 //!
 //! `len` counts everything after itself (version + kind + payload) and is
 //! capped at [`MAX_FRAME_LEN`]; a peer announcing more is rejected before
-//! any allocation happens. `version` is [`PROTOCOL_VERSION`]; a mismatch
-//! produces a typed error, never a misparse.
+//! any allocation happens. `version` is [`PROTOCOL_VERSION`] or any
+//! still-supported earlier version (≥ [`MIN_PROTOCOL_VERSION`]); anything
+//! else produces a typed error, never a misparse.
 //!
-//! # Frame kinds and payload layout
+//! # Frame kinds and payload layout (version 4)
 //!
 //! Request kinds live below `0x80`, response kinds at or above it, and
 //! `0xEE` is the error frame. All integers are little-endian; `f64`s are
 //! IEEE bit patterns; a *string* is `u32` length + UTF-8 bytes; a
 //! *value* is a [`DataType`] tag byte (`0` Int64, `1` Float64, `2` Bool,
 //! `3` Utf8) followed by its payload; a *deadline* is `u64` microseconds
-//! with `0` meaning none.
+//! with `0` meaning none; a *tenant* is a string naming the namespace
+//! the request runs in.
 //!
 //! | kind | frame | payload layout |
 //! |------|-------|----------------|
-//! | `0x01` | [`Request::Prepare`] | sql: string |
-//! | `0x02` | [`Request::Query`] | sql: string · deadline |
-//! | `0x03` | [`Request::Score`] | model: string · row: `u32` count + `f64`s |
-//! | `0x04` | [`Request::Stats`] | *(empty)* |
+//! | `0x01` | [`Request::Prepare`] | sql: string · tenant |
+//! | `0x02` | [`Request::Query`] | sql: string · tenant · deadline |
+//! | `0x03` | [`Request::Score`] | model: string · tenant · row: `u32` count + `f64`s |
+//! | `0x04` | [`Request::Stats`] | tenant (empty = aggregate across tenants) |
 //! | `0x05` | [`Request::Shutdown`] | *(empty)* |
-//! | `0x06` | [`Request::QueryParams`] | template: string · params: `u32` count + values · deadline |
+//! | `0x06` | [`Request::QueryParams`] | template: string · tenant · params: `u32` count + values · deadline |
 //! | `0x81` | [`Response::Prepared`] | cache_hit: `u8` · prepare_micros: `u64` |
 //! | `0x82` | [`Response::Rows`] | cache_hit: `u8` · total_micros: `u64` · table |
 //! | `0x83` | [`Response::Score`] | value: `f64` |
 //! | `0x84` | [`Response::Stats`] | the [`WireStats`] counters, each `u64`, in declaration order |
 //! | `0x85` | [`Response::ShutdownAck`] | *(empty)* |
 //! | `0xEE` | [`Response::Error`] | code: `u16` [`ErrorCode`] · message: string |
+//!
+//! # Version 3 compatibility
+//!
+//! Version 3 frames (pre-tenancy) carry no tenant field anywhere: the
+//! decoder accepts them and maps every request to the
+//! [`crate::tenant::DEFAULT_TENANT`] namespace (including `Stats`, which
+//! in a v3 world *was* the whole server). The v3 `Stats` reply also
+//! lacks the trailing latency-percentile counters. The server replies
+//! with the version the request arrived in, so a v3 client round-trips
+//! v3 bytes end to end and never sees a frame it cannot parse. Encoding
+//! always emits [`PROTOCOL_VERSION`] unless an explicit version is
+//! passed ([`Response::encode_for_version`]).
 //!
 //! Result tables ship column-major: `u32` row count, `u32` column count,
 //! then per column its name, a [`DataType`] tag, and the values. Decoding
@@ -51,6 +65,7 @@
 //!
 //! let request = Request::QueryParams {
 //!     template: "SELECT a FROM t WHERE a > ?".into(),
+//!     tenant: "default".into(),
 //!     params: vec![Value::Int64(30)],
 //!     deadline: None,
 //! };
@@ -72,8 +87,14 @@ use std::time::Duration;
 /// `QueryParams` request frame (0x06) and the template counters in the
 /// `Stats` reply; version 3 added the result-cache counters
 /// (`result_hits` / `result_misses` / `result_invalidations`) to the
-/// `Stats` reply.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// `Stats` reply; version 4 added the *tenant* field to
+/// `Prepare`/`Query`/`QueryParams`/`Score`/`Stats` requests and the
+/// latency-percentile counters to the `Stats` reply.
+pub const PROTOCOL_VERSION: u8 = 4;
+
+/// Oldest version still decoded. Version-3 peers predate tenancy and
+/// are served in the default tenant; see the module docs.
+pub const MIN_PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on `len` (version + kind + payload), rejected before
 /// allocation. Large enough for multi-million-row result tables, small
@@ -224,15 +245,18 @@ impl From<&ServerError> for ErrorCode {
     }
 }
 
-/// A client-to-server frame.
+/// A client-to-server frame. Every request that touches serving state
+/// names the tenant (namespace) it runs in; version-3 peers, which
+/// predate the field, are decoded into [`crate::tenant::DEFAULT_TENANT`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Parse → bind → optimize `sql` into the plan cache without
-    /// executing it (statement warm-up).
-    Prepare { sql: String },
+    /// Parse → bind → optimize `sql` into the tenant's plan cache
+    /// without executing it (statement warm-up).
+    Prepare { sql: String, tenant: String },
     /// Execute `sql` end to end; `deadline` bounds queueing + execution.
     Query {
         sql: String,
+        tenant: String,
         deadline: Option<Duration>,
     },
     /// Execute a parameterized template: SQL containing `?` placeholders
@@ -241,13 +265,19 @@ pub enum Request {
     /// — distinct constants share one optimization.
     QueryParams {
         template: String,
+        tenant: String,
         params: Vec<Value>,
         deadline: Option<Duration>,
     },
     /// Micro-batched point scoring of one raw feature row.
-    Score { model: String, row: Vec<f64> },
-    /// Fetch the server's observability counters.
-    Stats,
+    Score {
+        model: String,
+        tenant: String,
+        row: Vec<f64>,
+    },
+    /// Fetch observability counters: one tenant's when `tenant` names
+    /// it, the cross-tenant aggregate when `tenant` is empty.
+    Stats { tenant: String },
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
 }
@@ -351,6 +381,13 @@ pub struct WireStats {
     pub admitted: u64,
     pub rejected_overloaded: u64,
     pub rejected_deadline: u64,
+    /// Recent-window latency percentiles in microseconds (version 4+;
+    /// zero when talking to or decoding from a v3 peer). Scoped like the
+    /// rest of the frame: one tenant's window, or the merged window for
+    /// an aggregate `Stats` request.
+    pub latency_p50_micros: u64,
+    pub latency_p95_micros: u64,
+    pub latency_p99_micros: u64,
 }
 
 impl WireStats {
@@ -588,39 +625,48 @@ fn decode_table(r: &mut Reader<'_>) -> Result<Table, ProtoError> {
 /// body beyond `u32` saturates the prefix rather than silently wrapping
 /// — the receiver then rejects it as `BadLength` instead of desyncing;
 /// use [`Response::encode_checked`] to catch oversize before sending.
-fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+fn frame(version: u8, kind: u8, payload: &[u8]) -> Vec<u8> {
     let len = u32::try_from(payload.len() + 2).unwrap_or(u32::MAX);
     let mut out = Vec::with_capacity(payload.len() + 6);
     put_u32(&mut out, len);
-    out.push(PROTOCOL_VERSION);
+    out.push(version);
     out.push(kind);
     out.extend_from_slice(payload);
     out
 }
 
-/// Validate the version byte and return `(kind, payload)` of a frame
-/// body (everything after the length prefix).
-fn split_body(body: &[u8]) -> Result<(u8, &[u8]), ProtoError> {
+/// Validate the version byte and return `(version, kind, payload)` of a
+/// frame body (everything after the length prefix). Any version in
+/// [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`] is accepted; the
+/// payload decoders branch on it.
+fn split_body(body: &[u8]) -> Result<(u8, u8, &[u8]), ProtoError> {
     if body.len() < 2 {
         return Err(ProtoError::Truncated);
     }
-    if body[0] != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&body[0]) {
         return Err(ProtoError::BadVersion(body[0]));
     }
-    Ok((body[1], &body[2..]))
+    Ok((body[0], body[1], &body[2..]))
 }
 
 impl Request {
-    /// Encode to a complete wire frame (length prefix included).
+    /// Encode to a complete wire frame (length prefix included), always
+    /// at [`PROTOCOL_VERSION`].
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::new();
         let kind = match self {
-            Request::Prepare { sql } => {
+            Request::Prepare { sql, tenant } => {
                 put_string(&mut payload, sql);
+                put_string(&mut payload, tenant);
                 KIND_PREPARE
             }
-            Request::Query { sql, deadline } => {
+            Request::Query {
+                sql,
+                tenant,
+                deadline,
+            } => {
                 put_string(&mut payload, sql);
+                put_string(&mut payload, tenant);
                 // 0 = no deadline; a zero deadline is sent as 1 µs.
                 let micros = deadline.map(|d| (d.as_micros() as u64).max(1)).unwrap_or(0);
                 put_u64(&mut payload, micros);
@@ -628,10 +674,12 @@ impl Request {
             }
             Request::QueryParams {
                 template,
+                tenant,
                 params,
                 deadline,
             } => {
                 put_string(&mut payload, template);
+                put_string(&mut payload, tenant);
                 put_u32(&mut payload, params.len() as u32);
                 for p in params {
                     put_value(&mut payload, p);
@@ -640,33 +688,54 @@ impl Request {
                 put_u64(&mut payload, micros);
                 KIND_QUERY_PARAMS
             }
-            Request::Score { model, row } => {
+            Request::Score { model, tenant, row } => {
                 put_string(&mut payload, model);
+                put_string(&mut payload, tenant);
                 put_f64_vec(&mut payload, row);
                 KIND_SCORE
             }
-            Request::Stats => KIND_STATS,
+            Request::Stats { tenant } => {
+                put_string(&mut payload, tenant);
+                KIND_STATS
+            }
             Request::Shutdown => KIND_SHUTDOWN,
         };
-        frame(kind, &payload)
+        frame(PROTOCOL_VERSION, kind, &payload)
     }
 
     /// Decode a frame body (version + kind + payload, no length prefix).
     pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
-        let (kind, payload) = split_body(body)?;
+        Request::decode_versioned(body).map(|(req, _)| req)
+    }
+
+    /// [`Request::decode`], also returning the frame's version so the
+    /// responder can reply in kind (a v3 peer must get v3 bytes back).
+    pub fn decode_versioned(body: &[u8]) -> Result<(Request, u8), ProtoError> {
+        let (version, kind, payload) = split_body(body)?;
         let mut r = Reader::new(payload);
+        // Version 3 frames carry no tenant anywhere: map them to the
+        // default tenant (for Stats too — in a v3 world the default
+        // tenant *was* the whole server).
+        let v3 = || crate::tenant::DEFAULT_TENANT.to_string();
         let req = match kind {
-            KIND_PREPARE => Request::Prepare { sql: r.string()? },
+            KIND_PREPARE => {
+                let sql = r.string()?;
+                let tenant = if version >= 4 { r.string()? } else { v3() };
+                Request::Prepare { sql, tenant }
+            }
             KIND_QUERY => {
                 let sql = r.string()?;
+                let tenant = if version >= 4 { r.string()? } else { v3() };
                 let micros = r.u64()?;
                 Request::Query {
                     sql,
+                    tenant,
                     deadline: (micros > 0).then(|| Duration::from_micros(micros)),
                 }
             }
             KIND_QUERY_PARAMS => {
                 let template = r.string()?;
+                let tenant = if version >= 4 { r.string()? } else { v3() };
                 let n = r.count(2)?; // tag + ≥ 1 payload byte per value
                 let params = (0..n)
                     .map(|_| decode_value(&mut r))
@@ -674,26 +743,44 @@ impl Request {
                 let micros = r.u64()?;
                 Request::QueryParams {
                     template,
+                    tenant,
                     params,
                     deadline: (micros > 0).then(|| Duration::from_micros(micros)),
                 }
             }
-            KIND_SCORE => Request::Score {
-                model: r.string()?,
-                row: r.f64_vec()?,
+            KIND_SCORE => {
+                let model = r.string()?;
+                let tenant = if version >= 4 { r.string()? } else { v3() };
+                Request::Score {
+                    model,
+                    tenant,
+                    row: r.f64_vec()?,
+                }
+            }
+            KIND_STATS => Request::Stats {
+                tenant: if version >= 4 { r.string()? } else { v3() },
             },
-            KIND_STATS => Request::Stats,
             KIND_SHUTDOWN => Request::Shutdown,
             kind => return Err(ProtoError::BadKind(kind)),
         };
         r.finish()?;
-        Ok(req)
+        Ok((req, version))
     }
 }
 
 impl Response {
-    /// Encode to a complete wire frame (length prefix included).
+    /// Encode to a complete wire frame (length prefix included) at
+    /// [`PROTOCOL_VERSION`].
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_for_version(PROTOCOL_VERSION)
+    }
+
+    /// Encode for a specific peer version: the server answers each
+    /// request in the version it arrived in, so v3 clients get v3
+    /// bytes (same layouts, minus the v4-only trailing `Stats`
+    /// counters). `version` is clamped into the supported range.
+    pub fn encode_for_version(&self, version: u8) -> Vec<u8> {
+        let version = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
         let mut payload = Vec::new();
         let kind = match self {
             Response::Prepared {
@@ -740,6 +827,11 @@ impl Response {
                 ] {
                     put_u64(&mut payload, v);
                 }
+                if version >= 4 {
+                    put_u64(&mut payload, s.latency_p50_micros);
+                    put_u64(&mut payload, s.latency_p95_micros);
+                    put_u64(&mut payload, s.latency_p99_micros);
+                }
                 KIND_STATS_REPLY
             }
             Response::ShutdownAck => KIND_SHUTDOWN_ACK,
@@ -749,12 +841,12 @@ impl Response {
                 KIND_ERROR
             }
         };
-        frame(kind, &payload)
+        frame(version, kind, &payload)
     }
 
     /// Decode a frame body (version + kind + payload, no length prefix).
     pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
-        let (kind, payload) = split_body(body)?;
+        let (version, kind, payload) = split_body(body)?;
         let mut r = Reader::new(payload);
         let resp = match kind {
             KIND_PREPARED => Response::Prepared {
@@ -767,25 +859,36 @@ impl Response {
                 table: Arc::new(decode_table(&mut r)?),
             },
             KIND_SCORED => Response::Score { value: r.f64()? },
-            KIND_STATS_REPLY => Response::Stats(WireStats {
-                queries: r.u64()?,
-                errors: r.u64()?,
-                rows: r.u64()?,
-                plan_hits: r.u64()?,
-                plan_misses: r.u64()?,
-                preparations: r.u64()?,
-                invalidations: r.u64()?,
-                normalized: r.u64()?,
-                template_hits: r.u64()?,
-                result_hits: r.u64()?,
-                result_misses: r.u64()?,
-                result_invalidations: r.u64()?,
-                batch_requests: r.u64()?,
-                batches: r.u64()?,
-                admitted: r.u64()?,
-                rejected_overloaded: r.u64()?,
-                rejected_deadline: r.u64()?,
-            }),
+            KIND_STATS_REPLY => {
+                let mut stats = WireStats {
+                    queries: r.u64()?,
+                    errors: r.u64()?,
+                    rows: r.u64()?,
+                    plan_hits: r.u64()?,
+                    plan_misses: r.u64()?,
+                    preparations: r.u64()?,
+                    invalidations: r.u64()?,
+                    normalized: r.u64()?,
+                    template_hits: r.u64()?,
+                    result_hits: r.u64()?,
+                    result_misses: r.u64()?,
+                    result_invalidations: r.u64()?,
+                    batch_requests: r.u64()?,
+                    batches: r.u64()?,
+                    admitted: r.u64()?,
+                    rejected_overloaded: r.u64()?,
+                    rejected_deadline: r.u64()?,
+                    latency_p50_micros: 0,
+                    latency_p95_micros: 0,
+                    latency_p99_micros: 0,
+                };
+                if version >= 4 {
+                    stats.latency_p50_micros = r.u64()?;
+                    stats.latency_p95_micros = r.u64()?;
+                    stats.latency_p99_micros = r.u64()?;
+                }
+                Response::Stats(stats)
+            }
             KIND_SHUTDOWN_ACK => Response::ShutdownAck,
             KIND_ERROR => {
                 let raw = r.u16()?;
@@ -812,11 +915,12 @@ impl Response {
         }
     }
 
-    /// [`Response::encode`], but a frame beyond [`MAX_FRAME_LEN`] — a
-    /// result table too large for the protocol — comes back as
-    /// `Err(BadLength)` instead of a frame the receiver would reject.
-    pub fn encode_checked(&self) -> Result<Vec<u8>, ProtoError> {
-        let wire = self.encode();
+    /// [`Response::encode_for_version`], but a frame beyond
+    /// [`MAX_FRAME_LEN`] — a result table too large for the protocol —
+    /// comes back as `Err(BadLength)` instead of a frame the receiver
+    /// would reject.
+    pub fn encode_checked(&self, version: u8) -> Result<Vec<u8>, ProtoError> {
+        let wire = self.encode_for_version(version);
         let body_len = wire.len() - 4;
         if body_len > MAX_FRAME_LEN as usize {
             return Err(ProtoError::BadLength(
@@ -900,21 +1004,125 @@ mod tests {
     fn request_roundtrips() {
         roundtrip_request(Request::Prepare {
             sql: "SELECT 1".into(),
+            tenant: "default".into(),
         });
         roundtrip_request(Request::Query {
             sql: "SELECT * FROM t WHERE x > 1".into(),
+            tenant: "team-a".into(),
             deadline: None,
         });
         roundtrip_request(Request::Query {
             sql: "q".into(),
+            tenant: "default".into(),
             deadline: Some(Duration::from_millis(250)),
         });
         roundtrip_request(Request::Score {
             model: "risk".into(),
+            tenant: "team-b".into(),
             row: vec![1.0, -2.5, f64::MAX],
         });
-        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Stats {
+            tenant: String::new(), // aggregate
+        });
+        roundtrip_request(Request::Stats {
+            tenant: "team-a".into(),
+        });
         roundtrip_request(Request::Shutdown);
+    }
+
+    /// Hand-encode version-3 frames (no tenant fields anywhere) and
+    /// check they decode into the default tenant — the backward
+    /// compatibility contract for pre-tenancy clients.
+    #[test]
+    fn v3_requests_decode_into_the_default_tenant() {
+        let v3_frame = |kind: u8, payload: &[u8]| frame(3, kind, payload);
+
+        let mut query = Vec::new();
+        put_string(&mut query, "SELECT 1");
+        put_u64(&mut query, 250_000);
+        let wire = v3_frame(KIND_QUERY, &query);
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        let (req, version) = Request::decode_versioned(&body).unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(
+            req,
+            Request::Query {
+                sql: "SELECT 1".into(),
+                tenant: crate::tenant::DEFAULT_TENANT.into(),
+                deadline: Some(Duration::from_micros(250_000)),
+            }
+        );
+
+        let mut params = Vec::new();
+        put_string(&mut params, "SELECT a FROM t WHERE a > ?");
+        put_u32(&mut params, 1);
+        put_value(&mut params, &Value::Int64(30));
+        put_u64(&mut params, 0);
+        let body = read_frame(&mut Cursor::new(&v3_frame(KIND_QUERY_PARAMS, &params))).unwrap();
+        let (req, _) = Request::decode_versioned(&body).unwrap();
+        assert!(matches!(
+            req,
+            Request::QueryParams { tenant, .. } if tenant == crate::tenant::DEFAULT_TENANT
+        ));
+
+        // v3 Stats is an empty payload and means "the default tenant"
+        // (which, pre-tenancy, was the whole server).
+        let body = read_frame(&mut Cursor::new(&v3_frame(KIND_STATS, &[]))).unwrap();
+        let (req, _) = Request::decode_versioned(&body).unwrap();
+        assert_eq!(
+            req,
+            Request::Stats {
+                tenant: crate::tenant::DEFAULT_TENANT.into()
+            }
+        );
+
+        let mut score = Vec::new();
+        put_string(&mut score, "m");
+        put_f64_vec(&mut score, &[1.0, 2.0]);
+        let body = read_frame(&mut Cursor::new(&v3_frame(KIND_SCORE, &score))).unwrap();
+        let (req, _) = Request::decode_versioned(&body).unwrap();
+        assert!(matches!(
+            req,
+            Request::Score { tenant, .. } if tenant == crate::tenant::DEFAULT_TENANT
+        ));
+    }
+
+    /// A v3 `Stats` reply omits the v4 latency counters; the decoder
+    /// fills zeros. Encoding for v3 then re-decoding round-trips the v3
+    /// subset — exactly what a v3 client sees.
+    #[test]
+    fn stats_reply_downgrades_for_v3_peers() {
+        let full = WireStats {
+            queries: 7,
+            result_hits: 3,
+            latency_p50_micros: 111,
+            latency_p95_micros: 222,
+            latency_p99_micros: 333,
+            ..WireStats::default()
+        };
+        let v3_wire = Response::Stats(full).encode_for_version(3);
+        assert_eq!(v3_wire[4], 3, "reply carries the peer's version");
+        let body = read_frame(&mut Cursor::new(&v3_wire)).unwrap();
+        let Response::Stats(seen) = Response::decode(&body).unwrap() else {
+            panic!("not a stats frame");
+        };
+        assert_eq!(seen.queries, 7);
+        assert_eq!(seen.result_hits, 3);
+        assert_eq!(
+            (
+                seen.latency_p50_micros,
+                seen.latency_p95_micros,
+                seen.latency_p99_micros
+            ),
+            (0, 0, 0),
+            "v3 frames carry no latency counters"
+        );
+        // The v4 encoding keeps them.
+        let v4_body = read_frame(&mut Cursor::new(&Response::Stats(full).encode())).unwrap();
+        let Response::Stats(seen) = Response::decode(&v4_body).unwrap() else {
+            panic!("not a stats frame");
+        };
+        assert_eq!(seen, full);
     }
 
     #[test]
@@ -963,6 +1171,9 @@ mod tests {
             admitted: 10,
             rejected_overloaded: 11,
             rejected_deadline: 12,
+            latency_p50_micros: 18,
+            latency_p95_micros: 19,
+            latency_p99_micros: 20,
         }));
         roundtrip_response(Response::ShutdownAck);
         roundtrip_response(Response::Error {
@@ -1001,7 +1212,10 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_typed() {
-        let mut wire = Request::Stats.encode();
+        let mut wire = Request::Stats {
+            tenant: String::new(),
+        }
+        .encode();
         wire[4] = 9; // clobber the version byte
         let body = read_frame(&mut Cursor::new(&wire)).unwrap();
         assert_eq!(Request::decode(&body), Err(ProtoError::BadVersion(9)));
@@ -1009,7 +1223,10 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut wire = Request::Stats.encode();
+        let mut wire = Request::Stats {
+            tenant: String::new(),
+        }
+        .encode();
         // Extend the payload by one byte and fix up the length prefix.
         wire.push(0xAB);
         let len = (wire.len() - 4) as u32;
@@ -1029,6 +1246,7 @@ mod tests {
         );
         let wire = Request::Prepare {
             sql: "SELECT 1".into(),
+            tenant: "default".into(),
         }
         .encode();
         for cut in 1..wire.len() {

@@ -70,6 +70,18 @@ pub struct ResultCacheStats {
     pub too_large: u64,
 }
 
+impl std::ops::AddAssign for ResultCacheStats {
+    fn add_assign(&mut self, other: Self) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.executions += other.executions;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.uncacheable += other.uncacheable;
+        self.too_large += other.too_large;
+    }
+}
+
 impl ResultCacheStats {
     /// Hit fraction in `[0, 1]` over cacheable lookups (0 before any).
     pub fn hit_rate(&self) -> f64 {

@@ -1,52 +1,81 @@
-//! `ServerState`: the shared, thread-safe heart of the serving layer.
+//! `ServerState`: the shared, thread-safe heart of the serving layer —
+//! now a multi-tenant one.
+//!
+//! A `ServerState` is a sharded registry of [`Tenant`]s plus the
+//! server-wide admission controller. Each tenant owns its slice of the
+//! stack (catalog, model store, scorer, plan/result caches, batcher,
+//! quota, stats — see [`crate::tenant`]); the registry maps tenant names
+//! to shards behind an `RwLock` *per registry shard*, not one global
+//! lock, so resolving different tenants never serializes.
+//!
+//! Every pre-tenancy method (`execute`, `serve`, `register_table`, …)
+//! still exists and operates on the always-present [`DEFAULT_TENANT`];
+//! the `*_in` variants take an explicit tenant name and create the
+//! tenant on first use (bounded by [`ServerConfig::max_tenants`]).
 
-use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats};
-use crate::batcher::{BatchConfig, BatcherStats, MicroBatcher};
-use crate::cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
+use crate::admission::{AdmissionController, AdmissionStats};
+use crate::batcher::{BatchConfig, BatcherStats};
+use crate::cache::{PlanCacheStats, PreparedQuery};
 use crate::error::{Result, ServerError};
-use crate::result_cache::{ResultCache, ResultCacheStats, ResultDeps};
-use crate::stats::{ServerStats, StatsSnapshot};
+use crate::result_cache::ResultCacheStats;
+use crate::stats::{LatencySummary, StatsSnapshot};
+use crate::tenant::{Tenant, TenantId, TenantQuotaConfig, DEFAULT_TENANT};
+use crate::AdmissionConfig;
 use raven_core::{ModelStore, RavenSession, SessionConfig};
-use raven_data::{Catalog, Table, Value};
-use raven_ir::{FingerprintBuilder, PlanFingerprint};
+use raven_data::{Catalog, CatalogShards, NamespaceMap, Table, Value};
 use raven_ml::Pipeline;
-use raven_relational::{CancelToken, ExecError, SharedExecutor};
 use raven_runtime::RavenScorer;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Registry shards for the tenant map (and the backing catalog
+/// namespaces). Tenant resolution takes a read lock on exactly one.
+const TENANT_MAP_SHARDS: usize = 16;
+
 /// Serving configuration: a [`SessionConfig`] (optimizer + engines) plus
-/// the serving-only knobs.
+/// the serving-only knobs. Cache and batch budgets apply **per tenant**:
+/// every tenant gets its own plan cache of `plan_cache_capacity`
+/// entries, its own result cache of `result_cache_capacity` entries and
+/// `result_cache_max_bytes` bytes, and its own micro-batcher.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Optimizer/executor/scorer configuration shared by every request.
     pub session: SessionConfig,
-    /// Maximum prepared plans kept (LRU beyond this). 0 disables the
-    /// cache: every request re-optimizes (the bench ablation baseline).
+    /// Maximum prepared plans kept per tenant (LRU beyond this). 0
+    /// disables the cache: every request re-optimizes (the bench
+    /// ablation baseline).
     pub plan_cache_capacity: usize,
-    /// Maximum memoized result tables kept (LRU beyond this). 0 disables
-    /// result caching: every request executes. Results are cached only
-    /// for plans the determinism analysis marks pure, keyed on a
-    /// [`PlanFingerprint`] over (optimized plan, bound parameter values,
-    /// model/table versions), and invalidated by [`ServerState::store_model`]
-    /// and [`ServerState::replace_table`].
+    /// Maximum memoized result tables kept per tenant (LRU beyond this).
+    /// 0 disables result caching: every request executes. Results are
+    /// cached only for plans the determinism analysis marks pure, keyed
+    /// on a [`raven_ir::PlanFingerprint`] over (tenant, optimized plan,
+    /// bound parameter values, model/table versions), and invalidated by
+    /// that tenant's `store_model` / `replace_table`.
     pub result_cache_capacity: usize,
-    /// Byte budget across all memoized result tables (approximate
-    /// payload bytes; 0 = unbounded). Entry count alone is no memory
-    /// bound when entries are whole tables — LRU entries are evicted
-    /// until the total fits, and a single result larger than the whole
-    /// budget is served but never cached (`too_large` counter).
+    /// Byte budget across one tenant's memoized result tables
+    /// (approximate payload bytes; 0 = unbounded).
     pub result_cache_max_bytes: usize,
-    /// Micro-batching knobs for point-scoring requests.
+    /// Micro-batching knobs for point-scoring requests (per tenant).
     pub batch: BatchConfig,
-    /// Admission control for [`ServerState::serve`]: concurrent-execution
-    /// limit, queue bound, wait timeout, default deadline.
+    /// Server-wide admission control: concurrent-execution limit, queue
+    /// bound, wait timeout, default deadline. This is the outer ring
+    /// every request must clear *after* its tenant quota.
     pub admission: AdmissionConfig,
+    /// Per-tenant admission quota — the inner ring, acquired first, so a
+    /// noisy tenant is rejected at its own boundary before it can occupy
+    /// global execution slots. Defaults to unlimited concurrency (quotas
+    /// off).
+    pub tenant_quota: TenantQuotaConfig,
+    /// Maximum live tenants, the always-present `default` included
+    /// (0 = unlimited) — so `max_tenants: 4` allows three tenants beyond
+    /// the default. Tenants are created on first use — including over
+    /// the wire — so a cap keeps a misbehaving client from minting
+    /// unbounded namespaces.
+    pub max_tenants: usize,
     /// Normalize incoming SQL before the plan-cache lookup
     /// ([`mod@crate::normalize`]): literals become `?` placeholders, so
     /// queries differing only in constants share one prepared plan.
-    /// Disable to key the cache on exact SQL text (the PR-1 behavior and
-    /// the bench ablation baseline).
     pub normalize_parameters: bool,
 }
 
@@ -59,6 +88,8 @@ impl Default for ServerConfig {
             result_cache_max_bytes: 64 * 1024 * 1024,
             batch: BatchConfig::default(),
             admission: AdmissionConfig::default(),
+            tenant_quota: TenantQuotaConfig::default(),
+            max_tenants: 0,
             normalize_parameters: true,
         }
     }
@@ -92,27 +123,102 @@ pub struct ServerQueryResult {
     pub prepared: Arc<PreparedQuery>,
 }
 
-/// Shared serving state: catalog + model store + scorer + prepared-plan
-/// cache + micro-batcher + stats, everything behind `Arc`s.
+/// Sharded tenant registry: the data layer's generic
+/// [`raven_data::NamespaceMap`] (same shard layout that backs
+/// [`CatalogShards`]) plus the slot accounting [`ServerConfig::max_tenants`]
+/// needs.
+struct TenantRegistry {
+    map: NamespaceMap<Arc<Tenant>>,
+    /// Live tenant count (the always-present default included), reserved
+    /// *before* a creation commits so `max_tenants` is a hard bound even
+    /// under races.
+    count: AtomicUsize,
+}
+
+impl TenantRegistry {
+    fn new() -> Self {
+        TenantRegistry {
+            map: NamespaceMap::new(TENANT_MAP_SHARDS),
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    fn get(&self, id: &TenantId) -> Option<Arc<Tenant>> {
+        self.map.get(id.as_str())
+    }
+
+    fn len(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// All tenants, sorted by name.
+    fn all(&self) -> Vec<Arc<Tenant>> {
+        self.map.values()
+    }
+
+    /// Get `id`, or build-and-insert via `make`. The build runs outside
+    /// the shard lock (it spawns the tenant's batcher thread); losers of
+    /// a creation race drop their build, release their slot reservation,
+    /// and adopt the winner's.
+    fn get_or_insert_with(
+        &self,
+        id: &TenantId,
+        max_tenants: usize,
+        make: impl FnOnce() -> Tenant,
+    ) -> Result<Arc<Tenant>> {
+        if let Some(found) = self.get(id) {
+            return Ok(found);
+        }
+        // Reserve a slot first: max_tenants is a hard bound, not a hint.
+        if max_tenants > 0 {
+            let reserved = self
+                .count
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                    (c < max_tenants).then_some(c + 1)
+                });
+            if reserved.is_err() {
+                // Re-check under the race: the tenant may exist already
+                // (its creator holds the slot), which is not an error.
+                if let Some(found) = self.get(id) {
+                    return Ok(found);
+                }
+                return Err(ServerError::Overloaded(format!(
+                    "tenant limit reached ({max_tenants}); tenant {id} not created"
+                )));
+            }
+        } else {
+            self.count.fetch_add(1, Ordering::SeqCst);
+        }
+        match self.map.try_insert(id.as_str(), Arc::new(make())) {
+            Ok(fresh) => Ok(fresh),
+            Err(existing) => {
+                // Lost the race: release our reservation, adopt the winner.
+                self.count.fetch_sub(1, Ordering::SeqCst);
+                Ok(existing)
+            }
+        }
+    }
+}
+
+/// Shared serving state: a registry of per-tenant shards plus the
+/// server-wide admission ring.
 ///
 /// One `ServerState` (wrapped in an `Arc`) is shared by any number of
 /// worker/client threads; all methods take `&self`. Per the paper's
 /// north star — inference "serving heavy traffic" inside the DBMS — the
-/// three throughput levers are (1) the prepared-plan cache, which runs
-/// parse → bind → optimize once per distinct query template, (2) the
-/// deterministic result cache, which skips execution entirely for exact
-/// repeats of pure queries, and (3) the micro-batcher, which turns
-/// concurrent point lookups into batched scorer invocations.
+/// throughput levers (prepared-plan cache, deterministic result cache,
+/// micro-batching) now apply per tenant, so many model namespaces share
+/// one engine without sharing fate: a mutation in one tenant invalidates
+/// nothing elsewhere, and a tenant that exhausts its quota is rejected
+/// at its own boundary.
 pub struct ServerState {
-    catalog: Arc<Catalog>,
-    store: Arc<ModelStore>,
-    scorer: Arc<RavenScorer>,
-    executor: SharedExecutor,
-    plan_cache: PlanCache,
-    result_cache: ResultCache,
-    batcher: MicroBatcher,
+    tenants: TenantRegistry,
+    /// Namespaced catalogs backing the tenants — the data-layer view of
+    /// the same namespaces ([`raven_data::CatalogShards`]).
+    catalogs: CatalogShards,
+    /// Always-present default tenant, resolved without a registry lookup.
+    default_tenant: Arc<Tenant>,
     admission: AdmissionController,
-    stats: ServerStats,
     config: ServerConfig,
 }
 
@@ -123,16 +229,20 @@ impl Default for ServerState {
 }
 
 impl ServerState {
-    /// Fresh server: empty catalog, empty model store.
+    /// Fresh server: empty catalog, empty model store (default tenant).
     pub fn new(config: ServerConfig) -> Self {
-        let catalog = Arc::new(Catalog::new());
-        let store = Arc::new(ModelStore::new());
         let scorer = Arc::new(RavenScorer::new(config.session.scorer.clone()));
-        ServerState::from_parts(catalog, store, scorer, config)
+        ServerState::from_parts(
+            Arc::new(Catalog::new()),
+            Arc::new(ModelStore::new()),
+            scorer,
+            config,
+        )
     }
 
-    /// A server over an existing session's catalog, models, and warm
-    /// scorer caches (e.g. train interactively, then serve).
+    /// A server whose default tenant wraps an existing session's catalog,
+    /// models, and warm scorer caches (e.g. train interactively, then
+    /// serve).
     pub fn from_session(session: &RavenSession, config: ServerConfig) -> Self {
         ServerState::from_parts(
             session.catalog_shared(),
@@ -142,45 +252,129 @@ impl ServerState {
         )
     }
 
-    /// A server over explicit shared parts.
+    /// A server whose default tenant is assembled from explicit shared
+    /// parts.
     pub fn from_parts(
         catalog: Arc<Catalog>,
         store: Arc<ModelStore>,
         scorer: Arc<RavenScorer>,
         config: ServerConfig,
     ) -> Self {
-        let executor = SharedExecutor::new(
-            catalog.clone(),
-            scorer.clone() as Arc<dyn raven_relational::Scorer>,
-            config.session.exec,
-        );
-        let batcher = MicroBatcher::new(store.clone(), config.batch.clone());
-        let admission = AdmissionController::new(config.admission.clone());
-        ServerState {
-            catalog,
+        let catalogs = CatalogShards::new(TENANT_MAP_SHARDS);
+        let default_id = TenantId::default();
+        let default_catalog = catalogs.get_or_insert_with(default_id.as_str(), || catalog.clone());
+        let default_tenant = Arc::new(Tenant::from_parts(
+            default_id.clone(),
+            default_catalog,
             store,
             scorer,
-            executor,
-            plan_cache: PlanCache::new(config.plan_cache_capacity.max(1)),
-            result_cache: ResultCache::new(
-                config.result_cache_capacity.max(1),
-                config.result_cache_max_bytes,
-            ),
-            batcher,
+            config.tenant_quota.clone(),
+            config.clone(),
+        ));
+        let tenants = TenantRegistry::new();
+        // Seed the always-present default tenant. It occupies a slot like
+        // any other tenant — `max_tenants` caps *live tenants total*, so
+        // `max_tenants: 4` means the default plus three more.
+        tenants
+            .map
+            .try_insert(default_id.as_str(), default_tenant.clone())
+            .ok();
+        tenants.count.fetch_add(1, Ordering::SeqCst);
+        let admission = AdmissionController::new(config.admission.clone());
+        ServerState {
+            tenants,
+            catalogs,
+            default_tenant,
             admission,
-            stats: ServerStats::new(),
             config,
         }
     }
 
-    /// The table catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    // -----------------------------------------------------------------
+    // Tenant resolution.
+
+    /// The always-present default tenant.
+    pub fn default_tenant(&self) -> &Arc<Tenant> {
+        &self.default_tenant
     }
 
-    /// The model store.
+    /// Resolve `tenant`, creating its shard on first use (empty catalog,
+    /// empty model store, fresh caches, its own quota). Fails typed on an
+    /// invalid name ([`ServerError::BadRequest`]) or when
+    /// [`ServerConfig::max_tenants`] is reached
+    /// ([`ServerError::Overloaded`]).
+    pub fn tenant(&self, tenant: &str) -> Result<Arc<Tenant>> {
+        self.tenant_with_quota(tenant, self.config.tenant_quota.clone())
+    }
+
+    /// [`ServerState::tenant`], but a tenant created by *this* call gets
+    /// `quota` instead of the configured default. If the tenant already
+    /// exists its quota is unchanged.
+    pub fn tenant_with_quota(&self, tenant: &str, quota: TenantQuotaConfig) -> Result<Arc<Tenant>> {
+        if tenant == DEFAULT_TENANT {
+            return Ok(self.default_tenant.clone());
+        }
+        let id = TenantId::new(tenant)?;
+        if let Some(found) = self.tenants.get(&id) {
+            return Ok(found);
+        }
+        self.tenants
+            .get_or_insert_with(&id, self.config.max_tenants, || {
+                // Everything the tenant owns — including its catalog's
+                // registration in the shared namespace map — is created
+                // only *after* the max_tenants reservation succeeded, so
+                // a rejected creation leaks nothing: a client spraying
+                // fresh names past the cap must not grow CatalogShards
+                // (or anything else) unboundedly.
+                Tenant::from_parts(
+                    id.clone(),
+                    self.catalogs.get_or_create(id.as_str()),
+                    Arc::new(ModelStore::new()),
+                    Arc::new(RavenScorer::new(self.config.session.scorer.clone())),
+                    quota,
+                    self.config.clone(),
+                )
+            })
+    }
+
+    /// Resolve `tenant` without creating it.
+    pub fn try_tenant(&self, tenant: &str) -> Option<Arc<Tenant>> {
+        if tenant == DEFAULT_TENANT {
+            return Some(self.default_tenant.clone());
+        }
+        self.tenants.get(&TenantId::new(tenant).ok()?)
+    }
+
+    /// All live tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.tenants
+            .all()
+            .iter()
+            .map(|t| t.id().as_str().to_string())
+            .collect()
+    }
+
+    /// Number of live tenants (≥ 1: the default tenant always exists).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The data-layer view of the tenant namespaces.
+    pub fn catalog_shards(&self) -> &CatalogShards {
+        &self.catalogs
+    }
+
+    // -----------------------------------------------------------------
+    // Default-tenant conveniences (the pre-tenancy API, unchanged).
+
+    /// The default tenant's table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        self.default_tenant.catalog()
+    }
+
+    /// The default tenant's model store.
     pub fn store(&self) -> &ModelStore {
-        &self.store
+        self.default_tenant.store()
     }
 
     /// The serving configuration.
@@ -188,355 +382,265 @@ impl ServerState {
         &self.config
     }
 
-    /// A session over this server's shared state (for training flows,
-    /// EXPLAIN, ad-hoc work); queries through it bypass the plan cache.
+    /// A session over the default tenant's shared state (for training
+    /// flows, EXPLAIN, ad-hoc work); queries through it bypass the plan
+    /// cache.
     pub fn session(&self) -> RavenSession {
-        RavenSession::from_shared(
-            self.catalog.clone(),
-            self.store.clone(),
-            self.scorer.clone(),
-            self.config.session.clone(),
-        )
+        self.default_tenant.session()
     }
 
-    /// Register a table. Errors if the name is taken.
+    /// A session over `tenant`'s shared state (created on first use).
+    pub fn session_for(&self, tenant: &str) -> Result<RavenSession> {
+        Ok(self.tenant(tenant)?.session())
+    }
+
+    /// Register a table in the default tenant. Errors if the name is
+    /// taken.
     pub fn register_table(&self, name: &str, table: Table) -> Result<()> {
-        self.catalog
-            .register(name, table)
-            .map_err(|e| ServerError::Data(e.to_string()))
+        self.default_tenant.register_table(name, table)
     }
 
-    /// Replace (or insert) a table, invalidating every cached plan that
-    /// scans it and every memoized result computed from it (the catalog
-    /// generation it advances also retires the old fingerprints).
+    /// Register a table in `tenant` (created on first use).
+    pub fn register_table_in(&self, tenant: &str, name: &str, table: Table) -> Result<()> {
+        self.tenant(tenant)?.register_table(name, table)
+    }
+
+    /// Replace (or insert) a table in the default tenant, invalidating
+    /// its dependent plans and memoized results.
     pub fn replace_table(&self, name: &str, table: Table) {
-        self.catalog.register_or_replace(name, table);
-        self.plan_cache.invalidate_table(name);
-        self.result_cache.invalidate_table(name);
+        self.default_tenant.replace_table(name, table);
     }
 
-    /// Store a model (new version if the name exists). Cached plans bind
-    /// model pipelines at prepare time, so every plan referencing the
-    /// model is invalidated, as are its cached inference sessions and
-    /// every memoized result it scored — the serving-layer half of the
-    /// paper's transactional model updates.
+    /// Replace (or insert) a table in `tenant`. Only that tenant's
+    /// caches are invalidated.
+    pub fn replace_table_in(&self, tenant: &str, name: &str, table: Table) -> Result<()> {
+        self.tenant(tenant)?.replace_table(name, table);
+        Ok(())
+    }
+
+    /// Store a model in the default tenant (new version if the name
+    /// exists), invalidating its dependent plans, inference sessions,
+    /// and memoized results.
     pub fn store_model(&self, name: &str, pipeline: Pipeline) -> Result<u32> {
-        let version = self.store.store(name, pipeline);
-        self.scorer.invalidate(name);
-        self.plan_cache.invalidate_model(name);
-        self.result_cache.invalidate_model(name);
-        Ok(version)
+        self.default_tenant.store_model(name, pipeline)
     }
 
-    /// Prepare `sql` (parse → bind → optimize), consulting the plan
-    /// cache. Returns the prepared plan and whether it was a cache hit.
-    ///
-    /// With [`ServerConfig::normalize_parameters`] on (the default) the
-    /// SQL is first normalized to its parameterized template, so warming
-    /// the cache with `... WHERE age > 30` also warms it for every other
-    /// constant.
+    /// Store a model in `tenant`. Only that tenant's caches are
+    /// invalidated — the serving-layer half of the paper's transactional
+    /// model updates, now tenant-scoped.
+    pub fn store_model_in(&self, tenant: &str, name: &str, pipeline: Pipeline) -> Result<u32> {
+        self.tenant(tenant)?.store_model(name, pipeline)
+    }
+
+    /// Prepare `sql` in the default tenant (parse → bind → optimize),
+    /// consulting its plan cache. Returns the prepared plan and whether
+    /// it was a cache hit.
     pub fn prepare(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
-        let (prepared, cache_hit, _params) = self.prepare_normalized(sql)?;
-        Ok((prepared, cache_hit))
+        self.default_tenant.prepare(sql)
     }
 
-    /// Normalize (when enabled) and prepare: returns the prepared
-    /// template plan, whether it was a cache hit, and the parameter
-    /// values extracted from `sql` (empty on the exact-text path).
-    fn prepare_normalized(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool, Vec<Value>)> {
-        if self.config.normalize_parameters {
-            if let Some(n) = crate::normalize::normalize(sql) {
-                match self.prepare_text(&n.template) {
-                    Ok((prepared, cache_hit)) if prepared.param_count == n.params.len() => {
-                        if n.has_params() {
-                            self.stats.record_normalized(cache_hit);
-                        }
-                        return Ok((prepared, cache_hit, n.params));
-                    }
-                    // The template didn't prepare (e.g. a literal whose
-                    // placeholder type is uninferable, like a bare
-                    // `SELECT 5`) or its arity surprised us: fall back to
-                    // the exact literal text below.
-                    _ => {}
-                }
-            }
-            // Exact-text path, canonicalized: `normalize` declines SQL
-            // that already carries `?` placeholders, and canonicalizing
-            // here keys it identically to [`ServerState::serve_with_params`]
-            // — so `prepare(template)` warms the entry `QueryParams`
-            // requests will hit.
-            let canonical = crate::normalize::canonicalize(sql).unwrap_or_else(|| sql.to_string());
-            let (prepared, cache_hit) = self.prepare_text(&canonical)?;
-            return Ok((prepared, cache_hit, Vec::new()));
-        }
-        let (prepared, cache_hit) = self.prepare_text(sql)?;
-        Ok((prepared, cache_hit, Vec::new()))
+    /// Prepare `sql` in `tenant` (created on first use).
+    pub fn prepare_in(&self, tenant: &str, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
+        self.tenant(tenant)?.prepare(sql)
     }
 
-    /// Prepare exactly this text (template or literal SQL), consulting
-    /// the plan cache keyed on it.
-    fn prepare_text(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
-        let key = PlanKey {
-            sql: sql.to_string(),
-            rules: self.config.session.rules,
-            mode: self.config.session.optimizer_mode,
-        };
-        if self.config.plan_cache_capacity == 0 {
-            // Cache disabled: always prepare fresh.
-            let prepared = self.prepare_uncached(sql)?;
-            self.plan_cache.note_uncached_preparation();
-            return Ok((Arc::new(prepared), false));
-        }
-        self.plan_cache
-            .get_or_prepare(key, || self.prepare_uncached(sql))
-    }
-
-    fn prepare_uncached(&self, sql: &str) -> Result<PreparedQuery> {
-        let start = Instant::now();
-        let session = self.session();
-        let bound = session.plan(sql)?;
-        let (optimized, report) = session.optimize(bound.clone())?;
-        Ok(PreparedQuery::from_stages(
-            sql,
-            &bound,
-            optimized,
-            report,
-            start.elapsed(),
-        ))
-    }
-
-    /// Serve one SQL query end to end (no explicit deadline; admission
-    /// control still applies per [`ServerConfig::admission`]).
+    /// Serve one SQL query in the default tenant (no explicit deadline;
+    /// both admission rings still apply).
     pub fn execute(&self, sql: &str) -> Result<ServerQueryResult> {
         self.serve(sql, None)
     }
 
-    /// Serve one SQL query under admission control and an optional
-    /// deadline. The request first acquires an execution permit — a full
-    /// queue or a timed-out wait rejects with a typed
-    /// [`ServerError::Overloaded`] instead of stalling — then executes
-    /// with a [`CancelToken`] carrying the deadline, so an expired
-    /// request aborts mid-plan with [`ServerError::DeadlineExceeded`].
-    /// `deadline` falls back to [`AdmissionConfig::default_deadline`].
+    /// Serve one SQL query in `tenant` (no explicit deadline).
+    pub fn execute_in(&self, tenant: &str, sql: &str) -> Result<ServerQueryResult> {
+        self.serve_in(tenant, sql, None)
+    }
+
+    /// Serve one SQL query in the default tenant under admission control
+    /// and an optional deadline.
     pub fn serve(&self, sql: &str, deadline: Option<Duration>) -> Result<ServerQueryResult> {
+        self.serve_shard(&self.default_tenant, sql, deadline)
+    }
+
+    /// Serve one SQL query in `tenant` under two admission rings and an
+    /// optional deadline.
+    ///
+    /// The request first acquires the **tenant quota** permit
+    /// ([`ServerConfig::tenant_quota`]) — so a tenant saturating its own
+    /// allowance is rejected with a typed [`ServerError::Overloaded`]
+    /// before it can consume server-wide capacity — then the **global**
+    /// permit ([`ServerConfig::admission`]), then executes with a
+    /// cancellation token carrying the deadline. `deadline` falls back
+    /// to [`AdmissionConfig::default_deadline`].
+    pub fn serve_in(
+        &self,
+        tenant: &str,
+        sql: &str,
+        deadline: Option<Duration>,
+    ) -> Result<ServerQueryResult> {
+        let shard = self.tenant(tenant)?;
+        self.serve_shard(&shard, sql, deadline)
+    }
+
+    /// The shared serve shell: resolve the effective deadline, clear
+    /// both admission rings, record the per-request outcome, and run
+    /// `body` with the permits held. Exists once so the ring ordering
+    /// and the outcome accounting (each request is `admitted` or in
+    /// exactly one rejection bucket — the invariant stats reconcile on)
+    /// cannot drift between the literal-SQL and parameterized paths.
+    fn admit_and_run(
+        &self,
+        shard: &Tenant,
+        deadline: Option<Duration>,
+        body: impl FnOnce(Instant, Option<Instant>) -> Result<ServerQueryResult>,
+    ) -> Result<ServerQueryResult> {
         let start = Instant::now();
         let deadline_at = deadline
             .or(self.config.admission.default_deadline)
             .map(|d| start + d);
-        // Admission rejections are counted by the controller, not as
-        // query errors: the request was never executed.
-        let _permit = self.admission.admit(deadline_at)?;
-        let outcome = self.execute_inner(sql, start, deadline_at);
+        // Ring 1 (tenant quota) before ring 2 (global): a permit held at
+        // the global ring while blocked on a tenant quota would let a
+        // saturated tenant occupy server-wide capacity. Admission
+        // rejections are recorded as per-tenant outcomes, not query
+        // errors: the request was never executed.
+        let rings = shard
+            .quota()
+            .admit(deadline_at)
+            .and_then(|tenant_permit| Ok((tenant_permit, self.admission.admit(deadline_at)?)));
+        let _permits = match rings {
+            Ok(permits) => permits,
+            Err(e) => {
+                shard.stats_recorder().record_rejection(&e);
+                return Err(e);
+            }
+        };
+        shard.stats_recorder().record_admitted();
+        let outcome = body(start, deadline_at);
         if outcome.is_err() {
-            self.stats.record_error();
+            shard.stats_recorder().record_error();
         }
         outcome
     }
 
-    /// Snapshot the result-cache epoch. Must happen **before** the plan
-    /// this request will execute is resolved (plan-cache lookup): any
-    /// model/table mutation after this point bumps the epoch, and the
-    /// request's result — possibly computed from the superseded plan or
-    /// versions — is then served but never published to the cache.
-    fn result_epoch(&self) -> u64 {
-        self.result_cache.epoch()
+    fn serve_shard(
+        &self,
+        shard: &Arc<Tenant>,
+        sql: &str,
+        deadline: Option<Duration>,
+    ) -> Result<ServerQueryResult> {
+        self.admit_and_run(shard, deadline, |start, deadline_at| {
+            shard.execute_inner(sql, start, deadline_at)
+        })
     }
 
-    /// Serve a pre-parameterized statement: a template containing `?`
-    /// placeholders plus its positional argument values (the
-    /// [`crate::proto::Request::QueryParams`] wire path). The template is
-    /// prepared through the plan cache exactly as written — no
-    /// normalization pass — and must expect exactly `params.len()`
-    /// values; a mismatch is a typed [`ServerError::BadRequest`].
+    /// Serve a pre-parameterized statement in the default tenant: a
+    /// template containing `?` placeholders plus its positional argument
+    /// values (the [`crate::proto::Request::QueryParams`] wire path).
     pub fn serve_with_params(
         &self,
         template: &str,
         params: &[Value],
         deadline: Option<Duration>,
     ) -> Result<ServerQueryResult> {
-        let start = Instant::now();
-        let deadline_at = deadline
-            .or(self.config.admission.default_deadline)
-            .map(|d| start + d);
-        let _permit = self.admission.admit(deadline_at)?;
-        let result_epoch = self.result_epoch();
-        let outcome = (|| {
-            // Canonicalize spacing so a hand-written template and the
-            // normalizer's rendering of the equivalent literal query
-            // share one cache entry.
-            let canonical =
-                crate::normalize::canonicalize(template).unwrap_or_else(|| template.to_string());
-            let (prepared, cache_hit) = self.prepare_text(&canonical)?;
-            if prepared.param_count != params.len() {
-                return Err(ServerError::BadRequest(format!(
-                    "statement expects {} parameter(s), got {}",
-                    prepared.param_count,
-                    params.len()
-                )));
-            }
-            self.run_prepared(
-                prepared,
-                cache_hit,
-                params,
-                start,
-                deadline_at,
-                result_epoch,
-            )
-        })();
-        if outcome.is_err() {
-            self.stats.record_error();
-        }
-        outcome
+        self.serve_with_params_shard(&self.default_tenant, template, params, deadline)
     }
 
-    fn execute_inner(
+    /// Serve a pre-parameterized statement in `tenant`, under the same
+    /// two admission rings as [`ServerState::serve_in`].
+    pub fn serve_with_params_in(
         &self,
-        sql: &str,
-        start: Instant,
-        deadline_at: Option<Instant>,
-    ) -> Result<ServerQueryResult> {
-        let result_epoch = self.result_epoch();
-        let (prepared, cache_hit, params) = self.prepare_normalized(sql)?;
-        self.run_prepared(
-            prepared,
-            cache_hit,
-            &params,
-            start,
-            deadline_at,
-            result_epoch,
-        )
-    }
-
-    /// The result-cache key for one request: the optimized plan's
-    /// structure, this request's bound parameter values, and the current
-    /// version of every model and table the plan depends on (dependency
-    /// lists are sorted at prepare time, so the feed order is stable).
-    /// Versions make stale entries unreachable even before invalidation
-    /// sweeps them out.
-    fn result_fingerprint(&self, prepared: &PreparedQuery, params: &[Value]) -> PlanFingerprint {
-        let mut builder = FingerprintBuilder::new()
-            .plan(&prepared.plan)
-            .params(params);
-        for model in &prepared.model_deps {
-            builder = builder.dependency("model", model, self.store.latest_version(model) as u64);
-        }
-        for table in &prepared.table_deps {
-            builder =
-                builder.dependency("table", table, self.catalog.generation(table).unwrap_or(0));
-        }
-        builder.finish()
-    }
-
-    /// Execute a prepared (possibly parameterized) plan: substitute the
-    /// parameter values into a throwaway copy of the cached template plan
-    /// and run it under the deadline's cancellation token.
-    ///
-    /// Deterministic plans route through the result cache first: a
-    /// fingerprint hit replays the stored table with no execution at all;
-    /// a miss executes under single-flight (one execution per hot
-    /// fingerprint, however many threads race) and publishes the result
-    /// unless an invalidation intervened since `result_epoch`.
-    fn run_prepared(
-        &self,
-        prepared: Arc<PreparedQuery>,
-        cache_hit: bool,
+        tenant: &str,
+        template: &str,
         params: &[Value],
-        start: Instant,
-        deadline_at: Option<Instant>,
-        result_epoch: u64,
+        deadline: Option<Duration>,
     ) -> Result<ServerQueryResult> {
-        let exec_start = Instant::now();
-        let cancel = match deadline_at {
-            Some(at) => CancelToken::with_deadline(at),
-            None => CancelToken::new(),
-        };
-        let map_exec_err = |e: ExecError| match e {
-            ExecError::Cancelled => ServerError::DeadlineExceeded(format!(
-                "query exceeded its deadline after {:?}",
-                start.elapsed()
-            )),
-            e => ServerError::Execution(e.to_string()),
-        };
-        let caching = self.config.result_cache_capacity > 0;
-        let (table, result_cache_hit) = if caching && prepared.determinism.cacheable {
-            let fingerprint = self.result_fingerprint(&prepared, params);
-            let deps = ResultDeps {
-                models: prepared.model_deps.clone(),
-                tables: prepared.table_deps.clone(),
-            };
-            self.result_cache
-                .get_or_execute(
-                    fingerprint,
-                    result_epoch,
-                    deps,
-                    // Polled while waiting on another thread's in-flight
-                    // execution of the same fingerprint: this request's
-                    // deadline keeps firing even though it runs no plan.
-                    || cancel.check(),
-                    || {
-                        self.executor
-                            .execute_with_params(&prepared.plan, params, &cancel)
-                    },
-                )
-                .map_err(map_exec_err)?
-        } else {
-            if caching {
-                self.result_cache.note_uncacheable();
-            }
-            let table = self
-                .executor
-                .execute_with_params(&prepared.plan, params, &cancel)
-                .map_err(map_exec_err)?;
-            (Arc::new(table), false)
-        };
-        let exec_time = exec_start.elapsed();
-        let total_time = start.elapsed();
-        self.stats.record_query(total_time, table.num_rows());
-        Ok(ServerQueryResult {
-            table,
-            total_time,
-            exec_time,
-            cache_hit,
-            result_cache_hit,
-            prepared,
+        let shard = self.tenant(tenant)?;
+        self.serve_with_params_shard(&shard, template, params, deadline)
+    }
+
+    fn serve_with_params_shard(
+        &self,
+        shard: &Arc<Tenant>,
+        template: &str,
+        params: &[Value],
+        deadline: Option<Duration>,
+    ) -> Result<ServerQueryResult> {
+        self.admit_and_run(shard, deadline, |start, deadline_at| {
+            shard.execute_params_inner(template, params, start, deadline_at)
         })
     }
 
-    /// Score one raw feature row against `model` via the micro-batcher
-    /// (blocks until the coalesced batch completes).
+    /// Score one raw feature row against `model` via the default
+    /// tenant's micro-batcher (blocks until the coalesced batch
+    /// completes).
     pub fn score_row(&self, model: &str, row: Vec<f64>) -> Result<f64> {
-        self.batcher.score(model, row)
+        self.default_tenant.score_row(model, row)
     }
 
-    /// Plan-cache counters.
+    /// Score one raw feature row in `tenant` (created on first use).
+    pub fn score_row_in(&self, tenant: &str, model: &str, row: Vec<f64>) -> Result<f64> {
+        self.tenant(tenant)?.score_row(model, row)
+    }
+
+    // -----------------------------------------------------------------
+    // Observability.
+
+    /// The default tenant's plan-cache counters.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.plan_cache.stats()
+        self.default_tenant.plan_cache_stats()
     }
 
-    /// Result-cache counters.
+    /// The default tenant's result-cache counters.
     pub fn result_cache_stats(&self) -> ResultCacheStats {
-        self.result_cache.stats()
+        self.default_tenant.result_cache_stats()
     }
 
-    /// Micro-batcher counters.
+    /// The default tenant's micro-batcher counters.
     pub fn batcher_stats(&self) -> BatcherStats {
-        self.batcher.stats()
+        self.default_tenant.batcher_stats()
     }
 
-    /// Admission-control counters.
+    /// Raw counters of the server-wide (global-ring) admission
+    /// controller. Per-request outcomes — which include tenant-ring
+    /// rejections — live in each tenant's snapshot.
     pub fn admission_stats(&self) -> AdmissionStats {
         self.admission.stats()
     }
 
-    /// Full observability snapshot.
+    /// One tenant's full observability snapshot (`None` if the tenant
+    /// does not exist; never creates it).
+    pub fn tenant_stats(&self, tenant: &str) -> Option<StatsSnapshot> {
+        self.try_tenant(tenant).map(|t| t.snapshot())
+    }
+
+    /// Aggregate observability snapshot across every tenant: counters
+    /// summed, latency percentiles recomputed over the merged recent
+    /// windows. With only the default tenant live this equals its own
+    /// snapshot (modulo window timing).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot(
-            self.plan_cache.stats(),
-            self.result_cache.stats(),
-            self.scorer.cache_stats(),
-            self.batcher.stats(),
-            self.admission.stats(),
-        )
+        let tenants = self.tenants.all();
+        let mut samples: Vec<u64> = Vec::new();
+        let mut merged: Option<StatsSnapshot> = None;
+        for tenant in &tenants {
+            // One lock per tenant: its counters and its latency samples
+            // are read together, so they stay mutually consistent.
+            let (snap, tenant_samples) = tenant.snapshot_with_samples();
+            samples.extend(tenant_samples);
+            merged = Some(match merged.take() {
+                None => snap,
+                Some(mut acc) => {
+                    acc.absorb(&snap);
+                    acc
+                }
+            });
+        }
+        let mut merged = merged.unwrap_or_else(|| self.default_tenant.snapshot());
+        merged.latency = LatencySummary::from_samples(samples);
+        merged.queries_per_sec = if merged.uptime.as_secs_f64() > 0.0 {
+            merged.queries as f64 / merged.uptime.as_secs_f64()
+        } else {
+            0.0
+        };
+        merged
     }
 }
 
@@ -558,14 +662,17 @@ mod tests {
         .unwrap()
     }
 
+    fn table_of(n: i64) -> Table {
+        Table::try_new(
+            Schema::from_pairs(&[("x0", DataType::Float64)]).into_shared(),
+            vec![Column::Float64((0..n).map(|i| i as f64).collect())],
+        )
+        .unwrap()
+    }
+
     fn server_with_table() -> ServerState {
         let server = ServerState::new(ServerConfig::for_tests());
-        let table = Table::try_new(
-            Schema::from_pairs(&[("x0", DataType::Float64)]).into_shared(),
-            vec![Column::Float64((0..100).map(|i| i as f64).collect())],
-        )
-        .unwrap();
-        server.register_table("t", table).unwrap();
+        server.register_table("t", table_of(100)).unwrap();
         server.store_model("m", linear(vec![1.0], 0.0)).unwrap();
         server
     }
@@ -603,6 +710,7 @@ mod tests {
         let snap = server.stats();
         assert_eq!(snap.queries, 5);
         assert_eq!(snap.result_cache.hits, 4);
+        assert_eq!(snap.admission.admitted, 5, "every request was admitted");
         assert!(snap.latency.max >= snap.latency.p50);
     }
 
@@ -628,12 +736,7 @@ mod tests {
     fn table_replacement_invalidates_dependent_plans() {
         let server = server_with_table();
         server.execute(SQL).unwrap();
-        let bigger = Table::try_new(
-            Schema::from_pairs(&[("x0", DataType::Float64)]).into_shared(),
-            vec![Column::Float64((0..200).map(|i| i as f64).collect())],
-        )
-        .unwrap();
-        server.replace_table("t", bigger);
+        server.replace_table("t", table_of(200));
         let result = server.execute(SQL).unwrap();
         assert!(!result.cache_hit);
         assert!(!result.result_cache_hit);
@@ -647,12 +750,7 @@ mod tests {
         config.plan_cache_capacity = 0;
         config.result_cache_capacity = 0;
         let server = ServerState::new(config);
-        let table = Table::try_new(
-            Schema::from_pairs(&[("x0", DataType::Float64)]).into_shared(),
-            vec![Column::Float64(vec![1.0, 2.0])],
-        )
-        .unwrap();
-        server.register_table("t", table).unwrap();
+        server.register_table("t", table_of(2)).unwrap();
         server.store_model("m", linear(vec![1.0], 0.0)).unwrap();
         let sql = "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d) WITH (s FLOAT) AS p";
         assert!(!server.execute(sql).unwrap().cache_hit);
@@ -735,16 +833,22 @@ mod tests {
     #[test]
     fn zero_deadline_is_rejected_typed() {
         let server = server_with_table();
-        // An already-expired deadline never reaches execution.
+        // An already-expired deadline never reaches execution; the
+        // rejection lands in the tenant's per-request outcome counters.
         assert!(matches!(
             server.serve(SQL, Some(Duration::ZERO)),
             Err(ServerError::DeadlineExceeded(_))
         ));
-        assert_eq!(server.admission_stats().rejected_deadline, 1);
-        // A generous deadline serves normally.
+        assert_eq!(server.stats().admission.rejected_deadline, 1);
+        // A generous deadline serves normally, clearing both rings.
         let ok = server.serve(SQL, Some(Duration::from_secs(60))).unwrap();
         assert_eq!(ok.table.num_rows(), 50);
-        assert_eq!(server.admission_stats().admitted, 1);
+        assert_eq!(server.stats().admission.admitted, 1);
+        assert_eq!(
+            server.admission_stats().admitted,
+            1,
+            "the global ring granted exactly one permit"
+        );
     }
 
     #[test]
@@ -753,5 +857,162 @@ mod tests {
         let session = server.session();
         let result = session.query("SELECT x0 FROM t WHERE x0 > 97").unwrap();
         assert_eq!(result.table.num_rows(), 2);
+    }
+
+    // -----------------------------------------------------------------
+    // Tenancy.
+
+    #[test]
+    fn default_tenant_always_exists_and_names_are_validated() {
+        let server = ServerState::new(ServerConfig::for_tests());
+        assert_eq!(server.tenants(), vec![DEFAULT_TENANT.to_string()]);
+        assert_eq!(server.tenant_count(), 1);
+        assert!(server.try_tenant("ghost").is_none());
+        assert!(matches!(
+            server.tenant("no spaces allowed"),
+            Err(ServerError::BadRequest(_))
+        ));
+        server.tenant("acme").unwrap();
+        assert_eq!(
+            server.tenants(),
+            vec!["acme".to_string(), DEFAULT_TENANT.to_string()]
+        );
+        // Resolution is idempotent: one shard per name.
+        let a = server.tenant("acme").unwrap();
+        let b = server.tenant("acme").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(server.tenant_count(), 2);
+        // The data layer sees the same namespaces.
+        assert!(server.catalog_shards().contains("acme"));
+    }
+
+    #[test]
+    fn same_named_objects_in_two_tenants_stay_isolated() {
+        let server = ServerState::new(ServerConfig::for_tests());
+        for (tenant, weight, rows) in [("alpha", 1.0, 100), ("beta", 2.0, 50)] {
+            server
+                .register_table_in(tenant, "t", table_of(rows))
+                .unwrap();
+            server
+                .store_model_in(tenant, "m", linear(vec![weight], 0.0))
+                .unwrap();
+        }
+        let sql = "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d) WITH (s FLOAT) AS p";
+        // alpha: identity over 100 rows; beta: doubled over 50 rows.
+        assert_eq!(
+            server.execute_in("alpha", sql).unwrap().table.num_rows(),
+            100
+        );
+        assert_eq!(server.execute_in("beta", sql).unwrap().table.num_rows(), 50);
+        // Warm both result caches, then swap alpha's model: beta's
+        // caches are untouched and its repeat still hits.
+        assert!(server.execute_in("beta", sql).unwrap().result_cache_hit);
+        server
+            .store_model_in("alpha", "m", linear(vec![0.0], 7.0))
+            .unwrap();
+        let alpha = server.tenant_stats("alpha").unwrap();
+        let beta = server.tenant_stats("beta").unwrap();
+        assert_eq!(alpha.plan_cache.invalidations, 1);
+        assert_eq!(alpha.result_cache.invalidations, 1);
+        assert_eq!(beta.plan_cache.invalidations, 0, "cross-tenant leak");
+        assert_eq!(beta.result_cache.invalidations, 0, "cross-tenant leak");
+        let beta_again = server.execute_in("beta", sql).unwrap();
+        assert!(beta_again.cache_hit && beta_again.result_cache_hit);
+        // The default tenant never saw any of it.
+        assert_eq!(server.stats().errors, 0);
+        assert!(server
+            .try_tenant(DEFAULT_TENANT)
+            .unwrap()
+            .catalog()
+            .table_names()
+            .is_empty());
+    }
+
+    #[test]
+    fn tenant_quota_rejects_only_the_saturating_tenant() {
+        let mut config = ServerConfig::for_tests();
+        config.tenant_quota = TenantQuotaConfig::strict(1);
+        let server = Arc::new(ServerState::new(config));
+        for tenant in ["noisy", "quiet"] {
+            server
+                .register_table_in(tenant, "t", table_of(100))
+                .unwrap();
+            server
+                .store_model_in(tenant, "m", linear(vec![1.0], 0.0))
+                .unwrap();
+        }
+        let sql = "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d) WITH (s FLOAT) AS p";
+        // Hold `noisy`'s single slot at the tenant ring.
+        let noisy = server.tenant("noisy").unwrap();
+        let held = noisy.quota().admit(None).unwrap();
+        assert!(matches!(
+            server.serve_in("noisy", sql, None),
+            Err(ServerError::Overloaded(_))
+        ));
+        // `quiet` is admitted and served while `noisy` is saturated.
+        assert_eq!(
+            server
+                .serve_in("quiet", sql, None)
+                .unwrap()
+                .table
+                .num_rows(),
+            100
+        );
+        drop(held);
+        assert_eq!(
+            server
+                .serve_in("noisy", sql, None)
+                .unwrap()
+                .table
+                .num_rows(),
+            100
+        );
+        let noisy_stats = server.tenant_stats("noisy").unwrap();
+        let quiet_stats = server.tenant_stats("quiet").unwrap();
+        assert_eq!(noisy_stats.admission.rejected_overloaded, 1);
+        assert_eq!(quiet_stats.admission.rejected_overloaded, 0);
+        assert_eq!(quiet_stats.admission.admitted, 1);
+    }
+
+    #[test]
+    fn max_tenants_is_a_hard_bound() {
+        let mut config = ServerConfig::for_tests();
+        config.max_tenants = 2; // default + one more
+        let server = ServerState::new(config);
+        server.tenant("a").unwrap();
+        assert!(matches!(
+            server.tenant("b"),
+            Err(ServerError::Overloaded(_))
+        ));
+        // Existing tenants still resolve.
+        assert!(server.tenant("a").is_ok());
+        assert!(server.tenant(DEFAULT_TENANT).is_ok());
+        assert_eq!(server.tenant_count(), 2);
+    }
+
+    #[test]
+    fn aggregate_stats_sum_across_tenants() {
+        let server = ServerState::new(ServerConfig::for_tests());
+        for tenant in ["a", "b"] {
+            server.register_table_in(tenant, "t", table_of(10)).unwrap();
+            server
+                .store_model_in(tenant, "m", linear(vec![1.0], 0.0))
+                .unwrap();
+        }
+        let sql = "SELECT p.s FROM PREDICT(MODEL = 'm', DATA = t AS d) WITH (s FLOAT) AS p";
+        for _ in 0..3 {
+            server.execute_in("a", sql).unwrap();
+        }
+        for _ in 0..2 {
+            server.execute_in("b", sql).unwrap();
+        }
+        let aggregate = server.stats();
+        assert_eq!(aggregate.queries, 5);
+        assert_eq!(aggregate.rows, 50);
+        assert_eq!(aggregate.admission.admitted, 5);
+        assert_eq!(aggregate.plan_cache.preparations, 2, "one per tenant");
+        assert_eq!(server.tenant_stats("a").unwrap().queries, 3);
+        assert_eq!(server.tenant_stats("b").unwrap().queries, 2);
+        assert!(aggregate.latency.max >= aggregate.latency.p50);
     }
 }

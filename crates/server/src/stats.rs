@@ -1,5 +1,8 @@
 //! Server-wide observability: throughput, latency percentiles, and the
-//! cache hit rates that explain them.
+//! cache hit rates that explain them — kept **per tenant** since the
+//! multi-tenant refactor (each [`crate::tenant::Tenant`] owns one
+//! [`ServerStats`]), with [`StatsSnapshot::absorb`] folding tenant
+//! snapshots into the server-wide aggregate.
 //!
 //! Counters live behind **one** mutex, not a bag of independent atomics.
 //! That is a correctness decision, not a style one: a snapshot assembled
@@ -9,6 +12,13 @@
 //! load and every consumer needs slack. Recording a query already took
 //! this lock for the latency window, so the consolidation adds no
 //! acquisition to the hot path; snapshots now read one consistent state.
+//!
+//! Admission is reported as **per-request outcomes**: a request either
+//! ends up `admitted` (cleared the tenant quota ring *and* the global
+//! ring) or in exactly one rejection bucket, whichever ring turned it
+//! away — so `admitted + rejected_* ` reconciles against requests sent,
+//! which the raw per-controller permit counters (two rings, each counting
+//! its own grants) cannot do.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -16,6 +26,7 @@ use std::time::{Duration, Instant};
 use crate::admission::AdmissionStats;
 use crate::batcher::BatcherStats;
 use crate::cache::PlanCacheStats;
+use crate::error::ServerError;
 use crate::result_cache::ResultCacheStats;
 use parking_lot::Mutex;
 
@@ -30,6 +41,31 @@ pub struct LatencySummary {
     pub p99: Duration,
     pub max: Duration,
     pub mean: Duration,
+}
+
+impl LatencySummary {
+    /// Percentiles over an explicit sample set (microseconds) — how the
+    /// aggregate snapshot merges several tenants' windows exactly,
+    /// instead of averaging their already-computed percentiles (which is
+    /// not a percentile of anything).
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let at = |q: f64| {
+            let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+            Duration::from_micros(samples[idx])
+        };
+        let total: u64 = samples.iter().sum();
+        LatencySummary {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            max: Duration::from_micros(*samples.last().unwrap()),
+            mean: Duration::from_micros(total / samples.len() as u64),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -47,26 +83,6 @@ impl LatencyWindow {
             self.next = (self.next + 1) % LATENCY_WINDOW;
         }
     }
-
-    fn summary(&self) -> LatencySummary {
-        if self.ring.is_empty() {
-            return LatencySummary::default();
-        }
-        let mut sorted = self.ring.clone();
-        sorted.sort_unstable();
-        let at = |q: f64| {
-            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-            Duration::from_micros(sorted[idx])
-        };
-        let total: u64 = sorted.iter().sum();
-        LatencySummary {
-            p50: at(0.50),
-            p95: at(0.95),
-            p99: at(0.99),
-            max: Duration::from_micros(*sorted.last().unwrap()),
-            mean: Duration::from_micros(total / sorted.len() as u64),
-        }
-    }
 }
 
 /// Everything one request mutates, updated and read atomically together.
@@ -82,10 +98,16 @@ struct Counters {
     /// query *shapes* served without re-optimization, even though the
     /// literal SQL text had never been seen before.
     template_hits: u64,
+    /// Per-request admission outcomes (see the module docs): cleared
+    /// both rings / rejected overloaded at either ring / rejected
+    /// because the deadline expired before execution began.
+    admitted: u64,
+    rejected_overloaded: u64,
+    rejected_deadline: u64,
     latencies: LatencyWindow,
 }
 
-/// Live counters updated by [`crate::ServerState`] on every query.
+/// Live counters updated on every query of one tenant.
 pub struct ServerStats {
     started: Instant,
     counters: Mutex<Counters>,
@@ -120,6 +142,22 @@ impl ServerStats {
         self.counters.lock().errors += 1;
     }
 
+    /// The request cleared both admission rings and will execute.
+    pub fn record_admitted(&self) {
+        self.counters.lock().admitted += 1;
+    }
+
+    /// The request was turned away before execution — by either ring.
+    /// Deadline expiries land in `rejected_deadline`; everything else
+    /// (queue full, wait timed out) in `rejected_overloaded`.
+    pub fn record_rejection(&self, error: &ServerError) {
+        let mut counters = self.counters.lock();
+        match error {
+            ServerError::DeadlineExceeded(_) => counters.rejected_deadline += 1,
+            _ => counters.rejected_overloaded += 1,
+        }
+    }
+
     /// A query was rewritten to a parameterized template; `cache_hit`
     /// says whether that template was already prepared.
     pub fn record_normalized(&self, cache_hit: bool) {
@@ -130,19 +168,47 @@ impl ServerStats {
         }
     }
 
+    /// The recent-latency window's raw samples (microseconds) — what the
+    /// cross-tenant aggregate merges before recomputing percentiles.
+    pub fn latency_samples(&self) -> Vec<u64> {
+        self.counters.lock().latencies.ring.clone()
+    }
+
     pub fn snapshot(
         &self,
         plan_cache: PlanCacheStats,
         result_cache: ResultCacheStats,
         session_cache: (u64, u64),
         batcher: BatcherStats,
-        admission: AdmissionStats,
     ) -> StatsSnapshot {
+        let (mut snapshot, samples) =
+            self.snapshot_with_samples(plan_cache, result_cache, session_cache, batcher);
+        snapshot.latency = LatencySummary::from_samples(samples);
+        snapshot
+    }
+
+    /// The counters plus the raw latency samples, read under the
+    /// **same** lock acquisition — so a cross-tenant aggregate merging
+    /// many windows sees each tenant's counters and samples mutually
+    /// consistent (a query recorded between two separate reads would
+    /// desynchronize them). The returned snapshot's `latency` field is
+    /// left at its default: summarizing is a sort of up to the full
+    /// window, and the aggregate path recomputes percentiles over the
+    /// *merged* samples anyway — callers that want this one window's
+    /// percentiles use [`ServerStats::snapshot`].
+    pub fn snapshot_with_samples(
+        &self,
+        plan_cache: PlanCacheStats,
+        result_cache: ResultCacheStats,
+        session_cache: (u64, u64),
+        batcher: BatcherStats,
+    ) -> (StatsSnapshot, Vec<u64>) {
         let uptime = self.started.elapsed();
         // One lock acquisition for every request-path counter: the
         // snapshot is internally consistent by construction.
         let counters = self.counters.lock();
-        StatsSnapshot {
+        let samples = counters.latencies.ring.clone();
+        let snapshot = StatsSnapshot {
             uptime,
             queries: counters.queries,
             errors: counters.errors,
@@ -154,17 +220,23 @@ impl ServerStats {
             },
             normalized: counters.normalized,
             template_hits: counters.template_hits,
-            latency: counters.latencies.summary(),
+            latency: LatencySummary::default(),
             plan_cache,
             result_cache,
             session_cache,
             batcher,
-            admission,
-        }
+            admission: AdmissionStats {
+                admitted: counters.admitted,
+                rejected_overloaded: counters.rejected_overloaded,
+                rejected_deadline: counters.rejected_deadline,
+            },
+        };
+        (snapshot, samples)
     }
 }
 
-/// A point-in-time view of everything the server measures.
+/// A point-in-time view of everything one tenant (or, after
+/// [`StatsSnapshot::absorb`], the whole server) measures.
 #[derive(Debug, Clone)]
 pub struct StatsSnapshot {
     pub uptime: Duration,
@@ -184,8 +256,31 @@ pub struct StatsSnapshot {
     /// Inference-session cache `(hits, misses)` from the scorer.
     pub session_cache: (u64, u64),
     pub batcher: BatcherStats,
-    /// Admission-control outcomes (permits granted, typed rejections).
+    /// Per-request admission outcomes (admitted / typed rejections) —
+    /// tenant-ring and global-ring rejections both land here, attributed
+    /// to the tenant that sent the request.
     pub admission: AdmissionStats,
+}
+
+impl StatsSnapshot {
+    /// Fold another tenant's snapshot into this one: counters summed,
+    /// uptime maxed. The caller recomputes `latency` from the merged
+    /// sample windows and `queries_per_sec` afterwards — both are
+    /// nonlinear and cannot be summed fieldwise.
+    pub fn absorb(&mut self, other: &StatsSnapshot) {
+        self.uptime = self.uptime.max(other.uptime);
+        self.queries += other.queries;
+        self.errors += other.errors;
+        self.rows += other.rows;
+        self.normalized += other.normalized;
+        self.template_hits += other.template_hits;
+        self.plan_cache += other.plan_cache;
+        self.result_cache += other.result_cache;
+        self.session_cache.0 += other.session_cache.0;
+        self.session_cache.1 += other.session_cache.1;
+        self.batcher.absorb(&other.batcher);
+        self.admission += other.admission;
+    }
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -214,11 +309,13 @@ impl fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "micro-batcher: {} requests in {} batches (mean {:.1} rows, max {})",
+            "micro-batcher: {} requests in {} batches (mean {:.1} rows, max {}, \
+             ~{:.0} µs/row scorer cost)",
             self.batcher.requests,
             self.batcher.batches,
             self.batcher.mean_batch_size(),
-            self.batcher.max_batch_seen
+            self.batcher.max_batch_seen,
+            self.batcher.ewma_row_micros,
         )?;
         write!(
             f,
@@ -240,7 +337,6 @@ mod tests {
             ResultCacheStats::default(),
             (0, 0),
             BatcherStats::default(),
-            AdmissionStats::default(),
         )
     }
 
@@ -272,6 +368,45 @@ mod tests {
         assert_eq!(w.ring.len(), LATENCY_WINDOW);
         // The first 10 samples were overwritten.
         assert!(!w.ring.contains(&5));
+    }
+
+    #[test]
+    fn admission_outcomes_are_exclusive_buckets() {
+        let stats = ServerStats::new();
+        stats.record_admitted();
+        stats.record_admitted();
+        stats.record_rejection(&ServerError::Overloaded("full".into()));
+        stats.record_rejection(&ServerError::DeadlineExceeded("late".into()));
+        let s = snap(&stats);
+        assert_eq!(s.admission.admitted, 2);
+        assert_eq!(s.admission.rejected_overloaded, 1);
+        assert_eq!(s.admission.rejected_deadline, 1);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_from_samples_merges_windows() {
+        let a = ServerStats::new();
+        let b = ServerStats::new();
+        a.record_query(Duration::from_micros(100), 2);
+        a.record_admitted();
+        b.record_query(Duration::from_micros(300), 3);
+        b.record_admitted();
+        b.record_error();
+        let mut merged = snap(&a);
+        merged.absorb(&snap(&b));
+        assert_eq!(merged.queries, 2);
+        assert_eq!(merged.rows, 5);
+        assert_eq!(merged.errors, 1);
+        assert_eq!(merged.admission.admitted, 2);
+        let mut samples = a.latency_samples();
+        samples.extend(b.latency_samples());
+        let latency = LatencySummary::from_samples(samples);
+        assert_eq!(latency.max, Duration::from_micros(300));
+        assert_eq!(latency.mean, Duration::from_micros(200));
+        assert_eq!(
+            LatencySummary::from_samples(Vec::new()),
+            LatencySummary::default()
+        );
     }
 
     /// Regression: a snapshot racing `record_query` must never observe a

@@ -1,0 +1,571 @@
+//! First-class tenants: isolated model/table namespaces served by one
+//! engine.
+//!
+//! A [`TenantId`] names a namespace; a [`Tenant`] is that namespace's
+//! slice of the serving stack — its own [`Catalog`], [`ModelStore`],
+//! scorer (with its inference-session cache), executor, prepared-plan
+//! cache, result cache, micro-batcher, admission quota, and stats. The
+//! isolation is structural: nothing a request resolves inside one tenant
+//! can touch another tenant's objects, so `alpha`'s `store_model("m")`
+//! invalidates exactly `alpha`'s plans and memoized results and zero of
+//! `beta`'s — even when both tenants hold a model named `m`.
+//!
+//! Defense in depth on cache keys: although every cache is per-tenant
+//! (collisions across tenants are impossible by construction), the
+//! tenant also lands in both key spaces — [`crate::cache::PlanKey`]
+//! carries the tenant name, and result fingerprints are computed through
+//! [`raven_ir::FingerprintBuilder::tenant`] — so a future refactor that
+//! consolidated the maps could not silently lose the dimension.
+//!
+//! Quotas: each tenant carries its own [`AdmissionController`] sized by
+//! [`TenantQuotaConfig`], acquired *before* the server-wide controller
+//! (see `ServerState::serve_in`). Ordering matters for fairness: a noisy
+//! tenant exhausts its own quota and is rejected with a typed
+//! [`ServerError::Overloaded`] before it can occupy global execution
+//! slots or queue positions that other tenants need.
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats};
+use crate::batcher::{BatcherStats, MicroBatcher};
+use crate::cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
+use crate::error::{Result, ServerError};
+use crate::result_cache::{ResultCache, ResultCacheStats, ResultDeps};
+use crate::state::{ServerConfig, ServerQueryResult};
+use crate::stats::{ServerStats, StatsSnapshot};
+use raven_core::{ModelStore, RavenSession};
+use raven_data::{Catalog, Table, Value};
+use raven_ir::{FingerprintBuilder, PlanFingerprint};
+use raven_ml::Pipeline;
+use raven_relational::{CancelToken, ExecError, SharedExecutor};
+use raven_runtime::RavenScorer;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The namespace requests land in when they name no tenant — the one
+/// tenant that always exists. Protocol-v3 peers (which predate tenancy)
+/// are mapped here, as is every `ServerState` convenience method.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Longest accepted tenant name.
+pub const MAX_TENANT_NAME_LEN: usize = 64;
+
+/// A validated tenant name: 1–64 ASCII alphanumerics, `_`, `-`, or `.`.
+///
+/// Validation keeps tenant names safe to embed anywhere a name travels —
+/// cache keys, fingerprints, log lines, stats displays — with no quoting
+/// concerns, and rejects the empty string (which the wire protocol
+/// reserves for "aggregate across tenants" in `Stats` frames).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// Validate and wrap a tenant name.
+    pub fn new(name: impl Into<String>) -> Result<TenantId> {
+        let name = name.into();
+        if name.is_empty() || name.len() > MAX_TENANT_NAME_LEN {
+            return Err(ServerError::BadRequest(format!(
+                "tenant name must be 1..={MAX_TENANT_NAME_LEN} bytes, got {}",
+                name.len()
+            )));
+        }
+        if let Some(bad) = name
+            .chars()
+            .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.')))
+        {
+            return Err(ServerError::BadRequest(format!(
+                "tenant name {name:?} contains {bad:?}; allowed: ASCII alphanumerics, '_', '-', '.'"
+            )));
+        }
+        Ok(TenantId(name))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId(DEFAULT_TENANT.to_string())
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for TenantId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Per-tenant admission quota, layered *inside* the server-wide
+/// [`AdmissionConfig`]: a tenant's requests must clear both rings. The
+/// defaults (unlimited concurrency, a short bounded queue) keep
+/// single-tenant deployments byte-for-byte compatible with the
+/// pre-tenancy behavior; set `max_concurrent` to bound how much of the
+/// engine one tenant can hold at once.
+#[derive(Debug, Clone)]
+pub struct TenantQuotaConfig {
+    /// Maximum queries one tenant executes concurrently (0 = unlimited).
+    pub max_concurrent: usize,
+    /// Maximum requests one tenant may have waiting for its quota;
+    /// arrivals beyond this are rejected `Overloaded` immediately.
+    pub max_queued: usize,
+    /// Longest a request waits for tenant quota before rejection.
+    pub queue_timeout: Duration,
+}
+
+impl Default for TenantQuotaConfig {
+    fn default() -> Self {
+        TenantQuotaConfig {
+            max_concurrent: 0,
+            max_queued: 64,
+            queue_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+impl TenantQuotaConfig {
+    /// A strict quota: at most `max_concurrent` executions, no waiting
+    /// room — everything beyond rejects immediately.
+    pub fn strict(max_concurrent: usize) -> Self {
+        TenantQuotaConfig {
+            max_concurrent,
+            max_queued: 0,
+            queue_timeout: Duration::ZERO,
+        }
+    }
+
+    pub(crate) fn admission(&self) -> AdmissionConfig {
+        AdmissionConfig {
+            max_concurrent: self.max_concurrent,
+            max_queued: self.max_queued,
+            queue_timeout: self.queue_timeout,
+            // Deadlines are a request/server property, not a quota one;
+            // the serve path resolves the default before admission.
+            default_deadline: None,
+        }
+    }
+}
+
+/// One tenant's slice of the serving stack. Shared behind an `Arc`; all
+/// methods take `&self`.
+pub struct Tenant {
+    id: TenantId,
+    catalog: Arc<Catalog>,
+    store: Arc<ModelStore>,
+    scorer: Arc<RavenScorer>,
+    executor: SharedExecutor,
+    plan_cache: PlanCache,
+    result_cache: ResultCache,
+    batcher: MicroBatcher,
+    quota: AdmissionController,
+    stats: ServerStats,
+    config: ServerConfig,
+}
+
+impl Tenant {
+    /// Assemble a tenant from its shared parts (the catalog typically
+    /// comes from the server's [`raven_data::CatalogShards`]) plus the
+    /// serving configuration whose cache/batch budgets it applies
+    /// per-tenant.
+    pub(crate) fn from_parts(
+        id: TenantId,
+        catalog: Arc<Catalog>,
+        store: Arc<ModelStore>,
+        scorer: Arc<RavenScorer>,
+        quota: TenantQuotaConfig,
+        config: ServerConfig,
+    ) -> Self {
+        let executor = SharedExecutor::new(
+            catalog.clone(),
+            scorer.clone() as Arc<dyn raven_relational::Scorer>,
+            config.session.exec,
+        );
+        let batcher = MicroBatcher::new(store.clone(), config.batch.clone());
+        Tenant {
+            id,
+            catalog,
+            store,
+            scorer,
+            executor,
+            plan_cache: PlanCache::new(config.plan_cache_capacity.max(1)),
+            result_cache: ResultCache::new(
+                config.result_cache_capacity.max(1),
+                config.result_cache_max_bytes,
+            ),
+            batcher,
+            quota: AdmissionController::new(quota.admission()),
+            stats: ServerStats::new(),
+            config,
+        }
+    }
+
+    /// This tenant's name.
+    pub fn id(&self) -> &TenantId {
+        &self.id
+    }
+
+    /// This tenant's table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// This tenant's model store.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// This tenant's quota controller (acquired before the global ring).
+    /// Public so operators and tests can hold or inspect quota permits
+    /// directly; the serve path acquires it automatically.
+    pub fn quota(&self) -> &AdmissionController {
+        &self.quota
+    }
+
+    /// Raw quota-controller counters (permits at the tenant ring only;
+    /// the per-request outcome counters live in [`Tenant::snapshot`]).
+    pub fn quota_stats(&self) -> AdmissionStats {
+        self.quota.stats()
+    }
+
+    pub(crate) fn stats_recorder(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// A session over this tenant's shared state (training flows,
+    /// EXPLAIN, ad-hoc work); queries through it bypass the plan cache.
+    pub fn session(&self) -> RavenSession {
+        RavenSession::from_shared(
+            self.catalog.clone(),
+            self.store.clone(),
+            self.scorer.clone(),
+            self.config.session.clone(),
+        )
+    }
+
+    /// Register a table in this tenant. Errors if the name is taken.
+    pub fn register_table(&self, name: &str, table: Table) -> Result<()> {
+        self.catalog
+            .register(name, table)
+            .map_err(|e| ServerError::Data(e.to_string()))
+    }
+
+    /// Replace (or insert) a table in this tenant, invalidating every
+    /// cached plan that scans it and every memoized result computed from
+    /// it — in this tenant only.
+    pub fn replace_table(&self, name: &str, table: Table) {
+        self.catalog.register_or_replace(name, table);
+        self.plan_cache.invalidate_table(name);
+        self.result_cache.invalidate_table(name);
+    }
+
+    /// Store a model in this tenant (new version if the name exists),
+    /// invalidating this tenant's dependent plans, inference sessions,
+    /// and memoized results. Other tenants' caches are untouched even if
+    /// they hold a model with the same name.
+    pub fn store_model(&self, name: &str, pipeline: Pipeline) -> Result<u32> {
+        let version = self.store.store(name, pipeline);
+        self.scorer.invalidate(name);
+        self.plan_cache.invalidate_model(name);
+        self.result_cache.invalidate_model(name);
+        Ok(version)
+    }
+
+    /// Prepare `sql` through this tenant's plan cache; returns the
+    /// prepared plan and whether it was a cache hit.
+    pub fn prepare(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
+        let (prepared, cache_hit, _params) = self.prepare_normalized(sql)?;
+        Ok((prepared, cache_hit))
+    }
+
+    /// Normalize (when enabled) and prepare: the prepared template plan,
+    /// whether it was a cache hit, and the parameter values extracted
+    /// from `sql` (empty on the exact-text path).
+    fn prepare_normalized(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool, Vec<Value>)> {
+        if self.config.normalize_parameters {
+            if let Some(n) = crate::normalize::normalize(sql) {
+                match self.prepare_text(&n.template) {
+                    Ok((prepared, cache_hit)) if prepared.param_count == n.params.len() => {
+                        if n.has_params() {
+                            self.stats.record_normalized(cache_hit);
+                        }
+                        return Ok((prepared, cache_hit, n.params));
+                    }
+                    // The template didn't prepare (e.g. a literal whose
+                    // placeholder type is uninferable, like a bare
+                    // `SELECT 5`) or its arity surprised us: fall back to
+                    // the exact literal text below.
+                    _ => {}
+                }
+            }
+            let canonical = crate::normalize::canonicalize(sql).unwrap_or_else(|| sql.to_string());
+            let (prepared, cache_hit) = self.prepare_text(&canonical)?;
+            return Ok((prepared, cache_hit, Vec::new()));
+        }
+        let (prepared, cache_hit) = self.prepare_text(sql)?;
+        Ok((prepared, cache_hit, Vec::new()))
+    }
+
+    /// Prepare exactly this text (template or literal SQL), consulting
+    /// this tenant's plan cache keyed on (tenant, text, optimizer config).
+    pub(crate) fn prepare_text(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
+        let key = PlanKey {
+            tenant: self.id.as_str().to_string(),
+            sql: sql.to_string(),
+            rules: self.config.session.rules,
+            mode: self.config.session.optimizer_mode,
+        };
+        if self.config.plan_cache_capacity == 0 {
+            let prepared = self.prepare_uncached(sql)?;
+            self.plan_cache.note_uncached_preparation();
+            return Ok((Arc::new(prepared), false));
+        }
+        self.plan_cache
+            .get_or_prepare(key, || self.prepare_uncached(sql))
+    }
+
+    fn prepare_uncached(&self, sql: &str) -> Result<PreparedQuery> {
+        let start = Instant::now();
+        let session = self.session();
+        let bound = session.plan(sql)?;
+        let (optimized, report) = session.optimize(bound.clone())?;
+        Ok(PreparedQuery::from_stages(
+            sql,
+            &bound,
+            optimized,
+            report,
+            start.elapsed(),
+        ))
+    }
+
+    /// Snapshot this tenant's result-cache epoch. Must happen **before**
+    /// the plan this request will execute is resolved; see
+    /// [`ResultCache::epoch`].
+    pub(crate) fn result_epoch(&self) -> u64 {
+        self.result_cache.epoch()
+    }
+
+    /// The body of a literal-SQL request, called with permits held.
+    pub(crate) fn execute_inner(
+        &self,
+        sql: &str,
+        start: Instant,
+        deadline_at: Option<Instant>,
+    ) -> Result<ServerQueryResult> {
+        let result_epoch = self.result_epoch();
+        let (prepared, cache_hit, params) = self.prepare_normalized(sql)?;
+        self.run_prepared(
+            prepared,
+            cache_hit,
+            &params,
+            start,
+            deadline_at,
+            result_epoch,
+        )
+    }
+
+    /// The body of a pre-parameterized request, called with permits held.
+    pub(crate) fn execute_params_inner(
+        &self,
+        template: &str,
+        params: &[Value],
+        start: Instant,
+        deadline_at: Option<Instant>,
+    ) -> Result<ServerQueryResult> {
+        let result_epoch = self.result_epoch();
+        // Canonicalize spacing so a hand-written template and the
+        // normalizer's rendering of the equivalent literal query share
+        // one cache entry.
+        let canonical =
+            crate::normalize::canonicalize(template).unwrap_or_else(|| template.to_string());
+        let (prepared, cache_hit) = self.prepare_text(&canonical)?;
+        if prepared.param_count != params.len() {
+            return Err(ServerError::BadRequest(format!(
+                "statement expects {} parameter(s), got {}",
+                prepared.param_count,
+                params.len()
+            )));
+        }
+        self.run_prepared(
+            prepared,
+            cache_hit,
+            params,
+            start,
+            deadline_at,
+            result_epoch,
+        )
+    }
+
+    /// The result-cache key for one request: the tenant, the optimized
+    /// plan's structure, this request's bound parameter values, and the
+    /// current version of every model and table the plan depends on —
+    /// resolved against *this tenant's* store and catalog. The tenant
+    /// dimension makes cross-tenant key collisions structurally
+    /// impossible even though each tenant already has its own cache.
+    fn result_fingerprint(&self, prepared: &PreparedQuery, params: &[Value]) -> PlanFingerprint {
+        let mut builder = FingerprintBuilder::new()
+            .tenant(self.id.as_str())
+            .plan(&prepared.plan)
+            .params(params);
+        for model in &prepared.model_deps {
+            builder = builder.dependency("model", model, self.store.latest_version(model) as u64);
+        }
+        for table in &prepared.table_deps {
+            builder =
+                builder.dependency("table", table, self.catalog.generation(table).unwrap_or(0));
+        }
+        builder.finish()
+    }
+
+    /// Execute a prepared (possibly parameterized) plan under the
+    /// deadline's cancellation token, routing deterministic plans through
+    /// this tenant's result cache. See the pre-tenancy contract on
+    /// [`ResultCache::get_or_execute`] — unchanged, now per tenant.
+    fn run_prepared(
+        &self,
+        prepared: Arc<PreparedQuery>,
+        cache_hit: bool,
+        params: &[Value],
+        start: Instant,
+        deadline_at: Option<Instant>,
+        result_epoch: u64,
+    ) -> Result<ServerQueryResult> {
+        let exec_start = Instant::now();
+        let cancel = match deadline_at {
+            Some(at) => CancelToken::with_deadline(at),
+            None => CancelToken::new(),
+        };
+        let map_exec_err = |e: ExecError| match e {
+            ExecError::Cancelled => ServerError::DeadlineExceeded(format!(
+                "query exceeded its deadline after {:?}",
+                start.elapsed()
+            )),
+            e => ServerError::Execution(e.to_string()),
+        };
+        let caching = self.config.result_cache_capacity > 0;
+        let (table, result_cache_hit) = if caching && prepared.determinism.cacheable {
+            let fingerprint = self.result_fingerprint(&prepared, params);
+            let deps = ResultDeps {
+                models: prepared.model_deps.clone(),
+                tables: prepared.table_deps.clone(),
+            };
+            self.result_cache
+                .get_or_execute(
+                    fingerprint,
+                    result_epoch,
+                    deps,
+                    // Polled while waiting on another thread's in-flight
+                    // execution of the same fingerprint: this request's
+                    // deadline keeps firing even though it runs no plan.
+                    || cancel.check(),
+                    || {
+                        self.executor
+                            .execute_with_params(&prepared.plan, params, &cancel)
+                    },
+                )
+                .map_err(map_exec_err)?
+        } else {
+            if caching {
+                self.result_cache.note_uncacheable();
+            }
+            let table = self
+                .executor
+                .execute_with_params(&prepared.plan, params, &cancel)
+                .map_err(map_exec_err)?;
+            (Arc::new(table), false)
+        };
+        let exec_time = exec_start.elapsed();
+        let total_time = start.elapsed();
+        self.stats.record_query(total_time, table.num_rows());
+        Ok(ServerQueryResult {
+            table,
+            total_time,
+            exec_time,
+            cache_hit,
+            result_cache_hit,
+            prepared,
+        })
+    }
+
+    /// Score one raw feature row against `model` via this tenant's
+    /// micro-batcher (blocks until the coalesced batch completes).
+    pub fn score_row(&self, model: &str, row: Vec<f64>) -> Result<f64> {
+        self.batcher.score(model, row)
+    }
+
+    /// This tenant's plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// This tenant's result-cache counters.
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.result_cache.stats()
+    }
+
+    /// This tenant's micro-batcher counters.
+    pub fn batcher_stats(&self) -> BatcherStats {
+        self.batcher.stats()
+    }
+
+    /// Full observability snapshot for this tenant: throughput, latency
+    /// percentiles, cache counters, and per-request admission outcomes.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot(
+            self.plan_cache.stats(),
+            self.result_cache.stats(),
+            self.scorer.cache_stats(),
+            self.batcher.stats(),
+        )
+    }
+
+    /// This tenant's counters plus its raw latency window (µs), read
+    /// under one lock — the consistent unit the cross-tenant aggregate
+    /// merges. The snapshot's `latency` summary is deliberately left
+    /// unset (the aggregate recomputes it over the merged windows);
+    /// use [`Tenant::snapshot`] for a self-contained view.
+    pub(crate) fn snapshot_with_samples(&self) -> (StatsSnapshot, Vec<u64>) {
+        self.stats.snapshot_with_samples(
+            self.plan_cache.stats(),
+            self.result_cache.stats(),
+            self.scorer.cache_stats(),
+            self.batcher.stats(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_ids_validate() {
+        for good in ["default", "team-a", "a", "v1.2_x", &"x".repeat(64)] {
+            assert!(TenantId::new(good).is_ok(), "{good:?} must validate");
+        }
+        for bad in ["", " ", "a b", "a/b", "a\nb", "héllo", &"x".repeat(65)] {
+            assert!(
+                matches!(TenantId::new(bad), Err(ServerError::BadRequest(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+        assert_eq!(TenantId::default().as_str(), DEFAULT_TENANT);
+        assert_eq!(TenantId::new("acme").unwrap().to_string(), "acme");
+    }
+
+    #[test]
+    fn strict_quota_config_maps_to_admission() {
+        let quota = TenantQuotaConfig::strict(2).admission();
+        assert_eq!(quota.max_concurrent, 2);
+        assert_eq!(quota.max_queued, 0);
+        assert_eq!(quota.queue_timeout, Duration::ZERO);
+        assert!(quota.default_deadline.is_none());
+        // Defaults keep single-tenant behavior: unlimited concurrency.
+        assert_eq!(TenantQuotaConfig::default().max_concurrent, 0);
+    }
+}

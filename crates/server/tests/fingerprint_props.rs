@@ -8,13 +8,16 @@
 //!   `4.0` vs `4.00`), and even across two separate server processes'
 //!   worth of state (no per-process randomness);
 //! * differing params ⇒ differing fingerprints (no false sharing);
-//! * differing query shape ⇒ differing fingerprints.
+//! * differing query shape ⇒ differing fingerprints;
+//! * differing *tenant* ⇒ differing fingerprints, even for identical
+//!   SQL, params, and dependency versions (two tenants may hold
+//!   same-named objects with different contents).
 
 use proptest::prelude::*;
 use raven_datagen::{hospital, train};
 use raven_ir::{FingerprintBuilder, PlanFingerprint};
 use raven_server::normalize::normalize;
-use raven_server::{ServerConfig, ServerState};
+use raven_server::{ServerConfig, ServerState, DEFAULT_TENANT};
 
 fn hospital_server() -> ServerState {
     let server = ServerState::new(ServerConfig::for_tests());
@@ -25,26 +28,32 @@ fn hospital_server() -> ServerState {
     server
 }
 
-/// Fingerprint a literal SQL text the way `ServerState` does: normalize
-/// to (template, params), prepare the template, hash plan + params +
-/// dependency versions.
-fn fingerprint_of(server: &ServerState, sql: &str) -> PlanFingerprint {
+/// Fingerprint a literal SQL text the way the serving layer does:
+/// normalize to (template, params), prepare the template, hash tenant +
+/// plan + params + dependency versions.
+fn fingerprint_in(server: &ServerState, tenant: &str, sql: &str) -> PlanFingerprint {
     let normalized = normalize(sql).expect("workload SQL must lex");
-    let (prepared, _) = server.prepare(&normalized.template).expect("prepare");
+    let shard = server.tenant(tenant).expect("tenant");
+    let (prepared, _) = shard.prepare(&normalized.template).expect("prepare");
     let mut builder = FingerprintBuilder::new()
+        .tenant(tenant)
         .plan(&prepared.plan)
         .params(&normalized.params);
     for model in &prepared.model_deps {
-        builder = builder.dependency("model", model, server.store().latest_version(model) as u64);
+        builder = builder.dependency("model", model, shard.store().latest_version(model) as u64);
     }
     for table in &prepared.table_deps {
         builder = builder.dependency(
             "table",
             table,
-            server.catalog().generation(table).unwrap_or(0),
+            shard.catalog().generation(table).unwrap_or(0),
         );
     }
     builder.finish()
+}
+
+fn fingerprint_of(server: &ServerState, sql: &str) -> PlanFingerprint {
+    fingerprint_in(server, DEFAULT_TENANT, sql)
 }
 
 fn spelling_variants(age: i64, stay: f64) -> [String; 3] {
@@ -131,6 +140,41 @@ proptest! {
             &format!("SELECT id FROM patient_info WHERE age > {age}"),
         );
         prop_assert_ne!(base, shape);
+    }
+
+    /// Tenant qualification: identical SQL, identical bound params,
+    /// identical dependency versions — but different tenants — must
+    /// never collide. Two tenants are built from the *same* generator
+    /// seed so their plans, parameter vectors, and version numbers all
+    /// match; only the tenant dimension separates the keys.
+    #[test]
+    fn identical_queries_in_different_tenants_never_collide(
+        age in 18i64..80,
+        stay in 1.0f64..9.0,
+        tenant_index in 0usize..4,
+    ) {
+        let tenants = ["team-a", "team-b", "staging", "prod"];
+        let tenant = tenants[tenant_index];
+        let other = tenants[(tenant_index + 1) % tenants.len()];
+        let server = ServerState::new(ServerConfig::for_tests());
+        for t in [tenant, other] {
+            let shard = server.tenant(t).unwrap();
+            let data = hospital::generate(120, 7); // same seed ⇒ same versions
+            data.register(shard.catalog()).unwrap();
+            shard
+                .store_model("duration_of_stay", train::hospital_tree(&data, 5).unwrap())
+                .unwrap();
+        }
+        let sql = &spelling_variants(age, stay)[0];
+        let a = fingerprint_in(&server, tenant, sql);
+        let b = fingerprint_in(&server, other, sql);
+        prop_assert_ne!(
+            a, b,
+            "tenants {} and {} collided on identical SQL/params/versions",
+            tenant, other
+        );
+        // And the fingerprint stays deterministic per tenant.
+        prop_assert_eq!(a, fingerprint_in(&server, tenant, sql));
     }
 }
 

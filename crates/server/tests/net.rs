@@ -128,6 +128,11 @@ fn admission_control_rejects_overload_with_typed_frames() {
 
     let mut config = ServerConfig::for_tests();
     config.admission = AdmissionConfig::strict(1);
+    // Result caching off: a warm repeat served from the result cache
+    // holds its execution permit for microseconds, and on a fast release
+    // build 48 such requests can serialize without ever overlapping —
+    // no overload, nothing to test. Every request must really execute.
+    config.result_cache_capacity = 0;
     let server = spawn(hospital_state(2_000, config), CLIENTS + 2, 64);
     let addr = server.local_addr();
     let barrier = Arc::new(Barrier::new(CLIENTS));

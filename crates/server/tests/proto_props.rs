@@ -35,22 +35,37 @@ fn finite_f64() -> impl Strategy<Value = f64> {
     ]
 }
 
+/// Tenant names as the wire sees them — including the empty string
+/// (aggregate `Stats`) and names the server would reject as invalid:
+/// the *protocol* round-trips them all; validation is the server's job.
+fn tenant() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("default".to_string()),
+        Just("team-a".to_string()),
+        Just(String::new()),
+        text(),
+    ]
+}
+
 fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        text().prop_map(|sql| Request::Prepare { sql }),
-        (text(), 0..10_000_000u64).prop_map(|(sql, micros)| Request::Query {
+        (text(), tenant()).prop_map(|(sql, tenant)| Request::Prepare { sql, tenant }),
+        (text(), tenant(), 0..10_000_000u64).prop_map(|(sql, tenant, micros)| Request::Query {
             sql,
+            tenant,
             deadline: (micros % 2 == 0).then(|| Duration::from_micros(micros + 1)),
         }),
-        (text(), vec(finite_f64(), 0..32)).prop_map(|(model, row)| Request::Score { model, row }),
-        (text(), vec(param_value(), 0..8), 0..10_000_000u64).prop_map(
-            |(template, params, micros)| Request::QueryParams {
+        (text(), tenant(), vec(finite_f64(), 0..32))
+            .prop_map(|(model, tenant, row)| Request::Score { model, tenant, row }),
+        (text(), tenant(), vec(param_value(), 0..8), 0..10_000_000u64).prop_map(
+            |(template, tenant, params, micros)| Request::QueryParams {
                 template,
+                tenant,
                 params,
                 deadline: (micros % 2 == 0).then(|| Duration::from_micros(micros + 1)),
             }
         ),
-        Just(Request::Stats),
+        tenant().prop_map(|tenant| Request::Stats { tenant }),
         Just(Request::Shutdown),
     ]
 }
@@ -127,7 +142,7 @@ fn response() -> impl Strategy<Value = Response> {
             table: std::sync::Arc::new(table),
         }),
         finite_f64().prop_map(|value| Response::Score { value }),
-        vec(0..u64::MAX, 17).prop_map(|v| {
+        vec(0..u64::MAX, 20).prop_map(|v| {
             Response::Stats(WireStats {
                 queries: v[0],
                 errors: v[1],
@@ -146,6 +161,9 @@ fn response() -> impl Strategy<Value = Response> {
                 admitted: v[9],
                 rejected_overloaded: v[10],
                 rejected_deadline: v[11],
+                latency_p50_micros: v[17],
+                latency_p95_micros: v[18],
+                latency_p99_micros: v[19],
             })
         }),
         Just(Response::ShutdownAck),
