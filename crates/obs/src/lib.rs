@@ -1,0 +1,30 @@
+//! Observability primitives for the Raven serving path.
+//!
+//! Two halves, both dependency-free and cheap enough to live on the hot
+//! path:
+//!
+//! * [`metrics`] — counters, gauges, and fixed-bucket log2 histograms
+//!   behind a [`MetricsRegistry`]. Handles are plain `Arc`s over atomics:
+//!   registration takes a lock once, recording never does. Snapshots
+//!   ([`RegistrySnapshot`]) merge associatively and commutatively, so
+//!   per-tenant metrics sum into an exact cross-tenant aggregate the same
+//!   way `LatencySummary::from_samples` keeps percentiles exact over
+//!   merged sample windows.
+//! * [`trace`] — a per-request span tree ([`SpanRecorder`]) with head
+//!   sampling and a bounded ring of kept traces ([`TraceSink`]). A
+//!   disabled recorder is a `None` — no allocation, no clock reads — so
+//!   `trace_sample_rate: 0` costs one branch per request.
+//!
+//! The server threads a [`SpanRecorder`] through the serving path exactly
+//! the way `CancelToken` is threaded through `raven-relational`: an owned
+//! field plus a `with_*` builder on the executor, and a defaulted trait
+//! hook on `Scorer` so existing implementations keep compiling.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use trace::{Span, SpanGuard, SpanRecorder, Trace, TraceConfig, TraceSink};

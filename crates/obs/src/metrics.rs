@@ -1,0 +1,477 @@
+//! A lock-cheap metrics registry: counters, gauges, and log2 histograms.
+//!
+//! Recording is wait-free (relaxed atomics); the registry lock is only
+//! taken to hand out handles and to snapshot. Subsystems that keep their
+//! own atomic counters (plan cache, result cache, admission) contribute
+//! to the same surface by writing into a [`RegistrySnapshot`] at
+//! snapshot time, so one merge/render path covers everything.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets. Bucket 0 counts values `{0, 1}`; bucket
+/// `i` (for `i >= 1`) counts values in `[2^i, 2^(i+1))`. 64 buckets cover
+/// the full `u64` range, so `observe` never saturates into an overflow
+/// bucket.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge storing an `f64` as its bit pattern in an
+/// `AtomicU64`, with a CAS-loop EWMA update for cost tracking. This is
+/// the home for what used to be the micro-batcher's hand-rolled
+/// `CostEstimator`: the first sample seeds the value directly, later
+/// samples fold in with weight `alpha`.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Fold `sample` into the gauge as an exponentially weighted moving
+    /// average. A zero current value is treated as "unseeded": the first
+    /// sample lands verbatim so the average does not have to climb out
+    /// of an artificial zero.
+    pub fn ewma(&self, sample: f64, alpha: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(current);
+            let new = if old == 0.0 {
+                sample
+            } else {
+                alpha * sample + (1.0 - alpha) * old
+            };
+            match self.0.compare_exchange_weak(
+                current,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// A fixed-bucket base-2 histogram. Buckets are powers of two, so
+/// `observe` is a couple of bit operations plus one relaxed increment,
+/// and merging two histograms is a bucket-wise sum — associative and
+/// commutative, which is what keeps cross-tenant aggregation exact.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize - 1
+    }
+}
+
+/// Inclusive upper bound of bucket `i`, used as the `le` label when
+/// rendering and as the value estimate for percentile queries.
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a `Duration` in microseconds — the unit every latency
+    /// histogram in the server uses.
+    #[inline]
+    pub fn observe_micros(&self, d: std::time::Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], safe to merge and ship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Bucket-wise sum. Associative and commutative by construction:
+    /// merging per-tenant snapshots in any order or grouping yields the
+    /// identical aggregate.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the q-th quantile
+    /// (`0.0 ..= 1.0`). Within a factor of two of the true value, which
+    /// is the resolution a log2 histogram buys.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// A named family of metrics. Handles are `Arc`s over atomics obtained
+/// once at construction time; recording through them never touches the
+/// registry lock. Names are `&'static str` because every metric in the
+/// engine is compile-time known — this keeps registration allocation-free
+/// on the lookup side.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        self.counters
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        self.gauges.lock().unwrap().entry(name).or_default().clone()
+    }
+
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut snap = RegistrySnapshot::default();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            snap.counters.insert((*name).to_string(), c.get());
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            snap.gauges.insert((*name).to_string(), g.get());
+        }
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            snap.histograms.insert((*name).to_string(), h.snapshot());
+        }
+        snap
+    }
+}
+
+/// A mergeable, renderable copy of a registry (plus whatever extra
+/// counters subsystems contribute at snapshot time).
+///
+/// Merge semantics: counters and histograms sum exactly; gauges sum as
+/// well, which is the right reading for the gauges the server exports
+/// (EWMA cost estimates are per-tenant rates — the aggregate reports
+/// their total). Anything needing a distribution should be a histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Add or bump a counter contributed from outside the registry
+    /// (subsystems with their own atomics: caches, admission).
+    pub fn add_counter(&mut self, name: &str, value: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) = value;
+    }
+
+    pub fn add_histogram(&mut self, name: &str, snap: &HistogramSnapshot) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(snap);
+    }
+
+    /// Fold `other` into `self`. Associative and commutative across all
+    /// three metric kinds, so any merge order over per-tenant snapshots
+    /// produces the same aggregate.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0.0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Prometheus-style text exposition. Every series is prefixed
+    /// `raven_` and labeled with `tenant` unless the label is empty
+    /// (the cross-tenant aggregate).
+    pub fn render(&self, tenant: &str) -> String {
+        let label = if tenant.is_empty() {
+            String::new()
+        } else {
+            format!("{{tenant=\"{tenant}\"}}")
+        };
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE raven_{name} counter");
+            let _ = writeln!(out, "raven_{name}{label} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE raven_{name} gauge");
+            let _ = writeln!(out, "raven_{name}{label} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE raven_{name} histogram");
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                if *b == 0 {
+                    continue;
+                }
+                cumulative += b;
+                let le = bucket_upper(i);
+                let series = if tenant.is_empty() {
+                    format!("raven_{name}_bucket{{le=\"{le}\"}}")
+                } else {
+                    format!("raven_{name}_bucket{{tenant=\"{tenant}\",le=\"{le}\"}}")
+                };
+                let _ = writeln!(out, "{series} {cumulative}");
+            }
+            let inf = if tenant.is_empty() {
+                format!("raven_{name}_bucket{{le=\"+Inf\"}}")
+            } else {
+                format!("raven_{name}_bucket{{tenant=\"{tenant}\",le=\"+Inf\"}}")
+            };
+            let _ = writeln!(out, "{inf} {}", h.count);
+            let _ = writeln!(out, "raven_{name}_sum{label} {}", h.sum);
+            let _ = writeln!(out, "raven_{name}_count{label} {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        // Every bucket's upper bound falls inside the bucket.
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_count_sum_and_quantiles() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        // p50 lands in the bucket holding 3 (values [2,4)).
+        assert_eq!(s.quantile(0.5), 3);
+        // p100 lands in the bucket holding 1000 (values [512,1024)).
+        assert_eq!(s.quantile(1.0), 1023);
+        assert!((s.mean() - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in 0..100u64 {
+            whole.observe(v * 7);
+            if v % 2 == 0 {
+                a.observe(v * 7);
+            } else {
+                b.observe(v * 7);
+            }
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn gauge_ewma_seeds_then_converges() {
+        let g = Gauge::new();
+        g.ewma(100.0, 0.2);
+        assert_eq!(g.get(), 100.0); // first sample seeds
+        for _ in 0..200 {
+            g.ewma(10.0, 0.2);
+        }
+        assert!((g.get() - 10.0).abs() < 1.0, "ewma should track the shift");
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("queries_total");
+        let b = reg.counter("queries_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.snapshot().counters["queries_total"], 3);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_every_kind() {
+        let mut a = RegistrySnapshot::default();
+        a.add_counter("hits", 3);
+        a.set_gauge("cost", 1.5);
+        let mut b = RegistrySnapshot::default();
+        b.add_counter("hits", 4);
+        b.add_counter("misses", 1);
+        b.set_gauge("cost", 2.5);
+        a.merge(&b);
+        assert_eq!(a.counters["hits"], 7);
+        assert_eq!(a.counters["misses"], 1);
+        assert_eq!(a.gauges["cost"], 4.0);
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("queries_total").add(5);
+        reg.histogram("latency_us").observe(3);
+        let text = reg.snapshot().render("team-a");
+        assert!(text.contains("# TYPE raven_queries_total counter"));
+        assert!(text.contains("raven_queries_total{tenant=\"team-a\"} 5"));
+        assert!(text.contains("raven_latency_us_bucket{tenant=\"team-a\",le=\"3\"} 1"));
+        assert!(text.contains("raven_latency_us_count{tenant=\"team-a\"} 1"));
+        // The aggregate renders without a tenant label.
+        let agg = reg.snapshot().render("");
+        assert!(agg.contains("raven_queries_total 5"));
+    }
+}

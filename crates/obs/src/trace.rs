@@ -1,0 +1,563 @@
+//! Request-scoped span trees, head sampling, and the slow-query ring.
+//!
+//! A [`SpanRecorder`] is an `Option<Arc<..>>`: the disabled recorder is
+//! `None`, so every span call on an unsampled request is a single branch
+//! — no clock read, no allocation. When a request *is* sampled (1-in-N
+//! head sampling decided by [`TraceSink::begin`]), spans record name,
+//! offset-from-request-start, duration, and parent, building a tree that
+//! [`TraceSink::finish`] freezes into an immutable [`Trace`].
+//!
+//! Retention: sampled traces land in a bounded ring; any trace whose
+//! total latency crosses the slow-query threshold is *also* kept in a
+//! separate slow ring so a burst of fast sampled traffic can never evict
+//! the interesting requests. A slow request that was not head-sampled
+//! still lands in the slow ring as a spanless record (tenant, query,
+//! total) — detecting it costs one comparison against a total the server
+//! already computed, preserving the zero-overhead contract.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One completed span inside a [`Trace`]. `parent` indexes into the
+/// trace's span vector; `None` marks a root (request-level) stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    pub name: String,
+    pub parent: Option<u32>,
+    pub start_us: u64,
+    pub duration_us: u64,
+}
+
+/// A frozen per-request span tree with enough context to read the
+/// slow-query log without the server that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Global capture order — later seq means more recent.
+    pub seq: u64,
+    pub tenant: String,
+    /// The query text (or `score:<model>` for point lookups), truncated
+    /// to [`TRACE_SQL_CAP`] bytes.
+    pub sql: String,
+    pub total_us: u64,
+    /// True when the request crossed the slow-query threshold.
+    pub slow: bool,
+    pub spans: Vec<Span>,
+}
+
+/// Queries longer than this are truncated in captured traces.
+pub const TRACE_SQL_CAP: usize = 512;
+
+impl Trace {
+    /// Sum of root-level stage durations. The acceptance bar for the
+    /// tracing plumbing: this should land within ~10% of `total_us` for
+    /// a traced request, because the root stages tile the request.
+    pub fn stage_total_us(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .map(|s| s.duration_us)
+            .sum()
+    }
+
+    /// Human-readable per-stage breakdown, children indented under
+    /// parents, in start order.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace #{} tenant={} total={:.3} ms{}  {}",
+            self.seq,
+            if self.tenant.is_empty() {
+                "default"
+            } else {
+                &self.tenant
+            },
+            self.total_us as f64 / 1e3,
+            if self.slow { " [slow]" } else { "" },
+            self.sql,
+        );
+        // Depth-first in start order: spans were appended in open order,
+        // so a simple depth lookup per span keeps rendering linear.
+        let mut depth = vec![0usize; self.spans.len()];
+        for (i, s) in self.spans.iter().enumerate() {
+            if let Some(p) = s.parent {
+                depth[i] = depth[p as usize] + 1;
+            }
+            let _ = writeln!(
+                out,
+                "  {:indent$}{:<24} {:>10.3} ms  (+{:.3} ms)",
+                "",
+                s.name,
+                s.duration_us as f64 / 1e3,
+                s.start_us as f64 / 1e3,
+                indent = depth[i] * 2,
+            );
+        }
+        out
+    }
+}
+
+struct RecSpan {
+    name: &'static str,
+    label: Option<String>,
+    parent: Option<u32>,
+    start_us: u64,
+    duration_us: u64,
+}
+
+struct RecState {
+    spans: Vec<RecSpan>,
+    /// Indices of currently open spans; new spans parent onto the most
+    /// recently opened one. Spans recorded from other threads (batcher
+    /// worker, scorer morsels) remove themselves by index, not by pop,
+    /// so concurrent guards cannot corrupt the stack.
+    open: Vec<u32>,
+}
+
+struct TraceInner {
+    start: Instant,
+    state: Mutex<RecState>,
+}
+
+/// A cheap-to-clone handle recording spans for one request. Threaded by
+/// value/reference through the serving path the same way `CancelToken`
+/// is: cloned into the executor, passed to the batcher, defaulted in the
+/// `Scorer` trait.
+#[derive(Clone)]
+pub struct SpanRecorder {
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl std::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRecorder")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl SpanRecorder {
+    /// The no-op recorder: every method is a branch on `None`.
+    #[inline]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live recorder; normally minted by [`TraceSink::begin`].
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(TraceInner {
+                start: Instant::now(),
+                state: Mutex::new(RecState {
+                    spans: Vec::with_capacity(16),
+                    open: Vec::with_capacity(8),
+                }),
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span; it closes (and records its duration) when the
+    /// returned guard drops. On a disabled recorder this is free.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.open_span(name, None)
+    }
+
+    /// Like [`span`](Self::span) but with a dynamic label (model name,
+    /// operator detail). The closure only runs when the recorder is
+    /// live, so the disabled path never allocates.
+    #[inline]
+    pub fn span_labeled(&self, name: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
+        if self.inner.is_none() {
+            return SpanGuard { slot: None };
+        }
+        self.open_span(name, Some(label()))
+    }
+
+    fn open_span(&self, name: &'static str, label: Option<String>) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { slot: None };
+        };
+        let start_us = inner.start.elapsed().as_micros() as u64;
+        let mut state = inner.state.lock().unwrap();
+        let idx = state.spans.len() as u32;
+        let parent = state.open.last().copied();
+        state.spans.push(RecSpan {
+            name,
+            label,
+            parent,
+            start_us,
+            duration_us: 0,
+        });
+        state.open.push(idx);
+        SpanGuard {
+            slot: Some((Arc::clone(inner), idx)),
+        }
+    }
+
+    /// Record an already-measured span (e.g. batcher queue time measured
+    /// on the worker thread). `started_at` is clamped to the request
+    /// start if it predates the recorder.
+    pub fn record(&self, name: &'static str, started_at: Instant, duration: Duration) {
+        let Some(inner) = &self.inner else { return };
+        let start_us = started_at
+            .saturating_duration_since(inner.start)
+            .as_micros() as u64;
+        let mut state = inner.state.lock().unwrap();
+        let parent = state.open.last().copied();
+        state.spans.push(RecSpan {
+            name,
+            label: None,
+            parent,
+            start_us,
+            duration_us: duration.as_micros() as u64,
+        });
+    }
+
+    /// Freeze the recorded spans. Used by [`TraceSink::finish`]; public
+    /// so tests can inspect a recorder directly.
+    pub fn into_spans(self) -> Vec<Span> {
+        let Some(inner) = self.inner else {
+            return Vec::new();
+        };
+        let state = inner.state.lock().unwrap();
+        state
+            .spans
+            .iter()
+            .map(|s| Span {
+                name: match &s.label {
+                    Some(l) => format!("{}:{}", s.name, l),
+                    None => s.name.to_string(),
+                },
+                parent: s.parent,
+                start_us: s.start_us,
+                duration_us: s.duration_us,
+            })
+            .collect()
+    }
+}
+
+/// Closes its span on drop. Inert (all-`None`) when minted by a
+/// disabled recorder.
+pub struct SpanGuard {
+    slot: Option<(Arc<TraceInner>, u32)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((inner, idx)) = self.slot.take() else {
+            return;
+        };
+        let now_us = inner.start.elapsed().as_micros() as u64;
+        let mut state = inner.state.lock().unwrap();
+        let span = &mut state.spans[idx as usize];
+        span.duration_us = now_us.saturating_sub(span.start_us);
+        state.open.retain(|&i| i != idx);
+    }
+}
+
+/// Tracing knobs. `sample_every == 0` disables tracing entirely
+/// (including slow-query capture): `begin` is one branch per request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Head-sample one request in this many. 1 traces everything.
+    pub sample_every: u32,
+    /// Requests at or above this total latency are always kept in the
+    /// slow ring (with spans when sampled, spanless otherwise).
+    pub slow_threshold: Duration,
+    /// Capacity of each ring (sampled and slow).
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            sample_every: 64,
+            slow_threshold: Duration::from_millis(100),
+            ring_capacity: 128,
+        }
+    }
+}
+
+/// Per-tenant trace retention: decides sampling at request head, and
+/// files finished traces into bounded rings.
+#[derive(Debug)]
+pub struct TraceSink {
+    config: TraceConfig,
+    admitted: AtomicU64,
+    /// Shared across tenants so `seq` totally orders captures
+    /// server-wide; the aggregate view sorts on it.
+    seq: Arc<AtomicU64>,
+    ring: Mutex<VecDeque<Arc<Trace>>>,
+    slow: Mutex<VecDeque<Arc<Trace>>>,
+}
+
+impl TraceSink {
+    pub fn new(config: TraceConfig, seq: Arc<AtomicU64>) -> Self {
+        Self {
+            config,
+            admitted: AtomicU64::new(0),
+            seq,
+            ring: Mutex::new(VecDeque::new()),
+            slow: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Head-sampling decision for one request. Disabled sink: a plain
+    /// field compare. Enabled: one relaxed `fetch_add` plus a modulo.
+    #[inline]
+    pub fn begin(&self) -> SpanRecorder {
+        if self.config.sample_every == 0 {
+            return SpanRecorder::disabled();
+        }
+        let n = self.admitted.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(self.config.sample_every as u64) {
+            SpanRecorder::enabled()
+        } else {
+            SpanRecorder::disabled()
+        }
+    }
+
+    /// File the request's trace. Sampled traces enter the sampled ring;
+    /// slow requests always enter the slow ring (spanless if the head
+    /// sample passed them over). With tracing disabled this returns
+    /// immediately.
+    pub fn finish(&self, recorder: SpanRecorder, tenant: &str, sql: &str, total: Duration) {
+        if self.config.sample_every == 0 {
+            return;
+        }
+        let slow = total >= self.config.slow_threshold;
+        if !recorder.is_enabled() && !slow {
+            return;
+        }
+        let mut sql_cap = sql;
+        if sql_cap.len() > TRACE_SQL_CAP {
+            let mut end = TRACE_SQL_CAP;
+            while !sql_cap.is_char_boundary(end) {
+                end -= 1;
+            }
+            sql_cap = &sql_cap[..end];
+        }
+        let sampled = recorder.is_enabled();
+        let trace = Arc::new(Trace {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            tenant: tenant.to_string(),
+            sql: sql_cap.to_string(),
+            total_us: total.as_micros() as u64,
+            slow,
+            spans: recorder.into_spans(),
+        });
+        if sampled {
+            push_bounded(&self.ring, trace.clone(), self.config.ring_capacity);
+        }
+        if slow {
+            push_bounded(&self.slow, trace, self.config.ring_capacity);
+        }
+    }
+
+    /// Most recent sampled traces, newest first.
+    pub fn recent(&self, n: usize) -> Vec<Arc<Trace>> {
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .rev()
+            .take(n)
+            .cloned()
+            .collect()
+    }
+
+    /// Most recent slow traces, newest first.
+    pub fn recent_slow(&self, n: usize) -> Vec<Arc<Trace>> {
+        self.slow
+            .lock()
+            .unwrap()
+            .iter()
+            .rev()
+            .take(n)
+            .cloned()
+            .collect()
+    }
+}
+
+fn push_bounded(ring: &Mutex<VecDeque<Arc<Trace>>>, trace: Arc<Trace>, cap: usize) {
+    if cap == 0 {
+        return;
+    }
+    let mut ring = ring.lock().unwrap();
+    if ring.len() == cap {
+        ring.pop_front();
+    }
+    ring.push_back(trace);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink(sample_every: u32, slow_ms: u64, cap: usize) -> TraceSink {
+        TraceSink::new(
+            TraceConfig {
+                sample_every,
+                slow_threshold: Duration::from_millis(slow_ms),
+                ring_capacity: cap,
+            },
+            Arc::new(AtomicU64::new(0)),
+        )
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = SpanRecorder::disabled();
+        assert!(!rec.is_enabled());
+        let _g = rec.span("normalize");
+        rec.record("queue", Instant::now(), Duration::from_micros(5));
+        assert!(rec.into_spans().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_under_the_open_parent() {
+        let rec = SpanRecorder::enabled();
+        {
+            let _outer = rec.span("plan-cache-lookup");
+            {
+                let _inner = rec.span("parse-bind");
+            }
+            let _inner2 = rec.span("optimize");
+        }
+        let _root2 = rec.span("fingerprint");
+        drop(_root2);
+        let spans = rec.into_spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["plan-cache-lookup", "parse-bind", "optimize", "fingerprint"]
+        );
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(0));
+        assert_eq!(spans[3].parent, None);
+    }
+
+    #[test]
+    fn labels_attach_only_when_enabled() {
+        let rec = SpanRecorder::enabled();
+        drop(rec.span_labeled("scorer", || "duration_of_stay".to_string()));
+        let spans = rec.into_spans();
+        assert_eq!(spans[0].name, "scorer:duration_of_stay");
+
+        let off = SpanRecorder::disabled();
+        drop(off.span_labeled("scorer", || panic!("label closure must not run")));
+    }
+
+    #[test]
+    fn head_sampling_keeps_one_in_n() {
+        let sink = sink(4, 10_000, 64);
+        let mut sampled = 0;
+        for _ in 0..40 {
+            let rec = sink.begin();
+            if rec.is_enabled() {
+                sampled += 1;
+            }
+            sink.finish(rec, "t", "SELECT 1", Duration::from_micros(10));
+        }
+        assert_eq!(sampled, 10);
+        assert_eq!(sink.recent(64).len(), 10);
+        assert!(sink.recent_slow(64).is_empty());
+    }
+
+    #[test]
+    fn sample_rate_zero_disables_everything() {
+        let sink = sink(0, 0, 64);
+        let rec = sink.begin();
+        assert!(!rec.is_enabled());
+        sink.finish(rec, "t", "SELECT 1", Duration::from_secs(5));
+        assert!(sink.recent(64).is_empty());
+        assert!(sink.recent_slow(64).is_empty());
+    }
+
+    #[test]
+    fn slow_requests_are_kept_even_when_unsampled() {
+        let sink = sink(1_000_000, 1, 64); // effectively never head-sampled after the first
+        let first = sink.begin(); // request 0 is sampled; discard it fast
+        sink.finish(first, "t", "fast", Duration::from_micros(1));
+        let rec = sink.begin();
+        assert!(!rec.is_enabled());
+        sink.finish(rec, "team-a", "SELECT slow", Duration::from_millis(50));
+        let slow = sink.recent_slow(10);
+        assert_eq!(slow.len(), 1);
+        assert!(slow[0].slow);
+        assert!(slow[0].spans.is_empty(), "unsampled slow trace is spanless");
+        assert_eq!(slow[0].sql, "SELECT slow");
+    }
+
+    #[test]
+    fn rings_are_bounded_and_newest_first() {
+        let sink = sink(1, 0, 4); // everything sampled, everything slow
+        for i in 0..10 {
+            let rec = sink.begin();
+            sink.finish(rec, "t", &format!("q{i}"), Duration::from_micros(i));
+        }
+        let recent = sink.recent(64);
+        assert_eq!(recent.len(), 4);
+        assert_eq!(recent[0].sql, "q9");
+        assert_eq!(recent[3].sql, "q6");
+        assert_eq!(sink.recent_slow(2).len(), 2);
+    }
+
+    #[test]
+    fn stage_totals_sum_root_spans_only() {
+        let rec = SpanRecorder::enabled();
+        {
+            let _a = rec.span("result-cache-lookup");
+            std::thread::sleep(Duration::from_millis(2));
+            let _child = rec.span("op:Scan");
+        }
+        let spans = rec.into_spans();
+        let trace = Trace {
+            seq: 0,
+            tenant: String::new(),
+            sql: String::new(),
+            total_us: spans.iter().map(|s| s.duration_us).max().unwrap_or(0),
+            slow: false,
+            spans,
+        };
+        // Only the root contributes; the nested operator span does not
+        // double-count.
+        assert_eq!(
+            trace.stage_total_us(),
+            trace.spans[0].duration_us,
+            "{trace:?}"
+        );
+        assert!(trace.render().contains("result-cache-lookup"));
+    }
+
+    #[test]
+    fn long_sql_is_truncated_at_a_char_boundary() {
+        let sink = sink(1, 10_000, 4);
+        let rec = sink.begin();
+        let sql = "é".repeat(TRACE_SQL_CAP); // 2 bytes each
+        sink.finish(rec, "t", &sql, Duration::from_micros(1));
+        let kept = sink.recent(1);
+        assert!(kept[0].sql.len() <= TRACE_SQL_CAP);
+        assert!(kept[0].sql.chars().all(|c| c == 'é'));
+    }
+}

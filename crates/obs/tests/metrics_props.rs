@@ -1,0 +1,155 @@
+//! Property tests for the algebra the cross-tenant aggregation leans
+//! on: histogram merge is associative and commutative, and per-tenant
+//! registry snapshots absorbed into an aggregate reconcile *exactly* —
+//! any merge order, any grouping, any partition of the observations.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use raven_obs::{Histogram, HistogramSnapshot, RegistrySnapshot};
+
+/// Observation values spanning several buckets, small enough that no
+/// sum of a whole test case can overflow `u64`.
+fn observations() -> impl Strategy<Value = Vec<u64>> {
+    vec(
+        prop_oneof![0..8u64, 8..1024u64, 1024..1_000_000u64, Just(1u64 << 40),],
+        0..64,
+    )
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+/// Metric names drawn from a small pool so different tenants collide on
+/// some names (the interesting case for merge) and miss on others.
+const NAMES: [&str; 4] = ["queries_total", "rows_total", "errors_total", "latency_us"];
+
+/// One tenant's worth of snapshot content. Gauge values are integers
+/// (exact in `f64`), so summing them in any order or grouping is exact
+/// and the associativity assertions below hold bit-for-bit.
+fn tenant_snapshot() -> impl Strategy<Value = RegistrySnapshot> {
+    (
+        vec((0..NAMES.len(), 0..1_000_000u64), 0..8),
+        vec((0..NAMES.len(), -1000..1000i32), 0..8),
+        vec((0..NAMES.len(), observations()), 0..3),
+    )
+        .prop_map(|(counters, gauges, histograms)| {
+            let mut snap = RegistrySnapshot::default();
+            for (i, v) in counters {
+                snap.add_counter(NAMES[i], v);
+            }
+            for (i, v) in gauges {
+                let name = NAMES[i];
+                let current = snap.gauges.get(name).copied().unwrap_or(0.0);
+                snap.set_gauge(name, current + v as f64);
+            }
+            for (i, values) in histograms {
+                snap.add_histogram(NAMES[i], &snapshot_of(&values));
+            }
+            snap
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn histogram_merge_is_commutative(a in observations(), b in observations()) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in observations(),
+        b in observations(),
+        c in observations(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn partitioned_observations_reconcile_exactly(
+        values in observations(),
+        parts in 1..5usize,
+    ) {
+        // Observing a stream whole, or sharded across `parts` histograms
+        // (one per tenant) and merging the shards, must be the same
+        // distribution — count, sum, every bucket, every quantile.
+        let whole = snapshot_of(&values);
+        let shards: Vec<Vec<u64>> = (0..parts)
+            .map(|p| {
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % parts == p)
+                    .map(|(_, &v)| v)
+                    .collect()
+            })
+            .collect();
+        let mut merged = HistogramSnapshot::default();
+        for shard in &shards {
+            merged.merge(&snapshot_of(shard));
+        }
+        prop_assert_eq!(merged, whole);
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn tenant_snapshots_absorb_into_aggregate_exactly(
+        tenants in vec(tenant_snapshot(), 0..6),
+    ) {
+        // Merge order must not matter: folding the per-tenant snapshots
+        // forward or in reverse yields the identical aggregate.
+        let mut forward = RegistrySnapshot::default();
+        for t in &tenants {
+            forward.merge(t);
+        }
+        let mut reverse = RegistrySnapshot::default();
+        for t in tenants.iter().rev() {
+            reverse.merge(t);
+        }
+        prop_assert_eq!(&forward, &reverse);
+
+        // And the aggregate must be an exact reconciliation: each
+        // counter is the sum over tenants, each histogram's count/sum
+        // are the sums over tenants — nothing sampled, nothing lost.
+        for name in NAMES {
+            let counter_sum: u64 = tenants
+                .iter()
+                .filter_map(|t| t.counters.get(name))
+                .sum();
+            prop_assert_eq!(
+                forward.counters.get(name).copied().unwrap_or(0),
+                counter_sum
+            );
+            let (count_sum, value_sum) = tenants
+                .iter()
+                .filter_map(|t| t.histograms.get(name))
+                .fold((0u64, 0u64), |(c, s), h| (c + h.count, s + h.sum));
+            let agg = forward.histograms.get(name).copied().unwrap_or_default();
+            prop_assert_eq!(agg.count, count_sum);
+            prop_assert_eq!(agg.sum, value_sum);
+        }
+    }
+}

@@ -5,6 +5,7 @@ use crate::eval::{evaluate, evaluate_predicate};
 use crate::Result;
 use raven_data::{Catalog, Column, RecordBatch, Schema, Table, Value};
 use raven_ir::{AggFunc, Expr, Plan};
+use raven_obs::SpanRecorder;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 #[allow(unused_imports)]
@@ -85,6 +86,23 @@ pub trait Scorer: Send + Sync {
         self.score(node, batch)
     }
 
+    /// Tracing-aware scoring, threaded the same way cancellation is: the
+    /// default opens a `scorer-invocation` span (free when the recorder
+    /// is disabled) and delegates to [`Scorer::score_cancellable`], so
+    /// existing scorers keep compiling. Scorers that know more — the
+    /// runtime layer knows the model name and execution mode — override
+    /// this to label the span.
+    fn score_traced(
+        &self,
+        node: &Plan,
+        batch: &RecordBatch,
+        cancel: &CancelToken,
+        trace: &SpanRecorder,
+    ) -> Result<Vec<f64>> {
+        let _span = trace.span("scorer-invocation");
+        self.score_cancellable(node, batch, cancel)
+    }
+
     /// Whether the engine may split the input into morsels and call
     /// [`Scorer::score`] from multiple worker threads. Out-of-process
     /// scorers typically serialize on one external runtime and return
@@ -92,6 +110,26 @@ pub trait Scorer: Send + Sync {
     fn parallelizable(&self, node: &Plan) -> bool {
         let _ = node;
         true
+    }
+}
+
+/// Static span name for an operator, used for per-operator execution
+/// spans. `op:` prefixed so trace renderings read unambiguously next to
+/// request-level stages.
+fn op_span_name(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan { .. } => "op:scan",
+        Plan::Filter { .. } => "op:filter",
+        Plan::Project { .. } => "op:project",
+        Plan::Join { .. } => "op:join",
+        Plan::Aggregate { .. } => "op:aggregate",
+        Plan::Union { .. } => "op:union",
+        Plan::Sort { .. } => "op:sort",
+        Plan::Limit { .. } => "op:limit",
+        Plan::Predict { .. } => "op:predict",
+        Plan::TensorPredict { .. } => "op:tensor-predict",
+        Plan::ClusteredPredict { .. } => "op:clustered-predict",
+        Plan::Udf { .. } => "op:udf",
     }
 }
 
@@ -150,6 +188,7 @@ pub struct Executor<'a> {
     scorer: &'a dyn Scorer,
     options: ExecOptions,
     cancel: CancelToken,
+    trace: SpanRecorder,
 }
 
 /// An executor that *owns* its catalog and scorer behind `Arc`s, so it can
@@ -193,6 +232,32 @@ impl SharedExecutor {
             .execute(plan)
     }
 
+    /// [`SharedExecutor::execute_with_params`] plus a span recorder: when
+    /// the request is sampled, every operator and scorer invocation lands
+    /// in its span tree. A disabled recorder adds one branch per
+    /// operator.
+    pub fn execute_traced(
+        &self,
+        plan: &Plan,
+        params: &[raven_data::Value],
+        cancel: &CancelToken,
+        trace: &SpanRecorder,
+    ) -> Result<Table> {
+        let run = |plan: &Plan| {
+            Executor::new(&self.catalog, self.scorer.as_ref(), self.options)
+                .with_cancel(cancel.clone())
+                .with_trace(trace.clone())
+                .execute(plan)
+        };
+        if params.is_empty() && plan.parameter_count() == 0 {
+            return run(plan);
+        }
+        let bound = plan
+            .bind_parameters(params)
+            .map_err(|e| ExecError::Eval(e.to_string()))?;
+        run(&bound)
+    }
+
     /// Execute a prepared template plan with positional parameter values:
     /// placeholders are substituted into a throwaway copy of the plan
     /// ([`Plan::bind_parameters`] — arity and types validated there), the
@@ -221,12 +286,19 @@ impl<'a> Executor<'a> {
             scorer,
             options,
             cancel: CancelToken::new(),
+            trace: SpanRecorder::disabled(),
         }
     }
 
     /// Attach a cancellation token (checked between operators/morsels).
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Attach a span recorder (per-operator and scorer spans).
+    pub fn with_trace(mut self, trace: SpanRecorder) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -237,6 +309,9 @@ impl<'a> Executor<'a> {
 
     fn exec(&self, plan: &Plan) -> Result<RecordBatch> {
         self.cancel.check()?;
+        // Recursive descent means child operators open their spans while
+        // this guard is live, so the span tree mirrors the plan tree.
+        let _op = self.trace.span(op_span_name(plan));
         match plan {
             Plan::Scan { table, schema } => {
                 let t = self.catalog.table(table)?;
@@ -343,7 +418,9 @@ impl<'a> Executor<'a> {
                 let batch = self.exec(input)?;
                 let allow_parallel = self.scorer.parallelizable(plan);
                 let scores = self.morsel_map(&batch, allow_parallel, |morsel| {
-                    let s = self.scorer.score_cancellable(plan, morsel, &self.cancel)?;
+                    let s = self
+                        .scorer
+                        .score_traced(plan, morsel, &self.cancel, &self.trace)?;
                     if s.len() != morsel.num_rows() {
                         return Err(ExecError::Scoring(format!(
                             "scorer returned {} predictions for {} rows",
@@ -1077,6 +1154,51 @@ mod tests {
             .with_cancel(token)
             .execute(&plan);
         assert!(matches!(err, Err(ExecError::Cancelled)));
+    }
+
+    #[test]
+    fn traced_execution_mirrors_the_plan_tree() {
+        let cat = catalog();
+        let pipeline = Pipeline::new(
+            vec![FeatureStep::new("age", Transform::Identity)],
+            Estimator::Linear(LinearModel::new(vec![0.1], 1.0, LinearKind::Regression).unwrap()),
+        )
+        .unwrap();
+        let plan = Plan::Predict {
+            input: Box::new(Plan::Filter {
+                input: Box::new(scan(&cat, "people")),
+                predicate: Expr::col("age").gt(Expr::lit(35i64)),
+            }),
+            model: ModelRef {
+                name: "m".into(),
+                pipeline: Arc::new(pipeline),
+            },
+            output: "score".into(),
+            mode: raven_ir::ExecutionMode::InProcess,
+        };
+        let trace = SpanRecorder::enabled();
+        let t = Executor::new(&cat, &PipelineScorer, ExecOptions::serial())
+            .with_trace(trace.clone())
+            .execute(&plan)
+            .unwrap();
+        assert_eq!(t.num_rows(), 3);
+        let spans = trace.into_spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["op:predict", "op:filter", "op:scan", "scorer-invocation"]
+        );
+        // Parent links mirror the plan: filter under predict, scan under
+        // filter, the scorer invocation under predict.
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(1));
+        assert_eq!(spans[3].parent, Some(0));
+        // An untraced executor records nothing and still works.
+        let t2 = Executor::new(&cat, &PipelineScorer, ExecOptions::serial())
+            .execute(&plan)
+            .unwrap();
+        assert_eq!(t2.num_rows(), 3);
     }
 
     #[test]

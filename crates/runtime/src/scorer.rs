@@ -277,6 +277,26 @@ impl Scorer for RavenScorer {
         })
     }
 
+    /// The runtime layer knows which model it is scoring, so a sampled
+    /// request's scorer span carries the model name as a label (the
+    /// label closure only runs when the recorder is live).
+    fn score_traced(
+        &self,
+        node: &Plan,
+        batch: &RecordBatch,
+        cancel: &CancelToken,
+        trace: &raven_obs::SpanRecorder,
+    ) -> raven_relational::Result<Vec<f64>> {
+        let _span = trace.span_labeled("scorer-invocation", || match node {
+            Plan::Predict { model, .. }
+            | Plan::TensorPredict { model, .. }
+            | Plan::ClusteredPredict { model, .. } => model.name.clone(),
+            Plan::Udf { name, .. } => name.clone(),
+            other => other.label(),
+        });
+        self.score_cancellable(node, batch, cancel)
+    }
+
     fn parallelizable(&self, node: &Plan) -> bool {
         // External runtimes are single processes: one startup, one stream.
         !matches!(
@@ -419,6 +439,24 @@ mod tests {
         };
         let reference = pipeline().predict(&b).unwrap();
         assert_eq!(scorer.score(&node, &b).unwrap(), reference);
+    }
+
+    #[test]
+    fn traced_scoring_labels_the_model() {
+        let scorer = RavenScorer::new(ScorerConfig::instant());
+        let node = Plan::Predict {
+            input: dummy_input(4),
+            model: model_ref(),
+            output: "s".into(),
+            mode: ExecutionMode::InProcess,
+        };
+        let trace = raven_obs::SpanRecorder::enabled();
+        scorer
+            .score_traced(&node, &batch(4), &CancelToken::new(), &trace)
+            .unwrap();
+        let spans = trace.into_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "scorer-invocation:m");
     }
 
     #[test]

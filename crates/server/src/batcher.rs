@@ -11,6 +11,7 @@
 use crate::error::{Result, ServerError};
 use parking_lot::Mutex;
 use raven_core::ModelStore;
+use raven_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanRecorder};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -68,25 +69,6 @@ impl BatcherStats {
         }
     }
 
-    /// Mean wall time per scorer invocation (µs) over the whole run
-    /// (the EWMA fields weight recent invocations instead).
-    pub fn mean_invocation_micros(&self) -> f64 {
-        if self.batches == 0 {
-            0.0
-        } else {
-            self.score_micros as f64 / self.batches as f64
-        }
-    }
-
-    /// Mean wall time per scored row (µs) over the whole run.
-    pub fn mean_row_micros(&self) -> f64 {
-        if self.batched_rows == 0 {
-            0.0
-        } else {
-            self.score_micros as f64 / self.batched_rows as f64
-        }
-    }
-
     /// Fold another batcher's counters into this one (the cross-tenant
     /// aggregate). EWMA costs merge weighted by work done, so an idle
     /// tenant's zeros do not drag the estimate toward zero.
@@ -111,85 +93,67 @@ impl BatcherStats {
     }
 }
 
-/// Observed scorer-cost estimator — the groundwork for adaptive
-/// micro-batching (sizing the flush window from measured cost instead of
-/// a fixed config value). Each scorer invocation feeds `(rows, elapsed)`;
-/// the estimator keeps exponentially-weighted averages of the
-/// per-invocation and per-row cost, so a future flush policy can ask
-/// "how long does a batch of N take?" ≈ `invocation + N × row` and hold
-/// the window only while the queueing delay it adds is smaller than the
-/// invocation overhead it saves.
-#[derive(Default)]
-pub(crate) struct CostEstimator {
-    /// EWMA of per-invocation micros, stored as f64 bits for lock-free
-    /// updates (the flush loop is single-threaded per batcher, but stats
-    /// readers race it).
-    invocation_micros: AtomicU64,
-    row_micros: AtomicU64,
-}
-
-/// EWMA smoothing factor: ~the last 10 invocations dominate.
+/// EWMA smoothing factor for observed scorer cost: ~the last 10
+/// invocations dominate. The cost estimate itself — "how long does a
+/// batch of N take?" ≈ `invocation + N × row` — is the groundwork for
+/// adaptive micro-batching (sizing the flush window from measured cost
+/// instead of a fixed config value).
 const COST_EWMA_ALPHA: f64 = 0.2;
 
-impl CostEstimator {
-    /// Record one scorer invocation of `rows` rows taking `elapsed`.
-    /// Fractional microseconds: fast in-process invocations routinely
-    /// finish in well under 1 µs and must not round to a zero cost.
-    fn record(&self, rows: usize, elapsed: Duration) {
-        let micros = elapsed.as_secs_f64() * 1e6;
-        ewma_update(&self.invocation_micros, micros);
-        if rows > 0 {
-            ewma_update(&self.row_micros, micros / rows as f64);
-        }
-    }
-
-    fn invocation_micros(&self) -> f64 {
-        f64::from_bits(self.invocation_micros.load(Ordering::Relaxed))
-    }
-
-    fn row_micros(&self) -> f64 {
-        f64::from_bits(self.row_micros.load(Ordering::Relaxed))
-    }
-}
-
-/// CAS-loop EWMA over an `AtomicU64` holding f64 bits. The first sample
-/// seeds the average directly (an EWMA from zero would need ~1/α samples
-/// to approach the true cost).
-fn ewma_update(cell: &AtomicU64, sample: f64) {
-    let mut current = cell.load(Ordering::Relaxed);
-    loop {
-        let old = f64::from_bits(current);
-        let next = if old == 0.0 {
-            sample
-        } else {
-            old + COST_EWMA_ALPHA * (sample - old)
-        };
-        match cell.compare_exchange_weak(
-            current,
-            next.to_bits(),
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
-            Ok(_) => return,
-            Err(seen) => current = seen,
-        }
-    }
-}
-
-#[derive(Default)]
+/// Registry-backed batcher instrumentation. Every handle is an `Arc`
+/// over atomics obtained once at construction, so the flush loop records
+/// lock-free; the same series are readable from the tenant's metrics
+/// surface (`raven_batcher_*`). This replaces the bespoke
+/// `CostEstimator`: the CAS-loop EWMA lives in [`raven_obs::Gauge`] now.
 struct Counters {
-    requests: AtomicU64,
-    batches: AtomicU64,
-    batched_rows: AtomicU64,
+    requests: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched_rows: Arc<Counter>,
+    score_micros: Arc<Counter>,
+    /// Rows per scorer invocation (mean/percentiles of coalescing).
+    batch_size: Arc<Histogram>,
+    /// Wall micros per scorer invocation.
+    invocation_us: Arc<Histogram>,
+    /// EWMA of per-invocation / per-row cost in µs (fractional: fast
+    /// in-process invocations finish in well under 1 µs and must not
+    /// round to a zero cost).
+    ewma_invocation_us: Arc<Gauge>,
+    ewma_row_us: Arc<Gauge>,
+    /// Largest single invocation — an exact high-water mark, which a
+    /// log2 histogram cannot recover.
     max_batch_seen: AtomicU64,
-    score_micros: AtomicU64,
-    cost: CostEstimator,
+}
+
+impl Counters {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        Counters {
+            requests: registry.counter("batcher_requests_total"),
+            batches: registry.counter("batcher_batches_total"),
+            batched_rows: registry.counter("batcher_rows_total"),
+            score_micros: registry.counter("batcher_score_micros_total"),
+            batch_size: registry.histogram("batcher_batch_size"),
+            invocation_us: registry.histogram("batcher_invocation_us"),
+            ewma_invocation_us: registry.gauge("batcher_ewma_invocation_us"),
+            ewma_row_us: registry.gauge("batcher_ewma_row_us"),
+            max_batch_seen: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters::from_registry(&MetricsRegistry::new())
+    }
 }
 
 struct Request {
     model: String,
     row: Vec<f64>,
     reply: mpsc::Sender<Result<f64>>,
+    /// When the request entered the queue — the worker turns this into a
+    /// `batcher-queue` span on the request's trace.
+    enqueued: Instant,
+    trace: SpanRecorder,
 }
 
 /// A background coalescing loop over a shared [`ModelStore`].
@@ -205,9 +169,21 @@ pub struct MicroBatcher {
 }
 
 impl MicroBatcher {
+    /// A batcher with a private metrics registry (tests, standalone use).
     pub fn new(store: Arc<ModelStore>, config: BatchConfig) -> Self {
+        MicroBatcher::with_registry(store, config, &MetricsRegistry::new())
+    }
+
+    /// A batcher whose instrumentation lands in `registry` — the serving
+    /// layer passes each tenant's registry so batcher cost observations
+    /// are readable from the tenant's metrics surface.
+    pub fn with_registry(
+        store: Arc<ModelStore>,
+        config: BatchConfig,
+        registry: &MetricsRegistry,
+    ) -> Self {
         let (tx, rx) = mpsc::channel::<Request>();
-        let counters = Arc::new(Counters::default());
+        let counters = Arc::new(Counters::from_registry(registry));
         let worker_counters = counters.clone();
         let worker = std::thread::Builder::new()
             .name("raven-microbatcher".into())
@@ -224,6 +200,14 @@ impl MicroBatcher {
     /// order) against the latest version of `model`. Blocks until the
     /// batched invocation containing this row completes.
     pub fn score(&self, model: &str, row: Vec<f64>) -> Result<f64> {
+        self.score_traced(model, row, &SpanRecorder::disabled())
+    }
+
+    /// [`MicroBatcher::score`] with a span recorder: a sampled request
+    /// gets `batcher-queue` (time from enqueue to flush) and
+    /// `batcher-score` (its share of the batched invocation) spans,
+    /// recorded by the worker thread.
+    pub fn score_traced(&self, model: &str, row: Vec<f64>, trace: &SpanRecorder) -> Result<f64> {
         let (reply_tx, reply_rx) = mpsc::channel();
         {
             let tx = self.tx.lock();
@@ -232,22 +216,24 @@ impl MicroBatcher {
                 model: model.to_string(),
                 row,
                 reply: reply_tx,
+                enqueued: Instant::now(),
+                trace: trace.clone(),
             })
             .map_err(|_| ServerError::ShuttingDown)?;
         }
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.requests.inc();
         reply_rx.recv().map_err(|_| ServerError::ShuttingDown)?
     }
 
     pub fn stats(&self) -> BatcherStats {
         BatcherStats {
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            batched_rows: self.counters.batched_rows.load(Ordering::Relaxed),
+            requests: self.counters.requests.get(),
+            batches: self.counters.batches.get(),
+            batched_rows: self.counters.batched_rows.get(),
             max_batch_seen: self.counters.max_batch_seen.load(Ordering::Relaxed),
-            score_micros: self.counters.score_micros.load(Ordering::Relaxed),
-            ewma_invocation_micros: self.counters.cost.invocation_micros(),
-            ewma_row_micros: self.counters.cost.row_micros(),
+            score_micros: self.counters.score_micros.get(),
+            ewma_invocation_micros: self.counters.ewma_invocation_us.get(),
+            ewma_row_micros: self.counters.ewma_row_us.get(),
         }
     }
 }
@@ -327,6 +313,17 @@ fn flush(pending: Vec<Request>, store: &ModelStore, counters: &Counters) {
 }
 
 fn score_group(model: &str, group: Vec<Request>, store: &ModelStore, counters: &Counters) {
+    // Queue time ends here: the flush has picked this request up. A
+    // disabled recorder makes `record` a no-op, so untraced requests
+    // (the overwhelming majority under 1-in-N sampling) pay nothing.
+    let dequeued = Instant::now();
+    for req in &group {
+        req.trace.record(
+            "batcher-queue",
+            req.enqueued,
+            dequeued.saturating_duration_since(req.enqueued),
+        );
+    }
     let pipeline = match store.get(model) {
         Ok(p) => p,
         Err(e) => {
@@ -355,21 +352,27 @@ fn score_group(model: &str, group: Vec<Request>, store: &ModelStore, counters: &
     for req in &good {
         flat.extend_from_slice(&req.row);
     }
-    counters.batches.fetch_add(1, Ordering::Relaxed);
-    counters
-        .batched_rows
-        .fetch_add(rows as u64, Ordering::Relaxed);
+    counters.batches.inc();
+    counters.batched_rows.add(rows as u64);
     counters
         .max_batch_seen
         .fetch_max(rows as u64, Ordering::Relaxed);
+    counters.batch_size.observe(rows as u64);
     let score_started = Instant::now();
     let outcome = pipeline.predict_raw(&flat, rows);
     let elapsed = score_started.elapsed();
-    counters.score_micros.fetch_add(
-        elapsed.as_micros().min(u64::MAX as u128) as u64,
-        Ordering::Relaxed,
-    );
-    counters.cost.record(rows, elapsed);
+    counters
+        .score_micros
+        .add(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    counters.invocation_us.observe_micros(elapsed);
+    let micros = elapsed.as_secs_f64() * 1e6;
+    counters.ewma_invocation_us.ewma(micros, COST_EWMA_ALPHA);
+    counters
+        .ewma_row_us
+        .ewma(micros / rows as f64, COST_EWMA_ALPHA);
+    for req in &good {
+        req.trace.record("batcher-score", score_started, elapsed);
+    }
     match outcome {
         Ok(scores) => {
             for (req, score) in good.into_iter().zip(scores) {
@@ -478,6 +481,8 @@ mod tests {
                 model: "m".into(),
                 row: vec![i as f64],
                 reply: reply_tx,
+                enqueued: Instant::now(),
+                trace: SpanRecorder::disabled(),
             })
             .unwrap();
             replies.push(reply_rx);
@@ -505,44 +510,48 @@ mod tests {
         drop(tx);
         worker.join().unwrap();
         // One full batch of 4, one drained residue of 2.
-        assert_eq!(counters.batches.load(Ordering::Relaxed), 2);
-        assert_eq!(counters.batched_rows.load(Ordering::Relaxed), 6);
+        assert_eq!(counters.batches.get(), 2);
+        assert_eq!(counters.batched_rows.get(), 6);
         assert_eq!(counters.max_batch_seen.load(Ordering::Relaxed), 4);
     }
 
     #[test]
-    fn cost_estimator_converges_and_tracks_shifts() {
-        let est = CostEstimator::default();
+    fn ewma_cost_gauges_converge_and_track_shifts() {
+        // The old bespoke CostEstimator's contract, now carried by the
+        // registry gauges the flush loop feeds.
+        let c = Counters::default();
+        let record = |rows: u64, elapsed: Duration| {
+            let micros = elapsed.as_secs_f64() * 1e6;
+            c.ewma_invocation_us.ewma(micros, COST_EWMA_ALPHA);
+            c.ewma_row_us.ewma(micros / rows as f64, COST_EWMA_ALPHA);
+        };
         // First sample seeds directly — no warm-up bias from zero.
-        est.record(10, Duration::from_micros(1_000));
-        assert_eq!(est.row_micros(), 100.0);
-        assert_eq!(est.invocation_micros(), 1_000.0);
+        record(10, Duration::from_micros(1_000));
+        assert_eq!(c.ewma_row_us.get(), 100.0);
+        assert_eq!(c.ewma_invocation_us.get(), 1_000.0);
         // A steady workload keeps the estimate steady.
         for _ in 0..50 {
-            est.record(10, Duration::from_micros(1_000));
+            record(10, Duration::from_micros(1_000));
         }
-        assert!((est.row_micros() - 100.0).abs() < 1e-9);
+        assert!((c.ewma_row_us.get() - 100.0).abs() < 1e-9);
         // The scorer gets 4x slower (model swap, cold cache): the EWMA
         // converges to the new cost within a few dozen invocations.
         for _ in 0..50 {
-            est.record(10, Duration::from_micros(4_000));
+            record(10, Duration::from_micros(4_000));
         }
         assert!(
-            (est.row_micros() - 400.0).abs() < 5.0,
+            (c.ewma_row_us.get() - 400.0).abs() < 5.0,
             "row cost must track the shift, got {}",
-            est.row_micros()
+            c.ewma_row_us.get()
         );
-        assert!((est.invocation_micros() - 4_000.0).abs() < 50.0);
-        // Zero-row invocations update invocation cost, never row cost.
-        let before = est.row_micros();
-        est.record(0, Duration::from_micros(9_999));
-        assert_eq!(est.row_micros(), before);
+        assert!((c.ewma_invocation_us.get() - 4_000.0).abs() < 50.0);
     }
 
     #[test]
-    fn scorer_cost_lands_in_stats() {
+    fn scorer_cost_lands_in_stats_and_registry() {
         let store = store_with_linear("m", &[1.0], 0.0);
-        let batcher = MicroBatcher::new(store, BatchConfig::default());
+        let registry = MetricsRegistry::new();
+        let batcher = MicroBatcher::with_registry(store, BatchConfig::default(), &registry);
         for i in 0..8 {
             batcher.score("m", vec![i as f64]).unwrap();
         }
@@ -552,13 +561,31 @@ mod tests {
             "observed per-row cost must be exposed: {stats:?}"
         );
         assert!(stats.ewma_invocation_micros >= stats.ewma_row_micros);
-        assert!(stats.mean_invocation_micros() >= stats.mean_row_micros());
         // Aggregation: merging with an idle batcher's zeros must not
         // drag the cost estimate down.
         let mut merged = stats;
         merged.absorb(&BatcherStats::default());
         assert_eq!(merged.ewma_row_micros, stats.ewma_row_micros);
         assert_eq!(merged.requests, stats.requests);
+        // The same observations are readable from the metrics surface.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["batcher_requests_total"], 8);
+        assert_eq!(snap.counters["batcher_rows_total"], stats.batched_rows);
+        let sizes = &snap.histograms["batcher_batch_size"];
+        assert_eq!(sizes.sum, stats.batched_rows);
+        assert_eq!(sizes.count, stats.batches);
+        assert_eq!(snap.gauges["batcher_ewma_row_us"], stats.ewma_row_micros);
+    }
+
+    #[test]
+    fn traced_point_score_records_queue_and_invocation_spans() {
+        let store = store_with_linear("m", &[1.0], 0.0);
+        let batcher = MicroBatcher::new(store, BatchConfig::default());
+        let trace = SpanRecorder::enabled();
+        assert_eq!(batcher.score_traced("m", vec![2.0], &trace).unwrap(), 2.0);
+        let spans = trace.into_spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["batcher-queue", "batcher-score"]);
     }
 
     #[test]

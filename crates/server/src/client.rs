@@ -223,6 +223,55 @@ impl RavenClient {
         self.stats_for("")
     }
 
+    /// Fetch this tenant's unified metrics as Prometheus-style text
+    /// exposition — every series prefixed `raven_` and labeled with the
+    /// tenant. Protocol v5.
+    pub fn metrics(&mut self) -> Result<String> {
+        let tenant = self.tenant.clone();
+        self.metrics_for(&tenant)
+    }
+
+    /// Fetch another tenant's metrics without rebinding the connection.
+    /// A tenant that does not exist yet reports an empty exposition —
+    /// observing never creates.
+    pub fn metrics_for(&mut self, tenant: &str) -> Result<String> {
+        let request = Request::Metrics {
+            tenant: tenant.into(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the exactly-merged cross-tenant aggregate metrics (counters
+    /// and histogram buckets summed; no tenant label).
+    pub fn metrics_aggregate(&mut self) -> Result<String> {
+        self.metrics_for("")
+    }
+
+    /// Fetch up to `limit` most recent slow-query traces for this
+    /// tenant, newest first. Sampled slow requests carry a full span
+    /// tree (per-stage latency breakdown, [`raven_obs::Trace::render`]);
+    /// unsampled ones are captured spanless. Protocol v5.
+    pub fn slow_queries(&mut self, limit: u32) -> Result<Vec<raven_obs::Trace>> {
+        let tenant = self.tenant.clone();
+        self.slow_queries_for(&tenant, limit)
+    }
+
+    /// Fetch slow-query traces for another tenant — or, with `tenant`
+    /// empty, every tenant's interleaved in capture order.
+    pub fn slow_queries_for(&mut self, tenant: &str, limit: u32) -> Result<Vec<raven_obs::Trace>> {
+        let request = Request::Traces {
+            tenant: tenant.into(),
+            limit,
+        };
+        match self.roundtrip(&request)? {
+            Response::Traces { traces } => Ok(traces),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Ask the server to shut down; returns once it acknowledges.
     pub fn shutdown_server(&mut self) -> Result<()> {
         match self.roundtrip(&Request::Shutdown)? {

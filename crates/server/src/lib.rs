@@ -27,7 +27,7 @@
 //!   to point lookups).
 //!
 //! Around that state sits the network front end: a length-prefixed
-//! framed-TCP protocol ([`proto`], version 4 — frames carry the tenant;
+//! framed-TCP protocol ([`proto`], version 5 — frames carry the tenant;
 //! v3 peers land in the [`DEFAULT_TENANT`]) served by a thread-pool
 //! accept loop ([`net::RavenServer`]) and spoken by a blocking client
 //! ([`client::RavenClient`], rebindable per namespace via
@@ -39,6 +39,17 @@
 //! [`ServerError::Overloaded`] / [`ServerError::DeadlineExceeded`]
 //! frames instead of stalling the socket. A noisy tenant exhausts its
 //! own quota at its own boundary; everyone else keeps their latency.
+//!
+//! Threaded through all of it is the observability layer
+//! ([`raven_obs`]): every tenant owns a lock-cheap [`MetricsRegistry`]
+//! (exact cross-tenant aggregation via snapshot [`RegistrySnapshot`]
+//! merge, Prometheus-style text over the v5 `Metrics` frame) and a
+//! [`raven_obs::TraceSink`] capturing head-sampled per-request span
+//! trees — normalize → plan-cache lookup → parse/bind → optimize →
+//! fingerprint → result-cache lookup → admission waits → per-operator
+//! execution — with slow requests always kept for forensics and served
+//! as [`Trace`]s over the v5 `Traces` frame
+//! ([`RavenClient::slow_queries`]).
 //!
 //! Every method takes `&self`; wrap the state in an `Arc` and share it
 //! across as many worker threads as the machine offers:
@@ -100,3 +111,5 @@ pub use result_cache::{ResultCache, ResultCacheStats, ResultDeps};
 pub use state::{ServerConfig, ServerQueryResult, ServerState};
 pub use stats::{LatencySummary, ServerStats, StatsSnapshot};
 pub use tenant::{Tenant, TenantId, TenantQuotaConfig, DEFAULT_TENANT};
+
+pub use raven_obs::{MetricsRegistry, RegistrySnapshot, Span, Trace};

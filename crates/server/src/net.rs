@@ -447,6 +447,22 @@ fn serve_request(request: Request, shared: &Shared) -> Response {
                 }
             }
         }
+        // Same scoping rule as Stats: empty tenant = aggregate, and
+        // observing a tenant must not create one.
+        Request::Metrics { tenant } => match state.metrics_text(&tenant) {
+            Some(text) => Response::Metrics { text },
+            None => Response::Metrics {
+                text: String::new(),
+            },
+        },
+        Request::Traces { tenant, limit } => {
+            let traces = state
+                .slow_queries(&tenant, limit as usize)
+                .unwrap_or_default();
+            Response::Traces {
+                traces: traces.iter().map(|t| (**t).clone()).collect(),
+            }
+        }
         Request::Shutdown => Response::ShutdownAck,
     }
 }

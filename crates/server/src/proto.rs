@@ -13,7 +13,7 @@
 //! still-supported earlier version (≥ [`MIN_PROTOCOL_VERSION`]); anything
 //! else produces a typed error, never a misparse.
 //!
-//! # Frame kinds and payload layout (version 4)
+//! # Frame kinds and payload layout (version 5)
 //!
 //! Request kinds live below `0x80`, response kinds at or above it, and
 //! `0xEE` is the error frame. All integers are little-endian; `f64`s are
@@ -31,24 +31,36 @@
 //! | `0x04` | [`Request::Stats`] | tenant (empty = aggregate across tenants) |
 //! | `0x05` | [`Request::Shutdown`] | *(empty)* |
 //! | `0x06` | [`Request::QueryParams`] | template: string · tenant · params: `u32` count + values · deadline |
+//! | `0x07` | [`Request::Metrics`] | tenant (empty = aggregate across tenants) |
+//! | `0x08` | [`Request::Traces`] | tenant (empty = aggregate) · limit: `u32` |
 //! | `0x81` | [`Response::Prepared`] | cache_hit: `u8` · prepare_micros: `u64` |
 //! | `0x82` | [`Response::Rows`] | cache_hit: `u8` · total_micros: `u64` · table |
 //! | `0x83` | [`Response::Score`] | value: `f64` |
 //! | `0x84` | [`Response::Stats`] | the [`WireStats`] counters, each `u64`, in declaration order |
 //! | `0x85` | [`Response::ShutdownAck`] | *(empty)* |
+//! | `0x86` | [`Response::Metrics`] | text: string (Prometheus-style exposition) |
+//! | `0x87` | [`Response::Traces`] | `u32` count, then per trace (see below) |
 //! | `0xEE` | [`Response::Error`] | code: `u16` [`ErrorCode`] · message: string |
 //!
-//! # Version 3 compatibility
+//! A *trace* in a `Traces` reply is: tenant: string · sql: string ·
+//! seq: `u64` · total_us: `u64` · slow: `u8` · `u32` span count, then
+//! per span: name: string · parent: `u32` (`u32::MAX` marks a root) ·
+//! start_us: `u64` · duration_us: `u64`.
+//!
+//! # Version 3 / 4 compatibility
 //!
 //! Version 3 frames (pre-tenancy) carry no tenant field anywhere: the
 //! decoder accepts them and maps every request to the
 //! [`crate::tenant::DEFAULT_TENANT`] namespace (including `Stats`, which
 //! in a v3 world *was* the whole server). The v3 `Stats` reply also
-//! lacks the trailing latency-percentile counters. The server replies
-//! with the version the request arrived in, so a v3 client round-trips
-//! v3 bytes end to end and never sees a frame it cannot parse. Encoding
-//! always emits [`PROTOCOL_VERSION`] unless an explicit version is
-//! passed ([`Response::encode_for_version`]).
+//! lacks the trailing latency-percentile counters. Version 4 peers
+//! predate the observability frames: `Metrics` (0x07) and `Traces`
+//! (0x08) requests are rejected as [`ProtoError::BadKind`] below
+//! version 5 — same as any unknown kind — so older decoders never face
+//! a payload they cannot parse. The server replies with the version the
+//! request arrived in, so a v3/v4 client round-trips its own bytes end
+//! to end. Encoding always emits [`PROTOCOL_VERSION`] unless an
+//! explicit version is passed ([`Response::encode_for_version`]).
 //!
 //! Result tables ship column-major: `u32` row count, `u32` column count,
 //! then per column its name, a [`DataType`] tag, and the values. Decoding
@@ -78,6 +90,7 @@
 
 use crate::error::ServerError;
 use raven_data::{Column, DataType, Field, Schema, Table, Value};
+use raven_obs::{Span, Trace};
 use std::fmt;
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -89,8 +102,10 @@ use std::time::Duration;
 /// (`result_hits` / `result_misses` / `result_invalidations`) to the
 /// `Stats` reply; version 4 added the *tenant* field to
 /// `Prepare`/`Query`/`QueryParams`/`Score`/`Stats` requests and the
-/// latency-percentile counters to the `Stats` reply.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// latency-percentile counters to the `Stats` reply; version 5 added
+/// the observability frames — `Metrics` (0x07) and `Traces` (0x08)
+/// requests with their `0x86`/`0x87` replies.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Oldest version still decoded. Version-3 peers predate tenancy and
 /// are served in the default tenant; see the module docs.
@@ -108,6 +123,8 @@ const KIND_SCORE: u8 = 0x03;
 const KIND_STATS: u8 = 0x04;
 const KIND_SHUTDOWN: u8 = 0x05;
 const KIND_QUERY_PARAMS: u8 = 0x06;
+const KIND_METRICS: u8 = 0x07;
+const KIND_TRACES: u8 = 0x08;
 
 // Response frame kinds (>= 0x80).
 const KIND_PREPARED: u8 = 0x81;
@@ -115,7 +132,12 @@ const KIND_ROWS: u8 = 0x82;
 const KIND_SCORED: u8 = 0x83;
 const KIND_STATS_REPLY: u8 = 0x84;
 const KIND_SHUTDOWN_ACK: u8 = 0x85;
+const KIND_METRICS_REPLY: u8 = 0x86;
+const KIND_TRACES_REPLY: u8 = 0x87;
 const KIND_ERROR: u8 = 0xEE;
+
+/// `parent` sentinel in a wire-encoded span: this span is a root stage.
+const SPAN_ROOT: u32 = u32::MAX;
 
 /// Decode/transport failures. Everything a hostile or confused peer can
 /// send lands in one of these — never a panic.
@@ -278,6 +300,15 @@ pub enum Request {
     /// Fetch observability counters: one tenant's when `tenant` names
     /// it, the cross-tenant aggregate when `tenant` is empty.
     Stats { tenant: String },
+    /// Fetch the unified metric registry as Prometheus-style text
+    /// exposition: one tenant's (labeled) when `tenant` names it, the
+    /// exactly-merged cross-tenant aggregate when `tenant` is empty.
+    /// Version 5+.
+    Metrics { tenant: String },
+    /// Fetch the `limit` most recent slow-query traces, newest first:
+    /// one tenant's slow ring, or every tenant's interleaved in capture
+    /// order when `tenant` is empty. Version 5+.
+    Traces { tenant: String, limit: u32 },
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
 }
@@ -302,6 +333,12 @@ pub enum Response {
     Score { value: f64 },
     /// Reply to [`Request::Stats`].
     Stats(WireStats),
+    /// Reply to [`Request::Metrics`]: Prometheus-style text exposition
+    /// of the requested scope's metric registry.
+    Metrics { text: String },
+    /// Reply to [`Request::Traces`]: captured slow-query traces, newest
+    /// first, spans in recording order (parents index into the vector).
+    Traces { traces: Vec<Trace> },
     /// Reply to [`Request::Shutdown`].
     ShutdownAck,
     /// Any request can fail with a typed error instead of its reply.
@@ -336,6 +373,8 @@ impl PartialEq for Response {
             ) => a == c && b == d && t1 == t2,
             (Score { value: a }, Score { value: b }) => a == b,
             (Stats(a), Stats(b)) => a == b,
+            (Metrics { text: a }, Metrics { text: b }) => a == b,
+            (Traces { traces: a }, Traces { traces: b }) => a == b,
             (ShutdownAck, ShutdownAck) => true,
             (
                 Error {
@@ -698,6 +737,15 @@ impl Request {
                 put_string(&mut payload, tenant);
                 KIND_STATS
             }
+            Request::Metrics { tenant } => {
+                put_string(&mut payload, tenant);
+                KIND_METRICS
+            }
+            Request::Traces { tenant, limit } => {
+                put_string(&mut payload, tenant);
+                put_u32(&mut payload, *limit);
+                KIND_TRACES
+            }
             Request::Shutdown => KIND_SHUTDOWN,
         };
         frame(PROTOCOL_VERSION, kind, &payload)
@@ -759,6 +807,16 @@ impl Request {
             }
             KIND_STATS => Request::Stats {
                 tenant: if version >= 4 { r.string()? } else { v3() },
+            },
+            // The observability frames are v5-only: an older peer that
+            // sends these bytes has a kind its own protocol does not
+            // define, which is exactly what BadKind means.
+            KIND_METRICS if version >= 5 => Request::Metrics {
+                tenant: r.string()?,
+            },
+            KIND_TRACES if version >= 5 => Request::Traces {
+                tenant: r.string()?,
+                limit: r.u32()?,
             },
             KIND_SHUTDOWN => Request::Shutdown,
             kind => return Err(ProtoError::BadKind(kind)),
@@ -834,6 +892,28 @@ impl Response {
                 }
                 KIND_STATS_REPLY
             }
+            Response::Metrics { text } => {
+                put_string(&mut payload, text);
+                KIND_METRICS_REPLY
+            }
+            Response::Traces { traces } => {
+                put_u32(&mut payload, traces.len() as u32);
+                for t in traces {
+                    put_string(&mut payload, &t.tenant);
+                    put_string(&mut payload, &t.sql);
+                    put_u64(&mut payload, t.seq);
+                    put_u64(&mut payload, t.total_us);
+                    payload.push(t.slow as u8);
+                    put_u32(&mut payload, t.spans.len() as u32);
+                    for s in &t.spans {
+                        put_string(&mut payload, &s.name);
+                        put_u32(&mut payload, s.parent.unwrap_or(SPAN_ROOT));
+                        put_u64(&mut payload, s.start_us);
+                        put_u64(&mut payload, s.duration_us);
+                    }
+                }
+                KIND_TRACES_REPLY
+            }
             Response::ShutdownAck => KIND_SHUTDOWN_ACK,
             Response::Error { code, message } => {
                 put_u16(&mut payload, *code as u16);
@@ -889,6 +969,16 @@ impl Response {
                 }
                 Response::Stats(stats)
             }
+            KIND_METRICS_REPLY => Response::Metrics { text: r.string()? },
+            KIND_TRACES_REPLY => {
+                // Minimum bytes per trace: two string lengths, seq,
+                // total_us, the slow byte, and the span count.
+                let n = r.count(29)?;
+                let traces = (0..n)
+                    .map(|_| decode_trace(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Response::Traces { traces }
+            }
             KIND_SHUTDOWN_ACK => Response::ShutdownAck,
             KIND_ERROR => {
                 let raw = r.u16()?;
@@ -929,6 +1019,36 @@ impl Response {
         }
         Ok(wire)
     }
+}
+
+fn decode_trace(r: &mut Reader<'_>) -> Result<Trace, ProtoError> {
+    let tenant = r.string()?;
+    let sql = r.string()?;
+    let seq = r.u64()?;
+    let total_us = r.u64()?;
+    let slow = decode_bool(r.u8()?)?;
+    // Minimum bytes per span: name length, parent, start_us, duration_us.
+    let n = r.count(24)?;
+    let spans = (0..n)
+        .map(|_| {
+            let name = r.string()?;
+            let parent = r.u32()?;
+            Ok(Span {
+                name,
+                parent: (parent != SPAN_ROOT).then_some(parent),
+                start_us: r.u64()?,
+                duration_us: r.u64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, ProtoError>>()?;
+    Ok(Trace {
+        seq,
+        tenant,
+        sql,
+        total_us,
+        slow,
+        spans,
+    })
 }
 
 fn decode_bool(b: u8) -> Result<bool, ProtoError> {
@@ -1180,6 +1300,81 @@ mod tests {
             code: ErrorCode::Overloaded,
             message: "queue full".into(),
         });
+    }
+
+    #[test]
+    fn observability_frames_roundtrip() {
+        roundtrip_request(Request::Metrics {
+            tenant: String::new(), // aggregate
+        });
+        roundtrip_request(Request::Metrics {
+            tenant: "team-a".into(),
+        });
+        roundtrip_request(Request::Traces {
+            tenant: String::new(),
+            limit: 16,
+        });
+        roundtrip_response(Response::Metrics {
+            text: "raven_queries_total 5\nraven_rows_total{tenant=\"a\"} 50\n".into(),
+        });
+        roundtrip_response(Response::Traces {
+            traces: vec![
+                Trace {
+                    seq: 9,
+                    tenant: "team-a".into(),
+                    sql: "SELECT 1".into(),
+                    total_us: 1500,
+                    slow: false,
+                    spans: vec![
+                        Span {
+                            name: "plan-cache-lookup".into(),
+                            parent: None,
+                            start_us: 2,
+                            duration_us: 40,
+                        },
+                        Span {
+                            name: "parse-bind".into(),
+                            parent: Some(0),
+                            start_us: 3,
+                            duration_us: 20,
+                        },
+                    ],
+                },
+                // A spanless slow capture (unsampled request over the
+                // threshold) must survive the wire too.
+                Trace {
+                    seq: 3,
+                    tenant: "default".into(),
+                    sql: "SELECT slow FROM t".into(),
+                    total_us: 900_000,
+                    slow: true,
+                    spans: Vec::new(),
+                },
+            ],
+        });
+        roundtrip_response(Response::Traces { traces: Vec::new() });
+    }
+
+    /// The observability kinds don't exist below version 5: the decoder
+    /// must reject them as unknown kinds, exactly as a genuine v4 peer's
+    /// decoder would.
+    #[test]
+    fn observability_requests_are_v5_only() {
+        let mut wire = Request::Metrics {
+            tenant: String::new(),
+        }
+        .encode();
+        wire[4] = 4; // pretend a v4 peer sent this kind
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(Request::decode(&body), Err(ProtoError::BadKind(0x07)));
+        let mut wire = Request::Traces {
+            tenant: String::new(),
+            limit: 4,
+        }
+        .encode();
+        wire[4] = 3;
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(Request::decode(&body), Err(ProtoError::BadKind(0x08)));
     }
 
     #[test]

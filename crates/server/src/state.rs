@@ -24,8 +24,9 @@ use crate::AdmissionConfig;
 use raven_core::{ModelStore, RavenSession, SessionConfig};
 use raven_data::{Catalog, CatalogShards, NamespaceMap, Table, Value};
 use raven_ml::Pipeline;
+use raven_obs::{RegistrySnapshot, SpanRecorder, Trace};
 use raven_runtime::RavenScorer;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -77,6 +78,19 @@ pub struct ServerConfig {
     /// ([`mod@crate::normalize`]): literals become `?` placeholders, so
     /// queries differing only in constants share one prepared plan.
     pub normalize_parameters: bool,
+    /// Head-sampling rate for request tracing: every Nth request per
+    /// tenant records a full span tree (1 = every request, 0 = tracing
+    /// off entirely — no per-request allocation, no slow-query capture).
+    /// Unsampled requests still land in the slow-query ring when they
+    /// cross [`ServerConfig::slow_query_threshold`], but without spans
+    /// (the breakdown costs recording; the detection costs one compare).
+    pub trace_sample_rate: u32,
+    /// End-to-end latency at or above which a request is captured in the
+    /// slow-query ring regardless of sampling.
+    pub slow_query_threshold: Duration,
+    /// Capacity of each per-tenant trace ring (sampled and slow rings
+    /// are bounded separately, so fast traffic cannot evict slow traces).
+    pub trace_ring_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +105,9 @@ impl Default for ServerConfig {
             tenant_quota: TenantQuotaConfig::default(),
             max_tenants: 0,
             normalize_parameters: true,
+            trace_sample_rate: 64,
+            slow_query_threshold: Duration::from_millis(100),
+            trace_ring_capacity: 128,
         }
     }
 }
@@ -219,6 +236,10 @@ pub struct ServerState {
     /// Always-present default tenant, resolved without a registry lookup.
     default_tenant: Arc<Tenant>,
     admission: AdmissionController,
+    /// Server-wide trace sequence counter, shared by every tenant's
+    /// [`raven_obs::TraceSink`] so aggregate trace views interleave
+    /// tenants in capture order.
+    trace_seq: Arc<AtomicU64>,
     config: ServerConfig,
 }
 
@@ -263,6 +284,7 @@ impl ServerState {
         let catalogs = CatalogShards::new(TENANT_MAP_SHARDS);
         let default_id = TenantId::default();
         let default_catalog = catalogs.get_or_insert_with(default_id.as_str(), || catalog.clone());
+        let trace_seq = Arc::new(AtomicU64::new(0));
         let default_tenant = Arc::new(Tenant::from_parts(
             default_id.clone(),
             default_catalog,
@@ -270,6 +292,7 @@ impl ServerState {
             scorer,
             config.tenant_quota.clone(),
             config.clone(),
+            trace_seq.clone(),
         ));
         let tenants = TenantRegistry::new();
         // Seed the always-present default tenant. It occupies a slot like
@@ -286,6 +309,7 @@ impl ServerState {
             catalogs,
             default_tenant,
             admission,
+            trace_seq,
             config,
         }
     }
@@ -333,6 +357,7 @@ impl ServerState {
                     Arc::new(RavenScorer::new(self.config.session.scorer.clone())),
                     quota,
                     self.config.clone(),
+                    self.trace_seq.clone(),
                 )
             })
     }
@@ -481,43 +506,62 @@ impl ServerState {
         self.serve_shard(&shard, sql, deadline)
     }
 
-    /// The shared serve shell: resolve the effective deadline, clear
-    /// both admission rings, record the per-request outcome, and run
-    /// `body` with the permits held. Exists once so the ring ordering
-    /// and the outcome accounting (each request is `admitted` or in
-    /// exactly one rejection bucket — the invariant stats reconcile on)
-    /// cannot drift between the literal-SQL and parameterized paths.
+    /// The shared serve shell: resolve the effective deadline, begin the
+    /// request trace, clear both admission rings, record the per-request
+    /// outcome, and run `body` with the permits held. Exists once so the
+    /// ring ordering and the outcome accounting (each request is
+    /// `admitted` or in exactly one rejection bucket — the invariant
+    /// stats reconcile on) cannot drift between the literal-SQL and
+    /// parameterized paths. The trace is finished here too — rejected
+    /// and failed requests get captured (sampled or slow) like served
+    /// ones, with whatever spans they accumulated before the error.
     fn admit_and_run(
         &self,
         shard: &Tenant,
+        sql: &str,
         deadline: Option<Duration>,
-        body: impl FnOnce(Instant, Option<Instant>) -> Result<ServerQueryResult>,
+        body: impl FnOnce(Instant, Option<Instant>, &SpanRecorder) -> Result<ServerQueryResult>,
     ) -> Result<ServerQueryResult> {
         let start = Instant::now();
         let deadline_at = deadline
             .or(self.config.admission.default_deadline)
             .map(|d| start + d);
+        let trace = shard.trace_sink().begin();
         // Ring 1 (tenant quota) before ring 2 (global): a permit held at
         // the global ring while blocked on a tenant quota would let a
         // saturated tenant occupy server-wide capacity. Admission
         // rejections are recorded as per-tenant outcomes, not query
         // errors: the request was never executed.
-        let rings = shard
-            .quota()
-            .admit(deadline_at)
-            .and_then(|tenant_permit| Ok((tenant_permit, self.admission.admit(deadline_at)?)));
+        let rings = {
+            let _span = trace.span("tenant-quota-wait");
+            shard.quota().admit(deadline_at)
+        }
+        .and_then(|tenant_permit| {
+            let _span = trace.span("global-admission-wait");
+            Ok((tenant_permit, self.admission.admit(deadline_at)?))
+        });
         let _permits = match rings {
             Ok(permits) => permits,
             Err(e) => {
                 shard.stats_recorder().record_rejection(&e);
+                shard
+                    .trace_sink()
+                    .finish(trace, shard.id().as_str(), sql, start.elapsed());
                 return Err(e);
             }
         };
         shard.stats_recorder().record_admitted();
-        let outcome = body(start, deadline_at);
+        let outcome = body(start, deadline_at, &trace);
         if outcome.is_err() {
             shard.stats_recorder().record_error();
         }
+        let total = match &outcome {
+            Ok(result) => result.total_time,
+            Err(_) => start.elapsed(),
+        };
+        shard
+            .trace_sink()
+            .finish(trace, shard.id().as_str(), sql, total);
         outcome
     }
 
@@ -527,8 +571,8 @@ impl ServerState {
         sql: &str,
         deadline: Option<Duration>,
     ) -> Result<ServerQueryResult> {
-        self.admit_and_run(shard, deadline, |start, deadline_at| {
-            shard.execute_inner(sql, start, deadline_at)
+        self.admit_and_run(shard, sql, deadline, |start, deadline_at, trace| {
+            shard.execute_inner(sql, start, deadline_at, trace)
         })
     }
 
@@ -564,8 +608,8 @@ impl ServerState {
         params: &[Value],
         deadline: Option<Duration>,
     ) -> Result<ServerQueryResult> {
-        self.admit_and_run(shard, deadline, |start, deadline_at| {
-            shard.execute_params_inner(template, params, start, deadline_at)
+        self.admit_and_run(shard, template, deadline, |start, deadline_at, trace| {
+            shard.execute_params_inner(template, params, start, deadline_at, trace)
         })
     }
 
@@ -610,6 +654,59 @@ impl ServerState {
     /// does not exist; never creates it).
     pub fn tenant_stats(&self, tenant: &str) -> Option<StatsSnapshot> {
         self.try_tenant(tenant).map(|t| t.snapshot())
+    }
+
+    /// One tenant's unified metric snapshot, or — with `tenant` empty —
+    /// the cross-tenant aggregate: counters and log2 histograms merge
+    /// exactly (bucket-wise sums), unlike averaged percentiles. `None`
+    /// if a named tenant does not exist (never creates it).
+    pub fn metrics_snapshot(&self, tenant: &str) -> Option<RegistrySnapshot> {
+        if tenant.is_empty() {
+            let mut merged = RegistrySnapshot::default();
+            for shard in self.tenants.all() {
+                merged.merge(&shard.metrics_snapshot());
+            }
+            return Some(merged);
+        }
+        self.try_tenant(tenant).map(|t| t.metrics_snapshot())
+    }
+
+    /// Prometheus-style text exposition of [`ServerState::metrics_snapshot`]
+    /// — the body of the `Metrics` wire frame. A named tenant's series
+    /// carry a `tenant` label; the aggregate (empty `tenant`) carries
+    /// none.
+    pub fn metrics_text(&self, tenant: &str) -> Option<String> {
+        self.metrics_snapshot(tenant).map(|s| s.render(tenant))
+    }
+
+    /// The most recently captured slow queries, newest first: one
+    /// tenant's slow ring, or (empty `tenant`) every tenant's rings
+    /// interleaved in capture order via the shared trace sequence.
+    pub fn slow_queries(&self, tenant: &str, limit: usize) -> Option<Vec<Arc<Trace>>> {
+        self.collect_traces(tenant, limit, |t, n| t.trace_sink().recent_slow(n))
+    }
+
+    /// The most recently head-sampled request traces, newest first.
+    pub fn recent_traces(&self, tenant: &str, limit: usize) -> Option<Vec<Arc<Trace>>> {
+        self.collect_traces(tenant, limit, |t, n| t.trace_sink().recent(n))
+    }
+
+    fn collect_traces(
+        &self,
+        tenant: &str,
+        limit: usize,
+        pick: impl Fn(&Tenant, usize) -> Vec<Arc<Trace>>,
+    ) -> Option<Vec<Arc<Trace>>> {
+        if tenant.is_empty() {
+            let mut all: Vec<Arc<Trace>> = Vec::new();
+            for shard in self.tenants.all() {
+                all.extend(pick(&shard, limit));
+            }
+            all.sort_by_key(|t| std::cmp::Reverse(t.seq));
+            all.truncate(limit);
+            return Some(all);
+        }
+        self.try_tenant(tenant).map(|t| pick(&t, limit))
     }
 
     /// Aggregate observability snapshot across every tenant: counters
@@ -857,6 +954,76 @@ mod tests {
         let session = server.session();
         let result = session.query("SELECT x0 FROM t WHERE x0 > 97").unwrap();
         assert_eq!(result.table.num_rows(), 2);
+    }
+
+    // -----------------------------------------------------------------
+    // Tracing and metrics.
+
+    #[test]
+    fn sampled_requests_record_stage_breakdowns() {
+        let mut config = ServerConfig::for_tests();
+        config.trace_sample_rate = 1; // sample every request
+        config.slow_query_threshold = Duration::ZERO; // everything is "slow"
+        let server = ServerState::new(config);
+        server.register_table("t", table_of(100)).unwrap();
+        server.store_model("m", linear(vec![1.0], 0.0)).unwrap();
+        server.execute(SQL).unwrap();
+        server.execute(SQL).unwrap();
+        let traces = server.recent_traces(DEFAULT_TENANT, 8).unwrap();
+        assert_eq!(traces.len(), 2, "both requests were sampled");
+        // Newest first: [0] is the warm repeat, [1] the cold request.
+        let cold = &traces[1];
+        let names: Vec<&str> = cold.spans.iter().map(|s| s.name.as_str()).collect();
+        for stage in [
+            "tenant-quota-wait",
+            "global-admission-wait",
+            "normalize",
+            "plan-cache-lookup",
+            "parse-bind",
+            "optimize",
+            "fingerprint",
+            "result-cache-lookup",
+            "op:scan",
+        ] {
+            assert!(names.contains(&stage), "missing {stage} in {names:?}");
+        }
+        assert!(cold.stage_total_us() <= cold.total_us);
+        // The warm repeat hits both caches: no parse, no execution.
+        let warm = &traces[0];
+        let warm_names: Vec<&str> = warm.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(!warm_names.contains(&"parse-bind"), "{warm_names:?}");
+        assert!(
+            !warm_names.iter().any(|n| n.starts_with("op:")),
+            "result-cache hit must skip execution: {warm_names:?}"
+        );
+        assert!(warm_names.contains(&"result-cache-lookup"));
+        // A zero slow threshold lands every request in the slow ring;
+        // the aggregate view interleaves tenants newest-first.
+        let slow = server.slow_queries("", 8).unwrap();
+        assert_eq!(slow.len(), 2);
+        assert!(slow[0].seq > slow[1].seq, "newest first");
+        assert!(slow[0].slow && slow[0].sql == SQL);
+        assert!(slow[0].render().contains("result-cache-lookup"));
+        // And the unified metrics carry the request counters.
+        let text = server.metrics_text("").unwrap();
+        assert!(text.contains("raven_queries_total 2"), "{text}");
+        assert!(
+            server.metrics_text("ghost").is_none(),
+            "metrics must not create tenants"
+        );
+    }
+
+    #[test]
+    fn tracing_disabled_captures_nothing() {
+        let mut config = ServerConfig::for_tests();
+        config.trace_sample_rate = 0;
+        config.slow_query_threshold = Duration::ZERO;
+        let server = ServerState::new(config);
+        server.register_table("t", table_of(10)).unwrap();
+        server.store_model("m", linear(vec![1.0], 0.0)).unwrap();
+        server.execute(SQL).unwrap();
+        assert!(server.recent_traces("", 8).unwrap().is_empty());
+        assert!(server.slow_queries("", 8).unwrap().is_empty());
     }
 
     // -----------------------------------------------------------------

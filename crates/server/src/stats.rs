@@ -29,6 +29,8 @@ use crate::cache::PlanCacheStats;
 use crate::error::ServerError;
 use crate::result_cache::ResultCacheStats;
 use parking_lot::Mutex;
+use raven_obs::{Counter, Histogram, MetricsRegistry};
+use std::sync::Arc;
 
 /// How many recent query latencies the percentile window keeps.
 const LATENCY_WINDOW: usize = 4096;
@@ -107,18 +109,54 @@ struct Counters {
     latencies: LatencyWindow,
 }
 
+/// Registry-backed mirrors of the request-path counters: the same
+/// increments the mutex-guarded [`Counters`] receive, replayed onto
+/// [`raven_obs`] handles so the unified metrics surface (Prometheus
+/// exposition, cross-tenant merges) sees them without taking the lock.
+/// The mutex remains the source of truth for torn-proof snapshots; the
+/// mirror trades that consistency for lock-free reads.
+struct RegistryMirror {
+    queries: Arc<Counter>,
+    errors: Arc<Counter>,
+    rows: Arc<Counter>,
+    normalized: Arc<Counter>,
+    template_hits: Arc<Counter>,
+    admitted: Arc<Counter>,
+    rejected_overloaded: Arc<Counter>,
+    rejected_deadline: Arc<Counter>,
+    /// Log2 latency histogram — unlike the bounded percentile window it
+    /// never forgets, and merges exactly across tenants.
+    latency_us: Arc<Histogram>,
+}
+
+impl RegistryMirror {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        RegistryMirror {
+            queries: registry.counter("queries_total"),
+            errors: registry.counter("errors_total"),
+            rows: registry.counter("rows_total"),
+            normalized: registry.counter("normalized_total"),
+            template_hits: registry.counter("template_hits_total"),
+            admitted: registry.counter("admitted_total"),
+            rejected_overloaded: registry.counter("rejected_overloaded_total"),
+            rejected_deadline: registry.counter("rejected_deadline_total"),
+            latency_us: registry.histogram("query_latency_us"),
+        }
+    }
+}
+
 /// Live counters updated on every query of one tenant.
 pub struct ServerStats {
     started: Instant,
     counters: Mutex<Counters>,
+    mirror: RegistryMirror,
 }
 
 impl Default for ServerStats {
     fn default() -> Self {
-        ServerStats {
-            started: Instant::now(),
-            counters: Mutex::new(Counters::default()),
-        }
+        // A private registry: the mirror writes land somewhere harmless
+        // when the caller doesn't care about the unified surface.
+        ServerStats::with_registry(&MetricsRegistry::new())
     }
 }
 
@@ -127,24 +165,42 @@ impl ServerStats {
         ServerStats::default()
     }
 
+    /// A recorder whose counters are additionally mirrored into
+    /// `registry` (cheap relaxed atomics on the already-locked path), so
+    /// one tenant's [`MetricsRegistry`] carries its request outcomes and
+    /// latency histogram alongside the batcher's metrics.
+    pub fn with_registry(registry: &MetricsRegistry) -> Self {
+        ServerStats {
+            started: Instant::now(),
+            counters: Mutex::new(Counters::default()),
+            mirror: RegistryMirror::from_registry(registry),
+        }
+    }
+
     /// Record one served query — count, row total, and latency land in
     /// one critical section, so no snapshot can see a torn request.
     pub fn record_query(&self, latency: Duration, rows: usize) {
-        let mut counters = self.counters.lock();
-        counters.queries += 1;
-        counters.rows += rows as u64;
-        counters
-            .latencies
-            .record(latency.as_micros().min(u64::MAX as u128) as u64);
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        {
+            let mut counters = self.counters.lock();
+            counters.queries += 1;
+            counters.rows += rows as u64;
+            counters.latencies.record(micros);
+        }
+        self.mirror.queries.inc();
+        self.mirror.rows.add(rows as u64);
+        self.mirror.latency_us.observe(micros);
     }
 
     pub fn record_error(&self) {
         self.counters.lock().errors += 1;
+        self.mirror.errors.inc();
     }
 
     /// The request cleared both admission rings and will execute.
     pub fn record_admitted(&self) {
         self.counters.lock().admitted += 1;
+        self.mirror.admitted.inc();
     }
 
     /// The request was turned away before execution — by either ring.
@@ -153,8 +209,14 @@ impl ServerStats {
     pub fn record_rejection(&self, error: &ServerError) {
         let mut counters = self.counters.lock();
         match error {
-            ServerError::DeadlineExceeded(_) => counters.rejected_deadline += 1,
-            _ => counters.rejected_overloaded += 1,
+            ServerError::DeadlineExceeded(_) => {
+                counters.rejected_deadline += 1;
+                self.mirror.rejected_deadline.inc();
+            }
+            _ => {
+                counters.rejected_overloaded += 1;
+                self.mirror.rejected_overloaded.inc();
+            }
         }
     }
 
@@ -163,8 +225,10 @@ impl ServerStats {
     pub fn record_normalized(&self, cache_hit: bool) {
         let mut counters = self.counters.lock();
         counters.normalized += 1;
+        self.mirror.normalized.inc();
         if cache_hit {
             counters.template_hits += 1;
+            self.mirror.template_hits.inc();
         }
     }
 
@@ -407,6 +471,29 @@ mod tests {
             LatencySummary::from_samples(Vec::new()),
             LatencySummary::default()
         );
+    }
+
+    #[test]
+    fn registry_mirror_tracks_the_counters() {
+        let registry = MetricsRegistry::new();
+        let stats = ServerStats::with_registry(&registry);
+        stats.record_query(Duration::from_micros(250), 3);
+        stats.record_query(Duration::from_micros(90), 2);
+        stats.record_error();
+        stats.record_admitted();
+        stats.record_rejection(&ServerError::DeadlineExceeded("late".into()));
+        stats.record_normalized(true);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["queries_total"], 2);
+        assert_eq!(snap.counters["rows_total"], 5);
+        assert_eq!(snap.counters["errors_total"], 1);
+        assert_eq!(snap.counters["admitted_total"], 1);
+        assert_eq!(snap.counters["rejected_deadline_total"], 1);
+        assert_eq!(snap.counters["normalized_total"], 1);
+        assert_eq!(snap.counters["template_hits_total"], 1);
+        let hist = &snap.histograms["query_latency_us"];
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 340);
     }
 
     /// Regression: a snapshot racing `record_query` must never observe a

@@ -35,9 +35,11 @@ use raven_core::{ModelStore, RavenSession};
 use raven_data::{Catalog, Table, Value};
 use raven_ir::{FingerprintBuilder, PlanFingerprint};
 use raven_ml::Pipeline;
+use raven_obs::{MetricsRegistry, RegistrySnapshot, SpanRecorder, TraceConfig, TraceSink};
 use raven_relational::{CancelToken, ExecError, SharedExecutor};
 use raven_runtime::RavenScorer;
 use std::fmt;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -165,6 +167,14 @@ pub struct Tenant {
     batcher: MicroBatcher,
     quota: AdmissionController,
     stats: ServerStats,
+    /// Unified metric registry: the batcher's counters/histograms, the
+    /// stats recorder's mirrored request counters, and the latency
+    /// histogram all register here. Cache counters are folded in at
+    /// snapshot time ([`Tenant::metrics_snapshot`]) — they keep their own
+    /// consistent accounting.
+    metrics: Arc<MetricsRegistry>,
+    /// Per-tenant trace capture: head sampling plus the slow-query ring.
+    trace_sink: Arc<TraceSink>,
     config: ServerConfig,
 }
 
@@ -172,7 +182,9 @@ impl Tenant {
     /// Assemble a tenant from its shared parts (the catalog typically
     /// comes from the server's [`raven_data::CatalogShards`]) plus the
     /// serving configuration whose cache/batch budgets it applies
-    /// per-tenant.
+    /// per-tenant. `trace_seq` is the server-wide trace sequence counter,
+    /// shared so aggregate trace views interleave tenants in capture
+    /// order.
     pub(crate) fn from_parts(
         id: TenantId,
         catalog: Arc<Catalog>,
@@ -180,13 +192,24 @@ impl Tenant {
         scorer: Arc<RavenScorer>,
         quota: TenantQuotaConfig,
         config: ServerConfig,
+        trace_seq: Arc<AtomicU64>,
     ) -> Self {
         let executor = SharedExecutor::new(
             catalog.clone(),
             scorer.clone() as Arc<dyn raven_relational::Scorer>,
             config.session.exec,
         );
-        let batcher = MicroBatcher::new(store.clone(), config.batch.clone());
+        let metrics = Arc::new(MetricsRegistry::new());
+        let batcher = MicroBatcher::with_registry(store.clone(), config.batch.clone(), &metrics);
+        let trace_sink = Arc::new(TraceSink::new(
+            TraceConfig {
+                sample_every: config.trace_sample_rate,
+                slow_threshold: config.slow_query_threshold,
+                ring_capacity: config.trace_ring_capacity,
+            },
+            trace_seq,
+        ));
+        let stats = ServerStats::with_registry(&metrics);
         Tenant {
             id,
             catalog,
@@ -200,7 +223,9 @@ impl Tenant {
             ),
             batcher,
             quota: AdmissionController::new(quota.admission()),
-            stats: ServerStats::new(),
+            stats,
+            metrics,
+            trace_sink,
             config,
         }
     }
@@ -279,17 +304,26 @@ impl Tenant {
     /// Prepare `sql` through this tenant's plan cache; returns the
     /// prepared plan and whether it was a cache hit.
     pub fn prepare(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
-        let (prepared, cache_hit, _params) = self.prepare_normalized(sql)?;
+        let (prepared, cache_hit, _params) =
+            self.prepare_normalized(sql, &SpanRecorder::disabled())?;
         Ok((prepared, cache_hit))
     }
 
     /// Normalize (when enabled) and prepare: the prepared template plan,
     /// whether it was a cache hit, and the parameter values extracted
     /// from `sql` (empty on the exact-text path).
-    fn prepare_normalized(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool, Vec<Value>)> {
+    fn prepare_normalized(
+        &self,
+        sql: &str,
+        trace: &SpanRecorder,
+    ) -> Result<(Arc<PreparedQuery>, bool, Vec<Value>)> {
         if self.config.normalize_parameters {
-            if let Some(n) = crate::normalize::normalize(sql) {
-                match self.prepare_text(&n.template) {
+            let normalized = {
+                let _span = trace.span("normalize");
+                crate::normalize::normalize(sql)
+            };
+            if let Some(n) = normalized {
+                match self.prepare_text(&n.template, trace) {
                     Ok((prepared, cache_hit)) if prepared.param_count == n.params.len() => {
                         if n.has_params() {
                             self.stats.record_normalized(cache_hit);
@@ -304,16 +338,21 @@ impl Tenant {
                 }
             }
             let canonical = crate::normalize::canonicalize(sql).unwrap_or_else(|| sql.to_string());
-            let (prepared, cache_hit) = self.prepare_text(&canonical)?;
+            let (prepared, cache_hit) = self.prepare_text(&canonical, trace)?;
             return Ok((prepared, cache_hit, Vec::new()));
         }
-        let (prepared, cache_hit) = self.prepare_text(sql)?;
+        let (prepared, cache_hit) = self.prepare_text(sql, trace)?;
         Ok((prepared, cache_hit, Vec::new()))
     }
 
     /// Prepare exactly this text (template or literal SQL), consulting
     /// this tenant's plan cache keyed on (tenant, text, optimizer config).
-    pub(crate) fn prepare_text(&self, sql: &str) -> Result<(Arc<PreparedQuery>, bool)> {
+    pub(crate) fn prepare_text(
+        &self,
+        sql: &str,
+        trace: &SpanRecorder,
+    ) -> Result<(Arc<PreparedQuery>, bool)> {
+        let _span = trace.span("plan-cache-lookup");
         let key = PlanKey {
             tenant: self.id.as_str().to_string(),
             sql: sql.to_string(),
@@ -321,19 +360,25 @@ impl Tenant {
             mode: self.config.session.optimizer_mode,
         };
         if self.config.plan_cache_capacity == 0 {
-            let prepared = self.prepare_uncached(sql)?;
+            let prepared = self.prepare_uncached(sql, trace)?;
             self.plan_cache.note_uncached_preparation();
             return Ok((Arc::new(prepared), false));
         }
         self.plan_cache
-            .get_or_prepare(key, || self.prepare_uncached(sql))
+            .get_or_prepare(key, || self.prepare_uncached(sql, trace))
     }
 
-    fn prepare_uncached(&self, sql: &str) -> Result<PreparedQuery> {
+    fn prepare_uncached(&self, sql: &str, trace: &SpanRecorder) -> Result<PreparedQuery> {
         let start = Instant::now();
         let session = self.session();
-        let bound = session.plan(sql)?;
-        let (optimized, report) = session.optimize(bound.clone())?;
+        let bound = {
+            let _span = trace.span("parse-bind");
+            session.plan(sql)?
+        };
+        let (optimized, report) = {
+            let _span = trace.span("optimize");
+            session.optimize(bound.clone())?
+        };
         Ok(PreparedQuery::from_stages(
             sql,
             &bound,
@@ -356,9 +401,10 @@ impl Tenant {
         sql: &str,
         start: Instant,
         deadline_at: Option<Instant>,
+        trace: &SpanRecorder,
     ) -> Result<ServerQueryResult> {
         let result_epoch = self.result_epoch();
-        let (prepared, cache_hit, params) = self.prepare_normalized(sql)?;
+        let (prepared, cache_hit, params) = self.prepare_normalized(sql, trace)?;
         self.run_prepared(
             prepared,
             cache_hit,
@@ -366,6 +412,7 @@ impl Tenant {
             start,
             deadline_at,
             result_epoch,
+            trace,
         )
     }
 
@@ -376,6 +423,7 @@ impl Tenant {
         params: &[Value],
         start: Instant,
         deadline_at: Option<Instant>,
+        trace: &SpanRecorder,
     ) -> Result<ServerQueryResult> {
         let result_epoch = self.result_epoch();
         // Canonicalize spacing so a hand-written template and the
@@ -383,7 +431,7 @@ impl Tenant {
         // one cache entry.
         let canonical =
             crate::normalize::canonicalize(template).unwrap_or_else(|| template.to_string());
-        let (prepared, cache_hit) = self.prepare_text(&canonical)?;
+        let (prepared, cache_hit) = self.prepare_text(&canonical, trace)?;
         if prepared.param_count != params.len() {
             return Err(ServerError::BadRequest(format!(
                 "statement expects {} parameter(s), got {}",
@@ -398,6 +446,7 @@ impl Tenant {
             start,
             deadline_at,
             result_epoch,
+            trace,
         )
     }
 
@@ -426,6 +475,7 @@ impl Tenant {
     /// deadline's cancellation token, routing deterministic plans through
     /// this tenant's result cache. See the pre-tenancy contract on
     /// [`ResultCache::get_or_execute`] — unchanged, now per tenant.
+    #[allow(clippy::too_many_arguments)]
     fn run_prepared(
         &self,
         prepared: Arc<PreparedQuery>,
@@ -434,6 +484,7 @@ impl Tenant {
         start: Instant,
         deadline_at: Option<Instant>,
         result_epoch: u64,
+        trace: &SpanRecorder,
     ) -> Result<ServerQueryResult> {
         let exec_start = Instant::now();
         let cancel = match deadline_at {
@@ -449,11 +500,18 @@ impl Tenant {
         };
         let caching = self.config.result_cache_capacity > 0;
         let (table, result_cache_hit) = if caching && prepared.determinism.cacheable {
-            let fingerprint = self.result_fingerprint(&prepared, params);
+            let fingerprint = {
+                let _span = trace.span("fingerprint");
+                self.result_fingerprint(&prepared, params)
+            };
             let deps = ResultDeps {
                 models: prepared.model_deps.clone(),
                 tables: prepared.table_deps.clone(),
             };
+            // The lookup span covers the whole get_or_execute: on a hit
+            // it is the replay cost, on a miss the per-operator spans of
+            // the execution nest inside it.
+            let _span = trace.span("result-cache-lookup");
             self.result_cache
                 .get_or_execute(
                     fingerprint,
@@ -465,7 +523,7 @@ impl Tenant {
                     || cancel.check(),
                     || {
                         self.executor
-                            .execute_with_params(&prepared.plan, params, &cancel)
+                            .execute_traced(&prepared.plan, params, &cancel, trace)
                     },
                 )
                 .map_err(map_exec_err)?
@@ -475,7 +533,7 @@ impl Tenant {
             }
             let table = self
                 .executor
-                .execute_with_params(&prepared.plan, params, &cancel)
+                .execute_traced(&prepared.plan, params, &cancel, trace)
                 .map_err(map_exec_err)?;
             (Arc::new(table), false)
         };
@@ -493,9 +551,25 @@ impl Tenant {
     }
 
     /// Score one raw feature row against `model` via this tenant's
-    /// micro-batcher (blocks until the coalesced batch completes).
+    /// micro-batcher (blocks until the coalesced batch completes). The
+    /// request participates in tracing like a query: sampled scores get
+    /// a span tree (queue wait + scorer invocation) and slow ones land
+    /// in the slow-query ring under the synthetic SQL `score:<model>`.
     pub fn score_row(&self, model: &str, row: Vec<f64>) -> Result<f64> {
-        self.batcher.score(model, row)
+        if self.trace_sink.config().sample_every == 0 {
+            // Tracing off: the plain path, no per-request allocation.
+            return self.batcher.score(model, row);
+        }
+        let start = Instant::now();
+        let trace = self.trace_sink.begin();
+        let outcome = self.batcher.score_traced(model, row, &trace);
+        self.trace_sink.finish(
+            trace,
+            self.id.as_str(),
+            &format!("score:{model}"),
+            start.elapsed(),
+        );
+        outcome
     }
 
     /// This tenant's plan-cache counters.
@@ -511,6 +585,45 @@ impl Tenant {
     /// This tenant's micro-batcher counters.
     pub fn batcher_stats(&self) -> BatcherStats {
         self.batcher.stats()
+    }
+
+    /// This tenant's unified metric registry (live handles).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// This tenant's trace capture: head-sampled span trees plus the
+    /// slow-query ring.
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace_sink
+    }
+
+    /// A point-in-time metric snapshot: the live registry (request
+    /// counters, latency histogram, batcher metrics) plus the cache and
+    /// quota counters that keep their own consistent accounting, folded
+    /// in under stable names. Snapshots merge exactly across tenants —
+    /// see [`RegistrySnapshot::merge`].
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = self.metrics.snapshot();
+        let plans = self.plan_cache.stats();
+        snap.add_counter("plan_cache_hits_total", plans.hits);
+        snap.add_counter("plan_cache_misses_total", plans.misses);
+        snap.add_counter("plan_cache_preparations_total", plans.preparations);
+        snap.add_counter("plan_cache_evictions_total", plans.evictions);
+        snap.add_counter("plan_cache_invalidations_total", plans.invalidations);
+        let results = self.result_cache.stats();
+        snap.add_counter("result_cache_hits_total", results.hits);
+        snap.add_counter("result_cache_misses_total", results.misses);
+        snap.add_counter("result_cache_executions_total", results.executions);
+        snap.add_counter("result_cache_evictions_total", results.evictions);
+        snap.add_counter("result_cache_invalidations_total", results.invalidations);
+        snap.add_counter("result_cache_uncacheable_total", results.uncacheable);
+        let (session_hits, session_misses) = self.scorer.cache_stats();
+        snap.add_counter("session_cache_hits_total", session_hits);
+        snap.add_counter("session_cache_misses_total", session_misses);
+        let quota = self.quota.stats();
+        snap.add_counter("quota_permits_total", quota.admitted);
+        snap
     }
 
     /// Full observability snapshot for this tenant: throughput, latency

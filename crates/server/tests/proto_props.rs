@@ -7,7 +7,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use raven_data::{Column, DataType, Schema, Table};
 use raven_server::proto::{read_frame, MAX_FRAME_LEN};
-use raven_server::{ErrorCode, Request, Response, WireStats};
+use raven_server::{ErrorCode, Request, Response, Span, Trace, WireStats};
 use std::io::Cursor;
 use std::time::Duration;
 
@@ -66,8 +66,50 @@ fn request() -> impl Strategy<Value = Request> {
             }
         ),
         tenant().prop_map(|tenant| Request::Stats { tenant }),
+        tenant().prop_map(|tenant| Request::Metrics { tenant }),
+        (tenant(), 0..4096u32).prop_map(|(tenant, limit)| Request::Traces { tenant, limit }),
         Just(Request::Shutdown),
     ]
+}
+
+/// Traces as the server ships them: parents index earlier spans (never
+/// the `u32::MAX` root sentinel, which the encoder owns), and a slow
+/// trace may legitimately carry zero spans (captured unsampled).
+fn trace() -> impl Strategy<Value = Trace> {
+    (
+        tenant(),
+        text(),
+        0..u64::MAX / 2,
+        0..100_000_000u64,
+        0..2u8,
+        vec(
+            (
+                text(),
+                0..2u8,
+                0..512u32,
+                0..10_000_000u64,
+                0..10_000_000u64,
+            ),
+            0..12,
+        ),
+    )
+        .prop_map(|(tenant, sql, seq, total_us, slow, spans)| Trace {
+            seq,
+            tenant,
+            sql,
+            total_us,
+            slow: slow == 1,
+            spans: spans
+                .into_iter()
+                .enumerate()
+                .map(|(i, (name, rooted, parent, start_us, duration_us))| Span {
+                    name,
+                    parent: (rooted == 1 && i > 0).then(|| parent % i as u32),
+                    start_us,
+                    duration_us,
+                })
+                .collect(),
+        })
 }
 
 fn param_value() -> impl Strategy<Value = raven_data::Value> {
@@ -166,6 +208,8 @@ fn response() -> impl Strategy<Value = Response> {
                 latency_p99_micros: v[19],
             })
         }),
+        text().prop_map(|text| Response::Metrics { text }),
+        vec(trace(), 0..4).prop_map(|traces| Response::Traces { traces }),
         Just(Response::ShutdownAck),
         (error_code(), text()).prop_map(|(code, message)| Response::Error { code, message }),
     ]

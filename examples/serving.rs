@@ -20,7 +20,11 @@
 //!   a model swap in one tenant invalidating nothing in the other;
 //! * deterministic result caching: an exact repeat (same plan, same
 //!   constants, same model/table versions) skips execution entirely, and
-//!   a model update invalidates the memoized rows.
+//!   a model update invalidates the memoized rows;
+//! * observability over the wire: Prometheus-style metrics and the
+//!   slow-query log (protocol v5 `Metrics` / `Traces` frames), with the
+//!   slowest request's per-stage span-tree breakdown printed the way an
+//!   operator would read it during an incident.
 
 use raven_data::Value;
 use raven_datagen::{hospital, train};
@@ -51,7 +55,15 @@ const SQL: &str = "\
 
 fn main() {
     // 1. Stand up the server: catalog + model store behind one Arc.
-    let server = Arc::new(ServerState::new(ServerConfig::default()));
+    // Trace every request (instead of the production 1-in-64 default)
+    // and call anything over 2 ms slow, so the forensics section below
+    // has a guaranteed span tree to show.
+    let config = ServerConfig {
+        trace_sample_rate: 1,
+        slow_query_threshold: std::time::Duration::from_millis(2),
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(ServerState::new(config));
     let data = hospital::generate(20_000, 42);
     data.register(server.catalog()).expect("register tables");
     let model = train::hospital_tree(&data, 6).expect("train model");
@@ -212,9 +224,39 @@ fn main() {
         "after team-a's swap: team-a invalidations = {}, team-b invalidations = {}",
         a.result_invalidations, b.result_invalidations,
     );
+
+    // 7. Observability over the wire (protocol v5): the unified metrics
+    // registry as Prometheus-style text, and the slow-query log with its
+    // per-stage latency breakdown.
+    let metrics = observer.metrics_aggregate().expect("metrics frame");
+    println!("\n-- metrics (aggregate, selected series) --");
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("raven_queries_total")
+            || l.starts_with("raven_template_hits_total")
+            || l.starts_with("raven_plan_cache_hits_total")
+            || l.starts_with("raven_result_cache_hits_total")
+            || l.starts_with("raven_batcher_batches_total")
+    }) {
+        println!("{line}");
+    }
+    let slow = observer.slow_queries_for("", 16).expect("slow-query frame");
+    println!(
+        "\n-- slow-query log: {} request(s) over 2 ms --",
+        slow.len()
+    );
+    if let Some(worst) = slow.iter().max_by_key(|t| t.total_us) {
+        let staged: u64 = worst.stage_total_us();
+        println!(
+            "slowest request ({} µs total, {} µs across {} recorded stages):",
+            worst.total_us,
+            staged,
+            worst.spans.len(),
+        );
+        println!("{}", worst.render());
+    }
     net.shutdown();
 
-    // 7. Deterministic result caching: the repeat path is a hash lookup.
+    // 8. Deterministic result caching: the repeat path is a hash lookup.
     // A constant not used above, so the first execution is genuinely cold.
     let cold_sql = SQL.replace("> 6", "> 7.5");
     let cold = server.execute(&cold_sql).expect("cold query");
@@ -239,6 +281,6 @@ fn main() {
         server.result_cache_stats(),
     );
 
-    // 7. What the server measured.
+    // 9. What the server measured.
     println!("\n-- server stats --\n{}", server.stats());
 }
