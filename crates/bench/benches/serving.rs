@@ -21,6 +21,12 @@
 //!   coalescing window widens (`max_batch = 1` reproduces per-tuple
 //!   scoring; the paper's §5 observation v is the same lever at the
 //!   tensor-runtime layer);
+//! * **fixed vs adaptive flush** — point scores under a 5 ms deadline
+//!   against a mixed cheap/expensive model pair: fixed windows
+//!   {0.5, 1, 4 ms} vs the EWMA-sized adaptive window, reporting ok/s,
+//!   p99, shed/expired counts, and the exact outcome reconciliation
+//!   (`requests == scored + shed + expired`, zero rows served past
+//!   their deadline);
 //! * **multi-tenant serving** — N tenants × one hot query each over one
 //!   engine: per-tenant result-cache hit rates, cross-tenant
 //!   invalidation isolation (a model swap in tenant 0 drops nothing
@@ -288,10 +294,7 @@ fn bench_micro_batching(rows: usize) {
     let clients = 64usize;
     for max_batch in [1usize, 8, 64] {
         let config = ServerConfig {
-            batch: BatchConfig {
-                max_batch,
-                flush_interval: Duration::from_micros(50),
-            },
+            batch: BatchConfig::fixed(max_batch, Duration::from_micros(50)),
             ..Default::default()
         };
         let server = Arc::new(ServerState::new(config));
@@ -326,6 +329,147 @@ fn bench_micro_batching(rows: usize) {
             stats.batches,
             stats.requests,
             stats.mean_batch_size(),
+        );
+    }
+}
+
+fn bench_adaptive_flush(rows: usize) {
+    println!(
+        "== fixed vs adaptive flush under a 5 ms deadline \
+         (mixed cheap tree + expensive MLP point scores) =="
+    );
+    let data_rows = rows.min(5_000);
+    let data = hospital::generate(data_rows, 42);
+    // Two models over one featurization: a cheap tree and an MLP whose
+    // per-invocation cost is real — the mix the adaptive window must
+    // price per batch instead of assuming one fixed cost.
+    let cheap = train::hospital_tree(&data, 6).expect("train tree");
+    let expensive = train::hospital_mlp(&data, vec![32, 16], 5).expect("train mlp");
+    let joined = data.joined_batch();
+    let columns: Vec<Vec<f64>> = cheap
+        .steps()
+        .iter()
+        .map(|step| {
+            let col = joined.column_by_name(&step.column).expect("column");
+            step.transform.encode_raw(col).expect("encode")
+        })
+        .collect();
+    let deadline = Duration::from_millis(5);
+    let requests = 2048usize;
+    let clients = 32usize;
+    let policies: Vec<(String, BatchConfig)> = [500u64, 1_000, 4_000]
+        .into_iter()
+        .map(|us| {
+            (
+                format!("fixed {:>4} µs", us),
+                BatchConfig::fixed(64, Duration::from_micros(us)),
+            )
+        })
+        .chain(std::iter::once((
+            "adaptive".to_string(),
+            BatchConfig::adaptive(64, Duration::ZERO, Duration::from_millis(4)),
+        )))
+        .collect();
+    for (label, batch) in policies {
+        let config = ServerConfig {
+            batch,
+            ..Default::default()
+        };
+        let server = Arc::new(ServerState::new(config));
+        server.store_model("cheap", cheap.clone()).expect("store");
+        server
+            .store_model("expensive", expensive.clone())
+            .expect("store");
+        // Warm both models so the cost EWMAs are seeded before any
+        // deadline rides on their predictions.
+        for i in 0..16 {
+            let row: Vec<f64> = columns.iter().map(|c| c[i]).collect();
+            server.score_row("cheap", row.clone()).expect("warm");
+            server.score_row("expensive", row).expect("warm");
+        }
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = server.clone();
+                let columns = columns.clone();
+                std::thread::spawn(move || {
+                    let mut ok_latencies = Vec::new();
+                    let mut rejected = 0usize;
+                    let mut late_ok = 0usize;
+                    for r in 0..requests / clients {
+                        let i = (c * 131 + r * 17) % data_rows;
+                        let row: Vec<f64> = columns.iter().map(|col| col[i]).collect();
+                        let model = if r % 2 == 0 { "cheap" } else { "expensive" };
+                        let sent = Instant::now();
+                        match server.score_row_with_deadline(model, row, Some(deadline)) {
+                            Ok(score) => {
+                                let waited = sent.elapsed();
+                                std::hint::black_box(score);
+                                if waited > deadline {
+                                    late_ok += 1;
+                                }
+                                ok_latencies.push(waited);
+                            }
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                    (ok_latencies, rejected, late_ok)
+                })
+            })
+            .collect();
+        let mut latencies = Vec::new();
+        let mut rejected = 0usize;
+        let mut late_ok = 0usize;
+        for h in handles {
+            let (l, r, late) = h.join().expect("client");
+            latencies.extend(l);
+            rejected += r;
+            late_ok += late;
+        }
+        let elapsed = start.elapsed();
+        latencies.sort();
+        let p99 = latencies
+            .get(latencies.len().saturating_sub(1) * 99 / 100)
+            .copied()
+            .unwrap_or_default();
+        // The worker sheds expired residents at its next flush; give the
+        // outcome counters a moment to reconcile exactly.
+        let settle = Instant::now() + Duration::from_secs(2);
+        let stats = loop {
+            let s = server.batcher_stats();
+            if s.requests == s.batched_rows + s.bad_arity + s.shed + s.expired + s.failed
+                || Instant::now() >= settle
+            {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let reconciled =
+            stats.requests == stats.batched_rows + stats.bad_arity + stats.shed + stats.expired;
+        println!(
+            "  {label}  {:>9.0} ok/s  p99 {:>7} ms  mean batch {:>4.1}  \
+             {} shed, {} expired, {} served-past-deadline  \
+             [requests {} == scored {} + shed {} + expired {}: {}]",
+            qps(latencies.len(), elapsed),
+            ms(p99),
+            stats.mean_batch_size(),
+            stats.shed,
+            stats.expired,
+            late_ok,
+            stats.requests,
+            stats.batched_rows,
+            stats.shed,
+            stats.expired,
+            if reconciled {
+                "exact"
+            } else {
+                "NOT RECONCILED"
+            },
+        );
+        assert_eq!(
+            latencies.len() + rejected,
+            requests,
+            "every request must resolve as a score or a typed rejection"
         );
     }
 }
@@ -573,6 +717,7 @@ fn main() {
     bench_concurrency(rows);
     bench_network_path(rows);
     bench_micro_batching(rows);
+    bench_adaptive_flush(rows);
     bench_multi_tenant(rows);
     bench_tracing_overhead(rows.min(20_000));
 }

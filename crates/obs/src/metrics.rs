@@ -71,6 +71,28 @@ impl Gauge {
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 
+    /// Raise the gauge to `value` if it is higher than the current
+    /// reading — a lock-free high-water mark (CAS fetch-max over the f64
+    /// bits). Concurrent `set_max` calls from any number of threads
+    /// converge on the true maximum.
+    pub fn set_max(&self, value: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(current) >= value {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
     /// Fold `sample` into the gauge as an exponentially weighted moving
     /// average. A zero current value is treated as "unseeded": the first
     /// sample lands verbatim so the average does not have to climb out
@@ -433,6 +455,33 @@ mod tests {
             g.ewma(10.0, 0.2);
         }
         assert!((g.get() - 10.0).abs() < 1.0, "ewma should track the shift");
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let g = Gauge::new();
+        g.set_max(4.0);
+        assert_eq!(g.get(), 4.0);
+        g.set_max(2.0); // lower readings never regress the mark
+        assert_eq!(g.get(), 4.0);
+        g.set_max(9.0);
+        assert_eq!(g.get(), 9.0);
+        // Racing writers converge on the true maximum.
+        let g = std::sync::Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        g.set_max((t * 1_000 + i) as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 3_999.0);
     }
 
     #[test]

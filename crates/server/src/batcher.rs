@@ -1,4 +1,4 @@
-//! Micro-batched point scoring.
+//! Micro-batched point scoring with SLO-aware flushing.
 //!
 //! Serving workloads are dominated by single-row "score this one entity"
 //! requests, but every scoring substrate in Raven is dramatically cheaper
@@ -7,39 +7,108 @@
 //! gap: concurrent single-row requests are queued, coalesced for up to a
 //! flush window (or until a batch fills), grouped by model, and scored
 //! with **one** pipeline invocation per model per flush.
+//!
+//! The flush window is deadline-aware. Each request may carry a deadline;
+//! the worker sheds requests whose deadline expired while they queued
+//! (typed [`ServerError::DeadlineExceeded`], before the scoring batch is
+//! built — an expired row never reaches the scorer), and under the
+//! [`BatchPolicy::Adaptive`] policy the window itself is computed each
+//! loop iteration from the observed cost EWMAs versus the oldest queued
+//! request's remaining slack:
+//!
+//! ```text
+//! predicted_us = ewma_invocation_us + pending × ewma_row_us
+//! window       = clamp(min(oldest_slack − predicted, predicted), min_wait, max_wait)
+//! ```
+//!
+//! The `predicted` term alone bounds how long a wait is *worth* (waiting
+//! longer than the invocation it amortizes is pure latency); the slack
+//! term bounds how long a wait is *affordable* before the predicted
+//! invocation cost eats the oldest request's deadline. Enqueue is guarded
+//! the same way: when even an immediate flush is predicted to miss the
+//! request's deadline, `score` rejects typed instead of queueing a doomed
+//! request ([admit-or-shed]); every shed/expired outcome lands in the
+//! registry (`batcher_shed_total`, `batcher_expired_total`) so the
+//! counters reconcile exactly:
+//! `requests == rows scored + bad_arity + shed + expired + failed`.
+//!
+//! [admit-or-shed]: MicroBatcher::score_with_deadline
 
 use crate::error::{Result, ServerError};
 use parking_lot::Mutex;
 use raven_core::ModelStore;
 use raven_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanRecorder};
+use raven_relational::CancelToken;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// How a partial batch's flush window is sized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchPolicy {
+    /// Flush a partial batch a fixed interval after its first request
+    /// arrived — the pre-adaptive behavior, kept for predictable-latency
+    /// deployments and benchmarks.
+    Fixed {
+        /// Wait this long after a batch's first request before flushing.
+        flush_interval: Duration,
+    },
+    /// Recompute the window every loop iteration from the registry cost
+    /// EWMAs versus the oldest queued deadline (see the module docs for
+    /// the formula), clamped to `[min_wait, max_wait]`. A batch never
+    /// waits longer than `max_wait` in total.
+    Adaptive {
+        /// Floor: always willing to wait at least this long (coalescing
+        /// opportunity even when the scorer measures near-free).
+        min_wait: Duration,
+        /// Ceiling: never hold a partial batch longer than this.
+        max_wait: Duration,
+    },
+}
+
 /// Micro-batching knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchConfig {
     /// Flush as soon as this many requests are pending.
     pub max_batch: usize,
-    /// Flush a partial batch this long after its first request arrived.
-    pub flush_interval: Duration,
+    /// How the partial-batch flush window is sized.
+    pub policy: BatchPolicy,
+}
+
+impl BatchConfig {
+    /// A fixed flush window (the pre-adaptive configuration shape).
+    pub fn fixed(max_batch: usize, flush_interval: Duration) -> Self {
+        BatchConfig {
+            max_batch,
+            policy: BatchPolicy::Fixed { flush_interval },
+        }
+    }
+
+    /// An adaptive window clamped to `[min_wait, max_wait]`.
+    pub fn adaptive(max_batch: usize, min_wait: Duration, max_wait: Duration) -> Self {
+        BatchConfig {
+            max_batch,
+            policy: BatchPolicy::Adaptive { min_wait, max_wait },
+        }
+    }
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        BatchConfig {
-            max_batch: 64,
-            flush_interval: Duration::from_millis(1),
-        }
+        // Adaptive by default: the old fixed 1 ms becomes the ceiling,
+        // so a measured-cheap scorer flushes almost immediately while an
+        // expensive one may still hold the full window.
+        BatchConfig::adaptive(64, Duration::ZERO, Duration::from_millis(1))
     }
 }
 
 /// Counters exposed by [`MicroBatcher::stats`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BatcherStats {
-    /// Single-row requests accepted.
+    /// Single-row requests accepted (every `score` call, counted before
+    /// the outcome is known).
     pub requests: u64,
     /// Scorer invocations issued (per model per flush).
     pub batches: u64,
@@ -47,6 +116,16 @@ pub struct BatcherStats {
     pub batched_rows: u64,
     /// Largest single scorer invocation.
     pub max_batch_seen: u64,
+    /// Requests rejected at enqueue: the cost model predicted a deadline
+    /// miss even for an immediate flush.
+    pub shed: u64,
+    /// Requests whose deadline expired while queued, shed at flush time
+    /// before the scoring batch was built.
+    pub expired: u64,
+    /// Requests rejected for a feature-count mismatch.
+    pub bad_arity: u64,
+    /// Requests that failed before scoring (model not in the store).
+    pub failed: u64,
     /// Total wall time spent inside scorer invocations (µs).
     pub score_micros: u64,
     /// Exponentially-weighted observed cost of one scorer *invocation*
@@ -55,8 +134,11 @@ pub struct BatcherStats {
     /// Exponentially-weighted observed cost per scored *row* (µs) — the
     /// marginal cost that bounds how long a flush window is worth
     /// holding. Together with `ewma_invocation_micros` this is the input
-    /// an adaptive flush policy sizes its window from.
+    /// the adaptive flush policy sizes its window from.
     pub ewma_row_micros: f64,
+    /// The adaptive policy's most recently chosen window (µs); zero
+    /// until the first adaptive sizing decision.
+    pub window_micros: f64,
 }
 
 impl BatcherStats {
@@ -71,7 +153,8 @@ impl BatcherStats {
 
     /// Fold another batcher's counters into this one (the cross-tenant
     /// aggregate). EWMA costs merge weighted by work done, so an idle
-    /// tenant's zeros do not drag the estimate toward zero.
+    /// tenant's zeros do not drag the estimate toward zero; high-water
+    /// marks and the live window take the max.
     pub fn absorb(&mut self, other: &BatcherStats) {
         let (self_rows, other_rows) = (self.batched_rows as f64, other.batched_rows as f64);
         if self_rows + other_rows > 0.0 {
@@ -89,27 +172,83 @@ impl BatcherStats {
         self.batches += other.batches;
         self.batched_rows += other.batched_rows;
         self.max_batch_seen = self.max_batch_seen.max(other.max_batch_seen);
+        self.shed += other.shed;
+        self.expired += other.expired;
+        self.bad_arity += other.bad_arity;
+        self.failed += other.failed;
         self.score_micros += other.score_micros;
+        self.window_micros = self.window_micros.max(other.window_micros);
     }
 }
 
 /// EWMA smoothing factor for observed scorer cost: ~the last 10
 /// invocations dominate. The cost estimate itself — "how long does a
-/// batch of N take?" ≈ `invocation + N × row` — is the groundwork for
-/// adaptive micro-batching (sizing the flush window from measured cost
-/// instead of a fixed config value).
+/// batch of N take?" ≈ `invocation + N × row` — is what the adaptive
+/// flush policy and the enqueue-time shed decision size against.
 const COST_EWMA_ALPHA: f64 = 0.2;
+
+/// Cost predictions are capped at one hour: the EWMAs are observed
+/// wall-clock micros and should never be near this, but a cap keeps the
+/// arithmetic safe to convert into a `Duration`.
+const MAX_PREDICTED_US: f64 = 3.6e9;
+
+/// How often a deadline- or cancel-aware caller wakes to poll its token
+/// while waiting for the batched reply.
+const CANCEL_POLL: Duration = Duration::from_millis(10);
+
+/// Predicted wall cost (µs) of flushing `rows` rows right now, from the
+/// observed EWMAs. Unseeded (zero) or degenerate gauges predict zero, so
+/// a cold batcher never sheds a request with any slack at all.
+fn predicted_cost_us(ewma_invocation_us: f64, ewma_row_us: f64, rows: u64) -> f64 {
+    let sane = |v: f64| if v.is_finite() && v > 0.0 { v } else { 0.0 };
+    (sane(ewma_invocation_us) + rows as f64 * sane(ewma_row_us)).clamp(0.0, MAX_PREDICTED_US)
+}
+
+/// The adaptive policy's window decision, pure so it can be property-
+/// tested: how long a partial batch of `pending` rows may keep waiting,
+/// given the oldest queued request's remaining slack (`None` when no
+/// queued request carries a deadline) and the observed cost EWMAs.
+///
+/// `min(slack − predicted, predicted)` — a wait is *affordable* only
+/// while the predicted invocation cost still fits inside the oldest
+/// deadline's slack, and *worthwhile* only up to about the invocation
+/// cost it amortizes — then clamped to the configured `[min, max]`.
+pub fn adaptive_flush_window(
+    min_wait: Duration,
+    max_wait: Duration,
+    pending: usize,
+    oldest_slack: Option<Duration>,
+    ewma_invocation_us: f64,
+    ewma_row_us: f64,
+) -> Duration {
+    let max_wait = max_wait.max(min_wait);
+    let predicted_us = predicted_cost_us(ewma_invocation_us, ewma_row_us, pending as u64);
+    let predicted = Duration::from_secs_f64(predicted_us / 1e6);
+    let worthwhile = predicted;
+    let affordable = match oldest_slack {
+        Some(slack) => slack.saturating_sub(predicted),
+        None => Duration::MAX,
+    };
+    worthwhile.min(affordable).clamp(min_wait, max_wait)
+}
 
 /// Registry-backed batcher instrumentation. Every handle is an `Arc`
 /// over atomics obtained once at construction, so the flush loop records
 /// lock-free; the same series are readable from the tenant's metrics
-/// surface (`raven_batcher_*`). This replaces the bespoke
-/// `CostEstimator`: the CAS-loop EWMA lives in [`raven_obs::Gauge`] now.
+/// surface (`raven_batcher_*`).
 struct Counters {
     requests: Arc<Counter>,
     batches: Arc<Counter>,
     batched_rows: Arc<Counter>,
     score_micros: Arc<Counter>,
+    /// Enqueue-time rejections: predicted deadline miss.
+    shed: Arc<Counter>,
+    /// Flush-time rejections: deadline expired while queued.
+    expired: Arc<Counter>,
+    /// Feature-count mismatches (individually rejected, rest batch).
+    bad_arity: Arc<Counter>,
+    /// Requests that failed before scoring (model not found).
+    failed: Arc<Counter>,
     /// Rows per scorer invocation (mean/percentiles of coalescing).
     batch_size: Arc<Histogram>,
     /// Wall micros per scorer invocation.
@@ -119,9 +258,15 @@ struct Counters {
     /// round to a zero cost).
     ewma_invocation_us: Arc<Gauge>,
     ewma_row_us: Arc<Gauge>,
-    /// Largest single invocation — an exact high-water mark, which a
-    /// log2 histogram cannot recover.
-    max_batch_seen: AtomicU64,
+    /// Largest single invocation — an exact high-water mark (updated via
+    /// [`Gauge::set_max`]), which a log2 histogram cannot recover.
+    max_batch: Arc<Gauge>,
+    /// The adaptive policy's most recently chosen window (µs).
+    window_us: Arc<Gauge>,
+    /// Requests sitting in the channel right now — the `N` the
+    /// enqueue-time shed decision prices an immediate flush at. Not a
+    /// registry series: it is transient scheduling state, not telemetry.
+    queue_depth: AtomicU64,
 }
 
 impl Counters {
@@ -131,11 +276,17 @@ impl Counters {
             batches: registry.counter("batcher_batches_total"),
             batched_rows: registry.counter("batcher_rows_total"),
             score_micros: registry.counter("batcher_score_micros_total"),
+            shed: registry.counter("batcher_shed_total"),
+            expired: registry.counter("batcher_expired_total"),
+            bad_arity: registry.counter("batcher_bad_arity_total"),
+            failed: registry.counter("batcher_failed_total"),
             batch_size: registry.histogram("batcher_batch_size"),
             invocation_us: registry.histogram("batcher_invocation_us"),
             ewma_invocation_us: registry.gauge("batcher_ewma_invocation_us"),
             ewma_row_us: registry.gauge("batcher_ewma_row_us"),
-            max_batch_seen: AtomicU64::new(0),
+            max_batch: registry.gauge("batcher_max_batch"),
+            window_us: registry.gauge("batcher_window_us"),
+            queue_depth: AtomicU64::new(0),
         }
     }
 }
@@ -153,6 +304,10 @@ struct Request {
     /// When the request entered the queue — the worker turns this into a
     /// `batcher-queue` span on the request's trace.
     enqueued: Instant,
+    /// Absolute SLO deadline: the worker sheds this request at flush
+    /// time if it has already passed, and the adaptive window never
+    /// holds a batch past the oldest queued deadline's slack.
+    deadline: Option<Instant>,
     trace: SpanRecorder,
 }
 
@@ -200,7 +355,7 @@ impl MicroBatcher {
     /// order) against the latest version of `model`. Blocks until the
     /// batched invocation containing this row completes.
     pub fn score(&self, model: &str, row: Vec<f64>) -> Result<f64> {
-        self.score_traced(model, row, &SpanRecorder::disabled())
+        self.score_inner(model, row, None, None, &SpanRecorder::disabled())
     }
 
     /// [`MicroBatcher::score`] with a span recorder: a sampled request
@@ -208,21 +363,107 @@ impl MicroBatcher {
     /// `batcher-score` (its share of the batched invocation) spans,
     /// recorded by the worker thread.
     pub fn score_traced(&self, model: &str, row: Vec<f64>, trace: &SpanRecorder) -> Result<f64> {
+        self.score_inner(model, row, None, None, trace)
+    }
+
+    /// The SLO-aware variant (mirroring `Scorer::score_cancellable`):
+    /// the request is admitted only if the cost model predicts it can be
+    /// scored before `deadline`, is shed typed at flush time if the
+    /// deadline expires while it queues, and the caller waits with a
+    /// timeout instead of indefinitely. A `cancel` token lets the caller
+    /// abandon the wait early (the row may still be scored; its reply is
+    /// dropped). Both `None` make this identical to [`Self::score_traced`].
+    pub fn score_with_deadline(
+        &self,
+        model: &str,
+        row: Vec<f64>,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
+        trace: &SpanRecorder,
+    ) -> Result<f64> {
+        self.score_inner(model, row, deadline, cancel, trace)
+    }
+
+    fn score_inner(
+        &self,
+        model: &str,
+        row: Vec<f64>,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
+        trace: &SpanRecorder,
+    ) -> Result<f64> {
+        // Counted before the enqueue: the worker can flush a row and bump
+        // `batched_rows` the instant it is sent, and no metrics snapshot
+        // may ever observe `batched_rows > requests`.
+        self.counters.requests.inc();
+        // Admit-or-shed: if even an immediate flush of everything queued
+        // (plus this row) is predicted to blow the deadline, reject now —
+        // a doomed request must not occupy queue slots and scorer time.
+        if let Some(at) = deadline {
+            let slack = at.saturating_duration_since(Instant::now());
+            let depth = self.counters.queue_depth.load(Ordering::Relaxed);
+            let predicted_us = predicted_cost_us(
+                self.counters.ewma_invocation_us.get(),
+                self.counters.ewma_row_us.get(),
+                depth + 1,
+            );
+            if slack.as_secs_f64() * 1e6 <= predicted_us {
+                self.counters.shed.inc();
+                return Err(ServerError::DeadlineExceeded(format!(
+                    "shed at enqueue: predicted batch cost {predicted_us:.0} µs \
+                     exceeds remaining deadline slack {:.0} µs ({depth} queued)",
+                    slack.as_secs_f64() * 1e6,
+                )));
+            }
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
         {
             let tx = self.tx.lock();
             let tx = tx.as_ref().ok_or(ServerError::ShuttingDown)?;
+            self.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
             tx.send(Request {
                 model: model.to_string(),
                 row,
                 reply: reply_tx,
                 enqueued: Instant::now(),
+                deadline,
                 trace: trace.clone(),
             })
             .map_err(|_| ServerError::ShuttingDown)?;
         }
-        self.counters.requests.inc();
-        reply_rx.recv().map_err(|_| ServerError::ShuttingDown)?
+        if deadline.is_none() && cancel.is_none() {
+            return reply_rx.recv().map_err(|_| ServerError::ShuttingDown)?;
+        }
+        // Deadline- or cancel-aware wait: sliced `recv_timeout` so a
+        // cancelled token is noticed within CANCEL_POLL even when the
+        // deadline is far (or absent). The worker's flush-time shed is
+        // the authoritative `expired` accounting; returning here merely
+        // stops the caller from waiting on a reply it can no longer use.
+        loop {
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    return Err(ServerError::DeadlineExceeded(
+                        "request cancelled while waiting for its batched score".into(),
+                    ));
+                }
+            }
+            let mut slice = CANCEL_POLL;
+            if let Some(at) = deadline {
+                let now = Instant::now();
+                if now >= at {
+                    return Err(ServerError::DeadlineExceeded(format!(
+                        "deadline exceeded by {:?} waiting for the batched score",
+                        now.saturating_duration_since(at)
+                    )));
+                }
+                slice = slice.min(at - now);
+            }
+            match reply_rx.recv_timeout(slice) {
+                Ok(outcome) => return outcome,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Err(ServerError::ShuttingDown),
+            }
+        }
     }
 
     pub fn stats(&self) -> BatcherStats {
@@ -230,10 +471,15 @@ impl MicroBatcher {
             requests: self.counters.requests.get(),
             batches: self.counters.batches.get(),
             batched_rows: self.counters.batched_rows.get(),
-            max_batch_seen: self.counters.max_batch_seen.load(Ordering::Relaxed),
+            max_batch_seen: self.counters.max_batch.get() as u64,
+            shed: self.counters.shed.get(),
+            expired: self.counters.expired.get(),
+            bad_arity: self.counters.bad_arity.get(),
+            failed: self.counters.failed.get(),
             score_micros: self.counters.score_micros.get(),
             ewma_invocation_micros: self.counters.ewma_invocation_us.get(),
             ewma_row_micros: self.counters.ewma_row_us.get(),
+            window_micros: self.counters.window_us.get(),
         }
     }
 }
@@ -247,6 +493,41 @@ impl Drop for MicroBatcher {
     }
 }
 
+/// When the current partial batch should flush, per the policy. Called
+/// every coalescing iteration so the adaptive window tracks the queue as
+/// it grows: more pending rows → larger predicted cost → tighter
+/// affordable wait against the oldest deadline.
+fn flush_at(
+    policy: &BatchPolicy,
+    pending: &[Request],
+    batch_started: Instant,
+    now: Instant,
+    counters: &Counters,
+) -> Instant {
+    match policy {
+        BatchPolicy::Fixed { flush_interval } => batch_started + *flush_interval,
+        BatchPolicy::Adaptive { min_wait, max_wait } => {
+            let oldest_slack = pending
+                .iter()
+                .filter_map(|r| r.deadline)
+                .min()
+                .map(|at| at.saturating_duration_since(now));
+            let window = adaptive_flush_window(
+                *min_wait,
+                *max_wait,
+                pending.len(),
+                oldest_slack,
+                counters.ewma_invocation_us.get(),
+                counters.ewma_row_us.get(),
+            );
+            counters.window_us.set(window.as_secs_f64() * 1e6);
+            // However the window slides as requests arrive, a batch never
+            // waits more than max_wait in total.
+            (now + window).min(batch_started + *max_wait)
+        }
+    }
+}
+
 fn batch_loop(
     rx: mpsc::Receiver<Request>,
     store: Arc<ModelStore>,
@@ -254,16 +535,40 @@ fn batch_loop(
     counters: Arc<Counters>,
 ) {
     let max_batch = config.max_batch.max(1);
-    while let Ok(first) = rx.recv() {
-        let deadline = Instant::now() + config.flush_interval;
-        let mut pending = vec![first];
+    let take = |req: Request| {
+        counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        req
+    };
+    // The residue of a saturated drain, carried back as the next batch's
+    // seed so it still gets a (policy-sized) coalescing window instead of
+    // flushing alone.
+    let mut seed: Vec<Request> = Vec::new();
+    loop {
+        let mut pending = std::mem::take(&mut seed);
+        if pending.is_empty() {
+            match rx.recv() {
+                Ok(first) => pending.push(take(first)),
+                Err(_) => break,
+            }
+        }
+        // Greedily soak up whatever is already queued: requests that were
+        // waiting while we flushed join the batch without spending any of
+        // its window.
+        while pending.len() < max_batch {
+            match rx.try_recv() {
+                Ok(req) => pending.push(take(req)),
+                Err(_) => break,
+            }
+        }
+        let batch_started = Instant::now();
         while pending.len() < max_batch {
             let now = Instant::now();
-            if now >= deadline {
+            let until = flush_at(&config.policy, &pending, batch_started, now, &counters);
+            if now >= until {
                 break;
             }
-            match rx.recv_timeout(deadline - now) {
-                Ok(req) => pending.push(req),
+            match rx.recv_timeout(until - now) {
+                Ok(req) => pending.push(take(req)),
                 Err(mpsc::RecvTimeoutError::Timeout) => break,
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
@@ -274,34 +579,51 @@ fn batch_loop(
             continue;
         }
         // The batch filled before its window closed, so the queue may
-        // hold a backlog. Drain it now — full batches back to back, then
-        // the partial residue — rather than making requests that already
-        // waited out a saturated flush wait for a fresh timer tick too.
+        // hold a backlog. Drain full batches back to back; a partial
+        // residue becomes the next iteration's seed — it re-enters the
+        // timed coalescing loop above, where the policy decides how long
+        // it may keep waiting.
         loop {
             let mut backlog = Vec::new();
             while backlog.len() < max_batch {
                 match rx.try_recv() {
-                    Ok(req) => backlog.push(req),
+                    Ok(req) => backlog.push(take(req)),
                     Err(_) => break,
                 }
             }
-            if backlog.is_empty() {
+            if backlog.len() < max_batch {
+                seed = backlog;
                 break;
             }
-            let full = backlog.len() >= max_batch;
             flush(backlog, &store, &counters);
-            if !full {
-                break;
-            }
         }
     }
 }
 
-/// Score a flush's worth of requests: one scorer invocation per model.
+/// Score a flush's worth of requests: shed the already-expired, then one
+/// scorer invocation per model. The expiry check happens *before* the
+/// scoring batch is built, so a row whose deadline passed while it
+/// queued never reaches the scorer.
 fn flush(pending: Vec<Request>, store: &ModelStore, counters: &Counters) {
+    let now = Instant::now();
+    let (live, dead): (Vec<Request>, Vec<Request>) = pending
+        .into_iter()
+        .partition(|r| r.deadline.is_none_or(|at| now < at));
+    for req in dead {
+        counters.expired.inc();
+        req.trace.record(
+            "batcher-queue",
+            req.enqueued,
+            now.saturating_duration_since(req.enqueued),
+        );
+        let _ = req.reply.send(Err(ServerError::DeadlineExceeded(format!(
+            "deadline expired after {:?} in the batch queue",
+            now.saturating_duration_since(req.enqueued)
+        ))));
+    }
     // Group by model, preserving arrival order within each group.
     let mut groups: Vec<(String, Vec<Request>)> = Vec::new();
-    for req in pending {
+    for req in live {
         match groups.iter_mut().find(|(m, _)| *m == req.model) {
             Some((_, g)) => g.push(req),
             None => groups.push((req.model.clone(), vec![req])),
@@ -329,6 +651,7 @@ fn score_group(model: &str, group: Vec<Request>, store: &ModelStore, counters: &
         Err(e) => {
             let err = ServerError::Store(e.to_string());
             for req in group {
+                counters.failed.inc();
                 let _ = req.reply.send(Err(err.clone()));
             }
             return;
@@ -339,6 +662,7 @@ fn score_group(model: &str, group: Vec<Request>, store: &ModelStore, counters: &
     let (good, bad): (Vec<Request>, Vec<Request>) =
         group.into_iter().partition(|r| r.row.len() == width);
     for req in bad {
+        counters.bad_arity.inc();
         let _ = req.reply.send(Err(ServerError::BadRequest(format!(
             "model '{model}' takes {width} features, request has {}",
             req.row.len()
@@ -354,9 +678,7 @@ fn score_group(model: &str, group: Vec<Request>, store: &ModelStore, counters: &
     }
     counters.batches.inc();
     counters.batched_rows.add(rows as u64);
-    counters
-        .max_batch_seen
-        .fetch_max(rows as u64, Ordering::Relaxed);
+    counters.max_batch.set_max(rows as f64);
     counters.batch_size.observe(rows as u64);
     let score_started = Instant::now();
     let outcome = pipeline.predict_raw(&flat, rows);
@@ -408,6 +730,25 @@ mod tests {
         store
     }
 
+    fn raw_request(
+        model: &str,
+        row: Vec<f64>,
+        deadline: Option<Instant>,
+    ) -> (Request, mpsc::Receiver<Result<f64>>) {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        (
+            Request {
+                model: model.into(),
+                row,
+                reply: reply_tx,
+                enqueued: Instant::now(),
+                deadline,
+                trace: SpanRecorder::disabled(),
+            },
+            reply_rx,
+        )
+    }
+
     #[test]
     fn scores_match_direct_pipeline() {
         let store = store_with_linear("m", &[2.0, -1.0], 0.5);
@@ -421,11 +762,9 @@ mod tests {
         let store = store_with_linear("m", &[1.0], 0.0);
         let batcher = Arc::new(MicroBatcher::new(
             store,
-            BatchConfig {
-                max_batch: 64,
-                // Wide window: all threads' rows land in very few flushes.
-                flush_interval: Duration::from_millis(50),
-            },
+            // Wide fixed window: all threads' rows land in very few
+            // flushes regardless of measured cost.
+            BatchConfig::fixed(64, Duration::from_millis(50)),
         ));
         let n = 24;
         let handles: Vec<_> = (0..n)
@@ -463,6 +802,12 @@ mod tests {
         ));
         // The queue still works afterwards.
         assert_eq!(batcher.score("m", vec![1.0, 2.0]).unwrap(), 3.0);
+        // Every outcome landed in exactly one bucket.
+        let stats = batcher.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.bad_arity, 1);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.batched_rows, 1);
     }
 
     #[test]
@@ -470,21 +815,16 @@ mod tests {
         // Regression: a queue holding more than `max_batch` requests used
         // to flush one batch and leave the residue waiting out a fresh
         // flush window. Pre-fill the queue before the worker runs so the
-        // scenario is deterministic, with a window (5 s) far beyond what
-        // the test tolerates (1 s per reply).
+        // scenario is deterministic, with a window ceiling (5 s) far
+        // beyond what the test tolerates (1 s per reply) — the adaptive
+        // policy must size the residue's actual wait from the measured
+        // (tiny) scorer cost, not the ceiling.
         let store = store_with_linear("m", &[1.0], 0.0);
         let (tx, rx) = mpsc::channel::<Request>();
         let mut replies = Vec::new();
         for i in 0..6 {
-            let (reply_tx, reply_rx) = mpsc::channel();
-            tx.send(Request {
-                model: "m".into(),
-                row: vec![i as f64],
-                reply: reply_tx,
-                enqueued: Instant::now(),
-                trace: SpanRecorder::disabled(),
-            })
-            .unwrap();
+            let (req, reply_rx) = raw_request("m", vec![i as f64], None);
+            tx.send(req).unwrap();
             replies.push(reply_rx);
         }
         let counters = Arc::new(Counters::default());
@@ -493,17 +833,14 @@ mod tests {
             batch_loop(
                 rx,
                 store,
-                BatchConfig {
-                    max_batch: 4,
-                    flush_interval: Duration::from_secs(5),
-                },
+                BatchConfig::adaptive(4, Duration::ZERO, Duration::from_secs(5)),
                 worker_counters,
             )
         });
         for (i, reply) in replies.iter().enumerate() {
             let scored = reply
                 .recv_timeout(Duration::from_secs(1))
-                .expect("residue must flush immediately, not at the next timer tick")
+                .expect("residue must flush promptly, not at the window ceiling")
                 .unwrap();
             assert_eq!(scored, i as f64);
         }
@@ -512,7 +849,197 @@ mod tests {
         // One full batch of 4, one drained residue of 2.
         assert_eq!(counters.batches.get(), 2);
         assert_eq!(counters.batched_rows.get(), 6);
-        assert_eq!(counters.max_batch_seen.load(Ordering::Relaxed), 4);
+        assert_eq!(counters.max_batch.get(), 4.0);
+    }
+
+    #[test]
+    fn expired_while_queued_shed_before_scoring() {
+        // Two requests whose deadline already passed and two live ones,
+        // pre-filled so one flush sees all four: the expired pair must
+        // come back DeadlineExceeded without their rows ever entering
+        // the scoring batch.
+        let store = store_with_linear("m", &[1.0], 0.0);
+        let (tx, rx) = mpsc::channel::<Request>();
+        let long_dead = Instant::now() - Duration::from_millis(5);
+        let (dead_a, dead_a_rx) = raw_request("m", vec![1.0], Some(long_dead));
+        let (dead_b, dead_b_rx) = raw_request("m", vec![2.0], Some(long_dead));
+        let (live_a, live_a_rx) = raw_request("m", vec![3.0], None);
+        let (live_b, live_b_rx) = raw_request(
+            "m",
+            vec![4.0],
+            Some(Instant::now() + Duration::from_secs(60)),
+        );
+        for req in [dead_a, live_a, dead_b, live_b] {
+            tx.send(req).unwrap();
+        }
+        drop(tx);
+        let counters = Arc::new(Counters::default());
+        let worker_counters = counters.clone();
+        batch_loop(
+            rx,
+            store,
+            BatchConfig::adaptive(64, Duration::ZERO, Duration::from_millis(1)),
+            worker_counters,
+        );
+        for dead_rx in [dead_a_rx, dead_b_rx] {
+            assert!(matches!(
+                dead_rx.recv().unwrap(),
+                Err(ServerError::DeadlineExceeded(_))
+            ));
+        }
+        assert_eq!(live_a_rx.recv().unwrap().unwrap(), 3.0);
+        assert_eq!(live_b_rx.recv().unwrap().unwrap(), 4.0);
+        // The expired rows never reached the scorer: the one invocation
+        // held exactly the two live rows.
+        assert_eq!(counters.expired.get(), 2);
+        assert_eq!(counters.batched_rows.get(), 2);
+        assert_eq!(counters.max_batch.get(), 2.0);
+    }
+
+    #[test]
+    fn enqueue_shed_fires_on_predicted_miss_and_never_without_deadline() {
+        let store = store_with_linear("m", &[1.0], 0.0);
+        let registry = MetricsRegistry::new();
+        let batcher = MicroBatcher::with_registry(store, BatchConfig::default(), &registry);
+        // Teach the cost model that an invocation takes 50 ms: any
+        // deadline with less slack than that is a predicted miss.
+        registry.gauge("batcher_ewma_invocation_us").set(50_000.0);
+        registry.gauge("batcher_ewma_row_us").set(10.0);
+        let tight = Instant::now() + Duration::from_millis(1);
+        let err = batcher
+            .score_with_deadline("m", vec![1.0], Some(tight), None, &SpanRecorder::disabled())
+            .unwrap_err();
+        assert!(
+            matches!(err, ServerError::DeadlineExceeded(ref msg) if msg.contains("shed at enqueue")),
+            "expected an enqueue shed, got {err:?}"
+        );
+        // With no deadline the same predicted cost never sheds.
+        assert_eq!(batcher.score("m", vec![2.0]).unwrap(), 2.0);
+        // A deadline with slack beyond the prediction is admitted too.
+        let roomy = Instant::now() + Duration::from_secs(60);
+        assert_eq!(
+            batcher
+                .score_with_deadline("m", vec![3.0], Some(roomy), None, &SpanRecorder::disabled())
+                .unwrap(),
+            3.0
+        );
+        let stats = batcher.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.batched_rows, 2);
+        // The shed is visible on the metrics surface.
+        assert_eq!(registry.snapshot().counters["batcher_shed_total"], 1);
+    }
+
+    #[test]
+    fn cancel_token_abandons_the_wait() {
+        let store = store_with_linear("m", &[1.0], 0.0);
+        // A long fixed window so the request sits queued while we cancel.
+        let batcher = Arc::new(MicroBatcher::new(
+            store,
+            BatchConfig::fixed(64, Duration::from_secs(5)),
+        ));
+        let token = CancelToken::new();
+        let waiter = {
+            let batcher = batcher.clone();
+            let token = token.clone();
+            std::thread::spawn(move || {
+                batcher.score_with_deadline(
+                    "m",
+                    vec![1.0],
+                    None,
+                    Some(&token),
+                    &SpanRecorder::disabled(),
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel();
+        let outcome = waiter.join().unwrap();
+        assert!(
+            matches!(outcome, Err(ServerError::DeadlineExceeded(_))),
+            "cancel must abandon the wait, got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn requests_never_lag_batched_rows() {
+        // Regression for the enqueue/count race: `requests` used to be
+        // incremented after the send, so a flush could bump
+        // `batched_rows` first and a snapshot could observe
+        // requests < batched_rows. Hammer scores from several threads
+        // while a reader asserts the invariant on every snapshot.
+        let store = store_with_linear("m", &[1.0], 0.0);
+        let batcher = Arc::new(MicroBatcher::new(
+            store,
+            BatchConfig::adaptive(8, Duration::ZERO, Duration::from_micros(200)),
+        ));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let b = batcher.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        b.score("m", vec![(t * 500 + i) as f64]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let b = batcher.clone();
+            std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    let s = b.stats();
+                    assert!(
+                        s.requests >= s.batched_rows,
+                        "snapshot saw batched_rows {} > requests {}",
+                        s.batched_rows,
+                        s.requests
+                    );
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+        let s = batcher.stats();
+        assert_eq!(s.requests, 2_000);
+        assert_eq!(s.batched_rows, 2_000);
+    }
+
+    #[test]
+    fn adaptive_window_formula() {
+        let min = Duration::ZERO;
+        let max = Duration::from_millis(4);
+        // Cold gauges: no evidence a wait is worthwhile → the floor.
+        assert_eq!(adaptive_flush_window(min, max, 1, None, 0.0, 0.0), min);
+        // Cheap rows, no deadlines: the window is about the invocation
+        // cost being amortized (here 500 µs + 2×10 µs), inside [min, max].
+        let w = adaptive_flush_window(min, max, 2, None, 500.0, 10.0);
+        assert_eq!(w, Duration::from_micros(520));
+        // Expensive invocations without deadlines hit the ceiling.
+        assert_eq!(adaptive_flush_window(min, max, 2, None, 1e6, 10.0), max);
+        // A near deadline tightens the window below the worthwhile bound:
+        // slack 1 ms − predicted 520 µs = 480 µs affordable.
+        let w = adaptive_flush_window(min, max, 2, Some(Duration::from_millis(1)), 500.0, 10.0);
+        assert_eq!(w, Duration::from_micros(480));
+        // Slack already consumed by the predicted cost → flush now.
+        let w = adaptive_flush_window(min, max, 2, Some(Duration::from_micros(100)), 500.0, 10.0);
+        assert_eq!(w, min);
+        // Degenerate gauges (NaN/negative) are treated as unseeded.
+        let w = adaptive_flush_window(min, max, 4, None, f64::NAN, -3.0);
+        assert_eq!(w, min);
+        // min > max is tolerated: the floor wins.
+        let w = adaptive_flush_window(
+            Duration::from_millis(2),
+            Duration::from_millis(1),
+            1,
+            None,
+            1e6,
+            0.0,
+        );
+        assert_eq!(w, Duration::from_millis(2));
     }
 
     #[test]
@@ -567,7 +1094,10 @@ mod tests {
         merged.absorb(&BatcherStats::default());
         assert_eq!(merged.ewma_row_micros, stats.ewma_row_micros);
         assert_eq!(merged.requests, stats.requests);
-        // The same observations are readable from the metrics surface.
+        assert_eq!(merged.max_batch_seen, stats.max_batch_seen);
+        // The same observations are readable from the metrics surface —
+        // including the high-water batch size, which used to be a raw
+        // atomic invisible to the registry.
         let snap = registry.snapshot();
         assert_eq!(snap.counters["batcher_requests_total"], 8);
         assert_eq!(snap.counters["batcher_rows_total"], stats.batched_rows);
@@ -575,6 +1105,10 @@ mod tests {
         assert_eq!(sizes.sum, stats.batched_rows);
         assert_eq!(sizes.count, stats.batches);
         assert_eq!(snap.gauges["batcher_ewma_row_us"], stats.ewma_row_micros);
+        assert_eq!(
+            snap.gauges["batcher_max_batch"],
+            stats.max_batch_seen as f64
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //! * a **micro-batcher** ([`MicroBatcher`]): concurrent single-row
 //!   scoring requests coalesce into one batched pipeline invocation per
 //!   flush window (the paper's §5 "batch inference" observation, applied
-//!   to point lookups).
+//!   to point lookups). The window is SLO-aware ([`BatchPolicy`]):
+//!   per-request deadlines admit-or-shed at enqueue, expired requests
+//!   are shed before the scoring batch is built, and the adaptive
+//!   policy sizes each wait from the observed cost EWMAs versus the
+//!   oldest queued deadline's slack.
 //!
 //! Around that state sits the network front end: a length-prefixed
 //! framed-TCP protocol ([`proto`], version 5 — frames carry the tenant;
@@ -100,7 +104,7 @@ pub mod stats;
 pub mod tenant;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
-pub use batcher::{BatchConfig, BatcherStats, MicroBatcher};
+pub use batcher::{adaptive_flush_window, BatchConfig, BatchPolicy, BatcherStats, MicroBatcher};
 pub use cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
 pub use client::{ClientQueryReply, RavenClient};
 pub use error::{Result, ServerError};

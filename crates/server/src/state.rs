@@ -335,6 +335,26 @@ impl ServerState {
     /// `quota` instead of the configured default. If the tenant already
     /// exists its quota is unchanged.
     pub fn tenant_with_quota(&self, tenant: &str, quota: TenantQuotaConfig) -> Result<Arc<Tenant>> {
+        self.tenant_with_config(tenant, quota, self.config.clone())
+    }
+
+    /// [`ServerState::tenant`], but a tenant created by *this* call gets
+    /// `batch` as its micro-batching policy instead of the configured
+    /// default — hot tenants with measured-cheap models can run a wider
+    /// adaptive window while a latency-critical tenant keeps a tight
+    /// fixed one. If the tenant already exists its policy is unchanged.
+    pub fn tenant_with_batch(&self, tenant: &str, batch: BatchConfig) -> Result<Arc<Tenant>> {
+        let mut config = self.config.clone();
+        config.batch = batch;
+        self.tenant_with_config(tenant, self.config.tenant_quota.clone(), config)
+    }
+
+    fn tenant_with_config(
+        &self,
+        tenant: &str,
+        quota: TenantQuotaConfig,
+        config: ServerConfig,
+    ) -> Result<Arc<Tenant>> {
         if tenant == DEFAULT_TENANT {
             return Ok(self.default_tenant.clone());
         }
@@ -354,9 +374,9 @@ impl ServerState {
                     id.clone(),
                     self.catalogs.get_or_create(id.as_str()),
                     Arc::new(ModelStore::new()),
-                    Arc::new(RavenScorer::new(self.config.session.scorer.clone())),
+                    Arc::new(RavenScorer::new(config.session.scorer.clone())),
                     quota,
-                    self.config.clone(),
+                    config,
                     self.trace_seq.clone(),
                 )
             })
@@ -623,6 +643,33 @@ impl ServerState {
     /// Score one raw feature row in `tenant` (created on first use).
     pub fn score_row_in(&self, tenant: &str, model: &str, row: Vec<f64>) -> Result<f64> {
         self.tenant(tenant)?.score_row(model, row)
+    }
+
+    /// [`ServerState::score_row`] under an SLO: the batcher admits,
+    /// queues, and waits only as long as `deadline` (or the configured
+    /// `admission.default_deadline`) allows, shedding typed
+    /// [`ServerError::DeadlineExceeded`] otherwise.
+    pub fn score_row_with_deadline(
+        &self,
+        model: &str,
+        row: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<f64> {
+        self.default_tenant
+            .score_row_with_deadline(model, row, deadline)
+    }
+
+    /// [`ServerState::score_row_with_deadline`] in `tenant` (created on
+    /// first use).
+    pub fn score_row_with_deadline_in(
+        &self,
+        tenant: &str,
+        model: &str,
+        row: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<f64> {
+        self.tenant(tenant)?
+            .score_row_with_deadline(model, row, deadline)
     }
 
     // -----------------------------------------------------------------

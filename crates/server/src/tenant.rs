@@ -556,13 +556,39 @@ impl Tenant {
     /// a span tree (queue wait + scorer invocation) and slow ones land
     /// in the slow-query ring under the synthetic SQL `score:<model>`.
     pub fn score_row(&self, model: &str, row: Vec<f64>) -> Result<f64> {
+        self.score_row_with_deadline(model, row, None)
+    }
+
+    /// [`Tenant::score_row`] under an SLO: `deadline` (or, when `None`,
+    /// the server's `admission.default_deadline`) bounds the whole
+    /// batched round-trip. The batcher sheds the request typed — at
+    /// enqueue when the cost model predicts a miss, at flush when the
+    /// deadline expired while queued — and the wait itself times out
+    /// instead of blocking past the deadline.
+    pub fn score_row_with_deadline(
+        &self,
+        model: &str,
+        row: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<f64> {
+        let start = Instant::now();
+        let deadline_at = deadline
+            .or(self.config.admission.default_deadline)
+            .map(|d| start + d);
         if self.trace_sink.config().sample_every == 0 {
             // Tracing off: the plain path, no per-request allocation.
-            return self.batcher.score(model, row);
+            return self.batcher.score_with_deadline(
+                model,
+                row,
+                deadline_at,
+                None,
+                &SpanRecorder::disabled(),
+            );
         }
-        let start = Instant::now();
         let trace = self.trace_sink.begin();
-        let outcome = self.batcher.score_traced(model, row, &trace);
+        let outcome = self
+            .batcher
+            .score_with_deadline(model, row, deadline_at, None, &trace);
         self.trace_sink.finish(
             trace,
             self.id.as_str(),

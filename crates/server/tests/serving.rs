@@ -166,10 +166,7 @@ fn stress_mixed_workload_with_model_updates() {
 #[test]
 fn micro_batched_point_scores_agree_with_sql() {
     let mut config = ServerConfig::for_tests();
-    config.batch = BatchConfig {
-        max_batch: 32,
-        flush_interval: Duration::from_millis(20),
-    };
+    config.batch = BatchConfig::fixed(32, Duration::from_millis(20));
     let server = Arc::new(ServerState::new(config));
     let data = hospital::generate(64, 7);
     data.register(server.catalog()).unwrap();

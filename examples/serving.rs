@@ -28,8 +28,9 @@
 
 use raven_data::Value;
 use raven_datagen::{hospital, train};
-use raven_server::{NetConfig, RavenClient, RavenServer, ServerConfig, ServerState};
+use raven_server::{BatchConfig, NetConfig, RavenClient, RavenServer, ServerConfig, ServerState};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A one-feature linear model `score = w · x0` — enough to make two
 /// tenants' same-named models visibly different.
@@ -281,6 +282,64 @@ fn main() {
         server.result_cache_stats(),
     );
 
-    // 9. What the server measured.
+    // 9. SLO-aware micro-batching: a dedicated tenant on the adaptive
+    // policy. Each point score carries a deadline; the batcher admits
+    // or sheds against its measured cost EWMAs and re-sizes the flush
+    // window live — printed here straight from the policy's own
+    // `batcher_window_us` gauge.
+    let edge = server
+        .tenant_with_batch(
+            "edge",
+            BatchConfig::adaptive(64, Duration::ZERO, Duration::from_millis(2)),
+        )
+        .expect("edge tenant");
+    edge.store_model("risk", linear_model(3.0))
+        .expect("edge model");
+    println!("\n-- adaptive micro-batching (tenant 'edge', window chosen live) --");
+    for (label, deadline) in [
+        ("no deadline     ", None),
+        ("roomy 20 ms SLO ", Some(Duration::from_millis(20))),
+        ("hopeless 0 ns SLO", Some(Duration::ZERO)),
+    ] {
+        let burst: Vec<_> = (0..8)
+            .map(|t| {
+                let edge = edge.clone();
+                std::thread::spawn(move || {
+                    let mut ok = 0usize;
+                    let mut rejected = 0usize;
+                    for i in 0..8 {
+                        match edge.score_row_with_deadline(
+                            "risk",
+                            vec![(t * 8 + i) as f64],
+                            deadline,
+                        ) {
+                            Ok(_) => ok += 1,
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                    (ok, rejected)
+                })
+            })
+            .collect();
+        let (mut ok, mut rejected) = (0, 0);
+        for h in burst {
+            let (o, r) = h.join().expect("edge scorer");
+            ok += o;
+            rejected += r;
+        }
+        let stats = edge.batcher_stats();
+        println!(
+            "{label}: {ok} scored / {rejected} rejected typed; \
+             chosen window {:.1} µs (EWMA cost: invocation {:.1} µs, row {:.2} µs); \
+             totals: {} shed, {} expired",
+            stats.window_micros,
+            stats.ewma_invocation_micros,
+            stats.ewma_row_micros,
+            stats.shed,
+            stats.expired,
+        );
+    }
+
+    // 10. What the server measured.
     println!("\n-- server stats --\n{}", server.stats());
 }
