@@ -17,6 +17,9 @@
 //!   one shared server;
 //! * **network path** — the same workload over the framed-TCP front end
 //!   (loop-back), pricing framing + result serialization per query;
+//! * **serial vs. pipelined** — one connection, warm cached workload:
+//!   the v5 one-frame-in-flight protocol vs. v6 with a 16-deep
+//!   pipeline (acceptance floor: 5x per-connection throughput);
 //! * **micro-batch sizes {1, 8, 64}** — point-scoring throughput as the
 //!   coalescing window widens (`max_batch = 1` reproduces per-tuple
 //!   scoring; the paper's §5 observation v is the same lever at the
@@ -41,7 +44,8 @@
 use raven_bench::{full_scale, ms, time_mean};
 use raven_datagen::{hospital, train};
 use raven_server::{
-    BatchConfig, NetConfig, RavenClient, RavenServer, ServerConfig, ServerState, TenantQuotaConfig,
+    BatchConfig, NetConfig, PipelinedClient, RavenClient, RavenServer, ServerConfig, ServerState,
+    TenantQuotaConfig,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -519,6 +523,88 @@ fn bench_network_path(rows: usize) {
     }
 }
 
+/// Serial vs. pipelined: the same warm cached workload through one
+/// connection, first with the one-frame-in-flight v5 protocol (every
+/// query pays a full client→server→client round trip before the next
+/// may start), then with protocol v6 keeping a 16-deep pipeline filled.
+/// Per-connection throughput is the headline: pipelining amortizes the
+/// round trip and the reactor wake-ups across the in-flight window.
+fn bench_pipelining(rows: usize) {
+    println!("== serial vs. pipelined: per-connection throughput, warm cached workload ==");
+    const QUERIES: usize = 10_000;
+    const INFLIGHT: usize = 16;
+    // A bounded result (point-lookup shaped, as interactive inference
+    // traffic is): with the result cache warm the server side is a hash
+    // lookup and a small encode, so what this section prices is the
+    // wire protocol itself — the round trip the serial client pays per
+    // query and the pipelined client amortizes across its window.
+    let hot_sql = "SELECT id, age FROM patient_info WHERE id < 16".to_string();
+
+    // Result cache ON: this section prices the *wire protocol*, so the
+    // server side should be as close to free as a real hot path gets.
+    let state = Arc::new(hospital_server_with(rows, ServerConfig::default()));
+    state.execute(&hot_sql).expect("warm-up");
+    let server = RavenServer::bind(
+        state,
+        NetConfig {
+            workers: 4,
+            max_inflight_per_conn: INFLIGHT,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Serial oracle: protocol v5, one frame in flight.
+    let mut serial = RavenClient::connect(addr).expect("connect").at_version(5);
+    serial.query(&hot_sql).expect("warm the connection");
+    let start = Instant::now();
+    for _ in 0..QUERIES {
+        std::hint::black_box(serial.query(&hot_sql).expect("serial query"));
+    }
+    let serial_elapsed = start.elapsed();
+    let serial_qps = qps(QUERIES, serial_elapsed);
+
+    // Pipelined: protocol v6, the full INFLIGHT budget kept occupied in
+    // waves — fill the window, drain it, repeat. Submits batch into one
+    // write per wave, replies drain through the buffered reader.
+    let mut pipelined = PipelinedClient::connect(addr).expect("connect");
+    // Warm the connection (socket buffers, allocator) like the serial
+    // side did, so both measure steady state.
+    pipelined.submit(&hot_sql, None).expect("submit");
+    let (_, warm) = pipelined.recv().expect("recv");
+    warm.expect("warm the connection");
+    let start = Instant::now();
+    let mut received = 0usize;
+    while received < QUERIES {
+        let wave = INFLIGHT.min(QUERIES - received);
+        for _ in 0..wave {
+            pipelined.submit(&hot_sql, None).expect("submit");
+        }
+        for _ in 0..wave {
+            let (_, reply) = pipelined.recv().expect("recv");
+            std::hint::black_box(reply.expect("pipelined query"));
+            received += 1;
+        }
+    }
+    let pipelined_elapsed = start.elapsed();
+    let pipelined_qps = qps(QUERIES, pipelined_elapsed);
+
+    println!(
+        "  serial v5 (1 in flight)    {serial_qps:>9.1} q/s  ({} queries in {:?})",
+        QUERIES, serial_elapsed
+    );
+    println!(
+        "  pipelined v6 ({INFLIGHT} in flight) {pipelined_qps:>9.1} q/s  ({} queries in {:?})",
+        QUERIES, pipelined_elapsed
+    );
+    println!(
+        "  per-connection speedup     {:>9.1}x  (acceptance floor: 5x)",
+        pipelined_qps / serial_qps
+    );
+    server.shutdown();
+}
+
 /// Multi-tenant serving: N tenants, each with its own (same-named!)
 /// dataset and model, hammered concurrently over one engine.
 ///
@@ -716,6 +802,7 @@ fn main() {
     bench_template_cache(rows.min(20_000));
     bench_concurrency(rows);
     bench_network_path(rows);
+    bench_pipelining(rows);
     bench_micro_batching(rows);
     bench_adaptive_flush(rows);
     bench_multi_tenant(rows);

@@ -1,0 +1,530 @@
+//! Offline stand-in for the slice of the `polling` crate the reactor in
+//! `raven-server` uses: a **level-triggered readiness poller** with
+//! per-registration interest flags and a cross-thread waker.
+//!
+//! The container this workspace builds in has no registry access, so —
+//! like the sibling `compat` crates — this reimplements just the surface
+//! the codebase needs on top of the platform's own readiness syscalls,
+//! called through raw `extern "C"` declarations (std links libc on every
+//! supported unix, so no external crate is required):
+//!
+//! * **Linux**: `epoll_create1` / `epoll_ctl` / `epoll_wait`;
+//! * **other unixes**: `poll(2)` over a registration table (O(n) per
+//!   wait, fine for the connection counts tests run at).
+//!
+//! Semantics are deliberately minimal and uniform across backends:
+//!
+//! * registrations are **level-triggered**: as long as a socket stays
+//!   readable/writable and the interest is set, every `wait` reports it;
+//! * `Event { key, readable, writable }` — errors and hang-ups are
+//!   folded into *both* flags so the owner discovers them via the
+//!   subsequent `read`/`write` returning `0`/`Err`, which is the code
+//!   path it must handle anyway;
+//! * [`Poller::notify`] wakes a concurrent or future `wait` from any
+//!   thread (self-pipe pattern); the wake-up is swallowed internally and
+//!   never surfaces as an event.
+//!
+//! ```no_run
+//! use polling::{Event, Poller};
+//! use std::net::TcpListener;
+//! use std::os::fd::AsRawFd;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! listener.set_nonblocking(true).unwrap();
+//! let poller = Poller::new().unwrap();
+//! poller.add(listener.as_raw_fd(), 7, true, false).unwrap();
+//! let mut events = Vec::new();
+//! poller.wait(&mut events, Some(std::time::Duration::from_millis(10))).unwrap();
+//! for ev in &events {
+//!     assert_eq!(ev.key, 7);
+//! }
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+#[cfg(not(unix))]
+compile_error!("the polling compat shim only supports unix targets");
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Reserved registration key for the internal notify pipe; user keys
+/// must stay below it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the file descriptor was registered under.
+    pub key: usize,
+    /// Readable now (or peer closed / error — a read will tell).
+    pub readable: bool,
+    /// Writable now (or error — a write will tell).
+    pub writable: bool,
+}
+
+/// A level-triggered readiness poller. All methods take `&self`; `wait`
+/// should be called from one thread at a time (the reactor), while
+/// `add`/`modify`/`delete`/`notify` may be called from any thread.
+pub struct Poller {
+    backend: backend::Backend,
+    /// Read end of the self-pipe, registered under [`NOTIFY_KEY`].
+    wake_rx: UnixStream,
+    /// Write end; one byte here makes `wait` return promptly.
+    wake_tx: UnixStream,
+    /// Collapses notify storms into one pipe write between waits.
+    notified: AtomicBool,
+}
+
+impl Poller {
+    /// Create a poller with its wake-up pipe already registered.
+    pub fn new() -> io::Result<Poller> {
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let backend = backend::Backend::new()?;
+        let poller = Poller {
+            backend,
+            wake_rx,
+            wake_tx,
+            notified: AtomicBool::new(false),
+        };
+        poller
+            .backend
+            .add(poller.wake_rx.as_raw_fd(), NOTIFY_KEY, true, false)?;
+        Ok(poller)
+    }
+
+    /// Register `fd` under `key` with the given interest. The fd must
+    /// already be non-blocking; `key` must be unique among live
+    /// registrations and below [`NOTIFY_KEY`].
+    pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+        if key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key reserved for the poller's waker",
+            ));
+        }
+        self.backend.add(fd, key, readable, writable)
+    }
+
+    /// Replace the interest set of an existing registration.
+    pub fn modify(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+        self.backend.modify(fd, key, readable, writable)
+    }
+
+    /// Remove a registration. Safe to call right before closing the fd.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.backend.delete(fd)
+    }
+
+    /// Block until at least one registered fd is ready, `timeout`
+    /// elapses (`None` = forever), or [`Poller::notify`] is called.
+    /// Ready events are appended to `events` (cleared first). Returns
+    /// the number of events delivered — zero means timeout or wake-up.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.backend.wait(events, timeout)?;
+        // Swallow the waker: drain the pipe and drop its event.
+        if let Some(pos) = events.iter().position(|e| e.key == NOTIFY_KEY) {
+            events.remove(pos);
+            let mut sink = [0u8; 64];
+            loop {
+                match io::Read::read(&mut (&self.wake_rx), &mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => continue,
+                }
+            }
+            self.notified.store(false, Ordering::Release);
+        }
+        Ok(events.len())
+    }
+
+    /// Wake a concurrent (or the next) [`Poller::wait`] from any thread.
+    /// Idempotent between waits: repeat notifies collapse into one byte.
+    pub fn notify(&self) -> io::Result<()> {
+        if self.notified.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        match io::Write::write(&mut (&self.wake_tx), &[1u8]) {
+            Ok(_) => Ok(()),
+            // Pipe full: a wake-up is already pending, which is all
+            // notify promises.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod backend {
+    //! epoll: O(1) readiness delivery, the production path.
+
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    // The kernel ABI packs epoll_event on x86; other arches align it.
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub struct Backend {
+        epfd: i32,
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn interest(readable: bool, writable: bool) -> u32 {
+        let mut ev = 0;
+        if readable {
+            ev |= EPOLLIN;
+        }
+        if writable {
+            ev |= EPOLLOUT;
+        }
+        ev
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Backend { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, key: usize) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest(readable, writable), key)
+        }
+
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            key: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest(readable, writable), key)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<super::Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms = timeout
+                .map(|d| i32::try_from(d.as_millis().max(1)).unwrap_or(i32::MAX))
+                .unwrap_or(-1);
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            let n = loop {
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                }) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &buf[..n as usize] {
+                let bits = ev.events;
+                let broken = bits & (EPOLLERR | EPOLLHUP) != 0;
+                out.push(Event {
+                    key: ev.data as usize,
+                    readable: bits & EPOLLIN != 0 || broken,
+                    writable: bits & EPOLLOUT != 0 || broken,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod backend {
+    //! poll(2): portable fallback, O(registrations) per wait.
+
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+    }
+
+    #[derive(Clone, Copy)]
+    struct Registration {
+        fd: RawFd,
+        key: usize,
+        events: i16,
+    }
+
+    pub struct Backend {
+        registered: Mutex<Vec<Registration>>,
+    }
+
+    fn interest(readable: bool, writable: bool) -> i16 {
+        let mut ev = 0;
+        if readable {
+            ev |= POLLIN;
+        }
+        if writable {
+            ev |= POLLOUT;
+        }
+        ev
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            Ok(Backend {
+                registered: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+            let mut regs = self.registered.lock().unwrap();
+            if regs.iter().any(|r| r.fd == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            regs.push(Registration {
+                fd,
+                key,
+                events: interest(readable, writable),
+            });
+            Ok(())
+        }
+
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            key: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            let mut regs = self.registered.lock().unwrap();
+            for r in regs.iter_mut() {
+                if r.fd == fd {
+                    r.key = key;
+                    r.events = interest(readable, writable);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut regs = self.registered.lock().unwrap();
+            let before = regs.len();
+            regs.retain(|r| r.fd != fd);
+            if regs.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<super::Duration>,
+        ) -> io::Result<()> {
+            let snapshot: Vec<Registration> = self.registered.lock().unwrap().clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|r| PollFd {
+                    fd: r.fd,
+                    events: r.events,
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms = timeout
+                .map(|d| i32::try_from(d.as_millis().max(1)).unwrap_or(i32::MAX))
+                .unwrap_or(-1);
+            let n = loop {
+                let ret = unsafe { poll(fds.as_mut_ptr(), fds.len() as u32, timeout_ms) };
+                if ret >= 0 {
+                    break ret;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            if n == 0 {
+                return Ok(());
+            }
+            for (pfd, reg) in fds.iter().zip(&snapshot) {
+                let bits = pfd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                let broken = bits & (POLLERR | POLLHUP) != 0;
+                out.push(Event {
+                    key: reg.key,
+                    readable: bits & POLLIN != 0 || broken,
+                    writable: bits & POLLOUT != 0 || broken,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 1, true, false).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a short wait times out empty.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.readable));
+    }
+
+    #[test]
+    fn interest_modification_is_respected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        // Write interest only: an idle socket is immediately writable.
+        poller.add(client.as_raw_fd(), 2, false, true).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 2 && e.writable));
+
+        // Flip to read interest: quiet until the peer writes.
+        poller.modify(client.as_raw_fd(), 2, true, false).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "no data yet: {events:?}");
+        server.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 2 && e.readable));
+        let mut byte = [0u8; 1];
+        (&client).read_exact(&mut byte).unwrap();
+
+        poller.delete(client.as_raw_fd()).unwrap();
+        server.write_all(b"y").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "deleted fd must not report: {events:?}");
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_and_is_swallowed() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = {
+            let poller = poller.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                poller.notify().unwrap();
+            })
+        };
+        let mut events = Vec::new();
+        let start = std::time::Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(n, 0, "the waker never surfaces as an event");
+        assert!(start.elapsed() < Duration::from_secs(10));
+        waker.join().unwrap();
+
+        // Repeat notifies collapse; the next wait returns promptly once.
+        poller.notify().unwrap();
+        poller.notify().unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}

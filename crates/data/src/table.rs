@@ -98,6 +98,48 @@ impl Table {
         Ok(out)
     }
 
+    /// Concatenate tables with identical schemas into one freshly owned
+    /// table (rows in argument order) — the reassembly step for results
+    /// that arrived as bounded chunks. Errors on an empty slice (no
+    /// schema to adopt) or a schema mismatch between parts.
+    pub fn concat(parts: &[Table]) -> Result<Table> {
+        let first = parts
+            .first()
+            .ok_or_else(|| DataError::Internal("concat of zero tables".into()))?;
+        let schema = first.schema().clone();
+        for part in &parts[1..] {
+            if part.schema().as_ref() != schema.as_ref() {
+                return Err(DataError::SchemaMismatch(format!(
+                    "concat expects {:?}, found {:?}",
+                    schema.fields(),
+                    part.schema().fields()
+                )));
+            }
+        }
+        let total: usize = parts.iter().map(Table::num_rows).sum();
+        let mut columns: Vec<Column> = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.dtype, total))
+            .collect();
+        for part in parts {
+            for (dst, src) in columns.iter_mut().zip(part.batch.columns()) {
+                match (dst, src.as_ref()) {
+                    (Column::Int64(d), Column::Int64(s)) => d.extend_from_slice(s),
+                    (Column::Float64(d), Column::Float64(s)) => d.extend_from_slice(s),
+                    (Column::Bool(d), Column::Bool(s)) => d.extend_from_slice(s),
+                    (Column::Utf8(d), Column::Utf8(s)) => d.extend(s.iter().cloned()),
+                    _ => {
+                        return Err(DataError::Internal(
+                            "column type drifted from its schema".into(),
+                        ))
+                    }
+                }
+            }
+        }
+        Table::try_new(schema, columns)
+    }
+
     /// Row ranges `[start, end)` that partition the table into `parts`
     /// near-equal pieces (for parallel workers). Never returns empty ranges.
     pub fn partition_ranges(&self, parts: usize) -> Vec<(usize, usize)> {
@@ -168,6 +210,28 @@ mod tests {
         let m = t.morsels(8).unwrap();
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].num_rows(), 0);
+    }
+
+    #[test]
+    fn concat_reassembles_chunked_tables() {
+        let whole = sample(10);
+        let parts: Vec<Table> = whole
+            .morsels(4)
+            .unwrap()
+            .into_iter()
+            .map(Table::from_batch)
+            .collect();
+        assert_eq!(Table::concat(&parts).unwrap(), whole);
+        // A single (even empty) part round-trips; zero parts error.
+        assert_eq!(Table::concat(&[sample(0)]).unwrap(), sample(0));
+        assert!(Table::concat(&[]).is_err());
+        // Schema mismatch is typed, not a silent misalignment.
+        let other = Table::try_new(
+            Schema::from_pairs(&[("x", DataType::Float64)]).into_shared(),
+            vec![Column::Float64(vec![1.0])],
+        )
+        .unwrap();
+        assert!(Table::concat(&[sample(1), other]).is_err());
     }
 
     #[test]

@@ -78,6 +78,7 @@ impl fmt::Display for PlanFingerprint {
 /// both. FNV is not cryptographic — it does not need to be: fingerprints
 /// never cross a trust boundary (clients cannot submit them) and the
 /// cache tolerates collisions only between live, version-current entries.
+#[derive(Clone, Debug)]
 struct Lanes {
     a: u64,
     b: u64,
@@ -107,6 +108,7 @@ impl Lanes {
 /// and a set of named dependency versions. Order of calls matters and is
 /// part of the hash — callers must feed the parts in one fixed order
 /// (the serving layer uses plan → params → dependencies).
+#[derive(Clone, Debug)]
 pub struct FingerprintBuilder {
     lanes: Lanes,
 }

@@ -16,9 +16,15 @@
 //!   whose deadline expires waiting for a permit is rejected with
 //!   [`ServerError::DeadlineExceeded`] without ever executing.
 //!
-//! The network layer adds the outer ring: a connection cap in
-//! [`crate::net::NetConfig`], and the synchronous framed protocol bounds
-//! each connection's in-flight queue depth at one request.
+//! The network layer adds the outer rings: a connection cap in
+//! [`crate::net::NetConfig`], and a per-connection pipelining budget
+//! ([`crate::net::NetConfig::max_inflight_per_conn`]) — the reactor
+//! stops parsing a v6 connection that has that many requests executing,
+//! so a pipelining peer cannot queue unbounded work (pre-v6 peers are
+//! always served one frame in flight). Every pipelined request still
+//! passes both admission rings here; the reactor's cached-result fast
+//! path merely probes them non-blockingly ([`AdmissionController::try_admit`])
+//! instead of waiting.
 
 use crate::error::ServerError;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -149,6 +155,31 @@ impl AdmissionController {
             rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
         }
+    }
+
+    /// Non-blocking permit acquisition for latency-critical callers (the
+    /// reactor's cached-result fast path). Takes a permit only when a slot
+    /// is free right now; `None` means "fall back to the queued path".
+    /// Counts **nothing** either way — an abandoned probe (the sibling
+    /// ring was busy) must leave no trace, so the caller records the
+    /// admission via `note_admitted` only once it commits.
+    pub fn try_admit(&self) -> Option<AdmissionPermit<'_>> {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if self.config.max_concurrent == 0 || s.executing < self.config.max_concurrent {
+            s.executing += 1;
+            return Some(AdmissionPermit { controller: self });
+        }
+        None
+    }
+
+    /// Count an admission taken via [`Self::try_admit`] once the caller
+    /// commits to serving under it, keeping `admitted` identical in
+    /// meaning to the [`Self::admit`] path.
+    pub(crate) fn note_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Acquire an execution permit, waiting at most

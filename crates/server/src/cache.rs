@@ -15,7 +15,7 @@
 //! ```
 //! use raven_server::cache::{PlanCache, PlanKey, PreparedQuery};
 //! use raven_opt::{OptimizationReport, OptimizerMode, RuleSet};
-//! use raven_ir::Plan;
+//! use raven_ir::{FingerprintBuilder, Plan};
 //! use raven_data::{DataType, Schema};
 //! use std::time::Duration;
 //!
@@ -45,11 +45,11 @@
 //! ```
 
 use parking_lot::Mutex;
-use raven_ir::Plan;
+use raven_ir::{FingerprintBuilder, Plan};
 use raven_opt::{determinism, DeterminismReport, OptimizationReport, OptimizerMode, RuleSet};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Cache key: tenant + SQL text + everything that changes the optimized
@@ -87,6 +87,12 @@ pub struct PreparedQuery {
     /// inputs — the admission ticket to the result cache — plus the
     /// reasons when it is not (see [`raven_opt::determinism`]).
     pub determinism: DeterminismReport,
+    /// Lazily memoized result-cache fingerprint prefix (tenant + plan
+    /// structure). Hashing the full plan tree costs microseconds on a
+    /// large inference plan; it is a pure function of this (per-tenant)
+    /// cache entry, so the serving path computes it once and then only
+    /// folds in the per-request parameters and dependency versions.
+    pub fingerprint_base: OnceLock<FingerprintBuilder>,
 }
 
 impl PreparedQuery {
@@ -112,6 +118,7 @@ impl PreparedQuery {
             prepare_time,
             param_count,
             determinism,
+            fingerprint_base: OnceLock::new(),
         }
     }
 
@@ -334,9 +341,18 @@ impl PlanCache {
     }
 
     /// Look up without touching the hit/miss counters (used for the
-    /// post-claim double-check, which already counted its miss).
-    fn peek(&self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+    /// post-claim double-check, which already counted its miss, and by
+    /// the fast path's probe phase, which counts via [`Self::note_hit`]
+    /// only once it commits).
+    pub(crate) fn peek(&self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
         self.inner.lock().touch(key)
+    }
+
+    /// Count a hit observed via [`Self::peek`] once the caller commits to
+    /// serving from it, keeping hit/miss accounting identical to
+    /// [`Self::get`].
+    pub(crate) fn note_hit(&self) {
+        self.inner.lock().stats.hits += 1;
     }
 
     /// Look up a prepared plan, counting a hit or miss.

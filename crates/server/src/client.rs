@@ -1,28 +1,45 @@
-//! A blocking client for the framed-TCP protocol — the counterpart of
+//! Blocking clients for the framed-TCP protocol — the counterpart of
 //! [`crate::net`], used by the examples, benches, and the integration
 //! test harness.
 //!
-//! One client owns one connection and speaks the synchronous protocol:
-//! write a request frame, read the response frame. Error frames come
-//! back as the same typed [`ServerError`] the server produced —
-//! `Overloaded`, `DeadlineExceeded`, `Sql`, … — so callers can branch on
-//! overload vs. failure without string matching.
+//! [`RavenClient`] is the serial client: write a request frame, read its
+//! reply. Against a v6 server a query reply usually arrives as a stream
+//! of bounded [`Response::RowsChunk`] frames closed by a
+//! [`Response::RowsEnd`]; the client reassembles them into one table and
+//! checks the row count against the trailer, so callers see exactly the
+//! `Table` a monolithic `Rows` frame would have carried. Pin an older
+//! protocol version with [`RavenClient::at_version`] to get the
+//! historical single-frame exchange (compat tests use this as the
+//! oracle).
+//!
+//! [`PipelinedClient`] keeps up to the server's per-connection budget of
+//! requests in flight at once, matching out-of-order replies to requests
+//! by the v6 header id — the client half of the pipelined protocol.
+//!
+//! Error frames come back as the same typed [`ServerError`] the server
+//! produced — `Overloaded`, `DeadlineExceeded`, `Sql`, … — so callers
+//! can branch on overload vs. failure without string matching.
 
 use crate::error::{Result, ServerError};
 use crate::proto::{self, Request, Response, WireStats};
 use raven_data::Table;
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// The reply to a successful [`RavenClient::query`].
 #[derive(Debug, Clone)]
 pub struct ClientQueryReply {
-    /// The materialized result rows.
+    /// The materialized result rows (reassembled when streamed).
     pub table: Table,
     /// Whether the server served a cached plan.
     pub cache_hit: bool,
     /// Server-side end-to-end latency.
     pub server_time: Duration,
+    /// `RowsChunk` frames the result arrived in; `0` for a monolithic
+    /// pre-v6 `Rows` reply.
+    pub chunks: usize,
 }
 
 /// A blocking connection to a [`crate::net::RavenServer`], bound to one
@@ -31,11 +48,12 @@ pub struct ClientQueryReply {
 pub struct RavenClient {
     stream: TcpStream,
     tenant: String,
+    version: u8,
 }
 
 impl RavenClient {
     /// Connect to a serving endpoint (requests run in the default
-    /// tenant).
+    /// tenant, at the current protocol version).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<RavenClient> {
         let stream =
             TcpStream::connect(addr).map_err(|e| ServerError::Network(format!("connect: {e}")))?;
@@ -43,6 +61,7 @@ impl RavenClient {
         Ok(RavenClient {
             stream,
             tenant: crate::tenant::DEFAULT_TENANT.to_string(),
+            version: proto::PROTOCOL_VERSION,
         })
     }
 
@@ -63,6 +82,21 @@ impl RavenClient {
         self
     }
 
+    /// Speak an older protocol version on this connection (clamped to
+    /// the supported `3..=6` range). A pre-v6 client gets pre-v6
+    /// behavior end to end: no request ids, monolithic `Rows` replies,
+    /// one frame in flight — the oracle configuration for the
+    /// differential and compat suites.
+    pub fn at_version(mut self, version: u8) -> Self {
+        self.version = version.clamp(proto::MIN_PROTOCOL_VERSION, proto::PROTOCOL_VERSION);
+        self
+    }
+
+    /// The protocol version this connection speaks.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
     /// The tenant this connection's requests run in.
     pub fn tenant(&self) -> &str {
         &self.tenant
@@ -75,12 +109,56 @@ impl RavenClient {
             .map_err(|e| ServerError::Network(e.to_string()))
     }
 
-    fn roundtrip(&mut self, request: &Request) -> Result<Response> {
-        proto::write_frame(&mut self.stream, &request.encode())?;
+    fn read_reply(&mut self) -> Result<(Response, u32)> {
         let body = proto::read_frame(&mut self.stream)?;
-        match Response::decode(&body)? {
+        let (response, _version, request_id) = Response::decode_framed(&body)?;
+        Ok((response, request_id))
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response> {
+        proto::write_frame(
+            &mut self.stream,
+            &request.encode_for_version(self.version, 0),
+        )?;
+        match self.read_reply()?.0 {
             Response::Error { code, message } => Err(code.into_error(message)),
             response => Ok(response),
+        }
+    }
+
+    /// Send a query-shaped request and collect its (possibly streamed)
+    /// reply into one [`ClientQueryReply`].
+    fn query_roundtrip(&mut self, request: &Request) -> Result<ClientQueryReply> {
+        proto::write_frame(
+            &mut self.stream,
+            &request.encode_for_version(self.version, 0),
+        )?;
+        let mut parts: Vec<Table> = Vec::new();
+        loop {
+            match self.read_reply()?.0 {
+                Response::Rows {
+                    cache_hit,
+                    total_micros,
+                    table,
+                } => {
+                    // Pre-v6 monolithic reply (or a v6 server answering
+                    // a pinned older client) — nothing to reassemble.
+                    return Ok(ClientQueryReply {
+                        table: unwrap_table(table),
+                        cache_hit,
+                        server_time: Duration::from_micros(total_micros),
+                        chunks: 0,
+                    });
+                }
+                Response::RowsChunk { table } => parts.push(unwrap_table(table)),
+                Response::RowsEnd {
+                    cache_hit,
+                    total_micros,
+                    total_rows,
+                } => return assemble(parts, cache_hit, total_micros, total_rows),
+                Response::Error { code, message } => return Err(code.into_error(message)),
+                other => return Err(unexpected(&other)),
+            }
         }
     }
 
@@ -107,7 +185,7 @@ impl RavenClient {
     }
 
     /// Execute `sql` with a server-enforced deadline covering admission
-    /// queueing and execution. Expiry returns
+    /// queueing, execution, and (v6) result streaming. Expiry returns
     /// [`ServerError::DeadlineExceeded`]; a saturated server returns
     /// [`ServerError::Overloaded`].
     pub fn query_with_deadline(
@@ -120,18 +198,7 @@ impl RavenClient {
             tenant: self.tenant.clone(),
             deadline,
         };
-        match self.roundtrip(&request)? {
-            Response::Rows {
-                cache_hit,
-                total_micros,
-                table,
-            } => Ok(ClientQueryReply {
-                table: unwrap_table(table),
-                cache_hit,
-                server_time: Duration::from_micros(total_micros),
-            }),
-            other => Err(unexpected(&other)),
-        }
+        self.query_roundtrip(&request)
     }
 
     /// Execute a parameterized template (`?` placeholders) with
@@ -167,18 +234,7 @@ impl RavenClient {
             params,
             deadline,
         };
-        match self.roundtrip(&request)? {
-            Response::Rows {
-                cache_hit,
-                total_micros,
-                table,
-            } => Ok(ClientQueryReply {
-                table: unwrap_table(table),
-                cache_hit,
-                server_time: Duration::from_micros(total_micros),
-            }),
-            other => Err(unexpected(&other)),
-        }
+        self.query_roundtrip(&request)
     }
 
     /// Score one raw feature row through this tenant's micro-batcher.
@@ -281,8 +337,229 @@ impl RavenClient {
     }
 }
 
+/// A pipelined v6 connection: submit up to the server's per-connection
+/// in-flight budget of queries without waiting, then receive replies as
+/// they complete — in whatever order the server finishes them, matched
+/// by request id.
+///
+/// ```no_run
+/// use raven_server::PipelinedClient;
+///
+/// let mut client = PipelinedClient::connect("127.0.0.1:4741")?;
+/// let a = client.submit("SELECT * FROM patients", None)?;
+/// let b = client.submit("SELECT * FROM visits", None)?;
+/// while client.in_flight() > 0 {
+///     let (id, reply) = client.recv()?;
+///     let rows = reply?.table.num_rows();
+///     println!("{} done: {rows} rows", if id == a { "patients" } else { "visits" });
+/// }
+/// # let _ = b;
+/// # Ok::<(), raven_server::ServerError>(())
+/// ```
+pub struct PipelinedClient {
+    /// Reply side: buffered, so one `read(2)` can drain many frames —
+    /// a full in-flight window's replies usually cost a syscall or two.
+    reader: BufReader<TcpStream>,
+    /// Request side (same socket, second handle).
+    writer: TcpStream,
+    /// Encoded frames submitted but not yet written to the socket.
+    /// Flushed in one write when a reply is awaited (or on [`Self::flush`]),
+    /// so a burst of submits costs one syscall, not one per request.
+    pending: Vec<u8>,
+    tenant: String,
+    next_id: u32,
+    /// Ids submitted and not yet fully answered.
+    outstanding: usize,
+    /// Chunks received so far for streams still missing their `RowsEnd`.
+    partial: HashMap<u32, Vec<Table>>,
+}
+
+impl PipelinedClient {
+    /// Connect a pipelined connection (default tenant).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<PipelinedClient> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| ServerError::Network(format!("connect: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream
+            .try_clone()
+            .map_err(|e| ServerError::Network(format!("clone socket: {e}")))?;
+        Ok(PipelinedClient {
+            reader: BufReader::with_capacity(256 * 1024, reader),
+            writer: stream,
+            pending: Vec::new(),
+            tenant: crate::tenant::DEFAULT_TENANT.to_string(),
+            next_id: 0,
+            outstanding: 0,
+            partial: HashMap::new(),
+        })
+    }
+
+    /// Rebind this connection to `tenant`.
+    pub fn for_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Requests submitted whose replies have not yet been received.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Bound how long any single [`PipelinedClient::recv`] may block
+    /// (`None` = wait forever).
+    pub fn set_reply_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| ServerError::Network(e.to_string()))
+    }
+
+    /// Submit `sql` without waiting for the reply; returns the request
+    /// id its reply will carry.
+    pub fn submit(&mut self, sql: &str, deadline: Option<Duration>) -> Result<u32> {
+        let request = Request::Query {
+            sql: sql.into(),
+            tenant: self.tenant.clone(),
+            deadline,
+        };
+        self.send(&request)
+    }
+
+    /// Submit a parameterized template without waiting for the reply.
+    pub fn submit_params(
+        &mut self,
+        template: &str,
+        params: Vec<raven_data::Value>,
+        deadline: Option<Duration>,
+    ) -> Result<u32> {
+        let request = Request::QueryParams {
+            template: template.into(),
+            tenant: self.tenant.clone(),
+            params,
+            deadline,
+        };
+        self.send(&request)
+    }
+
+    fn send(&mut self, request: &Request) -> Result<u32> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.pending
+            .extend_from_slice(&request.encode_for_version(proto::PROTOCOL_VERSION, id));
+        self.outstanding += 1;
+        Ok(id)
+    }
+
+    /// Write every buffered submit to the socket. [`Self::recv`] calls
+    /// this automatically; call it directly to push requests out while
+    /// deliberately not reading replies yet.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.writer
+            .write_all(&self.pending)
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| ServerError::Network(format!("flush submits: {e}")))?;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Block until the next request finishes, in server completion
+    /// order. The outer `Err` is a transport or framing failure (the
+    /// connection is no longer usable); the inner per-request `Result`
+    /// carries the same typed [`ServerError`]s the serial client
+    /// returns.
+    pub fn recv(&mut self) -> Result<(u32, Result<ClientQueryReply>)> {
+        self.flush()?;
+        loop {
+            let body = proto::read_frame(&mut self.reader)?;
+            let (response, _version, id) = Response::decode_framed(&body)?;
+            match response {
+                Response::RowsChunk { table } => {
+                    self.partial
+                        .entry(id)
+                        .or_default()
+                        .push(unwrap_table(table));
+                }
+                Response::RowsEnd {
+                    cache_hit,
+                    total_micros,
+                    total_rows,
+                } => {
+                    let parts = self.partial.remove(&id).unwrap_or_default();
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    return Ok((id, assemble(parts, cache_hit, total_micros, total_rows)));
+                }
+                Response::Error { code, message } => {
+                    // A mid-stream error (deadline expiry, shutdown)
+                    // aborts the stream: drop any chunks received.
+                    self.partial.remove(&id);
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    return Ok((id, Err(code.into_error(message))));
+                }
+                other => {
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    return Ok((id, Err(unexpected(&other))));
+                }
+            }
+        }
+    }
+
+    /// Receive every outstanding reply, returned sorted by request id.
+    pub fn drain(&mut self) -> Result<Vec<(u32, Result<ClientQueryReply>)>> {
+        let mut replies = Vec::with_capacity(self.outstanding);
+        while self.outstanding > 0 {
+            replies.push(self.recv()?);
+        }
+        replies.sort_by_key(|(id, _)| *id);
+        Ok(replies)
+    }
+}
+
+/// Reassemble a chunk stream and validate it against the trailer.
+fn assemble(
+    parts: Vec<Table>,
+    cache_hit: bool,
+    total_micros: u64,
+    total_rows: u64,
+) -> Result<ClientQueryReply> {
+    let chunks = parts.len();
+    if chunks == 0 {
+        return Err(ServerError::Protocol(
+            "RowsEnd without any RowsChunk (a streamed result always has \
+             at least the schema-bearing first chunk)"
+                .into(),
+        ));
+    }
+    let mut parts = parts;
+    let table = if chunks == 1 {
+        // Single-chunk results (the common case for point queries) skip
+        // the concat copy entirely.
+        parts.pop().unwrap()
+    } else {
+        Table::concat(&parts)
+            .map_err(|e| ServerError::Protocol(format!("chunk reassembly failed: {e}")))?
+    };
+    if table.num_rows() as u64 != total_rows {
+        return Err(ServerError::Protocol(format!(
+            "chunked result carried {} rows but the trailer promised {total_rows}",
+            table.num_rows()
+        )));
+    }
+    Ok(ClientQueryReply {
+        table,
+        cache_hit,
+        server_time: Duration::from_micros(total_micros),
+        chunks,
+    })
+}
+
 /// A freshly decoded response table has exactly one owner, so this is a
 /// move, not a copy; the fallback clone only runs if that ever changes.
+/// Streamed results never hit the fallback: each chunk decodes into its
+/// own table and [`Table::concat`] builds a fresh single-owner result,
+/// which is what makes shared (result-cache) tables safe to stream.
 fn unwrap_table(table: std::sync::Arc<Table>) -> Table {
     std::sync::Arc::try_unwrap(table).unwrap_or_else(|shared| (*shared).clone())
 }

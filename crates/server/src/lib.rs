@@ -31,11 +31,16 @@
 //!   oldest queued deadline's slack.
 //!
 //! Around that state sits the network front end: a length-prefixed
-//! framed-TCP protocol ([`proto`], version 5 — frames carry the tenant;
-//! v3 peers land in the [`DEFAULT_TENANT`]) served by a thread-pool
-//! accept loop ([`net::RavenServer`]) and spoken by a blocking client
-//! ([`client::RavenClient`], rebindable per namespace via
-//! [`RavenClient::for_tenant`]), with two-ring admission control and
+//! framed-TCP protocol ([`proto`], version 6 — frames carry the tenant
+//! and a request id; v3 peers land in the [`DEFAULT_TENANT`]) served by
+//! a readiness-polling reactor over a small executor pool
+//! ([`net::RavenServer`]) and spoken by two clients — the blocking
+//! [`client::RavenClient`] (rebindable per namespace via
+//! [`RavenClient::for_tenant`]) and the pipelined
+//! [`client::PipelinedClient`], which keeps up to
+//! [`net::NetConfig::max_inflight_per_conn`] requests in flight on one
+//! connection and reassembles streamed, out-of-order replies by
+//! request id — with two-ring admission control and
 //! backpressure ([`admission`], [`TenantQuotaConfig`]) — a per-tenant
 //! quota inside a server-wide bounded concurrent-execution semaphore,
 //! a bounded wait queue, and per-request deadlines enforced through the
@@ -106,7 +111,7 @@ pub mod tenant;
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats};
 pub use batcher::{adaptive_flush_window, BatchConfig, BatchPolicy, BatcherStats, MicroBatcher};
 pub use cache::{PlanCache, PlanCacheStats, PlanKey, PreparedQuery};
-pub use client::{ClientQueryReply, RavenClient};
+pub use client::{ClientQueryReply, PipelinedClient, RavenClient};
 pub use error::{Result, ServerError};
 pub use net::{NetConfig, RavenServer};
 pub use normalize::{normalize, NormalizedQuery};

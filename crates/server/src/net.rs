@@ -1,46 +1,92 @@
-//! The framed-TCP network front end: a thread-pool accept loop over a
-//! shared [`ServerState`].
+//! The framed-TCP network front end: a readiness-polling **reactor**
+//! over a shared [`ServerState`].
 //!
-//! One acceptor thread hands sockets to a fixed pool of handler threads
-//! through a channel; each handler owns one connection at a time and
-//! speaks the synchronous [`crate::proto`] protocol — read a request
-//! frame, serve it, write the response frame. That synchrony is itself a
-//! backpressure property: a connection has at most one request in flight,
-//! so per-connection queue depth is bounded at 1 by construction, and the
-//! global picture is bounded by [`NetConfig::max_connections`] (the outer
-//! ring) plus the execution semaphore in [`crate::admission`] (the inner
-//! ring). Overflow at either ring answers with a typed `Overloaded`
-//! frame instead of stalling the socket.
+//! One reactor thread owns the listener and every connection socket
+//! (non-blocking, registered with a level-triggered [`polling::Poller`])
+//! and does all socket I/O: accepting, buffering partial frames, parsing
+//! complete ones, and flushing reply queues. Requests are executed by a
+//! small pool of **executor threads**; finished frames flow back to the
+//! reactor over a completion channel plus a poller wake-up. Connection
+//! count is therefore decoupled from thread count: a thousand idle or
+//! slow-trickling (slowloris) connections cost a thousand fd
+//! registrations, not a thousand threads.
+//!
+//! # Pipelining and backpressure
+//!
+//! Protocol v6 peers may keep up to
+//! [`NetConfig::max_inflight_per_conn`] requests in flight per
+//! connection; replies come back in completion order (out-of-order),
+//! matched by the request id in the frame header. Pre-v6 peers keep
+//! their historical contract: the reactor serves them one frame at a
+//! time, in order, with byte-identical frames.
+//!
+//! Three rings bound the work in the system:
+//!
+//! 1. **connections** — [`NetConfig::max_connections`]; arrivals beyond
+//!    it get a typed `Overloaded` frame and a drain-then-close;
+//! 2. **per-connection in-flight budget** — the reactor stops *parsing*
+//!    (and reading) a connection that has `max_inflight_per_conn`
+//!    requests executing, so a pipelining peer cannot queue unbounded
+//!    work; bytes it already sent simply wait in the kernel socket
+//!    buffer;
+//! 3. **execution** — the per-tenant quota and the global admission
+//!    semaphore in [`crate::admission`], exactly as before: every
+//!    pipelined request still passes both rings.
+//!
+//! Replies are backpressured too: each connection's write queue has a
+//! byte watermark ([`NetConfig::max_conn_backlog_bytes`]). `Rows`
+//! results for v6 peers stream as bounded [`Response::RowsChunk`]
+//! frames, and the executor pauses between chunks while the peer's
+//! queue is over the watermark — honoring the request deadline and
+//! connection teardown (via [`CancelToken`]) between chunks, so a
+//! reader that stalls mid-result can neither OOM the server nor pin an
+//! executor forever.
 //!
 //! Shutdown is cooperative: [`RavenServer::signal_shutdown`] (or a
-//! [`Request::Shutdown`] frame) raises a flag, wakes the acceptor with a
-//! loop-back connection, and handlers notice at their next poll tick.
+//! [`Request::Shutdown`] frame) raises a flag and wakes the poller; the
+//! reactor stops accepting, flushes what the executors already
+//! finished, and tears everything down within a bounded grace period.
 
 use crate::proto::{self, ProtoError, Request, Response, WireStats};
 use crate::state::ServerState;
 use crate::stats::StatsSnapshot;
-use std::io;
+use polling::{Event, Poller};
+use raven_relational::CancelToken;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Network front-end knobs.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Bind address; use port 0 for an ephemeral port (tests).
     pub addr: String,
-    /// Handler threads — the maximum connections served concurrently.
+    /// Executor threads — the maximum requests *executing* concurrently.
+    /// Connections are not bound by this: the reactor multiplexes any
+    /// number of sockets over the pool.
     pub workers: usize,
     /// Open connections before new arrivals are turned away with an
-    /// `Overloaded` frame. A handler owns its connection for the
-    /// connection's lifetime, so a connection beyond the worker pool
-    /// would stall unserved: the effective cap is
-    /// `min(workers, max_connections)` (0 = `workers`).
+    /// `Overloaded` frame (0 = unlimited).
     pub max_connections: usize,
-    /// How often idle handlers wake to poll the shutdown flag.
+    /// Reactor wake-up cadence for timer work (drain deadlines,
+    /// shutdown polls) and idle-executor shutdown checks.
     pub poll_interval: Duration,
+    /// Pipelined requests a v6 connection may have executing at once;
+    /// the reactor stops parsing beyond this. Pre-v6 connections are
+    /// always served one-in-flight. Minimum 1.
+    pub max_inflight_per_conn: usize,
+    /// Rows per streamed [`Response::RowsChunk`] frame (v6 replies).
+    /// Minimum 1.
+    pub chunk_rows: usize,
+    /// Write-queue byte watermark per connection: result streaming
+    /// pauses (deadline- and cancellation-aware) while a peer's unsent
+    /// replies exceed this.
+    pub max_conn_backlog_bytes: usize,
 }
 
 impl Default for NetConfig {
@@ -50,17 +96,32 @@ impl Default for NetConfig {
             workers: 8,
             max_connections: 256,
             poll_interval: Duration::from_millis(50),
+            max_inflight_per_conn: 16,
+            chunk_rows: 1024,
+            max_conn_backlog_bytes: 4 * 1024 * 1024,
         }
     }
 }
 
+/// How long a connection that is closing (rejected, protocol error, or
+/// server shutdown) may take to flush + drain before it is torn down.
+const DRAIN_DEADLINE: Duration = Duration::from_millis(250);
+
+/// How long shutdown waits for in-flight requests to finish and their
+/// replies to flush before tearing the remaining connections down.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// Poller key of the listener; connections get keys starting above it.
+const KEY_LISTENER: usize = 0;
+const KEY_FIRST_CONN: usize = 1;
+
 struct Shared {
     state: Arc<ServerState>,
     shutdown: AtomicBool,
-    /// Connections accepted and not yet finished (queued + serving).
-    active: AtomicUsize,
     addr: SocketAddr,
-    poll_interval: Duration,
+    poller: Arc<Poller>,
+    chunk_rows: usize,
+    max_conn_backlog_bytes: usize,
 }
 
 impl Shared {
@@ -68,9 +129,131 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the acceptor: a throwaway loop-back connection makes its
-        // blocking `accept` return so it can observe the flag.
-        let _ = TcpStream::connect(self.addr);
+        let _ = self.poller.notify();
+    }
+}
+
+/// The slice of per-connection state the executors share with the
+/// reactor: enough to observe teardown and write-queue pressure from
+/// another thread, nothing more.
+struct ConnShared {
+    /// Cancelled by the reactor when the connection dies (or the server
+    /// shuts down); streaming executors abort between chunks.
+    cancel: CancelToken,
+    /// Bytes sitting in (or en route to) this connection's write queue.
+    queued_bytes: AtomicUsize,
+    /// Signalled by the reactor after flushing lowered `queued_bytes`.
+    capacity: Mutex<()>,
+    capacity_cv: Condvar,
+}
+
+impl ConnShared {
+    fn new() -> Arc<ConnShared> {
+        Arc::new(ConnShared {
+            cancel: CancelToken::new(),
+            queued_bytes: AtomicUsize::new(0),
+            capacity: Mutex::new(()),
+            capacity_cv: Condvar::new(),
+        })
+    }
+
+    fn notify_capacity(&self) {
+        let _guard = self
+            .capacity
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.capacity_cv.notify_all();
+    }
+}
+
+/// One request dispatched to the executor pool.
+struct Job {
+    conn_key: usize,
+    request_id: u32,
+    version: u8,
+    request: Request,
+    conn: Arc<ConnShared>,
+    /// When the reactor parsed the frame — deadlines count from here.
+    started: Instant,
+}
+
+/// One finished frame (or stream abort) flowing back to the reactor.
+struct Completion {
+    conn_key: usize,
+    request_id: u32,
+    /// The wire bytes to enqueue; `None` when a stream aborted after the
+    /// connection died and there is nothing left worth writing.
+    frame: Option<Vec<u8>>,
+    /// Terminal for its request: frees the in-flight budget slot.
+    end: bool,
+}
+
+enum ConnState {
+    /// Serving normally.
+    Open,
+    /// No more requests will be read; flush the write queue, then
+    /// half-close and drain whatever the peer already pipelined so the
+    /// final frame is not lost to a RST.
+    Closing,
+    /// Write side is shut; discarding peer bytes until EOF or deadline.
+    Draining { until: Instant },
+}
+
+struct Conn {
+    stream: TcpStream,
+    key: usize,
+    shared: Arc<ConnShared>,
+    state: ConnState,
+    /// Marked on the shutdown path / close path so in-flight replies
+    /// are still awaited before the flush-and-drain starts.
+    closing_when_idle: bool,
+    /// A turned-away arrival: never counted against the serving cap.
+    rejected: bool,
+    read_buf: Vec<u8>,
+    write_queue: VecDeque<Vec<u8>>,
+    /// Bytes of `write_queue.front()` already written.
+    write_offset: usize,
+    /// Request ids currently executing (pre-v6 frames use id 0).
+    inflight: HashSet<u32>,
+    /// Version of the last decoded request; error frames before the
+    /// first decode use [`proto::MIN_PROTOCOL_VERSION`].
+    peer_version: u8,
+    /// Parsing stopped because the in-flight budget is full.
+    parse_blocked: bool,
+    /// Interest currently registered with the poller.
+    interest: (bool, bool),
+}
+
+impl Conn {
+    /// The in-flight budget the *next* frame's version grants: pre-v6
+    /// peers promised one-in-flight, and keeping that bound preserves
+    /// their in-order, byte-identical service.
+    fn budget(&self, frame_version: u8, max_inflight: usize) -> usize {
+        if frame_version >= 6 {
+            max_inflight.max(1)
+        } else {
+            1
+        }
+    }
+
+    fn enqueue(&mut self, frame: Vec<u8>) {
+        // Coalesce small frames into the tail buffer so one write
+        // syscall carries many replies; a pipelined window's worth of
+        // point-query results then flushes in a single write. Appending
+        // to the front buffer mid-write is fine: `write_offset` only
+        // tracks consumption of bytes already there.
+        const COALESCE_CAP: usize = 64 * 1024;
+        if let Some(tail) = self.write_queue.back_mut() {
+            if tail.len() + frame.len() <= COALESCE_CAP {
+                tail.extend_from_slice(&frame);
+                return;
+            }
+        }
+        self.write_queue.push_back(frame);
+    }
+
+    fn queue_empty(&self) -> bool {
+        self.write_queue.is_empty()
     }
 }
 
@@ -80,12 +263,12 @@ impl Shared {
 /// [`RavenServer::shutdown`] for an explicit, observable join.
 pub struct RavenServer {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
 }
 
 impl RavenServer {
-    /// Bind a listener and start the accept loop + handler pool.
+    /// Bind a listener and start the reactor + executor pool.
     pub fn bind(state: Arc<ServerState>, config: NetConfig) -> io::Result<RavenServer> {
         let listener =
             TcpListener::bind(
@@ -93,47 +276,60 @@ impl RavenServer {
                     io::Error::new(io::ErrorKind::InvalidInput, "empty bind addr")
                 })?,
             )?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = Arc::new(Poller::new()?);
+        poller.add(listener.as_raw_fd(), KEY_LISTENER, true, false)?;
         let shared = Arc::new(Shared {
             state,
             shutdown: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
             addr,
-            poll_interval: config.poll_interval,
+            poller: poller.clone(),
+            chunk_rows: config.chunk_rows.max(1),
+            max_conn_backlog_bytes: config.max_conn_backlog_bytes.max(1),
         });
-        let worker_count = config.workers.max(1);
-        // A connection only makes progress while a handler owns it, so
-        // accepting beyond the pool would park clients in the hand-off
-        // queue with no response — the silent stall this layer exists to
-        // prevent. Clamp the cap to the pool size.
-        let connection_cap = if config.max_connections == 0 {
-            worker_count
-        } else {
-            config.max_connections.min(worker_count)
-        };
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..worker_count)
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let poll_interval = config.poll_interval.max(Duration::from_millis(1));
+        let executors = (0..config.workers.max(1))
             .map(|i| {
-                let rx = rx.clone();
+                let job_rx = job_rx.clone();
+                let done_tx = done_tx.clone();
                 let shared = shared.clone();
                 std::thread::Builder::new()
-                    .name(format!("raven-net-worker-{i}"))
-                    .spawn(move || worker_loop(rx, shared))
-                    .expect("spawn net worker")
+                    .name(format!("raven-net-exec-{i}"))
+                    .spawn(move || executor_loop(job_rx, done_tx, shared, poll_interval))
+                    .expect("spawn net executor")
             })
             .collect();
-        let acceptor = {
+        let reactor = {
             let shared = shared.clone();
+            let config = config.clone();
             std::thread::Builder::new()
-                .name("raven-net-accept".into())
-                .spawn(move || accept_loop(listener, tx, shared, connection_cap))
-                .expect("spawn net acceptor")
+                .name("raven-net-reactor".into())
+                .spawn(move || {
+                    Reactor {
+                        listener,
+                        shared,
+                        conns: HashMap::new(),
+                        next_key: KEY_FIRST_CONN,
+                        job_tx,
+                        done_rx,
+                        max_connections: config.max_connections,
+                        max_inflight: config.max_inflight_per_conn.max(1),
+                        poll_interval,
+                        accepting: true,
+                        shutdown_at: None,
+                    }
+                    .run()
+                })
+                .expect("spawn net reactor")
         };
         Ok(RavenServer {
             shared,
-            acceptor: Some(acceptor),
-            workers,
+            reactor: Some(reactor),
+            executors,
         })
     }
 
@@ -152,17 +348,17 @@ impl RavenServer {
         self.shared.request_shutdown();
     }
 
-    /// Signal shutdown and join the acceptor and all handlers.
+    /// Signal shutdown and join the reactor and all executors.
     pub fn shutdown(mut self) {
         self.join_all();
     }
 
     fn join_all(&mut self) {
         self.shared.request_shutdown();
-        if let Some(h) = self.acceptor.take() {
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        for h in self.executors.drain(..) {
             let _ = h.join();
         }
     }
@@ -174,229 +370,779 @@ impl Drop for RavenServer {
     }
 }
 
-fn accept_loop(
+// ---------------------------------------------------------------------
+// The reactor.
+
+struct Reactor {
     listener: TcpListener,
-    tx: mpsc::Sender<TcpStream>,
     shared: Arc<Shared>,
-    connection_cap: usize,
-) {
-    loop {
-        let (stream, _) = match listener.accept() {
-            Ok(conn) => conn,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
+    conns: HashMap<usize, Conn>,
+    next_key: usize,
+    job_tx: mpsc::Sender<Job>,
+    done_rx: mpsc::Receiver<Completion>,
+    max_connections: usize,
+    max_inflight: usize,
+    poll_interval: Duration,
+    accepting: bool,
+    /// Set when the shutdown flag was first observed; bounds the drain.
+    shutdown_at: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let _ = self
+                .shared
+                .poller
+                .wait(&mut events, Some(self.poll_interval));
+            // Completions first: they free in-flight budget and fill
+            // write queues, both of which the event handling below and
+            // the interest sync want to see.
+            self.drain_completions();
+            let batch: Vec<Event> = std::mem::take(&mut events);
+            for ev in batch {
+                if ev.key == KEY_LISTENER {
+                    if ev.readable {
+                        self.accept_ready();
+                    }
+                    continue;
                 }
-                // Persistent accept failures (fd exhaustion under the
-                // very overload this layer handles) must not busy-spin
-                // a core; back off briefly and retry.
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
+                if ev.writable {
+                    self.pump_write(ev.key);
+                }
+                if ev.readable {
+                    self.pump_read(ev.key);
+                }
             }
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break; // the wake-up connection (or a straggler) — drop it
+            self.expire_draining();
+            if self.observe_shutdown() {
+                break;
+            }
+            self.sync_all_interest();
         }
-        if shared.active.load(Ordering::SeqCst) >= connection_cap {
-            // Connection-level backpressure: answer with a typed frame
-            // instead of letting the socket queue silently. Done off the
-            // accept thread so a slow rejected peer can't stall accepts.
-            reject_connection(stream, connection_cap);
-            continue;
-        }
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        if tx.send(stream).is_err() {
-            shared.active.fetch_sub(1, Ordering::SeqCst);
-            break; // workers are gone; nothing left to serve
+        // Tear down whatever is left, then let the executors drain: the
+        // job channel disconnects when `job_tx` drops with `self`.
+        let keys: Vec<usize> = self.conns.keys().copied().collect();
+        for key in keys {
+            self.teardown(key);
         }
     }
-    // `tx` drops here: idle workers see a disconnected queue and exit.
-}
 
-/// Turn a connection away with a typed `Overloaded` frame. Closing a
-/// socket that still holds unread received bytes sends RST, which can
-/// discard the frame before the peer reads it — the client would see a
-/// reset instead of the typed rejection. So the write, a short drain of
-/// whatever request the peer already pipelined, and the close happen on
-/// a detached thread.
-fn reject_connection(mut stream: TcpStream, connection_cap: usize) {
-    let _ = std::thread::Builder::new()
-        .name("raven-net-reject".into())
-        .spawn(move || {
-            let overloaded = Response::Error {
-                code: proto::ErrorCode::Overloaded,
-                message: format!("server at its connection limit ({connection_cap})"),
+    /// Progress the shutdown drain; true once everything is done (or
+    /// the grace expired).
+    fn observe_shutdown(&mut self) -> bool {
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let started = *self.shutdown_at.get_or_insert_with(Instant::now);
+        if self.accepting {
+            self.accepting = false;
+            let _ = self.shared.poller.delete(self.listener.as_raw_fd());
+        }
+        // Stop reading everywhere; finish in-flight work, flush, close.
+        let keys: Vec<usize> = self.conns.keys().copied().collect();
+        for key in keys {
+            self.begin_close(key);
+        }
+        self.conns.is_empty() || started.elapsed() >= SHUTDOWN_GRACE
+    }
+
+    /// Stop reading requests from `key`: once its in-flight requests
+    /// complete and its write queue flushes, half-close and drain.
+    fn begin_close(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        if !matches!(conn.state, ConnState::Open) {
+            return;
+        }
+        conn.closing_when_idle = true;
+        self.maybe_finish_close(key);
+    }
+
+    /// If a closing connection has no in-flight work left and nothing
+    /// buffered to write, half-close it and start the drain clock.
+    fn maybe_finish_close(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        if !conn.closing_when_idle || matches!(conn.state, ConnState::Draining { .. }) {
+            return;
+        }
+        if conn.inflight.is_empty() && conn.queue_empty() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+            conn.state = ConnState::Draining {
+                until: Instant::now() + DRAIN_DEADLINE,
             };
-            // No request was read, so the peer's version is unknown:
-            // encode at the oldest supported version, which every
-            // supported peer (v3 and v4 alike) can decode.
-            let frame = overloaded.encode_for_version(proto::MIN_PROTOCOL_VERSION);
-            if proto::write_frame(&mut stream, &frame).is_err() {
-                return;
+        } else {
+            conn.state = ConnState::Closing;
+        }
+    }
+
+    fn expire_draining(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .filter_map(|(&key, conn)| match conn.state {
+                ConnState::Draining { until } if now >= until => Some(key),
+                _ => None,
+            })
+            .collect();
+        for key in expired {
+            self.teardown(key);
+        }
+    }
+
+    fn serving_count(&self) -> usize {
+        self.conns.values().filter(|c| !c.rejected).count()
+    }
+
+    fn accept_ready(&mut self) {
+        while self.accepting {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            };
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                continue; // tear-off arrivals during shutdown: just drop
             }
-            let _ = stream.shutdown(std::net::Shutdown::Write);
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-            let mut sink = [0u8; 512];
-            loop {
-                match std::io::Read::read(&mut stream, &mut sink) {
-                    Ok(0) | Err(_) => break, // peer closed, or drained enough
-                    Ok(_) => continue,
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let over_cap =
+                self.max_connections != 0 && self.serving_count() >= self.max_connections;
+            let key = self.next_key;
+            self.next_key += 1;
+            let mut conn = Conn {
+                stream,
+                key,
+                shared: ConnShared::new(),
+                state: ConnState::Open,
+                closing_when_idle: false,
+                rejected: over_cap,
+                read_buf: Vec::new(),
+                write_queue: VecDeque::new(),
+                write_offset: 0,
+                inflight: HashSet::new(),
+                peer_version: proto::MIN_PROTOCOL_VERSION,
+                parse_blocked: false,
+                interest: (false, false),
+            };
+            if over_cap {
+                // Connection-level backpressure: answer with a typed
+                // frame instead of letting the socket queue silently.
+                // No request was read, so the peer's version is
+                // unknown: encode at the oldest supported version,
+                // which every supported peer can decode.
+                let frame = Response::Error {
+                    code: proto::ErrorCode::Overloaded,
+                    message: format!("server at its connection limit ({})", self.max_connections),
+                }
+                .encode_for_version(proto::MIN_PROTOCOL_VERSION);
+                conn.enqueue(frame);
+                conn.closing_when_idle = true;
+                conn.state = ConnState::Closing;
+            }
+            if self
+                .shared
+                .poller
+                .add(conn.stream.as_raw_fd(), key, true, true)
+                .is_err()
+            {
+                continue; // fd pressure: drop the socket
+            }
+            conn.interest = (true, true);
+            self.conns.insert(key, conn);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        // Enqueue every finished frame first, then pump each touched
+        // connection once: completions from a pipelined window coalesce
+        // into large writes instead of one syscall per frame.
+        let mut touched: Vec<usize> = Vec::new();
+        while let Ok(done) = self.done_rx.try_recv() {
+            let Some(conn) = self.conns.get_mut(&done.conn_key) else {
+                // The connection died while the request executed; the
+                // executor already saw the cancel token (or will) and
+                // its bytes have nowhere to go.
+                continue;
+            };
+            if done.end {
+                conn.inflight.remove(&done.request_id);
+                conn.parse_blocked = false;
+            }
+            match done.frame {
+                Some(frame) => conn.enqueue(frame),
+                None => {
+                    // An aborted stream enqueued nothing; the counter
+                    // may still hold bytes never handed over. Safe to
+                    // zero: the connection is torn down or about to be.
                 }
             }
-        });
+            if !touched.contains(&done.conn_key) {
+                touched.push(done.conn_key);
+            }
+        }
+        for key in touched {
+            // Budget freed: requests the peer already pipelined may be
+            // parseable now, and a closing connection may have just
+            // gone idle.
+            self.pump_write(key);
+            self.parse_frames(key);
+            // Parsing may have fast-pathed replies straight onto the
+            // write queue; flush them this cycle, not the next.
+            self.pump_write(key);
+            self.maybe_finish_close(key);
+        }
+    }
+
+    fn pump_read(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        match conn.state {
+            ConnState::Draining { .. } => {
+                // Discard until EOF so the final reply frame survives
+                // (closing with unread bytes risks an RST).
+                let mut sink = [0u8; 4096];
+                loop {
+                    match conn.stream.read(&mut sink) {
+                        Ok(0) => {
+                            self.teardown(key);
+                            return;
+                        }
+                        Ok(_) => continue,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            self.teardown(key);
+                            return;
+                        }
+                    }
+                }
+            }
+            ConnState::Closing => return, // reads wait for the flush
+            ConnState::Open => {}
+        }
+        if conn.parse_blocked {
+            return; // budget full: leave the bytes in the kernel buffer
+        }
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.teardown(key);
+                    return;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&buf[..n]);
+                    // Between frames a peer can only make us buffer one
+                    // frame's worth + a read; parse before reading more.
+                    if conn.read_buf.len() >= proto::MAX_FRAME_LEN as usize {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.teardown(key);
+                    return;
+                }
+            }
+        }
+        self.parse_frames(key);
+        // Fast-pathed replies (if any) are already queued; write them
+        // back in the same reactor cycle that read the requests.
+        self.pump_write(key);
+    }
+
+    /// Parse every complete frame in the read buffer, dispatching jobs,
+    /// until the in-flight budget stops us or the bytes run out.
+    fn parse_frames(&mut self, key: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&key) else {
+                return;
+            };
+            if !matches!(conn.state, ConnState::Open) {
+                conn.read_buf.clear();
+                return;
+            }
+            if conn.read_buf.len() < 4 {
+                return;
+            }
+            let len = u32::from_le_bytes(conn.read_buf[..4].try_into().unwrap());
+            if len == 0 || len > proto::MAX_FRAME_LEN {
+                self.protocol_error(key, 0, &ProtoError::BadLength(len));
+                return;
+            }
+            let total = 4 + len as usize;
+            if conn.read_buf.len() < total {
+                return; // partial frame: wait for more bytes
+            }
+            // Budget gate — peek the version before consuming.
+            let frame_version = conn.read_buf[4];
+            let budget = conn.budget(frame_version, self.max_inflight);
+            if conn.inflight.len() >= budget {
+                conn.parse_blocked = true;
+                return;
+            }
+            let body: Vec<u8> = conn.read_buf[4..total].to_vec();
+            conn.read_buf.drain(..total);
+            match Request::decode_framed(&body) {
+                Ok((request, version, request_id)) => {
+                    conn.peer_version = version;
+                    if conn.inflight.contains(&request_id) {
+                        // Duplicate id while in flight: typed error for
+                        // that id; framing is intact, keep serving.
+                        let frame = Response::Error {
+                            code: proto::ErrorCode::Protocol,
+                            message: format!(
+                                "request id {request_id} is already in flight on this connection"
+                            ),
+                        }
+                        .encode_framed(version, request_id);
+                        conn.shared
+                            .queued_bytes
+                            .fetch_add(frame.len(), Ordering::SeqCst);
+                        conn.enqueue(frame);
+                        continue;
+                    }
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        let frame = Response::from_error(&crate::ServerError::ShuttingDown)
+                            .encode_framed(version, request_id);
+                        conn.shared
+                            .queued_bytes
+                            .fetch_add(frame.len(), Ordering::SeqCst);
+                        conn.enqueue(frame);
+                        self.begin_close(key);
+                        return;
+                    }
+                    // Inline fast path (v6 only): a warm cached query
+                    // is answered on the reactor thread itself — no
+                    // executor handoff, no completion channel, no
+                    // wakeup; the reply frames go straight onto the
+                    // write queue. Anything cold, contended, or
+                    // oversized declines and takes the pooled path
+                    // below. Pre-v6 peers stay on the historical
+                    // executor path end to end: their byte-identical
+                    // guarantee is kept by not re-routing them at all.
+                    let room = self
+                        .shared
+                        .max_conn_backlog_bytes
+                        .saturating_sub(conn.shared.queued_bytes.load(Ordering::SeqCst));
+                    if version >= 6 {
+                        if let Some(frames) =
+                            fast_path_frames(&self.shared, &request, version, request_id, room)
+                        {
+                            for frame in frames {
+                                conn.shared
+                                    .queued_bytes
+                                    .fetch_add(frame.len(), Ordering::SeqCst);
+                                conn.enqueue(frame);
+                            }
+                            continue;
+                        }
+                    }
+                    conn.inflight.insert(request_id);
+                    let job = Job {
+                        conn_key: key,
+                        request_id,
+                        version,
+                        request,
+                        conn: conn.shared.clone(),
+                        started: Instant::now(),
+                    };
+                    if self.job_tx.send(job).is_err() {
+                        return; // executors gone: shutdown under way
+                    }
+                }
+                Err(e) => {
+                    self.protocol_error(key, 0, &e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Answer protocol confusion once, then close — framing can no
+    /// longer be trusted.
+    fn protocol_error(&mut self, key: usize, request_id: u32, e: &ProtoError) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        let frame = Response::Error {
+            code: proto::ErrorCode::Protocol,
+            message: e.to_string(),
+        }
+        .encode_framed(conn.peer_version, request_id);
+        conn.shared
+            .queued_bytes
+            .fetch_add(frame.len(), Ordering::SeqCst);
+        conn.enqueue(frame);
+        conn.read_buf.clear();
+        self.begin_close(key);
+    }
+
+    fn pump_write(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        let mut flushed = 0usize;
+        let mut dead = false;
+        while let Some(front) = conn.write_queue.front() {
+            match conn.stream.write(&front[conn.write_offset..]) {
+                Ok(n) => {
+                    conn.write_offset += n;
+                    if conn.write_offset >= front.len() {
+                        flushed += front.len();
+                        conn.write_offset = 0;
+                        conn.write_queue.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if flushed > 0 {
+            conn.shared.queued_bytes.fetch_sub(
+                flushed.min(conn.shared.queued_bytes.load(Ordering::SeqCst)),
+                Ordering::SeqCst,
+            );
+            conn.shared.notify_capacity();
+        }
+        if dead {
+            self.teardown(key);
+            return;
+        }
+        self.maybe_finish_close(key);
+    }
+
+    /// Recompute and apply poller interest for every connection: read
+    /// while open and not budget-blocked (and while draining, to see
+    /// EOF); write while bytes are queued.
+    fn sync_all_interest(&mut self) {
+        for conn in self.conns.values_mut() {
+            let read = match conn.state {
+                ConnState::Open => !conn.parse_blocked,
+                ConnState::Closing => false,
+                ConnState::Draining { .. } => true,
+            };
+            let write = !conn.queue_empty();
+            if conn.interest != (read, write)
+                && self
+                    .shared
+                    .poller
+                    .modify(conn.stream.as_raw_fd(), conn.key, read, write)
+                    .is_ok()
+            {
+                conn.interest = (read, write);
+            }
+        }
+    }
+
+    fn teardown(&mut self, key: usize) {
+        if let Some(conn) = self.conns.remove(&key) {
+            // Unblock any executor mid-stream on this connection.
+            conn.shared.cancel.cancel();
+            conn.shared.notify_capacity();
+            let _ = self.shared.poller.delete(conn.stream.as_raw_fd());
+        }
+    }
 }
 
-fn worker_loop(rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: Arc<Shared>) {
+// ---------------------------------------------------------------------
+// The executor pool.
+
+fn executor_loop(
+    job_rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    done_tx: mpsc::Sender<Completion>,
+    shared: Arc<Shared>,
+    poll_interval: Duration,
+) {
     loop {
         // Hold the lock only for the dequeue, never while serving.
         let next = {
-            let rx = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            rx.recv_timeout(shared.poll_interval)
+            let rx = job_rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            rx.recv_timeout(poll_interval)
         };
         match next {
-            Ok(stream) => {
-                handle_connection(stream, &shared);
-                shared.active.fetch_sub(1, Ordering::SeqCst);
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
+            Ok(job) => run_job(job, &done_tx, &shared),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
 }
 
-/// Read one frame with the shutdown flag polled on read timeouts.
-enum NetRead {
-    Frame(Vec<u8>),
-    Eof,
-    Shutdown,
-    Error(ProtoError),
+/// Hand a finished frame back to the reactor and wake it.
+fn complete(
+    done_tx: &mpsc::Sender<Completion>,
+    shared: &Shared,
+    job: &Job,
+    frame: Option<Vec<u8>>,
+    end: bool,
+) {
+    if let Some(f) = &frame {
+        job.conn.queued_bytes.fetch_add(f.len(), Ordering::SeqCst);
+    }
+    let _ = done_tx.send(Completion {
+        conn_key: job.conn_key,
+        request_id: job.request_id,
+        frame,
+        end,
+    });
+    let _ = shared.poller.notify();
 }
 
-fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> NetRead {
-    use std::io::Read;
-    let mut len_buf = [0u8; 4];
-    let mut got = 0usize;
-    // Length prefix, then body — both loops poll shutdown on timeout.
-    let read_full = |stream: &mut TcpStream, buf: &mut [u8], got: &mut usize| -> Option<NetRead> {
-        while *got < buf.len() {
-            match stream.read(&mut buf[*got..]) {
-                Ok(0) => {
-                    return Some(if *got == 0 {
-                        NetRead::Eof
-                    } else {
-                        NetRead::Error(ProtoError::Truncated)
-                    })
-                }
-                Ok(n) => *got += n,
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut
-                        || e.kind() == io::ErrorKind::Interrupted =>
-                {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        return Some(NetRead::Shutdown);
-                    }
-                }
-                Err(e) => return Some(NetRead::Error(ProtoError::Io(e.to_string()))),
-            }
-        }
-        None
+/// The reactor's inline fast path: answer a query **entirely from warm
+/// caches** on the event-loop thread, returning the complete reply
+/// frames (bounded `RowsChunk`s + `RowsEnd` for v6, one monolithic
+/// `Rows` pre-v6), or `None` to dispatch to the executor pool. The
+/// probe ([`ServerState::try_serve_cached_in`]) never blocks and never
+/// executes a plan; `room` is the connection's remaining backlog
+/// budget, so an inline reply can never overshoot the watermark the
+/// streaming path's backpressure gate enforces.
+fn fast_path_frames(
+    shared: &Shared,
+    request: &Request,
+    version: u8,
+    request_id: u32,
+    room: usize,
+) -> Option<Vec<Vec<u8>>> {
+    let result = match request {
+        Request::Query {
+            sql,
+            tenant,
+            deadline,
+        } => shared
+            .state
+            .try_serve_cached_in(tenant, sql, *deadline, room)?,
+        Request::QueryParams {
+            template,
+            tenant,
+            params,
+            deadline,
+        } => shared
+            .state
+            .try_serve_cached_params_in(tenant, template, params, *deadline, room)?,
+        _ => return None,
     };
-    if let Some(out) = read_full(stream, &mut len_buf, &mut got) {
-        return out;
+    let table = result.table;
+    let total_rows = table.num_rows();
+    let total_micros = result.total_time.as_micros() as u64;
+    if version >= 6 {
+        let mut frames = Vec::new();
+        let mut offset = 0usize;
+        loop {
+            let len = shared.chunk_rows.min(total_rows - offset);
+            match Response::rows_chunk_frame(version, request_id, &table, offset, len) {
+                Ok(frame) => frames.push(frame),
+                // Rows too wide to ship at any chunking: the query was
+                // served and counted; only the reply can't fit. Same
+                // typed error the streaming path sends.
+                Err(_) => return Some(vec![oversize_error().encode_framed(version, request_id)]),
+            }
+            offset += len;
+            if offset >= total_rows {
+                break;
+            }
+        }
+        frames.push(
+            Response::RowsEnd {
+                cache_hit: result.cache_hit,
+                total_micros,
+                total_rows: total_rows as u64,
+            }
+            .encode_framed(version, request_id),
+        );
+        Some(frames)
+    } else {
+        let frame = Response::Rows {
+            cache_hit: result.cache_hit,
+            total_micros,
+            table,
+        }
+        .encode_framed_checked(version, request_id)
+        .unwrap_or_else(|_| oversize_error().encode_framed(version, request_id));
+        Some(vec![frame])
     }
-    let len = u32::from_le_bytes(len_buf);
-    if !(2..=proto::MAX_FRAME_LEN).contains(&len) {
-        return NetRead::Error(ProtoError::BadLength(len));
-    }
-    let mut body = vec![0u8; len as usize];
-    let mut got = 0usize;
-    if let Some(out) = read_full(stream, &mut body, &mut got) {
-        return match out {
-            NetRead::Eof => NetRead::Error(ProtoError::Truncated),
-            out => out,
-        };
-    }
-    NetRead::Frame(body)
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.poll_interval));
-    // Replies carry the version of the request they answer, so a v3 peer
-    // round-trips v3 bytes end to end. Until the first request decodes,
-    // the peer's version is unknown, so error frames use the *oldest*
-    // supported version — its error layout is identical and every
-    // supported peer (v3 and v4 alike) can decode it.
-    let mut peer_version = proto::MIN_PROTOCOL_VERSION;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            let frame = Response::from_error(&crate::ServerError::ShuttingDown)
-                .encode_for_version(peer_version);
-            let _ = proto::write_frame(&mut stream, &frame);
-            break;
+fn run_job(job: Job, done_tx: &mpsc::Sender<Completion>, shared: &Shared) {
+    match &job.request {
+        Request::Query { .. } | Request::QueryParams { .. } if job.version >= 6 => {
+            stream_query(job, done_tx, shared);
         }
-        let body = match read_frame_polled(&mut stream, shared) {
-            NetRead::Frame(body) => body,
-            NetRead::Eof => break,
-            NetRead::Shutdown => continue, // top of loop sends the frame
-            NetRead::Error(e) => {
-                // Protocol confusion: answer once, then drop the
-                // connection — framing can no longer be trusted.
-                let frame = Response::Error {
-                    code: proto::ErrorCode::Protocol,
-                    message: e.to_string(),
-                }
-                .encode_for_version(peer_version);
-                let _ = proto::write_frame(&mut stream, &frame);
-                break;
-            }
-        };
-        let request = match Request::decode_versioned(&body) {
-            Ok((req, version)) => {
-                peer_version = version;
-                req
-            }
-            Err(e) => {
-                let frame = Response::Error {
-                    code: proto::ErrorCode::Protocol,
-                    message: e.to_string(),
-                }
-                .encode_for_version(peer_version);
-                let _ = proto::write_frame(&mut stream, &frame);
-                break;
-            }
-        };
-        let shutdown_after = matches!(request, Request::Shutdown);
-        let response = serve_request(request, shared);
-        // A result table too large for one frame becomes a typed error
-        // the client can read, not a length the client must reject.
-        let frame = response.encode_checked(peer_version).unwrap_or_else(|_| {
-            Response::Error {
-                code: proto::ErrorCode::Execution,
-                message: format!(
-                    "result exceeds the {} byte frame cap; narrow the query",
-                    proto::MAX_FRAME_LEN
-                ),
-            }
-            .encode_for_version(peer_version)
-        });
-        if proto::write_frame(&mut stream, &frame).is_err() {
-            break;
-        }
-        if shutdown_after {
+        Request::Shutdown => {
+            let frame = Response::ShutdownAck.encode_framed(job.version, job.request_id);
+            complete(done_tx, shared, &job, Some(frame), true);
             shared.request_shutdown();
-            break;
+        }
+        _ => {
+            let response = serve_request(job.request.clone(), &shared.state);
+            // A result table too large for one frame becomes a typed
+            // error the client can read, not a length it must reject.
+            let frame = response
+                .encode_framed_checked(job.version, job.request_id)
+                .unwrap_or_else(|_| oversize_error().encode_framed(job.version, job.request_id));
+            complete(done_tx, shared, &job, Some(frame), true);
         }
     }
 }
 
-fn serve_request(request: Request, shared: &Shared) -> Response {
-    let state = &shared.state;
+fn oversize_error() -> Response {
+    Response::Error {
+        code: proto::ErrorCode::Execution,
+        message: format!(
+            "result exceeds the {} byte frame cap; narrow the query",
+            proto::MAX_FRAME_LEN
+        ),
+    }
+}
+
+enum StreamGate {
+    Proceed,
+    ConnDead,
+    DeadlineExpired,
+    ShuttingDown,
+}
+
+/// Wait until the connection's write queue is under the watermark —
+/// checking teardown, the request deadline, and server shutdown while
+/// waiting, so a stalled reader can't pin this executor.
+fn stream_gate(conn: &ConnShared, stream_cancel: &CancelToken, shared: &Shared) -> StreamGate {
+    loop {
+        if conn.cancel.is_cancelled() {
+            return StreamGate::ConnDead;
+        }
+        if stream_cancel.is_cancelled() {
+            return StreamGate::DeadlineExpired;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Shutdown mustn't wait on a slow reader; cut the stream
+            // with a typed error so the drain stays bounded.
+            return StreamGate::ShuttingDown;
+        }
+        if conn.queued_bytes.load(Ordering::SeqCst) <= shared.max_conn_backlog_bytes {
+            return StreamGate::Proceed;
+        }
+        let guard = conn
+            .capacity
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Timed wait: a missed notify (or a torn-down connection) must
+        // not park this executor forever.
+        let _ = conn
+            .capacity_cv
+            .wait_timeout(guard, Duration::from_millis(10));
+    }
+}
+
+/// Serve a v6 `Query`/`QueryParams` and stream the result: one or more
+/// bounded `RowsChunk` frames (the first carries the schema even for an
+/// empty result), terminated by `RowsEnd` — or by a typed error frame
+/// if the deadline expires or the server shuts down mid-stream.
+fn stream_query(job: Job, done_tx: &mpsc::Sender<Completion>, shared: &Shared) {
+    let (result, deadline) = match &job.request {
+        Request::Query {
+            sql,
+            tenant,
+            deadline,
+        } => (shared.state.serve_in(tenant, sql, *deadline), *deadline),
+        Request::QueryParams {
+            template,
+            tenant,
+            params,
+            deadline,
+        } => (
+            shared
+                .state
+                .serve_with_params_in(tenant, template, params, *deadline),
+            *deadline,
+        ),
+        _ => unreachable!("stream_query only takes query requests"),
+    };
+    let result = match result {
+        Ok(result) => result,
+        Err(e) => {
+            let frame = Response::from_error(&e).encode_framed(job.version, job.request_id);
+            complete(done_tx, shared, &job, Some(frame), true);
+            return;
+        }
+    };
+    // The same effective deadline the admission ring used keeps
+    // governing the stream: expiry between chunks is a typed error.
+    let stream_cancel = deadline
+        .or(shared.state.config().admission.default_deadline)
+        .map(|d| CancelToken::with_deadline(job.started + d))
+        .unwrap_or_default();
+    let table = result.table;
+    let total_rows = table.num_rows();
+    let total_micros = result.total_time.as_micros() as u64;
+    let cache_hit = result.cache_hit;
+    let mut offset = 0usize;
+    loop {
+        let len = shared.chunk_rows.min(total_rows - offset);
+        match stream_gate(&job.conn, &stream_cancel, shared) {
+            StreamGate::Proceed => {}
+            StreamGate::ConnDead => {
+                // Nowhere to write; free the budget slot and stop.
+                complete(done_tx, shared, &job, None, true);
+                return;
+            }
+            StreamGate::DeadlineExpired => {
+                let frame = Response::from_error(&crate::ServerError::DeadlineExceeded(format!(
+                    "deadline expired mid-stream after {offset} of {total_rows} rows"
+                )))
+                .encode_framed(job.version, job.request_id);
+                complete(done_tx, shared, &job, Some(frame), true);
+                return;
+            }
+            StreamGate::ShuttingDown => {
+                let frame = Response::from_error(&crate::ServerError::ShuttingDown)
+                    .encode_framed(job.version, job.request_id);
+                complete(done_tx, shared, &job, Some(frame), true);
+                return;
+            }
+        }
+        match Response::rows_chunk_frame(job.version, job.request_id, &table, offset, len) {
+            Ok(frame) => complete(done_tx, shared, &job, Some(frame), false),
+            Err(_) => {
+                // A single chunk overflowing the frame cap means rows
+                // too wide to ship at any chunking; same typed error as
+                // the monolithic path.
+                let frame = oversize_error().encode_framed(job.version, job.request_id);
+                complete(done_tx, shared, &job, Some(frame), true);
+                return;
+            }
+        }
+        offset += len;
+        if offset >= total_rows {
+            break;
+        }
+    }
+    let frame = Response::RowsEnd {
+        cache_hit,
+        total_micros,
+        total_rows: total_rows as u64,
+    }
+    .encode_framed(job.version, job.request_id);
+    complete(done_tx, shared, &job, Some(frame), true);
+}
+
+/// Serve one request to its single-frame response (every kind except
+/// the streamed v6 query path).
+fn serve_request(request: Request, state: &Arc<ServerState>) -> Response {
     match request {
         Request::Prepare { sql, tenant } => match state.prepare_in(&tenant, &sql) {
             Ok((prepared, cache_hit)) => Response::Prepared {

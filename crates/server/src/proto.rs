@@ -4,16 +4,27 @@
 //! Every message is one length-prefixed frame:
 //!
 //! ```text
-//! [len: u32 LE] [version: u8] [kind: u8] [payload: len - 2 bytes]
+//! v3–v5: [len: u32 LE] [version: u8] [kind: u8] [payload]
+//! v6:    [len: u32 LE] [version: u8] [kind: u8] [request_id: u32 LE] [payload]
 //! ```
 //!
-//! `len` counts everything after itself (version + kind + payload) and is
-//! capped at [`MAX_FRAME_LEN`]; a peer announcing more is rejected before
-//! any allocation happens. `version` is [`PROTOCOL_VERSION`] or any
-//! still-supported earlier version (≥ [`MIN_PROTOCOL_VERSION`]); anything
-//! else produces a typed error, never a misparse.
+//! `len` counts everything after itself (version + kind + request id +
+//! payload) and is capped at [`MAX_FRAME_LEN`]; a peer announcing more
+//! is rejected before any allocation happens. `version` is
+//! [`PROTOCOL_VERSION`] or any still-supported earlier version
+//! (≥ [`MIN_PROTOCOL_VERSION`]); anything else produces a typed error,
+//! never a misparse.
 //!
-//! # Frame kinds and payload layout (version 5)
+//! Version 6 added **pipelining**: the `request_id` names which request
+//! a reply answers, so a client may keep many requests in flight on one
+//! connection and the server may answer them out of order. Pre-v6
+//! frames carry no id (decoded as id `0`) and implicitly promise
+//! one-in-flight, in-order service — which the server preserves for
+//! them. Ids are chosen by the client; the only rule is that an id may
+//! not be reused while still in flight on its connection (the server
+//! answers a duplicate with a typed `Protocol` error).
+//!
+//! # Frame kinds and payload layout (version 6)
 //!
 //! Request kinds live below `0x80`, response kinds at or above it, and
 //! `0xEE` is the error frame. All integers are little-endian; `f64`s are
@@ -40,6 +51,8 @@
 //! | `0x85` | [`Response::ShutdownAck`] | *(empty)* |
 //! | `0x86` | [`Response::Metrics`] | text: string (Prometheus-style exposition) |
 //! | `0x87` | [`Response::Traces`] | `u32` count, then per trace (see below) |
+//! | `0x88` | [`Response::RowsChunk`] | table (one bounded slice of the result; v6+) |
+//! | `0x89` | [`Response::RowsEnd`] | cache_hit: `u8` · total_micros: `u64` · total_rows: `u64` (v6+) |
 //! | `0xEE` | [`Response::Error`] | code: `u16` [`ErrorCode`] · message: string |
 //!
 //! A *trace* in a `Traces` reply is: tenant: string · sql: string ·
@@ -47,7 +60,7 @@
 //! per span: name: string · parent: `u32` (`u32::MAX` marks a root) ·
 //! start_us: `u64` · duration_us: `u64`.
 //!
-//! # Version 3 / 4 compatibility
+//! # Version 3 / 4 / 5 compatibility
 //!
 //! Version 3 frames (pre-tenancy) carry no tenant field anywhere: the
 //! decoder accepts them and maps every request to the
@@ -57,10 +70,15 @@
 //! predate the observability frames: `Metrics` (0x07) and `Traces`
 //! (0x08) requests are rejected as [`ProtoError::BadKind`] below
 //! version 5 — same as any unknown kind — so older decoders never face
-//! a payload they cannot parse. The server replies with the version the
-//! request arrived in, so a v3/v4 client round-trips its own bytes end
-//! to end. Encoding always emits [`PROTOCOL_VERSION`] unless an
-//! explicit version is passed ([`Response::encode_for_version`]).
+//! a payload they cannot parse. Version 5 peers predate pipelining:
+//! their frames carry no request id, and the streaming reply kinds
+//! `RowsChunk` (0x88) / `RowsEnd` (0x89) are likewise
+//! [`ProtoError::BadKind`] below version 6 — a ≤v5 peer always gets its
+//! result as one monolithic `Rows` frame. The server replies with the
+//! version the request arrived in, so a v3/v4/v5 client round-trips
+//! its own bytes end to end. Encoding always emits
+//! [`PROTOCOL_VERSION`] unless an explicit version is passed
+//! ([`Response::encode_for_version`], [`Request::encode_for_version`]).
 //!
 //! Result tables ship column-major: `u32` row count, `u32` column count,
 //! then per column its name, a [`DataType`] tag, and the values. Decoding
@@ -104,8 +122,11 @@ use std::time::Duration;
 /// `Prepare`/`Query`/`QueryParams`/`Score`/`Stats` requests and the
 /// latency-percentile counters to the `Stats` reply; version 5 added
 /// the observability frames — `Metrics` (0x07) and `Traces` (0x08)
-/// requests with their `0x86`/`0x87` replies.
-pub const PROTOCOL_VERSION: u8 = 5;
+/// requests with their `0x86`/`0x87` replies; version 6 added the
+/// `request_id` header field (pipelining with out-of-order replies)
+/// and the streamed-result frames `RowsChunk` (0x88) / `RowsEnd`
+/// (0x89).
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Oldest version still decoded. Version-3 peers predate tenancy and
 /// are served in the default tenant; see the module docs.
@@ -134,6 +155,8 @@ const KIND_STATS_REPLY: u8 = 0x84;
 const KIND_SHUTDOWN_ACK: u8 = 0x85;
 const KIND_METRICS_REPLY: u8 = 0x86;
 const KIND_TRACES_REPLY: u8 = 0x87;
+const KIND_ROWS_CHUNK: u8 = 0x88;
+const KIND_ROWS_END: u8 = 0x89;
 const KIND_ERROR: u8 = 0xEE;
 
 /// `parent` sentinel in a wire-encoded span: this span is a root stage.
@@ -323,11 +346,25 @@ pub enum Response {
     },
     /// Reply to [`Request::Query`]: the materialized result table.
     /// Shared (`Arc`) so the server can frame a cached result without
-    /// deep-copying it per connection.
+    /// deep-copying it per connection. ≤v5 peers always get this; v6
+    /// peers get the same rows streamed as [`Response::RowsChunk`]s.
     Rows {
         cache_hit: bool,
         total_micros: u64,
         table: Arc<Table>,
+    },
+    /// One bounded slice of a streamed `Rows` result (v6+). Every chunk
+    /// carries the schema, so a zero-row result still round-trips its
+    /// shape; the client concatenates chunks until [`Response::RowsEnd`].
+    RowsChunk { table: Arc<Table> },
+    /// Terminates a streamed `Rows` result (v6+), carrying what the
+    /// monolithic frame's header would have: the cache verdict, the
+    /// server-side latency, and the total row count (which must equal
+    /// the sum of the chunks — the client checks).
+    RowsEnd {
+        cache_hit: bool,
+        total_micros: u64,
+        total_rows: u64,
     },
     /// Reply to [`Request::Score`].
     Score { value: f64 },
@@ -371,6 +408,19 @@ impl PartialEq for Response {
                     table: t2,
                 },
             ) => a == c && b == d && t1 == t2,
+            (RowsChunk { table: t1 }, RowsChunk { table: t2 }) => t1 == t2,
+            (
+                RowsEnd {
+                    cache_hit: a,
+                    total_micros: b,
+                    total_rows: c,
+                },
+                RowsEnd {
+                    cache_hit: d,
+                    total_micros: e,
+                    total_rows: f,
+                },
+            ) => a == d && b == e && c == f,
             (Score { value: a }, Score { value: b }) => a == b,
             (Stats(a), Stats(b)) => a == b,
             (Metrics { text: a }, Metrics { text: b }) => a == b,
@@ -589,17 +639,32 @@ fn dtype_tag(dtype: DataType) -> u8 {
 }
 
 fn encode_table(out: &mut Vec<u8>, table: &Table) {
+    encode_table_range(out, table, 0, table.num_rows());
+}
+
+/// Encode rows `offset..offset + len` of `table`, column-major, straight
+/// from the (possibly shared) table — chunked streaming never clones or
+/// re-slices the result, it just walks ranges of the original columns.
+fn encode_table_range(out: &mut Vec<u8>, table: &Table, offset: usize, len: usize) {
     let batch = table.batch();
-    put_u32(out, table.num_rows() as u32);
+    put_u32(out, len as u32);
     put_u32(out, batch.schema().len() as u32);
     for (field, col) in batch.schema().fields().iter().zip(batch.columns()) {
         put_string(out, &field.name);
         out.push(dtype_tag(field.dtype));
         match col.as_ref() {
-            Column::Int64(v) => v.iter().for_each(|&x| put_u64(out, x as u64)),
-            Column::Float64(v) => v.iter().for_each(|&x| put_f64(out, x)),
-            Column::Bool(v) => v.iter().for_each(|&x| out.push(x as u8)),
-            Column::Utf8(v) => v.iter().for_each(|s| put_string(out, s)),
+            Column::Int64(v) => v[offset..offset + len]
+                .iter()
+                .for_each(|&x| put_u64(out, x as u64)),
+            Column::Float64(v) => v[offset..offset + len]
+                .iter()
+                .for_each(|&x| put_f64(out, x)),
+            Column::Bool(v) => v[offset..offset + len]
+                .iter()
+                .for_each(|&x| out.push(x as u8)),
+            Column::Utf8(v) => v[offset..offset + len]
+                .iter()
+                .for_each(|s| put_string(out, s)),
         }
     }
 }
@@ -660,43 +725,81 @@ fn decode_table(r: &mut Reader<'_>) -> Result<Table, ProtoError> {
 // ---------------------------------------------------------------------
 // Frame encode/decode.
 
-/// Assemble a full frame: length prefix, version, kind, payload. A
+/// Assemble a full frame: length prefix, version, kind, request id
+/// (version ≥ 6 only — earlier headers have no id field), payload. A
 /// body beyond `u32` saturates the prefix rather than silently wrapping
 /// — the receiver then rejects it as `BadLength` instead of desyncing;
 /// use [`Response::encode_checked`] to catch oversize before sending.
-fn frame(version: u8, kind: u8, payload: &[u8]) -> Vec<u8> {
-    let len = u32::try_from(payload.len() + 2).unwrap_or(u32::MAX);
-    let mut out = Vec::with_capacity(payload.len() + 6);
+fn frame(version: u8, kind: u8, request_id: u32, payload: &[u8]) -> Vec<u8> {
+    let id_bytes = if version >= 6 { 4 } else { 0 };
+    let len = u32::try_from(payload.len() + 2 + id_bytes).unwrap_or(u32::MAX);
+    let mut out = Vec::with_capacity(payload.len() + 6 + id_bytes);
     put_u32(&mut out, len);
     out.push(version);
     out.push(kind);
+    if version >= 6 {
+        put_u32(&mut out, request_id);
+    }
     out.extend_from_slice(payload);
     out
 }
 
-/// Validate the version byte and return `(version, kind, payload)` of a
-/// frame body (everything after the length prefix). Any version in
-/// [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`] is accepted; the
-/// payload decoders branch on it.
-fn split_body(body: &[u8]) -> Result<(u8, u8, &[u8]), ProtoError> {
+/// Validate the version byte and return `(version, kind, request_id,
+/// payload)` of a frame body (everything after the length prefix). Any
+/// version in [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`] is
+/// accepted; the payload decoders branch on it. Pre-v6 headers carry no
+/// id field and report id `0`.
+fn split_body(body: &[u8]) -> Result<(u8, u8, u32, &[u8]), ProtoError> {
     if body.len() < 2 {
         return Err(ProtoError::Truncated);
     }
     if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&body[0]) {
         return Err(ProtoError::BadVersion(body[0]));
     }
-    Ok((body[0], body[1], &body[2..]))
+    let (version, kind) = (body[0], body[1]);
+    if version >= 6 {
+        if body.len() < 6 {
+            return Err(ProtoError::Truncated);
+        }
+        let id = u32::from_le_bytes(body[2..6].try_into().unwrap());
+        Ok((version, kind, id, &body[6..]))
+    } else {
+        Ok((version, kind, 0, &body[2..]))
+    }
 }
 
 impl Request {
     /// Encode to a complete wire frame (length prefix included), always
-    /// at [`PROTOCOL_VERSION`].
+    /// at [`PROTOCOL_VERSION`] with request id `0` (the serial-client
+    /// convention; pipelined clients pass real ids via
+    /// [`Request::encode_with_id`]).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_for_version(PROTOCOL_VERSION, 0)
+    }
+
+    /// Encode at [`PROTOCOL_VERSION`] carrying `request_id`, so the
+    /// out-of-order reply stream can be matched back to this request.
+    pub fn encode_with_id(&self, request_id: u32) -> Vec<u8> {
+        self.encode_for_version(PROTOCOL_VERSION, request_id)
+    }
+
+    /// Encode exactly as a peer of `version` would: v3 frames omit the
+    /// tenant fields entirely (the tenant is *dropped*, not defaulted —
+    /// a v3 peer cannot name one), pre-v6 headers omit the request id.
+    /// `version` is clamped into the supported range. Kinds a version
+    /// does not define (`Metrics`/`Traces` below v5) still encode; the
+    /// receiving decoder rejects them as `BadKind`, which is precisely
+    /// how compat tests exercise that path.
+    pub fn encode_for_version(&self, version: u8, request_id: u32) -> Vec<u8> {
+        let version = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+        let tenanted = version >= 4;
         let mut payload = Vec::new();
         let kind = match self {
             Request::Prepare { sql, tenant } => {
                 put_string(&mut payload, sql);
-                put_string(&mut payload, tenant);
+                if tenanted {
+                    put_string(&mut payload, tenant);
+                }
                 KIND_PREPARE
             }
             Request::Query {
@@ -705,7 +808,9 @@ impl Request {
                 deadline,
             } => {
                 put_string(&mut payload, sql);
-                put_string(&mut payload, tenant);
+                if tenanted {
+                    put_string(&mut payload, tenant);
+                }
                 // 0 = no deadline; a zero deadline is sent as 1 µs.
                 let micros = deadline.map(|d| (d.as_micros() as u64).max(1)).unwrap_or(0);
                 put_u64(&mut payload, micros);
@@ -718,7 +823,9 @@ impl Request {
                 deadline,
             } => {
                 put_string(&mut payload, template);
-                put_string(&mut payload, tenant);
+                if tenanted {
+                    put_string(&mut payload, tenant);
+                }
                 put_u32(&mut payload, params.len() as u32);
                 for p in params {
                     put_value(&mut payload, p);
@@ -729,12 +836,16 @@ impl Request {
             }
             Request::Score { model, tenant, row } => {
                 put_string(&mut payload, model);
-                put_string(&mut payload, tenant);
+                if tenanted {
+                    put_string(&mut payload, tenant);
+                }
                 put_f64_vec(&mut payload, row);
                 KIND_SCORE
             }
             Request::Stats { tenant } => {
-                put_string(&mut payload, tenant);
+                if tenanted {
+                    put_string(&mut payload, tenant);
+                }
                 KIND_STATS
             }
             Request::Metrics { tenant } => {
@@ -748,18 +859,24 @@ impl Request {
             }
             Request::Shutdown => KIND_SHUTDOWN,
         };
-        frame(PROTOCOL_VERSION, kind, &payload)
+        frame(version, kind, request_id, &payload)
     }
 
     /// Decode a frame body (version + kind + payload, no length prefix).
     pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
-        Request::decode_versioned(body).map(|(req, _)| req)
+        Request::decode_framed(body).map(|(req, _, _)| req)
     }
 
     /// [`Request::decode`], also returning the frame's version so the
     /// responder can reply in kind (a v3 peer must get v3 bytes back).
     pub fn decode_versioned(body: &[u8]) -> Result<(Request, u8), ProtoError> {
-        let (version, kind, payload) = split_body(body)?;
+        Request::decode_framed(body).map(|(req, version, _)| (req, version))
+    }
+
+    /// Full header decode: the request, the frame's version, and its
+    /// request id (`0` for pre-v6 frames, which carry no id field).
+    pub fn decode_framed(body: &[u8]) -> Result<(Request, u8, u32), ProtoError> {
+        let (version, kind, request_id, payload) = split_body(body)?;
         let mut r = Reader::new(payload);
         // Version 3 frames carry no tenant anywhere: map them to the
         // default tenant (for Stats too — in a v3 world the default
@@ -822,13 +939,13 @@ impl Request {
             kind => return Err(ProtoError::BadKind(kind)),
         };
         r.finish()?;
-        Ok((req, version))
+        Ok((req, version, request_id))
     }
 }
 
 impl Response {
     /// Encode to a complete wire frame (length prefix included) at
-    /// [`PROTOCOL_VERSION`].
+    /// [`PROTOCOL_VERSION`] with request id `0`.
     pub fn encode(&self) -> Vec<u8> {
         self.encode_for_version(PROTOCOL_VERSION)
     }
@@ -836,8 +953,17 @@ impl Response {
     /// Encode for a specific peer version: the server answers each
     /// request in the version it arrived in, so v3 clients get v3
     /// bytes (same layouts, minus the v4-only trailing `Stats`
-    /// counters). `version` is clamped into the supported range.
+    /// counters). `version` is clamped into the supported range. The
+    /// request id is `0`; replies to pipelined requests go through
+    /// [`Response::encode_framed`].
     pub fn encode_for_version(&self, version: u8) -> Vec<u8> {
+        self.encode_framed(version, 0)
+    }
+
+    /// [`Response::encode_for_version`] carrying `request_id`, echoing
+    /// the id of the request this frame answers (dropped from the
+    /// header below v6).
+    pub fn encode_framed(&self, version: u8, request_id: u32) -> Vec<u8> {
         let version = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
         let mut payload = Vec::new();
         let kind = match self {
@@ -858,6 +984,20 @@ impl Response {
                 put_u64(&mut payload, *total_micros);
                 encode_table(&mut payload, table);
                 KIND_ROWS
+            }
+            Response::RowsChunk { table } => {
+                encode_table(&mut payload, table);
+                KIND_ROWS_CHUNK
+            }
+            Response::RowsEnd {
+                cache_hit,
+                total_micros,
+                total_rows,
+            } => {
+                payload.push(*cache_hit as u8);
+                put_u64(&mut payload, *total_micros);
+                put_u64(&mut payload, *total_rows);
+                KIND_ROWS_END
             }
             Response::Score { value } => {
                 put_f64(&mut payload, *value);
@@ -921,12 +1061,18 @@ impl Response {
                 KIND_ERROR
             }
         };
-        frame(version, kind, &payload)
+        frame(version, kind, request_id, &payload)
     }
 
     /// Decode a frame body (version + kind + payload, no length prefix).
     pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
-        let (version, kind, payload) = split_body(body)?;
+        Response::decode_framed(body).map(|(resp, _, _)| resp)
+    }
+
+    /// Full header decode: the response, the frame's version, and the
+    /// request id it answers (`0` for pre-v6 frames).
+    pub fn decode_framed(body: &[u8]) -> Result<(Response, u8, u32), ProtoError> {
+        let (version, kind, request_id, payload) = split_body(body)?;
         let mut r = Reader::new(payload);
         let resp = match kind {
             KIND_PREPARED => Response::Prepared {
@@ -937,6 +1083,17 @@ impl Response {
                 cache_hit: decode_bool(r.u8()?)?,
                 total_micros: r.u64()?,
                 table: Arc::new(decode_table(&mut r)?),
+            },
+            // The streaming kinds don't exist below v6: a pre-v6 peer's
+            // decoder would reject these bytes as unknown, so ours must
+            // too when the frame claims an older version.
+            KIND_ROWS_CHUNK if version >= 6 => Response::RowsChunk {
+                table: Arc::new(decode_table(&mut r)?),
+            },
+            KIND_ROWS_END if version >= 6 => Response::RowsEnd {
+                cache_hit: decode_bool(r.u8()?)?,
+                total_micros: r.u64()?,
+                total_rows: r.u64()?,
             },
             KIND_SCORED => Response::Score { value: r.f64()? },
             KIND_STATS_REPLY => {
@@ -992,7 +1149,7 @@ impl Response {
             kind => return Err(ProtoError::BadKind(kind)),
         };
         r.finish()?;
-        Ok(resp)
+        Ok((resp, version, request_id))
     }
 
     /// Build the error frame for a [`ServerError`]. The message is the
@@ -1010,7 +1167,49 @@ impl Response {
     /// comes back as `Err(BadLength)` instead of a frame the receiver
     /// would reject.
     pub fn encode_checked(&self, version: u8) -> Result<Vec<u8>, ProtoError> {
-        let wire = self.encode_for_version(version);
+        Self::check_len(self.encode_for_version(version))
+    }
+
+    /// [`Response::encode_framed`] with the same oversize check as
+    /// [`Response::encode_checked`].
+    pub fn encode_framed_checked(
+        &self,
+        version: u8,
+        request_id: u32,
+    ) -> Result<Vec<u8>, ProtoError> {
+        Self::check_len(self.encode_framed(version, request_id))
+    }
+
+    /// Build one `RowsChunk` frame for rows `offset..offset + len` of a
+    /// (possibly shared) result table, encoding the range straight from
+    /// the original columns — no sub-table is materialized, so a cached
+    /// `Arc<Table>` streams to any number of connections without a
+    /// copy. Errors on out-of-range or a chunk that overflows
+    /// [`MAX_FRAME_LEN`] (shrink the chunk).
+    pub fn rows_chunk_frame(
+        version: u8,
+        request_id: u32,
+        table: &Table,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ProtoError> {
+        let version = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+        if version < 6 {
+            return Err(ProtoError::BadKind(KIND_ROWS_CHUNK));
+        }
+        if offset.saturating_add(len) > table.num_rows() {
+            return Err(ProtoError::Malformed(format!(
+                "chunk {offset}..{} out of range for {} rows",
+                offset + len,
+                table.num_rows()
+            )));
+        }
+        let mut payload = Vec::new();
+        encode_table_range(&mut payload, table, offset, len);
+        Self::check_len(frame(version, KIND_ROWS_CHUNK, request_id, &payload))
+    }
+
+    fn check_len(wire: Vec<u8>) -> Result<Vec<u8>, ProtoError> {
         let body_len = wire.len() - 4;
         if body_len > MAX_FRAME_LEN as usize {
             return Err(ProtoError::BadLength(
@@ -1155,7 +1354,7 @@ mod tests {
     /// compatibility contract for pre-tenancy clients.
     #[test]
     fn v3_requests_decode_into_the_default_tenant() {
-        let v3_frame = |kind: u8, payload: &[u8]| frame(3, kind, payload);
+        let v3_frame = |kind: u8, payload: &[u8]| frame(3, kind, 0, payload);
 
         let mut query = Vec::new();
         put_string(&mut query, "SELECT 1");
@@ -1357,24 +1556,127 @@ mod tests {
 
     /// The observability kinds don't exist below version 5: the decoder
     /// must reject them as unknown kinds, exactly as a genuine v4 peer's
-    /// decoder would.
+    /// decoder would. `encode_for_version` builds the genuine pre-v6
+    /// frame (no request-id header bytes), so this exercises the real
+    /// v4/v3 wire image.
     #[test]
     fn observability_requests_are_v5_only() {
-        let mut wire = Request::Metrics {
+        let wire = Request::Metrics {
             tenant: String::new(),
         }
-        .encode();
-        wire[4] = 4; // pretend a v4 peer sent this kind
+        .encode_for_version(4, 0);
         let body = read_frame(&mut Cursor::new(&wire)).unwrap();
         assert_eq!(Request::decode(&body), Err(ProtoError::BadKind(0x07)));
-        let mut wire = Request::Traces {
+        let wire = Request::Traces {
             tenant: String::new(),
             limit: 4,
         }
-        .encode();
-        wire[4] = 3;
+        .encode_for_version(3, 0);
         let body = read_frame(&mut Cursor::new(&wire)).unwrap();
         assert_eq!(Request::decode(&body), Err(ProtoError::BadKind(0x08)));
+    }
+
+    /// The streaming kinds don't exist below version 6: a frame claiming
+    /// v5 with kind 0x88/0x89 must be rejected the way a genuine v5
+    /// decoder would reject it — BadKind, never a misparse.
+    #[test]
+    fn streaming_replies_are_v6_only() {
+        let chunk = Response::RowsChunk {
+            table: Arc::new(
+                Table::try_new(
+                    Schema::from_pairs(&[("i", DataType::Int64)]).into_shared(),
+                    vec![Column::Int64(vec![1, 2])],
+                )
+                .unwrap(),
+            ),
+        };
+        let body = read_frame(&mut Cursor::new(&chunk.encode())).unwrap();
+        assert!(matches!(
+            Response::decode(&body),
+            Ok(Response::RowsChunk { .. })
+        ));
+        let v5_wire = chunk.encode_for_version(5);
+        let body = read_frame(&mut Cursor::new(&v5_wire)).unwrap();
+        assert_eq!(Response::decode(&body), Err(ProtoError::BadKind(0x88)));
+
+        let end = Response::RowsEnd {
+            cache_hit: true,
+            total_micros: 42,
+            total_rows: 2,
+        };
+        let body = read_frame(&mut Cursor::new(&end.encode_for_version(5))).unwrap();
+        assert_eq!(Response::decode(&body), Err(ProtoError::BadKind(0x89)));
+        // `rows_chunk_frame` refuses to build pre-v6 streams outright.
+        let table = Table::try_new(
+            Schema::from_pairs(&[("i", DataType::Int64)]).into_shared(),
+            vec![Column::Int64(vec![1])],
+        )
+        .unwrap();
+        assert!(Response::rows_chunk_frame(5, 0, &table, 0, 1).is_err());
+    }
+
+    /// v6 headers carry the request id right after the kind byte; pre-v6
+    /// headers have no id field at all, and both directions echo it.
+    #[test]
+    fn request_ids_ride_the_v6_header_and_only_the_v6_header() {
+        let req = Request::Stats {
+            tenant: "team-a".into(),
+        };
+        let wire = req.encode_with_id(0xDEAD_BEEF);
+        assert_eq!(wire[4], PROTOCOL_VERSION);
+        assert_eq!(wire[5], 0x04);
+        assert_eq!(&wire[6..10], &0xDEAD_BEEFu32.to_le_bytes());
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        let (decoded, version, id) = Request::decode_framed(&body).unwrap();
+        assert_eq!((decoded, version, id), (req.clone(), 6, 0xDEAD_BEEF));
+
+        // The same request at v5 is 4 bytes shorter and reports id 0.
+        let v5_wire = req.encode_for_version(5, 0xDEAD_BEEF);
+        assert_eq!(v5_wire.len() + 4, wire.len());
+        let body = read_frame(&mut Cursor::new(&v5_wire)).unwrap();
+        let (_, version, id) = Request::decode_framed(&body).unwrap();
+        assert_eq!((version, id), (5, 0));
+
+        let resp = Response::Score { value: 1.5 };
+        let body = read_frame(&mut Cursor::new(&resp.encode_framed(PROTOCOL_VERSION, 7))).unwrap();
+        let (decoded, version, id) = Response::decode_framed(&body).unwrap();
+        assert_eq!((decoded, version, id), (resp, 6, 7));
+    }
+
+    /// Chunk frames encode a row range straight from the shared table;
+    /// reassembling every chunk reproduces the monolithic table exactly.
+    #[test]
+    fn chunk_frames_cover_the_table_exactly() {
+        let table = Arc::new(
+            Table::try_new(
+                Schema::from_pairs(&[("i", DataType::Int64), ("s", DataType::Utf8)]).into_shared(),
+                vec![
+                    Column::Int64((0..10).collect()),
+                    Column::Utf8((0..10).map(|i| format!("row-{i}")).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        let mut rows = 0usize;
+        let mut chunks = Vec::new();
+        for (offset, len) in [(0, 3), (3, 3), (6, 4)] {
+            let wire =
+                Response::rows_chunk_frame(PROTOCOL_VERSION, 9, &table, offset, len).unwrap();
+            let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+            let (resp, _, id) = Response::decode_framed(&body).unwrap();
+            assert_eq!(id, 9);
+            let Response::RowsChunk { table: chunk } = resp else {
+                panic!("not a chunk");
+            };
+            assert_eq!(chunk.num_rows(), len);
+            rows += chunk.num_rows();
+            chunks.push((*chunk).clone());
+        }
+        assert_eq!(rows, table.num_rows());
+        let rebuilt = Table::concat(&chunks).unwrap();
+        assert_eq!(&rebuilt, &*table);
+        // Out-of-range chunks are a typed error, not a slice panic.
+        assert!(Response::rows_chunk_frame(PROTOCOL_VERSION, 0, &table, 8, 4).is_err());
     }
 
     #[test]

@@ -322,6 +322,27 @@ impl ResultCache {
         found
     }
 
+    /// Look up `key` without counting anything, returning the table and
+    /// its accounted byte size. Probe phase of the reactor's fast path:
+    /// the hit is counted via [`Self::note_hit`] only once the caller
+    /// commits, so an abandoned probe (backlog full, admission busy)
+    /// leaves the accounting contract on [`Self::get_or_execute`] intact.
+    pub(crate) fn peek(&self, key: &PlanFingerprint) -> Option<(Arc<Table>, usize)> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            (e.table.clone(), e.bytes)
+        })
+    }
+
+    /// Count a hit observed via [`Self::peek`] once the caller commits to
+    /// replaying it.
+    pub(crate) fn note_hit(&self) {
+        self.inner.lock().stats.hits += 1;
+    }
+
     /// The cached table for `key`, or execute once and (epoch
     /// permitting) cache it. Returns the table and whether it was a hit.
     ///

@@ -526,6 +526,53 @@ impl ServerState {
         self.serve_shard(&shard, sql, deadline)
     }
 
+    /// Serve one literal-SQL query **inline from warm caches**, or
+    /// decline — the reactor's fast path. Never blocks, never executes,
+    /// never creates a tenant: a cold cache, a saturated admission ring,
+    /// an unknown tenant, or a reply bigger than `max_bytes` all return
+    /// `None`, and the caller dispatches to the executor pool, which
+    /// repeats the probes with full accounting. A committed call is
+    /// counter-for-counter identical to a pooled result-cache hit.
+    pub fn try_serve_cached_in(
+        &self,
+        tenant: &str,
+        sql: &str,
+        deadline: Option<Duration>,
+        max_bytes: usize,
+    ) -> Option<ServerQueryResult> {
+        let shard = self.try_tenant(tenant)?;
+        let start = Instant::now();
+        let deadline_at = deadline
+            .or(self.config.admission.default_deadline)
+            .map(|d| start + d);
+        shard.serve_cached_fast(sql, start, deadline_at, max_bytes, &self.admission)
+    }
+
+    /// [`ServerState::try_serve_cached_in`] for the pre-parameterized
+    /// wire path.
+    pub fn try_serve_cached_params_in(
+        &self,
+        tenant: &str,
+        template: &str,
+        params: &[Value],
+        deadline: Option<Duration>,
+        max_bytes: usize,
+    ) -> Option<ServerQueryResult> {
+        let shard = self.try_tenant(tenant)?;
+        let start = Instant::now();
+        let deadline_at = deadline
+            .or(self.config.admission.default_deadline)
+            .map(|d| start + d);
+        shard.serve_cached_fast_params(
+            template,
+            params,
+            start,
+            deadline_at,
+            max_bytes,
+            &self.admission,
+        )
+    }
+
     /// The shared serve shell: resolve the effective deadline, begin the
     /// request trace, clear both admission rings, record the per-request
     /// outcome, and run `body` with the permits held. Exists once so the

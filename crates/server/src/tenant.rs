@@ -38,9 +38,10 @@ use raven_ml::Pipeline;
 use raven_obs::{MetricsRegistry, RegistrySnapshot, SpanRecorder, TraceConfig, TraceSink};
 use raven_relational::{CancelToken, ExecError, SharedExecutor};
 use raven_runtime::RavenScorer;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The namespace requests land in when they name no tenant — the one
@@ -175,7 +176,38 @@ pub struct Tenant {
     metrics: Arc<MetricsRegistry>,
     /// Per-tenant trace capture: head sampling plus the slow-query ring.
     trace_sink: Arc<TraceSink>,
+    /// Memoized [`crate::normalize::normalize`] results keyed on the raw
+    /// request text. Normalization is a pure function of the text but
+    /// re-tokenizes the whole query; on a warm point-query workload that
+    /// was the single largest per-request cost. Bounded FIFO eviction.
+    normalize_memo: Mutex<NormalizeMemo>,
     config: ServerConfig,
+}
+
+/// See [`Tenant::normalize_memo`].
+#[derive(Default)]
+struct NormalizeMemo {
+    map: HashMap<String, Option<crate::normalize::NormalizedQuery>>,
+    order: VecDeque<String>,
+}
+
+const NORMALIZE_MEMO_CAP: usize = 512;
+
+impl NormalizeMemo {
+    fn get_or_compute(&mut self, sql: &str) -> Option<crate::normalize::NormalizedQuery> {
+        if let Some(hit) = self.map.get(sql) {
+            return hit.clone();
+        }
+        let computed = crate::normalize::normalize(sql);
+        if self.map.len() >= NORMALIZE_MEMO_CAP {
+            if let Some(evict) = self.order.pop_front() {
+                self.map.remove(&evict);
+            }
+        }
+        self.map.insert(sql.to_string(), computed.clone());
+        self.order.push_back(sql.to_string());
+        computed
+    }
 }
 
 impl Tenant {
@@ -226,6 +258,7 @@ impl Tenant {
             stats,
             metrics,
             trace_sink,
+            normalize_memo: Mutex::new(NormalizeMemo::default()),
             config,
         }
     }
@@ -320,7 +353,7 @@ impl Tenant {
         if self.config.normalize_parameters {
             let normalized = {
                 let _span = trace.span("normalize");
-                crate::normalize::normalize(sql)
+                self.normalize_memo.lock().unwrap().get_or_compute(sql)
             };
             if let Some(n) = normalized {
                 match self.prepare_text(&n.template, trace) {
@@ -457,10 +490,16 @@ impl Tenant {
     /// dimension makes cross-tenant key collisions structurally
     /// impossible even though each tenant already has its own cache.
     fn result_fingerprint(&self, prepared: &PreparedQuery, params: &[Value]) -> PlanFingerprint {
-        let mut builder = FingerprintBuilder::new()
-            .tenant(self.id.as_str())
-            .plan(&prepared.plan)
-            .params(params);
+        // The (tenant, plan-structure) prefix is a pure function of this
+        // plan-cache entry: hash it once, fold per-request inputs in on
+        // top of a clone. On a large inference plan this takes the warm
+        // path from "hash the whole tree" to two u64 copies.
+        let base = prepared.fingerprint_base.get_or_init(|| {
+            FingerprintBuilder::new()
+                .tenant(self.id.as_str())
+                .plan(&prepared.plan)
+        });
+        let mut builder = base.clone().params(params);
         for model in &prepared.model_deps {
             builder = builder.dependency("model", model, self.store.latest_version(model) as u64);
         }
@@ -469,6 +508,175 @@ impl Tenant {
                 builder.dependency("table", table, self.catalog.generation(table).unwrap_or(0));
         }
         builder.finish()
+    }
+
+    /// Plan-cache lookup without counting or preparing: the probe phase
+    /// of the reactor's cached-result fast path. `None` means cold (or
+    /// caching disabled) — fall back to the pooled path, which does its
+    /// own counted lookup.
+    fn peek_prepared(&self, text: &str) -> Option<Arc<PreparedQuery>> {
+        if self.config.plan_cache_capacity == 0 {
+            return None;
+        }
+        let key = PlanKey {
+            tenant: self.id.as_str().to_string(),
+            sql: text.to_string(),
+            rules: self.config.session.rules,
+            mode: self.config.session.optimizer_mode,
+        };
+        self.plan_cache.peek(&key)
+    }
+
+    /// Serve a literal-SQL request **entirely from warm caches**, or
+    /// decline. This is the reactor's inline fast path: it runs on the
+    /// event-loop thread, so it must never block (both admission rings
+    /// are probed with `try_admit`), never execute a plan, and never
+    /// mutate a cache. Any cold step — normalize memo miss is tolerated,
+    /// but a plan-cache or result-cache miss, an arity surprise, a
+    /// saturated ring, a reply larger than `max_bytes` (the connection's
+    /// remaining backlog room) — returns `None` and the request takes
+    /// the pooled path, which repeats the probes with full accounting.
+    ///
+    /// Accounting parity is the contract here: a committed fast-path
+    /// query is indistinguishable in every counter from a pooled
+    /// result-cache hit (admitted, plan hit, normalized, result hit,
+    /// query latency/rows, trace begin/finish) — the equivalence and
+    /// stress suites assert these reconcile exactly.
+    pub(crate) fn serve_cached_fast(
+        &self,
+        sql: &str,
+        start: Instant,
+        deadline_at: Option<Instant>,
+        max_bytes: usize,
+        global: &AdmissionController,
+    ) -> Option<ServerQueryResult> {
+        if self.config.result_cache_capacity == 0 {
+            return None;
+        }
+        let (prepared, params, normalized) = if self.config.normalize_parameters {
+            match self.normalize_memo.lock().unwrap().get_or_compute(sql) {
+                Some(n) => {
+                    let prepared = self.peek_prepared(&n.template)?;
+                    if prepared.param_count != n.params.len() {
+                        // Arity surprise: the pooled path falls back to
+                        // the literal text; let it.
+                        return None;
+                    }
+                    let has_params = n.has_params();
+                    (prepared, n.params, has_params)
+                }
+                None => {
+                    let canonical =
+                        crate::normalize::canonicalize(sql).unwrap_or_else(|| sql.to_string());
+                    (self.peek_prepared(&canonical)?, Vec::new(), false)
+                }
+            }
+        } else {
+            (self.peek_prepared(sql)?, Vec::new(), false)
+        };
+        self.commit_cached_fast(
+            prepared,
+            params,
+            normalized,
+            sql,
+            start,
+            deadline_at,
+            max_bytes,
+            global,
+        )
+    }
+
+    /// [`Tenant::serve_cached_fast`] for the pre-parameterized wire path.
+    pub(crate) fn serve_cached_fast_params(
+        &self,
+        template: &str,
+        params: &[Value],
+        start: Instant,
+        deadline_at: Option<Instant>,
+        max_bytes: usize,
+        global: &AdmissionController,
+    ) -> Option<ServerQueryResult> {
+        if self.config.result_cache_capacity == 0 {
+            return None;
+        }
+        let canonical =
+            crate::normalize::canonicalize(template).unwrap_or_else(|| template.to_string());
+        let prepared = self.peek_prepared(&canonical)?;
+        if prepared.param_count != params.len() {
+            // Let the pooled path produce the typed BadRequest.
+            return None;
+        }
+        self.commit_cached_fast(
+            prepared,
+            params.to_vec(),
+            false,
+            template,
+            start,
+            deadline_at,
+            max_bytes,
+            global,
+        )
+    }
+
+    /// Shared tail of the fast path: result-cache peek, both admission
+    /// rings (non-blocking), then commit every counter the pooled
+    /// result-cache-hit path would have recorded.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_cached_fast(
+        &self,
+        prepared: Arc<PreparedQuery>,
+        params: Vec<Value>,
+        normalized: bool,
+        trace_sql: &str,
+        start: Instant,
+        deadline_at: Option<Instant>,
+        max_bytes: usize,
+        global: &AdmissionController,
+    ) -> Option<ServerQueryResult> {
+        if !prepared.determinism.cacheable {
+            return None;
+        }
+        let fingerprint = self.result_fingerprint(&prepared, &params);
+        let (table, bytes) = self.result_cache.peek(&fingerprint)?;
+        if bytes > max_bytes {
+            // The reply may not fit the connection's backlog budget;
+            // the pooled path's streaming backpressure handles it.
+            return None;
+        }
+        if let Some(at) = deadline_at {
+            if Instant::now() >= at {
+                // Expired on arrival: the pooled path records the typed
+                // rejection.
+                return None;
+            }
+        }
+        // Ring 1 (tenant quota) before ring 2 (global), same order as the
+        // pooled path; nothing is counted until both are held.
+        let _tenant_permit = self.quota.try_admit()?;
+        let _global_permit = global.try_admit()?;
+        self.quota.note_admitted();
+        global.note_admitted();
+        // Commit: from here the request *is* served, and every counter
+        // mirrors a pooled result-cache hit.
+        let trace = self.trace_sink.begin();
+        self.stats.record_admitted();
+        self.plan_cache.note_hit();
+        if normalized {
+            self.stats.record_normalized(true);
+        }
+        self.result_cache.note_hit();
+        let total_time = start.elapsed();
+        self.stats.record_query(total_time, table.num_rows());
+        self.trace_sink
+            .finish(trace, self.id.as_str(), trace_sql, total_time);
+        Some(ServerQueryResult {
+            table,
+            total_time,
+            exec_time: total_time,
+            cache_hit: true,
+            result_cache_hit: true,
+            prepared,
+        })
     }
 
     /// Execute a prepared (possibly parameterized) plan under the

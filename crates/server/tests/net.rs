@@ -45,6 +45,7 @@ fn spawn(state: Arc<ServerState>, workers: usize, max_connections: usize) -> Rav
             workers,
             max_connections,
             poll_interval: Duration::from_millis(20),
+            ..NetConfig::default()
         },
     )
     .expect("bind ephemeral listener")

@@ -56,6 +56,7 @@ fn spawn(state: Arc<ServerState>) -> RavenServer {
             workers: 4,
             max_connections: 16,
             poll_interval: Duration::from_millis(20),
+            ..NetConfig::default()
         },
     )
     .expect("bind ephemeral listener")
@@ -221,8 +222,9 @@ fn pre_v5_peers_cannot_reach_observability_kinds() {
             limit: 4,
         },
     ] {
-        let mut wire = request.encode();
-        wire[4] = 4; // version byte follows the length prefix: a v4 peer
+        // A genuine v4-layout frame (no request-id header bytes), not a
+        // v6 frame with the version byte rewritten.
+        let wire = request.encode_for_version(4, 0);
         let mut stream = std::net::TcpStream::connect(addr).unwrap();
         write_frame(&mut stream, &wire).unwrap();
         let reply = read_frame(&mut stream).unwrap();

@@ -199,6 +199,7 @@ fn query_params_over_tcp_matches_literal_query() {
             workers: 2,
             max_connections: 8,
             poll_interval: Duration::from_millis(20),
+            ..NetConfig::default()
         },
     )
     .unwrap();

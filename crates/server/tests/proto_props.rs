@@ -6,7 +6,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use raven_data::{Column, DataType, Schema, Table};
-use raven_server::proto::{read_frame, MAX_FRAME_LEN};
+use raven_server::proto::{read_frame, ProtoError, MAX_FRAME_LEN, PROTOCOL_VERSION};
 use raven_server::{ErrorCode, Request, Response, Span, Trace, WireStats};
 use std::io::Cursor;
 use std::time::Duration;
@@ -183,6 +183,16 @@ fn response() -> impl Strategy<Value = Response> {
             total_micros: micros,
             table: std::sync::Arc::new(table),
         }),
+        table().prop_map(|table| Response::RowsChunk {
+            table: std::sync::Arc::new(table),
+        }),
+        (0..2u8, 0..1_000_000u64, 0..1_000_000u64).prop_map(|(hit, micros, rows)| {
+            Response::RowsEnd {
+                cache_hit: hit == 1,
+                total_micros: micros,
+                total_rows: rows,
+            }
+        }),
         finite_f64().prop_map(|value| Response::Score { value }),
         vec(0..u64::MAX, 20).prop_map(|v| {
             Response::Stats(WireStats {
@@ -277,5 +287,195 @@ proptest! {
         let mut wire = len.to_le_bytes().to_vec();
         wire.extend_from_slice(&[1u8, 0x04]); // plausible version + kind
         prop_assert!(read_frame(&mut Cursor::new(&wire)).is_err());
+    }
+}
+
+/// What a request encoded at `version` decodes back to: below v4 the
+/// tenant field does not exist on the wire, so every request lands in
+/// the default tenant.
+fn request_expected_at(req: &Request, version: u8) -> Request {
+    let mut expected = req.clone();
+    if version < 4 {
+        match &mut expected {
+            Request::Prepare { tenant, .. }
+            | Request::Query { tenant, .. }
+            | Request::QueryParams { tenant, .. }
+            | Request::Score { tenant, .. }
+            | Request::Stats { tenant }
+            | Request::Metrics { tenant }
+            | Request::Traces { tenant, .. } => {
+                *tenant = "default".to_string();
+            }
+            Request::Shutdown => {}
+        }
+    }
+    expected
+}
+
+/// What a response encoded at `version` decodes back to — `None` when
+/// the kind does not exist at that version (the decoder must reject it
+/// as `BadKind`). Below v4 the stats latency percentiles are dropped.
+fn response_expected_at(resp: &Response, version: u8) -> Option<Response> {
+    match resp {
+        Response::RowsChunk { .. } | Response::RowsEnd { .. } if version < 6 => None,
+        Response::Stats(stats) if version < 4 => {
+            let mut stats = *stats;
+            stats.latency_p50_micros = 0;
+            stats.latency_p95_micros = 0;
+            stats.latency_p99_micros = 0;
+            Some(Response::Stats(stats))
+        }
+        other => Some(other.clone()),
+    }
+}
+
+// Protocol v6: request ids, pipelined frame streams, chunked results,
+// and the v3–v6 compat matrix.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The v6 header carries the request id and decode echoes it back,
+    /// whatever the id (0, sequential, or u32::MAX are all just bits).
+    #[test]
+    fn v6_request_ids_roundtrip(req in request(), id in 0..u32::MAX) {
+        let wire = req.encode_with_id(id);
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        let (decoded, version, got) = Request::decode_framed(&body).unwrap();
+        prop_assert_eq!(version, PROTOCOL_VERSION);
+        prop_assert_eq!(got, id);
+        prop_assert_eq!(decoded, req);
+    }
+
+    /// Replies carry the id of the request they answer.
+    #[test]
+    fn v6_response_ids_roundtrip(resp in response(), id in 0..u32::MAX) {
+        let wire = resp.encode_framed(PROTOCOL_VERSION, id);
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        let (decoded, version, got) = Response::decode_framed(&body).unwrap();
+        prop_assert_eq!(version, PROTOCOL_VERSION);
+        prop_assert_eq!(got, id);
+        prop_assert_eq!(decoded, resp);
+    }
+
+    /// A pipelined byte stream — several requests back to back, ids in
+    /// any order, possibly duplicated — frames cleanly: each frame
+    /// decodes to exactly the request and id that was written, in write
+    /// order, with no bleed between frames.
+    #[test]
+    fn pipelined_frame_streams_roundtrip(
+        reqs in vec((request(), 0..u32::MAX), 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for (req, id) in &reqs {
+            wire.extend_from_slice(&req.encode_with_id(*id));
+        }
+        let mut cursor = Cursor::new(&wire);
+        for (req, id) in &reqs {
+            let body = read_frame(&mut cursor).unwrap();
+            let (decoded, _, got) = Request::decode_framed(&body).unwrap();
+            prop_assert_eq!(&decoded, req);
+            prop_assert_eq!(got, *id);
+        }
+        // Nothing left over: the frames consumed the stream exactly.
+        prop_assert_eq!(cursor.position() as usize, wire.len());
+    }
+
+    /// Any chunking of a result table ships as decodable `RowsChunk`
+    /// frames that reassemble into the original table, bit-exactly —
+    /// the server-side encoder slices, the client-side concat restores.
+    #[test]
+    fn random_chunk_boundaries_reassemble_exactly(
+        t in table(),
+        chunk_rows in 1..5usize,
+        id in 0..u32::MAX,
+    ) {
+        let n = t.num_rows();
+        let mut parts = Vec::new();
+        let mut offset = 0usize;
+        loop {
+            let len = chunk_rows.min(n - offset);
+            let frame = Response::rows_chunk_frame(PROTOCOL_VERSION, id, &t, offset, len).unwrap();
+            let body = read_frame(&mut Cursor::new(&frame)).unwrap();
+            let (resp, version, got) = Response::decode_framed(&body).unwrap();
+            prop_assert_eq!(version, PROTOCOL_VERSION);
+            prop_assert_eq!(got, id);
+            match resp {
+                Response::RowsChunk { table } => parts.push((*table).clone()),
+                other => panic!("not a chunk: {other:?}"),
+            }
+            offset += len;
+            if offset >= n {
+                break;
+            }
+        }
+        prop_assert_eq!(parts.iter().map(Table::num_rows).sum::<usize>(), n);
+        prop_assert_eq!(Table::concat(&parts).unwrap(), t);
+    }
+
+    /// The v3–v6 compat matrix for requests: every version encodes a
+    /// genuine frame of that version's layout, the decoder echoes the
+    /// version, ids exist only at v6, pre-v4 frames drop the tenant,
+    /// and kinds that postdate the version come back `BadKind` — never
+    /// a panic, never a misparse.
+    #[test]
+    fn request_compat_matrix(req in request(), version in 3..7u8, id in 0..u32::MAX) {
+        let wire = req.encode_for_version(version, id);
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        match Request::decode_framed(&body) {
+            Ok((decoded, got_version, got_id)) => {
+                prop_assert_eq!(got_version, version);
+                prop_assert_eq!(got_id, if version >= 6 { id } else { 0 });
+                prop_assert_eq!(decoded, request_expected_at(&req, version));
+            }
+            Err(e) => {
+                // Only the v5+ observability kinds may fail, only below
+                // v5, and only as BadKind.
+                prop_assert!(
+                    version < 5
+                        && matches!(req, Request::Metrics { .. } | Request::Traces { .. }),
+                    "unexpected decode failure at v{}: {:?}", version, e
+                );
+                prop_assert!(matches!(e, ProtoError::BadKind(_)));
+            }
+        }
+    }
+
+    /// The compat matrix for responses: versions echo, pre-v4 stats
+    /// drop the latency percentiles, and the v6-only streaming kinds
+    /// are `BadKind` to older peers.
+    #[test]
+    fn response_compat_matrix(resp in response(), version in 3..7u8, id in 0..u32::MAX) {
+        let wire = resp.encode_framed(version, id);
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        match (Response::decode_framed(&body), response_expected_at(&resp, version)) {
+            (Ok((decoded, got_version, got_id)), Some(expected)) => {
+                prop_assert_eq!(got_version, version);
+                prop_assert_eq!(got_id, if version >= 6 { id } else { 0 });
+                prop_assert_eq!(decoded, expected);
+            }
+            (Err(e), None) => prop_assert!(matches!(e, ProtoError::BadKind(_))),
+            (Ok((decoded, ..)), None) => {
+                panic!("v{version} decoded a kind it should not know: {decoded:?}")
+            }
+            (Err(e), Some(_)) => {
+                panic!("v{version} failed to decode a legal frame: {e:?}")
+            }
+        }
+    }
+
+    /// Truncating a v6 frame's body anywhere — including inside the new
+    /// request-id header bytes — is a typed error, never a panic.
+    #[test]
+    fn truncated_v6_payloads_error_instead_of_panicking(
+        req in request(),
+        id in 0..u32::MAX,
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let wire = req.encode_with_id(id);
+        let body = read_frame(&mut Cursor::new(&wire)).unwrap();
+        let cut = ((body.len().saturating_sub(1)) as f64 * cut_frac) as usize;
+        if cut < body.len() {
+            prop_assert!(Request::decode_framed(&body[..cut]).is_err());
+        }
     }
 }

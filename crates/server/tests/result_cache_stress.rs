@@ -57,6 +57,7 @@ fn hot_query_with_mid_stream_model_swap_never_serves_stale() {
             workers: CLIENTS + 2,
             max_connections: 64,
             poll_interval: Duration::from_millis(20),
+            ..NetConfig::default()
         },
     )
     .unwrap();

@@ -60,6 +60,7 @@ fn spawn(state: Arc<ServerState>, workers: usize) -> RavenServer {
             workers,
             max_connections: 64,
             poll_interval: Duration::from_millis(20),
+            ..NetConfig::default()
         },
     )
     .expect("bind ephemeral listener")
