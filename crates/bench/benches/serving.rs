@@ -795,8 +795,81 @@ fn bench_tracing_overhead(rows: usize) {
     }
 }
 
+/// The kernel-placement sweep on a forest-heavy scoring workload: the
+/// same morsel scored row-at-a-time (classical), through the flattened
+/// columnar kernel, and — for the plan-level view — a session EXPLAIN
+/// showing the cost-based optimizer routing the forest to the kernel on
+/// its own. The scores must be **bitwise identical** between classical
+/// and kernel (the optimizer swaps them per query); the speedup is the
+/// tentpole's acceptance number (floor: 5x).
+fn bench_kernel_placement(rows: usize) {
+    use raven_core::{RavenSession, SessionConfig};
+    use raven_ml::FlatForest;
+
+    println!("== kernel placement: classical vs columnar kernel, forest-heavy morsel ==");
+    let data_rows = rows.min(20_000);
+    let data = hospital::generate(data_rows, 42);
+    let model = train::hospital_forest(&data, 48, 8).expect("train forest");
+    let joined = data.joined_batch();
+    let raw = model.encode_inputs(&joined).expect("encode");
+    let n = joined.num_rows();
+
+    let runs = 5;
+    let classical = time_mean(runs, || {
+        std::hint::black_box(model.predict_raw(&raw, n).expect("classical"))
+    });
+    let flat = FlatForest::from_pipeline(&model).expect("flatten");
+    let kernel = time_mean(runs, || {
+        std::hint::black_box(flat.score_raw(&raw, n).expect("kernel"))
+    });
+
+    // The differential contract, on real data at bench scale.
+    let a = model.predict_raw(&raw, n).expect("classical");
+    let b = flat.score_raw(&raw, n).expect("kernel");
+    let identical = a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits());
+    let speedup = classical.as_secs_f64() / kernel.as_secs_f64().max(1e-12);
+    println!(
+        "  classical row-at-a-time  {:>8} ms/morsel  ({n} rows x {} trees)",
+        ms(classical),
+        48,
+    );
+    println!(
+        "  columnar kernel          {:>8} ms/morsel  {} ",
+        ms(kernel),
+        flat.describe(),
+    );
+    println!(
+        "  speedup {speedup:>18.1}x  scores bitwise identical: {identical}  \
+         (acceptance floor: 5x, identical)",
+    );
+    assert!(identical, "kernel and classical scores diverged");
+
+    // Plan-level: the optimizer must pick the kernel for this forest on
+    // its own, from costs — no placement hint in the query.
+    let session = RavenSession::with_config(SessionConfig::default());
+    data.register(session.catalog()).expect("register");
+    session.store_model("rf", model).expect("store");
+    let explain = session
+        .explain(
+            "SELECT p.s FROM PREDICT(MODEL = 'rf', DATA = \
+             (SELECT * FROM patient_info AS pi \
+              JOIN blood_tests AS bt ON pi.id = bt.id \
+              JOIN prenatal_tests AS pt ON bt.id = pt.id) AS d) \
+             WITH (s FLOAT) AS p",
+        )
+        .expect("explain");
+    let placed = explain.optimized_plan.contains("KernelPredict");
+    println!(
+        "  cost-based placement picked the kernel automatically: {placed}  \
+         ({})",
+        explain.report_summary,
+    );
+    assert!(placed, "optimizer failed to place the forest on the kernel");
+}
+
 fn main() {
     let rows = if full_scale() { 200_000 } else { 20_000 };
+    bench_kernel_placement(rows);
     bench_plan_cache(rows);
     bench_result_cache(rows);
     bench_template_cache(rows.min(20_000));

@@ -260,12 +260,25 @@ impl RavenSession {
 
     /// Run the cross optimizer on a plan.
     pub fn optimize(&self, plan: Plan) -> Result<(Plan, OptimizationReport)> {
+        self.optimize_with_observed(plan, raven_opt::ObservedCosts::default())
+    }
+
+    /// Run the cross optimizer with runtime-observed cost feedback (the
+    /// serving layer passes the micro-batcher's EWMA gauges here so
+    /// kernel placement prices the classical path at its measured cost).
+    pub fn optimize_with_observed(
+        &self,
+        plan: Plan,
+        observed: raven_opt::ObservedCosts,
+    ) -> Result<(Plan, OptimizationReport)> {
         let ctx = OptimizerContext {
             catalog: &self.catalog,
             rules: self.config.rules,
             inline_max_tree_nodes: self.config.inline_max_tree_nodes,
             device: self.config.device,
             assume_fk_joins: true,
+            cost_params: raven_opt::CostParams::default(),
+            observed,
         };
         let optimizer = match self.config.optimizer_mode {
             OptimizerMode::Heuristic => Optimizer::heuristic(),

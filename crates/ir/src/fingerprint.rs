@@ -413,6 +413,22 @@ fn hash_plan(lanes: &mut Lanes, plan: &Plan) {
             write_len(lanes, graph.nodes.len());
             hash_plan(lanes, input);
         }
+        Plan::KernelPredict {
+            input,
+            model,
+            flat,
+            output,
+        } => {
+            tag(lanes, 12);
+            write_str(lanes, &model.name);
+            write_str(lanes, output);
+            // The flat layout is compiled from the model at prepare time;
+            // its shape pins the compilation that actually executes.
+            write_len(lanes, flat.n_nodes());
+            write_len(lanes, flat.n_trees());
+            write_len(lanes, flat.n_raw());
+            hash_plan(lanes, input);
+        }
         Plan::ClusteredPredict {
             input,
             model,

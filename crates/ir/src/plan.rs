@@ -4,7 +4,7 @@ use crate::error::IrError;
 use crate::expr::{AggFunc, Expr};
 use crate::Result;
 use raven_data::{DataType, Field, Schema, Value};
-use raven_ml::{KMeans, Pipeline};
+use raven_ml::{FlatForest, KMeans, Pipeline};
 use raven_tensor::Graph;
 use std::fmt;
 use std::sync::Arc;
@@ -111,6 +111,17 @@ pub enum Plan {
         output: String,
         device: Device,
     },
+    /// Columnar-kernel scoring: the tree/forest pipeline flattened into a
+    /// contiguous node-array layout ([`FlatForest`]) traversed branchlessly
+    /// one pass per tree over a whole morsel, with featurization fused into
+    /// the column gather. Compiled at plan time by the cost-based placement
+    /// rule; the pipeline is retained for raw input encoding.
+    KernelPredict {
+        input: Box<Plan>,
+        model: ModelRef,
+        flat: Arc<FlatForest>,
+        output: String,
+    },
     /// Model clustering (paper §4.1): route each row to a per-cluster
     /// specialized model; rows with no precompiled model use the fallback.
     ClusteredPredict {
@@ -199,6 +210,7 @@ impl Plan {
             }
             Plan::Predict { input, output, .. }
             | Plan::TensorPredict { input, output, .. }
+            | Plan::KernelPredict { input, output, .. }
             | Plan::ClusteredPredict { input, output, .. }
             | Plan::Udf { input, output, .. } => {
                 let in_schema = input.schema()?;
@@ -219,6 +231,7 @@ impl Plan {
             | Plan::Limit { input, .. }
             | Plan::Predict { input, .. }
             | Plan::TensorPredict { input, .. }
+            | Plan::KernelPredict { input, .. }
             | Plan::ClusteredPredict { input, .. }
             | Plan::Udf { input, .. }
             | Plan::Aggregate { input, .. } => vec![input],
@@ -300,6 +313,17 @@ impl Plan {
                 graph,
                 output,
                 device,
+            },
+            Plan::KernelPredict {
+                input,
+                model,
+                flat,
+                output,
+            } => Plan::KernelPredict {
+                input: Box::new(input.transform_up(f)),
+                model,
+                flat,
+                output,
             },
             Plan::ClusteredPredict {
                 input,
@@ -413,6 +437,16 @@ impl Plan {
                 "TensorPredict(model={}, device={device:?}, nodes={}, out={output})",
                 model.name,
                 graph.nodes.len()
+            ),
+            Plan::KernelPredict {
+                model,
+                flat,
+                output,
+                ..
+            } => format!(
+                "KernelPredict(model={}, {}, out={output})",
+                model.name,
+                flat.describe()
             ),
             Plan::ClusteredPredict {
                 model,

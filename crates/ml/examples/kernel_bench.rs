@@ -1,0 +1,95 @@
+//! Micro-harness for the columnar kernel: scalar walk vs [`FlatForest`]
+//! on a fitted forest over a synthetic morsel. Mirrors the forest-heavy
+//! section of `crates/bench/benches/serving.rs` without pulling in the
+//! whole serving stack, so kernel changes can be timed in seconds:
+//!
+//! ```sh
+//! cargo run -p raven-ml --release --example kernel_bench
+//! ```
+
+use raven_ml::forest::ForestParams;
+use raven_ml::tree::TreeParams;
+use raven_ml::{Estimator, FlatForest, RandomForest};
+use std::time::Instant;
+
+fn main() {
+    let n_features = 7;
+    let rows = 20_000usize;
+    let mut state = 0x5eed_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+
+    let train_rows = 4_000;
+    let x: Vec<f64> = (0..train_rows * n_features)
+        .map(|_| next() * 10.0)
+        .collect();
+    let y: Vec<f64> = (0..train_rows)
+        .map(|r| {
+            let row = &x[r * n_features..(r + 1) * n_features];
+            row.iter().sum::<f64>() + next()
+        })
+        .collect();
+    let params = ForestParams {
+        n_trees: 48,
+        tree: TreeParams {
+            max_depth: 8,
+            ..TreeParams::default()
+        },
+        ..ForestParams::default()
+    };
+    let forest = RandomForest::fit(&x, n_features, &y, &params).unwrap();
+    let estimator = Estimator::Forest(forest);
+    let flat = FlatForest::from_estimator(&estimator).unwrap();
+    println!("{}", flat.describe());
+
+    let batch: Vec<f64> = (0..rows * n_features).map(|_| next() * 10.0).collect();
+
+    let time = |label: &str, f: &dyn Fn() -> Vec<f64>| -> (f64, Vec<f64>) {
+        let mut best = f64::INFINITY;
+        let mut out = Vec::new();
+        for _ in 0..7 {
+            let t0 = Instant::now();
+            out = f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        println!("  {label:<28} {best:8.2} ms/morsel");
+        (best, out)
+    };
+
+    let (scalar_ms, scalar) = time("scalar row-at-a-time", &|| {
+        estimator.predict_batch(&batch, rows).unwrap()
+    });
+    let (kernel_ms, kernel) = time("columnar kernel", &|| flat.score_raw(&batch, rows).unwrap());
+    // Gather-phase floor: a forest of single-leaf trees does no traversal,
+    // so its time is the fused featurization + accumulation overhead.
+    let leaves: Vec<raven_ml::DecisionTree> = (0..48)
+        .map(|_| {
+            raven_ml::DecisionTree::from_nodes(
+                vec![raven_ml::tree::TreeNode::Leaf { value: 1.0 }],
+                n_features,
+            )
+            .unwrap()
+        })
+        .collect();
+    let stub = FlatForest::from_estimator(&Estimator::Forest(
+        RandomForest::from_trees(leaves).unwrap(),
+    ))
+    .unwrap();
+    time("gather-only floor", &|| {
+        stub.score_raw(&batch, rows).unwrap()
+    });
+
+    let identical = scalar
+        .iter()
+        .zip(&kernel)
+        .all(|(s, k)| s.to_bits() == k.to_bits());
+    println!(
+        "  speedup {:.1}x  bitwise identical: {identical}",
+        scalar_ms / kernel_ms
+    );
+}

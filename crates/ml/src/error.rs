@@ -15,6 +15,8 @@ pub enum MlError {
     Serialization(String),
     /// Translation to a tensor graph failed.
     Translation(String),
+    /// The requested execution strategy does not support this model.
+    Unsupported(String),
     /// Anything else.
     Internal(String),
 }
@@ -29,6 +31,7 @@ impl fmt::Display for MlError {
             MlError::UnknownCategory(v) => write!(f, "unknown category: {v}"),
             MlError::Serialization(msg) => write!(f, "model serialization error: {msg}"),
             MlError::Translation(msg) => write!(f, "NN translation error: {msg}"),
+            MlError::Unsupported(msg) => write!(f, "unsupported model strategy: {msg}"),
             MlError::Internal(msg) => write!(f, "internal ml error: {msg}"),
         }
     }

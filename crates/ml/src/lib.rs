@@ -24,6 +24,7 @@
 pub mod error;
 pub mod featurize;
 pub mod forest;
+pub mod kernel;
 pub mod kmeans;
 pub mod linear;
 pub mod mlp;
@@ -35,6 +36,7 @@ pub mod tree;
 pub use error::MlError;
 pub use featurize::{OneHotEncoder, StandardScaler, Transform};
 pub use forest::RandomForest;
+pub use kernel::{FeatureSource, FlatForest};
 pub use kmeans::KMeans;
 pub use linear::{LinearKind, LinearModel};
 pub use mlp::Mlp;

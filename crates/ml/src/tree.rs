@@ -432,6 +432,10 @@ fn prune_rec(
 
 /// CART node construction. Appends to `nodes` and returns the node index.
 #[allow(clippy::too_many_arguments)]
+// `!(xv < xn)` below is deliberate: it must also catch NaN on either
+// side (a NaN midpoint would poison the threshold), which `xv >= xn`
+// does not express.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
 fn build_node(
     x: &[f64],
     n_features: usize,
@@ -467,11 +471,9 @@ fn build_node(
     for &f in features {
         order.clear();
         order.extend_from_slice(indices);
-        order.sort_by(|&a, &b| {
-            x[a * n_features + f]
-                .partial_cmp(&x[b * n_features + f])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // Total order so NaN feature values cannot scramble the sort (they
+        // collect at the extremes and are skipped as split candidates).
+        order.sort_by(|&a, &b| x[a * n_features + f].total_cmp(&x[b * n_features + f]));
         let mut left_sum = 0.0;
         let mut left_sq = 0.0;
         for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
@@ -479,8 +481,10 @@ fn build_node(
             left_sq += y[i] * y[i];
             let xv = x[i * n_features + f];
             let xn = x[order[k + 1] * n_features + f];
-            if xv == xn {
-                continue; // cannot split between equal values
+            if !(xv < xn) {
+                // Equal values cannot be split between; a NaN on either
+                // side would produce a NaN threshold — skip both cases.
+                continue;
             }
             let nl = (k + 1) as f64;
             let nr = n - nl;

@@ -79,6 +79,7 @@ pub fn constraints_below(plan: &Plan, ctx: &OptimizerContext<'_>) -> ColumnConst
         | Plan::Limit { input, .. }
         | Plan::Predict { input, .. }
         | Plan::TensorPredict { input, .. }
+        | Plan::KernelPredict { input, .. }
         | Plan::ClusteredPredict { input, .. }
         | Plan::Udf { input, .. } => constraints_below(input, ctx),
         // Conservative: no constraints survive aggregation or union.

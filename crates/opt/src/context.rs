@@ -1,5 +1,6 @@
 //! Optimizer configuration.
 
+use crate::cost::{CostParams, ObservedCosts};
 use raven_data::Catalog;
 use raven_ir::Device;
 
@@ -19,6 +20,7 @@ pub struct RuleSet {
     pub expr_constant_folding: bool,
     pub model_inlining: bool,
     pub nn_translation: bool,
+    pub kernel_placement: bool,
 }
 
 impl Default for RuleSet {
@@ -40,6 +42,7 @@ impl RuleSet {
             expr_constant_folding: true,
             model_inlining: true,
             nn_translation: true,
+            kernel_placement: true,
         }
     }
 
@@ -55,6 +58,7 @@ impl RuleSet {
             expr_constant_folding: false,
             model_inlining: false,
             nn_translation: false,
+            kernel_placement: false,
         }
     }
 
@@ -86,6 +90,11 @@ pub struct OptimizerContext<'a> {
     /// elimination. Holds for the paper's hospital/flight schemas; the
     /// rule is disabled when false.
     pub assume_fk_joins: bool,
+    /// Cost-model parameters the placement rule prices alternatives with.
+    pub cost_params: CostParams,
+    /// Runtime-observed costs (micro-batcher EWMA gauges) fed back into
+    /// placement; defaults to "nothing observed yet".
+    pub observed: ObservedCosts,
 }
 
 impl<'a> OptimizerContext<'a> {
@@ -96,6 +105,8 @@ impl<'a> OptimizerContext<'a> {
             inline_max_tree_nodes: 512,
             device: Device::CpuParallel,
             assume_fk_joins: true,
+            cost_params: CostParams::default(),
+            observed: ObservedCosts::default(),
         }
     }
 
@@ -108,6 +119,12 @@ impl<'a> OptimizerContext<'a> {
     /// Builder-style device override.
     pub fn with_device(mut self, device: Device) -> Self {
         self.device = device;
+        self
+    }
+
+    /// Builder-style observed-cost feedback.
+    pub fn with_observed(mut self, observed: ObservedCosts) -> Self {
+        self.observed = observed;
         self
     }
 }

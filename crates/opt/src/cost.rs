@@ -9,7 +9,7 @@
 //! external execution modes carry their fixed startup overheads.
 
 use raven_ir::{ExecutionMode, Expr, Plan};
-use raven_ml::Estimator;
+use raven_ml::{Estimator, FlatForest};
 
 /// Tunable cost constants (abstract units ≈ ns-ish; only ratios matter).
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +29,15 @@ pub struct CostParams {
     /// Tensor-runtime efficiency factor (GEMM batching beats per-row
     /// interpretation).
     pub tensor_discount: f64,
+    /// Per tree-*level* advanced per row in the columnar kernel. Much
+    /// cheaper than `tree_node_visit`: the flat layout is contiguous,
+    /// branchless and enum-free.
+    pub kernel_node_visit: f64,
+    /// Per gathered feature value per row (the fused featurization scan).
+    pub kernel_gather_per_value: f64,
+    /// Fixed per-node charge reflecting flat-layout compilation and
+    /// cache warming — keeps tiny point lookups on the classical path.
+    pub kernel_setup_per_node: f64,
     /// Crossing between relational engine and ML runtime.
     pub engine_switch: f64,
     /// Fixed startup of `sp_execute_external_script` (paper: ~0.5 s).
@@ -52,6 +61,9 @@ impl Default for CostParams {
             linear_nnz: 1.0,
             mlp_param: 1.0,
             tensor_discount: 0.25,
+            kernel_node_visit: 0.5,
+            kernel_gather_per_value: 0.25,
+            kernel_setup_per_node: 2.0,
             engine_switch: 1_000.0,
             out_of_process_startup: 500_000_000.0,
             container_startup: 2_000_000_000.0,
@@ -139,6 +151,11 @@ pub fn estimate(plan: &Plan, catalog: &raven_data::Catalog, params: &CostParams)
                 + model.pipeline.n_features() as f64 * 0.25;
             (c + params.engine_switch + rows * per_row, rows)
         }
+        Plan::KernelPredict { input, flat, .. } => {
+            let (c, rows) = estimate(input, catalog, params);
+            let fixed = params.engine_switch + flat.n_nodes() as f64 * params.kernel_setup_per_node;
+            (c + fixed + rows * kernel_row_cost(flat, params), rows)
+        }
         Plan::ClusteredPredict {
             input,
             cluster_models,
@@ -182,6 +199,26 @@ pub fn model_row_cost(estimator: &Estimator, params: &CostParams) -> f64 {
                 * params.mlp_param
         }
     }
+}
+
+/// Per-row scoring cost of a flattened ensemble under the columnar
+/// kernel: one branchless step per tree level plus the fused gather of
+/// only the features some split reads.
+pub fn kernel_row_cost(flat: &FlatForest, params: &CostParams) -> f64 {
+    flat.total_depth().max(1) as f64 * params.kernel_node_visit
+        + flat.n_gathered() as f64 * params.kernel_gather_per_value
+}
+
+/// Runtime-observed per-row costs fed back into planning (the serving
+/// layer reads the micro-batcher's `batcher_ewma_*` gauges and passes
+/// them here). When present, the observed classical per-row cost replaces
+/// the static estimate in the placement rule — a feedback loop from
+/// execution telemetry to plan choice.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ObservedCosts {
+    /// EWMA of observed classical scoring cost per row, in the cost
+    /// model's abstract (≈ ns) units.
+    pub classical_row_ns: Option<f64>,
 }
 
 /// Rough predicate selectivity: equality is selective, ranges moderate.

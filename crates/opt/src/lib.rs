@@ -17,6 +17,7 @@
 //! | Expression constant folding | RA | [`rules::folding`] |
 //! | Model inlining (tree → CASE, linear → arithmetic) | MLD → RA | [`rules::inlining`] |
 //! | NN translation (pipeline → tensor graph) | MLD → LA | [`rules::translation`] |
+//! | Kernel placement (classical vs columnar kernel vs tensor) | cost-based | [`rules::placement`] |
 //! | Model clustering (offline specialization) | data → model | [`rules::clustering`] |
 //!
 //! Two drivers ([`optimizer`]): the paper's *heuristic* optimizer (all
@@ -35,6 +36,7 @@ pub mod optimizer;
 pub mod rules;
 
 pub use context::{OptimizerContext, RuleSet};
+pub use cost::{CostParams, ObservedCosts};
 pub use determinism::DeterminismReport;
 pub use error::OptError;
 pub use optimizer::{optimize, OptimizationReport, Optimizer, OptimizerMode};

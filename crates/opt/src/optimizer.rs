@@ -130,6 +130,8 @@ impl Optimizer {
                         inline_max_tree_nodes: ctx.inline_max_tree_nodes,
                         device: ctx.device,
                         assume_fk_joins: ctx.assume_fk_joins,
+                        cost_params: ctx.cost_params,
+                        observed: ctx.observed,
                     };
                     let mut report = OptimizationReport {
                         cost_before,
@@ -222,6 +224,15 @@ fn heuristic_fixpoint(
         let next = rules::translation::apply(plan.clone(), ctx)?;
         if next != plan {
             report.bump("nn_translation");
+            plan = next;
+        }
+    }
+    // Placement last: it prices whatever model operators survived the
+    // transformations above (classical vs columnar kernel vs tensor).
+    if ctx.rules.kernel_placement {
+        let next = rules::placement::apply(plan.clone(), ctx)?;
+        if next != plan {
+            report.bump("kernel_placement");
             plan = next;
         }
     }
@@ -481,6 +492,9 @@ mod tests {
         let mut ctx = OptimizerContext::new(&cat);
         ctx.rules.stats_derived_predicates = false;
         ctx.rules.model_inlining = false;
+        // Placement may re-route the translated operator to the columnar
+        // kernel; disable it so this test isolates translation.
+        ctx.rules.kernel_placement = false;
         let (out, _) = optimize(running_example(&cat), &ctx).unwrap();
         let mut tensor = 0;
         out.visit(&mut |p| {
@@ -489,5 +503,54 @@ mod tests {
             }
         });
         assert_eq!(tensor, 1);
+    }
+
+    #[test]
+    fn placement_picks_kernel_for_uninlinable_forest() {
+        use raven_ml::RandomForest;
+        let cat = catalog();
+        let mut ctx = OptimizerContext::new(&cat);
+        ctx.rules.stats_derived_predicates = false;
+        // A forest of identical fig-1 trees is too big to inline…
+        let trees: Vec<DecisionTree> = (0..200)
+            .map(|_| {
+                let Estimator::Tree(t) = fig1_pipeline().estimator().clone() else {
+                    unreachable!()
+                };
+                t
+            })
+            .collect();
+        let pipeline = Pipeline::new(
+            vec![
+                FeatureStep::new("pregnant", Transform::Identity),
+                FeatureStep::new("bp", Transform::Identity),
+                FeatureStep::new("marker", Transform::Identity),
+            ],
+            Estimator::Forest(RandomForest::from_trees(trees).unwrap()),
+        )
+        .unwrap();
+        let plan = Plan::Predict {
+            input: Box::new(Plan::Scan {
+                table: "patient_info".into(),
+                schema: cat.table("patient_info").unwrap().schema().clone(),
+            }),
+            model: ModelRef {
+                name: "forest".into(),
+                pipeline: Arc::new(pipeline),
+            },
+            output: "score".into(),
+            mode: ExecutionMode::InProcess,
+        };
+        let (out, report) = optimize(plan, &ctx).unwrap();
+        // …so placement must route it to the columnar kernel: cheaper
+        // than both classical row-at-a-time and the tensor translation.
+        let mut kernel = 0;
+        out.visit(&mut |p| {
+            if matches!(p, Plan::KernelPredict { .. }) {
+                kernel += 1;
+            }
+        });
+        assert_eq!(kernel, 1, "forest should score on the kernel:\n{out}");
+        assert!(report.summary().contains("kernel_placement"));
     }
 }

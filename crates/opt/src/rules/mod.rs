@@ -4,6 +4,7 @@ pub mod clustering;
 pub mod folding;
 pub mod inlining;
 pub mod model_utils;
+pub mod placement;
 pub mod projection;
 pub mod pruning;
 pub mod pushdown;

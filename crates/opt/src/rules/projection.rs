@@ -251,6 +251,34 @@ fn push(
                 device,
             })
         }
+        Plan::KernelPredict {
+            input,
+            model,
+            flat,
+            output,
+        } => {
+            let schema = input.schema()?;
+            let mut child_req: HashSet<String> = match required {
+                None => schema.names().iter().map(|s| s.to_string()).collect(),
+                Some(req) => schema
+                    .names()
+                    .iter()
+                    .filter(|n| name_required(n, req))
+                    .map(|s| s.to_string())
+                    .collect(),
+            };
+            for col in model.pipeline.input_columns() {
+                if let Ok(idx) = schema.index_of(col) {
+                    child_req.insert(schema.field(idx)?.name.clone());
+                }
+            }
+            Ok(Plan::KernelPredict {
+                input: Box::new(push(*input, Some(&child_req), ctx)?),
+                model,
+                flat,
+                output,
+            })
+        }
         Plan::Aggregate {
             input,
             group_by,

@@ -128,6 +128,7 @@ fn op_span_name(plan: &Plan) -> &'static str {
         Plan::Limit { .. } => "op:limit",
         Plan::Predict { .. } => "op:predict",
         Plan::TensorPredict { .. } => "op:tensor-predict",
+        Plan::KernelPredict { .. } => "op:kernel-predict",
         Plan::ClusteredPredict { .. } => "op:clustered-predict",
         Plan::Udf { .. } => "op:udf",
     }
@@ -413,6 +414,7 @@ impl<'a> Executor<'a> {
             }
             Plan::Predict { input, output, .. }
             | Plan::TensorPredict { input, output, .. }
+            | Plan::KernelPredict { input, output, .. }
             | Plan::ClusteredPredict { input, output, .. }
             | Plan::Udf { input, output, .. } => {
                 let batch = self.exec(input)?;

@@ -135,6 +135,19 @@ fn render(plan: &Plan) -> String {
             model.name,
             render(input)
         ),
+        Plan::KernelPredict {
+            input,
+            model,
+            flat,
+            output,
+        } => format!(
+            "SELECT *, _pred AS {} FROM PREDICT(MODEL = '{}', DATA = ({}) AS _d) \
+             WITH (_pred FLOAT) /* columnar kernel: {} */",
+            quote_name(output),
+            model.name,
+            render(input),
+            flat.describe()
+        ),
         Plan::ClusteredPredict {
             input,
             model,

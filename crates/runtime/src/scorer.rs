@@ -126,8 +126,29 @@ impl RavenScorer {
         }
         let input = Tensor::matrix(rows, cols, raw.iter().map(|&v| v as f32).collect())?;
         let (outputs, _stats) = session.run_batched(raven_ml::translate::INPUT_NAME, &input)?;
-        let out = &outputs[0];
+        // A graph without outputs is a malformed artifact, not a reason to
+        // kill the executor thread: degrade to a typed error.
+        let out = outputs.first().ok_or_else(|| {
+            crate::RuntimeError::Tensor(format!(
+                "translated graph for model '{}' produced no outputs",
+                model.name
+            ))
+        })?;
         Ok(out.data().iter().map(|&v| v as f64).collect())
+    }
+
+    /// Columnar-kernel scoring: encode raw inputs once for the morsel,
+    /// then run the flattened ensemble's branchless batch traversal. The
+    /// flat layout carries its arity, so a malformed morsel surfaces as a
+    /// typed [`raven_ml::MlError::DimensionMismatch`] on the wire.
+    fn score_kernel(
+        &self,
+        model: &raven_ir::ModelRef,
+        flat: &raven_ml::FlatForest,
+        batch: &RecordBatch,
+    ) -> Result<Vec<f64>> {
+        let raw = model.pipeline.encode_inputs(batch)?;
+        Ok(flat.score_raw(&raw, batch.num_rows())?)
     }
 
     fn score_clustered(
@@ -254,6 +275,7 @@ impl Scorer for RavenScorer {
                     device,
                     ..
                 } => self.score_tensor(model, graph, *device, batch),
+                Plan::KernelPredict { model, flat, .. } => self.score_kernel(model, flat, batch),
                 Plan::ClusteredPredict {
                     model,
                     kmeans,
@@ -290,6 +312,7 @@ impl Scorer for RavenScorer {
         let _span = trace.span_labeled("scorer-invocation", || match node {
             Plan::Predict { model, .. }
             | Plan::TensorPredict { model, .. }
+            | Plan::KernelPredict { model, .. }
             | Plan::ClusteredPredict { model, .. } => model.name.clone(),
             Plan::Udf { name, .. } => name.clone(),
             other => other.label(),

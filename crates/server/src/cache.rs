@@ -161,6 +161,7 @@ fn collect_deps(
         }
         Plan::Predict { model, .. }
         | Plan::TensorPredict { model, .. }
+        | Plan::KernelPredict { model, .. }
         | Plan::ClusteredPredict { model, .. } => {
             models.insert(model.name.clone());
         }

@@ -408,10 +408,32 @@ impl Tenant {
             let _span = trace.span("parse-bind");
             session.plan(sql)?
         };
+        // Feedback loop into planning: the micro-batcher's EWMA of
+        // observed per-row scoring cost (µs, 0 until the first batch)
+        // becomes the optimizer's observed classical cost (≈ns units),
+        // so kernel placement prices the classical path at what this
+        // tenant actually measured rather than the static estimate.
+        let observed_row_us = self.metrics.gauge("batcher_ewma_row_us").get();
+        let observed = raven_opt::ObservedCosts {
+            classical_row_ns: (observed_row_us > 0.0).then_some(observed_row_us * 1_000.0),
+        };
         let (optimized, report) = {
             let _span = trace.span("optimize");
-            session.optimize(bound.clone())?
+            session.optimize_with_observed(bound.clone(), observed)?
         };
+        // Placement accounting: where each surviving model operator landed.
+        optimized.visit(&mut |p| match p {
+            raven_ir::Plan::KernelPredict { .. } => {
+                self.metrics.counter("placement_kernel_total").inc()
+            }
+            raven_ir::Plan::TensorPredict { .. } => {
+                self.metrics.counter("placement_tensor_total").inc()
+            }
+            raven_ir::Plan::Predict { .. } | raven_ir::Plan::ClusteredPredict { .. } => {
+                self.metrics.counter("placement_classical_total").inc()
+            }
+            _ => {}
+        });
         Ok(PreparedQuery::from_stages(
             sql,
             &bound,

@@ -301,6 +301,7 @@ fn session_cache_behaviour_across_queries() {
     // NN-translated model exercises the tensor session cache.
     let mut config_rules = RuleSet::all();
     config_rules.model_inlining = false; // force tensor path
+    config_rules.kernel_placement = false; // …and keep it off the columnar kernel
     let mut session2 = session;
     session2.set_rules(config_rules);
     let model = train::hospital_forest(&data, 3, 4).unwrap();
